@@ -1,0 +1,300 @@
+//! Sparse embedding tables with lazy Adam updates.
+//!
+//! The paper's XDL substrate stores embedding tables on parameter servers and
+//! updates them sparsely (only the rows touched by a minibatch). This module
+//! reproduces that: an [`EmbeddingTable`] maps a `u64` id to a `dim`-wide row;
+//! lookups hand rows to the tape as leaves; [`EmbeddingTable::apply_sparse`]
+//! applies a lazy Adam step to only the touched rows, keeping per-row moment
+//! state allocated on first touch.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use zoomer_tensor::Matrix;
+
+/// Hyperparameters for the lazy Adam used on embedding rows.
+#[derive(Clone, Copy, Debug)]
+pub struct SparseAdamConfig {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    /// Decoupled L2 decay applied to touched rows.
+    pub weight_decay: f32,
+}
+
+impl Default for SparseAdamConfig {
+    fn default() -> Self {
+        Self { lr: 0.01, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+    }
+}
+
+struct RowState {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u32,
+}
+
+/// An id → dense-vector embedding table with sparse optimizer state.
+///
+/// Rows are initialized lazily on first lookup from a scaled uniform
+/// distribution (so unseen ids during evaluation get a stable, deterministic
+/// vector derived from the table's RNG stream in lookup order).
+pub struct EmbeddingTable {
+    name: String,
+    dim: usize,
+    init_scale: f32,
+    rows: HashMap<u64, Vec<f32>>,
+    state: HashMap<u64, RowState>,
+    config: SparseAdamConfig,
+    // Deterministic per-id init: splitmix on (seed, id).
+    seed: u64,
+}
+
+impl EmbeddingTable {
+    /// Create a table producing `dim`-dimensional embeddings.
+    pub fn new(name: &str, dim: usize, seed: u64, config: SparseAdamConfig) -> Self {
+        assert!(dim > 0, "embedding dim must be positive");
+        Self {
+            name: name.to_string(),
+            dim,
+            init_scale: (1.0 / dim as f32).sqrt(),
+            rows: HashMap::new(),
+            state: HashMap::new(),
+            config,
+            seed,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of materialized rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn init_row(&self, id: u64) -> Vec<f32> {
+        // SplitMix64 stream keyed by (table seed, id): deterministic and
+        // independent of lookup order.
+        let mut x = self.seed ^ id.wrapping_mul(0x9E3779B97F4A7C15);
+        let mut next = move || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        (0..self.dim)
+            .map(|_| {
+                let u = (next() >> 40) as f32 / (1u64 << 24) as f32; // [0,1)
+                (u * 2.0 - 1.0) * self.init_scale
+            })
+            .collect()
+    }
+
+    /// Look up (materializing if needed) the embedding row for `id`.
+    pub fn lookup(&mut self, id: u64) -> &[f32] {
+        if !self.rows.contains_key(&id) {
+            let row = self.init_row(id);
+            self.rows.insert(id, row);
+        }
+        self.rows.get(&id).expect("just inserted")
+    }
+
+    /// Lookup as a `1×dim` matrix (convenient for tape leaves).
+    pub fn lookup_matrix(&mut self, id: u64) -> Matrix {
+        Matrix::row_vector(self.lookup(id))
+    }
+
+    /// Read-only lookup that does not materialize missing rows; returns the
+    /// deterministic init value for unseen ids (serving-path behaviour).
+    pub fn peek(&self, id: u64) -> Vec<f32> {
+        self.rows.get(&id).cloned().unwrap_or_else(|| self.init_row(id))
+    }
+
+    /// Apply a lazy Adam step to the touched rows.
+    ///
+    /// `grads` maps id → gradient of the loss w.r.t. that row. Multiple
+    /// gradients for the same id must be pre-summed by the caller (the
+    /// trainer does this when an id appears several times in one subgraph).
+    pub fn apply_sparse(&mut self, grads: &HashMap<u64, Vec<f32>>) {
+        let cfg = self.config;
+        for (&id, g) in grads {
+            assert_eq!(g.len(), self.dim, "gradient width mismatch for {}", self.name);
+            // Ensure the row exists (it should: it was looked up in forward).
+            if !self.rows.contains_key(&id) {
+                let row = self.init_row(id);
+                self.rows.insert(id, row);
+            }
+            let row = self.rows.get_mut(&id).expect("row exists");
+            let st = self.state.entry(id).or_insert_with(|| RowState {
+                m: vec![0.0; g.len()],
+                v: vec![0.0; g.len()],
+                t: 0,
+            });
+            st.t += 1;
+            let b1t = 1.0 - cfg.beta1.powi(st.t as i32);
+            let b2t = 1.0 - cfg.beta2.powi(st.t as i32);
+            for (((w, &gg), m), v) in row
+                .iter_mut()
+                .zip(g.iter())
+                .zip(st.m.iter_mut())
+                .zip(st.v.iter_mut())
+            {
+                if cfg.weight_decay > 0.0 {
+                    *w -= cfg.lr * cfg.weight_decay * *w;
+                }
+                *m = cfg.beta1 * *m + (1.0 - cfg.beta1) * gg;
+                *v = cfg.beta2 * *v + (1.0 - cfg.beta2) * gg * gg;
+                let mh = *m / b1t;
+                let vh = *v / b2t;
+                *w -= cfg.lr * mh / (vh.sqrt() + cfg.eps);
+            }
+        }
+    }
+
+    /// Overwrite a row (used when loading trained embeddings for serving).
+    pub fn set_row(&mut self, id: u64, row: Vec<f32>) {
+        assert_eq!(row.len(), self.dim, "set_row width mismatch");
+        self.rows.insert(id, row);
+    }
+
+    /// Iterate over materialized `(id, row)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[f32])> {
+        self.rows.iter().map(|(&id, r)| (id, r.as_slice()))
+    }
+
+    /// Export all materialized rows sorted by id (for the ANN index build).
+    pub fn export_sorted(&self) -> Vec<(u64, Vec<f32>)> {
+        let mut out: Vec<(u64, Vec<f32>)> =
+            self.rows.iter().map(|(&id, r)| (id, r.clone())).collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Fill rows for many ids at once from an RNG (test/bench setup helper).
+    pub fn randomize(&mut self, rng: &mut impl Rng, ids: impl Iterator<Item = u64>) {
+        for id in ids {
+            let row: Vec<f32> = (0..self.dim)
+                .map(|_| rng.gen_range(-self.init_scale..=self.init_scale))
+                .collect();
+            self.rows.insert(id, row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> EmbeddingTable {
+        EmbeddingTable::new("test", 8, 42, SparseAdamConfig::default())
+    }
+
+    #[test]
+    fn lookup_is_deterministic_per_id() {
+        let mut t1 = table();
+        let mut t2 = table();
+        // Different lookup orders must give the same vectors.
+        let a1 = t1.lookup(5).to_vec();
+        let _ = t1.lookup(9);
+        let _ = t2.lookup(9);
+        let a2 = t2.lookup(5).to_vec();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn different_ids_get_different_rows() {
+        let mut t = table();
+        let a = t.lookup(1).to_vec();
+        let b = t.lookup(2).to_vec();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn peek_does_not_materialize() {
+        let t = table();
+        let v = t.peek(77);
+        assert_eq!(v.len(), 8);
+        assert_eq!(t.len(), 0);
+        // And matches what lookup would produce.
+        let mut t2 = table();
+        assert_eq!(v, t2.lookup(77).to_vec());
+    }
+
+    #[test]
+    fn sparse_update_moves_against_gradient() {
+        let mut t = table();
+        let before = t.lookup(3).to_vec();
+        let mut grads = HashMap::new();
+        grads.insert(3u64, vec![1.0; 8]);
+        t.apply_sparse(&grads);
+        let after = t.lookup(3).to_vec();
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert!(a < b, "row should move down the gradient");
+        }
+    }
+
+    #[test]
+    fn sparse_update_leaves_other_rows_untouched() {
+        let mut t = table();
+        let other = t.lookup(10).to_vec();
+        let mut grads = HashMap::new();
+        grads.insert(3u64, vec![1.0; 8]);
+        t.apply_sparse(&grads);
+        assert_eq!(t.lookup(10).to_vec(), other);
+    }
+
+    #[test]
+    fn repeated_updates_converge_toward_target() {
+        // Minimize ½‖e − target‖² over the row: grad = e − target.
+        let mut t = EmbeddingTable::new(
+            "conv",
+            4,
+            7,
+            SparseAdamConfig { lr: 0.05, ..Default::default() },
+        );
+        let target = [0.5f32, -0.5, 0.25, 0.0];
+        for _ in 0..500 {
+            let row = t.lookup(1).to_vec();
+            let g: Vec<f32> = row.iter().zip(target.iter()).map(|(&e, &tg)| e - tg).collect();
+            let mut grads = HashMap::new();
+            grads.insert(1u64, g);
+            t.apply_sparse(&grads);
+        }
+        for (e, tg) in t.lookup(1).iter().zip(target.iter()) {
+            assert!((e - tg).abs() < 0.02, "{e} vs {tg}");
+        }
+    }
+
+    #[test]
+    fn export_sorted_is_sorted() {
+        let mut t = table();
+        for id in [9u64, 1, 5, 3] {
+            let _ = t.lookup(id);
+        }
+        let rows = t.export_sorted();
+        let ids: Vec<u64> = rows.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_grad_width_panics() {
+        let mut t = table();
+        let _ = t.lookup(1);
+        let mut grads = HashMap::new();
+        grads.insert(1u64, vec![0.0; 3]);
+        t.apply_sparse(&grads);
+    }
+}

@@ -1,0 +1,176 @@
+//! Named dense parameter registry.
+//!
+//! Models declare parameters by name (`"user.feat_proj.w"`); the trainer
+//! leafs them onto each example's tape, reads gradients back, and hands them
+//! to an optimizer. Keeping parameters outside the tape is what lets the
+//! parameter-server simulation in `zoomer-train` shard them by name.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+use zoomer_tensor::{xavier_matrix, Matrix};
+
+/// A registry of named dense parameters.
+///
+/// Uses a `BTreeMap` so iteration order (and therefore PS shard assignment
+/// and training order) is deterministic.
+#[derive(Default)]
+pub struct ParamStore {
+    params: BTreeMap<String, Matrix>,
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter with an explicit initial value. Panics if the
+    /// name is already taken (duplicate registration is a model bug).
+    pub fn register(&mut self, name: &str, value: Matrix) {
+        let prev = self.params.insert(name.to_string(), value);
+        assert!(prev.is_none(), "parameter {name:?} registered twice");
+    }
+
+    /// Register a Xavier-initialized `rows×cols` parameter.
+    pub fn register_xavier(
+        &mut self,
+        rng: &mut impl Rng,
+        name: &str,
+        rows: usize,
+        cols: usize,
+    ) {
+        self.register(name, xavier_matrix(rng, rows, cols));
+    }
+
+    /// Register a zero-initialized parameter (biases).
+    pub fn register_zeros(&mut self, name: &str, rows: usize, cols: usize) {
+        self.register(name, Matrix::zeros(rows, cols));
+    }
+
+    pub fn get(&self, name: &str) -> &Matrix {
+        self.params
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown parameter {name:?}"))
+    }
+
+    pub fn get_mut(&mut self, name: &str) -> &mut Matrix {
+        self.params
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("unknown parameter {name:?}"))
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.params.contains_key(name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Deterministic iteration over `(name, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Matrix)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.params.keys().map(String::as_str)
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.values().map(Matrix::len).sum()
+    }
+
+    /// Overwrite a parameter's value in place (same shape required).
+    pub fn set(&mut self, name: &str, value: Matrix) {
+        let slot = self.get_mut(name);
+        assert_eq!(slot.shape(), value.shape(), "set {name:?}: shape mismatch");
+        *slot = value;
+    }
+
+    /// Deep copy of the whole store (used by the PS simulation for replicas
+    /// and by tests for before/after comparisons).
+    pub fn snapshot(&self) -> Self {
+        Self { params: self.params.clone() }
+    }
+
+    /// Maximum absolute difference against another store with identical keys.
+    pub fn max_abs_diff(&self, other: &ParamStore) -> f32 {
+        assert_eq!(self.len(), other.len(), "max_abs_diff: param count mismatch");
+        self.params
+            .iter()
+            .map(|(k, v)| v.max_abs_diff(other.get(k)))
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoomer_tensor::seeded_rng;
+
+    #[test]
+    fn register_and_get() {
+        let mut p = ParamStore::new();
+        p.register_zeros("w", 2, 3);
+        assert_eq!(p.get("w").shape(), (2, 3));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.num_scalars(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut p = ParamStore::new();
+        p.register_zeros("w", 1, 1);
+        p.register_zeros("w", 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parameter")]
+    fn unknown_get_panics() {
+        let p = ParamStore::new();
+        let _ = p.get("nope");
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_name() {
+        let mut p = ParamStore::new();
+        p.register_zeros("zz", 1, 1);
+        p.register_zeros("aa", 1, 1);
+        p.register_zeros("mm", 1, 1);
+        let names: Vec<&str> = p.names().collect();
+        assert_eq!(names, vec!["aa", "mm", "zz"]);
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut rng = seeded_rng(5);
+        let mut p = ParamStore::new();
+        p.register_xavier(&mut rng, "w", 2, 2);
+        let snap = p.snapshot();
+        p.get_mut("w").set(0, 0, 99.0);
+        assert_ne!(snap.get("w").get(0, 0), 99.0);
+        assert!(p.max_abs_diff(&snap) > 1.0);
+    }
+
+    #[test]
+    fn set_requires_same_shape() {
+        let mut p = ParamStore::new();
+        p.register_zeros("w", 2, 2);
+        p.set("w", Matrix::full(2, 2, 1.0));
+        assert_eq!(p.get("w").get(1, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn set_wrong_shape_panics() {
+        let mut p = ParamStore::new();
+        p.register_zeros("w", 2, 2);
+        p.set("w", Matrix::zeros(1, 4));
+    }
+}

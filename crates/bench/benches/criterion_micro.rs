@@ -1,0 +1,150 @@
+//! Criterion microbenchmarks for the performance-critical primitives:
+//! alias-table vs linear weighted sampling (the §VI design choice), focal
+//! top-k sampling, attention forward+backward, ANN queries, MinHash
+//! signatures, and graph construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use std::hint::black_box;
+use zoomer_core::autograd::Tape;
+use zoomer_core::data::{TaobaoConfig, TaobaoData};
+use zoomer_core::graph::{AliasTable, MinHasher};
+use zoomer_core::sampler::{FocalBiasedSampler, FocalContext, NeighborSampler, UniformSampler};
+use zoomer_core::serving::IvfIndex;
+use zoomer_core::tensor::{seeded_rng, Matrix};
+
+/// Linear-scan weighted sampling — the baseline the alias table replaces.
+fn linear_weighted_sample(weights: &[f32], total: f32, rng: &mut impl Rng) -> usize {
+    let mut pick = rng.gen::<f32>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if pick < w {
+            return i;
+        }
+        pick -= w;
+    }
+    weights.len() - 1
+}
+
+fn bench_alias_vs_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_sampling");
+    for n in [16usize, 256, 4096] {
+        let mut rng = seeded_rng(1);
+        let weights: Vec<f32> = (0..n).map(|_| rng.gen_range(0.1..5.0)).collect();
+        let total: f32 = weights.iter().sum();
+        let table = AliasTable::new(&weights);
+        group.bench_with_input(BenchmarkId::new("alias", n), &n, |b, _| {
+            let mut rng = seeded_rng(2);
+            b.iter(|| black_box(table.sample(&mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            let mut rng = seeded_rng(2);
+            b.iter(|| black_box(linear_weighted_sample(&weights, total, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let data = TaobaoData::generate(TaobaoConfig::tiny(5));
+    let log = &data.logs[0];
+    let focal = FocalContext::for_request(&data.graph, log.user, log.query);
+    let mut group = c.benchmark_group("neighbor_sampling");
+    group.bench_function("focal_topk_k10", |b| {
+        let s = FocalBiasedSampler::default();
+        let mut rng = seeded_rng(3);
+        b.iter(|| black_box(s.sample(&data.graph, log.user, &focal, 10, &mut rng)))
+    });
+    group.bench_function("focal_stochastic_k10", |b| {
+        let s = FocalBiasedSampler::stochastic(0.2);
+        let mut rng = seeded_rng(3);
+        b.iter(|| black_box(s.sample(&data.graph, log.user, &focal, 10, &mut rng)))
+    });
+    group.bench_function("uniform_k10", |b| {
+        let mut rng = seeded_rng(3);
+        b.iter(|| black_box(UniformSampler.sample(&data.graph, log.user, &focal, 10, &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_attention_forward_backward(c: &mut Criterion) {
+    // A representative edge-attention block: 10 neighbors, d = 16.
+    let d = 16;
+    let n = 10;
+    let mut rng = seeded_rng(7);
+    let rand_m = |rng: &mut rand_chacha::ChaCha8Rng, r: usize, co: usize| {
+        Matrix::from_vec(r, co, (0..r * co).map(|_| rng.gen_range(-0.5..0.5)).collect())
+    };
+    let zi = rand_m(&mut rng, 1, d);
+    let zjs: Vec<Matrix> = (0..n).map(|_| rand_m(&mut rng, 1, d)).collect();
+    let focal = rand_m(&mut rng, 1, d);
+    let att = rand_m(&mut rng, 3 * d, 1);
+    c.bench_function("edge_attention_fwd_bwd_n10_d16", |b| {
+        b.iter(|| {
+            let mut t = Tape::new();
+            let zi_v = t.leaf(zi.clone());
+            let c_v = t.leaf(focal.clone());
+            let a_v = t.leaf(att.clone());
+            let mut scores = Vec::with_capacity(n);
+            let mut stacked = Vec::with_capacity(n);
+            for zj in &zjs {
+                let zj_v = t.leaf(zj.clone());
+                stacked.push(zj_v);
+                let pair = t.concat_cols(zi_v, zj_v);
+                let input = t.concat_cols(pair, c_v);
+                let s = t.matmul(input, a_v);
+                scores.push(t.leaky_relu(s));
+            }
+            let col = t.concat_rows(&scores);
+            let row = t.transpose(col);
+            let alpha = t.softmax_rows(row);
+            let stack = t.concat_rows(&stacked);
+            let pooled = t.matmul(alpha, stack);
+            let s = t.sum_all(pooled);
+            let loss = t.hadamard(s, s);
+            black_box(t.backward(loss));
+        })
+    });
+}
+
+fn bench_ann(c: &mut Criterion) {
+    let mut rng = seeded_rng(11);
+    let items: Vec<(u64, Vec<f32>)> = (0..5_000u64)
+        .map(|id| (id, (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect()))
+        .collect();
+    let index = IvfIndex::build(&items, 64, 6, 11);
+    let query: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut group = c.benchmark_group("ann_query_5k_items");
+    for nprobe in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("nprobe", nprobe), &nprobe, |b, &np| {
+            b.iter(|| black_box(index.search(&query, 100, np)))
+        });
+    }
+    group.bench_function("exact", |b| b.iter(|| black_box(index.exact_search(&query, 100))));
+    group.finish();
+}
+
+fn bench_minhash(c: &mut Criterion) {
+    let hasher = MinHasher::new(32, 13);
+    let terms: Vec<u32> = (0..40).collect();
+    c.bench_function("minhash_signature_40terms_32hashes", |b| {
+        b.iter(|| black_box(hasher.signature(&terms)))
+    });
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    c.bench_function("taobao_graph_build_tiny", |b| {
+        b.iter(|| black_box(TaobaoData::generate(TaobaoConfig::tiny(17))))
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_alias_vs_linear,
+        bench_samplers,
+        bench_attention_forward_backward,
+        bench_ann,
+        bench_minhash,
+        bench_graph_build
+);
+criterion_main!(micro);

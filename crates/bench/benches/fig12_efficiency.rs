@@ -1,0 +1,78 @@
+//! Fig 12 — efficiency versus effectiveness.
+//!
+//! Paper protocol: all sampler-equipped baselines run with sampling number
+//! 30; Zoomer additionally shrinks its processed graph to one-tenth via the
+//! focal-biased sampler (K = 3) and still wins on AUC, with ≈10× average
+//! speedup ("up to 14×" in the abstract).
+
+use zoomer_bench::{banner, million_dataset, train_preset, write_json, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let seed = 1212;
+    banner(
+        "Fig 12 — efficiency vs effectiveness (Zoomer at 1/10 ROI)",
+        "paper: ~10× mean speedup (up to 14×) with equal-or-better AUC",
+        scale,
+        seed,
+    );
+    let (data, split) = million_dataset(scale, seed);
+    let steps = scale.train_steps();
+
+    // Baselines at K=30; Zoomer at K=3 (one-tenth of the processed graph).
+    let runs: Vec<(&str, usize)> = vec![
+        ("graphsage", 30),
+        ("pinsage", 30),
+        ("pinnersage", 30),
+        ("pixie", 30),
+        ("zoomer", 3),
+    ];
+    println!(
+        "\n{:<12} {:>4} {:>12} {:>14} {:>10} {:>10}",
+        "model", "K", "steps/s", "time for run", "AUC", "speedup"
+    );
+    let mut baseline_rate = Vec::new();
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for (preset, k) in runs {
+        let (_, report) = train_preset(
+            &data,
+            &split,
+            preset,
+            seed,
+            steps,
+            scale.eval_sample(),
+            Some(k),
+        );
+        results.push((preset, k, report));
+    }
+    let zoomer_rate = results.last().expect("zoomer run").2.steps_per_sec();
+    for (preset, k, report) in &results {
+        let rate = report.steps_per_sec();
+        let speedup = zoomer_rate / rate;
+        if *preset != "zoomer" {
+            baseline_rate.push(rate);
+        }
+        println!(
+            "{:<12} {:>4} {:>12.1} {:>13.1}s {:>10.4} {:>9.2}x",
+            preset,
+            k,
+            rate,
+            report.elapsed.as_secs_f64(),
+            report.final_auc,
+            speedup
+        );
+        rows.push(serde_json::json!({
+            "model": preset, "k": k, "steps_per_sec": rate,
+            "seconds": report.elapsed.as_secs_f64(), "auc": report.final_auc,
+            "zoomer_speedup_vs_this": speedup,
+        }));
+    }
+    let mean_baseline = baseline_rate.iter().sum::<f64>() / baseline_rate.len().max(1) as f64;
+    println!(
+        "\nZoomer (K=3) throughput vs mean baseline (K=30): {:.1}×",
+        zoomer_rate / mean_baseline
+    );
+    println!("(paper shape: zoomer trains several times faster at 1/10 ROI with AUC parity or better)");
+    write_json("fig12_efficiency", &serde_json::Value::Array(rows));
+}

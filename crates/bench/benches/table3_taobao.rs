@@ -1,0 +1,90 @@
+//! Table III — AUC and HitRate@K on the Taobao-industry graph.
+//!
+//! Paper: on the million-scale graph, Zoomer beats all nine baselines on
+//! every metric (AUC 72.4 vs 70.3 for the best baseline HAN; +0.1 average
+//! HitRate@K over the strongest sampler baselines).
+
+use zoomer_bench::{banner, million_dataset, train_preset, write_json, BenchScale};
+use zoomer_core::train::eval::full_eval;
+
+/// Paper Table III reference (AUC %, HR@100, HR@200, HR@300).
+const PAPER: [(&str, f64, f64, f64, f64); 10] = [
+    ("GCE-GNN", 68.3, 0.23, 0.31, 0.43),
+    ("FGNN", 64.2, 0.22, 0.38, 0.52),
+    ("STAMP", 69.6, 0.30, 0.45, 0.56),
+    ("MCCF", 64.6, 0.22, 0.38, 0.52),
+    ("HAN", 70.3, 0.25, 0.36, 0.49),
+    ("PinSage", 68.0, 0.23, 0.33, 0.45),
+    ("GraphSage", 68.2, 0.25, 0.36, 0.47),
+    ("PinnerSage", 69.1, 0.28, 0.38, 0.50),
+    ("Pixie", 69.5, 0.27, 0.40, 0.53),
+    ("ZOOMER", 72.4, 0.35, 0.48, 0.58),
+];
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let seed = 333;
+    banner(
+        "Table III — AUC & HitRate@K on the Taobao-industry graph",
+        "paper: ZOOMER best on every metric; AUC 72.4 vs 70.3 (HAN)",
+        scale,
+        seed,
+    );
+    let (data, split) = million_dataset(scale, seed);
+    println!(
+        "dataset: {} nodes / {} edges, {} train + {} test examples\n",
+        data.graph.num_nodes(),
+        data.graph.num_edges(),
+        split.train.len(),
+        split.test.len()
+    );
+    let items = data.item_nodes();
+    // HitRate is measured against the full item pool with K ∈ {100,200,300};
+    // shrink K proportionally if the pool is smaller (smoke runs).
+    let ks: Vec<usize> = [100usize, 200, 300]
+        .iter()
+        .map(|&k| k.min(items.len()))
+        .collect();
+
+    println!(
+        "{:<11} {:>7} {:>8} {:>8} {:>8}   {:>9} {:>7} {:>7} {:>7}",
+        "model", "AUC", "HR@100", "HR@200", "HR@300", "p.AUC", "p.@100", "p.@200", "p.@300"
+    );
+    let mut rows = Vec::new();
+    for &(name, p_auc, p1, p2, p3) in &PAPER {
+        let preset = name.to_ascii_lowercase();
+        let (mut model, _report) = train_preset(
+            &data,
+            &split,
+            &preset,
+            seed,
+            scale.train_steps(),
+            scale.eval_sample(),
+            None,
+        );
+        // Evaluate on a capped test slice (hitrate uses its positives).
+        let test_cap = (scale.eval_sample() + scale.hitrate_requests()).min(split.test.len());
+        let test = &split.test[..test_cap];
+        let eval = full_eval(&mut model, &data.graph, test, &items, &ks, seed);
+        let hr = |i: usize| eval.hit_rates.get(i).map(|&(_, v)| v).unwrap_or(0.0);
+        println!(
+            "{:<11} {:>7.1} {:>8.3} {:>8.3} {:>8.3}   {:>9.1} {:>7.2} {:>7.2} {:>7.2}",
+            name,
+            eval.auc * 100.0,
+            hr(0),
+            hr(1),
+            hr(2),
+            p_auc,
+            p1,
+            p2,
+            p3
+        );
+        rows.push(serde_json::json!({
+            "model": name, "auc": eval.auc * 100.0,
+            "hr": eval.hit_rates.iter().map(|&(k, v)| serde_json::json!({"k": k, "v": v})).collect::<Vec<_>>(),
+            "paper": {"auc": p_auc, "hr100": p1, "hr200": p2, "hr300": p3},
+        }));
+    }
+    println!("\n(paper shape: ZOOMER leads AUC and HitRate; sampler-equipped baselines cluster below)");
+    write_json("table3_taobao", &serde_json::Value::Array(rows));
+}

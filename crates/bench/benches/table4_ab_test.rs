@@ -1,0 +1,157 @@
+//! Table IV — production A/B test simulation.
+//!
+//! Paper: substituting the PinSage channel with Zoomer on 4 % of Taobao
+//! search traffic lifted CTR +0.295 %, PPC +1.347 %, RPM +0.646 %.
+//!
+//! Here the "production traffic" is a held-out stream of simulated sessions
+//! with ground-truth intents. Two retrieval channels — PinSage (control) and
+//! Zoomer (treatment) — are each trained offline on the same logs, frozen,
+//! and deployed; every request retrieves a slate whose clicks are drawn from
+//! the generator's ground-truth click model, with per-item prices giving ad
+//! revenue. We report the same three relative lifts.
+
+use zoomer_bench::{banner, million_dataset, train_preset, write_json, BenchScale};
+use zoomer_core::data::TaobaoData;
+use zoomer_core::model::{CtrModel, UnifiedCtrModel};
+use zoomer_core::tensor::seeded_rng;
+
+/// Deterministic pseudo-price per item (log-ish spread, 1.0 – 11.0).
+fn price(item: u32) -> f64 {
+    let mut h = item as u64 ^ 0xABCD_EF01;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+    h ^= h >> 33;
+    1.0 + (h % 1000) as f64 / 100.0
+}
+
+struct ChannelOutcome {
+    impressions: u64,
+    clicks: u64,
+    revenue: f64,
+}
+
+impl ChannelOutcome {
+    fn ctr(&self) -> f64 {
+        self.clicks as f64 / self.impressions.max(1) as f64
+    }
+    fn ppc(&self) -> f64 {
+        self.revenue / self.clicks.max(1) as f64
+    }
+    fn rpm(&self) -> f64 {
+        self.revenue / self.impressions.max(1) as f64 * 1000.0
+    }
+}
+
+/// Retrieve `slate` items for each request with the trained model's tower
+/// embeddings (exact top-k over the pool; the ANN path is benchmarked in
+/// fig9), then draw clicks from the generator's ground-truth click model.
+fn run_channel(
+    model: &mut UnifiedCtrModel,
+    data: &TaobaoData,
+    traffic: &[usize],
+    slate: usize,
+    seed: u64,
+) -> ChannelOutcome {
+    let items = data.item_nodes();
+    let item_embs: Vec<(u32, Vec<f32>)> = items
+        .iter()
+        .map(|&i| (i, model.item_embedding(&data.graph, i)))
+        .collect();
+    let mut rng = seeded_rng(seed);
+    // Common random numbers: the click coin for (session, item) is a
+    // deterministic hash, so both channels see identical outcomes for
+    // identical slate items — the standard variance-reduction technique for
+    // paired A/B comparisons.
+    let click_coin = |log_idx: usize, item: u32| -> f32 {
+        let mut h = (log_idx as u64) << 32 | item as u64;
+        h ^= seed;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+        h ^= h >> 33;
+        (h >> 40) as f32 / (1u64 << 24) as f32
+    };
+    let mut out = ChannelOutcome { impressions: 0, clicks: 0, revenue: 0.0 };
+    for &log_idx in traffic {
+        let log = &data.logs[log_idx];
+        let uq = model.uq_embedding(&data.graph, log.user, log.query, &mut rng);
+        let mut scored: Vec<(u32, f32)> = item_embs
+            .iter()
+            .map(|(id, emb)| {
+                let s: f32 = uq.iter().zip(emb).map(|(&a, &b)| a * b).sum();
+                (*id, s)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        for &(item, _) in scored.iter().take(slate) {
+            out.impressions += 1;
+            let p = data.ground_truth_ctr(&log.intent, item);
+            if click_coin(log_idx, item) < p {
+                out.clicks += 1;
+                out.revenue += price(item);
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let seed = 404;
+    banner(
+        "Table IV — A/B test simulation (Zoomer vs PinSage channel)",
+        "paper: CTR +0.295 %, PPC +1.347 %, RPM +0.646 %",
+        scale,
+        seed,
+    );
+    let (data, split) = million_dataset(scale, seed);
+
+    println!("training the control channel (PinSage)…");
+    let (mut pinsage, r1) = train_preset(
+        &data, &split, "pinsage", seed, scale.train_steps(), scale.eval_sample(), None,
+    );
+    println!("  control AUC  = {:.4}", r1.final_auc);
+    println!("training the treatment channel (Zoomer)…");
+    let (mut zoomer, r2) = train_preset(
+        &data, &split, "zoomer", seed, scale.train_steps(), scale.eval_sample(), None,
+    );
+    println!("  treatment AUC = {:.4}", r2.final_auc);
+
+    // 4 % of traffic → the treatment bucket; same-size control bucket.
+    let n_traffic = match scale {
+        BenchScale::Smoke => 100,
+        BenchScale::Small => 1_000,
+        BenchScale::Full => 3_000,
+    };
+    let traffic: Vec<usize> = (0..n_traffic.min(data.logs.len())).collect();
+    let slate = 10;
+    let control_out = run_channel(&mut pinsage, &data, &traffic, slate, seed ^ 1);
+    let treatment_out = run_channel(&mut zoomer, &data, &traffic, slate, seed ^ 1);
+
+    let lift = |t: f64, c: f64| (t - c) / c.max(1e-12) * 100.0;
+    let ctr_lift = lift(treatment_out.ctr(), control_out.ctr());
+    let ppc_lift = lift(treatment_out.ppc(), control_out.ppc());
+    let rpm_lift = lift(treatment_out.rpm(), control_out.rpm());
+
+    println!("\n{:>12} {:>12} {:>12} {:>12}", "channel", "CTR", "PPC", "RPM");
+    println!(
+        "{:>12} {:>12.4} {:>12.4} {:>12.2}",
+        "PinSage", control_out.ctr(), control_out.ppc(), control_out.rpm()
+    );
+    println!(
+        "{:>12} {:>12.4} {:>12.4} {:>12.2}",
+        "ZOOMER", treatment_out.ctr(), treatment_out.ppc(), treatment_out.rpm()
+    );
+    println!("\nmeasured lifts : CTR {ctr_lift:+.3} %   PPC {ppc_lift:+.3} %   RPM {rpm_lift:+.3} %");
+    println!("paper lifts    : CTR +0.295 %   PPC +1.347 %   RPM +0.646 %");
+    println!("(paper shape: all three metrics lift when the channel switches to Zoomer)");
+
+    write_json(
+        "table4_ab_test",
+        &serde_json::json!({
+            "control": {"ctr": control_out.ctr(), "ppc": control_out.ppc(), "rpm": control_out.rpm(), "auc": r1.final_auc},
+            "treatment": {"ctr": treatment_out.ctr(), "ppc": treatment_out.ppc(), "rpm": treatment_out.rpm(), "auc": r2.final_auc},
+            "lift_pct": {"ctr": ctr_lift, "ppc": ppc_lift, "rpm": rpm_lift},
+            "paper_lift_pct": {"ctr": 0.295, "ppc": 1.347, "rpm": 0.646},
+        }),
+    );
+}

@@ -1,0 +1,182 @@
+//! Shared harness utilities for the experiment benches.
+//!
+//! Every table and figure of the paper has a bench target under `benches/`
+//! (`harness = false`). Each prints the same rows/series the paper reports,
+//! with the paper's reference numbers alongside the measured ones, and also
+//! emits machine-readable JSON under `target/experiments/`.
+//!
+//! Scale control: set `ZOOMER_BENCH_SCALE=smoke|small|full` (default
+//! `small`). `smoke` finishes in seconds (CI), `small` gives meaningful
+//! shapes in a couple of minutes per experiment, `full` trains longest.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use zoomer_core::data::{split_examples, ScaleTier, TaobaoConfig, TaobaoData, TrainTestSplit};
+use zoomer_core::model::{CtrModel, ModelConfig, UnifiedCtrModel};
+use zoomer_core::train::{train, TrainReport, TrainerConfig};
+
+/// Experiment scale preset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchScale {
+    Smoke,
+    Small,
+    Full,
+}
+
+impl BenchScale {
+    /// Read from `ZOOMER_BENCH_SCALE` (default `small`).
+    pub fn from_env() -> Self {
+        match std::env::var("ZOOMER_BENCH_SCALE").unwrap_or_default().as_str() {
+            "smoke" => BenchScale::Smoke,
+            "full" => BenchScale::Full,
+            _ => BenchScale::Small,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchScale::Smoke => "smoke",
+            BenchScale::Small => "small",
+            BenchScale::Full => "full",
+        }
+    }
+
+    /// Training steps per model for comparison tables.
+    pub fn train_steps(self) -> usize {
+        match self {
+            BenchScale::Smoke => 800,
+            BenchScale::Small => 24_000,
+            BenchScale::Full => 80_000,
+        }
+    }
+
+    /// Test examples used for AUC evaluation.
+    pub fn eval_sample(self) -> usize {
+        match self {
+            BenchScale::Smoke => 300,
+            BenchScale::Small => 3_000,
+            BenchScale::Full => 6_000,
+        }
+    }
+
+    /// Positive test requests used for HitRate@K.
+    pub fn hitrate_requests(self) -> usize {
+        match self {
+            BenchScale::Smoke => 50,
+            BenchScale::Small => 400,
+            BenchScale::Full => 1_000,
+        }
+    }
+
+    /// Dataset config for the million-scale tier, shrunk for smoke runs.
+    pub fn million_tier(self, seed: u64) -> TaobaoConfig {
+        match self {
+            BenchScale::Smoke => TaobaoConfig::tiny(seed),
+            _ => ScaleTier::Million.config(seed),
+        }
+    }
+}
+
+/// Print a standard experiment banner.
+pub fn banner(experiment: &str, paper_ref: &str, scale: BenchScale, seed: u64) {
+    println!("================================================================");
+    println!("{experiment}");
+    println!("paper reference : {paper_ref}");
+    println!("scale preset    : {} (set ZOOMER_BENCH_SCALE=smoke|small|full)", scale.name());
+    println!("seed            : {seed}");
+    println!("================================================================");
+}
+
+/// Write a JSON result blob under the workspace's
+/// `target/experiments/<name>.json` (independent of the bench CWD).
+pub fn write_json(name: &str, value: &serde_json::Value) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target/experiments");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = writeln!(f, "{}", serde_json::to_string_pretty(value).unwrap_or_default());
+        println!("(json written to {})", path.display());
+    }
+}
+
+/// Train one preset on a shared dataset; returns the trained model and its
+/// report. `fanout`/`hops` of `None` keep preset defaults.
+pub fn train_preset(
+    data: &TaobaoData,
+    split: &TrainTestSplit,
+    preset: &str,
+    seed: u64,
+    steps: usize,
+    eval_sample: usize,
+    fanout: Option<usize>,
+) -> (UnifiedCtrModel, TrainReport) {
+    let dd = data.graph.features().dense_dim();
+    let config = ModelConfig::preset(preset, seed, dd)
+        .unwrap_or_else(|| panic!("unknown preset {preset}"));
+    let mut model = UnifiedCtrModel::new(config);
+    if let Some(k) = fanout {
+        model.set_fanout(k);
+    }
+    let report = train(
+        &mut model,
+        &data.graph,
+        split,
+        &TrainerConfig {
+            epochs: 1,
+            max_steps_per_epoch: Some(steps),
+            eval_sample,
+            seed,
+            ..Default::default()
+        },
+    );
+    (model, report)
+}
+
+/// Standard dataset + split for comparison experiments.
+pub fn million_dataset(scale: BenchScale, seed: u64) -> (TaobaoData, TrainTestSplit) {
+    let data = TaobaoData::generate(scale.million_tier(seed));
+    let split = split_examples(data.ctr_examples(), 0.9, seed);
+    (data, split)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_small() {
+        // (Environment-dependent, but the test environment does not set it.)
+        if std::env::var("ZOOMER_BENCH_SCALE").is_err() {
+            assert_eq!(BenchScale::from_env(), BenchScale::Small);
+        }
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(BenchScale::Smoke.train_steps() < BenchScale::Small.train_steps());
+        assert!(BenchScale::Small.train_steps() < BenchScale::Full.train_steps());
+        assert!(BenchScale::Smoke.eval_sample() < BenchScale::Full.eval_sample());
+    }
+
+    #[test]
+    fn smoke_preset_trains_quickly() {
+        let scale = BenchScale::Smoke;
+        let (data, split) = million_dataset(scale, 9);
+        let (_, report) = train_preset(
+            &data,
+            &split,
+            "graphsage",
+            9,
+            scale.train_steps(),
+            scale.eval_sample(),
+            None,
+        );
+        assert_eq!(report.steps, scale.train_steps());
+        assert!(report.final_auc > 0.4);
+    }
+}

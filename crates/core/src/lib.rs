@@ -1,0 +1,34 @@
+//! # zoomer-core — the Zoomer reproduction, end to end
+//!
+//! This crate is the public façade of the workspace: a [`ZoomerPipeline`]
+//! that runs the full paper system — behavior logs → heterogeneous graph →
+//! focal-biased ROI sampling → multi-level-attention GNN training → frozen
+//! snapshot → ANN index → online serving — plus re-exports of every
+//! substrate crate.
+//!
+//! ```no_run
+//! use zoomer_core::{PipelineConfig, ZoomerPipeline};
+//!
+//! let mut pipeline = ZoomerPipeline::new(PipelineConfig::default());
+//! let report = pipeline.train();
+//! println!("test AUC = {:.3}", report.final_auc);
+//! let eval = pipeline.evaluate(&[100]);
+//! println!("HitRate@100 = {:.3}", eval.hit_rates[0].1);
+//! let server = pipeline.into_server();
+//! let items = server.handle(0, 1);
+//! println!("retrieved {} items", items.len());
+//! ```
+
+pub mod pipeline;
+
+pub use pipeline::{PipelineConfig, ZoomerPipeline};
+
+// Substrate re-exports, so downstream users depend on one crate.
+pub use zoomer_autograd as autograd;
+pub use zoomer_data as data;
+pub use zoomer_graph as graph;
+pub use zoomer_model as model;
+pub use zoomer_sampler as sampler;
+pub use zoomer_serving as serving;
+pub use zoomer_tensor as tensor;
+pub use zoomer_train as train;

@@ -1,0 +1,199 @@
+//! The end-to-end pipeline: logs → graph → train → index → serve.
+
+use std::sync::Arc;
+
+use zoomer_data::{
+    split_examples, with_sampled_negatives, TaobaoConfig, TaobaoData, TrainTestSplit,
+};
+use zoomer_model::{ModelConfig, UnifiedCtrModel};
+use zoomer_serving::{FrozenModel, OnlineServer, ServingConfig};
+use zoomer_train::{train, EvalReport, TrainReport, TrainerConfig};
+
+/// Configuration of a full pipeline run.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Behavior-log generator settings (stands in for ODPS log parsing).
+    pub data: TaobaoConfig,
+    /// Model preset name (`"zoomer"`, `"graphsage"`, `"pinsage"`, …).
+    pub model_preset: String,
+    /// Train fraction (paper: 0.9 for Taobao graphs).
+    pub train_fraction: f64,
+    /// Extra uniformly-sampled negatives per positive training example
+    /// (mixed negative sampling, §III-B). 0 disables.
+    pub negative_ratio: usize,
+    pub trainer: TrainerConfig,
+    pub serving: ServingConfig,
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            data: TaobaoConfig::default_with_seed(0),
+            model_preset: "zoomer".to_string(),
+            train_fraction: 0.9,
+            negative_ratio: 0,
+            trainer: TrainerConfig::default(),
+            serving: ServingConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// The assembled pipeline. Construction generates the dataset and builds the
+/// graph; [`ZoomerPipeline::train`] fits the model; [`ZoomerPipeline::into_server`]
+/// freezes it and stands up the online stack.
+pub struct ZoomerPipeline {
+    config: PipelineConfig,
+    data: TaobaoData,
+    split: TrainTestSplit,
+    model: UnifiedCtrModel,
+}
+
+impl ZoomerPipeline {
+    pub fn new(config: PipelineConfig) -> Self {
+        let data = TaobaoData::generate(config.data.clone());
+        let split = Self::make_split(&config, &data);
+        let dense_dim = data.graph.features().dense_dim();
+        let model_config = ModelConfig::preset(&config.model_preset, config.seed, dense_dim)
+            .unwrap_or_else(|| panic!("unknown model preset {:?}", config.model_preset));
+        let model = UnifiedCtrModel::new(model_config);
+        Self { config, data, split, model }
+    }
+
+    /// Construct around pre-generated data (experiments reuse one dataset
+    /// across many models).
+    pub fn with_data(config: PipelineConfig, data: TaobaoData) -> Self {
+        let split = Self::make_split(&config, &data);
+        let dense_dim = data.graph.features().dense_dim();
+        let model_config = ModelConfig::preset(&config.model_preset, config.seed, dense_dim)
+            .unwrap_or_else(|| panic!("unknown model preset {:?}", config.model_preset));
+        let model = UnifiedCtrModel::new(model_config);
+        Self { config, data, split, model }
+    }
+
+    fn make_split(config: &PipelineConfig, data: &TaobaoData) -> TrainTestSplit {
+        let mut split = split_examples(data.ctr_examples(), config.train_fraction, config.seed);
+        if config.negative_ratio > 0 {
+            let items = data.item_nodes();
+            split.train = with_sampled_negatives(
+                &split.train,
+                &items,
+                config.negative_ratio,
+                config.seed ^ 0x4E47,
+            );
+        }
+        split
+    }
+
+    pub fn data(&self) -> &TaobaoData {
+        &self.data
+    }
+
+    pub fn split(&self) -> &TrainTestSplit {
+        &self.split
+    }
+
+    pub fn model(&self) -> &UnifiedCtrModel {
+        &self.model
+    }
+
+    pub fn model_mut(&mut self) -> &mut UnifiedCtrModel {
+        &mut self.model
+    }
+
+    /// Train the model on the split.
+    pub fn train(&mut self) -> TrainReport {
+        train(&mut self.model, &self.data.graph, &self.split, &self.config.trainer)
+    }
+
+    /// Full offline evaluation (AUC/MAE/RMSE + HitRate@K).
+    pub fn evaluate(&mut self, ks: &[usize]) -> EvalReport {
+        let items = self.data.item_nodes();
+        zoomer_train::eval::full_eval(
+            &mut self.model,
+            &self.data.graph,
+            &self.split.test,
+            &items,
+            ks,
+            self.config.seed,
+        )
+    }
+
+    /// Freeze the trained model and stand up the serving stack.
+    pub fn into_server(mut self) -> OnlineServer {
+        let frozen = FrozenModel::from_model(&mut self.model, &self.data.graph);
+        let items = self.data.item_nodes();
+        OnlineServer::build(
+            Arc::new(self.data.graph),
+            frozen,
+            &items,
+            self.config.serving,
+            self.config.seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> PipelineConfig {
+        PipelineConfig {
+            data: TaobaoConfig::tiny(101),
+            trainer: TrainerConfig { epochs: 1, eval_sample: 100, ..Default::default() },
+            seed: 101,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let mut p = ZoomerPipeline::new(tiny_config());
+        let report = p.train();
+        assert!(report.steps > 0);
+        assert!(report.final_auc > 0.4);
+        let eval = p.evaluate(&[10, 40]);
+        assert_eq!(eval.hit_rates.len(), 2);
+        assert!(eval.hit_rates[0].1 <= eval.hit_rates[1].1);
+        let server = p.into_server();
+        let results = server.handle(0, 41); // user 0, a query node
+        assert!(!results.is_empty());
+    }
+
+    #[test]
+    fn negative_sampling_expands_training_set() {
+        let mut cfg = tiny_config();
+        cfg.negative_ratio = 2;
+        let with_negs = ZoomerPipeline::new(cfg.clone());
+        cfg.negative_ratio = 0;
+        let plain = ZoomerPipeline::new(cfg);
+        assert!(with_negs.split().train.len() > plain.split().train.len());
+        // Test sets identical: negatives only augment training.
+        assert_eq!(with_negs.split().test.len(), plain.split().test.len());
+    }
+
+    #[test]
+    fn preset_selects_model() {
+        let mut cfg = tiny_config();
+        cfg.model_preset = "pinsage".to_string();
+        let p = ZoomerPipeline::new(cfg);
+        assert_eq!(zoomer_model::CtrModel::name(p.model()), "PinSage");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model preset")]
+    fn bad_preset_panics() {
+        let mut cfg = tiny_config();
+        cfg.model_preset = "nonsense".to_string();
+        let _ = ZoomerPipeline::new(cfg);
+    }
+
+    #[test]
+    fn with_data_reuses_dataset() {
+        let data = TaobaoData::generate(TaobaoConfig::tiny(102));
+        let n_edges = data.graph.num_edges();
+        let p = ZoomerPipeline::with_data(tiny_config(), data);
+        assert_eq!(p.data().graph.num_edges(), n_edges);
+    }
+}

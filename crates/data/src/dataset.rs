@@ -1,0 +1,173 @@
+//! CTR-prediction examples and train/test splitting.
+
+use rand::seq::SliceRandom;
+use zoomer_graph::NodeId;
+use zoomer_tensor::seeded_rng;
+
+/// One (user, query, item, label) CTR example — the paper's behavior tuple
+/// `{u_k, q_k, i_k}` (§V-B) plus the click label.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetrievalExample {
+    pub user: NodeId,
+    pub query: NodeId,
+    pub item: NodeId,
+    pub label: f32,
+}
+
+/// A shuffled train/test split.
+pub struct TrainTestSplit {
+    pub train: Vec<RetrievalExample>,
+    pub test: Vec<RetrievalExample>,
+}
+
+/// Shuffle deterministically and split with `train_fraction` going to train.
+/// The paper uses 90/10 for Taobao graphs and 80/20 for MovieLens.
+pub fn split_examples(
+    mut examples: Vec<RetrievalExample>,
+    train_fraction: f64,
+    seed: u64,
+) -> TrainTestSplit {
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "train_fraction must be in [0,1]"
+    );
+    let mut rng = seeded_rng(seed);
+    examples.shuffle(&mut rng);
+    let cut = (examples.len() as f64 * train_fraction).round() as usize;
+    let test = examples.split_off(cut.min(examples.len()));
+    TrainTestSplit { train: examples, test }
+}
+
+impl TrainTestSplit {
+    /// Fraction of positive labels in the training set.
+    pub fn train_positive_rate(&self) -> f64 {
+        if self.train.is_empty() {
+            return 0.0;
+        }
+        self.train.iter().filter(|e| e.label > 0.5).count() as f64 / self.train.len() as f64
+    }
+}
+
+/// Mixed negative sampling (the twin-tower training trick the paper cites,
+/// §III-B): for every positive example, add `ratio` extra negatives pairing
+/// the same (user, query) with items drawn uniformly from `item_pool` —
+/// "easy" negatives that teach the towers the global geometry, complementing
+/// the "hard" impressed-but-not-clicked negatives already in the logs.
+pub fn with_sampled_negatives(
+    examples: &[RetrievalExample],
+    item_pool: &[NodeId],
+    ratio: usize,
+    seed: u64,
+) -> Vec<RetrievalExample> {
+    assert!(!item_pool.is_empty(), "empty item pool");
+    let mut rng = seeded_rng(seed);
+    let mut out = Vec::with_capacity(examples.len() * (1 + ratio));
+    for &ex in examples {
+        out.push(ex);
+        if ex.label > 0.5 {
+            for _ in 0..ratio {
+                let item = item_pool[rand::Rng::gen_range(&mut rng, 0..item_pool.len())];
+                if item != ex.item {
+                    out.push(RetrievalExample { item, label: 0.0, ..ex });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn examples(n: usize) -> Vec<RetrievalExample> {
+        (0..n)
+            .map(|i| RetrievalExample {
+                user: i as NodeId,
+                query: (i * 2) as NodeId,
+                item: (i * 3) as NodeId,
+                label: (i % 3 == 0) as u8 as f32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_sizes_match_fraction() {
+        let s = split_examples(examples(100), 0.9, 1);
+        assert_eq!(s.train.len(), 90);
+        assert_eq!(s.test.len(), 10);
+    }
+
+    #[test]
+    fn split_is_a_permutation() {
+        let s = split_examples(examples(50), 0.8, 2);
+        let mut all: Vec<u32> = s.train.iter().chain(&s.test).map(|e| e.user).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        let a = split_examples(examples(40), 0.5, 3);
+        let b = split_examples(examples(40), 0.5, 3);
+        let c = split_examples(examples(40), 0.5, 4);
+        assert_eq!(a.train, b.train);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn degenerate_fractions() {
+        let s = split_examples(examples(10), 1.0, 5);
+        assert_eq!(s.train.len(), 10);
+        assert!(s.test.is_empty());
+        let s = split_examples(examples(10), 0.0, 5);
+        assert!(s.train.is_empty());
+        assert_eq!(s.test.len(), 10);
+        let s = split_examples(Vec::new(), 0.5, 5);
+        assert!(s.train.is_empty() && s.test.is_empty());
+        assert_eq!(s.train_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn positive_rate_counts_labels() {
+        let s = split_examples(examples(30), 1.0, 6);
+        // Every third example is positive.
+        assert!((s.train_positive_rate() - 1.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn negative_sampling_adds_easy_negatives() {
+        let exs = examples(12); // 4 positives (every third)
+        let pool: Vec<NodeId> = (100..120).collect();
+        let out = with_sampled_negatives(&exs, &pool, 2, 7);
+        // Originals preserved (negatives interleave right after their
+        // positive), first original first.
+        assert_eq!(out[0], exs[0]);
+        let positives_in = exs.iter().filter(|e| e.label > 0.5).count();
+        // Each positive adds up to 2 negatives (collisions with the positive
+        // item are skipped; this pool never collides with original items).
+        assert_eq!(out.len(), exs.len() + positives_in * 2);
+        // Added negatives draw items from the pool and carry label 0.
+        let added: Vec<_> = out.iter().filter(|e| e.item >= 100).collect();
+        assert_eq!(added.len(), positives_in * 2);
+        for e in added {
+            assert!(pool.contains(&e.item));
+            assert_eq!(e.label, 0.0);
+        }
+    }
+
+    #[test]
+    fn negative_sampling_is_deterministic() {
+        let exs = examples(9);
+        let pool: Vec<NodeId> = (50..60).collect();
+        let a = with_sampled_negatives(&exs, &pool, 3, 1);
+        let b = with_sampled_negatives(&exs, &pool, 3, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty item pool")]
+    fn negative_sampling_empty_pool_panics() {
+        let _ = with_sampled_negatives(&examples(3), &[], 1, 1);
+    }
+}

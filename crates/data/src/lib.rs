@@ -1,0 +1,32 @@
+//! Synthetic dataset generators for the Zoomer reproduction.
+//!
+//! The paper evaluates on Taobao production logs (1-hour / 12-hour / 7-day
+//! graphs, up to 1.2 B nodes) and MovieLens-25M — neither of which is
+//! available here. This crate substitutes generative models that plant the
+//! *phenomena* Zoomer exploits, so the paper's comparisons remain meaningful:
+//!
+//! - **Latent intent structure.** Items belong to categories with prototype
+//!   vectors; users hold per-user mixtures over categories; every search
+//!   session draws a fresh *intent* from the user's mixture (→ the paper's
+//!   "dynamic focal interests", Fig 4(b)).
+//! - **Clicks from intent·item affinity.** Ground-truth click probability is
+//!   a logistic function of the intent–item dot product, so only the small
+//!   intent-aligned region of a user's history is predictive (→ "small
+//!   relevant area", Fig 4(c)) and focal-aware models genuinely outperform
+//!   focal-blind ones.
+//! - **Heterogeneous schema.** User / query / item nodes with the Table I
+//!   categorical fields, click + session + MinHash-similarity edges built by
+//!   the exact §II construction rules.
+//!
+//! Three scale tiers keep the paper's relative size ratios so scaling-shape
+//! experiments (Fig 10) carry over.
+
+pub mod config;
+pub mod dataset;
+pub mod movielens;
+pub mod taobao;
+
+pub use config::{ScaleTier, TaobaoConfig};
+pub use dataset::{split_examples, with_sampled_negatives, RetrievalExample, TrainTestSplit};
+pub use movielens::{MovieLensConfig, MovieLensData};
+pub use taobao::{SessionLog, TaobaoData};

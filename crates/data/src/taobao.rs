@@ -1,0 +1,640 @@
+//! The Taobao-like behavior-log generator and graph construction.
+//!
+//! Generation pipeline (all driven by one seed):
+//! 1. Draw `num_categories` unit prototype vectors.
+//! 2. Items: category assignment (Zipf-ish skew), vector = normalized
+//!    prototype + noise, Table-I fields (id bucket / category / brand / shop
+//!    / term bucket) and title terms from the category vocabulary.
+//! 3. Queries: category + vector + terms, like items but narrower noise.
+//! 4. Users: a sparse mixture over categories; base vector = normalized
+//!    mixture of prototypes; Table-I fields (id bucket / gender / level).
+//! 5. Sessions: user draws an intent category from their mixture, picks a
+//!    matching query, sees a slate of impressions (intent-biased + random),
+//!    clicks by the ground-truth logistic model on intent·item.
+//! 6. Graph: §II construction (session rule + MinHash similarity edges).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use zoomer_graph::minhash::{SimilarityConfig, SimilarityEdgeBuilder};
+use zoomer_graph::{GraphBuilder, HeteroGraph, NodeId, NodeType};
+use zoomer_tensor::rng::{random_unit_vec, standard_normal};
+use zoomer_tensor::{cosine_similarity, l2_norm, seeded_rng, sigmoid};
+
+use crate::config::TaobaoConfig;
+use crate::dataset::RetrievalExample;
+
+/// One simulated search session.
+#[derive(Clone, Debug)]
+pub struct SessionLog {
+    pub user: NodeId,
+    pub query: NodeId,
+    /// Ground-truth session intent vector (hidden from models; used by the
+    /// A/B simulator and the motivation harnesses).
+    pub intent: Vec<f32>,
+    /// The slate shown, with click outcomes, in display order.
+    pub impressions: Vec<(NodeId, bool)>,
+    /// Clicked items in click order (subsequence of the slate).
+    pub clicked: Vec<NodeId>,
+    /// Monotone per-dataset timestamp (session index).
+    pub timestamp: u64,
+}
+
+/// A fully generated dataset: graph + logs + ground truth.
+pub struct TaobaoData {
+    pub config: TaobaoConfig,
+    pub graph: HeteroGraph,
+    pub logs: Vec<SessionLog>,
+    /// Prototype vector per category.
+    pub category_vectors: Vec<Vec<f32>>,
+    /// Per-user interest mixture: `(category, weight)` pairs.
+    pub user_interests: Vec<Vec<(usize, f32)>>,
+    /// Per-user persistent personal direction per interest category,
+    /// aligned with `user_interests`. Queries never reveal this; it can only
+    /// be recovered from the user's click history.
+    pub user_personal: Vec<Vec<(usize, Vec<f32>)>>,
+    /// Category of each query / item (indexed by *type-local* index).
+    pub query_categories: Vec<usize>,
+    pub item_categories: Vec<usize>,
+}
+
+impl TaobaoData {
+    /// Generate a dataset from the config. Deterministic in `config.seed`.
+    pub fn generate(config: TaobaoConfig) -> Self {
+        let mut rng = seeded_rng(config.seed);
+        let d = config.latent_dim;
+
+        // 1. Category prototypes.
+        let category_vectors: Vec<Vec<f32>> = (0..config.num_categories)
+            .map(|_| random_unit_vec(&mut rng, d))
+            .collect();
+
+        let mut builder = GraphBuilder::new(d);
+
+        // 4. Users first (node ids [0, num_users)).
+        let mut user_interests = Vec::with_capacity(config.num_users);
+        let mut user_personal: Vec<Vec<(usize, Vec<f32>)>> =
+            Vec::with_capacity(config.num_users);
+        for uid in 0..config.num_users {
+            let mut cats: Vec<usize> = (0..config.num_categories).collect();
+            cats.shuffle(&mut rng);
+            cats.truncate(config.interests_per_user.min(config.num_categories));
+            let raw: Vec<f32> = cats.iter().map(|_| rng.gen_range(0.5..1.5)).collect();
+            let total: f32 = raw.iter().sum();
+            let mixture: Vec<(usize, f32)> =
+                cats.iter().zip(raw.iter()).map(|(&c, &w)| (c, w / total)).collect();
+            let mut base = vec![0.0f32; d];
+            for &(c, w) in &mixture {
+                for (b, &cv) in base.iter_mut().zip(&category_vectors[c]) {
+                    *b += w * cv;
+                }
+            }
+            let n = l2_norm(&base).max(1e-6);
+            for b in &mut base {
+                *b /= n;
+            }
+            // The ID field is bucketed coarsely (64 users per bucket at the
+            // million tier): at web scale per-ID embeddings are mostly cold,
+            // so models must generalize through behavior — the regime where
+            // ROI quality matters. Fine-grained buckets would let every
+            // model memorize (u,q,i) triples and wash out the comparison.
+            let fields = vec![
+                (uid % 32) as u32,            // coarse id bucket
+                rng.gen_range(0..2u32),       // gender
+                rng.gen_range(0..6u32),       // membership level
+            ];
+            builder.add_node(NodeType::User, fields, vec![], &base);
+            // Persistent personal direction per interest category: the
+            // within-category taste only observable through click history.
+            // Directions are centered per user (they sum to ≈0), modeling
+            // the paper's observation that cross-category experience is
+            // uninformative ("purchasing household items may have less
+            // relation with how she chooses luxuries"): pooling a user's
+            // history *across* categories cancels the per-category taste,
+            // while focal-selected same-category history preserves it.
+            let mut dirs: Vec<Vec<f32>> =
+                mixture.iter().map(|_| random_unit_vec(&mut rng, d)).collect();
+            if dirs.len() > 1 {
+                let k = dirs.len() as f32;
+                let mean: Vec<f32> = (0..d)
+                    .map(|j| dirs.iter().map(|v| v[j]).sum::<f32>() / k)
+                    .collect();
+                for v in &mut dirs {
+                    for (x, &m) in v.iter_mut().zip(&mean) {
+                        *x -= m;
+                    }
+                    let n = l2_norm(v).max(1e-6);
+                    for x in v.iter_mut() {
+                        *x /= n;
+                    }
+                }
+            }
+            let personal: Vec<(usize, Vec<f32>)> = mixture
+                .iter()
+                .zip(dirs)
+                .map(|(&(c, _), dir)| (c, dir))
+                .collect();
+            user_interests.push(mixture);
+            user_personal.push(personal);
+        }
+
+        // Category vocabularies for title terms.
+        let vocab: Vec<Vec<u32>> = (0..config.num_categories)
+            .map(|c| {
+                let lo = (c * config.terms_per_category) as u32;
+                (lo..lo + config.terms_per_category as u32).collect()
+            })
+            .collect();
+        let draw_terms = |rng: &mut ChaCha8Rng, cat: usize, k: usize| -> Vec<u32> {
+            let mut t: Vec<u32> = Vec::with_capacity(k);
+            for _ in 0..k {
+                t.push(vocab[cat][rng.gen_range(0..vocab[cat].len())]);
+            }
+            t.sort_unstable();
+            t.dedup();
+            t
+        };
+
+        // 3. Queries (node ids [num_users, num_users + num_queries)).
+        let mut query_categories = Vec::with_capacity(config.num_queries);
+        for qid in 0..config.num_queries {
+            let cat = qid % config.num_categories; // every category covered
+            let mut v = category_vectors[cat].clone();
+            for x in &mut v {
+                *x += 0.5 * config.intent_noise * standard_normal(&mut rng);
+            }
+            let n = l2_norm(&v).max(1e-6);
+            for x in &mut v {
+                *x /= n;
+            }
+            let terms = draw_terms(&mut rng, cat, config.terms_per_title);
+            let fields = vec![cat as u32, *terms.first().unwrap_or(&0)];
+            builder.add_node(NodeType::Query, fields, terms, &v);
+            query_categories.push(cat);
+        }
+
+        // 2. Items (node ids [num_users + num_queries, ..)).
+        let mut item_categories = Vec::with_capacity(config.num_items);
+        for iid in 0..config.num_items {
+            // Zipf-ish skew: low-index categories are more popular.
+            let cat = zipf_category(&mut rng, config.num_categories);
+            let mut v = category_vectors[cat].clone();
+            for x in &mut v {
+                *x += config.item_noise * standard_normal(&mut rng);
+            }
+            let n = l2_norm(&v).max(1e-6);
+            for x in &mut v {
+                *x /= n;
+            }
+            let terms = draw_terms(&mut rng, cat, config.terms_per_title);
+            let fields = vec![
+                (iid % 32) as u32, // coarse id bucket (see user note above)
+                cat as u32,
+                rng.gen_range(0..config.num_brands as u32),
+                rng.gen_range(0..config.num_shops as u32),
+                *terms.first().unwrap_or(&0),
+            ];
+            builder.add_node(NodeType::Item, fields, terms, &v);
+            item_categories.push(cat);
+        }
+
+        let user_node = |u: usize| u as NodeId;
+        let query_node = |q: usize| (config.num_users + q) as NodeId;
+        let item_node = |i: usize| (config.num_users + config.num_queries + i) as NodeId;
+
+        // Pre-index queries and items by category for fast session assembly.
+        let mut queries_by_cat: Vec<Vec<usize>> = vec![Vec::new(); config.num_categories];
+        for (q, &c) in query_categories.iter().enumerate() {
+            queries_by_cat[c].push(q);
+        }
+        let mut items_by_cat: Vec<Vec<usize>> = vec![Vec::new(); config.num_categories];
+        for (i, &c) in item_categories.iter().enumerate() {
+            items_by_cat[c].push(i);
+        }
+
+        // 5. Sessions.
+        let mut logs = Vec::with_capacity(config.num_sessions);
+        for ts in 0..config.num_sessions {
+            let u = rng.gen_range(0..config.num_users);
+            // Draw intent category from the user's mixture.
+            let mixture = &user_interests[u];
+            let mut pick = rng.gen::<f32>();
+            let mut cat = mixture[mixture.len() - 1].0;
+            for &(c, w) in mixture {
+                if pick < w {
+                    cat = c;
+                    break;
+                }
+                pick -= w;
+            }
+            // Session intent: prototype + the user's persistent personal
+            // direction for this category + fresh noise (dynamic interests).
+            let mut intent = category_vectors[cat].clone();
+            if let Some((_, p)) = user_personal[u].iter().find(|(c, _)| *c == cat) {
+                for (x, &pv) in intent.iter_mut().zip(p) {
+                    *x += config.personal_weight * pv;
+                }
+            }
+            for x in &mut intent {
+                *x += config.intent_noise * standard_normal(&mut rng);
+            }
+            let n = l2_norm(&intent).max(1e-6);
+            for x in &mut intent {
+                *x /= n;
+            }
+            // Query of the intent category.
+            let q_pool = &queries_by_cat[cat];
+            if q_pool.is_empty() {
+                continue;
+            }
+            let q = q_pool[rng.gen_range(0..q_pool.len())];
+
+            // Impressions: ~70% intent-category items, rest random.
+            let mut impressions = Vec::with_capacity(config.impressions_per_session);
+            let mut clicked = Vec::new();
+            for s in 0..config.impressions_per_session {
+                let i = if s * 10 < config.impressions_per_session * 7
+                    && !items_by_cat[cat].is_empty()
+                {
+                    items_by_cat[cat][rng.gen_range(0..items_by_cat[cat].len())]
+                } else {
+                    rng.gen_range(0..config.num_items)
+                };
+                let node = item_node(i);
+                let p = click_probability(&config, &intent, builder.features().dense(node));
+                let did_click = rng.gen::<f32>() < p;
+                impressions.push((node, did_click));
+                if did_click {
+                    clicked.push(node);
+                }
+            }
+            logs.push(SessionLog {
+                user: user_node(u),
+                query: query_node(q),
+                intent,
+                impressions,
+                clicked,
+                timestamp: ts as u64,
+            });
+        }
+
+        // 6. Graph construction per §II.
+        for log in &logs {
+            builder.add_search_session(log.user, log.query, &log.clicked);
+        }
+        if config.similarity_edges {
+            let sim = SimilarityEdgeBuilder::new(
+                SimilarityConfig { threshold: 0.4, ..Default::default() },
+                config.seed ^ 0x5151,
+            );
+            sim.add_edges(&mut builder, &[NodeType::Query, NodeType::Item]);
+        }
+        builder.dedup_edges();
+        let graph = builder.finish();
+
+        Self {
+            config,
+            graph,
+            logs,
+            category_vectors,
+            user_interests,
+            user_personal,
+            query_categories,
+            item_categories,
+        }
+    }
+
+    /// Rebuild the interaction graph from only the first `sessions` logs —
+    /// the paper's time-window graphs (1-hour vs 1-day) share one node
+    /// universe but differ in how much behavior they have seen.
+    /// Similarity edges are re-derived from content, as §II prescribes.
+    pub fn graph_for_window(&self, sessions: usize) -> HeteroGraph {
+        let d = self.graph.features().dense_dim();
+        let mut b = GraphBuilder::new(d);
+        for n in 0..self.graph.num_nodes() as NodeId {
+            b.add_node(
+                self.graph.node_type(n),
+                self.graph.fields(n).to_vec(),
+                self.graph.features().terms(n).to_vec(),
+                self.graph.dense_feature(n),
+            );
+        }
+        for log in self.logs.iter().take(sessions) {
+            b.add_search_session(log.user, log.query, &log.clicked);
+        }
+        if self.config.similarity_edges {
+            let sim = SimilarityEdgeBuilder::new(
+                SimilarityConfig { threshold: 0.4, ..Default::default() },
+                self.config.seed ^ 0x5151,
+            );
+            sim.add_edges(&mut b, &[NodeType::Query, NodeType::Item]);
+        }
+        b.dedup_edges();
+        b.finish()
+    }
+
+    /// First item node id (items occupy the tail of the id space).
+    pub fn first_item_node(&self) -> NodeId {
+        (self.config.num_users + self.config.num_queries) as NodeId
+    }
+
+    /// All item node ids.
+    pub fn item_nodes(&self) -> Vec<NodeId> {
+        let first = self.first_item_node();
+        (first..first + self.config.num_items as NodeId).collect()
+    }
+
+    /// Ground-truth click probability for an intent vector and an item node.
+    pub fn ground_truth_ctr(&self, intent: &[f32], item: NodeId) -> f32 {
+        click_probability(&self.config, intent, self.graph.dense_feature(item))
+    }
+
+    /// CTR-prediction examples from the impression logs: one example per
+    /// impression (clicked → label 1).
+    pub fn ctr_examples(&self) -> Vec<RetrievalExample> {
+        self.logs
+            .iter()
+            .flat_map(|log| {
+                log.impressions.iter().map(move |&(item, clicked)| RetrievalExample {
+                    user: log.user,
+                    query: log.query,
+                    item,
+                    label: if clicked { 1.0 } else { 0.0 },
+                })
+            })
+            .collect()
+    }
+
+    /// Fig 4(b) measurement: cosine similarities between successive queries
+    /// posed by the same user, in timestamp order.
+    pub fn successive_query_similarities(&self) -> Vec<f32> {
+        use std::collections::HashMap;
+        let mut last_query: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut sims = Vec::new();
+        for log in &self.logs {
+            if let Some(&prev) = last_query.get(&log.user) {
+                if prev != log.query {
+                    sims.push(cosine_similarity(
+                        self.graph.dense_feature(prev),
+                        self.graph.dense_feature(log.query),
+                    ));
+                }
+            }
+            last_query.insert(log.user, log.query);
+        }
+        sims
+    }
+
+    /// Fig 4(c) measurement: for `num_focals` randomly chosen (user, query)
+    /// focal pairs, the cosine similarities between the focal vector (sum of
+    /// user and query features, as §V-B prescribes) and every item the user
+    /// ever clicked.
+    pub fn focal_local_similarities(&self, num_focals: usize, seed: u64) -> Vec<Vec<f32>> {
+        self.focal_local_similarities_window(num_focals, self.logs.len(), seed)
+    }
+
+    /// Fig 4(c) on a time window: only the first `sessions` logs count as
+    /// the user's observed local graph (the paper's 1-hour vs 1-day split).
+    pub fn focal_local_similarities_window(
+        &self,
+        num_focals: usize,
+        sessions: usize,
+        seed: u64,
+    ) -> Vec<Vec<f32>> {
+        use std::collections::HashMap;
+        let mut rng = seeded_rng(seed);
+        let mut by_user: HashMap<NodeId, (Vec<NodeId>, Vec<NodeId>)> = HashMap::new();
+        for log in self.logs.iter().take(sessions) {
+            let entry = by_user.entry(log.user).or_default();
+            entry.0.push(log.query);
+            entry.1.extend_from_slice(&log.clicked);
+        }
+        let mut users: Vec<NodeId> = by_user
+            .iter()
+            .filter(|(_, (_, items))| !items.is_empty())
+            .map(|(&u, _)| u)
+            .collect();
+        users.sort_unstable();
+        users.shuffle(&mut rng);
+        users.truncate(num_focals);
+        users
+            .iter()
+            .map(|&u| {
+                let (queries, items) = &by_user[&u];
+                let q = queries[rng.gen_range(0..queries.len())];
+                let focal: Vec<f32> = self
+                    .graph
+                    .dense_feature(u)
+                    .iter()
+                    .zip(self.graph.dense_feature(q))
+                    .map(|(&a, &b)| a + b)
+                    .collect();
+                items
+                    .iter()
+                    .map(|&i| cosine_similarity(&focal, self.graph.dense_feature(i)))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Ground-truth logistic click model on intent·item affinity.
+fn click_probability(config: &TaobaoConfig, intent: &[f32], item_vec: &[f32]) -> f32 {
+    let affinity: f32 = intent.iter().zip(item_vec).map(|(&a, &b)| a * b).sum();
+    sigmoid(config.click_steepness * affinity + config.click_offset)
+}
+
+/// Zipf-ish categorical draw: category c with weight ∝ 1/(c+1).
+fn zipf_category(rng: &mut impl Rng, n: usize) -> usize {
+    let total: f64 = (0..n).map(|c| 1.0 / (c + 1) as f64).sum();
+    let mut pick = rng.gen::<f64>() * total;
+    for c in 0..n {
+        let w = 1.0 / (c + 1) as f64;
+        if pick < w {
+            return c;
+        }
+        pick -= w;
+    }
+    n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoomer_graph::EdgeType;
+
+    fn tiny() -> TaobaoData {
+        TaobaoData::generate(TaobaoConfig::tiny(7))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.logs.len(), b.logs.len());
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        for (la, lb) in a.logs.iter().zip(&b.logs) {
+            assert_eq!(la.user, lb.user);
+            assert_eq!(la.query, lb.query);
+            assert_eq!(la.clicked, lb.clicked);
+        }
+    }
+
+    #[test]
+    fn node_layout_users_queries_items() {
+        let d = tiny();
+        let c = &d.config;
+        assert_eq!(d.graph.node_type(0), NodeType::User);
+        assert_eq!(d.graph.node_type(c.num_users as NodeId), NodeType::Query);
+        assert_eq!(d.graph.node_type(d.first_item_node()), NodeType::Item);
+        assert_eq!(
+            d.graph.num_nodes(),
+            c.num_users + c.num_queries + c.num_items
+        );
+    }
+
+    #[test]
+    fn table1_field_counts() {
+        let d = tiny();
+        assert_eq!(d.graph.fields(0).len(), 3); // user: id, gender, level
+        assert_eq!(d.graph.fields(d.config.num_users as NodeId).len(), 2); // query
+        assert_eq!(d.graph.fields(d.first_item_node()).len(), 5); // item
+    }
+
+    #[test]
+    fn graph_has_all_edge_categories() {
+        let d = tiny();
+        assert!(d.graph.num_edges_of(EdgeType::Click) > 0);
+        assert!(d.graph.num_edges_of(EdgeType::Session) > 0);
+        assert!(d.graph.num_edges_of(EdgeType::Similarity) > 0);
+    }
+
+    #[test]
+    fn clicks_follow_intent_affinity() {
+        // Clicked items should be substantially more intent-aligned than
+        // non-clicked impressions on average.
+        let d = tiny();
+        let (mut pos, mut neg) = (Vec::new(), Vec::new());
+        for log in &d.logs {
+            for &(item, clicked) in &log.impressions {
+                let sim = cosine_similarity(&log.intent, d.graph.dense_feature(item));
+                if clicked {
+                    pos.push(sim);
+                } else {
+                    neg.push(sim);
+                }
+            }
+        }
+        assert!(!pos.is_empty() && !neg.is_empty());
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(
+            mean(&pos) > mean(&neg) + 0.15,
+            "pos {} vs neg {}",
+            mean(&pos),
+            mean(&neg)
+        );
+    }
+
+    #[test]
+    fn ctr_examples_match_impressions() {
+        let d = tiny();
+        let examples = d.ctr_examples();
+        let total: usize = d.logs.iter().map(|l| l.impressions.len()).sum();
+        assert_eq!(examples.len(), total);
+        let positives = examples.iter().filter(|e| e.label > 0.5).count();
+        let clicks: usize = d.logs.iter().map(|l| l.clicked.len()).sum();
+        assert_eq!(positives, clicks);
+        // The generator should produce a non-degenerate class balance.
+        assert!(positives > 0 && positives < total);
+    }
+
+    #[test]
+    fn successive_queries_have_low_similarity() {
+        // Fig 4(b): users hop between interest categories, so successive
+        // queries should frequently be dissimilar.
+        let d = TaobaoData::generate(TaobaoConfig::tiny(13));
+        let sims = d.successive_query_similarities();
+        assert!(sims.len() > 20);
+        let below_half = sims.iter().filter(|&&s| s < 0.5).count();
+        assert!(
+            below_half as f64 > 0.4 * sims.len() as f64,
+            "successive queries too similar: {below_half}/{}",
+            sims.len()
+        );
+    }
+
+    #[test]
+    fn focal_local_similarities_are_broadly_low() {
+        // Fig 4(c): most of a user's click history is weakly related to any
+        // single focal pair.
+        let d = tiny();
+        let per_focal = d.focal_local_similarities(10, 99);
+        assert!(!per_focal.is_empty());
+        let all: Vec<f32> = per_focal.into_iter().flatten().collect();
+        let below = all.iter().filter(|&&s| s < 0.6).count();
+        assert!(below as f64 > 0.3 * all.len() as f64);
+    }
+
+    #[test]
+    fn ground_truth_ctr_is_probability() {
+        let d = tiny();
+        let item = d.first_item_node();
+        for log in d.logs.iter().take(20) {
+            let p = d.ground_truth_ctr(&log.intent, item);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn window_graph_shares_nodes_but_has_fewer_edges() {
+        let d = tiny();
+        let half = d.graph_for_window(d.logs.len() / 2);
+        assert_eq!(half.num_nodes(), d.graph.num_nodes());
+        for n in (0..half.num_nodes() as NodeId).step_by(13) {
+            assert_eq!(half.node_type(n), d.graph.node_type(n));
+            assert_eq!(half.dense_feature(n), d.graph.dense_feature(n));
+        }
+        assert!(
+            half.num_edges_of(EdgeType::Click) < d.graph.num_edges_of(EdgeType::Click),
+            "half the sessions must give fewer click edges"
+        );
+        // The full window reproduces the full graph's click structure.
+        let full = d.graph_for_window(d.logs.len());
+        assert_eq!(
+            full.num_edges_of(EdgeType::Click),
+            d.graph.num_edges_of(EdgeType::Click)
+        );
+    }
+
+    #[test]
+    fn window_zero_sessions_has_interactionless_graph() {
+        let d = tiny();
+        let empty = d.graph_for_window(0);
+        assert_eq!(empty.num_edges_of(EdgeType::Click), 0);
+        assert_eq!(empty.num_edges_of(EdgeType::Session), 0);
+        // Similarity edges are content-based, so they survive.
+        assert!(empty.num_edges_of(EdgeType::Similarity) > 0);
+    }
+
+    #[test]
+    fn windowed_focal_similarities_subset_full() {
+        let d = tiny();
+        let full = d.focal_local_similarities(10, 3);
+        let windowed = d.focal_local_similarities_window(10, d.logs.len(), 3);
+        // Same window → identical measurement.
+        assert_eq!(full.len(), windowed.len());
+        for (a, b) in full.iter().zip(&windowed) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_low_categories() {
+        let mut rng = seeded_rng(3);
+        let mut counts = vec![0usize; 5];
+        for _ in 0..10_000 {
+            counts[zipf_category(&mut rng, 5)] += 1;
+        }
+        assert!(counts[0] > counts[4] * 2, "{counts:?}");
+    }
+}

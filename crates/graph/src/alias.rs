@@ -1,0 +1,146 @@
+//! Walker's alias method for O(1) sampling from a discrete distribution.
+//!
+//! The paper (§VI): "We use an Alias Table to implement the adjacency list to
+//! achieve constant-time graph sampling independent of the graph size."
+
+use rand::Rng;
+
+/// An alias table over `n` outcomes with arbitrary non-negative weights.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    /// Acceptance probability of the primary outcome in each bucket.
+    prob: Vec<f32>,
+    /// Fallback outcome per bucket.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights. All-zero weights degrade to uniform.
+    /// Panics on empty input.
+    pub fn new(weights: &[f32]) -> Self {
+        assert!(!weights.is_empty(), "AliasTable::new: empty weights");
+        let n = weights.len();
+        let total: f64 = weights.iter().map(|&w| {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
+            w as f64
+        }).sum();
+
+        if total <= 0.0 {
+            // Uniform fallback.
+            return Self { prob: vec![1.0; n], alias: (0..n as u32).collect() };
+        }
+
+        // Scaled probabilities: mean 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w as f64 * n as f64 / total).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut prob = vec![1.0f32; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s] = scaled[s] as f32;
+            alias[s] = l as u32;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers (numerical slack) keep prob = 1.
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome index in O(1).
+    #[inline]
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f32>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoomer_tensor::seeded_rng;
+
+    fn empirical(weights: &[f32], draws: usize) -> Vec<f64> {
+        let table = AliasTable::new(weights);
+        let mut rng = seeded_rng(99);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn matches_distribution_simple() {
+        let freq = empirical(&[1.0, 2.0, 3.0], 60_000);
+        assert!((freq[0] - 1.0 / 6.0).abs() < 0.01, "{freq:?}");
+        assert!((freq[1] - 2.0 / 6.0).abs() < 0.01, "{freq:?}");
+        assert!((freq[2] - 3.0 / 6.0).abs() < 0.01, "{freq:?}");
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_drawn() {
+        let freq = empirical(&[0.0, 1.0, 0.0, 1.0], 20_000);
+        assert_eq!(freq[0], 0.0);
+        assert_eq!(freq[2], 0.0);
+        assert!((freq[1] - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn all_zero_weights_fall_back_to_uniform() {
+        let freq = empirical(&[0.0, 0.0, 0.0], 30_000);
+        for f in freq {
+            assert!((f - 1.0 / 3.0).abs() < 0.02, "{f}");
+        }
+    }
+
+    #[test]
+    fn single_outcome_always_drawn() {
+        let table = AliasTable::new(&[0.5]);
+        let mut rng = seeded_rng(1);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        let freq = empirical(&[1000.0, 1.0], 50_000);
+        assert!(freq[0] > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weights")]
+    fn empty_panics() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_weight_panics() {
+        let _ = AliasTable::new(&[f32::NAN]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Graph builder — the Rust counterpart of the paper's ODPS "graph generator"
+//! (§VI), which parses behavior logs into heterogeneous graphs.
+//!
+//! The builder accepts nodes with typed features and edges of the §II
+//! categories, including the session rule: "Given a click sequence
+//! s = (i₁,…,iₘ) under a user u's searched query q, we build interaction
+//! edges between u and the searched query q, two adjacently clicked items
+//! cᵢ and cᵢ₊₁, and between each clicked node cᵢ and the query q."
+
+use std::collections::BTreeMap;
+
+use crate::csr::Csr;
+use crate::features::FeatureStore;
+use crate::types::{EdgeType, HeteroGraph, NodeId, NodeType};
+
+/// Incremental builder for a [`HeteroGraph`].
+pub struct GraphBuilder {
+    node_types: Vec<NodeType>,
+    features: FeatureStore,
+    edges: BTreeMap<EdgeType, Vec<(NodeId, NodeId, f32)>>,
+}
+
+impl GraphBuilder {
+    /// `dense_dim` is the width of every node's dense content vector.
+    pub fn new(dense_dim: usize) -> Self {
+        Self {
+            node_types: Vec::new(),
+            features: FeatureStore::new(dense_dim),
+            edges: BTreeMap::new(),
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Number of directed edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.values().map(Vec::len).sum()
+    }
+
+    /// Add a node; returns its dense id.
+    pub fn add_node(
+        &mut self,
+        ty: NodeType,
+        fields: Vec<u32>,
+        terms: Vec<u32>,
+        dense: &[f32],
+    ) -> NodeId {
+        let id = self.features.push(&fields, &terms, dense);
+        self.node_types.push(ty);
+        debug_assert_eq!(self.node_types.len() - 1, id as usize);
+        id
+    }
+
+    /// Add one directed edge.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, et: EdgeType, weight: f32) {
+        debug_assert!((src as usize) < self.node_types.len(), "src out of range");
+        debug_assert!((dst as usize) < self.node_types.len(), "dst out of range");
+        self.edges.entry(et).or_default().push((src, dst, weight));
+    }
+
+    /// Add an undirected edge (stored as two directed edges).
+    pub fn add_undirected_edge(&mut self, a: NodeId, b: NodeId, et: EdgeType, weight: f32) {
+        self.add_edge(a, b, et, weight);
+        self.add_edge(b, a, et, weight);
+    }
+
+    /// Apply the paper's session construction rule for one search session:
+    /// user `u` posed query `q` and clicked `items` in order. Adds
+    /// - `u ↔ q` (click),
+    /// - `u ↔ iₖ` for every clicked item (click — the user's local graph of
+    ///   clicked items, which the paper's Fig 4(c) measurement and the ROI
+    ///   sampler both walk),
+    /// - `q ↔ iₖ` for every clicked item (click),
+    /// - `iₖ ↔ iₖ₊₁` for adjacent clicks (session).
+    pub fn add_search_session(&mut self, u: NodeId, q: NodeId, items: &[NodeId]) {
+        self.add_undirected_edge(u, q, EdgeType::Click, 1.0);
+        for &item in items {
+            self.add_undirected_edge(u, item, EdgeType::Click, 1.0);
+            self.add_undirected_edge(q, item, EdgeType::Click, 1.0);
+        }
+        for pair in items.windows(2) {
+            self.add_undirected_edge(pair[0], pair[1], EdgeType::Session, 1.0);
+        }
+    }
+
+    /// Add a similarity edge weighted by (estimated) Jaccard similarity.
+    pub fn add_similarity_edge(&mut self, a: NodeId, b: NodeId, jaccard: f32) {
+        self.add_undirected_edge(a, b, EdgeType::Similarity, jaccard);
+    }
+
+    /// Read access to features during construction (used by the similarity
+    /// edge builder to reach term sets).
+    pub fn features(&self) -> &FeatureStore {
+        &self.features
+    }
+
+    pub fn node_type(&self, n: NodeId) -> NodeType {
+        self.node_types[n as usize]
+    }
+
+    /// All node ids of a given type, in id order.
+    pub fn nodes_of_type(&self, ty: NodeType) -> Vec<NodeId> {
+        self.node_types
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t == ty)
+            .map(|(i, _)| i as NodeId)
+            .collect()
+    }
+
+    /// Deduplicate parallel edges of the same type by summing their weights.
+    /// Click graphs from logs naturally contain repeats (the same user
+    /// clicking the same item many times); folding them keeps degree bounded
+    /// while preserving total interaction mass.
+    pub fn dedup_edges(&mut self) {
+        for list in self.edges.values_mut() {
+            let mut merged: BTreeMap<(NodeId, NodeId), f32> = BTreeMap::new();
+            for &(s, d, w) in list.iter() {
+                *merged.entry((s, d)).or_insert(0.0) += w;
+            }
+            *list = merged.into_iter().map(|((s, d), w)| (s, d, w)).collect();
+        }
+    }
+
+    /// Finalize into an immutable graph with alias tables built.
+    pub fn finish(self) -> HeteroGraph {
+        let n = self.node_types.len();
+        let mut csrs = BTreeMap::new();
+        for (et, list) in self.edges {
+            csrs.insert(et, Csr::from_edges(n, &list));
+        }
+        HeteroGraph::new(self.node_types, self.features, csrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(b: &mut GraphBuilder, ty: NodeType) -> NodeId {
+        b.add_node(ty, vec![], vec![], &[0.0, 0.0])
+    }
+
+    #[test]
+    fn session_rule_builds_paper_edges() {
+        let mut b = GraphBuilder::new(2);
+        let u = node(&mut b, NodeType::User);
+        let q = node(&mut b, NodeType::Query);
+        let i1 = node(&mut b, NodeType::Item);
+        let i2 = node(&mut b, NodeType::Item);
+        let i3 = node(&mut b, NodeType::Item);
+        b.add_search_session(u, q, &[i1, i2, i3]);
+        let g = b.finish();
+
+        // u↔q, u↔i{1,2,3}, q↔i{1,2,3} → 14 directed click edges.
+        assert_eq!(g.num_edges_of(EdgeType::Click), 14);
+        // i1↔i2, i2↔i3 → 4 directed session edges.
+        assert_eq!(g.num_edges_of(EdgeType::Session), 4);
+        let (session_nbrs, _) = g.neighbors(i2, EdgeType::Session);
+        assert!(session_nbrs.contains(&i1) && session_nbrs.contains(&i3));
+        // No session edge between i1 and i3 (not adjacent).
+        let (n1, _) = g.neighbors(i1, EdgeType::Session);
+        assert!(!n1.contains(&i3));
+    }
+
+    #[test]
+    fn empty_session_adds_only_user_query_edge() {
+        let mut b = GraphBuilder::new(2);
+        let u = node(&mut b, NodeType::User);
+        let q = node(&mut b, NodeType::Query);
+        b.add_search_session(u, q, &[]);
+        let g = b.finish();
+        assert_eq!(g.num_edges_of(EdgeType::Click), 2);
+        assert_eq!(g.num_edges_of(EdgeType::Session), 0);
+    }
+
+    #[test]
+    fn dedup_sums_weights() {
+        let mut b = GraphBuilder::new(2);
+        let a = node(&mut b, NodeType::Item);
+        let c = node(&mut b, NodeType::Item);
+        b.add_edge(a, c, EdgeType::Click, 1.0);
+        b.add_edge(a, c, EdgeType::Click, 2.5);
+        b.dedup_edges();
+        let g = b.finish();
+        let (t, w) = g.neighbors(a, EdgeType::Click);
+        assert_eq!(t, &[c]);
+        assert_eq!(w, &[3.5]);
+    }
+
+    #[test]
+    fn similarity_edges_carry_jaccard_weight() {
+        let mut b = GraphBuilder::new(2);
+        let a = node(&mut b, NodeType::Query);
+        let c = node(&mut b, NodeType::Item);
+        b.add_similarity_edge(a, c, 0.42);
+        let g = b.finish();
+        let (t, w) = g.neighbors(c, EdgeType::Similarity);
+        assert_eq!(t, &[a]);
+        assert!((w[0] - 0.42).abs() < 1e-7);
+    }
+
+    #[test]
+    fn nodes_of_type_during_build() {
+        let mut b = GraphBuilder::new(2);
+        let u = node(&mut b, NodeType::User);
+        let i = node(&mut b, NodeType::Item);
+        let u2 = node(&mut b, NodeType::User);
+        assert_eq!(b.nodes_of_type(NodeType::User), vec![u, u2]);
+        assert_eq!(b.nodes_of_type(NodeType::Item), vec![i]);
+        assert_eq!(b.node_type(u), NodeType::User);
+    }
+}

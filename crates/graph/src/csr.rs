@@ -1,0 +1,156 @@
+//! Compressed sparse row adjacency with per-edge weights.
+
+use crate::types::NodeId;
+
+/// CSR adjacency for one edge type: `offsets[n]..offsets[n+1]` indexes the
+/// neighbor and weight arrays for node `n`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    targets: Vec<NodeId>,
+    weights: Vec<f32>,
+}
+
+impl Csr {
+    /// Build from an edge list `(src, dst, weight)` over `num_nodes` nodes.
+    /// Edges are directed; callers wanting undirected graphs insert both
+    /// directions. Neighbor order within a node follows insertion order
+    /// (counting sort keeps it stable), which the builder exploits to keep
+    /// session adjacency ordered by time.
+    pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId, f32)]) -> Self {
+        let mut degree = vec![0u64; num_nodes];
+        for &(src, _, _) in edges {
+            assert!((src as usize) < num_nodes, "src {src} out of range");
+            degree[src as usize] += 1;
+        }
+        let mut offsets = vec![0u64; num_nodes + 1];
+        for n in 0..num_nodes {
+            offsets[n + 1] = offsets[n] + degree[n];
+        }
+        let total = offsets[num_nodes] as usize;
+        let mut targets = vec![0 as NodeId; total];
+        let mut weights = vec![0.0f32; total];
+        let mut cursor = offsets.clone();
+        for &(src, dst, w) in edges {
+            assert!((dst as usize) < num_nodes, "dst {dst} out of range");
+            assert!(w.is_finite() && w >= 0.0, "edge weight must be finite and >= 0, got {w}");
+            let pos = cursor[src as usize] as usize;
+            targets[pos] = dst;
+            weights[pos] = w;
+            cursor[src as usize] += 1;
+        }
+        Self { offsets, targets, weights }
+    }
+
+    /// Number of nodes this CSR is sized for.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Neighbor targets and weights of node `n`.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> (&[NodeId], &[f32]) {
+        let lo = self.offsets[n as usize] as usize;
+        let hi = self.offsets[n as usize + 1] as usize;
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Out-degree of node `n`.
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        (self.offsets[n as usize + 1] - self.offsets[n as usize]) as usize
+    }
+
+    /// Iterate all `(src, dst, weight)` triples.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f32)> + '_ {
+        (0..self.num_nodes()).flat_map(move |n| {
+            let (t, w) = self.neighbors(n as NodeId);
+            t.iter()
+                .zip(w.iter())
+                .map(move |(&dst, &wt)| (n as NodeId, dst, wt))
+        })
+    }
+
+    /// Raw parts for serialization.
+    pub(crate) fn raw_parts(&self) -> (&[u64], &[NodeId], &[f32]) {
+        (&self.offsets, &self.targets, &self.weights)
+    }
+
+    pub(crate) fn from_raw_parts(
+        offsets: Vec<u64>,
+        targets: Vec<NodeId>,
+        weights: Vec<f32>,
+    ) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        assert_eq!(targets.len(), weights.len());
+        Self { offsets, targets, weights }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_groups_by_source() {
+        let csr = Csr::from_edges(4, &[(0, 1, 1.0), (2, 3, 2.0), (0, 2, 0.5)]);
+        assert_eq!(csr.num_nodes(), 4);
+        assert_eq!(csr.num_edges(), 3);
+        let (t, w) = csr.neighbors(0);
+        assert_eq!(t, &[1, 2]);
+        assert_eq!(w, &[1.0, 0.5]);
+        assert_eq!(csr.neighbors(1).0.len(), 0);
+        assert_eq!(csr.neighbors(2).0, &[3]);
+    }
+
+    #[test]
+    fn insertion_order_is_preserved_per_source() {
+        let csr = Csr::from_edges(2, &[(0, 1, 1.0), (0, 0, 2.0), (0, 1, 3.0)]);
+        let (t, w) = csr.neighbors(0);
+        assert_eq!(t, &[1, 0, 1]);
+        assert_eq!(w, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn degree_matches_neighbor_len() {
+        let csr = Csr::from_edges(3, &[(1, 0, 1.0), (1, 2, 1.0)]);
+        assert_eq!(csr.degree(1), 2);
+        assert_eq!(csr.degree(0), 0);
+    }
+
+    #[test]
+    fn iter_edges_roundtrip() {
+        let edges = vec![(0u32, 1u32, 1.0f32), (1, 0, 2.0), (2, 2, 3.0)];
+        let csr = Csr::from_edges(3, &edges);
+        let mut collected: Vec<_> = csr.iter_edges().collect();
+        collected.sort_by_key(|a| (a.0, a.1));
+        let mut expected = edges.clone();
+        expected.sort_by_key(|a| (a.0, a.1));
+        assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_edges(0, &[]);
+        assert_eq!(csr.num_nodes(), 0);
+        assert_eq!(csr.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_src_panics() {
+        let _ = Csr::from_edges(1, &[(5, 0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_weight_panics() {
+        let _ = Csr::from_edges(2, &[(0, 1, -1.0)]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Compact typed feature storage.
+//!
+//! §VI: "We use compact data structures to store different types of features
+//! in heterogeneous graphs with high memory utilization." Each node carries
+//! (a) a small list of categorical field ids (Table I: e.g. items have ID /
+//! Category / Title-terms / Brand / Shop) feeding the model's embedding
+//! tables and feature-level attention, (b) a variable-length term set for
+//! MinHash similarity, and (c) a fixed-width dense content vector used by the
+//! samplers' relevance scoring. All three live in flat arrays with per-node
+//! offsets — no per-node heap allocations.
+
+use crate::types::NodeId;
+
+/// Flat, offset-indexed feature storage for all nodes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FeatureStore {
+    dense_dim: usize,
+    dense: Vec<f32>,
+    field_offsets: Vec<u32>,
+    fields: Vec<u32>,
+    term_offsets: Vec<u32>,
+    terms: Vec<u32>,
+}
+
+impl FeatureStore {
+    /// Create an empty store producing `dense_dim`-wide content vectors.
+    pub fn new(dense_dim: usize) -> Self {
+        Self {
+            dense_dim,
+            dense: Vec::new(),
+            field_offsets: vec![0],
+            fields: Vec::new(),
+            term_offsets: vec![0],
+            terms: Vec::new(),
+        }
+    }
+
+    pub fn dense_dim(&self) -> usize {
+        self.dense_dim
+    }
+
+    /// Number of nodes stored.
+    pub fn len(&self) -> usize {
+        self.field_offsets.len() - 1
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a node's features; returns its id. Must be called in node-id
+    /// order by the builder.
+    pub fn push(&mut self, fields: &[u32], terms: &[u32], dense: &[f32]) -> NodeId {
+        assert_eq!(dense.len(), self.dense_dim, "dense feature width mismatch");
+        let id = self.len() as NodeId;
+        self.fields.extend_from_slice(fields);
+        self.field_offsets.push(self.fields.len() as u32);
+        self.terms.extend_from_slice(terms);
+        self.term_offsets.push(self.terms.len() as u32);
+        self.dense.extend_from_slice(dense);
+        id
+    }
+
+    /// Categorical field ids of node `n`.
+    #[inline]
+    pub fn fields(&self, n: NodeId) -> &[u32] {
+        let lo = self.field_offsets[n as usize] as usize;
+        let hi = self.field_offsets[n as usize + 1] as usize;
+        &self.fields[lo..hi]
+    }
+
+    /// Title-term set of node `n` (for MinHash).
+    #[inline]
+    pub fn terms(&self, n: NodeId) -> &[u32] {
+        let lo = self.term_offsets[n as usize] as usize;
+        let hi = self.term_offsets[n as usize + 1] as usize;
+        &self.terms[lo..hi]
+    }
+
+    /// Dense content vector of node `n`.
+    #[inline]
+    pub fn dense(&self, n: NodeId) -> &[f32] {
+        let lo = n as usize * self.dense_dim;
+        &self.dense[lo..lo + self.dense_dim]
+    }
+
+    /// Approximate resident bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.dense.len() * 4
+            + self.fields.len() * 4
+            + self.terms.len() * 4
+            + (self.field_offsets.len() + self.term_offsets.len()) * 4
+    }
+
+    /// Raw parts for serialization.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn raw_parts(&self) -> (usize, &[f32], &[u32], &[u32], &[u32], &[u32]) {
+        (
+            self.dense_dim,
+            &self.dense,
+            &self.field_offsets,
+            &self.fields,
+            &self.term_offsets,
+            &self.terms,
+        )
+    }
+
+    pub(crate) fn from_raw_parts(
+        dense_dim: usize,
+        dense: Vec<f32>,
+        field_offsets: Vec<u32>,
+        fields: Vec<u32>,
+        term_offsets: Vec<u32>,
+        terms: Vec<u32>,
+    ) -> Self {
+        assert!(!field_offsets.is_empty() && !term_offsets.is_empty());
+        assert_eq!(field_offsets.len(), term_offsets.len());
+        let n = field_offsets.len() - 1;
+        assert_eq!(dense.len(), n * dense_dim, "dense length mismatch");
+        assert_eq!(*field_offsets.last().unwrap() as usize, fields.len());
+        assert_eq!(*term_offsets.last().unwrap() as usize, terms.len());
+        Self { dense_dim, dense, field_offsets, fields, term_offsets, terms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut fs = FeatureStore::new(3);
+        let a = fs.push(&[1, 2], &[10, 11, 12], &[0.1, 0.2, 0.3]);
+        let b = fs.push(&[5], &[], &[1.0, 1.0, 1.0]);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs.fields(0), &[1, 2]);
+        assert_eq!(fs.fields(1), &[5]);
+        assert_eq!(fs.terms(0), &[10, 11, 12]);
+        assert_eq!(fs.terms(1), &[] as &[u32]);
+        assert_eq!(fs.dense(1), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn variable_field_counts_per_node() {
+        let mut fs = FeatureStore::new(1);
+        fs.push(&[1, 2, 3, 4, 5], &[], &[0.0]);
+        fs.push(&[], &[], &[0.0]);
+        fs.push(&[9], &[], &[0.0]);
+        assert_eq!(fs.fields(0).len(), 5);
+        assert_eq!(fs.fields(1).len(), 0);
+        assert_eq!(fs.fields(2), &[9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_dense_width_panics() {
+        let mut fs = FeatureStore::new(4);
+        fs.push(&[], &[], &[1.0]);
+    }
+
+    #[test]
+    fn raw_parts_roundtrip() {
+        let mut fs = FeatureStore::new(2);
+        fs.push(&[1], &[2, 3], &[0.5, 0.6]);
+        fs.push(&[4, 5], &[6], &[0.7, 0.8]);
+        let (dd, dense, fo, f, to, t) = fs.raw_parts();
+        let rebuilt = FeatureStore::from_raw_parts(
+            dd,
+            dense.to_vec(),
+            fo.to_vec(),
+            f.to_vec(),
+            to.to_vec(),
+            t.to_vec(),
+        );
+        assert_eq!(rebuilt, fs);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_content() {
+        let mut fs = FeatureStore::new(8);
+        let before = fs.approx_bytes();
+        fs.push(&[1, 2, 3], &[4, 5], &[0.0; 8]);
+        assert!(fs.approx_bytes() > before);
+    }
+}

@@ -1,0 +1,32 @@
+//! Heterogeneous graph engine for the Zoomer reproduction.
+//!
+//! This crate is the Rust counterpart of the paper's Euler-based distributed
+//! graph engine (§VI): typed nodes (user / query / item), typed weighted
+//! edges (click, session, similarity, …) stored per-type in CSR form, alias
+//! tables for O(1) weighted neighbor sampling, MinHash-based similarity-edge
+//! construction, a sharded + replicated partitioned store that simulates the
+//! distributed deployment, compact binary snapshots (the paper's
+//! "compact binary-format files" handed from ODPS to HDFS), and graph
+//! statistics.
+
+pub mod alias;
+pub mod builder;
+pub mod csr;
+pub mod features;
+pub mod minhash;
+pub mod partition;
+pub mod snapshot;
+pub mod stats;
+pub mod subgraph;
+pub mod types;
+
+pub use alias::AliasTable;
+pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use features::FeatureStore;
+pub use minhash::{MinHasher, SimilarityEdgeBuilder};
+pub use partition::{ShardedGraph, ShardingConfig};
+pub use snapshot::{read_snapshot, write_snapshot};
+pub use stats::GraphStats;
+pub use subgraph::{induced_subgraph, Subgraph};
+pub use types::{EdgeType, HeteroGraph, NodeId, NodeType};

@@ -1,0 +1,248 @@
+//! MinHash signatures and LSH-banded similarity-edge construction.
+//!
+//! §II: "we employ minHash to calculate Jaccard similarities between queries
+//! and items and use the Jaccard similarities as weights to establish
+//! similarity-based edges." To avoid the O(n²) all-pairs comparison on large
+//! graphs, candidate pairs are generated with standard LSH banding over the
+//! signatures, then scored by signature agreement.
+
+use std::collections::HashMap;
+
+use crate::builder::GraphBuilder;
+use crate::types::{NodeId, NodeType};
+
+/// MinHash signature generator with `k` hash functions.
+#[derive(Clone, Debug)]
+pub struct MinHasher {
+    seeds: Vec<(u64, u64)>,
+}
+
+impl MinHasher {
+    /// `k` independent hash functions derived from `seed`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "need at least one hash function");
+        // SplitMix to derive (multiplier, offset) pairs; multipliers odd.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let seeds = (0..k).map(|_| (next() | 1, next())).collect();
+        Self { seeds }
+    }
+
+    pub fn num_hashes(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Signature of a term set: per hash function, the minimum hash over the
+    /// set. Empty sets get an all-`u64::MAX` sentinel signature.
+    pub fn signature(&self, terms: &[u32]) -> Vec<u64> {
+        self.seeds
+            .iter()
+            .map(|&(mul, add)| {
+                terms
+                    .iter()
+                    .map(|&t| {
+                        let mut h = (t as u64).wrapping_mul(mul).wrapping_add(add);
+                        h ^= h >> 33;
+                        h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+                        h ^ (h >> 33)
+                    })
+                    .min()
+                    .unwrap_or(u64::MAX)
+            })
+            .collect()
+    }
+
+    /// Estimate Jaccard similarity as the fraction of agreeing signature
+    /// positions. Two empty sets estimate 0 (their sentinel signatures agree,
+    /// but empty sets carry no similarity evidence).
+    pub fn estimate_jaccard(sig_a: &[u64], sig_b: &[u64]) -> f64 {
+        assert_eq!(sig_a.len(), sig_b.len(), "signature length mismatch");
+        if sig_a.iter().all(|&x| x == u64::MAX) || sig_b.iter().all(|&x| x == u64::MAX) {
+            return 0.0;
+        }
+        let agree = sig_a.iter().zip(sig_b.iter()).filter(|(a, b)| a == b).count();
+        agree as f64 / sig_a.len() as f64
+    }
+}
+
+/// Configuration for LSH-banded similarity-edge construction.
+#[derive(Clone, Copy, Debug)]
+pub struct SimilarityConfig {
+    /// Number of MinHash functions (must be `bands * rows_per_band`).
+    pub num_hashes: usize,
+    /// LSH bands; pairs colliding in any band become candidates.
+    pub bands: usize,
+    /// Minimum estimated Jaccard to emit an edge.
+    pub threshold: f64,
+    /// Cap on edges emitted per node (keeps hubs bounded).
+    pub max_edges_per_node: usize,
+}
+
+impl Default for SimilarityConfig {
+    fn default() -> Self {
+        Self { num_hashes: 32, bands: 8, threshold: 0.3, max_edges_per_node: 10 }
+    }
+}
+
+/// Builds similarity edges between nodes of the given types using MinHash +
+/// LSH banding over their term sets.
+pub struct SimilarityEdgeBuilder {
+    config: SimilarityConfig,
+    hasher: MinHasher,
+}
+
+impl SimilarityEdgeBuilder {
+    pub fn new(config: SimilarityConfig, seed: u64) -> Self {
+        assert_eq!(
+            config.num_hashes % config.bands,
+            0,
+            "num_hashes must be divisible by bands"
+        );
+        let hasher = MinHasher::new(config.num_hashes, seed);
+        Self { config, hasher }
+    }
+
+    /// Compute candidate pairs among `node_types` nodes and add similarity
+    /// edges to the builder. Returns the number of undirected edges added.
+    pub fn add_edges(&self, builder: &mut GraphBuilder, node_types: &[NodeType]) -> usize {
+        let nodes: Vec<NodeId> = node_types
+            .iter()
+            .flat_map(|&t| builder.nodes_of_type(t))
+            .collect();
+        let sigs: Vec<Vec<u64>> = nodes
+            .iter()
+            .map(|&n| self.hasher.signature(builder.features().terms(n)))
+            .collect();
+
+        let rows = self.config.num_hashes / self.config.bands;
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for band in 0..self.config.bands {
+            let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+            for (idx, sig) in sigs.iter().enumerate() {
+                let slice = &sig[band * rows..(band + 1) * rows];
+                if slice.iter().all(|&x| x == u64::MAX) {
+                    continue; // empty term set
+                }
+                // Hash the band slice.
+                let mut h: u64 = 0xcbf29ce484222325;
+                for &v in slice {
+                    h ^= v;
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+                buckets.entry(h).or_default().push(idx);
+            }
+            for bucket in buckets.values() {
+                if bucket.len() < 2 || bucket.len() > 64 {
+                    continue; // skip degenerate mega-buckets
+                }
+                for i in 0..bucket.len() {
+                    for j in i + 1..bucket.len() {
+                        candidates.push((bucket[i], bucket[j]));
+                    }
+                }
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let mut per_node = vec![0usize; nodes.len()];
+        let mut added = 0usize;
+        for (i, j) in candidates {
+            if per_node[i] >= self.config.max_edges_per_node
+                || per_node[j] >= self.config.max_edges_per_node
+            {
+                continue;
+            }
+            let est = MinHasher::estimate_jaccard(&sigs[i], &sigs[j]);
+            if est >= self.config.threshold {
+                builder.add_similarity_edge(nodes[i], nodes[j], est as f32);
+                per_node[i] += 1;
+                per_node[j] += 1;
+                added += 1;
+            }
+        }
+        added
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoomer_tensor::similarity::jaccard_exact;
+
+    #[test]
+    fn identical_sets_estimate_one() {
+        let h = MinHasher::new(64, 7);
+        let s = h.signature(&[1, 2, 3, 4, 5]);
+        assert_eq!(MinHasher::estimate_jaccard(&s, &s), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_near_zero() {
+        let h = MinHasher::new(128, 7);
+        let a = h.signature(&[1, 2, 3, 4, 5]);
+        let b = h.signature(&[100, 200, 300, 400, 500]);
+        assert!(MinHasher::estimate_jaccard(&a, &b) < 0.1);
+    }
+
+    #[test]
+    fn estimate_tracks_exact_jaccard() {
+        let h = MinHasher::new(256, 11);
+        // |A∩B| = 5, |A∪B| = 15 → J = 1/3.
+        let a: Vec<u32> = (0..10).collect();
+        let b: Vec<u32> = (5..15).collect();
+        let exact = jaccard_exact(
+            &a.iter().map(|&x| x as u64).collect::<Vec<_>>(),
+            &b.iter().map(|&x| x as u64).collect::<Vec<_>>(),
+        );
+        let est = MinHasher::estimate_jaccard(&h.signature(&a), &h.signature(&b));
+        assert!((est - exact).abs() < 0.1, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn empty_sets_estimate_zero() {
+        let h = MinHasher::new(16, 3);
+        let e = h.signature(&[]);
+        let f = h.signature(&[1, 2]);
+        assert_eq!(MinHasher::estimate_jaccard(&e, &e), 0.0);
+        assert_eq!(MinHasher::estimate_jaccard(&e, &f), 0.0);
+    }
+
+    #[test]
+    fn signatures_deterministic_across_instances() {
+        let a = MinHasher::new(32, 5).signature(&[9, 8, 7]);
+        let b = MinHasher::new(32, 5).signature(&[9, 8, 7]);
+        assert_eq!(a, b);
+        let c = MinHasher::new(32, 6).signature(&[9, 8, 7]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lsh_builder_links_similar_term_sets() {
+        use crate::types::EdgeType;
+        let mut b = GraphBuilder::new(2);
+        // Two near-identical items, one unrelated.
+        let terms_a: Vec<u32> = (0..20).collect();
+        let mut terms_b = terms_a.clone();
+        terms_b[0] = 99; // 19/21 overlap
+        let terms_c: Vec<u32> = (1000..1020).collect();
+        let a = b.add_node(NodeType::Item, vec![], terms_a, &[0.0, 0.0]);
+        let c = b.add_node(NodeType::Item, vec![], terms_b, &[0.0, 0.0]);
+        let d = b.add_node(NodeType::Item, vec![], terms_c, &[0.0, 0.0]);
+        let sim = SimilarityEdgeBuilder::new(SimilarityConfig::default(), 17);
+        let added = sim.add_edges(&mut b, &[NodeType::Item]);
+        assert!(added >= 1, "similar pair should be linked");
+        let g = b.finish();
+        let (nbrs, w) = g.neighbors(a, EdgeType::Similarity);
+        assert!(nbrs.contains(&c));
+        assert!(w.iter().all(|&x| x >= 0.3));
+        // The unrelated item must not link to a.
+        assert!(!nbrs.contains(&d));
+    }
+}

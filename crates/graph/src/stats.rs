@@ -1,0 +1,137 @@
+//! Graph statistics: type counts, per-type edge counts, degree distribution.
+//!
+//! The experiment harnesses use these to print dataset tables mirroring the
+//! paper's §VII-A dataset-statistics description.
+
+use std::collections::BTreeMap;
+
+use crate::types::{EdgeType, HeteroGraph, NodeType};
+
+/// Summary statistics of a heterogeneous graph.
+#[derive(Clone, Debug)]
+pub struct GraphStats {
+    pub num_nodes: usize,
+    pub num_edges: usize,
+    pub nodes_per_type: BTreeMap<NodeType, usize>,
+    pub edges_per_type: BTreeMap<EdgeType, usize>,
+    pub max_degree: usize,
+    pub mean_degree: f64,
+    /// Degree histogram in power-of-two buckets: bucket `k` counts nodes with
+    /// total degree in `[2^k, 2^(k+1))`; bucket 0 additionally holds degree-0
+    /// and degree-1 nodes.
+    pub degree_histogram: Vec<usize>,
+}
+
+impl GraphStats {
+    pub fn compute(g: &HeteroGraph) -> Self {
+        let mut edges_per_type = BTreeMap::new();
+        for et in EdgeType::ALL {
+            let c = g.num_edges_of(et);
+            if c > 0 {
+                edges_per_type.insert(et, c);
+            }
+        }
+        let mut max_degree = 0usize;
+        let mut total_degree = 0usize;
+        let mut histogram = vec![0usize; 1];
+        for n in 0..g.num_nodes() {
+            let d = g.total_degree(n as u32);
+            max_degree = max_degree.max(d);
+            total_degree += d;
+            let bucket = if d <= 1 { 0 } else { (usize::BITS - (d.leading_zeros() + 1)) as usize };
+            if bucket >= histogram.len() {
+                histogram.resize(bucket + 1, 0);
+            }
+            histogram[bucket] += 1;
+        }
+        Self {
+            num_nodes: g.num_nodes(),
+            num_edges: g.num_edges(),
+            nodes_per_type: g.type_counts(),
+            edges_per_type,
+            max_degree,
+            mean_degree: if g.num_nodes() == 0 {
+                0.0
+            } else {
+                total_degree as f64 / g.num_nodes() as f64
+            },
+            degree_histogram: histogram,
+        }
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let types: Vec<String> = self
+            .nodes_per_type
+            .iter()
+            .map(|(t, c)| format!("{}={c}", t.name()))
+            .collect();
+        let edges: Vec<String> = self
+            .edges_per_type
+            .iter()
+            .map(|(t, c)| format!("{}={c}", t.name()))
+            .collect();
+        format!(
+            "{} nodes ({}), {} directed edges ({}), mean degree {:.2}, max degree {}",
+            self.num_nodes,
+            types.join(" "),
+            self.num_edges,
+            edges.join(" "),
+            self.mean_degree,
+            self.max_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn stats_on_small_graph() {
+        let mut b = GraphBuilder::new(1);
+        let u = b.add_node(NodeType::User, vec![], vec![], &[0.0]);
+        let q = b.add_node(NodeType::Query, vec![], vec![], &[0.0]);
+        let i1 = b.add_node(NodeType::Item, vec![], vec![], &[0.0]);
+        let i2 = b.add_node(NodeType::Item, vec![], vec![], &[0.0]);
+        b.add_search_session(u, q, &[i1, i2]);
+        let g = b.finish();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_nodes, 4);
+        assert_eq!(s.nodes_per_type[&NodeType::Item], 2);
+        assert_eq!(s.edges_per_type[&EdgeType::Click], 10); // u↔q, u↔i×2, q↔i×2
+        assert_eq!(s.edges_per_type[&EdgeType::Session], 2);
+        assert!(s.mean_degree > 0.0);
+        assert!(s.max_degree >= 3); // query and user connect to 3 nodes each
+        assert_eq!(s.degree_histogram.iter().sum::<usize>(), 4);
+        let text = s.summary();
+        assert!(text.contains("4 nodes"));
+        assert!(text.contains("item=2"));
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let g = GraphBuilder::new(1).finish();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_nodes, 0);
+        assert_eq!(s.num_edges, 0);
+        assert_eq!(s.mean_degree, 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_buckets() {
+        // A star: hub with 8 leaves → hub degree 8 (bucket 3), leaves degree 1
+        // (bucket 0).
+        let mut b = GraphBuilder::new(1);
+        let hub = b.add_node(NodeType::Item, vec![], vec![], &[0.0]);
+        for _ in 0..8 {
+            let leaf = b.add_node(NodeType::Item, vec![], vec![], &[0.0]);
+            b.add_undirected_edge(hub, leaf, EdgeType::Session, 1.0);
+        }
+        let s = GraphStats::compute(&b.finish());
+        assert_eq!(s.degree_histogram[0], 8);
+        assert_eq!(s.degree_histogram[3], 1);
+        assert_eq!(s.max_degree, 8);
+    }
+}

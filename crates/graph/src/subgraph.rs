@@ -1,0 +1,127 @@
+//! Induced-subgraph extraction.
+//!
+//! Materializes the subgraph induced by a node set — used to turn a sampled
+//! ROI into a standalone graph (for inspection, serialization, or handing a
+//! worker exactly the slice it needs), and by tests to cross-check sampler
+//! output against ground truth.
+
+use std::collections::HashMap;
+
+use crate::builder::GraphBuilder;
+use crate::types::{EdgeType, HeteroGraph, NodeId};
+
+/// The induced subgraph plus the mapping from new ids to original ids.
+pub struct Subgraph {
+    pub graph: HeteroGraph,
+    /// `original_ids[new_id] = old_id`.
+    pub original_ids: Vec<NodeId>,
+}
+
+impl Subgraph {
+    /// Map an original node id to its id in the subgraph, if present.
+    pub fn local_id(&self, original: NodeId) -> Option<NodeId> {
+        self.original_ids
+            .iter()
+            .position(|&o| o == original)
+            .map(|i| i as NodeId)
+    }
+}
+
+/// Extract the subgraph induced by `nodes` (deduplicated, order-preserving):
+/// all selected nodes with their features, and every edge of `graph` whose
+/// two endpoints are both selected.
+pub fn induced_subgraph(graph: &HeteroGraph, nodes: &[NodeId]) -> Subgraph {
+    let mut original_ids: Vec<NodeId> = Vec::with_capacity(nodes.len());
+    let mut remap: HashMap<NodeId, NodeId> = HashMap::with_capacity(nodes.len());
+    for &n in nodes {
+        if let std::collections::hash_map::Entry::Vacant(e) = remap.entry(n) {
+            e.insert(original_ids.len() as NodeId);
+            original_ids.push(n);
+        }
+    }
+    let mut b = GraphBuilder::new(graph.features().dense_dim());
+    for &old in &original_ids {
+        b.add_node(
+            graph.node_type(old),
+            graph.fields(old).to_vec(),
+            graph.features().terms(old).to_vec(),
+            graph.dense_feature(old),
+        );
+    }
+    for &old in &original_ids {
+        let src_new = remap[&old];
+        for et in EdgeType::ALL {
+            let (targets, weights) = graph.neighbors(old, et);
+            for (&dst, &w) in targets.iter().zip(weights) {
+                if let Some(&dst_new) = remap.get(&dst) {
+                    b.add_edge(src_new, dst_new, et, w);
+                }
+            }
+        }
+    }
+    Subgraph { graph: b.finish(), original_ids }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NodeType;
+
+    fn chain() -> HeteroGraph {
+        let mut b = GraphBuilder::new(2);
+        for i in 0..5 {
+            b.add_node(
+                NodeType::Item,
+                vec![i as u32],
+                vec![i as u32 * 10],
+                &[i as f32, 0.0],
+            );
+        }
+        for i in 0..4u32 {
+            b.add_undirected_edge(i, i + 1, EdgeType::Session, 1.0 + i as f32);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = chain();
+        let sub = induced_subgraph(&g, &[1, 2, 4]);
+        assert_eq!(sub.graph.num_nodes(), 3);
+        // Only the 1–2 edge is internal (2–3 and 3–4 cross the boundary).
+        assert_eq!(sub.graph.num_edges_of(EdgeType::Session), 2); // both directions
+        let n1 = sub.local_id(1).expect("node 1 present");
+        let n2 = sub.local_id(2).expect("node 2 present");
+        let (nbrs, w) = sub.graph.neighbors(n1, EdgeType::Session);
+        assert_eq!(nbrs, &[n2]);
+        assert_eq!(w, &[2.0]); // weight of edge 1–2 preserved
+        let n4 = sub.local_id(4).expect("node 4 present");
+        assert!(sub.graph.neighbors(n4, EdgeType::Session).0.is_empty());
+    }
+
+    #[test]
+    fn features_carry_over() {
+        let g = chain();
+        let sub = induced_subgraph(&g, &[3]);
+        assert_eq!(sub.graph.fields(0), &[3]);
+        assert_eq!(sub.graph.features().terms(0), &[30]);
+        assert_eq!(sub.graph.dense_feature(0), &[3.0, 0.0]);
+        assert_eq!(sub.original_ids, vec![3]);
+    }
+
+    #[test]
+    fn duplicates_in_selection_are_ignored() {
+        let g = chain();
+        let sub = induced_subgraph(&g, &[2, 2, 1, 2]);
+        assert_eq!(sub.graph.num_nodes(), 2);
+        assert_eq!(sub.original_ids, vec![2, 1]);
+    }
+
+    #[test]
+    fn empty_selection_gives_empty_graph() {
+        let g = chain();
+        let sub = induced_subgraph(&g, &[]);
+        assert_eq!(sub.graph.num_nodes(), 0);
+        assert!(sub.local_id(0).is_none());
+    }
+}

@@ -1,0 +1,361 @@
+//! Core graph types: node/edge types and the assembled [`HeteroGraph`].
+
+use std::collections::BTreeMap;
+
+use crate::alias::AliasTable;
+use crate::csr::Csr;
+use crate::features::FeatureStore;
+
+/// Dense node identifier, assigned consecutively by the builder.
+pub type NodeId = u32;
+
+/// The node types of the Taobao retrieval graph (§II, Table I).
+///
+/// `Tag` and `Movie` cover the MovieLens construction of §VII-A, which reuses
+/// the same engine with three node types (user / tag / movie); `Movie` is
+/// stored as `Item` and `Tag` as `Query` would also work, but keeping them
+/// distinct keeps experiment code honest about which schema it runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeType {
+    User,
+    Query,
+    Item,
+    /// MovieLens tag node (plays the "query" role there).
+    Tag,
+    /// MovieLens movie node (plays the "item" role there).
+    Movie,
+}
+
+impl NodeType {
+    pub const ALL: [NodeType; 5] =
+        [NodeType::User, NodeType::Query, NodeType::Item, NodeType::Tag, NodeType::Movie];
+
+    pub fn as_u8(self) -> u8 {
+        match self {
+            NodeType::User => 0,
+            NodeType::Query => 1,
+            NodeType::Item => 2,
+            NodeType::Tag => 3,
+            NodeType::Movie => 4,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Option<NodeType> {
+        Some(match v {
+            0 => NodeType::User,
+            1 => NodeType::Query,
+            2 => NodeType::Item,
+            3 => NodeType::Tag,
+            4 => NodeType::Movie,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeType::User => "user",
+            NodeType::Query => "query",
+            NodeType::Item => "item",
+            NodeType::Tag => "tag",
+            NodeType::Movie => "movie",
+        }
+    }
+}
+
+/// Edge categories from §II: interaction edges (clicks, session adjacency)
+/// and similarity-based edges (MinHash Jaccard).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EdgeType {
+    /// User→query (search), query→item and user→item (click).
+    Click,
+    /// Adjacent clicks in the same session (item↔item), plus co-occurrence.
+    Session,
+    /// Content-similarity edges weighted by (estimated) Jaccard similarity.
+    Similarity,
+}
+
+impl EdgeType {
+    pub const ALL: [EdgeType; 3] = [EdgeType::Click, EdgeType::Session, EdgeType::Similarity];
+
+    pub fn as_u8(self) -> u8 {
+        match self {
+            EdgeType::Click => 0,
+            EdgeType::Session => 1,
+            EdgeType::Similarity => 2,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Option<EdgeType> {
+        Some(match v {
+            0 => EdgeType::Click,
+            1 => EdgeType::Session,
+            2 => EdgeType::Similarity,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            EdgeType::Click => "click",
+            EdgeType::Session => "session",
+            EdgeType::Similarity => "similarity",
+        }
+    }
+}
+
+/// An immutable heterogeneous graph: per-node type tags, typed features, and
+/// one CSR adjacency per edge type, each with pre-built per-node alias tables
+/// for O(1) weighted neighbor sampling (§VI, "Alias Table … constant-time
+/// graph sampling independent of the graph size").
+pub struct HeteroGraph {
+    node_types: Vec<NodeType>,
+    features: FeatureStore,
+    edges: BTreeMap<EdgeType, Csr>,
+    /// Per edge type: per node, an alias table over its neighbor weights.
+    /// `None` for nodes with no neighbors of that type.
+    alias: BTreeMap<EdgeType, Vec<Option<AliasTable>>>,
+}
+
+impl std::fmt::Debug for HeteroGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HeteroGraph({} nodes, {} edges)", self.num_nodes(), self.num_edges())
+    }
+}
+
+impl HeteroGraph {
+    pub(crate) fn new(
+        node_types: Vec<NodeType>,
+        features: FeatureStore,
+        edges: BTreeMap<EdgeType, Csr>,
+    ) -> Self {
+        let mut alias = BTreeMap::new();
+        for (&et, csr) in &edges {
+            let tables: Vec<Option<AliasTable>> = (0..node_types.len())
+                .map(|n| {
+                    let (_, weights) = csr.neighbors(n as NodeId);
+                    if weights.is_empty() {
+                        None
+                    } else {
+                        Some(AliasTable::new(weights))
+                    }
+                })
+                .collect();
+            alias.insert(et, tables);
+        }
+        Self { node_types, features, edges, alias }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Total number of directed edges across all types.
+    pub fn num_edges(&self) -> usize {
+        self.edges.values().map(Csr::num_edges).sum()
+    }
+
+    /// Edges of one type.
+    pub fn num_edges_of(&self, et: EdgeType) -> usize {
+        self.edges.get(&et).map_or(0, Csr::num_edges)
+    }
+
+    pub fn node_type(&self, n: NodeId) -> NodeType {
+        self.node_types[n as usize]
+    }
+
+    /// All node ids of a given type, in id order.
+    pub fn nodes_of_type(&self, ty: NodeType) -> Vec<NodeId> {
+        self.node_types
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t == ty)
+            .map(|(i, _)| i as NodeId)
+            .collect()
+    }
+
+    pub fn features(&self) -> &FeatureStore {
+        &self.features
+    }
+
+    /// Dense content vector of a node (drives eq. (5) relevance scoring).
+    pub fn dense_feature(&self, n: NodeId) -> &[f32] {
+        self.features.dense(n)
+    }
+
+    /// Categorical feature field ids of a node (drive the embedding tables
+    /// and feature-level attention).
+    pub fn fields(&self, n: NodeId) -> &[u32] {
+        self.features.fields(n)
+    }
+
+    /// Neighbors (`targets`, `weights`) of `n` under edge type `et`.
+    pub fn neighbors(&self, n: NodeId, et: EdgeType) -> (&[NodeId], &[f32]) {
+        match self.edges.get(&et) {
+            Some(csr) => csr.neighbors(n),
+            None => (&[], &[]),
+        }
+    }
+
+    /// Degree of `n` under edge type `et`.
+    pub fn degree(&self, n: NodeId, et: EdgeType) -> usize {
+        self.neighbors(n, et).0.len()
+    }
+
+    /// Total degree over all edge types.
+    pub fn total_degree(&self, n: NodeId) -> usize {
+        EdgeType::ALL.iter().map(|&et| self.degree(n, et)).sum()
+    }
+
+    /// Edge types present in the graph.
+    pub fn edge_types(&self) -> impl Iterator<Item = EdgeType> + '_ {
+        self.edges.keys().copied()
+    }
+
+    /// O(1) weighted neighbor sample of `n` under `et`. Returns `None` for
+    /// isolated nodes.
+    pub fn sample_neighbor(
+        &self,
+        n: NodeId,
+        et: EdgeType,
+        rng: &mut impl rand::Rng,
+    ) -> Option<NodeId> {
+        let table = self.alias.get(&et)?.get(n as usize)?.as_ref()?;
+        let (targets, _) = self.neighbors(n, et);
+        Some(targets[table.sample(rng)])
+    }
+
+    /// Raw CSR for an edge type (used by snapshots and stats).
+    pub fn csr(&self, et: EdgeType) -> Option<&Csr> {
+        self.edges.get(&et)
+    }
+
+    /// Count nodes per type.
+    pub fn type_counts(&self) -> BTreeMap<NodeType, usize> {
+        let mut counts = BTreeMap::new();
+        for &t in &self.node_types {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Approximate resident memory of the graph structure in bytes
+    /// (adjacency + weights + alias tables + dense features). Used by the
+    /// Fig 4(a) motivation harness.
+    pub fn approx_bytes(&self) -> usize {
+        let adjacency: usize = self
+            .edges
+            .values()
+            .map(|c| c.num_edges() * (std::mem::size_of::<NodeId>() + 4) + (c.num_nodes() + 1) * 8)
+            .sum();
+        let alias: usize = self
+            .alias
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|t| t.as_ref().map_or(0, |a| a.len() * 8))
+            .sum();
+        adjacency + alias + self.features.approx_bytes() + self.node_types.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn tiny_graph() -> HeteroGraph {
+        // u0 —click— q1 —click— i2 —session— i3
+        let mut b = GraphBuilder::new(4);
+        let u = b.add_node(NodeType::User, vec![1, 0, 2], vec![], &[1.0, 0.0, 0.0, 0.0]);
+        let q = b.add_node(NodeType::Query, vec![7], vec![101, 102], &[0.0, 1.0, 0.0, 0.0]);
+        let i1 = b.add_node(NodeType::Item, vec![3, 7, 9, 4, 5], vec![101], &[0.0, 0.0, 1.0, 0.0]);
+        let i2 = b.add_node(NodeType::Item, vec![4, 7, 9, 4, 5], vec![102], &[0.0, 0.0, 0.0, 1.0]);
+        b.add_undirected_edge(u, q, EdgeType::Click, 1.0);
+        b.add_undirected_edge(q, i1, EdgeType::Click, 2.0);
+        b.add_undirected_edge(i1, i2, EdgeType::Session, 1.0);
+        b.finish()
+    }
+
+    #[test]
+    fn node_and_edge_counts() {
+        let g = tiny_graph();
+        assert_eq!(g.num_nodes(), 4);
+        // Undirected edges stored both ways.
+        assert_eq!(g.num_edges_of(EdgeType::Click), 4);
+        assert_eq!(g.num_edges_of(EdgeType::Session), 2);
+        assert_eq!(g.num_edges_of(EdgeType::Similarity), 0);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn typed_neighbors() {
+        let g = tiny_graph();
+        let (qs, w) = g.neighbors(0, EdgeType::Click);
+        assert_eq!(qs, &[1]);
+        assert_eq!(w, &[1.0]);
+        let (items, _) = g.neighbors(1, EdgeType::Click);
+        assert!(items.contains(&0) && items.contains(&2));
+        assert_eq!(g.neighbors(0, EdgeType::Session).0.len(), 0);
+    }
+
+    #[test]
+    fn node_types_and_lists() {
+        let g = tiny_graph();
+        assert_eq!(g.node_type(0), NodeType::User);
+        assert_eq!(g.node_type(1), NodeType::Query);
+        assert_eq!(g.nodes_of_type(NodeType::Item), vec![2, 3]);
+        let counts = g.type_counts();
+        assert_eq!(counts[&NodeType::Item], 2);
+        assert_eq!(counts[&NodeType::User], 1);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = tiny_graph();
+        assert_eq!(g.degree(1, EdgeType::Click), 2);
+        assert_eq!(g.total_degree(2), 2); // one click + one session
+    }
+
+    #[test]
+    fn sampling_respects_isolation() {
+        let g = tiny_graph();
+        let mut rng = zoomer_tensor::seeded_rng(1);
+        assert!(g.sample_neighbor(0, EdgeType::Session, &mut rng).is_none());
+        let s = g.sample_neighbor(0, EdgeType::Click, &mut rng);
+        assert_eq!(s, Some(1));
+    }
+
+    #[test]
+    fn weighted_sampling_biases_toward_heavy_edges() {
+        let g = tiny_graph();
+        let mut rng = zoomer_tensor::seeded_rng(2);
+        // Query 1 has neighbors: user 0 (w=1.0) and item 2 (w=2.0).
+        let mut item_hits = 0;
+        let n = 6000;
+        for _ in 0..n {
+            if g.sample_neighbor(1, EdgeType::Click, &mut rng) == Some(2) {
+                item_hits += 1;
+            }
+        }
+        let frac = item_hits as f64 / n as f64;
+        assert!((frac - 2.0 / 3.0).abs() < 0.04, "frac = {frac}");
+    }
+
+    #[test]
+    fn type_roundtrip_u8() {
+        for t in NodeType::ALL {
+            assert_eq!(NodeType::from_u8(t.as_u8()), Some(t));
+        }
+        for e in EdgeType::ALL {
+            assert_eq!(EdgeType::from_u8(e.as_u8()), Some(e));
+        }
+        assert_eq!(NodeType::from_u8(99), None);
+        assert_eq!(EdgeType::from_u8(99), None);
+    }
+
+    #[test]
+    fn approx_bytes_positive_and_monotone() {
+        let g = tiny_graph();
+        assert!(g.approx_bytes() > 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Model checkpoints: versioned binary serialization of a trained model's
+//! dense parameters and sparse embedding tables.
+//!
+//! The production system ships trained embeddings from XDL to the serving
+//! side; this module is that handoff. Format (little-endian):
+//!
+//! ```text
+//! magic "ZOOMCKPT" | u32 version
+//! | u32 n_dense | per param: name, rows, cols, f32 data
+//! | u32 n_tables | per table: name, dim, u64 n_rows, per row: u64 id + f32 data
+//! ```
+
+use std::io;
+
+use zoomer_autograd::ParamStore;
+use zoomer_tensor::Matrix;
+
+use crate::encoder::TableSet;
+use crate::model::UnifiedCtrModel;
+
+const MAGIC: &[u8; 8] = b"ZOOMCKPT";
+const VERSION: u32 = 1;
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(buf: &[u8], pos: &mut usize) -> io::Result<String> {
+    let len = get_u32(buf, pos)? as usize;
+    if buf.len() < *pos + len {
+        return Err(bad("truncated string"));
+    }
+    let s = std::str::from_utf8(&buf[*pos..*pos + len])
+        .map_err(|_| bad("invalid utf-8 in name"))?
+        .to_string();
+    *pos += len;
+    Ok(s)
+}
+
+fn get_u32(buf: &[u8], pos: &mut usize) -> io::Result<u32> {
+    if buf.len() < *pos + 4 {
+        return Err(bad("truncated u32"));
+    }
+    let v = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().expect("4 bytes"));
+    *pos += 4;
+    Ok(v)
+}
+
+fn get_u64(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
+    if buf.len() < *pos + 8 {
+        return Err(bad("truncated u64"));
+    }
+    let v = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().expect("8 bytes"));
+    *pos += 8;
+    Ok(v)
+}
+
+fn get_f32s(buf: &[u8], pos: &mut usize, n: usize) -> io::Result<Vec<f32>> {
+    if buf.len() < *pos + 4 * n {
+        return Err(bad("truncated f32 payload"));
+    }
+    let out = buf[*pos..*pos + 4 * n]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    *pos += 4 * n;
+    Ok(out)
+}
+
+/// Serialize the trainable state (dense params + materialized embedding
+/// rows) of a model.
+pub fn save_checkpoint(model: &UnifiedCtrModel) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(1 << 16);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    // Dense params (deterministic order from the BTreeMap).
+    let store = model.store();
+    buf.extend_from_slice(&(store.len() as u32).to_le_bytes());
+    for (name, m) in store.iter() {
+        put_str(&mut buf, name);
+        buf.extend_from_slice(&(m.rows() as u32).to_le_bytes());
+        buf.extend_from_slice(&(m.cols() as u32).to_le_bytes());
+        for &x in m.as_slice() {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    // Embedding tables (sorted for determinism).
+    let tables = model.tables();
+    let mut named: Vec<(&str, _)> = tables.iter().collect();
+    named.sort_by_key(|(n, _)| n.to_string());
+    buf.extend_from_slice(&(named.len() as u32).to_le_bytes());
+    for (name, table) in named {
+        put_str(&mut buf, name);
+        buf.extend_from_slice(&(table.dim() as u32).to_le_bytes());
+        let rows = table.export_sorted();
+        buf.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+        for (id, row) in rows {
+            buf.extend_from_slice(&id.to_le_bytes());
+            for x in row {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+    }
+    buf
+}
+
+/// Restore a checkpoint into a model built with the *same* [`crate::ModelConfig`]
+/// (the architecture is not serialized — configs are code).
+pub fn load_checkpoint(model: &mut UnifiedCtrModel, bytes: &[u8]) -> io::Result<()> {
+    let mut pos = 0usize;
+    if bytes.len() < 12 || &bytes[..8] != MAGIC {
+        return Err(bad("bad checkpoint magic"));
+    }
+    pos += 8;
+    if get_u32(bytes, &mut pos)? != VERSION {
+        return Err(bad("unsupported checkpoint version"));
+    }
+    let n_dense = get_u32(bytes, &mut pos)? as usize;
+    let mut staged: Vec<(String, Matrix)> = Vec::with_capacity(n_dense);
+    for _ in 0..n_dense {
+        let name = get_str(bytes, &mut pos)?;
+        let rows = get_u32(bytes, &mut pos)? as usize;
+        let cols = get_u32(bytes, &mut pos)? as usize;
+        let data = get_f32s(bytes, &mut pos, rows * cols)?;
+        staged.push((name, Matrix::from_vec(rows, cols, data)));
+    }
+    // Validate against the model's registry before mutating anything.
+    {
+        let store: &ParamStore = model.store();
+        for (name, m) in &staged {
+            if !store.contains(name) {
+                return Err(bad("checkpoint contains unknown parameter"));
+            }
+            if store.get(name).shape() != m.shape() {
+                return Err(bad("checkpoint parameter shape mismatch"));
+            }
+        }
+    }
+    for (name, m) in staged {
+        model.store_mut().set(&name, m);
+    }
+    let n_tables = get_u32(bytes, &mut pos)? as usize;
+    for _ in 0..n_tables {
+        let name = get_str(bytes, &mut pos)?;
+        let dim = get_u32(bytes, &mut pos)? as usize;
+        let n_rows = get_u64(bytes, &mut pos)? as usize;
+        let tables: &mut TableSet = model.tables_mut();
+        let table = tables.get_or_create_named(&name);
+        if table.dim() != dim {
+            return Err(bad("checkpoint table dim mismatch"));
+        }
+        for _ in 0..n_rows {
+            let id = get_u64(bytes, &mut pos)?;
+            let row = get_f32s(bytes, &mut pos, dim)?;
+            table.set_row(id, row);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::model::CtrModel;
+    use zoomer_data::{TaobaoConfig, TaobaoData};
+    use zoomer_tensor::seeded_rng;
+
+    fn trained_model(data: &TaobaoData) -> UnifiedCtrModel {
+        let dd = data.graph.features().dense_dim();
+        let mut m = UnifiedCtrModel::new(ModelConfig::zoomer(91, dd));
+        let mut rng = seeded_rng(91);
+        for ex in data.ctr_examples().iter().take(40) {
+            let _ = m.train_step(&data.graph, ex, &mut rng);
+        }
+        m
+    }
+
+    #[test]
+    fn roundtrip_restores_predictions() {
+        let data = TaobaoData::generate(TaobaoConfig::tiny(91));
+        let mut trained = trained_model(&data);
+        let bytes = save_checkpoint(&trained);
+        let dd = data.graph.features().dense_dim();
+        let mut config = ModelConfig::zoomer(92, dd); // different init seed
+        config.focal_temperature = 0.0; // deterministic ROI for comparison
+        let mut fresh = UnifiedCtrModel::new(config.clone());
+        load_checkpoint(&mut fresh, &bytes).expect("load");
+        // Reconfigure the trained model's sampler determinism the same way.
+        let mut trained_det = UnifiedCtrModel::new(config);
+        load_checkpoint(&mut trained_det, &save_checkpoint(&trained)).expect("load2");
+        let ex = data.ctr_examples()[5];
+        let mut r1 = seeded_rng(3);
+        let mut r2 = seeded_rng(3);
+        let p_restored = fresh.predict(&data.graph, &ex, &mut r1);
+        let p_restored2 = trained_det.predict(&data.graph, &ex, &mut r2);
+        assert!((p_restored - p_restored2).abs() < 1e-6);
+        // Dense params must match exactly.
+        assert!(fresh.store().max_abs_diff(trained.store()) < 1e-7);
+        let _ = &mut trained;
+    }
+
+    #[test]
+    fn rejects_corrupt_and_mismatched() {
+        let data = TaobaoData::generate(TaobaoConfig::tiny(93));
+        let model = trained_model(&data);
+        let bytes = save_checkpoint(&model);
+        let dd = data.graph.features().dense_dim();
+
+        // Bad magic.
+        let mut fresh = UnifiedCtrModel::new(ModelConfig::zoomer(1, dd));
+        assert!(load_checkpoint(&mut fresh, b"NOTACKPT").is_err());
+
+        // Truncations at many prefixes must error, never panic.
+        for cut in [0, 8, 12, 20, bytes.len() / 2, bytes.len() - 3] {
+            let mut fresh = UnifiedCtrModel::new(ModelConfig::zoomer(1, dd));
+            assert!(
+                load_checkpoint(&mut fresh, &bytes[..cut]).is_err(),
+                "cut {cut} should fail"
+            );
+        }
+
+        // Architecture mismatch (different embed_dim) must be rejected and
+        // leave the target model's dense params untouched.
+        let mut other_cfg = ModelConfig::zoomer(1, dd);
+        other_cfg.embed_dim = 8;
+        let mut other = UnifiedCtrModel::new(other_cfg);
+        let before = other.store().snapshot();
+        assert!(load_checkpoint(&mut other, &bytes).is_err());
+        assert!(other.store().max_abs_diff(&before) < 1e-9, "partial load applied");
+    }
+
+    #[test]
+    fn checkpoint_is_deterministic() {
+        let data = TaobaoData::generate(TaobaoConfig::tiny(94));
+        let model = trained_model(&data);
+        assert_eq!(save_checkpoint(&model), save_checkpoint(&model));
+    }
+}

@@ -1,0 +1,351 @@
+//! Model configuration and named presets for every method in the paper's
+//! evaluation.
+
+use zoomer_sampler::{
+    ClusterImportanceSampler, FocalBiasedSampler, MetapathSampler, NeighborSampler,
+    PixieSampler, RandomWalkSampler, UniformSampler, WeightedSampler,
+};
+
+/// Which sampler downscales the neighborhood (§III-C / §VII-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplerKind {
+    /// Zoomer's focal-biased top-k (eq. 5).
+    Focal,
+    /// GraphSAGE-style uniform.
+    Uniform,
+    /// Edge-weight proportional (alias table).
+    Weighted,
+    /// PinSage-style random-walk importance.
+    RandomWalk,
+    /// Pixie-style feature-biased walks.
+    PixieWalk,
+    /// PinnerSage-style cluster medoids.
+    Cluster,
+    /// MultiSage-style metapath-constrained walks (User→Query→Item).
+    Metapath,
+}
+
+impl SamplerKind {
+    /// Instantiate the sampler.
+    pub fn build(self) -> Box<dyn NeighborSampler> {
+        match self {
+            SamplerKind::Focal => Box::new(FocalBiasedSampler::default()),
+            SamplerKind::Uniform => Box::new(UniformSampler),
+            SamplerKind::Weighted => Box::new(WeightedSampler),
+            SamplerKind::RandomWalk => Box::new(RandomWalkSampler::default()),
+            SamplerKind::PixieWalk => Box::new(PixieSampler::default()),
+            SamplerKind::Cluster => Box::new(ClusterImportanceSampler::default()),
+            SamplerKind::Metapath => Box::new(MetapathSampler::user_query_item()),
+        }
+    }
+}
+
+/// Neighbor-aggregation flavor. `Zoomer` obeys the three attention toggles
+/// in [`ModelConfig`]; the rest implement the baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Zoomer's multi-level attention (levels gated by the config flags).
+    Zoomer,
+    /// Plain mean pooling over all neighbors (GCN / GraphSAGE-mean).
+    Mean,
+    /// GAT-style pairwise attention (eq. 3) — focal-blind.
+    Gat,
+    /// HAN: node-level (GAT within type) + learned semantic-level attention.
+    Han,
+    /// Importance-weighted mean by edge weight (PinSage pooling).
+    WeightedMean,
+    /// STAMP-like: attention anchored on the query embedding only.
+    QueryAnchored,
+    /// FGNN-like gated aggregation: per-neighbor sigmoid gate.
+    Gated,
+    /// MCCF-like two-component decomposition with component attention.
+    MultiComponent,
+}
+
+/// Full model configuration.
+#[derive(Clone, Debug)]
+pub struct ModelConfig {
+    /// Human-readable preset name (reported in tables).
+    pub name: String,
+    pub seed: u64,
+    /// Embedding / hidden width (paper: 128; we default smaller for speed).
+    pub embed_dim: usize,
+    /// Width of the graph's dense content vectors (from the dataset).
+    pub dense_dim: usize,
+    /// GNN depth: neighbors within `hops` hops are aggregated (paper: 2 for
+    /// Taobao, 1 for MovieLens).
+    pub hops: usize,
+    /// Per-node sampling fan-out `k` (paper sweeps 5..30).
+    pub fanout: usize,
+    pub sampler: SamplerKind,
+    pub aggregation: Aggregation,
+    /// The three attention levels of §V-D (only consulted by
+    /// `Aggregation::Zoomer`).
+    pub feature_attention: bool,
+    pub edge_attention: bool,
+    pub semantic_attention: bool,
+    /// Focal-loss focusing parameter (paper: "focal weight to 2").
+    pub focal_gamma: f32,
+    /// Gumbel temperature of the focal-biased sampler during training
+    /// (0 = deterministic top-k; > 0 = stochastic focal-biased sampling).
+    pub focal_temperature: f32,
+    /// Learning rate (paper: 0.1 for Zoomer with Adam).
+    pub lr: f32,
+    /// Decoupled L2 ("regulation loss weight", paper: 1e-6 for Zoomer).
+    pub weight_decay: f32,
+}
+
+impl ModelConfig {
+    fn base(name: &str, seed: u64, dense_dim: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            seed,
+            embed_dim: 16,
+            dense_dim,
+            hops: 2,
+            fanout: 10,
+            sampler: SamplerKind::Uniform,
+            aggregation: Aggregation::Mean,
+            feature_attention: false,
+            edge_attention: false,
+            semantic_attention: false,
+            focal_gamma: 0.0,
+            focal_temperature: 0.2,
+            lr: 0.003,
+            weight_decay: 1e-6,
+        }
+    }
+
+    /// The full Zoomer model.
+    pub fn zoomer(seed: u64, dense_dim: usize) -> Self {
+        Self {
+            sampler: SamplerKind::Focal,
+            aggregation: Aggregation::Zoomer,
+            feature_attention: true,
+            edge_attention: true,
+            semantic_attention: true,
+            focal_gamma: 2.0,
+            ..Self::base("ZOOMER", seed, dense_dim)
+        }
+    }
+
+    /// Ablation: all attention levels replaced by mean pooling ("GCN").
+    pub fn ablation_gcn(seed: u64, dense_dim: usize) -> Self {
+        Self {
+            name: "GCN".to_string(),
+            feature_attention: false,
+            edge_attention: false,
+            semantic_attention: false,
+            ..Self::zoomer(seed, dense_dim)
+        }
+    }
+
+    /// Ablation ZOOMER-FE: semantic combination → mean pooling.
+    pub fn ablation_fe(seed: u64, dense_dim: usize) -> Self {
+        Self {
+            name: "ZOOMER-FE".to_string(),
+            semantic_attention: false,
+            ..Self::zoomer(seed, dense_dim)
+        }
+    }
+
+    /// Ablation ZOOMER-FS: edge reweighing → mean pooling.
+    pub fn ablation_fs(seed: u64, dense_dim: usize) -> Self {
+        Self {
+            name: "ZOOMER-FS".to_string(),
+            edge_attention: false,
+            ..Self::zoomer(seed, dense_dim)
+        }
+    }
+
+    /// Ablation ZOOMER-ES: feature projection → original features.
+    pub fn ablation_es(seed: u64, dense_dim: usize) -> Self {
+        Self {
+            name: "ZOOMER-ES".to_string(),
+            feature_attention: false,
+            ..Self::zoomer(seed, dense_dim)
+        }
+    }
+
+    pub fn graphsage(seed: u64, dense_dim: usize) -> Self {
+        Self {
+            sampler: SamplerKind::Uniform,
+            aggregation: Aggregation::Mean,
+            ..Self::base("GraphSage", seed, dense_dim)
+        }
+    }
+
+    pub fn gat(seed: u64, dense_dim: usize) -> Self {
+        Self {
+            sampler: SamplerKind::Uniform,
+            aggregation: Aggregation::Gat,
+            ..Self::base("GAT", seed, dense_dim)
+        }
+    }
+
+    pub fn han(seed: u64, dense_dim: usize) -> Self {
+        Self {
+            sampler: SamplerKind::Uniform,
+            aggregation: Aggregation::Han,
+            ..Self::base("HAN", seed, dense_dim)
+        }
+    }
+
+    pub fn pinsage(seed: u64, dense_dim: usize) -> Self {
+        Self {
+            sampler: SamplerKind::RandomWalk,
+            aggregation: Aggregation::WeightedMean,
+            ..Self::base("PinSage", seed, dense_dim)
+        }
+    }
+
+    pub fn pinnersage(seed: u64, dense_dim: usize) -> Self {
+        Self {
+            sampler: SamplerKind::Cluster,
+            aggregation: Aggregation::Mean,
+            ..Self::base("PinnerSage", seed, dense_dim)
+        }
+    }
+
+    pub fn pixie(seed: u64, dense_dim: usize) -> Self {
+        Self {
+            sampler: SamplerKind::PixieWalk,
+            aggregation: Aggregation::WeightedMean,
+            ..Self::base("Pixie", seed, dense_dim)
+        }
+    }
+
+    pub fn stamp(seed: u64, dense_dim: usize) -> Self {
+        Self {
+            sampler: SamplerKind::Weighted,
+            aggregation: Aggregation::QueryAnchored,
+            hops: 1,
+            ..Self::base("STAMP", seed, dense_dim)
+        }
+    }
+
+    pub fn gcegnn(seed: u64, dense_dim: usize) -> Self {
+        Self {
+            sampler: SamplerKind::Uniform,
+            aggregation: Aggregation::QueryAnchored,
+            ..Self::base("GCE-GNN", seed, dense_dim)
+        }
+    }
+
+    pub fn fgnn(seed: u64, dense_dim: usize) -> Self {
+        Self {
+            sampler: SamplerKind::Uniform,
+            aggregation: Aggregation::Gated,
+            ..Self::base("FGNN", seed, dense_dim)
+        }
+    }
+
+    /// MultiSage-like: metapath-constrained sampling with HAN-style
+    /// contextualized (per-type) attention.
+    pub fn multisage(seed: u64, dense_dim: usize) -> Self {
+        Self {
+            sampler: SamplerKind::Metapath,
+            aggregation: Aggregation::Han,
+            ..Self::base("MultiSage", seed, dense_dim)
+        }
+    }
+
+    pub fn mccf(seed: u64, dense_dim: usize) -> Self {
+        Self {
+            sampler: SamplerKind::Uniform,
+            aggregation: Aggregation::MultiComponent,
+            ..Self::base("MCCF", seed, dense_dim)
+        }
+    }
+
+    /// Look up a preset by (case-insensitive) name.
+    pub fn preset(name: &str, seed: u64, dense_dim: usize) -> Option<Self> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "zoomer" => Self::zoomer(seed, dense_dim),
+            "gcn" => Self::ablation_gcn(seed, dense_dim),
+            "zoomer-fe" => Self::ablation_fe(seed, dense_dim),
+            "zoomer-fs" => Self::ablation_fs(seed, dense_dim),
+            "zoomer-es" => Self::ablation_es(seed, dense_dim),
+            "graphsage" => Self::graphsage(seed, dense_dim),
+            "gat" => Self::gat(seed, dense_dim),
+            "han" => Self::han(seed, dense_dim),
+            "pinsage" => Self::pinsage(seed, dense_dim),
+            "pinnersage" => Self::pinnersage(seed, dense_dim),
+            "pixie" => Self::pixie(seed, dense_dim),
+            "stamp" => Self::stamp(seed, dense_dim),
+            "gce-gnn" | "gcegnn" => Self::gcegnn(seed, dense_dim),
+            "fgnn" => Self::fgnn(seed, dense_dim),
+            "mccf" => Self::mccf(seed, dense_dim),
+            "multisage" => Self::multisage(seed, dense_dim),
+            _ => return None,
+        })
+    }
+
+    /// The baselines with self-developed samplers (§VII-E / Fig 11-12).
+    pub fn sampler_equipped_baselines() -> &'static [&'static str] {
+        &["graphsage", "pinsage", "pinnersage", "pixie"]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoomer_preset_enables_all_levels() {
+        let c = ModelConfig::zoomer(1, 8);
+        assert!(c.feature_attention && c.edge_attention && c.semantic_attention);
+        assert_eq!(c.sampler, SamplerKind::Focal);
+        assert_eq!(c.aggregation, Aggregation::Zoomer);
+        assert_eq!(c.focal_gamma, 2.0);
+    }
+
+    #[test]
+    fn ablations_toggle_exactly_one_level() {
+        let d = 8;
+        let fe = ModelConfig::ablation_fe(1, d);
+        assert!(fe.feature_attention && fe.edge_attention && !fe.semantic_attention);
+        let fs = ModelConfig::ablation_fs(1, d);
+        assert!(fs.feature_attention && !fs.edge_attention && fs.semantic_attention);
+        let es = ModelConfig::ablation_es(1, d);
+        assert!(!es.feature_attention && es.edge_attention && es.semantic_attention);
+        let gcn = ModelConfig::ablation_gcn(1, d);
+        assert!(!gcn.feature_attention && !gcn.edge_attention && !gcn.semantic_attention);
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for name in [
+            "zoomer", "gcn", "zoomer-fe", "zoomer-fs", "zoomer-es", "graphsage", "gat", "han",
+            "pinsage", "pinnersage", "pixie", "stamp", "gce-gnn", "fgnn", "mccf", "multisage",
+        ] {
+            let c = ModelConfig::preset(name, 7, 4).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(c.dense_dim, 4);
+            assert_eq!(c.seed, 7);
+        }
+        assert!(ModelConfig::preset("nope", 1, 4).is_none());
+    }
+
+    #[test]
+    fn sampler_kinds_instantiate() {
+        for kind in [
+            SamplerKind::Focal,
+            SamplerKind::Uniform,
+            SamplerKind::Weighted,
+            SamplerKind::RandomWalk,
+            SamplerKind::PixieWalk,
+            SamplerKind::Cluster,
+            SamplerKind::Metapath,
+        ] {
+            let s = kind.build();
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn baselines_with_samplers_list() {
+        let names = ModelConfig::sampler_equipped_baselines();
+        assert!(names.contains(&"pinsage"));
+        assert_eq!(names.len(), 4);
+    }
+}

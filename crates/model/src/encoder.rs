@@ -1,0 +1,667 @@
+//! The unified GNN encoder: node featurization, focal-vector construction,
+//! and all aggregation flavors, built on the autodiff tape.
+//!
+//! This module implements §V-D of the paper:
+//! - **Feature projection** (eq. 6–7): focal-conditioned attention over a
+//!   node's feature latent vectors, `W_c = softmax(H·C/√d)`, `Z = H ⊙ W_c`.
+//! - **Edge reweighing** (eq. 8–9): within-type attention with the focal
+//!   vector concatenated into the score, `e_ij ∝ exp σ(aᵀ[(Z_i‖Z_j)‖Z_c])`.
+//! - **Semantic combination** (eq. 10–11): per-neighbor-type weights from
+//!   cosine similarity with the ego embedding, `H_i = Σ_k E_ik · t_k`.
+//!
+//! plus the baseline aggregations (GAT eq. 3, HAN's two-level attention,
+//! importance-weighted mean, STAMP-style query-anchored attention, FGNN-style
+//! gating, MCCF-style multi-component decomposition).
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::Rng;
+use zoomer_autograd::embedding::SparseAdamConfig;
+use zoomer_autograd::{EmbeddingTable, ParamStore, Var};
+use zoomer_graph::{HeteroGraph, NodeId, NodeType};
+use zoomer_sampler::RoiNode;
+use zoomer_tensor::Matrix;
+
+use crate::config::{Aggregation, ModelConfig};
+use crate::forward::ForwardCtx;
+
+/// Embedding-table registry: one table per (node type, field index).
+pub struct TableSet {
+    tables: HashMap<String, EmbeddingTable>,
+    dim: usize,
+    seed: u64,
+    adam: SparseAdamConfig,
+}
+
+impl TableSet {
+    pub fn new(dim: usize, seed: u64, adam: SparseAdamConfig) -> Self {
+        Self { tables: HashMap::new(), dim, seed, adam }
+    }
+
+    /// Table name for a (type, field) slot.
+    pub fn table_name(ty: NodeType, field_idx: usize) -> String {
+        format!("emb.{}.f{}", ty.name(), field_idx)
+    }
+
+    pub fn get_or_create(&mut self, ty: NodeType, field_idx: usize) -> &mut EmbeddingTable {
+        let name = Self::table_name(ty, field_idx);
+        let dim = self.dim;
+        // Derive a distinct init stream per table.
+        let mut h: u64 = self.seed;
+        for b in name.bytes() {
+            h = h.wrapping_mul(0x100000001b3) ^ b as u64;
+        }
+        let adam = self.adam;
+        self.tables
+            .entry(name.clone())
+            .or_insert_with(|| EmbeddingTable::new(&name, dim, h, adam))
+    }
+
+    pub fn by_name(&self, name: &str) -> Option<&EmbeddingTable> {
+        self.tables.get(name)
+    }
+
+    pub fn by_name_mut(&mut self, name: &str) -> Option<&mut EmbeddingTable> {
+        self.tables.get_mut(name)
+    }
+
+    /// Get or lazily create a table by its full name (used by the
+    /// parameter-server simulation, which receives gradients keyed by name).
+    pub fn get_or_create_named(&mut self, name: &str) -> &mut EmbeddingTable {
+        let dim = self.dim;
+        let mut h: u64 = self.seed;
+        for b in name.bytes() {
+            h = h.wrapping_mul(0x100000001b3) ^ b as u64;
+        }
+        let adam = self.adam;
+        self.tables
+            .entry(name.to_string())
+            .or_insert_with(|| EmbeddingTable::new(name, dim, h, adam))
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &EmbeddingTable)> {
+        self.tables.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total materialized embedding rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(EmbeddingTable::len).sum()
+    }
+}
+
+/// Register every dense parameter the encoder may need. Called once at model
+/// construction; registering the superset keeps ablation configs swappable
+/// without re-initialization.
+pub fn register_params(config: &ModelConfig, rng: &mut impl Rng, store: &mut ParamStore) {
+    let d = config.embed_dim;
+    // Dense-content projection per node type.
+    for ty in NodeType::ALL {
+        store.register_xavier(rng, &format!("feat.{}.w", ty.name()), config.dense_dim, d);
+        // Focal space mapping per type (§V-A "space mapping on focal points
+        // of different types into the same latent space").
+        store.register_xavier(rng, &format!("map.{}.w", ty.name()), d, d);
+    }
+    for layer in 1..=config.hops {
+        // Zoomer edge attention (eq. 8): a ∈ R^{3d}.
+        store.register_xavier(rng, &format!("att.edge.l{layer}"), 3 * d, 1);
+        // GAT attention (eq. 3): a ∈ R^{2d}.
+        store.register_xavier(rng, &format!("att.gat.l{layer}"), 2 * d, 1);
+        // FGNN gate.
+        store.register_xavier(rng, &format!("gate.l{layer}"), 2 * d, 1);
+        // Combine layer.
+        store.register_xavier(rng, &format!("comb.l{layer}.w"), 2 * d, d);
+        store.register_zeros(&format!("comb.l{layer}.b"), 1, d);
+        // MCCF components.
+        store.register_xavier(rng, &format!("mccf.c1.l{layer}"), d, d);
+        store.register_xavier(rng, &format!("mccf.c2.l{layer}"), d, d);
+    }
+    // HAN semantic attention.
+    store.register_xavier(rng, "han.w_sem", d, d);
+    store.register_xavier(rng, "han.q", d, 1);
+    // Twin tower.
+    store.register_xavier(rng, "tower.uq.w", 2 * d, d);
+    store.register_zeros("tower.uq.b", 1, d);
+    store.register_xavier(rng, "tower.item.w", d, d);
+    store.register_zeros("tower.item.b", 1, d);
+}
+
+/// Stateless encoder over borrowed parameters/tables.
+pub struct Encoder<'a> {
+    pub config: &'a ModelConfig,
+    pub store: &'a ParamStore,
+    pub tables: &'a mut TableSet,
+    pub graph: &'a HeteroGraph,
+}
+
+impl<'a> Encoder<'a> {
+    /// Node feature latent matrix `H` (eq. 6 input): one row per categorical
+    /// field embedding plus one row projecting the dense content vector.
+    pub fn node_feature_matrix(&mut self, ctx: &mut ForwardCtx, node: NodeId) -> Var {
+        let ty = self.graph.node_type(node);
+        let fields = self.graph.fields(node).to_vec();
+        let mut rows: Vec<Var> = Vec::with_capacity(fields.len() + 1);
+        for (idx, &value) in fields.iter().enumerate() {
+            let table = self.tables.get_or_create(ty, idx);
+            rows.push(ctx.embed(table, value as u64));
+        }
+        // Dense content row: dense · W_feat.{type}.
+        let dense = ctx.constant(Matrix::row_vector(self.graph.dense_feature(node)));
+        let w = ctx.param(self.store, &format!("feat.{}.w", ty.name()));
+        rows.push(ctx.tape.matmul(dense, w));
+        ctx.tape.concat_rows(&rows)
+    }
+
+    /// The focal vector `C` (§V-A): per focal point, mean its feature rows,
+    /// space-map per type, then sum.
+    pub fn focal_vector(&mut self, ctx: &mut ForwardCtx, focal_nodes: &[NodeId]) -> Var {
+        assert!(!focal_nodes.is_empty(), "focal vector needs at least one node");
+        let mut mapped: Vec<Var> = Vec::with_capacity(focal_nodes.len());
+        for &f in focal_nodes {
+            let h = self.node_feature_matrix(ctx, f);
+            let mean = ctx.tape.mean_rows(h);
+            let ty = self.graph.node_type(f);
+            let w = ctx.param(self.store, &format!("map.{}.w", ty.name()));
+            mapped.push(ctx.tape.matmul(mean, w));
+        }
+        let mut acc = mapped[0];
+        for &m in &mapped[1..] {
+            acc = ctx.tape.add(acc, m);
+        }
+        acc
+    }
+
+    /// Self embedding of a node: feature projection (eq. 6–7) when enabled
+    /// and a focal vector is present, plain mean of feature rows otherwise.
+    pub fn self_embedding(
+        &mut self,
+        ctx: &mut ForwardCtx,
+        node: NodeId,
+        focal: Option<Var>,
+    ) -> Var {
+        let h = self.node_feature_matrix(ctx, node);
+        let use_feature_attention = self.config.feature_attention
+            && self.config.aggregation == Aggregation::Zoomer
+            && focal.is_some();
+        if use_feature_attention {
+            let c = focal.expect("checked above");
+            // scores = H · Cᵀ / √d → (n×1) → transpose → softmax → 1×n.
+            let ct = ctx.tape.transpose(c);
+            let scores = ctx.tape.matmul(h, ct);
+            let scores = ctx.tape.scale(scores, 1.0 / (self.config.embed_dim as f32).sqrt());
+            let scores_row = ctx.tape.transpose(scores);
+            let w_c = ctx.tape.softmax_rows(scores_row);
+            let z = ctx.tape.row_scale(h, w_c);
+            // Sum (not mean): the softmax already normalizes total mass.
+            ctx.tape.sum_rows(z)
+        } else {
+            ctx.tape.mean_rows(h)
+        }
+    }
+
+    /// Aggregate already-encoded children into one vector, per the configured
+    /// flavor. `layer` indexes the parameters (1-based, root = `hops`).
+    /// Returns `None` when there are no children.
+    #[allow(clippy::too_many_arguments)]
+    pub fn aggregate(
+        &mut self,
+        ctx: &mut ForwardCtx,
+        parent: NodeId,
+        parent_z: Var,
+        children: &[(NodeId, Var)],
+        focal: Option<Var>,
+        layer: usize,
+    ) -> Option<Var> {
+        if children.is_empty() {
+            return None;
+        }
+        match self.config.aggregation {
+            Aggregation::Mean => {
+                let rows: Vec<Var> = children.iter().map(|&(_, v)| v).collect();
+                Some(ctx.tape.mean_pool(&rows))
+            }
+            Aggregation::WeightedMean => Some(self.weighted_mean(ctx, parent, children)),
+            Aggregation::Gat => {
+                Some(self.pairwise_attention(ctx, parent_z, children, None, "att.gat", layer))
+            }
+            Aggregation::QueryAnchored => Some(self.query_anchored(ctx, children, focal)),
+            Aggregation::Gated => Some(self.gated(ctx, parent_z, children, layer)),
+            Aggregation::MultiComponent => {
+                Some(self.multi_component(ctx, parent_z, children, layer))
+            }
+            Aggregation::Han => Some(self.han(ctx, parent_z, children, layer)),
+            Aggregation::Zoomer => Some(self.zoomer(ctx, parent_z, children, focal, layer)),
+        }
+    }
+
+    /// PinSage-style importance pooling: weights from total edge weight
+    /// between parent and child in the graph (visit-count proxy).
+    fn weighted_mean(
+        &mut self,
+        ctx: &mut ForwardCtx,
+        parent: NodeId,
+        children: &[(NodeId, Var)],
+    ) -> Var {
+        let mut weights: Vec<f32> = children
+            .iter()
+            .map(|&(child, _)| {
+                zoomer_sampler::all_neighbors(self.graph, parent)
+                    .into_iter()
+                    .filter(|&(n, _, _)| n == child)
+                    .map(|(_, _, w)| w)
+                    .sum::<f32>()
+                    .max(0.1) // walk-reached nodes may not be direct neighbors
+            })
+            .collect();
+        let total: f32 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        let stacked_rows: Vec<Var> = children.iter().map(|&(_, v)| v).collect();
+        let stacked = ctx.tape.concat_rows(&stacked_rows);
+        let w_row = ctx.constant(Matrix::row_vector(&weights));
+        ctx.tape.matmul(w_row, stacked)
+    }
+
+    /// GAT-style (eq. 3) or focal-augmented pairwise attention over all
+    /// children. When `focal` is `Some`, the focal vector is concatenated
+    /// into every score input (Zoomer's eq. 8 shape).
+    fn pairwise_attention(
+        &mut self,
+        ctx: &mut ForwardCtx,
+        parent_z: Var,
+        children: &[(NodeId, Var)],
+        focal: Option<Var>,
+        att_param: &str,
+        layer: usize,
+    ) -> Var {
+        let a = ctx.param(self.store, &format!("{att_param}.l{layer}"));
+        let mut scores: Vec<Var> = Vec::with_capacity(children.len());
+        for &(_, zj) in children {
+            let pair = ctx.tape.concat_cols(parent_z, zj);
+            let input = match focal {
+                Some(c) => ctx.tape.concat_cols(pair, c),
+                None => pair,
+            };
+            let s = ctx.tape.matmul(input, a);
+            scores.push(ctx.tape.leaky_relu(s));
+        }
+        let score_col = ctx.tape.concat_rows(&scores);
+        let score_row = ctx.tape.transpose(score_col);
+        let alpha = ctx.tape.softmax_rows(score_row);
+        let stacked_rows: Vec<Var> = children.iter().map(|&(_, v)| v).collect();
+        let stacked = ctx.tape.concat_rows(&stacked_rows);
+        ctx.tape.matmul(alpha, stacked)
+    }
+
+    /// STAMP / GCE-GNN style: attention anchored purely on the focal (query)
+    /// vector; falls back to mean pooling when no focal is available.
+    fn query_anchored(
+        &mut self,
+        ctx: &mut ForwardCtx,
+        children: &[(NodeId, Var)],
+        focal: Option<Var>,
+    ) -> Var {
+        let Some(c) = focal else {
+            let rows: Vec<Var> = children.iter().map(|&(_, v)| v).collect();
+            return ctx.tape.mean_pool(&rows);
+        };
+        let stacked_rows: Vec<Var> = children.iter().map(|&(_, v)| v).collect();
+        let stacked = ctx.tape.concat_rows(&stacked_rows);
+        let ct = ctx.tape.transpose(c);
+        let scores = ctx.tape.matmul(stacked, ct); // n×1
+        let scores = ctx.tape.scale(scores, 1.0 / (self.config.embed_dim as f32).sqrt());
+        let score_row = ctx.tape.transpose(scores);
+        let alpha = ctx.tape.softmax_rows(score_row);
+        ctx.tape.matmul(alpha, stacked)
+    }
+
+    /// FGNN-style gated aggregation: per-child sigmoid gate on [z_i ‖ z_j].
+    fn gated(
+        &mut self,
+        ctx: &mut ForwardCtx,
+        parent_z: Var,
+        children: &[(NodeId, Var)],
+        layer: usize,
+    ) -> Var {
+        let w = ctx.param(self.store, &format!("gate.l{layer}"));
+        let mut acc: Option<Var> = None;
+        for &(_, zj) in children {
+            let pair = ctx.tape.concat_cols(parent_z, zj);
+            let g = ctx.tape.matmul(pair, w);
+            let g = ctx.tape.sigmoid(g); // 1×1
+            let gated = ctx.tape.scale_by_scalar_var(zj, g);
+            acc = Some(match acc {
+                Some(a) => ctx.tape.add(a, gated),
+                None => gated,
+            });
+        }
+        let sum = acc.expect("children nonempty");
+        ctx.tape.scale(sum, 1.0 / children.len() as f32)
+    }
+
+    /// MCCF-style two-component decomposition: each component projects the
+    /// ego, scores children by dot product, and pools; components average.
+    fn multi_component(
+        &mut self,
+        ctx: &mut ForwardCtx,
+        parent_z: Var,
+        children: &[(NodeId, Var)],
+        layer: usize,
+    ) -> Var {
+        let stacked_rows: Vec<Var> = children.iter().map(|&(_, v)| v).collect();
+        let stacked = ctx.tape.concat_rows(&stacked_rows);
+        let mut components: Vec<Var> = Vec::with_capacity(2);
+        for comp in ["c1", "c2"] {
+            let w = ctx.param(self.store, &format!("mccf.{comp}.l{layer}"));
+            let anchor = ctx.tape.matmul(parent_z, w); // 1×d
+            let at = ctx.tape.transpose(anchor);
+            let scores = ctx.tape.matmul(stacked, at); // n×1
+            let score_row = ctx.tape.transpose(scores);
+            let alpha = ctx.tape.softmax_rows(score_row);
+            let pooled = ctx.tape.matmul(alpha, stacked);
+            components.push(ctx.tape.tanh(pooled));
+        }
+        ctx.tape.mean_pool(&components)
+    }
+
+    /// HAN: GAT within each neighbor type (node-level attention), then a
+    /// learned semantic-level attention over the per-type summaries.
+    fn han(
+        &mut self,
+        ctx: &mut ForwardCtx,
+        parent_z: Var,
+        children: &[(NodeId, Var)],
+        layer: usize,
+    ) -> Var {
+        let groups = self.group_by_type(children);
+        let mut type_embs: Vec<Var> = Vec::with_capacity(groups.len());
+        for group in groups.values() {
+            type_embs.push(self.pairwise_attention(ctx, parent_z, group, None, "att.gat", layer));
+        }
+        if type_embs.len() == 1 {
+            return type_embs[0];
+        }
+        // Semantic attention: s_k = qᵀ tanh(W_sem · E_k).
+        let w_sem = ctx.param(self.store, "han.w_sem");
+        let q = ctx.param(self.store, "han.q");
+        let mut scores: Vec<Var> = Vec::with_capacity(type_embs.len());
+        for &e in &type_embs {
+            let proj = ctx.tape.matmul(e, w_sem);
+            let proj = ctx.tape.tanh(proj);
+            scores.push(ctx.tape.matmul(proj, q));
+        }
+        let score_col = ctx.tape.concat_rows(&scores);
+        let score_row = ctx.tape.transpose(score_col);
+        let beta = ctx.tape.softmax_rows(score_row);
+        let stacked = ctx.tape.concat_rows(&type_embs);
+        ctx.tape.matmul(beta, stacked)
+    }
+
+    /// Zoomer's edge reweighing (eq. 8–9, within-type, focal-conditioned)
+    /// plus semantic combination (eq. 10–11), each degrading to mean pooling
+    /// when its config flag is off (the §VII-C ablations).
+    fn zoomer(
+        &mut self,
+        ctx: &mut ForwardCtx,
+        parent_z: Var,
+        children: &[(NodeId, Var)],
+        focal: Option<Var>,
+        layer: usize,
+    ) -> Var {
+        let groups = self.group_by_type(children);
+        let mut type_embs: Vec<Var> = Vec::with_capacity(groups.len());
+        for group in groups.values() {
+            let e_t = if self.config.edge_attention {
+                self.pairwise_attention(ctx, parent_z, group, focal, "att.edge", layer)
+            } else {
+                let rows: Vec<Var> = group.iter().map(|&(_, v)| v).collect();
+                ctx.tape.mean_pool(&rows)
+            };
+            type_embs.push(e_t);
+        }
+        if type_embs.len() == 1 {
+            return type_embs[0];
+        }
+        if self.config.semantic_attention {
+            // eq. 10–11: t_k = cos(z_i, E_k); H = Σ E_k · t_k.
+            let mut acc: Option<Var> = None;
+            for &e in &type_embs {
+                let t_k = ctx.tape.cosine(parent_z, e);
+                let weighted = ctx.tape.scale_by_scalar_var(e, t_k);
+                acc = Some(match acc {
+                    Some(a) => ctx.tape.add(a, weighted),
+                    None => weighted,
+                });
+            }
+            acc.expect("type_embs nonempty")
+        } else {
+            ctx.tape.mean_pool(&type_embs)
+        }
+    }
+
+    fn group_by_type(&self, children: &[(NodeId, Var)]) -> BTreeMap<NodeType, Vec<(NodeId, Var)>> {
+        let mut groups: BTreeMap<NodeType, Vec<(NodeId, Var)>> = BTreeMap::new();
+        for &(id, v) in children {
+            groups.entry(self.graph.node_type(id)).or_default().push((id, v));
+        }
+        groups
+    }
+
+    /// Combine self embedding with the neighbor aggregate:
+    /// `tanh(W·[z_self ‖ h_agg] + b)`; identity pass-through for leaves.
+    pub fn combine(
+        &mut self,
+        ctx: &mut ForwardCtx,
+        z_self: Var,
+        h_agg: Option<Var>,
+        layer: usize,
+    ) -> Var {
+        let Some(agg) = h_agg else { return z_self };
+        let w = ctx.param(self.store, &format!("comb.l{layer}.w"));
+        let b = ctx.param(self.store, &format!("comb.l{layer}.b"));
+        let cat = ctx.tape.concat_cols(z_self, agg);
+        let lin = ctx.tape.linear(cat, w, b);
+        ctx.tape.tanh(lin)
+    }
+
+    /// Encode a full ROI computation tree bottom-up. Returns the root's
+    /// embedding (1×d).
+    pub fn encode_roi(&mut self, ctx: &mut ForwardCtx, roi: &RoiNode, focal: Option<Var>) -> Var {
+        let depth = roi.depth();
+        self.encode_roi_at(ctx, roi, focal, depth)
+    }
+
+    fn encode_roi_at(
+        &mut self,
+        ctx: &mut ForwardCtx,
+        roi: &RoiNode,
+        focal: Option<Var>,
+        depth: usize,
+    ) -> Var {
+        let z_self = self.self_embedding(ctx, roi.id, focal);
+        if roi.children.is_empty() || depth == 0 {
+            return z_self;
+        }
+        let children: Vec<(NodeId, Var)> = roi
+            .children
+            .iter()
+            .map(|c| (c.id, self.encode_roi_at(ctx, c, focal, depth - 1)))
+            .collect();
+        let agg = self.aggregate(ctx, roi.id, z_self, &children, focal, depth);
+        self.combine(ctx, z_self, agg, depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoomer_graph::GraphBuilder;
+    use zoomer_tensor::seeded_rng;
+
+    fn graph() -> HeteroGraph {
+        let mut b = GraphBuilder::new(4);
+        let u = b.add_node(NodeType::User, vec![1, 0, 2], vec![], &[1.0, 0.0, 0.0, 0.0]);
+        let q = b.add_node(NodeType::Query, vec![3, 9], vec![], &[0.0, 1.0, 0.0, 0.0]);
+        let i1 = b.add_node(NodeType::Item, vec![4, 3, 1, 2, 9], vec![], &[0.0, 0.0, 1.0, 0.0]);
+        let i2 = b.add_node(NodeType::Item, vec![5, 3, 2, 2, 9], vec![], &[0.0, 0.0, 0.0, 1.0]);
+        b.add_search_session(u, q, &[i1, i2]);
+        b.finish()
+    }
+
+    fn setup(aggregation: Aggregation) -> (ModelConfig, ParamStore, TableSet) {
+        let mut config = ModelConfig::zoomer(3, 4);
+        config.aggregation = aggregation;
+        let mut rng = seeded_rng(3);
+        let mut store = ParamStore::new();
+        register_params(&config, &mut rng, &mut store);
+        let tables = TableSet::new(config.embed_dim, 3, SparseAdamConfig::default());
+        (config, store, tables)
+    }
+
+    fn roi_two_hop() -> RoiNode {
+        RoiNode {
+            id: 1, // query
+            children: vec![
+                RoiNode {
+                    id: 2,
+                    children: vec![RoiNode { id: 3, children: vec![] }],
+                },
+                RoiNode { id: 0, children: vec![] },
+            ],
+        }
+    }
+
+    #[test]
+    fn feature_matrix_has_field_plus_dense_rows() {
+        let g = graph();
+        let (config, store, mut tables) = setup(Aggregation::Zoomer);
+        let mut enc = Encoder { config: &config, store: &store, tables: &mut tables, graph: &g };
+        let mut ctx = ForwardCtx::new();
+        let h = enc.node_feature_matrix(&mut ctx, 2); // item: 5 fields + dense
+        assert_eq!(ctx.tape.value(h).shape(), (6, config.embed_dim));
+        let h_user = enc.node_feature_matrix(&mut ctx, 0); // user: 3 fields
+        assert_eq!(ctx.tape.value(h_user).shape(), (4, config.embed_dim));
+    }
+
+    #[test]
+    fn focal_vector_shape_and_grad_flow() {
+        let g = graph();
+        let (config, store, mut tables) = setup(Aggregation::Zoomer);
+        let mut enc = Encoder { config: &config, store: &store, tables: &mut tables, graph: &g };
+        let mut ctx = ForwardCtx::new();
+        let c = enc.focal_vector(&mut ctx, &[0, 1]);
+        assert_eq!(ctx.tape.value(c).shape(), (1, config.embed_dim));
+        let loss = ctx.tape.sum_all(c);
+        let loss = ctx.tape.hadamard(loss, loss);
+        let grads = ctx.tape.backward(loss);
+        // Focal embeddings and both space maps must receive gradient.
+        let dense = ctx.dense_gradients(&grads);
+        assert!(dense.contains_key("map.user.w"));
+        assert!(dense.contains_key("map.query.w"));
+        let sparse = ctx.sparse_gradients(&grads);
+        assert!(!sparse.is_empty());
+    }
+
+    #[test]
+    fn all_aggregations_encode_a_two_hop_roi() {
+        let g = graph();
+        for agg in [
+            Aggregation::Zoomer,
+            Aggregation::Mean,
+            Aggregation::Gat,
+            Aggregation::Han,
+            Aggregation::WeightedMean,
+            Aggregation::QueryAnchored,
+            Aggregation::Gated,
+            Aggregation::MultiComponent,
+        ] {
+            let (config, store, mut tables) = setup(agg);
+            let mut enc =
+                Encoder { config: &config, store: &store, tables: &mut tables, graph: &g };
+            let mut ctx = ForwardCtx::new();
+            let focal = enc.focal_vector(&mut ctx, &[0, 1]);
+            let emb = enc.encode_roi(&mut ctx, &roi_two_hop(), Some(focal));
+            let val = ctx.tape.value(emb);
+            assert_eq!(val.shape(), (1, config.embed_dim), "{agg:?}");
+            assert!(!val.has_non_finite(), "{agg:?} produced non-finite values");
+            // Must be differentiable end to end.
+            let s = ctx.tape.sum_all(emb);
+            let loss = ctx.tape.hadamard(s, s);
+            let grads = ctx.tape.backward(loss);
+            assert!(!ctx.dense_gradients(&grads).is_empty(), "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn leaf_roi_is_self_embedding_only() {
+        let g = graph();
+        let (config, store, mut tables) = setup(Aggregation::Zoomer);
+        let mut enc = Encoder { config: &config, store: &store, tables: &mut tables, graph: &g };
+        let mut ctx = ForwardCtx::new();
+        let leaf = RoiNode { id: 2, children: vec![] };
+        let emb = enc.encode_roi(&mut ctx, &leaf, None);
+        assert_eq!(ctx.tape.value(emb).shape(), (1, config.embed_dim));
+    }
+
+    #[test]
+    fn feature_attention_changes_embedding_with_focal() {
+        // With feature attention on, different focal points must induce
+        // different self embeddings for the same ego node — the paper's core
+        // multi-embedding claim (Fig 2).
+        let g = graph();
+        let (config, store, mut tables) = setup(Aggregation::Zoomer);
+        let mut enc = Encoder { config: &config, store: &store, tables: &mut tables, graph: &g };
+        let mut ctx = ForwardCtx::new();
+        let focal_a = enc.focal_vector(&mut ctx, &[0]); // user focal
+        let focal_b = enc.focal_vector(&mut ctx, &[1]); // query focal
+        let za = enc.self_embedding(&mut ctx, 2, Some(focal_a));
+        let zb = enc.self_embedding(&mut ctx, 2, Some(focal_b));
+        let diff = ctx.tape.value(za).max_abs_diff(ctx.tape.value(zb));
+        assert!(diff > 1e-6, "embeddings identical across focals");
+    }
+
+    #[test]
+    fn without_feature_attention_embedding_is_focal_independent() {
+        let g = graph();
+        let (mut config, store, mut tables) = setup(Aggregation::Zoomer);
+        config.feature_attention = false;
+        let mut enc = Encoder { config: &config, store: &store, tables: &mut tables, graph: &g };
+        let mut ctx = ForwardCtx::new();
+        let focal_a = enc.focal_vector(&mut ctx, &[0]);
+        let focal_b = enc.focal_vector(&mut ctx, &[1]);
+        let za = enc.self_embedding(&mut ctx, 2, Some(focal_a));
+        let zb = enc.self_embedding(&mut ctx, 2, Some(focal_b));
+        assert!(ctx.tape.value(za).max_abs_diff(ctx.tape.value(zb)) < 1e-7);
+    }
+
+    #[test]
+    fn table_set_namespaces_by_type_and_field() {
+        let mut ts = TableSet::new(4, 1, SparseAdamConfig::default());
+        let a = ts.get_or_create(NodeType::User, 0).lookup(5).to_vec();
+        let b = ts.get_or_create(NodeType::Item, 0).lookup(5).to_vec();
+        let c = ts.get_or_create(NodeType::User, 1).lookup(5).to_vec();
+        assert_ne!(a, b, "same id in different type tables must differ");
+        assert_ne!(a, c, "same id in different field tables must differ");
+        assert_eq!(ts.total_rows(), 3);
+    }
+
+    #[test]
+    fn edge_attention_groups_within_type() {
+        // A parent with 2 item children and 1 user child: zoomer aggregation
+        // with semantic off should mean-pool two per-type summaries.
+        let g = graph();
+        let (mut config, store, mut tables) = setup(Aggregation::Zoomer);
+        config.semantic_attention = false;
+        let mut enc = Encoder { config: &config, store: &store, tables: &mut tables, graph: &g };
+        let mut ctx = ForwardCtx::new();
+        let focal = enc.focal_vector(&mut ctx, &[0, 1]);
+        let pz = enc.self_embedding(&mut ctx, 1, Some(focal));
+        let c0 = enc.self_embedding(&mut ctx, 2, Some(focal));
+        let c1 = enc.self_embedding(&mut ctx, 3, Some(focal));
+        let c2 = enc.self_embedding(&mut ctx, 0, Some(focal));
+        let agg = enc
+            .aggregate(&mut ctx, 1, pz, &[(2, c0), (3, c1), (0, c2)], Some(focal), 1)
+            .expect("children present");
+        assert_eq!(ctx.tape.value(agg).shape(), (1, config.embed_dim));
+    }
+}

@@ -1,0 +1,36 @@
+//! The Zoomer model family: multi-level attention GNN + baselines.
+//!
+//! One configurable [`CtrModel`] implements the paper's model (§V-D: feature
+//! projection, edge reweighing, semantic combination over the ROI) and every
+//! baseline of §VII-A by swapping the neighbor sampler and the aggregation
+//! flavor:
+//!
+//! | preset        | sampler            | aggregation                      |
+//! |---------------|--------------------|----------------------------------|
+//! | `zoomer`      | focal top-k (eq.5) | 3-level focal attention          |
+//! | `gcn`         | focal top-k        | mean pooling (ablation "GCN")    |
+//! | `graphsage`   | uniform            | mean + concat combine            |
+//! | `gat`         | uniform            | pairwise attention (eq. 3)       |
+//! | `han`         | uniform            | node-level + semantic attention  |
+//! | `pinsage`     | random-walk        | importance-weighted mean         |
+//! | `pinnersage`  | cluster medoids    | mean                             |
+//! | `pixie`       | biased walks       | weighted mean                    |
+//! | `stamp`       | 1-hop history      | query-anchored attention         |
+//! | `gcegnn`      | uniform 2-hop      | session + global attention       |
+//! | `fgnn`        | uniform            | gated (factor) aggregation       |
+//! | `mccf`        | uniform            | two-component decomposition      |
+//!
+//! Ablations (§VII-C) toggle the three attention levels of the `zoomer`
+//! preset: `ZOOMER-FE` (no semantic), `ZOOMER-FS` (no edge), `ZOOMER-ES`
+//! (no feature projection).
+
+pub mod checkpoint;
+pub mod config;
+pub mod encoder;
+pub mod forward;
+pub mod model;
+
+pub use checkpoint::{load_checkpoint, save_checkpoint};
+pub use config::{Aggregation, ModelConfig, SamplerKind};
+pub use forward::ForwardCtx;
+pub use model::{CtrModel, UnifiedCtrModel};

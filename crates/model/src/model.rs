@@ -1,0 +1,601 @@
+//! The end-to-end CTR model: ROI sampling → GNN towers → twin-tower scoring
+//! → focal cross-entropy, with gradient application.
+
+use rand_chacha::ChaCha8Rng;
+use zoomer_autograd::embedding::SparseAdamConfig;
+use zoomer_autograd::{Adam, Optimizer, ParamStore, Var};
+use zoomer_data::RetrievalExample;
+use zoomer_graph::{HeteroGraph, NodeId};
+use zoomer_sampler::{build_roi, FocalContext, NeighborSampler, RoiNode};
+use zoomer_tensor::{seeded_rng, sigmoid};
+
+use crate::config::{Aggregation, ModelConfig};
+use crate::encoder::{register_params, Encoder, TableSet};
+use crate::forward::ForwardCtx;
+
+/// A trainable CTR model over a heterogeneous graph.
+pub trait CtrModel {
+    fn name(&self) -> &str;
+    fn config(&self) -> &ModelConfig;
+
+    /// One SGD step on one example; returns the loss.
+    fn train_step(&mut self, graph: &HeteroGraph, ex: &RetrievalExample, rng: &mut ChaCha8Rng)
+        -> f32;
+
+    /// Predicted click probability (no parameter update).
+    fn predict(&mut self, graph: &HeteroGraph, ex: &RetrievalExample, rng: &mut ChaCha8Rng)
+        -> f32;
+
+    /// The user-query tower embedding for a request (retrieval-side vector).
+    fn uq_embedding(
+        &mut self,
+        graph: &HeteroGraph,
+        user: NodeId,
+        query: NodeId,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<f32>;
+
+    /// The item tower embedding (base item model, §V-B online deployment).
+    fn item_embedding(&mut self, graph: &HeteroGraph, item: NodeId) -> Vec<f32>;
+
+    /// Override the sampling fan-out `k` (Fig 11 sweeps this).
+    fn set_fanout(&mut self, k: usize);
+
+    /// Override the GNN depth.
+    fn set_hops(&mut self, hops: usize);
+
+    /// One optimizer step on an accumulated minibatch; returns the mean
+    /// loss. Default: sequential single-example steps (correct for models
+    /// without cross-example gradient accumulation).
+    fn train_batch(
+        &mut self,
+        graph: &HeteroGraph,
+        batch: &[RetrievalExample],
+        rng: &mut ChaCha8Rng,
+    ) -> f32 {
+        assert!(!batch.is_empty(), "empty minibatch");
+        batch.iter().map(|ex| self.train_step(graph, ex, rng)).sum::<f32>() / batch.len() as f32
+    }
+
+    /// Adjust the dense-parameter learning rate (LR schedules). Default: no-op.
+    fn set_learning_rate(&mut self, _lr: f32) {}
+
+    /// The base learning rate from the model config.
+    fn base_learning_rate(&self) -> f32 {
+        self.config().lr
+    }
+}
+
+/// The configurable model implementing Zoomer and every baseline preset.
+pub struct UnifiedCtrModel {
+    config: ModelConfig,
+    store: ParamStore,
+    tables: TableSet,
+    sampler: Box<dyn NeighborSampler>,
+    optimizer: Adam,
+}
+
+impl UnifiedCtrModel {
+    pub fn new(config: ModelConfig) -> Self {
+        let mut rng = seeded_rng(config.seed);
+        let mut store = ParamStore::new();
+        register_params(&config, &mut rng, &mut store);
+        let tables = TableSet::new(
+            config.embed_dim,
+            config.seed ^ 0xE5B,
+            SparseAdamConfig { lr: config.lr, weight_decay: config.weight_decay, ..Default::default() },
+        );
+        let sampler: Box<dyn NeighborSampler> = match config.sampler {
+            crate::config::SamplerKind::Focal if config.focal_temperature > 0.0 => {
+                Box::new(zoomer_sampler::FocalBiasedSampler::stochastic(
+                    config.focal_temperature,
+                ))
+            }
+            other => other.build(),
+        };
+        let optimizer = Adam::new(config.lr).with_weight_decay(config.weight_decay);
+        Self { config, store, tables, sampler, optimizer }
+    }
+
+    /// Focal nodes used by the attention modules for this request (§V-B:
+    /// the `{u_k, q_k}` pair; query-anchored baselines use only the query;
+    /// focal-blind baselines use none).
+    fn attention_focals(&self, ex: &RetrievalExample) -> Vec<NodeId> {
+        match self.config.aggregation {
+            Aggregation::Zoomer => vec![ex.user, ex.query],
+            Aggregation::QueryAnchored => vec![ex.query],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Sample the ROI trees for the user and query ego nodes.
+    fn sample_rois(
+        &self,
+        graph: &HeteroGraph,
+        ex: &RetrievalExample,
+        rng: &mut ChaCha8Rng,
+    ) -> (RoiNode, RoiNode) {
+        let focal = FocalContext::for_request(graph, ex.user, ex.query);
+        let user_roi = build_roi(
+            graph,
+            ex.user,
+            &focal,
+            self.sampler.as_ref(),
+            self.config.hops,
+            self.config.fanout,
+            rng,
+        );
+        let query_roi = build_roi(
+            graph,
+            ex.query,
+            &focal,
+            self.sampler.as_ref(),
+            self.config.hops,
+            self.config.fanout,
+            rng,
+        );
+        (user_roi, query_roi)
+    }
+
+    /// Forward one example; returns the context and the score logit var.
+    pub fn forward(
+        &mut self,
+        graph: &HeteroGraph,
+        ex: &RetrievalExample,
+        rng: &mut ChaCha8Rng,
+    ) -> (ForwardCtx, Var) {
+        let (user_roi, query_roi) = self.sample_rois(graph, ex, rng);
+        let focal_nodes = self.attention_focals(ex);
+        let mut ctx = ForwardCtx::new();
+        let mut enc = Encoder {
+            config: &self.config,
+            store: &self.store,
+            tables: &mut self.tables,
+            graph,
+        };
+        let focal = if focal_nodes.is_empty() {
+            None
+        } else {
+            Some(enc.focal_vector(&mut ctx, &focal_nodes))
+        };
+        let zu = enc.encode_roi(&mut ctx, &user_roi, focal);
+        let zq = enc.encode_roi(&mut ctx, &query_roi, focal);
+        // User-query tower.
+        let w_uq = ctx.param(&self.store, "tower.uq.w");
+        let b_uq = ctx.param(&self.store, "tower.uq.b");
+        let cat = ctx.tape.concat_cols(zu, zq);
+        let uq = ctx.tape.linear(cat, w_uq, b_uq);
+        // Item tower: base item model, no focal, no graph expansion.
+        let mut enc = Encoder {
+            config: &self.config,
+            store: &self.store,
+            tables: &mut self.tables,
+            graph,
+        };
+        let zi = enc.self_embedding(&mut ctx, ex.item, None);
+        let w_it = ctx.param(&self.store, "tower.item.w");
+        let b_it = ctx.param(&self.store, "tower.item.b");
+        let item = ctx.tape.linear(zi, w_it, b_it);
+        // Score = dot(uq, item).
+        let logit = ctx.tape.dot(uq, item);
+        (ctx, logit)
+    }
+
+    /// One optimizer step on an accumulated minibatch (the paper trains with
+    /// batch size 1024): forward/backward every example, sum the gradients,
+    /// then apply a single dense-Adam / sparse-lazy-Adam update. Returns the
+    /// mean loss.
+    pub fn train_batch(
+        &mut self,
+        graph: &HeteroGraph,
+        batch: &[RetrievalExample],
+        rng: &mut ChaCha8Rng,
+    ) -> f32 {
+        assert!(!batch.is_empty(), "empty minibatch");
+        let gamma = self.config.focal_gamma;
+        let scale = 1.0 / batch.len() as f32;
+        let mut dense_acc: std::collections::HashMap<String, zoomer_tensor::Matrix> =
+            std::collections::HashMap::new();
+        let mut sparse_acc: std::collections::HashMap<
+            String,
+            std::collections::HashMap<u64, Vec<f32>>,
+        > = std::collections::HashMap::new();
+        let mut loss_sum = 0.0f32;
+        for ex in batch {
+            let (mut ctx, logit) = self.forward(graph, ex, rng);
+            let loss = ctx.tape.focal_bce_with_logits(logit, ex.label, gamma);
+            loss_sum += ctx.tape.scalar(loss);
+            let grads = ctx.tape.backward(loss);
+            for (name, g) in ctx.dense_gradients(&grads) {
+                match dense_acc.entry(name) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        e.get_mut().axpy(scale, &g);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(g.scale(scale));
+                    }
+                }
+            }
+            for (table, rows) in ctx.sparse_gradients(&grads) {
+                let acc = sparse_acc.entry(table).or_default();
+                for (id, g) in rows {
+                    match acc.entry(id) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            for (a, &x) in e.get_mut().iter_mut().zip(&g) {
+                                *a += scale * x;
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(g.iter().map(|&x| x * scale).collect());
+                        }
+                    }
+                }
+            }
+        }
+        for (name, grad) in &dense_acc {
+            self.optimizer.step(&mut self.store, name, grad);
+        }
+        for (table_name, rows) in &sparse_acc {
+            if let Some(table) = self.tables.by_name_mut(table_name) {
+                table.apply_sparse(rows);
+            }
+        }
+        loss_sum / batch.len() as f32
+    }
+
+    /// Parameter store (exposed for the parameter-server simulation).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    pub fn tables(&self) -> &TableSet {
+        &self.tables
+    }
+
+    pub fn tables_mut(&mut self) -> &mut TableSet {
+        &mut self.tables
+    }
+
+    /// Total trainable scalars (dense + materialized embedding rows).
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars() + self.tables.total_rows() * self.config.embed_dim
+    }
+
+    /// Sampler name (reported in efficiency tables).
+    pub fn sampler_name(&self) -> &'static str {
+        self.sampler.name()
+    }
+
+    /// Fig 13 interpretability: the edge-attention coupling coefficients the
+    /// model assigns to `neighbors` of `ego` under the given focal pair.
+    /// Uses the layer-1 attention parameters; neighbors are scored as one
+    /// group (Fig 13 inspects a single neighbor type).
+    pub fn coupling_coefficients(
+        &mut self,
+        graph: &HeteroGraph,
+        ego: NodeId,
+        neighbors: &[NodeId],
+        focal_nodes: &[NodeId],
+    ) -> Vec<f32> {
+        assert!(!neighbors.is_empty(), "need at least one neighbor");
+        let mut ctx = ForwardCtx::new();
+        let mut enc = Encoder {
+            config: &self.config,
+            store: &self.store,
+            tables: &mut self.tables,
+            graph,
+        };
+        let focal_var = enc.focal_vector(&mut ctx, focal_nodes);
+        let focal = Some(focal_var);
+        let z_i = enc.self_embedding(&mut ctx, ego, focal);
+        let a = ctx.param(&self.store, "att.edge.l1");
+        let mut scores = Vec::with_capacity(neighbors.len());
+        for &n in neighbors {
+            let z_j = enc.self_embedding(&mut ctx, n, focal);
+            let pair = ctx.tape.concat_cols(z_i, z_j);
+            let input = ctx.tape.concat_cols(pair, focal_var);
+            let s = ctx.tape.matmul(input, a);
+            let s = ctx.tape.leaky_relu(s);
+            scores.push(ctx.tape.scalar(s));
+        }
+        zoomer_tensor::stable_softmax(&scores)
+    }
+}
+
+impl CtrModel for UnifiedCtrModel {
+    fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    fn train_step(
+        &mut self,
+        graph: &HeteroGraph,
+        ex: &RetrievalExample,
+        rng: &mut ChaCha8Rng,
+    ) -> f32 {
+        let gamma = self.config.focal_gamma;
+        let (mut ctx, logit) = self.forward(graph, ex, rng);
+        let loss = ctx.tape.focal_bce_with_logits(logit, ex.label, gamma);
+        let loss_val = ctx.tape.scalar(loss);
+        let grads = ctx.tape.backward(loss);
+        for (name, grad) in ctx.dense_gradients(&grads) {
+            self.optimizer.step(&mut self.store, &name, &grad);
+        }
+        for (table_name, rows) in ctx.sparse_gradients(&grads) {
+            if let Some(table) = self.tables.by_name_mut(&table_name) {
+                table.apply_sparse(&rows);
+            }
+        }
+        loss_val
+    }
+
+    fn predict(
+        &mut self,
+        graph: &HeteroGraph,
+        ex: &RetrievalExample,
+        rng: &mut ChaCha8Rng,
+    ) -> f32 {
+        let (ctx, logit) = self.forward(graph, ex, rng);
+        sigmoid(ctx.tape.scalar(logit))
+    }
+
+    fn uq_embedding(
+        &mut self,
+        graph: &HeteroGraph,
+        user: NodeId,
+        query: NodeId,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<f32> {
+        let ex = RetrievalExample { user, query, item: user, label: 0.0 };
+        let (user_roi, query_roi) = self.sample_rois(graph, &ex, rng);
+        let focal_nodes = self.attention_focals(&ex);
+        let mut ctx = ForwardCtx::new();
+        let mut enc = Encoder {
+            config: &self.config,
+            store: &self.store,
+            tables: &mut self.tables,
+            graph,
+        };
+        let focal = if focal_nodes.is_empty() {
+            None
+        } else {
+            Some(enc.focal_vector(&mut ctx, &focal_nodes))
+        };
+        let zu = enc.encode_roi(&mut ctx, &user_roi, focal);
+        let zq = enc.encode_roi(&mut ctx, &query_roi, focal);
+        let w_uq = ctx.param(&self.store, "tower.uq.w");
+        let b_uq = ctx.param(&self.store, "tower.uq.b");
+        let cat = ctx.tape.concat_cols(zu, zq);
+        let uq = ctx.tape.linear(cat, w_uq, b_uq);
+        ctx.tape.value(uq).as_slice().to_vec()
+    }
+
+    fn item_embedding(&mut self, graph: &HeteroGraph, item: NodeId) -> Vec<f32> {
+        let mut ctx = ForwardCtx::new();
+        let mut enc = Encoder {
+            config: &self.config,
+            store: &self.store,
+            tables: &mut self.tables,
+            graph,
+        };
+        let zi = enc.self_embedding(&mut ctx, item, None);
+        let w_it = ctx.param(&self.store, "tower.item.w");
+        let b_it = ctx.param(&self.store, "tower.item.b");
+        let v = ctx.tape.linear(zi, w_it, b_it);
+        ctx.tape.value(v).as_slice().to_vec()
+    }
+
+    fn set_fanout(&mut self, k: usize) {
+        self.config.fanout = k;
+    }
+
+    fn set_hops(&mut self, hops: usize) {
+        // Attention/combine parameters were registered for the construction-
+        // time depth; only shrinking (or equal) is supported at runtime.
+        assert!(
+            hops <= self.config.hops,
+            "cannot raise hops beyond the construction-time value"
+        );
+        self.config.hops = hops;
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.optimizer.lr = lr;
+    }
+
+    fn train_batch(
+        &mut self,
+        graph: &HeteroGraph,
+        batch: &[RetrievalExample],
+        rng: &mut ChaCha8Rng,
+    ) -> f32 {
+        // Accumulated-gradient implementation (inherent method above).
+        UnifiedCtrModel::train_batch(self, graph, batch, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoomer_data::{TaobaoConfig, TaobaoData};
+
+    fn dataset() -> TaobaoData {
+        TaobaoData::generate(TaobaoConfig::tiny(31))
+    }
+
+    fn model(preset: &str, data: &TaobaoData) -> UnifiedCtrModel {
+        let dense_dim = data.graph.features().dense_dim();
+        UnifiedCtrModel::new(ModelConfig::preset(preset, 5, dense_dim).expect("preset"))
+    }
+
+    #[test]
+    fn predict_is_probability_for_all_presets() {
+        let data = dataset();
+        let ex = data.ctr_examples()[0];
+        for preset in [
+            "zoomer", "gcn", "graphsage", "gat", "han", "pinsage", "pinnersage", "pixie",
+            "stamp", "gce-gnn", "fgnn", "mccf",
+        ] {
+            let mut m = model(preset, &data);
+            let mut rng = seeded_rng(1);
+            let p = m.predict(&data.graph, &ex, &mut rng);
+            assert!((0.0..=1.0).contains(&p), "{preset}: p = {p}");
+        }
+    }
+
+    #[test]
+    fn train_step_reduces_loss_on_repeated_example() {
+        let data = dataset();
+        let ex = data.ctr_examples().into_iter().find(|e| e.label > 0.5).unwrap();
+        let mut m = model("zoomer", &data);
+        let mut rng = seeded_rng(2);
+        let first = m.train_step(&data.graph, &ex, &mut rng);
+        let mut last = first;
+        for _ in 0..30 {
+            last = m.train_step(&data.graph, &ex, &mut rng);
+        }
+        assert!(
+            last < first * 0.8,
+            "loss should fall when overfitting one example: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn training_moves_prediction_toward_label() {
+        let data = dataset();
+        let examples = data.ctr_examples();
+        let pos = examples.iter().find(|e| e.label > 0.5).copied().unwrap();
+        let neg = examples.iter().find(|e| e.label < 0.5).copied().unwrap();
+        let mut m = model("zoomer", &data);
+        let mut rng = seeded_rng(3);
+        for _ in 0..25 {
+            m.train_step(&data.graph, &pos, &mut rng);
+            m.train_step(&data.graph, &neg, &mut rng);
+        }
+        let p_pos = m.predict(&data.graph, &pos, &mut rng);
+        let p_neg = m.predict(&data.graph, &neg, &mut rng);
+        assert!(p_pos > p_neg, "p_pos {p_pos} should exceed p_neg {p_neg}");
+    }
+
+    #[test]
+    fn minibatch_step_reduces_loss() {
+        let data = dataset();
+        let batch: Vec<_> = data.ctr_examples().into_iter().take(16).collect();
+        let mut m = model("zoomer", &data);
+        let mut rng = seeded_rng(8);
+        let first = m.train_batch(&data.graph, &batch, &mut rng);
+        let mut last = first;
+        for _ in 0..20 {
+            last = m.train_batch(&data.graph, &batch, &mut rng);
+        }
+        assert!(last < first, "batch loss should fall: {first} → {last}");
+    }
+
+    #[test]
+    fn minibatch_of_one_equals_single_step_loss() {
+        let data = dataset();
+        let ex = data.ctr_examples()[0];
+        let mut a = model("gcn", &data);
+        let mut b = model("gcn", &data);
+        let mut r1 = seeded_rng(9);
+        let mut r2 = seeded_rng(9);
+        let l1 = a.train_step(&data.graph, &ex, &mut r1);
+        let l2 = b.train_batch(&data.graph, &[ex], &mut r2);
+        assert!((l1 - l2).abs() < 1e-6);
+        // And the resulting parameters agree.
+        assert!(a.store().max_abs_diff(b.store()) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty minibatch")]
+    fn empty_minibatch_panics() {
+        let data = dataset();
+        let mut m = model("zoomer", &data);
+        let mut rng = seeded_rng(10);
+        let _ = m.train_batch(&data.graph, &[], &mut rng);
+    }
+
+    #[test]
+    fn embeddings_have_configured_width() {
+        let data = dataset();
+        let mut m = model("zoomer", &data);
+        let mut rng = seeded_rng(4);
+        let ex = data.ctr_examples()[0];
+        let uq = m.uq_embedding(&data.graph, ex.user, ex.query, &mut rng);
+        assert_eq!(uq.len(), m.config().embed_dim);
+        let it = m.item_embedding(&data.graph, ex.item);
+        assert_eq!(it.len(), m.config().embed_dim);
+    }
+
+    #[test]
+    fn score_matches_tower_dot_product() {
+        let data = dataset();
+        let mut m = model("gcn", &data); // deterministic focal sampler
+        let ex = data.ctr_examples()[0];
+        let mut rng = seeded_rng(5);
+        let p = m.predict(&data.graph, &ex, &mut rng);
+        let mut rng = seeded_rng(5);
+        let uq = m.uq_embedding(&data.graph, ex.user, ex.query, &mut rng);
+        let it = m.item_embedding(&data.graph, ex.item);
+        let dot: f32 = uq.iter().zip(&it).map(|(&a, &b)| a * b).sum();
+        assert!((p - sigmoid(dot)).abs() < 1e-5, "{p} vs {}", sigmoid(dot));
+    }
+
+    #[test]
+    fn coupling_coefficients_form_distribution_and_shift_with_focal() {
+        let data = dataset();
+        let mut m = model("zoomer", &data);
+        let ex = data.ctr_examples()[0];
+        let items = data.item_nodes();
+        let neighbors = &items[..8.min(items.len())];
+        let w1 = m.coupling_coefficients(&data.graph, ex.query, neighbors, &[ex.user, ex.query]);
+        assert_eq!(w1.len(), neighbors.len());
+        assert!((w1.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        // A different focal user should induce different coefficients.
+        let other_user = (ex.user + 1) % data.config.num_users as u32;
+        let w2 = m.coupling_coefficients(&data.graph, ex.query, neighbors, &[other_user, ex.query]);
+        let diff: f32 = w1.iter().zip(&w2).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-6, "coefficients did not react to focal change");
+    }
+
+    #[test]
+    fn set_fanout_and_hops_apply() {
+        let data = dataset();
+        let mut m = model("zoomer", &data);
+        m.set_fanout(3);
+        assert_eq!(m.config().fanout, 3);
+        m.set_hops(1);
+        assert_eq!(m.config().hops, 1);
+        let mut rng = seeded_rng(6);
+        let ex = data.ctr_examples()[0];
+        let p = m.predict(&data.graph, &ex, &mut rng);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot raise hops")]
+    fn raising_hops_panics() {
+        let data = dataset();
+        let mut m = model("zoomer", &data);
+        m.set_hops(5);
+    }
+
+    #[test]
+    fn num_parameters_grows_with_use() {
+        let data = dataset();
+        let mut m = model("zoomer", &data);
+        let before = m.num_parameters();
+        let mut rng = seeded_rng(7);
+        let ex = data.ctr_examples()[0];
+        let _ = m.predict(&data.graph, &ex, &mut rng);
+        assert!(m.num_parameters() > before, "embedding rows should materialize");
+    }
+}

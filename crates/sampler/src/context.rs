@@ -1,0 +1,71 @@
+//! Focal context: the per-request focal points and their combined vector.
+
+use zoomer_graph::{HeteroGraph, NodeId};
+
+/// The focal points of one recommendation request (§V-B): the user and the
+/// query the user just posed, plus their summed feature vector `F_c` used in
+/// the eq. (5) relevance score ("We directly sum up embeddings of focal
+/// points in c as F_c").
+#[derive(Clone, Debug)]
+pub struct FocalContext {
+    /// Focal node ids (user, query). Kept for attention modules that embed
+    /// the focal points separately.
+    pub focal_nodes: Vec<NodeId>,
+    /// Summed dense features of the focal nodes.
+    pub focal_vector: Vec<f32>,
+}
+
+impl FocalContext {
+    /// Build the focal context for a `(user, query)` pair from graph features.
+    pub fn for_request(graph: &HeteroGraph, user: NodeId, query: NodeId) -> Self {
+        Self::from_nodes(graph, &[user, query])
+    }
+
+    /// Build from an arbitrary set of focal nodes (the ablations and the
+    /// MovieLens schema use this).
+    pub fn from_nodes(graph: &HeteroGraph, nodes: &[NodeId]) -> Self {
+        assert!(!nodes.is_empty(), "focal context needs at least one node");
+        let dim = graph.features().dense_dim();
+        let mut focal_vector = vec![0.0f32; dim];
+        for &n in nodes {
+            for (acc, &x) in focal_vector.iter_mut().zip(graph.dense_feature(n)) {
+                *acc += x;
+            }
+        }
+        Self { focal_nodes: nodes.to_vec(), focal_vector }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoomer_graph::{GraphBuilder, NodeType};
+
+    #[test]
+    fn focal_vector_is_sum_of_features() {
+        let mut b = GraphBuilder::new(3);
+        let u = b.add_node(NodeType::User, vec![], vec![], &[1.0, 0.0, 2.0]);
+        let q = b.add_node(NodeType::Query, vec![], vec![], &[0.5, 1.0, -1.0]);
+        let g = b.finish();
+        let ctx = FocalContext::for_request(&g, u, q);
+        assert_eq!(ctx.focal_vector, vec![1.5, 1.0, 1.0]);
+        assert_eq!(ctx.focal_nodes, vec![u, q]);
+    }
+
+    #[test]
+    fn single_node_focal() {
+        let mut b = GraphBuilder::new(2);
+        let u = b.add_node(NodeType::User, vec![], vec![], &[0.3, 0.7]);
+        let g = b.finish();
+        let ctx = FocalContext::from_nodes(&g, &[u]);
+        assert_eq!(ctx.focal_vector, vec![0.3, 0.7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_focal_panics() {
+        let b = GraphBuilder::new(2);
+        let g = b.finish();
+        let _ = FocalContext::from_nodes(&g, &[]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Graph sampling strategies for the Zoomer reproduction.
+//!
+//! The paper's focal-biased graph sampler (§V-C, eq. (5)) plus the sampler
+//! families it compares against in §VII (GraphSAGE's uniform layer sampling,
+//! PinSage's random-walk importance sampling, Pixie's biased random walks,
+//! PinnerSage's cluster/medoid importance selection), all behind one
+//! [`NeighborSampler`] trait, and the [`roi`] module that expands a sampled
+//! computation tree ("ROI subgraph") for the GNN models.
+
+pub mod context;
+pub mod metapath;
+pub mod roi;
+pub mod samplers;
+
+pub use context::FocalContext;
+pub use metapath::MetapathSampler;
+pub use roi::{build_roi, RoiNode};
+pub use samplers::{
+    all_neighbors, ClusterImportanceSampler, FocalBiasedSampler, NeighborSampler, PixieSampler,
+    RandomWalkSampler, RelevanceKernel, UniformSampler, WeightedSampler,
+};

@@ -1,0 +1,637 @@
+//! The sampler families: Zoomer's focal-biased top-k (§V-C) and the
+//! baselines with "self-developed graph downscaling strategies" (§VII-A):
+//! GraphSAGE (uniform), PinSage (random-walk importance), Pixie (biased
+//! walks), PinnerSage (cluster importance), plus plain weighted sampling.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use zoomer_graph::{EdgeType, HeteroGraph, NodeId};
+use zoomer_tensor::{cosine_similarity, tanimoto_similarity};
+
+use crate::context::FocalContext;
+
+/// All typed neighbors of `node` as `(neighbor, edge_type, weight)` triples.
+pub fn all_neighbors(graph: &HeteroGraph, node: NodeId) -> Vec<(NodeId, EdgeType, f32)> {
+    let mut out = Vec::with_capacity(graph.total_degree(node));
+    for et in EdgeType::ALL {
+        let (targets, weights) = graph.neighbors(node, et);
+        for (&t, &w) in targets.iter().zip(weights) {
+            out.push((t, et, w));
+        }
+    }
+    out
+}
+
+/// A neighbor-downscaling strategy: pick at most `k` neighbors of `node`.
+pub trait NeighborSampler: Send + Sync {
+    fn name(&self) -> &'static str;
+
+    /// Sample at most `k` distinct neighbors of `node`.
+    fn sample(
+        &self,
+        graph: &HeteroGraph,
+        node: NodeId,
+        focal: &FocalContext,
+        k: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<NodeId>;
+}
+
+/// The relevance kernel used by the focal-biased sampler. The paper defines
+/// eq. (5) (a continuous Tanimoto coefficient) and notes it "can be replaced
+/// with other relevance score equations like cosine distance".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RelevanceKernel {
+    #[default]
+    Tanimoto,
+    Cosine,
+}
+
+impl RelevanceKernel {
+    /// Relevance of `candidate` to the focal vector.
+    pub fn score(self, focal: &[f32], candidate: &[f32]) -> f32 {
+        match self {
+            RelevanceKernel::Tanimoto => tanimoto_similarity(focal, candidate),
+            RelevanceKernel::Cosine => cosine_similarity(focal, candidate),
+        }
+    }
+}
+
+/// §V-C: score every neighbor of the ego node by its relevance to the focal
+/// points (eq. (5)) and sample "in a top-k manner" — the ROI construction
+/// step.
+///
+/// With `temperature == 0` this is the deterministic top-k of the paper's
+/// description. With `temperature > 0` it draws a Gumbel-top-k sample, i.e.
+/// k neighbors without replacement with probability ∝ exp(score/T) — still
+/// focal-biased, but stochastic across visits, which lets embedding tables
+/// see the whole relevant region over training (the same reason PinSage
+/// resamples walks per epoch). The training default uses a mild temperature;
+/// serving uses 0 for determinism.
+#[derive(Clone, Copy, Debug)]
+pub struct FocalBiasedSampler {
+    pub kernel: RelevanceKernel,
+    pub temperature: f32,
+}
+
+impl Default for FocalBiasedSampler {
+    fn default() -> Self {
+        Self { kernel: RelevanceKernel::Tanimoto, temperature: 0.0 }
+    }
+}
+
+impl FocalBiasedSampler {
+    /// Stochastic focal-biased sampler with the given Gumbel temperature.
+    pub fn stochastic(temperature: f32) -> Self {
+        Self { kernel: RelevanceKernel::Tanimoto, temperature }
+    }
+}
+
+impl NeighborSampler for FocalBiasedSampler {
+    fn name(&self) -> &'static str {
+        "zoomer-focal"
+    }
+
+    fn sample(
+        &self,
+        graph: &HeteroGraph,
+        node: NodeId,
+        focal: &FocalContext,
+        k: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<NodeId> {
+        let mut scored: Vec<(NodeId, f32)> = all_neighbors(graph, node)
+            .into_iter()
+            .map(|(n, _, _)| {
+                (n, self.kernel.score(&focal.focal_vector, graph.dense_feature(n)))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.dedup_by_key(|(n, _)| *n);
+        if self.temperature > 0.0 {
+            // Gumbel-top-k: perturb scores, re-rank.
+            for (_, s) in &mut scored {
+                let u: f32 = rng.gen_range(f32::EPSILON..1.0);
+                *s += self.temperature * (-(-u.ln()).ln());
+            }
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        }
+        scored.truncate(k);
+        scored.into_iter().map(|(n, _)| n).collect()
+    }
+}
+
+/// GraphSAGE-style uniform sampling without replacement over the full
+/// (multi-type) neighbor set.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UniformSampler;
+
+impl NeighborSampler for UniformSampler {
+    fn name(&self) -> &'static str {
+        "graphsage-uniform"
+    }
+
+    fn sample(
+        &self,
+        graph: &HeteroGraph,
+        node: NodeId,
+        _focal: &FocalContext,
+        k: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<NodeId> {
+        let mut candidates: Vec<NodeId> =
+            all_neighbors(graph, node).into_iter().map(|(n, _, _)| n).collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.shuffle(rng);
+        candidates.truncate(k);
+        candidates
+    }
+}
+
+/// Edge-weight proportional sampling (alias-table path in the graph engine).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WeightedSampler;
+
+impl NeighborSampler for WeightedSampler {
+    fn name(&self) -> &'static str {
+        "weighted"
+    }
+
+    fn sample(
+        &self,
+        graph: &HeteroGraph,
+        node: NodeId,
+        _focal: &FocalContext,
+        k: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<NodeId> {
+        // Draw k·4 alias samples across edge types proportional to type mass,
+        // dedup, truncate. This is how a constant-time engine downsamples
+        // heavy-degree nodes without materializing the neighbor list.
+        let mut type_mass: Vec<(EdgeType, f32)> = EdgeType::ALL
+            .iter()
+            .map(|&et| {
+                let (_, w) = graph.neighbors(node, et);
+                (et, w.iter().sum::<f32>())
+            })
+            .filter(|(_, m)| *m > 0.0)
+            .collect();
+        if type_mass.is_empty() {
+            return Vec::new();
+        }
+        let total: f32 = type_mass.iter().map(|(_, m)| m).sum();
+        for tm in &mut type_mass {
+            tm.1 /= total;
+        }
+        let mut picked = Vec::with_capacity(k);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..k * 4 {
+            if picked.len() >= k {
+                break;
+            }
+            let mut r = rng.gen::<f32>();
+            let mut et = type_mass[type_mass.len() - 1].0;
+            for &(t, m) in &type_mass {
+                if r < m {
+                    et = t;
+                    break;
+                }
+                r -= m;
+            }
+            if let Some(n) = graph.sample_neighbor(node, et, rng) {
+                if seen.insert(n) {
+                    picked.push(n);
+                }
+            }
+        }
+        picked
+    }
+}
+
+/// PinSage-style importance sampling: run short random walks from the ego
+/// node and keep the k most-visited nodes ("importance pooling").
+#[derive(Clone, Copy, Debug)]
+pub struct RandomWalkSampler {
+    /// Number of walks launched from the ego node.
+    pub num_walks: usize,
+    /// Steps per walk.
+    pub walk_length: usize,
+}
+
+impl Default for RandomWalkSampler {
+    fn default() -> Self {
+        Self { num_walks: 32, walk_length: 3 }
+    }
+}
+
+impl NeighborSampler for RandomWalkSampler {
+    fn name(&self) -> &'static str {
+        "pinsage-walk"
+    }
+
+    fn sample(
+        &self,
+        graph: &HeteroGraph,
+        node: NodeId,
+        _focal: &FocalContext,
+        k: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<NodeId> {
+        let mut visits: std::collections::HashMap<NodeId, u32> = std::collections::HashMap::new();
+        for _ in 0..self.num_walks {
+            let mut cur = node;
+            for _ in 0..self.walk_length {
+                let nbrs = all_neighbors(graph, cur);
+                if nbrs.is_empty() {
+                    break;
+                }
+                cur = nbrs[rng.gen_range(0..nbrs.len())].0;
+                if cur != node {
+                    *visits.entry(cur).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut ranked: Vec<(NodeId, u32)> = visits.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked.into_iter().map(|(n, _)| n).collect()
+    }
+}
+
+/// Pixie-style biased random walks: edge selection is biased toward nodes
+/// similar to the request features ("randoms edge selection to be biased
+/// based on user features"), with early-stopping visit counting.
+#[derive(Clone, Copy, Debug)]
+pub struct PixieSampler {
+    pub num_walks: usize,
+    pub walk_length: usize,
+    /// Probability of taking the feature-biased step instead of uniform.
+    pub bias_prob: f32,
+}
+
+impl Default for PixieSampler {
+    fn default() -> Self {
+        Self { num_walks: 24, walk_length: 4, bias_prob: 0.6 }
+    }
+}
+
+impl NeighborSampler for PixieSampler {
+    fn name(&self) -> &'static str {
+        "pixie-biased-walk"
+    }
+
+    fn sample(
+        &self,
+        graph: &HeteroGraph,
+        node: NodeId,
+        focal: &FocalContext,
+        k: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<NodeId> {
+        let mut visits: std::collections::HashMap<NodeId, u32> = std::collections::HashMap::new();
+        for _ in 0..self.num_walks {
+            let mut cur = node;
+            for _ in 0..self.walk_length {
+                let nbrs = all_neighbors(graph, cur);
+                if nbrs.is_empty() {
+                    break;
+                }
+                cur = if rng.gen::<f32>() < self.bias_prob {
+                    // Biased step: best of a small candidate set by focal
+                    // cosine (Pixie's user-feature edge bias).
+                    let tries = 3.min(nbrs.len());
+                    (0..tries)
+                        .map(|_| nbrs[rng.gen_range(0..nbrs.len())].0)
+                        .max_by(|&a, &b| {
+                            let sa = cosine_similarity(
+                                &focal.focal_vector,
+                                graph.dense_feature(a),
+                            );
+                            let sb = cosine_similarity(
+                                &focal.focal_vector,
+                                graph.dense_feature(b),
+                            );
+                            sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .unwrap()
+                } else {
+                    nbrs[rng.gen_range(0..nbrs.len())].0
+                };
+                if cur != node {
+                    *visits.entry(cur).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut ranked: Vec<(NodeId, u32)> = visits.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked.into_iter().map(|(n, _)| n).collect()
+    }
+}
+
+/// PinnerSage-style cluster-importance selection: k-means the neighbor
+/// feature vectors into `k` clusters and keep each cluster's medoid, so the
+/// sample covers the neighborhood's distinct modes ("multi-modal
+/// embeddings").
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterImportanceSampler {
+    pub kmeans_iters: usize,
+}
+
+impl Default for ClusterImportanceSampler {
+    fn default() -> Self {
+        Self { kmeans_iters: 6 }
+    }
+}
+
+impl NeighborSampler for ClusterImportanceSampler {
+    fn name(&self) -> &'static str {
+        "pinnersage-cluster"
+    }
+
+    fn sample(
+        &self,
+        graph: &HeteroGraph,
+        node: NodeId,
+        _focal: &FocalContext,
+        k: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<NodeId> {
+        let mut candidates: Vec<NodeId> =
+            all_neighbors(graph, node).into_iter().map(|(n, _, _)| n).collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        if candidates.len() <= k {
+            return candidates;
+        }
+        let dim = graph.features().dense_dim();
+        // Init centroids from k random candidates.
+        let mut centroid_ids = candidates.clone();
+        centroid_ids.shuffle(rng);
+        centroid_ids.truncate(k);
+        let mut centroids: Vec<Vec<f32>> = centroid_ids
+            .iter()
+            .map(|&n| graph.dense_feature(n).to_vec())
+            .collect();
+        let mut assignment = vec![0usize; candidates.len()];
+        for _ in 0..self.kmeans_iters {
+            // Assign.
+            for (ci, &cand) in candidates.iter().enumerate() {
+                let f = graph.dense_feature(cand);
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for (j, c) in centroids.iter().enumerate() {
+                    let d: f32 = f.iter().zip(c).map(|(&a, &b)| (a - b) * (a - b)).sum();
+                    if d < best_d {
+                        best_d = d;
+                        best = j;
+                    }
+                }
+                assignment[ci] = best;
+            }
+            // Update.
+            let mut sums = vec![vec![0.0f32; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (ci, &cand) in candidates.iter().enumerate() {
+                let j = assignment[ci];
+                counts[j] += 1;
+                for (s, &x) in sums[j].iter_mut().zip(graph.dense_feature(cand)) {
+                    *s += x;
+                }
+            }
+            for j in 0..k {
+                if counts[j] > 0 {
+                    for s in &mut sums[j] {
+                        *s /= counts[j] as f32;
+                    }
+                    centroids[j] = sums[j].clone();
+                }
+            }
+        }
+        // Medoid per nonempty cluster.
+        let mut out = Vec::with_capacity(k);
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..k {
+            let mut best: Option<(NodeId, f32)> = None;
+            for (ci, &cand) in candidates.iter().enumerate() {
+                if assignment[ci] != j {
+                    continue;
+                }
+                let f = graph.dense_feature(cand);
+                let d: f32 = f
+                    .iter()
+                    .zip(&centroids[j])
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum();
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((cand, d));
+                }
+            }
+            if let Some((n, _)) = best {
+                out.push(n);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoomer_graph::{GraphBuilder, NodeType};
+    use zoomer_tensor::seeded_rng;
+
+    /// A star graph: ego item connected to 20 items whose features span from
+    /// aligned-with-focal to anti-aligned.
+    fn star() -> (HeteroGraph, NodeId, FocalContext) {
+        let mut b = GraphBuilder::new(2);
+        let ego = b.add_node(NodeType::Item, vec![], vec![], &[1.0, 0.0]);
+        let focal_node = b.add_node(NodeType::Query, vec![], vec![], &[1.0, 0.0]);
+        for i in 0..20 {
+            let theta = std::f32::consts::PI * i as f32 / 19.0; // 0..π
+            let leaf =
+                b.add_node(NodeType::Item, vec![], vec![], &[theta.cos(), theta.sin()]);
+            b.add_undirected_edge(ego, leaf, EdgeType::Session, 1.0 + i as f32 * 0.1);
+        }
+        let g = b.finish();
+        let ctx = FocalContext::from_nodes(&g, &[focal_node]);
+        (g, ego, ctx)
+    }
+
+    #[test]
+    fn focal_sampler_picks_most_relevant() {
+        let (g, ego, ctx) = star();
+        let mut rng = seeded_rng(1);
+        let picked = FocalBiasedSampler::default().sample(&g, ego, &ctx, 5, &mut rng);
+        assert_eq!(picked.len(), 5);
+        // Leaves were created in increasing angle from the focal direction,
+        // so the first five leaf node ids (2..7) are the most relevant.
+        for &n in &picked {
+            assert!(n < 7, "picked anti-aligned node {n}");
+        }
+    }
+
+    #[test]
+    fn focal_sampler_beats_uniform_on_relevance() {
+        let (g, ego, ctx) = star();
+        let mut rng = seeded_rng(2);
+        let mean_rel = |picked: &[NodeId]| {
+            picked
+                .iter()
+                .map(|&n| tanimoto_similarity(&ctx.focal_vector, g.dense_feature(n)))
+                .sum::<f32>()
+                / picked.len().max(1) as f32
+        };
+        let focal = FocalBiasedSampler::default().sample(&g, ego, &ctx, 5, &mut rng);
+        let mut uniform_rel = 0.0;
+        for _ in 0..50 {
+            let u = UniformSampler.sample(&g, ego, &ctx, 5, &mut rng);
+            uniform_rel += mean_rel(&u);
+        }
+        uniform_rel /= 50.0;
+        assert!(
+            mean_rel(&focal) > uniform_rel + 0.1,
+            "focal {} vs uniform {}",
+            mean_rel(&focal),
+            uniform_rel
+        );
+    }
+
+    #[test]
+    fn cosine_kernel_variant_works() {
+        let (g, ego, ctx) = star();
+        let mut rng = seeded_rng(3);
+        let s = FocalBiasedSampler { kernel: RelevanceKernel::Cosine, temperature: 0.0 };
+        let picked = s.sample(&g, ego, &ctx, 3, &mut rng);
+        assert_eq!(picked.len(), 3);
+        for &n in &picked {
+            assert!(n < 6);
+        }
+    }
+
+    #[test]
+    fn uniform_sampler_covers_whole_neighborhood() {
+        let (g, ego, ctx) = star();
+        let mut rng = seeded_rng(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            for n in UniformSampler.sample(&g, ego, &ctx, 5, &mut rng) {
+                seen.insert(n);
+            }
+        }
+        assert_eq!(seen.len(), 20, "uniform sampling should reach every leaf");
+    }
+
+    #[test]
+    fn samplers_respect_k_and_handle_isolated_nodes() {
+        let (g, ego, ctx) = star();
+        let mut rng = seeded_rng(5);
+        let samplers: Vec<Box<dyn NeighborSampler>> = vec![
+            Box::new(FocalBiasedSampler::default()),
+            Box::new(UniformSampler),
+            Box::new(WeightedSampler),
+            Box::new(RandomWalkSampler::default()),
+            Box::new(PixieSampler::default()),
+            Box::new(ClusterImportanceSampler::default()),
+        ];
+        for s in &samplers {
+            let picked = s.sample(&g, ego, &ctx, 7, &mut rng);
+            assert!(picked.len() <= 7, "{} overshot k", s.name());
+            let unique: std::collections::HashSet<_> = picked.iter().collect();
+            assert_eq!(unique.len(), picked.len(), "{} returned duplicates", s.name());
+            // Isolated node (the focal query node has no edges here).
+            let isolated = s.sample(&g, 1, &ctx, 7, &mut rng);
+            assert!(isolated.is_empty(), "{} sampled from isolated node", s.name());
+        }
+    }
+
+    #[test]
+    fn random_walk_sampler_prefers_close_nodes() {
+        // Chain: ego - a - b - c. Walks visit `a` most.
+        let mut bld = GraphBuilder::new(1);
+        let ego = bld.add_node(NodeType::Item, vec![], vec![], &[0.0]);
+        let a = bld.add_node(NodeType::Item, vec![], vec![], &[0.0]);
+        let b = bld.add_node(NodeType::Item, vec![], vec![], &[0.0]);
+        let c = bld.add_node(NodeType::Item, vec![], vec![], &[0.0]);
+        bld.add_undirected_edge(ego, a, EdgeType::Session, 1.0);
+        bld.add_undirected_edge(a, b, EdgeType::Session, 1.0);
+        bld.add_undirected_edge(b, c, EdgeType::Session, 1.0);
+        let g = bld.finish();
+        let ctx = FocalContext::from_nodes(&g, &[ego]);
+        let mut rng = seeded_rng(6);
+        let picked =
+            RandomWalkSampler { num_walks: 64, walk_length: 3 }.sample(&g, ego, &ctx, 1, &mut rng);
+        assert_eq!(picked, vec![a]);
+    }
+
+    #[test]
+    fn pixie_bias_improves_focal_alignment() {
+        let (g, ego, ctx) = star();
+        let mean_rel = |picked: &[NodeId]| {
+            picked
+                .iter()
+                .map(|&n| cosine_similarity(&ctx.focal_vector, g.dense_feature(n)))
+                .sum::<f32>()
+                / picked.len().max(1) as f32
+        };
+        let mut biased_total = 0.0;
+        let mut unbiased_total = 0.0;
+        for seed in 0..20 {
+            let mut rng = seeded_rng(seed);
+            let biased = PixieSampler { bias_prob: 0.9, ..Default::default() }
+                .sample(&g, ego, &ctx, 5, &mut rng);
+            let mut rng = seeded_rng(seed);
+            let unbiased = PixieSampler { bias_prob: 0.0, ..Default::default() }
+                .sample(&g, ego, &ctx, 5, &mut rng);
+            biased_total += mean_rel(&biased);
+            unbiased_total += mean_rel(&unbiased);
+        }
+        assert!(
+            biased_total > unbiased_total,
+            "bias should help: {biased_total} vs {unbiased_total}"
+        );
+    }
+
+    #[test]
+    fn cluster_sampler_covers_modes() {
+        // Two tight feature clusters among neighbors; k=2 should pick one
+        // representative from each.
+        let mut bld = GraphBuilder::new(2);
+        let ego = bld.add_node(NodeType::Item, vec![], vec![], &[0.0, 0.0]);
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for i in 0..6 {
+            let eps = i as f32 * 0.01;
+            let l = bld.add_node(NodeType::Item, vec![], vec![], &[-1.0 + eps, 0.0]);
+            let r = bld.add_node(NodeType::Item, vec![], vec![], &[1.0 - eps, 0.0]);
+            bld.add_undirected_edge(ego, l, EdgeType::Session, 1.0);
+            bld.add_undirected_edge(ego, r, EdgeType::Session, 1.0);
+            left.push(l);
+            right.push(r);
+        }
+        let g = bld.finish();
+        let ctx = FocalContext::from_nodes(&g, &[ego]);
+        let mut rng = seeded_rng(8);
+        let picked = ClusterImportanceSampler::default().sample(&g, ego, &ctx, 2, &mut rng);
+        assert_eq!(picked.len(), 2);
+        let has_left = picked.iter().any(|n| left.contains(n));
+        let has_right = picked.iter().any(|n| right.contains(n));
+        assert!(has_left && has_right, "should cover both modes: {picked:?}");
+    }
+
+    #[test]
+    fn all_neighbors_merges_edge_types() {
+        let mut bld = GraphBuilder::new(1);
+        let a = bld.add_node(NodeType::Item, vec![], vec![], &[0.0]);
+        let b = bld.add_node(NodeType::Item, vec![], vec![], &[0.0]);
+        bld.add_edge(a, b, EdgeType::Click, 1.0);
+        bld.add_edge(a, b, EdgeType::Similarity, 0.5);
+        let g = bld.finish();
+        let nbrs = all_neighbors(&g, a);
+        assert_eq!(nbrs.len(), 2);
+        assert!(nbrs.iter().any(|&(_, et, _)| et == EdgeType::Click));
+        assert!(nbrs.iter().any(|&(_, et, _)| et == EdgeType::Similarity));
+    }
+}

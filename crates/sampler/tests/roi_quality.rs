@@ -1,0 +1,105 @@
+//! ROI quality on generated behavior data: the focal-biased sampler must
+//! produce neighborhoods that are measurably more informative about the
+//! session intent than uniform sampling — the paper's core premise, and the
+//! property that drives every Zoomer-vs-baseline comparison downstream.
+
+use zoomer_data::{TaobaoConfig, TaobaoData};
+use zoomer_sampler::{FocalBiasedSampler, FocalContext, NeighborSampler, UniformSampler};
+use zoomer_tensor::{cosine_similarity, seeded_rng};
+
+fn mean_neighbor_vector(data: &TaobaoData, picked: &[u32]) -> Option<Vec<f32>> {
+    if picked.is_empty() {
+        return None;
+    }
+    let d = data.graph.features().dense_dim();
+    let mut m = vec![0.0f32; d];
+    for &p in picked {
+        for (a, &x) in m.iter_mut().zip(data.graph.dense_feature(p)) {
+            *a += x;
+        }
+    }
+    Some(m)
+}
+
+#[test]
+fn focal_roi_is_more_intent_aligned_than_uniform() {
+    let data = TaobaoData::generate(TaobaoConfig {
+        num_users: 200,
+        num_queries: 200,
+        num_items: 400,
+        num_sessions: 2_000,
+        ..TaobaoConfig::default_with_seed(55)
+    });
+    let focal_sampler = FocalBiasedSampler::default();
+    let uniform = UniformSampler;
+    let mut rng = seeded_rng(55);
+    let (mut focal_sum, mut uniform_sum, mut n) = (0.0f64, 0.0f64, 0usize);
+    for log in data.logs.iter().step_by(17).take(200) {
+        let ctx = FocalContext::for_request(&data.graph, log.user, log.query);
+        let f = focal_sampler.sample(&data.graph, log.user, &ctx, 10, &mut rng);
+        let u = uniform.sample(&data.graph, log.user, &ctx, 10, &mut rng);
+        let (Some(fm), Some(um)) =
+            (mean_neighbor_vector(&data, &f), mean_neighbor_vector(&data, &u))
+        else {
+            continue;
+        };
+        focal_sum += cosine_similarity(&log.intent, &fm) as f64;
+        uniform_sum += cosine_similarity(&log.intent, &um) as f64;
+        n += 1;
+    }
+    assert!(n > 50, "too few measurable sessions: {n}");
+    let focal_mean = focal_sum / n as f64;
+    let uniform_mean = uniform_sum / n as f64;
+    assert!(
+        focal_mean > uniform_mean + 0.1,
+        "focal ROI should align with intent much better: focal {focal_mean:.3} vs uniform {uniform_mean:.3}"
+    );
+}
+
+#[test]
+fn stochastic_focal_sampling_stays_intent_biased() {
+    let data = TaobaoData::generate(TaobaoConfig::tiny(56));
+    let stochastic = FocalBiasedSampler::stochastic(0.2);
+    let uniform = UniformSampler;
+    let mut rng = seeded_rng(56);
+    let (mut s_sum, mut u_sum, mut n) = (0.0f64, 0.0f64, 0usize);
+    for log in data.logs.iter().step_by(5).take(100) {
+        let ctx = FocalContext::for_request(&data.graph, log.user, log.query);
+        let s = stochastic.sample(&data.graph, log.user, &ctx, 8, &mut rng);
+        let u = uniform.sample(&data.graph, log.user, &ctx, 8, &mut rng);
+        let (Some(sm), Some(um)) =
+            (mean_neighbor_vector(&data, &s), mean_neighbor_vector(&data, &u))
+        else {
+            continue;
+        };
+        s_sum += cosine_similarity(&log.intent, &sm) as f64;
+        u_sum += cosine_similarity(&log.intent, &um) as f64;
+        n += 1;
+    }
+    assert!(n > 30);
+    assert!(
+        s_sum / n as f64 > u_sum / n as f64,
+        "Gumbel-top-k sampling must keep the focal bias: {} vs {}",
+        s_sum / n as f64,
+        u_sum / n as f64
+    );
+}
+
+#[test]
+fn stochastic_sampler_varies_across_draws_deterministic_does_not() {
+    let data = TaobaoData::generate(TaobaoConfig::tiny(57));
+    let log = &data.logs[0];
+    let ctx = FocalContext::for_request(&data.graph, log.user, log.query);
+    let det = FocalBiasedSampler::default();
+    let sto = FocalBiasedSampler::stochastic(0.5);
+    let mut rng = seeded_rng(1);
+    let d1 = det.sample(&data.graph, log.user, &ctx, 5, &mut rng);
+    let d2 = det.sample(&data.graph, log.user, &ctx, 5, &mut rng);
+    assert_eq!(d1, d2, "temperature-0 sampler must be deterministic");
+    let mut distinct = std::collections::HashSet::new();
+    for _ in 0..20 {
+        let s = sto.sample(&data.graph, log.user, &ctx, 5, &mut rng);
+        distinct.insert(s);
+    }
+    assert!(distinct.len() > 1, "stochastic sampler should vary across draws");
+}

@@ -1,0 +1,244 @@
+//! IVF-Flat approximate nearest neighbor index.
+//!
+//! The paper feeds trained representations to "an efficient
+//! Approximate-Nearest-Neighbors search module (ANN) to generate the inverted
+//! index for online serving" (§VI). This is the classic IVF-Flat design: a
+//! k-means coarse quantizer partitions vectors into `nlist` inverted lists;
+//! a query probes the `nprobe` nearest lists and scores their members
+//! exactly by inner product.
+
+use zoomer_tensor::seeded_rng;
+
+use rand::seq::SliceRandom;
+
+/// One inverted list entry.
+#[derive(Clone, Debug)]
+struct Entry {
+    id: u64,
+    vector: Vec<f32>,
+}
+
+/// IVF-Flat index over inner-product similarity.
+pub struct IvfIndex {
+    dim: usize,
+    centroids: Vec<Vec<f32>>,
+    lists: Vec<Vec<Entry>>,
+}
+
+impl IvfIndex {
+    /// Build from `(id, vector)` pairs with `nlist` coarse clusters.
+    pub fn build(items: &[(u64, Vec<f32>)], nlist: usize, kmeans_iters: usize, seed: u64) -> Self {
+        assert!(!items.is_empty(), "cannot index an empty collection");
+        let dim = items[0].1.len();
+        assert!(items.iter().all(|(_, v)| v.len() == dim), "inconsistent vector widths");
+        let nlist = nlist.max(1).min(items.len());
+
+        // k-means on (a sample of) the vectors, Euclidean.
+        let mut rng = seeded_rng(seed);
+        let mut centroid_seed: Vec<usize> = (0..items.len()).collect();
+        centroid_seed.shuffle(&mut rng);
+        let mut centroids: Vec<Vec<f32>> = centroid_seed[..nlist]
+            .iter()
+            .map(|&i| items[i].1.clone())
+            .collect();
+        let mut assignment = vec![0usize; items.len()];
+        for _ in 0..kmeans_iters {
+            for (i, (_, v)) in items.iter().enumerate() {
+                assignment[i] = nearest(&centroids, v);
+            }
+            let mut sums = vec![vec![0.0f32; dim]; nlist];
+            let mut counts = vec![0usize; nlist];
+            for (i, (_, v)) in items.iter().enumerate() {
+                counts[assignment[i]] += 1;
+                for (s, &x) in sums[assignment[i]].iter_mut().zip(v) {
+                    *s += x;
+                }
+            }
+            for c in 0..nlist {
+                if counts[c] > 0 {
+                    for s in &mut sums[c] {
+                        *s /= counts[c] as f32;
+                    }
+                    centroids[c] = sums[c].clone();
+                }
+            }
+        }
+        let mut lists: Vec<Vec<Entry>> = vec![Vec::new(); nlist];
+        for (i, (id, v)) in items.iter().enumerate() {
+            lists[assignment[i]].push(Entry { id: *id, vector: v.clone() });
+        }
+        Self { dim, centroids, lists }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn nlist(&self) -> usize {
+        self.centroids.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate top-`k` by inner product, probing `nprobe` lists.
+    pub fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<(u64, f32)> {
+        assert_eq!(query.len(), self.dim, "query width mismatch");
+        let nprobe = nprobe.max(1).min(self.centroids.len());
+        // Nearest centroids by Euclidean distance.
+        let mut order: Vec<(usize, f32)> = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, euclidean2(c, query)))
+            .collect();
+        order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut scored: Vec<(u64, f32)> = Vec::new();
+        for &(list, _) in order.iter().take(nprobe) {
+            for e in &self.lists[list] {
+                let s: f32 = e.vector.iter().zip(query).map(|(&a, &b)| a * b).sum();
+                scored.push((e.id, s));
+            }
+        }
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Exact top-`k` (probes every list) — the recall baseline.
+    pub fn exact_search(&self, query: &[f32], k: usize) -> Vec<(u64, f32)> {
+        self.search(query, k, self.centroids.len())
+    }
+
+    /// Recall@k of approximate vs exact search for a set of queries.
+    pub fn recall_at_k(&self, queries: &[Vec<f32>], k: usize, nprobe: usize) -> f64 {
+        if queries.is_empty() {
+            return 1.0;
+        }
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for q in queries {
+            let approx: std::collections::HashSet<u64> =
+                self.search(q, k, nprobe).into_iter().map(|(id, _)| id).collect();
+            for (id, _) in self.exact_search(q, k) {
+                total += 1;
+                if approx.contains(&id) {
+                    hits += 1;
+                }
+            }
+        }
+        hits as f64 / total.max(1) as f64
+    }
+}
+
+fn nearest(centroids: &[Vec<f32>], v: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = euclidean2(c, v);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+fn euclidean2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn random_items(n: usize, dim: usize, seed: u64) -> Vec<(u64, Vec<f32>)> {
+        let mut rng = seeded_rng(seed);
+        (0..n as u64)
+            .map(|id| (id, (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn indexes_every_item() {
+        let items = random_items(200, 8, 1);
+        let idx = IvfIndex::build(&items, 8, 5, 1);
+        assert_eq!(idx.len(), 200);
+        assert_eq!(idx.nlist(), 8);
+        assert_eq!(idx.dim(), 8);
+    }
+
+    #[test]
+    fn exact_search_finds_true_top1() {
+        let items = random_items(300, 8, 2);
+        let idx = IvfIndex::build(&items, 10, 5, 2);
+        // The best match for an item's own vector is itself (self inner
+        // product maximal among normalized-ish random vectors... not strictly
+        // guaranteed, so verify against brute force instead).
+        let q = &items[42].1;
+        let got = idx.exact_search(q, 1)[0].0;
+        let brute = items
+            .iter()
+            .max_by(|a, b| {
+                let sa: f32 = a.1.iter().zip(q).map(|(&x, &y)| x * y).sum();
+                let sb: f32 = b.1.iter().zip(q).map(|(&x, &y)| x * y).sum();
+                sa.partial_cmp(&sb).unwrap()
+            })
+            .unwrap()
+            .0;
+        assert_eq!(got, brute);
+    }
+
+    #[test]
+    fn recall_improves_with_nprobe() {
+        let items = random_items(500, 16, 3);
+        let idx = IvfIndex::build(&items, 16, 6, 3);
+        let queries: Vec<Vec<f32>> = random_items(30, 16, 4).into_iter().map(|(_, v)| v).collect();
+        let r1 = idx.recall_at_k(&queries, 10, 1);
+        let r4 = idx.recall_at_k(&queries, 10, 4);
+        let r16 = idx.recall_at_k(&queries, 10, 16);
+        assert!(r1 <= r4 + 1e-9 && r4 <= r16 + 1e-9, "{r1} {r4} {r16}");
+        assert!((r16 - 1.0).abs() < 1e-9, "full probe must be exact");
+        assert!(r4 > 0.3, "nprobe=4 recall too low: {r4}");
+    }
+
+    #[test]
+    fn search_returns_sorted_topk() {
+        let items = random_items(100, 4, 5);
+        let idx = IvfIndex::build(&items, 4, 4, 5);
+        let res = idx.search(&items[0].1, 7, 2);
+        assert!(res.len() <= 7);
+        for w in res.windows(2) {
+            assert!(w[0].1 >= w[1].1, "not sorted: {res:?}");
+        }
+    }
+
+    #[test]
+    fn single_item_collection() {
+        let items = vec![(9u64, vec![1.0, 0.0])];
+        let idx = IvfIndex::build(&items, 4, 3, 6);
+        let res = idx.search(&[1.0, 0.0], 5, 1);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].0, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn empty_build_panics() {
+        let _ = IvfIndex::build(&[], 4, 3, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_query_width_panics() {
+        let items = random_items(10, 4, 8);
+        let idx = IvfIndex::build(&items, 2, 2, 8);
+        let _ = idx.search(&[0.0; 3], 1, 1);
+    }
+}

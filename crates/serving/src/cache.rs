@@ -1,0 +1,222 @@
+//! Per-node neighbor caches with asynchronous refresh.
+//!
+//! §VII-E: "we deploy caches for dynamically storing k last visited
+//! neighbors for each user and query nodes, thus avoiding the overhead for
+//! the aggregation operation. In our production deployment, k is set to 30.
+//! Besides, the cache updating is fully asynchronous from users' timely
+//! requests." The request path only ever reads the cache; misses enqueue a
+//! refresh and fall back to computing inline (first touch) — subsequent
+//! requests hit.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::RwLock;
+use zoomer_graph::NodeId;
+
+/// Thread-safe neighbor cache: node → up-to-`k` cached neighbor ids.
+pub struct NeighborCache {
+    k: usize,
+    map: RwLock<HashMap<NodeId, Arc<Vec<NodeId>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl NeighborCache {
+    /// `k` = neighbors cached per node (paper: 30).
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Cached neighbors, or `None` on a miss.
+    pub fn get(&self, node: NodeId) -> Option<Arc<Vec<NodeId>>> {
+        let found = self.map.read().get(&node).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Read through: return cached neighbors or compute-and-insert inline.
+    pub fn get_or_compute(
+        &self,
+        node: NodeId,
+        compute: impl FnOnce() -> Vec<NodeId>,
+    ) -> Arc<Vec<NodeId>> {
+        if let Some(hit) = self.get(node) {
+            return hit;
+        }
+        let mut fresh = compute();
+        fresh.truncate(self.k);
+        let arc = Arc::new(fresh);
+        self.map.write().insert(node, Arc::clone(&arc));
+        arc
+    }
+
+    /// Replace a node's cached neighbors (refresh path).
+    pub fn put(&self, node: NodeId, mut neighbors: Vec<NodeId>) {
+        neighbors.truncate(self.k);
+        self.map.write().insert(node, Arc::new(neighbors));
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Hit rate in [0, 1]; 0 when never queried.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = self.stats();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+/// Background refresher: owns a worker thread that recomputes cache entries
+/// "fully asynchronous from users' timely requests".
+pub struct CacheRefresher {
+    tx: Option<Sender<NodeId>>,
+    handle: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl CacheRefresher {
+    /// Spawn a refresher that recomputes entries with `compute` and installs
+    /// them into `cache`.
+    pub fn spawn(
+        cache: Arc<NeighborCache>,
+        compute: impl Fn(NodeId) -> Vec<NodeId> + Send + 'static,
+    ) -> Self {
+        let (tx, rx) = unbounded::<NodeId>();
+        let handle = std::thread::spawn(move || {
+            let mut refreshed = 0u64;
+            for node in rx {
+                cache.put(node, compute(node));
+                refreshed += 1;
+            }
+            refreshed
+        });
+        Self { tx: Some(tx), handle: Some(handle) }
+    }
+
+    /// Enqueue a refresh; never blocks the request path.
+    pub fn request_refresh(&self, node: NodeId) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(node);
+        }
+    }
+
+    /// Drain the queue and stop; returns how many entries were refreshed.
+    pub fn shutdown(mut self) -> u64 {
+        drop(self.tx.take());
+        self.handle
+            .take()
+            .map(|h| h.join().expect("refresher panicked"))
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for CacheRefresher {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = NeighborCache::new(30);
+        assert!(cache.get(5).is_none());
+        let v = cache.get_or_compute(5, || vec![1, 2, 3]);
+        assert_eq!(*v, vec![1, 2, 3]);
+        assert_eq!(*cache.get(5).expect("now cached"), vec![1, 2, 3]);
+        let (h, m) = cache.stats();
+        assert_eq!((h, m), (1, 2)); // get miss + get_or_compute miss + get hit
+    }
+
+    #[test]
+    fn truncates_to_k() {
+        let cache = NeighborCache::new(3);
+        cache.put(1, (0..10).collect());
+        assert_eq!(cache.get(1).expect("cached").len(), 3);
+        let v = cache.get_or_compute(2, || (0..10).collect());
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn hit_rate_tracks_queries() {
+        let cache = NeighborCache::new(2);
+        cache.put(1, vec![9]);
+        for _ in 0..8 {
+            let _ = cache.get(1);
+        }
+        let _ = cache.get(2); // miss
+        assert!((cache.hit_rate() - 8.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refresher_updates_entries_asynchronously() {
+        let cache = Arc::new(NeighborCache::new(5));
+        cache.put(7, vec![1]);
+        let refresher = CacheRefresher::spawn(Arc::clone(&cache), |node| {
+            vec![node + 100, node + 101]
+        });
+        refresher.request_refresh(7);
+        refresher.request_refresh(8);
+        let done = refresher.shutdown();
+        assert_eq!(done, 2);
+        assert_eq!(*cache.get(7).expect("refreshed"), vec![107, 108]);
+        assert_eq!(*cache.get(8).expect("filled"), vec![108, 109]);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let cache = Arc::new(NeighborCache::new(4));
+        std::thread::scope(|scope| {
+            let c = Arc::clone(&cache);
+            scope.spawn(move || {
+                for n in 0..500u32 {
+                    c.put(n % 50, vec![n]);
+                }
+            });
+            for _ in 0..4 {
+                let c = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for n in 0..500u32 {
+                        let _ = c.get(n % 50);
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 50);
+    }
+}

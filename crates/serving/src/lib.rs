@@ -1,0 +1,31 @@
+//! Online serving for the Zoomer reproduction.
+//!
+//! §VI/§VII-E: after training, embeddings feed an ANN module that builds the
+//! inverted index served by iGraph; online, Zoomer caches each user/query
+//! node's k last-visited neighbors (k = 30), refreshes those caches
+//! asynchronously, keeps only the edge-level attention at inference, and
+//! answers thousands of QPS at millisecond latency.
+//!
+//! Components:
+//! - [`ann`] — IVF-Flat approximate nearest neighbor index (k-means coarse
+//!   quantizer + inverted lists, inner-product scoring).
+//! - [`cache`] — per-node neighbor cache with asynchronous refresh worker.
+//! - [`frozen`] — a thread-safe, tape-free snapshot of a trained model used
+//!   on the serving path (edge attention only).
+//! - [`server`] — the retrieval server: focal → cached neighbors → online
+//!   embedding → ANN lookup.
+//! - [`load`] — open-loop QPS/latency harness (Fig 9).
+
+pub mod ann;
+pub mod cache;
+pub mod frozen;
+pub mod inverted;
+pub mod load;
+pub mod server;
+
+pub use ann::IvfIndex;
+pub use inverted::InvertedIndex;
+pub use cache::NeighborCache;
+pub use frozen::FrozenModel;
+pub use load::{run_load_test, LatencyStats};
+pub use server::{OnlineServer, ServingConfig};

@@ -1,0 +1,176 @@
+//! Open-loop QPS/latency load harness (Fig 9).
+//!
+//! Requests arrive on a fixed schedule (open loop, so queueing delay shows up
+//! in the measured response time exactly as it would for real traffic); a
+//! fixed pool of server threads drains the queue. Reported latency is
+//! end-to-end: enqueue → response.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::bounded;
+use zoomer_graph::NodeId;
+
+use crate::server::OnlineServer;
+
+/// Latency summary over one load run.
+#[derive(Clone, Debug)]
+pub struct LatencyStats {
+    pub offered_qps: f64,
+    pub completed: usize,
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl LatencyStats {
+    fn from_latencies(offered_qps: f64, mut lat_ms: Vec<f64>, elapsed: Duration) -> Self {
+        lat_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = lat_ms.len();
+        let pct = |p: f64| -> f64 {
+            if n == 0 {
+                return 0.0;
+            }
+            lat_ms[((n as f64 - 1.0) * p).round() as usize]
+        };
+        Self {
+            offered_qps,
+            completed: n,
+            mean_ms: if n == 0 { 0.0 } else { lat_ms.iter().sum::<f64>() / n as f64 },
+            p50_ms: pct(0.50),
+            p95_ms: pct(0.95),
+            p99_ms: pct(0.99),
+            max_ms: lat_ms.last().copied().unwrap_or(0.0),
+            elapsed,
+        }
+    }
+
+    /// Achieved throughput.
+    pub fn achieved_qps(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Run an open-loop load test: `requests` (user, query) pairs offered at
+/// `qps`, served by `num_threads` worker threads.
+pub fn run_load_test(
+    server: &OnlineServer,
+    requests: &[(NodeId, NodeId)],
+    qps: f64,
+    num_threads: usize,
+) -> LatencyStats {
+    assert!(qps > 0.0, "qps must be positive");
+    assert!(num_threads > 0, "need at least one server thread");
+    assert!(!requests.is_empty(), "need at least one request");
+
+    let interval = Duration::from_secs_f64(1.0 / qps);
+    let (tx, rx) = bounded::<(NodeId, NodeId, Instant)>(requests.len());
+    let latencies: Arc<parking_lot::Mutex<Vec<f64>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::with_capacity(requests.len())));
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        // Server threads.
+        for _ in 0..num_threads {
+            let rx = rx.clone();
+            let server = server.clone();
+            let latencies = Arc::clone(&latencies);
+            scope.spawn(move || {
+                for (user, query, enqueued) in rx {
+                    let _ = server.handle(user, query);
+                    let ms = enqueued.elapsed().as_secs_f64() * 1e3;
+                    latencies.lock().push(ms);
+                }
+            });
+        }
+        drop(rx);
+        // Open-loop arrival schedule.
+        for (i, &(user, query)) in requests.iter().enumerate() {
+            let due = start + interval.mul_f64(i as f64);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            let _ = tx.send((user, query, Instant::now()));
+        }
+        drop(tx);
+    });
+    let elapsed = start.elapsed();
+    let lat = Arc::try_unwrap(latencies)
+        .expect("threads joined")
+        .into_inner();
+    LatencyStats::from_latencies(qps, lat, elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frozen::FrozenModel;
+    use crate::server::ServingConfig;
+    use zoomer_data::{TaobaoConfig, TaobaoData};
+    use zoomer_model::{ModelConfig, UnifiedCtrModel};
+
+    fn server_and_requests() -> (OnlineServer, Vec<(NodeId, NodeId)>) {
+        let data = TaobaoData::generate(TaobaoConfig::tiny(91));
+        let dd = data.graph.features().dense_dim();
+        let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(13, dd));
+        let frozen = FrozenModel::from_model(&mut model, &data.graph);
+        let items = data.item_nodes();
+        let graph = Arc::new(zoomer_graph::read_snapshot(zoomer_graph::write_snapshot(
+            &data.graph,
+        ))
+        .expect("roundtrip"));
+        let server = OnlineServer::build(
+            graph,
+            frozen,
+            &items,
+            ServingConfig { top_k: 10, ..Default::default() },
+            91,
+        );
+        let requests: Vec<(NodeId, NodeId)> =
+            data.logs.iter().take(120).map(|l| (l.user, l.query)).collect();
+        (server, requests)
+    }
+
+    #[test]
+    fn load_test_completes_all_requests() {
+        let (server, requests) = server_and_requests();
+        let stats = run_load_test(&server, &requests, 2000.0, 2);
+        assert_eq!(stats.completed, requests.len());
+        assert!(stats.mean_ms >= 0.0);
+        assert!(stats.p50_ms <= stats.p95_ms && stats.p95_ms <= stats.p99_ms);
+        assert!(stats.p99_ms <= stats.max_ms + 1e-9);
+        assert!(stats.achieved_qps() > 0.0);
+    }
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let lat: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let stats = LatencyStats::from_latencies(1.0, lat, Duration::from_secs(1));
+        assert!((stats.p50_ms - 50.0).abs() <= 1.0);
+        assert!((stats.p99_ms - 99.0).abs() <= 1.0);
+        assert_eq!(stats.max_ms, 100.0);
+        assert!((stats.mean_ms - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overload_grows_latency() {
+        // Saturating one slow thread must show higher p95 than a gentle
+        // trickle on two threads.
+        let (server, requests) = server_and_requests();
+        let gentle = run_load_test(&server, &requests[..40], 200.0, 2);
+        let slam = run_load_test(&server, &requests, 50_000.0, 1);
+        assert!(
+            slam.p95_ms >= gentle.p95_ms,
+            "overload p95 {} should be ≥ gentle p95 {}",
+            slam.p95_ms,
+            gentle.p95_ms
+        );
+    }
+}

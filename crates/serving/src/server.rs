@@ -1,0 +1,316 @@
+//! The online retrieval server: request → focal → cached neighbors →
+//! online embedding → ANN lookup → ranked item ids.
+
+use std::sync::Arc;
+
+use zoomer_graph::{HeteroGraph, NodeId};
+use zoomer_sampler::{FocalBiasedSampler, FocalContext, NeighborSampler};
+use zoomer_tensor::seeded_rng;
+
+use crate::ann::IvfIndex;
+use crate::cache::NeighborCache;
+use crate::frozen::FrozenModel;
+use crate::inverted::InvertedIndex;
+
+/// Serving-stack parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServingConfig {
+    /// Cached neighbors per node (paper: 30).
+    pub cache_k: usize,
+    /// Items returned per request.
+    pub top_k: usize,
+    /// IVF lists probed per query.
+    pub nprobe: usize,
+    /// Coarse clusters in the ANN index.
+    pub nlist: usize,
+    /// Disable the neighbor cache (ablation: sample neighbors per request).
+    pub disable_cache: bool,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        Self { cache_k: 30, top_k: 100, nprobe: 4, nlist: 32, disable_cache: false }
+    }
+}
+
+/// A shareable (`Arc`-cloneable, `&self`) online retrieval server.
+pub struct OnlineServer {
+    graph: Arc<HeteroGraph>,
+    frozen: Arc<FrozenModel>,
+    index: Arc<IvfIndex>,
+    /// Two-layer term → query → item index (§VII-E's iGraph layout) used by
+    /// the term-retrieval fallback path.
+    inverted: Arc<InvertedIndex>,
+    cache: Arc<NeighborCache>,
+    config: ServingConfig,
+    sampler: FocalBiasedSampler,
+}
+
+impl Clone for OnlineServer {
+    fn clone(&self) -> Self {
+        Self {
+            graph: Arc::clone(&self.graph),
+            frozen: Arc::clone(&self.frozen),
+            index: Arc::clone(&self.index),
+            inverted: Arc::clone(&self.inverted),
+            cache: Arc::clone(&self.cache),
+            config: self.config,
+            sampler: self.sampler,
+        }
+    }
+}
+
+impl OnlineServer {
+    /// Build the server: embed every pool item through the frozen item tower
+    /// and construct the inverted ANN index (§VI's offline-to-online hand-
+    /// off).
+    pub fn build(
+        graph: Arc<HeteroGraph>,
+        frozen: FrozenModel,
+        item_pool: &[NodeId],
+        config: ServingConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(!item_pool.is_empty(), "cannot serve an empty item pool");
+        let items: Vec<(u64, Vec<f32>)> = item_pool
+            .iter()
+            .map(|&i| (i as u64, frozen.item_embedding(i)))
+            .collect();
+        // Size the coarse quantizer to the pool (≈√N, capped by config) so
+        // small pools keep enough candidates per probe.
+        let nlist = config
+            .nlist
+            .min(((items.len() as f64).sqrt().ceil()) as usize)
+            .max(1);
+        let index = IvfIndex::build(&items, nlist, 8, seed);
+        // Second retrieval layer: per-query postings ranked by the frozen
+        // item tower against the query's own online embedding.
+        let mut inverted = InvertedIndex::new(&graph);
+        for q in graph.nodes_of_type(zoomer_graph::NodeType::Query) {
+            let focal = frozen.focal_vector(&graph, &[q]);
+            let emb = frozen.online_embedding(q, &[], &focal);
+            let ranked: Vec<NodeId> = index
+                .search(&emb, config.top_k, config.nprobe.max(4))
+                .into_iter()
+                .map(|(id, _)| id as NodeId)
+                .collect();
+            if !ranked.is_empty() {
+                inverted.set_posting(q, ranked);
+            }
+        }
+        Self {
+            graph,
+            frozen: Arc::new(frozen),
+            index: Arc::new(index),
+            inverted: Arc::new(inverted),
+            cache: Arc::new(NeighborCache::new(config.cache_k)),
+            config,
+            sampler: FocalBiasedSampler::default(),
+        }
+    }
+
+    /// Term-based retrieval fallback (cold users / no dense request vector):
+    /// look the terms up in the two-layer inverted index.
+    pub fn handle_by_terms(&self, terms: &[u32]) -> Vec<NodeId> {
+        self.inverted.retrieve_by_terms(terms, self.config.top_k)
+    }
+
+    pub fn inverted(&self) -> &InvertedIndex {
+        &self.inverted
+    }
+
+    pub fn config(&self) -> ServingConfig {
+        self.config
+    }
+
+    pub fn cache(&self) -> &NeighborCache {
+        &self.cache
+    }
+
+    pub fn index(&self) -> &IvfIndex {
+        &self.index
+    }
+
+    fn neighbors_for(&self, node: NodeId, focal_ctx: &FocalContext) -> Vec<NodeId> {
+        let compute = || {
+            // Deterministic per-node RNG: the focal sampler ignores it anyway.
+            let mut rng = seeded_rng(node as u64);
+            self.sampler
+                .sample(&self.graph, node, focal_ctx, self.config.cache_k, &mut rng)
+        };
+        if self.config.disable_cache {
+            let mut fresh = compute();
+            fresh.truncate(self.config.cache_k);
+            fresh
+        } else {
+            self.cache.get_or_compute(node, compute).as_ref().clone()
+        }
+    }
+
+    /// Handle one retrieval request: returns ranked item node ids.
+    pub fn handle(&self, user: NodeId, query: NodeId) -> Vec<NodeId> {
+        let focal_ctx = FocalContext::for_request(&self.graph, user, query);
+        let user_nbrs = self.neighbors_for(user, &focal_ctx);
+        let query_nbrs = self.neighbors_for(query, &focal_ctx);
+        let focal = self.frozen.focal_vector(&self.graph, &[user, query]);
+        let uq = self
+            .frozen
+            .request_embedding(user, query, &user_nbrs, &query_nbrs, &focal);
+        let mut found = self.index.search(&uq, self.config.top_k, self.config.nprobe);
+        if found.len() < self.config.top_k && found.len() < self.index.len() {
+            // Under-filled probe set (small pool or skewed clusters): widen
+            // to an exact scan rather than return a short list.
+            found = self.index.exact_search(&uq, self.config.top_k);
+        }
+        found.into_iter().map(|(id, _)| id as NodeId).collect()
+    }
+
+    /// Warm the cache for a set of nodes (deployment pre-fill).
+    pub fn warm_cache(&self, nodes: &[NodeId]) {
+        if self.config.disable_cache {
+            return;
+        }
+        for &n in nodes {
+            // Use the node itself as a neutral focal for the warm fill.
+            let ctx = FocalContext::from_nodes(&self.graph, &[n]);
+            let _ = self.cache.get_or_compute(n, || {
+                let mut rng = seeded_rng(n as u64);
+                self.sampler
+                    .sample(&self.graph, n, &ctx, self.config.cache_k, &mut rng)
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoomer_data::{TaobaoConfig, TaobaoData};
+    use zoomer_graph::NodeType;
+    use zoomer_model::{ModelConfig, UnifiedCtrModel};
+
+    fn build_server(disable_cache: bool) -> (TaobaoData, OnlineServer) {
+        let data = TaobaoData::generate(TaobaoConfig::tiny(81));
+        let dd = data.graph.features().dense_dim();
+        let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(11, dd));
+        let frozen = crate::frozen::FrozenModel::from_model(&mut model, &data.graph);
+        let graph = Arc::new(zoomer_graph::read_snapshot(zoomer_graph::write_snapshot(
+            &data.graph,
+        ))
+        .expect("snapshot roundtrip"));
+        let items = data.item_nodes();
+        let server = OnlineServer::build(
+            graph,
+            frozen,
+            &items,
+            ServingConfig { top_k: 20, disable_cache, ..Default::default() },
+            81,
+        );
+        (data, server)
+    }
+
+    #[test]
+    fn handle_returns_topk_items() {
+        let (data, server) = build_server(false);
+        let log = &data.logs[0];
+        let result = server.handle(log.user, log.query);
+        assert_eq!(result.len(), 20);
+        for &item in &result {
+            assert_eq!(data.graph.node_type(item), NodeType::Item);
+        }
+        // No duplicates.
+        let set: std::collections::HashSet<_> = result.iter().collect();
+        assert_eq!(set.len(), result.len());
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache() {
+        let (data, server) = build_server(false);
+        let log = &data.logs[0];
+        let first = server.handle(log.user, log.query);
+        let (_, misses_after_first) = server.cache().stats();
+        let second = server.handle(log.user, log.query);
+        let (hits, misses) = server.cache().stats();
+        assert_eq!(first, second, "same request must be deterministic");
+        assert_eq!(misses, misses_after_first, "second request should not miss");
+        assert!(hits >= 2);
+    }
+
+    #[test]
+    fn cache_disabled_still_serves() {
+        let (data, server) = build_server(true);
+        let log = &data.logs[0];
+        let result = server.handle(log.user, log.query);
+        assert_eq!(result.len(), 20);
+        assert_eq!(server.cache().len(), 0, "cache must stay empty when disabled");
+    }
+
+    #[test]
+    fn warm_cache_prefills() {
+        let (data, server) = build_server(false);
+        let users: Vec<NodeId> = (0..10).collect();
+        server.warm_cache(&users);
+        assert!(server.cache().len() >= 10);
+        let _ = data;
+    }
+
+    #[test]
+    fn concurrent_requests_are_consistent() {
+        let (data, server) = build_server(false);
+        let log = data.logs[0].clone();
+        let baseline = server.handle(log.user, log.query);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = server.clone();
+                let expected = baseline.clone();
+                let (u, q) = (log.user, log.query);
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        assert_eq!(s.handle(u, q), expected);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn term_retrieval_returns_items_from_matching_queries() {
+        let (data, server) = build_server(false);
+        // Use a real query's terms; its posting must be reachable by term.
+        let q = data.logs[0].query;
+        let terms = data.graph.features().terms(q).to_vec();
+        assert!(!terms.is_empty());
+        let got = server.handle_by_terms(&terms);
+        assert!(!got.is_empty(), "term retrieval found nothing");
+        for &item in &got {
+            assert_eq!(data.graph.node_type(item), NodeType::Item);
+        }
+        assert!(got.len() <= server.config().top_k);
+        // Unknown terms retrieve nothing.
+        assert!(server.handle_by_terms(&[9_999_999]).is_empty());
+        assert!(server.inverted().num_postings() > 0);
+    }
+
+    #[test]
+    fn retrieval_prefers_intent_aligned_items() {
+        // Items retrieved for a request should, on average, be closer to the
+        // query's content vector than random items (structure sanity; exact
+        // quality is measured in the benches after training).
+        let (data, server) = build_server(false);
+        let log = &data.logs[3];
+        let retrieved = server.handle(log.user, log.query);
+        let qv = data.graph.dense_feature(log.query);
+        let mean_sim = |items: &[NodeId]| {
+            items
+                .iter()
+                .map(|&i| zoomer_tensor::cosine_similarity(qv, data.graph.dense_feature(i)))
+                .sum::<f32>()
+                / items.len().max(1) as f32
+        };
+        let all_items = data.item_nodes();
+        let retrieved_sim = mean_sim(&retrieved);
+        let pool_sim = mean_sim(&all_items);
+        // Untrained towers give weak signal; require only non-collapse.
+        assert!(retrieved_sim.is_finite() && pool_sim.is_finite());
+    }
+}

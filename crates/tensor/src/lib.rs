@@ -1,0 +1,27 @@
+//! Dense matrix math, numerics, and ranking metrics for the Zoomer reproduction.
+//!
+//! This crate is the numeric foundation of the workspace: a row-major [`Matrix`]
+//! type with the small set of dense operations the GNN stack needs, numerically
+//! stable activations, similarity kernels (including the paper's eq. (5)
+//! Tanimoto-style focal-relevance kernel), seeded random initialization, and
+//! the evaluation metrics reported in the paper (AUC, MAE, RMSE, HitRate@K).
+//!
+//! Design notes
+//! - Everything is `f32` (matching production recommender practice); metric
+//!   accumulation happens in `f64` to avoid drift over large test sets.
+//! - No unsafe, no SIMD intrinsics: the matmul is a cache-friendly ikj loop
+//!   which is plenty for the embedding sizes used here (d ≤ 256).
+//! - All randomness is driven by caller-provided RNGs so experiments are
+//!   reproducible from a printed seed.
+
+pub mod matrix;
+pub mod metrics;
+pub mod numerics;
+pub mod rng;
+pub mod similarity;
+
+pub use matrix::Matrix;
+pub use metrics::{auc, hit_rate_at_k, mae, mean_reciprocal_rank, ndcg_at_k, rmse};
+pub use numerics::{leaky_relu, log_sum_exp, relu, sigmoid, softmax_inplace, stable_softmax};
+pub use rng::{seeded_rng, xavier_matrix, xavier_vec};
+pub use similarity::{cosine_similarity, dot, l2_norm, tanimoto_similarity};

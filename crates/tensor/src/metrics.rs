@@ -1,0 +1,290 @@
+//! Evaluation metrics used in the paper: AUC, MAE, RMSE, HitRate@K (plus
+//! NDCG@K for completeness).
+//!
+//! Accumulation is done in `f64`; inputs are `f32` predictions/labels.
+
+/// Area under the ROC curve, computed exactly via the rank-sum (Mann–Whitney)
+/// formulation with average ranks for ties.
+///
+/// Returns 0.5 when one class is absent (no ranking information).
+pub fn auc(scores: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "auc: length mismatch");
+    let n = scores.len();
+    if n == 0 {
+        return 0.5;
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut rank_sum_pos = 0.0f64;
+    let mut n_pos = 0u64;
+    let mut i = 0usize;
+    while i < n {
+        // Find the tie group [i, j).
+        let mut j = i + 1;
+        while j < n && scores[idx[j]] == scores[idx[i]] {
+            j += 1;
+        }
+        // Average rank of the group, 1-based.
+        let avg_rank = (i + 1 + j) as f64 / 2.0;
+        for &k in &idx[i..j] {
+            if labels[k] > 0.5 {
+                rank_sum_pos += avg_rank;
+                n_pos += 1;
+            }
+        }
+        i = j;
+    }
+    let n_neg = n as u64 - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    (rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+/// Mean absolute error.
+pub fn mae(preds: &[f32], targets: &[f32]) -> f64 {
+    assert_eq!(preds.len(), targets.len(), "mae: length mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    preds
+        .iter()
+        .zip(targets.iter())
+        .map(|(&p, &t)| (p as f64 - t as f64).abs())
+        .sum::<f64>()
+        / preds.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(preds: &[f32], targets: &[f32]) -> f64 {
+    assert_eq!(preds.len(), targets.len(), "rmse: length mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    (preds
+        .iter()
+        .zip(targets.iter())
+        .map(|(&p, &t)| {
+            let d = p as f64 - t as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / preds.len() as f64)
+        .sqrt()
+}
+
+/// HitRate@K as the paper defines it: the fraction of test interactions whose
+/// clicked item appears in the model's top-K retrieved list.
+///
+/// `retrieved` is the ranked list of item ids for one request; `clicked` is
+/// the ground-truth item. Callers average the 0/1 outcomes across requests.
+pub fn hit_at_k(retrieved: &[u64], clicked: u64, k: usize) -> bool {
+    retrieved.iter().take(k).any(|&r| r == clicked)
+}
+
+/// Average HitRate@K over a batch of (ranked list, clicked item) pairs.
+pub fn hit_rate_at_k(requests: &[(Vec<u64>, u64)], k: usize) -> f64 {
+    if requests.is_empty() {
+        return 0.0;
+    }
+    let hits = requests
+        .iter()
+        .filter(|(retrieved, clicked)| hit_at_k(retrieved, *clicked, k))
+        .count();
+    hits as f64 / requests.len() as f64
+}
+
+/// NDCG@K for a single request with one relevant item: `1/log2(rank+1)` if
+/// the item is in the top-K, else 0.
+pub fn ndcg_at_k(retrieved: &[u64], clicked: u64, k: usize) -> f64 {
+    retrieved
+        .iter()
+        .take(k)
+        .position(|&r| r == clicked)
+        .map(|pos| 1.0 / ((pos as f64 + 2.0).log2()))
+        .unwrap_or(0.0)
+}
+
+/// Mean reciprocal rank over a batch of (ranked list, clicked item) pairs:
+/// `1/rank` of the clicked item (0 when absent), averaged.
+pub fn mean_reciprocal_rank(requests: &[(Vec<u64>, u64)]) -> f64 {
+    if requests.is_empty() {
+        return 0.0;
+    }
+    requests
+        .iter()
+        .map(|(retrieved, clicked)| {
+            retrieved
+                .iter()
+                .position(|&r| r == *clicked)
+                .map(|pos| 1.0 / (pos as f64 + 1.0))
+                .unwrap_or(0.0)
+        })
+        .sum::<f64>()
+        / requests.len() as f64
+}
+
+/// Running binary-classification metric accumulator used by the trainer:
+/// collects (score, label) pairs and reports AUC / loss summaries.
+#[derive(Default, Clone)]
+pub struct BinaryMetrics {
+    scores: Vec<f32>,
+    labels: Vec<f32>,
+    loss_sum: f64,
+    loss_count: u64,
+}
+
+impl BinaryMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, score: f32, label: f32) {
+        self.scores.push(score);
+        self.labels.push(label);
+    }
+
+    pub fn push_loss(&mut self, loss: f32) {
+        self.loss_sum += loss as f64;
+        self.loss_count += 1;
+    }
+
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    pub fn auc(&self) -> f64 {
+        auc(&self.scores, &self.labels)
+    }
+
+    pub fn mean_loss(&self) -> f64 {
+        if self.loss_count == 0 {
+            0.0
+        } else {
+            self.loss_sum / self.loss_count as f64
+        }
+    }
+
+    pub fn mae(&self) -> f64 {
+        mae(&self.scores, &self.labels)
+    }
+
+    pub fn rmse(&self) -> f64 {
+        rmse(&self.scores, &self.labels)
+    }
+
+    /// Merge another accumulator (used when workers evaluate shards in
+    /// parallel).
+    pub fn merge(&mut self, other: &BinaryMetrics) {
+        self.scores.extend_from_slice(&other.scores);
+        self.labels.extend_from_slice(&other.labels);
+        self.loss_sum += other.loss_sum;
+        self.loss_count += other.loss_count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_ranking() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!((auc(&scores, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_inverted_ranking() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!(auc(&scores, &labels).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // A single tie group: every pair is a tie → AUC 0.5 by average rank.
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_with_partial_ties() {
+        // pos at 0.8, neg at 0.8 (tie), pos at 0.9, neg at 0.1.
+        // Pairs: (0.9 vs 0.8)=win, (0.9 vs 0.1)=win, (0.8 vs 0.8)=0.5,
+        // (0.8 vs 0.1)=win → (3 + 0.5)/4 = 0.875.
+        let scores = [0.9, 0.8, 0.8, 0.1];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!((auc(&scores, &labels) - 0.875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(auc(&[0.3, 0.7], &[1.0, 1.0]), 0.5);
+        assert_eq!(auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn mae_rmse_known_values() {
+        let p = [1.0, 2.0, 3.0];
+        let t = [1.0, 1.0, 5.0];
+        assert!((mae(&p, &t) - 1.0).abs() < 1e-9);
+        assert!((rmse(&p, &t) - (5.0f64 / 3.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hitrate_counts_topk_membership() {
+        let reqs = vec![
+            (vec![5, 4, 3, 2, 1], 4u64), // hit at rank 2
+            (vec![5, 4, 3, 2, 1], 1u64), // hit only at rank 5
+            (vec![5, 4, 3, 2, 1], 99u64), // miss
+        ];
+        assert!((hit_rate_at_k(&reqs, 2) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((hit_rate_at_k(&reqs, 5) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(hit_rate_at_k(&[], 5), 0.0);
+    }
+
+    #[test]
+    fn ndcg_rank_discount() {
+        assert!((ndcg_at_k(&[7, 8, 9], 7, 3) - 1.0).abs() < 1e-9);
+        assert!((ndcg_at_k(&[8, 7, 9], 7, 3) - 1.0 / 3.0f64.log2()).abs() < 1e-9);
+        assert_eq!(ndcg_at_k(&[8, 9], 7, 2), 0.0);
+    }
+
+    #[test]
+    fn mrr_known_values() {
+        let reqs = vec![
+            (vec![7, 8, 9], 7u64), // rank 1 → 1.0
+            (vec![8, 7, 9], 7u64), // rank 2 → 0.5
+            (vec![8, 9], 7u64),    // absent → 0.0
+        ];
+        assert!((mean_reciprocal_rank(&reqs) - 0.5).abs() < 1e-9);
+        assert_eq!(mean_reciprocal_rank(&[]), 0.0);
+    }
+
+    #[test]
+    fn binary_metrics_merge_equals_combined() {
+        let mut a = BinaryMetrics::new();
+        let mut b = BinaryMetrics::new();
+        let mut all = BinaryMetrics::new();
+        for (i, (s, l)) in [(0.9, 1.0), (0.1, 0.0), (0.6, 1.0), (0.4, 0.0)]
+            .iter()
+            .enumerate()
+        {
+            if i % 2 == 0 {
+                a.push(*s, *l);
+            } else {
+                b.push(*s, *l);
+            }
+            all.push(*s, *l);
+        }
+        a.merge(&b);
+        assert!((a.auc() - all.auc()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,221 @@
+//! Numerically stable activations and reductions.
+
+/// Logistic sigmoid, computed in a branch that avoids `exp` overflow for
+/// large-magnitude inputs.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Rectified linear unit.
+#[inline]
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Leaky ReLU with the conventional 0.01 negative slope used by GAT-style
+/// attention scores (paper eq. (3) / eq. (8)).
+#[inline]
+pub fn leaky_relu(x: f32) -> f32 {
+    if x >= 0.0 {
+        x
+    } else {
+        0.01 * x
+    }
+}
+
+/// Derivative of [`leaky_relu`].
+#[inline]
+pub fn leaky_relu_grad(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0
+    } else {
+        0.01
+    }
+}
+
+/// Max-shifted softmax over a slice, returning a fresh vector.
+///
+/// An empty slice yields an empty vector. A slice of identical values yields
+/// the uniform distribution.
+pub fn stable_softmax(xs: &[f32]) -> Vec<f32> {
+    let mut out = xs.to_vec();
+    softmax_inplace(&mut out);
+    out
+}
+
+/// Max-shifted softmax, in place.
+pub fn softmax_inplace(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    } else {
+        // All inputs were -inf; fall back to uniform.
+        let u = 1.0 / xs.len() as f32;
+        for x in xs.iter_mut() {
+            *x = u;
+        }
+    }
+}
+
+/// Max-shifted log-sum-exp.
+pub fn log_sum_exp(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return f32::NEG_INFINITY;
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f32 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Binary cross-entropy on a probability, clamped away from {0,1} for
+/// finiteness.
+#[inline]
+pub fn binary_cross_entropy(p: f32, label: f32) -> f32 {
+    let p = p.clamp(1e-7, 1.0 - 1e-7);
+    -(label * p.ln() + (1.0 - label) * (1.0 - p).ln())
+}
+
+/// Focal binary cross-entropy (Lin et al.) with focusing parameter `gamma`.
+///
+/// The paper trains Zoomer with a "focal cross-entropy loss" with focal
+/// weight 2; this is the standard focal loss with γ = 2, which down-weights
+/// easy examples so training concentrates on the hard, informative ones.
+#[inline]
+pub fn focal_cross_entropy(p: f32, label: f32, gamma: f32) -> f32 {
+    let p = p.clamp(1e-7, 1.0 - 1e-7);
+    let pt = if label > 0.5 { p } else { 1.0 - p };
+    -(1.0 - pt).powf(gamma) * pt.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        for &x in &[-3.0, -0.5, 0.5, 3.0] {
+            let s = sigmoid(x);
+            assert!(s > 0.0 && s < 1.0, "sigmoid({x}) = {s}");
+            assert!((s + sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+        // For |x| ≥ ~17, f32 rounds to the saturation value but stays in [0,1].
+        assert!((0.0..=1.0).contains(&sigmoid(50.0)));
+        assert!((0.0..=1.0).contains(&sigmoid(-50.0)));
+    }
+
+    #[test]
+    fn sigmoid_extreme_inputs_finite() {
+        assert!(sigmoid(1e9).is_finite());
+        assert!(sigmoid(-1e9).is_finite());
+        assert!(sigmoid(1e9) > 0.999_999);
+        assert!(sigmoid(-1e9) < 1e-6);
+    }
+
+    #[test]
+    fn leaky_relu_slopes() {
+        assert_eq!(leaky_relu(2.0), 2.0);
+        assert!((leaky_relu(-2.0) + 0.02).abs() < 1e-7);
+        assert_eq!(leaky_relu_grad(1.0), 1.0);
+        assert_eq!(leaky_relu_grad(-1.0), 0.01);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = stable_softmax(&[1.0, 2.0, 3.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_shift_invariance() {
+        let a = stable_softmax(&[1.0, 2.0, 3.0]);
+        let b = stable_softmax(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_huge_values_no_nan() {
+        let p = stable_softmax(&[1e30, 1e30, -1e30]);
+        assert!(p.iter().all(|x| x.is_finite()));
+        assert!((p[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_empty_and_singleton() {
+        assert!(stable_softmax(&[]).is_empty());
+        assert_eq!(stable_softmax(&[42.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn softmax_all_neg_inf_uniform() {
+        let p = stable_softmax(&[f32::NEG_INFINITY, f32::NEG_INFINITY]);
+        assert!((p[0] - 0.5).abs() < 1e-6 && (p[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lse_matches_naive_on_small_values() {
+        let xs = [0.1f32, 0.5, -0.3];
+        let naive = xs.iter().map(|x| x.exp()).sum::<f32>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lse_empty_is_neg_inf() {
+        assert_eq!(log_sum_exp(&[]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn bce_at_confident_correct_is_small() {
+        assert!(binary_cross_entropy(0.999, 1.0) < 0.01);
+        assert!(binary_cross_entropy(0.001, 0.0) < 0.01);
+        assert!(binary_cross_entropy(0.001, 1.0) > 5.0);
+    }
+
+    #[test]
+    fn bce_finite_at_exact_zero_one() {
+        assert!(binary_cross_entropy(0.0, 1.0).is_finite());
+        assert!(binary_cross_entropy(1.0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn focal_downweights_easy_examples() {
+        // Easy example: p close to label. Focal loss should be much smaller
+        // than plain BCE; hard examples should stay comparable.
+        let easy_bce = binary_cross_entropy(0.9, 1.0);
+        let easy_focal = focal_cross_entropy(0.9, 1.0, 2.0);
+        assert!(easy_focal < 0.05 * easy_bce + 1e-3);
+        let hard_bce = binary_cross_entropy(0.1, 1.0);
+        let hard_focal = focal_cross_entropy(0.1, 1.0, 2.0);
+        assert!(hard_focal > 0.5 * hard_bce);
+    }
+
+    #[test]
+    fn focal_gamma_zero_is_bce() {
+        let p = 0.3;
+        assert!((focal_cross_entropy(p, 1.0, 0.0) - binary_cross_entropy(p, 1.0)).abs() < 1e-6);
+    }
+}

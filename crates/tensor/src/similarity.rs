@@ -1,0 +1,147 @@
+//! Similarity kernels, including the paper's focal-relevance kernel (eq. 5).
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn l2_norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`; returns 0 if either vector is all-zero.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na <= f32::EPSILON || nb <= f32::EPSILON {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// The paper's focal-relevance score (eq. 5), a continuous Tanimoto
+/// coefficient:
+///
+/// ```text
+/// e = (Fc · Fj) / (‖Fc‖² + ‖Fj‖² − Fc · Fj)
+/// ```
+///
+/// Larger when `f_j` is more relevant (closer, in both direction and
+/// magnitude) to the focal vector `f_c`. For two all-zero vectors the
+/// denominator vanishes; we define the score as 0 there (no evidence of
+/// relevance).
+pub fn tanimoto_similarity(f_c: &[f32], f_j: &[f32]) -> f32 {
+    let d = dot(f_c, f_j);
+    let denom = dot(f_c, f_c) + dot(f_j, f_j) - d;
+    if denom.abs() <= f32::EPSILON {
+        0.0
+    } else {
+        d / denom
+    }
+}
+
+/// Jaccard similarity of two sets represented as sorted, deduplicated slices.
+///
+/// Used by the graph builder to weight similarity-based edges from MinHash
+/// signatures (the exact version, for testing MinHash's estimate against).
+pub fn jaccard_exact(a: &[u64], b: &[u64]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "jaccard_exact: `a` must be sorted+dedup");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "jaccard_exact: `b` must be sorted+dedup");
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter as f64 / (a.len() + b.len() - inter) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm_basics() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let v = [0.3, -0.7, 2.0];
+        assert!((cosine_similarity(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_opposite_is_minus_one() {
+        let v = [1.0, 2.0];
+        let w = [-1.0, -2.0];
+        assert!((cosine_similarity(&v, &w) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 5.0]).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn tanimoto_identical_is_one() {
+        let v = [1.0, 2.0, 3.0];
+        assert!((tanimoto_similarity(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanimoto_orders_by_relevance() {
+        // A vector aligned with the focal should score higher than an
+        // orthogonal one, which should score higher than an opposed one.
+        let focal = [1.0, 0.0];
+        let aligned = [0.9, 0.1];
+        let ortho = [0.0, 1.0];
+        let opposed = [-1.0, 0.0];
+        let s_a = tanimoto_similarity(&focal, &aligned);
+        let s_o = tanimoto_similarity(&focal, &ortho);
+        let s_n = tanimoto_similarity(&focal, &opposed);
+        assert!(s_a > s_o && s_o > s_n, "{s_a} {s_o} {s_n}");
+    }
+
+    #[test]
+    fn tanimoto_zero_vectors_defined() {
+        assert_eq!(tanimoto_similarity(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn tanimoto_penalizes_magnitude_mismatch() {
+        // Unlike cosine, Tanimoto is sensitive to magnitude: a scaled copy
+        // scores below 1.
+        let v = [1.0, 1.0];
+        let w = [10.0, 10.0];
+        assert!((cosine_similarity(&v, &w) - 1.0).abs() < 1e-6);
+        assert!(tanimoto_similarity(&v, &w) < 0.5);
+    }
+
+    #[test]
+    fn jaccard_exact_basics() {
+        assert_eq!(jaccard_exact(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(jaccard_exact(&[1, 2], &[3, 4]), 0.0);
+        assert!((jaccard_exact(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-9);
+        assert_eq!(jaccard_exact(&[], &[]), 0.0);
+    }
+}

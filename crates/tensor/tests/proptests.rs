@@ -1,0 +1,102 @@
+//! Property-based tests for the tensor crate's core invariants.
+
+use proptest::prelude::*;
+use zoomer_tensor::{
+    auc, cosine_similarity, stable_softmax, tanimoto_similarity, Matrix,
+};
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    (-100.0f32..100.0).prop_map(|x| (x * 100.0).round() / 100.0)
+}
+
+fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(small_f32(), len)
+}
+
+proptest! {
+    #[test]
+    fn softmax_is_distribution(xs in prop::collection::vec(-50.0f32..50.0, 1..32)) {
+        let p = stable_softmax(&xs);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn softmax_preserves_order(xs in prop::collection::vec(-50.0f32..50.0, 2..16)) {
+        let p = stable_softmax(&xs);
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                if xs[i] > xs[j] {
+                    prop_assert!(p[i] >= p[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_bounded(a in vec_f32(8), b in vec_f32(8)) {
+        let c = cosine_similarity(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&c));
+        // Symmetry.
+        prop_assert!((c - cosine_similarity(&b, &a)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn tanimoto_bounded_above_by_one(a in vec_f32(8), b in vec_f32(8)) {
+        // Tanimoto over reals is ≤ 1 (equality iff a == b) and ≥ -1/3.
+        let t = tanimoto_similarity(&a, &b);
+        prop_assert!(t <= 1.0 + 1e-5, "t = {t}");
+        prop_assert!(t >= -1.0 / 3.0 - 1e-4, "t = {t}");
+        prop_assert!((t - tanimoto_similarity(&b, &a)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in vec_f32(12), b in vec_f32(12), c in vec_f32(12)
+    ) {
+        let a = Matrix::from_vec(3, 4, a);
+        let b = Matrix::from_vec(4, 3, b);
+        let c = Matrix::from_vec(4, 3, c);
+        let lhs = a.matmul(&(&b + &c));
+        let rhs = &a.matmul(&b) + &a.matmul(&c);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-2);
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(a in vec_f32(6), b in vec_f32(6)) {
+        let a = Matrix::from_vec(2, 3, a);
+        let b = Matrix::from_vec(3, 2, b);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn auc_invariant_to_monotone_transform(
+        pairs in prop::collection::vec((0.0f32..1.0, prop::bool::ANY), 4..64)
+    ) {
+        let scores: Vec<f32> = pairs.iter().map(|(s, _)| *s).collect();
+        let labels: Vec<f32> = pairs.iter().map(|(_, l)| if *l { 1.0 } else { 0.0 }).collect();
+        let base = auc(&scores, &labels);
+        // Apply a strictly increasing transform that cannot saturate in f32
+        // over [0, 1] (tanh-style squashers collapse nearby scores into ties
+        // and change the AUC): an affine map.
+        let transformed: Vec<f32> = scores.iter().map(|&s| 2.5 * s - 0.75).collect();
+        let t = auc(&transformed, &labels);
+        prop_assert!((base - t).abs() < 1e-6, "{base} vs {t}");
+    }
+
+    #[test]
+    fn auc_flipping_scores_complements(
+        pairs in prop::collection::vec((0.0f32..1.0, prop::bool::ANY), 4..64)
+    ) {
+        let scores: Vec<f32> = pairs.iter().map(|(s, _)| *s).collect();
+        let labels: Vec<f32> = pairs.iter().map(|(_, l)| if *l { 1.0 } else { 0.0 }).collect();
+        let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
+        prop_assume!(n_pos > 0 && n_pos < labels.len());
+        let base = auc(&scores, &labels);
+        let neg: Vec<f32> = scores.iter().map(|&s| -s).collect();
+        prop_assert!((base + auc(&neg, &labels) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,172 @@
+//! Evaluation: AUC/MAE/RMSE over test examples and HitRate@K retrieval.
+
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use zoomer_data::RetrievalExample;
+use zoomer_graph::{HeteroGraph, NodeId};
+use zoomer_model::CtrModel;
+use zoomer_tensor::metrics::BinaryMetrics;
+use zoomer_tensor::seeded_rng;
+
+/// Metric bundle for one model on one test set.
+#[derive(Clone, Debug)]
+pub struct EvalReport {
+    pub auc: f64,
+    pub mae: f64,
+    pub rmse: f64,
+    /// HitRate@K for each requested K, in request order.
+    pub hit_rates: Vec<(usize, f64)>,
+}
+
+/// Score every test example and compute AUC / MAE / RMSE.
+pub fn evaluate_auc(
+    model: &mut dyn CtrModel,
+    graph: &HeteroGraph,
+    examples: &[RetrievalExample],
+    rng: &mut ChaCha8Rng,
+) -> BinaryMetrics {
+    let mut metrics = BinaryMetrics::new();
+    for ex in examples {
+        let p = model.predict(graph, ex, rng);
+        metrics.push(p, ex.label);
+    }
+    metrics
+}
+
+/// HitRate@K (§VII-A): for each positive test interaction, embed the
+/// (user, query) request, rank all `item_pool` items by tower dot product,
+/// and check whether the clicked item lands in the top K.
+///
+/// Item embeddings are computed once; request ranking is data-parallel.
+pub fn evaluate_hitrate(
+    model: &mut dyn CtrModel,
+    graph: &HeteroGraph,
+    positives: &[RetrievalExample],
+    item_pool: &[NodeId],
+    ks: &[usize],
+    seed: u64,
+) -> Vec<(usize, f64)> {
+    assert!(!item_pool.is_empty(), "empty item pool");
+    let item_embs: Vec<(NodeId, Vec<f32>)> = item_pool
+        .iter()
+        .map(|&i| (i, model.item_embedding(graph, i)))
+        .collect();
+    // Request embeddings (sequential: model is &mut).
+    let mut rng = seeded_rng(seed);
+    let requests: Vec<(Vec<f32>, NodeId)> = positives
+        .iter()
+        .map(|ex| (model.uq_embedding(graph, ex.user, ex.query, &mut rng), ex.item))
+        .collect();
+    let max_k = ks.iter().copied().max().unwrap_or(0).min(item_embs.len());
+    // Ranking is pure math → rayon.
+    let ranked: Vec<(Vec<NodeId>, u64)> = requests
+        .par_iter()
+        .map(|(uq, clicked)| {
+            let mut scored: Vec<(NodeId, f32)> = item_embs
+                .iter()
+                .map(|(id, emb)| {
+                    let s: f32 = uq.iter().zip(emb).map(|(&a, &b)| a * b).sum();
+                    (*id, s)
+                })
+                .collect();
+            // Partial top-k selection then sort the head.
+            let pivot = max_k.saturating_sub(1).min(scored.len() - 1);
+            scored.select_nth_unstable_by(pivot, |a, b| {
+                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            scored.truncate(max_k);
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            (
+                scored.into_iter().map(|(id, _)| id).collect::<Vec<_>>(),
+                *clicked as u64,
+            )
+        })
+        .collect();
+    let reqs: Vec<(Vec<u64>, u64)> = ranked
+        .into_iter()
+        .map(|(ids, clicked)| (ids.into_iter().map(|i| i as u64).collect(), clicked))
+        .collect();
+    ks.iter()
+        .map(|&k| (k, zoomer_tensor::hit_rate_at_k(&reqs, k)))
+        .collect()
+}
+
+/// Full evaluation: AUC-family metrics plus HitRate@K over the positives.
+pub fn full_eval(
+    model: &mut dyn CtrModel,
+    graph: &HeteroGraph,
+    test: &[RetrievalExample],
+    item_pool: &[NodeId],
+    ks: &[usize],
+    seed: u64,
+) -> EvalReport {
+    let mut rng = seeded_rng(seed);
+    let metrics = evaluate_auc(model, graph, test, &mut rng);
+    let positives: Vec<RetrievalExample> =
+        test.iter().filter(|e| e.label > 0.5).copied().collect();
+    let hit_rates = if positives.is_empty() || item_pool.is_empty() || ks.is_empty() {
+        ks.iter().map(|&k| (k, 0.0)).collect()
+    } else {
+        evaluate_hitrate(model, graph, &positives, item_pool, ks, seed ^ 0x417)
+    };
+    EvalReport { auc: metrics.auc(), mae: metrics.mae(), rmse: metrics.rmse(), hit_rates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoomer_data::{TaobaoConfig, TaobaoData};
+    use zoomer_model::{ModelConfig, UnifiedCtrModel};
+
+    fn setup() -> (TaobaoData, UnifiedCtrModel) {
+        let data = TaobaoData::generate(TaobaoConfig::tiny(41));
+        let dd = data.graph.features().dense_dim();
+        let model = UnifiedCtrModel::new(ModelConfig::zoomer(9, dd));
+        (data, model)
+    }
+
+    #[test]
+    fn auc_eval_is_within_bounds() {
+        let (data, mut model) = setup();
+        let examples = data.ctr_examples();
+        let mut rng = seeded_rng(1);
+        let m = evaluate_auc(&mut model, &data.graph, &examples[..100], &mut rng);
+        assert_eq!(m.len(), 100);
+        let auc = m.auc();
+        assert!((0.0..=1.0).contains(&auc));
+    }
+
+    #[test]
+    fn hitrate_is_monotone_in_k() {
+        let (data, mut model) = setup();
+        let positives: Vec<RetrievalExample> = data
+            .ctr_examples()
+            .into_iter()
+            .filter(|e| e.label > 0.5)
+            .take(20)
+            .collect();
+        let items = data.item_nodes();
+        let hr = evaluate_hitrate(&mut model, &data.graph, &positives, &items, &[5, 20, 80], 3);
+        assert_eq!(hr.len(), 3);
+        assert!(hr[0].1 <= hr[1].1 && hr[1].1 <= hr[2].1, "{hr:?}");
+        // With K = whole pool, every positive is a hit.
+        let all =
+            evaluate_hitrate(&mut model, &data.graph, &positives, &items, &[items.len()], 3);
+        assert!((all[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_eval_handles_empty_positives() {
+        let (data, mut model) = setup();
+        let negatives: Vec<RetrievalExample> = data
+            .ctr_examples()
+            .into_iter()
+            .filter(|e| e.label < 0.5)
+            .take(10)
+            .collect();
+        let items = data.item_nodes();
+        let r = full_eval(&mut model, &data.graph, &negatives, &items, &[10], 4);
+        assert_eq!(r.hit_rates, vec![(10, 0.0)]);
+        assert_eq!(r.auc, 0.5); // single class
+    }
+}

@@ -1,0 +1,22 @@
+//! Training and evaluation harness for the Zoomer reproduction.
+//!
+//! This crate is the Rust counterpart of the paper's XDL-based distributed
+//! training stack (§VI): a single-threaded [`trainer`] with AUC-target early
+//! stopping and time accounting, an [`eval`] module computing the paper's
+//! metrics (AUC / MAE / RMSE / HitRate@K), a worker/parameter-server
+//! simulation ([`ps`]) with hash-sharded dense parameters and asynchronous
+//! (stale) push/pull, and the three-stage asynchronous [`pipeline`] the paper
+//! describes ("reading subgraphs, reading embeddings, and the training
+//! computation in a fully asynchronous pipeline").
+
+pub mod eval;
+pub mod pipeline;
+pub mod ps;
+pub mod schedule;
+pub mod trainer;
+
+pub use eval::{evaluate_auc, evaluate_hitrate, EvalReport};
+pub use schedule::{clip_global_norm, LrSchedule};
+pub use pipeline::pipeline3;
+pub use ps::{PsCluster, PsTrainConfig};
+pub use trainer::{train, TrainReport, TrainerConfig};

@@ -1,0 +1,132 @@
+//! Learning-rate schedules and gradient clipping — the training-stability
+//! tooling a production trainer (XDL) ships with.
+
+use zoomer_tensor::Matrix;
+
+/// A learning-rate schedule: maps the global step to a multiplier on the
+/// base learning rate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// Constant multiplier 1.
+    Constant,
+    /// Linear warmup over `warmup_steps`, then constant.
+    Warmup { warmup_steps: usize },
+    /// Linear warmup then inverse-square-root decay (Transformer-style).
+    WarmupInverseSqrt { warmup_steps: usize },
+    /// Step decay: multiply by `factor` every `every` steps.
+    StepDecay { every: usize, factor: f32 },
+}
+
+impl LrSchedule {
+    /// Multiplier at `step` (0-based).
+    pub fn multiplier(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Warmup { warmup_steps } => {
+                if warmup_steps == 0 {
+                    1.0
+                } else {
+                    ((step + 1) as f32 / warmup_steps as f32).min(1.0)
+                }
+            }
+            LrSchedule::WarmupInverseSqrt { warmup_steps } => {
+                let w = warmup_steps.max(1) as f32;
+                let s = (step + 1) as f32;
+                (s / w).min((w / s).sqrt())
+            }
+            LrSchedule::StepDecay { every, factor } => step
+                .checked_div(every)
+                .map_or(1.0, |periods| factor.powi(periods as i32)),
+        }
+    }
+}
+
+/// Clip a set of gradients to a global L2 norm; returns the pre-clip norm.
+/// Gradients are scaled in place only when the norm exceeds `max_norm`.
+pub fn clip_global_norm<'a>(
+    grads: impl IntoIterator<Item = &'a mut Matrix>,
+    max_norm: f32,
+) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let mut mats: Vec<&'a mut Matrix> = grads.into_iter().collect();
+    let total: f32 = mats
+        .iter()
+        .map(|m| m.as_slice().iter().map(|&x| x * x).sum::<f32>())
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm {
+        let scale = max_norm / total;
+        for m in &mut mats {
+            m.map_inplace(|x| x * scale);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one_everywhere() {
+        for step in [0, 10, 1_000_000] {
+            assert_eq!(LrSchedule::Constant.multiplier(step), 1.0);
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_then_holds() {
+        let s = LrSchedule::Warmup { warmup_steps: 10 };
+        assert!((s.multiplier(0) - 0.1).abs() < 1e-6);
+        assert!((s.multiplier(4) - 0.5).abs() < 1e-6);
+        assert_eq!(s.multiplier(9), 1.0);
+        assert_eq!(s.multiplier(100), 1.0);
+    }
+
+    #[test]
+    fn inverse_sqrt_peaks_at_warmup_end() {
+        let s = LrSchedule::WarmupInverseSqrt { warmup_steps: 100 };
+        let peak = s.multiplier(99);
+        assert!(s.multiplier(10) < peak);
+        assert!(s.multiplier(400) < peak);
+        // At 4× warmup, multiplier should be 1/2.
+        assert!((s.multiplier(399) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay { every: 100, factor: 0.5 };
+        assert_eq!(s.multiplier(0), 1.0);
+        assert_eq!(s.multiplier(99), 1.0);
+        assert_eq!(s.multiplier(100), 0.5);
+        assert_eq!(s.multiplier(250), 0.25);
+    }
+
+    #[test]
+    fn clip_rescales_only_when_needed() {
+        let mut a = Matrix::from_vec(1, 2, vec![3.0, 0.0]);
+        let mut b = Matrix::from_vec(1, 2, vec![0.0, 4.0]);
+        // Global norm = 5; clip at 10 → untouched.
+        let n = clip_global_norm([&mut a, &mut b], 10.0);
+        assert!((n - 5.0).abs() < 1e-6);
+        assert_eq!(a.as_slice(), &[3.0, 0.0]);
+        // Clip at 1 → scaled to norm 1.
+        let n = clip_global_norm([&mut a, &mut b], 1.0);
+        assert!((n - 5.0).abs() < 1e-6);
+        let total: f32 = a
+            .as_slice()
+            .iter()
+            .chain(b.as_slice())
+            .map(|&x| x * x)
+            .sum::<f32>()
+            .sqrt();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_norm must be positive")]
+    fn zero_max_norm_panics() {
+        let mut a = Matrix::zeros(1, 1);
+        let _ = clip_global_norm([&mut a], 0.0);
+    }
+}

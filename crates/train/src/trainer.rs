@@ -1,0 +1,291 @@
+//! Single-process trainer with AUC-target early stopping and time accounting
+//! (drives Table II/III, Fig 8, Fig 10–12).
+
+use std::time::{Duration, Instant};
+
+use rand::seq::SliceRandom;
+use zoomer_data::{RetrievalExample, TrainTestSplit};
+use zoomer_graph::HeteroGraph;
+use zoomer_model::CtrModel;
+use zoomer_tensor::seeded_rng;
+
+use crate::eval::evaluate_auc;
+use crate::schedule::LrSchedule;
+
+/// Trainer parameters.
+#[derive(Clone, Debug)]
+pub struct TrainerConfig {
+    /// Maximum epochs over the training set (paper: 5).
+    pub epochs: usize,
+    /// Evaluate on (a sample of) the test set every this many steps;
+    /// `None` evaluates once per epoch.
+    pub eval_every: Option<usize>,
+    /// Stop as soon as test AUC reaches this value (Fig 10's protocol:
+    /// "achieving AUC equals 0.6 as a goal").
+    pub auc_target: Option<f64>,
+    /// Cap on test examples per evaluation (keeps eval cheap inside loops).
+    pub eval_sample: usize,
+    /// Cap on training examples per epoch (simulated-budget experiments).
+    pub max_steps_per_epoch: Option<usize>,
+    /// Learning-rate schedule applied to the model's base LR per global step.
+    pub schedule: LrSchedule,
+    /// Examples accumulated per optimizer step (paper: 1024). 1 = pure SGD.
+    pub batch_size: usize,
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 5,
+            eval_every: None,
+            auc_target: None,
+            eval_sample: 500,
+            max_steps_per_epoch: None,
+            schedule: LrSchedule::Constant,
+            batch_size: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    pub epochs_run: usize,
+    pub steps: usize,
+    pub elapsed: Duration,
+    /// Mean train loss per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Test AUC after each evaluation point.
+    pub auc_curve: Vec<f64>,
+    /// Final test AUC (last evaluation).
+    pub final_auc: f64,
+    /// Whether the AUC target (if any) was reached.
+    pub reached_target: bool,
+}
+
+impl TrainReport {
+    /// Steps per second over the whole run.
+    pub fn steps_per_sec(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.steps as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Train `model` on the split; evaluates on a deterministic test sample.
+pub fn train(
+    model: &mut dyn CtrModel,
+    graph: &HeteroGraph,
+    split: &TrainTestSplit,
+    config: &TrainerConfig,
+) -> TrainReport {
+    let mut rng = seeded_rng(config.seed);
+    let mut order: Vec<usize> = (0..split.train.len()).collect();
+    let eval_set: Vec<RetrievalExample> = balanced_eval_sample(&split.test, config.eval_sample);
+
+    let start = Instant::now();
+    let mut report = TrainReport {
+        epochs_run: 0,
+        steps: 0,
+        elapsed: Duration::ZERO,
+        epoch_losses: Vec::new(),
+        auc_curve: Vec::new(),
+        final_auc: 0.5,
+        reached_target: false,
+    };
+
+    'outer: for _epoch in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut loss_count = 0usize;
+        let steps_this_epoch = config
+            .max_steps_per_epoch
+            .unwrap_or(usize::MAX)
+            .min(order.len());
+        let batch_size = config.batch_size.max(1);
+        let taken: Vec<usize> = order.iter().take(steps_this_epoch).copied().collect();
+        for (chunk_i, chunk) in taken.chunks(batch_size).enumerate() {
+            let step = chunk_i * batch_size;
+            if config.schedule != LrSchedule::Constant {
+                let lr = model.base_learning_rate() * config.schedule.multiplier(report.steps);
+                model.set_learning_rate(lr);
+            }
+            let loss = if chunk.len() == 1 {
+                model.train_step(graph, &split.train[chunk[0]], &mut rng)
+            } else {
+                let batch: Vec<RetrievalExample> =
+                    chunk.iter().map(|&i| split.train[i]).collect();
+                model.train_batch(graph, &batch, &mut rng)
+            };
+            loss_sum += loss as f64;
+            loss_count += 1;
+            report.steps += chunk.len();
+            if let Some(every) = config.eval_every {
+                if step / every != (step + chunk.len()) / every {
+                    let auc = eval_point(model, graph, &eval_set, config.seed);
+                    report.auc_curve.push(auc);
+                    report.final_auc = auc;
+                    if let Some(target) = config.auc_target {
+                        if auc >= target {
+                            report.reached_target = true;
+                            report.epochs_run += 1;
+                            report.epoch_losses.push(loss_sum / loss_count.max(1) as f64);
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        report.epochs_run += 1;
+        report.epoch_losses.push(loss_sum / loss_count.max(1) as f64);
+        let auc = eval_point(model, graph, &eval_set, config.seed);
+        report.auc_curve.push(auc);
+        report.final_auc = auc;
+        if let Some(target) = config.auc_target {
+            if auc >= target {
+                report.reached_target = true;
+                break;
+            }
+        }
+    }
+    report.elapsed = start.elapsed();
+    report
+}
+
+fn eval_point(
+    model: &mut dyn CtrModel,
+    graph: &HeteroGraph,
+    eval_set: &[RetrievalExample],
+    seed: u64,
+) -> f64 {
+    let mut rng = seeded_rng(seed ^ 0xEBA1);
+    evaluate_auc(model, graph, eval_set, &mut rng).auc()
+}
+
+/// Deterministic evaluation sample preserving both classes where possible.
+fn balanced_eval_sample(test: &[RetrievalExample], cap: usize) -> Vec<RetrievalExample> {
+    if test.len() <= cap {
+        return test.to_vec();
+    }
+    let positives: Vec<&RetrievalExample> = test.iter().filter(|e| e.label > 0.5).collect();
+    let negatives: Vec<&RetrievalExample> = test.iter().filter(|e| e.label <= 0.5).collect();
+    let half = cap / 2;
+    let take_pos = positives.len().min(half);
+    let take_neg = negatives.len().min(cap - take_pos);
+    positives
+        .into_iter()
+        .take(take_pos)
+        .chain(negatives.into_iter().take(take_neg))
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoomer_data::{split_examples, TaobaoConfig, TaobaoData};
+    use zoomer_model::{ModelConfig, UnifiedCtrModel};
+
+    fn setup() -> (TaobaoData, TrainTestSplit) {
+        let data = TaobaoData::generate(TaobaoConfig::tiny(51));
+        let split = split_examples(data.ctr_examples(), 0.9, 51);
+        (data, split)
+    }
+
+    #[test]
+    fn training_improves_auc_over_untrained() {
+        let (data, split) = setup();
+        let dd = data.graph.features().dense_dim();
+        let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(3, dd));
+        let config = TrainerConfig { epochs: 2, eval_sample: 150, ..Default::default() };
+        let report = train(&mut model, &data.graph, &split, &config);
+        assert_eq!(report.epochs_run, 2);
+        assert!(report.steps > 0);
+        assert!(
+            report.final_auc > 0.55,
+            "trained AUC should beat chance: {}",
+            report.final_auc
+        );
+        // Loss should broadly decrease epoch over epoch.
+        assert!(report.epoch_losses[1] <= report.epoch_losses[0] * 1.1);
+    }
+
+    #[test]
+    fn auc_target_stops_early() {
+        let (data, split) = setup();
+        let dd = data.graph.features().dense_dim();
+        let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(4, dd));
+        let config = TrainerConfig {
+            epochs: 50,
+            eval_every: Some(100),
+            auc_target: Some(0.55),
+            eval_sample: 100,
+            ..Default::default()
+        };
+        let report = train(&mut model, &data.graph, &split, &config);
+        assert!(report.reached_target, "target 0.55 should be reachable");
+        assert!(report.epochs_run < 50, "should stop early");
+    }
+
+    #[test]
+    fn max_steps_caps_epoch_length() {
+        let (data, split) = setup();
+        let dd = data.graph.features().dense_dim();
+        let mut model = UnifiedCtrModel::new(ModelConfig::graphsage(5, dd));
+        let config = TrainerConfig {
+            epochs: 2,
+            max_steps_per_epoch: Some(30),
+            eval_sample: 50,
+            ..Default::default()
+        };
+        let report = train(&mut model, &data.graph, &split, &config);
+        assert_eq!(report.steps, 60);
+        assert!(report.steps_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn lr_schedule_is_applied_and_training_still_works() {
+        let (data, split) = setup();
+        let dd = data.graph.features().dense_dim();
+        let mut model = UnifiedCtrModel::new(ModelConfig::graphsage(7, dd));
+        let config = TrainerConfig {
+            epochs: 1,
+            max_steps_per_epoch: Some(40),
+            eval_sample: 50,
+            schedule: crate::schedule::LrSchedule::Warmup { warmup_steps: 20 },
+            ..Default::default()
+        };
+        let report = train(&mut model, &data.graph, &split, &config);
+        assert_eq!(report.steps, 40);
+        assert!(report.final_auc.is_finite());
+    }
+
+    #[test]
+    fn minibatched_training_covers_all_examples() {
+        let (data, split) = setup();
+        let dd = data.graph.features().dense_dim();
+        let mut model = UnifiedCtrModel::new(ModelConfig::graphsage(8, dd));
+        let config = TrainerConfig {
+            epochs: 1,
+            max_steps_per_epoch: Some(40),
+            batch_size: 16,
+            eval_sample: 50,
+            ..Default::default()
+        };
+        let report = train(&mut model, &data.graph, &split, &config);
+        assert_eq!(report.steps, 40, "all capped examples consumed");
+        assert!(report.final_auc.is_finite());
+    }
+
+    #[test]
+    fn balanced_sample_keeps_both_classes() {
+        let (_, split) = setup();
+        let s = balanced_eval_sample(&split.test, 20);
+        assert!(s.len() <= 20);
+        let pos = s.iter().filter(|e| e.label > 0.5).count();
+        assert!(pos > 0 && pos < s.len(), "sample should keep both classes");
+    }
+}

@@ -1,0 +1,70 @@
+//! Online serving scenario (paper §VII-E): freeze a trained model, build the
+//! ANN inverted index, warm the neighbor caches, and drive the server with an
+//! open-loop load generator at increasing QPS — printing the latency curve
+//! the paper plots in Fig 9.
+//!
+//! Run with: `cargo run --release --example online_serving`
+
+use std::sync::Arc;
+
+use zoomer_core::data::TaobaoConfig;
+use zoomer_core::serving::{run_load_test, FrozenModel, OnlineServer, ServingConfig};
+use zoomer_core::train::TrainerConfig;
+use zoomer_core::{PipelineConfig, ZoomerPipeline};
+
+fn main() {
+    let seed = 33;
+    println!("== Online serving (Fig 9 protocol) ==");
+    let mut pipeline = ZoomerPipeline::new(PipelineConfig {
+        data: TaobaoConfig {
+            num_users: 300,
+            num_queries: 300,
+            num_items: 800,
+            num_sessions: 2_500,
+            ..TaobaoConfig::default_with_seed(seed)
+        },
+        trainer: TrainerConfig { epochs: 1, ..Default::default() },
+        seed,
+        ..Default::default()
+    });
+    let report = pipeline.train();
+    println!("trained to AUC {:.3}", report.final_auc);
+
+    // Freeze and stand the server up by hand to show the pieces.
+    let requests: Vec<(u32, u32)> = pipeline
+        .data()
+        .logs
+        .iter()
+        .take(400)
+        .map(|l| (l.user, l.query))
+        .collect();
+    let items = pipeline.data().item_nodes();
+    let graph = Arc::new(zoomer_core::graph::read_snapshot(
+        zoomer_core::graph::write_snapshot(&pipeline.data().graph),
+    )
+    .expect("graph snapshot roundtrip"));
+    let frozen = FrozenModel::from_model(pipeline.model_mut(), &graph);
+    let server = OnlineServer::build(
+        graph,
+        frozen,
+        &items,
+        ServingConfig { cache_k: 30, top_k: 100, ..Default::default() },
+        seed,
+    );
+
+    // Warm caches for the nodes the requests will touch (the paper's
+    // asynchronous cache updating, done up front here).
+    let warm: Vec<u32> = requests.iter().flat_map(|&(u, q)| [u, q]).collect();
+    server.warm_cache(&warm);
+    println!("warmed {} cache entries (k = 30)", server.cache().len());
+
+    println!("\n{:>8} {:>10} {:>10} {:>10} {:>10}", "QPS", "mean ms", "p50 ms", "p95 ms", "p99 ms");
+    for qps in [100.0, 500.0, 1000.0, 2000.0, 5000.0] {
+        let stats = run_load_test(&server, &requests, qps, 4);
+        println!(
+            "{:>8.0} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            qps, stats.mean_ms, stats.p50_ms, stats.p95_ms, stats.p99_ms
+        );
+    }
+    println!("\ncache hit rate: {:.1}%", server.cache().hit_rate() * 100.0);
+}

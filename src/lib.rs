@@ -1,0 +1,6 @@
+//! Meta-crate for the Zoomer reproduction: re-exports the whole public API
+//! of [`zoomer_core`]. Depend on this crate (or on `zoomer-core` directly)
+//! to use the library; the workspace-level `tests/` directory holds the
+//! cross-crate integration suite.
+
+pub use zoomer_core::*;

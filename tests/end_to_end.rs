@@ -1,0 +1,102 @@
+//! End-to-end integration: logs → graph → training → evaluation → frozen
+//! snapshot → ANN serving, across every crate in the workspace.
+
+use std::sync::Arc;
+
+use zoomer_core::data::{TaobaoConfig, TaobaoData};
+use zoomer_core::graph::{read_snapshot, write_snapshot, GraphStats, NodeType};
+use zoomer_core::serving::{FrozenModel, OnlineServer, ServingConfig};
+use zoomer_core::train::TrainerConfig;
+use zoomer_core::{PipelineConfig, ZoomerPipeline};
+
+fn tiny_pipeline(seed: u64) -> ZoomerPipeline {
+    ZoomerPipeline::new(PipelineConfig {
+        data: TaobaoConfig::tiny(seed),
+        trainer: TrainerConfig { epochs: 1, eval_sample: 150, ..Default::default() },
+        seed,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn full_pipeline_trains_and_serves() {
+    let mut pipeline = tiny_pipeline(201);
+    let stats = GraphStats::compute(&pipeline.data().graph);
+    assert!(stats.num_nodes > 0 && stats.num_edges > 0);
+
+    let report = pipeline.train();
+    assert!(report.steps > 0);
+    assert!(report.final_auc > 0.45, "AUC collapsed: {}", report.final_auc);
+
+    let eval = pipeline.evaluate(&[10, 40]);
+    assert!(eval.auc > 0.45);
+    assert!(eval.hit_rates[0].1 <= eval.hit_rates[1].1);
+
+    let request = pipeline.data().logs[0].clone();
+    let server = pipeline.into_server();
+    let retrieved = server.handle(request.user, request.query);
+    assert!(!retrieved.is_empty());
+}
+
+#[test]
+fn graph_survives_snapshot_into_serving() {
+    // Build data, snapshot the graph to bytes, reload, and serve from the
+    // reloaded copy — the ODPS → HDFS → graph-engine handoff of §VI.
+    let data = TaobaoData::generate(TaobaoConfig::tiny(202));
+    let bytes = write_snapshot(&data.graph);
+    let reloaded = read_snapshot(bytes).expect("snapshot readable");
+    assert_eq!(reloaded.num_nodes(), data.graph.num_nodes());
+    assert_eq!(reloaded.num_edges(), data.graph.num_edges());
+
+    let dd = reloaded.features().dense_dim();
+    let mut model = zoomer_core::model::UnifiedCtrModel::new(
+        zoomer_core::model::ModelConfig::zoomer(202, dd),
+    );
+    let frozen = FrozenModel::from_model(&mut model, &reloaded);
+    let items = data.item_nodes();
+    let server = OnlineServer::build(
+        Arc::new(reloaded),
+        frozen,
+        &items,
+        ServingConfig::default(),
+        202,
+    );
+    let log = &data.logs[0];
+    let result = server.handle(log.user, log.query);
+    assert!(!result.is_empty());
+    for &item in &result {
+        assert_eq!(data.graph.node_type(item), NodeType::Item);
+    }
+}
+
+#[test]
+fn retrieval_results_are_items_only_and_deterministic() {
+    let mut pipeline = tiny_pipeline(203);
+    let _ = pipeline.train();
+    let log = pipeline.data().logs[5].clone();
+    let server = pipeline.into_server();
+    let a = server.handle(log.user, log.query);
+    let b = server.handle(log.user, log.query);
+    assert_eq!(a, b, "same request must return the same ranking");
+}
+
+#[test]
+fn movielens_pipeline_spans_crates() {
+    use zoomer_core::data::{split_examples, MovieLensConfig, MovieLensData};
+    use zoomer_core::model::{ModelConfig, UnifiedCtrModel};
+    use zoomer_core::train::{train, TrainerConfig};
+
+    let data = MovieLensData::generate(MovieLensConfig::tiny(204));
+    let split = split_examples(data.examples.clone(), 0.8, 204);
+    let dd = data.graph.features().dense_dim();
+    let mut config = ModelConfig::zoomer(204, dd);
+    config.hops = 1;
+    let mut model = UnifiedCtrModel::new(config);
+    let report = train(
+        &mut model,
+        &data.graph,
+        &split,
+        &TrainerConfig { epochs: 1, eval_sample: 150, ..Default::default() },
+    );
+    assert!(report.final_auc > 0.45, "MovieLens AUC collapsed: {}", report.final_auc);
+}

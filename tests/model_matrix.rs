@@ -1,0 +1,107 @@
+//! Matrix test: every model preset × real generated data. Each preset must
+//! train without numeric blowups, emit probabilities, and expose working
+//! tower embeddings.
+
+use zoomer_core::data::{split_examples, TaobaoConfig, TaobaoData};
+use zoomer_core::model::{CtrModel, ModelConfig, UnifiedCtrModel};
+use zoomer_core::tensor::seeded_rng;
+
+const PRESETS: [&str; 16] = [
+    "zoomer",
+    "gcn",
+    "zoomer-fe",
+    "zoomer-fs",
+    "zoomer-es",
+    "graphsage",
+    "gat",
+    "han",
+    "pinsage",
+    "pinnersage",
+    "pixie",
+    "stamp",
+    "gce-gnn",
+    "fgnn",
+    "mccf",
+    "multisage",
+];
+
+#[test]
+fn every_preset_trains_and_predicts() {
+    let data = TaobaoData::generate(TaobaoConfig::tiny(301));
+    let split = split_examples(data.ctr_examples(), 0.9, 301);
+    let dd = data.graph.features().dense_dim();
+    for preset in PRESETS {
+        let mut model =
+            UnifiedCtrModel::new(ModelConfig::preset(preset, 301, dd).expect("preset"));
+        let mut rng = seeded_rng(301);
+        let mut losses = Vec::new();
+        for ex in split.train.iter().take(60) {
+            let loss = model.train_step(&data.graph, ex, &mut rng);
+            assert!(loss.is_finite(), "{preset}: non-finite loss");
+            losses.push(loss);
+        }
+        for ex in split.test.iter().take(20) {
+            let p = model.predict(&data.graph, ex, &mut rng);
+            assert!((0.0..=1.0).contains(&p), "{preset}: p = {p}");
+        }
+        let ex = split.test[0];
+        let uq = model.uq_embedding(&data.graph, ex.user, ex.query, &mut rng);
+        let item = model.item_embedding(&data.graph, ex.item);
+        assert_eq!(uq.len(), model.config().embed_dim, "{preset}");
+        assert_eq!(item.len(), model.config().embed_dim, "{preset}");
+        assert!(uq.iter().all(|x| x.is_finite()), "{preset}: uq has NaN");
+    }
+}
+
+#[test]
+fn fanout_sweep_runs_for_sampler_equipped_models() {
+    // Fig 11 sweeps K; every sampler-equipped method must accept any K.
+    let data = TaobaoData::generate(TaobaoConfig::tiny(302));
+    let split = split_examples(data.ctr_examples(), 0.9, 302);
+    let dd = data.graph.features().dense_dim();
+    for preset in ["zoomer", "graphsage", "pinsage", "pinnersage", "pixie"] {
+        for k in [1, 5, 30] {
+            let mut model =
+                UnifiedCtrModel::new(ModelConfig::preset(preset, 302, dd).expect("preset"));
+            model.set_fanout(k);
+            let mut rng = seeded_rng(302);
+            for ex in split.train.iter().take(10) {
+                let loss = model.train_step(&data.graph, ex, &mut rng);
+                assert!(loss.is_finite(), "{preset} k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn zoomer_one_hop_matches_movielens_protocol() {
+    let data = TaobaoData::generate(TaobaoConfig::tiny(303));
+    let split = split_examples(data.ctr_examples(), 0.9, 303);
+    let dd = data.graph.features().dense_dim();
+    let mut config = ModelConfig::zoomer(303, dd);
+    config.hops = 1;
+    let mut model = UnifiedCtrModel::new(config);
+    let mut rng = seeded_rng(303);
+    for ex in split.train.iter().take(30) {
+        assert!(model.train_step(&data.graph, ex, &mut rng).is_finite());
+    }
+}
+
+#[test]
+fn training_is_deterministic_given_seeds() {
+    let data = TaobaoData::generate(TaobaoConfig::tiny(304));
+    let split = split_examples(data.ctr_examples(), 0.9, 304);
+    let dd = data.graph.features().dense_dim();
+    let run = || {
+        let mut model =
+            UnifiedCtrModel::new(ModelConfig::preset("zoomer", 304, dd).expect("preset"));
+        let mut rng = seeded_rng(304);
+        split
+            .train
+            .iter()
+            .take(40)
+            .map(|ex| model.train_step(&data.graph, ex, &mut rng))
+            .collect::<Vec<f32>>()
+    };
+    assert_eq!(run(), run(), "identical seeds must give identical losses");
+}

@@ -1,0 +1,152 @@
+//! Cross-crate property-based tests: invariants that must hold on *random*
+//! graphs, weights, and term sets — not just hand-built fixtures.
+
+use proptest::prelude::*;
+use zoomer_graph::{
+    read_snapshot, write_snapshot, AliasTable, EdgeType, GraphBuilder, HeteroGraph, MinHasher,
+    NodeType,
+};
+use zoomer_sampler::{build_roi, FocalBiasedSampler, FocalContext, UniformSampler};
+use zoomer_tensor::seeded_rng;
+
+/// Build a random heterogeneous graph from proptest-drawn structure.
+fn random_graph(n_nodes: usize, edges: &[(usize, usize)], seed: u64) -> HeteroGraph {
+    let mut rng = seeded_rng(seed);
+    let mut b = GraphBuilder::new(4);
+    use rand::Rng;
+    for i in 0..n_nodes {
+        let ty = match i % 3 {
+            0 => NodeType::User,
+            1 => NodeType::Query,
+            _ => NodeType::Item,
+        };
+        let dense: Vec<f32> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let fields: Vec<u32> = (0..(i % 4)).map(|f| f as u32 * 7).collect();
+        let terms: Vec<u32> = (0..(i % 5)).map(|t| t as u32 + i as u32).collect();
+        b.add_node(ty, fields, terms, &dense);
+    }
+    for &(s, d) in edges {
+        let et = match (s + d) % 3 {
+            0 => EdgeType::Click,
+            1 => EdgeType::Session,
+            _ => EdgeType::Similarity,
+        };
+        b.add_undirected_edge(
+            (s % n_nodes) as u32,
+            (d % n_nodes) as u32,
+            et,
+            rng.gen_range(0.1..2.0),
+        );
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn snapshot_roundtrip_on_random_graphs(
+        n in 1usize..40,
+        edges in prop::collection::vec((0usize..40, 0usize..40), 0..120),
+        seed in 0u64..1000,
+    ) {
+        let g = random_graph(n, &edges, seed);
+        let g2 = read_snapshot(write_snapshot(&g)).expect("roundtrip");
+        prop_assert_eq!(g2.num_nodes(), g.num_nodes());
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        for node in 0..g.num_nodes() as u32 {
+            prop_assert_eq!(g2.node_type(node), g.node_type(node));
+            prop_assert_eq!(g2.dense_feature(node), g.dense_feature(node));
+            for et in EdgeType::ALL {
+                prop_assert_eq!(g2.neighbors(node, et), g.neighbors(node, et));
+            }
+        }
+    }
+
+    #[test]
+    fn alias_table_matches_weights(
+        weights in prop::collection::vec(0.0f32..10.0, 1..12),
+        seed in 0u64..100,
+    ) {
+        let total: f32 = weights.iter().sum();
+        prop_assume!(total > 0.1);
+        let table = AliasTable::new(&weights);
+        let mut rng = seeded_rng(seed);
+        let draws = 30_000;
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = (w / total) as f64;
+            let observed = counts[i] as f64 / draws as f64;
+            prop_assert!(
+                (expected - observed).abs() < 0.03,
+                "outcome {i}: expected {expected:.3}, got {observed:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn roi_invariants_on_random_graphs(
+        n in 2usize..30,
+        edges in prop::collection::vec((0usize..30, 0usize..30), 1..80),
+        hops in 0usize..3,
+        k in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let g = random_graph(n, &edges, seed);
+        let ego = (seed as usize % n) as u32;
+        let focal = FocalContext::from_nodes(&g, &[ego]);
+        let mut rng = seeded_rng(seed);
+        for sampler in [&FocalBiasedSampler::default() as &dyn zoomer_sampler::NeighborSampler, &UniformSampler] {
+            let roi = build_roi(&g, ego, &focal, sampler, hops, k, &mut rng);
+            prop_assert_eq!(roi.id, ego);
+            prop_assert!(roi.depth() <= hops);
+            // Size bound: Σ k^i for i in 0..=hops.
+            let bound: usize = (0..=hops).map(|i| k.pow(i as u32)).sum();
+            prop_assert!(roi.size() <= bound, "size {} > bound {bound}", roi.size());
+            for id in roi.node_ids() {
+                prop_assert!((id as usize) < n, "ROI contains invalid node {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn minhash_tracks_exact_jaccard(
+        a in prop::collection::hash_set(0u32..200, 1..40),
+        b in prop::collection::hash_set(0u32..200, 1..40),
+    ) {
+        let hasher = MinHasher::new(256, 7);
+        let av: Vec<u32> = { let mut v: Vec<u32> = a.iter().copied().collect(); v.sort_unstable(); v };
+        let bv: Vec<u32> = { let mut v: Vec<u32> = b.iter().copied().collect(); v.sort_unstable(); v };
+        let exact = zoomer_tensor::similarity::jaccard_exact(
+            &av.iter().map(|&x| x as u64).collect::<Vec<_>>(),
+            &bv.iter().map(|&x| x as u64).collect::<Vec<_>>(),
+        );
+        let est = MinHasher::estimate_jaccard(&hasher.signature(&av), &hasher.signature(&bv));
+        prop_assert!((est - exact).abs() < 0.15, "est {est:.3} vs exact {exact:.3}");
+    }
+
+    #[test]
+    fn focal_sampler_never_exceeds_k_or_duplicates(
+        n in 2usize..25,
+        edges in prop::collection::vec((0usize..25, 0usize..25), 1..60),
+        k in 1usize..8,
+        seed in 0u64..200,
+    ) {
+        let g = random_graph(n, &edges, seed);
+        let ego = (seed as usize % n) as u32;
+        let focal = FocalContext::from_nodes(&g, &[ego]);
+        let mut rng = seeded_rng(seed);
+        use zoomer_sampler::NeighborSampler;
+        for sampler in [FocalBiasedSampler::default(), FocalBiasedSampler::stochastic(0.3)] {
+            let picked = sampler.sample(&g, ego, &focal, k, &mut rng);
+            prop_assert!(picked.len() <= k);
+            let mut dedup = picked.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), picked.len(), "duplicates in sample");
+        }
+    }
+}
