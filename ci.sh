@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, and the full test suite.
+# Run from the repo root: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace, all targets, deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test --workspace --offline -q
+
+echo "CI OK"

@@ -145,11 +145,8 @@ impl EmbeddingTable {
             st.t += 1;
             let b1t = 1.0 - cfg.beta1.powi(st.t as i32);
             let b2t = 1.0 - cfg.beta2.powi(st.t as i32);
-            for (((w, &gg), m), v) in row
-                .iter_mut()
-                .zip(g.iter())
-                .zip(st.m.iter_mut())
-                .zip(st.v.iter_mut())
+            for (((w, &gg), m), v) in
+                row.iter_mut().zip(g.iter()).zip(st.m.iter_mut()).zip(st.v.iter_mut())
             {
                 if cfg.weight_decay > 0.0 {
                     *w -= cfg.lr * cfg.weight_decay * *w;
@@ -185,9 +182,8 @@ impl EmbeddingTable {
     /// Fill rows for many ids at once from an RNG (test/bench setup helper).
     pub fn randomize(&mut self, rng: &mut impl Rng, ids: impl Iterator<Item = u64>) {
         for id in ids {
-            let row: Vec<f32> = (0..self.dim)
-                .map(|_| rng.gen_range(-self.init_scale..=self.init_scale))
-                .collect();
+            let row: Vec<f32> =
+                (0..self.dim).map(|_| rng.gen_range(-self.init_scale..=self.init_scale)).collect();
             self.rows.insert(id, row);
         }
     }
@@ -258,12 +254,8 @@ mod tests {
     #[test]
     fn repeated_updates_converge_toward_target() {
         // Minimize ½‖e − target‖² over the row: grad = e − target.
-        let mut t = EmbeddingTable::new(
-            "conv",
-            4,
-            7,
-            SparseAdamConfig { lr: 0.05, ..Default::default() },
-        );
+        let mut t =
+            EmbeddingTable::new("conv", 4, 7, SparseAdamConfig { lr: 0.05, ..Default::default() });
         let target = [0.5f32, -0.5, 0.25, 0.0];
         for _ in 0..500 {
             let row = t.lookup(1).to_vec();

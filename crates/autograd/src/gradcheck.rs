@@ -174,9 +174,8 @@ mod tests {
         for label in [0.0f32, 1.0] {
             for gamma in [0.0f32, 2.0] {
                 let z = Matrix::from_vec(1, 1, vec![0.37]);
-                let r = check_gradients(&[z], 1e-3, |t, v| {
-                    t.focal_bce_with_logits(v[0], label, gamma)
-                });
+                let r =
+                    check_gradients(&[z], 1e-3, |t, v| t.focal_bce_with_logits(v[0], label, gamma));
                 assert!(r.passes(TOL), "label={label} gamma={gamma}: {r:?}");
             }
         }

@@ -74,11 +74,8 @@ impl Optimizer for Adagrad {
             .accum
             .entry(name.to_string())
             .or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
-        for ((pv, &g), a) in p
-            .as_mut_slice()
-            .iter_mut()
-            .zip(grad.as_slice())
-            .zip(acc.as_mut_slice())
+        for ((pv, &g), a) in
+            p.as_mut_slice().iter_mut().zip(grad.as_slice()).zip(acc.as_mut_slice())
         {
             *a += g * g;
             *pv -= self.lr * g / (a.sqrt() + self.eps);
@@ -112,14 +109,7 @@ struct AdamState {
 
 impl Adam {
     pub fn new(lr: f32) -> Self {
-        Self {
-            lr,
-            beta1: 0.9,
-            beta2: 0.999,
-            eps: 1e-8,
-            weight_decay: 0.0,
-            state: BTreeMap::new(),
-        }
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, state: BTreeMap::new() }
     }
 
     pub fn with_weight_decay(mut self, wd: f32) -> Self {

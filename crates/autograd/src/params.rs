@@ -32,13 +32,7 @@ impl ParamStore {
     }
 
     /// Register a Xavier-initialized `rows×cols` parameter.
-    pub fn register_xavier(
-        &mut self,
-        rng: &mut impl Rng,
-        name: &str,
-        rows: usize,
-        cols: usize,
-    ) {
+    pub fn register_xavier(&mut self, rng: &mut impl Rng, name: &str, rows: usize, cols: usize) {
         self.register(name, xavier_matrix(rng, rows, cols));
     }
 
@@ -48,15 +42,11 @@ impl ParamStore {
     }
 
     pub fn get(&self, name: &str) -> &Matrix {
-        self.params
-            .get(name)
-            .unwrap_or_else(|| panic!("unknown parameter {name:?}"))
+        self.params.get(name).unwrap_or_else(|| panic!("unknown parameter {name:?}"))
     }
 
     pub fn get_mut(&mut self, name: &str) -> &mut Matrix {
-        self.params
-            .get_mut(name)
-            .unwrap_or_else(|| panic!("unknown parameter {name:?}"))
+        self.params.get_mut(name).unwrap_or_else(|| panic!("unknown parameter {name:?}"))
     }
 
     pub fn contains(&self, name: &str) -> bool {
@@ -101,10 +91,7 @@ impl ParamStore {
     /// Maximum absolute difference against another store with identical keys.
     pub fn max_abs_diff(&self, other: &ParamStore) -> f32 {
         assert_eq!(self.len(), other.len(), "max_abs_diff: param count mismatch");
-        self.params
-            .iter()
-            .map(|(k, v)| v.max_abs_diff(other.get(k)))
-            .fold(0.0, f32::max)
+        self.params.iter().map(|(k, v)| v.max_abs_diff(other.get(k))).fold(0.0, f32::max)
     }
 }
 

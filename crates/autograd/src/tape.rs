@@ -50,23 +50,39 @@ enum Op {
     Sigmoid(Var),
     Tanh(Var),
     /// Scale row `i` of `h` (`n×d`) by `w[i]` (`1×n`).
-    RowScale { h: Var, w: Var },
+    RowScale {
+        h: Var,
+        w: Var,
+    },
     /// Cosine similarity of two `1×d` vectors → `1×1`.
     Cosine(Var, Var),
     /// Multiply every element of `m` by the scalar var `s` (`1×1`).
-    ScaleByScalarVar { m: Var, s: Var },
+    ScaleByScalarVar {
+        m: Var,
+        s: Var,
+    },
     /// Sum of all elements → `1×1`.
     SumAll(Var),
     /// Mean of all elements → `1×1`.
     MeanAll(Var),
     /// Focal binary cross entropy on a logit (`1×1`), label & gamma baked in.
-    FocalBceWithLogits { logit: Var, label: f32, gamma: f32 },
+    FocalBceWithLogits {
+        logit: Var,
+        label: f32,
+        gamma: f32,
+    },
     /// Squared Frobenius norm → `1×1` (for explicit L2 regularization terms).
     SquaredFrobenius(Var),
     /// Elementwise mask-and-scale (inverted dropout); mask baked at forward.
-    Dropout { input: Var, mask: Matrix },
+    Dropout {
+        input: Var,
+        mask: Matrix,
+    },
     /// Per-row layer normalization (no affine), epsilon baked in.
-    LayerNorm { input: Var, eps: f32 },
+    LayerNorm {
+        input: Var,
+        eps: f32,
+    },
 }
 
 struct Node {
@@ -87,9 +103,7 @@ impl Gradients {
 
     /// Gradient of the loss w.r.t. `v`, or a zero matrix of the given shape.
     pub fn get_or_zeros(&self, v: Var, rows: usize, cols: usize) -> Matrix {
-        self.get(v)
-            .cloned()
-            .unwrap_or_else(|| Matrix::zeros(rows, cols))
+        self.get(v).cloned().unwrap_or_else(|| Matrix::zeros(rows, cols))
     }
 }
 
@@ -332,9 +346,8 @@ impl Tape {
         }
         let (rows, cols) = self.value(a).shape();
         let keep = 1.0 - p;
-        let mask_data: Vec<f32> = (0..rows * cols)
-            .map(|_| if rng.gen::<f32>() < p { 0.0 } else { 1.0 / keep })
-            .collect();
+        let mask_data: Vec<f32> =
+            (0..rows * cols).map(|_| if rng.gen::<f32>() < p { 0.0 } else { 1.0 / keep }).collect();
         let mask = Matrix::from_vec(rows, cols, mask_data);
         let out = self.value(a).hadamard(&mask);
         self.push(out, Op::Dropout { input: a, mask })
@@ -351,8 +364,8 @@ impl Tape {
         for r in 0..rows {
             let row = src.row(r);
             let mean = row.iter().sum::<f32>() / cols.max(1) as f32;
-            let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
-                / cols.max(1) as f32;
+            let var =
+                row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / cols.max(1) as f32;
             let inv = 1.0 / (var + eps).sqrt();
             for (o, &x) in out.row_mut(r).iter_mut().zip(row) {
                 *o = (x - mean) * inv;
@@ -386,11 +399,7 @@ impl Tape {
     /// Reverse sweep from `loss` (which must be `1×1`). Returns the gradient
     /// of the loss with respect to every node.
     pub fn backward(&self, loss: Var) -> Gradients {
-        assert_eq!(
-            self.value(loss).shape(),
-            (1, 1),
-            "backward: loss must be a 1x1 scalar"
-        );
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward: loss must be a 1x1 scalar");
         let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
 
@@ -490,12 +499,7 @@ impl Tape {
                 let y = &self.nodes[i].value;
                 let mut ga = Matrix::zeros(y.rows(), y.cols());
                 for r in 0..y.rows() {
-                    let gy: f32 = g
-                        .row(r)
-                        .iter()
-                        .zip(y.row(r))
-                        .map(|(&gg, &yy)| gg * yy)
-                        .sum();
+                    let gy: f32 = g.row(r).iter().zip(y.row(r)).map(|(&gg, &yy)| gg * yy).sum();
                     for ((o, &gg), &yy) in ga.row_mut(r).iter_mut().zip(g.row(r)).zip(y.row(r)) {
                         *o = (gg - gy) * yy;
                     }
@@ -545,9 +549,7 @@ impl Tape {
                 for r in 0..n {
                     let s = wv.get(0, r);
                     let mut acc = 0.0f32;
-                    for ((o, &gg), &hh) in
-                        gh.row_mut(r).iter_mut().zip(g.row(r)).zip(hv.row(r))
-                    {
+                    for ((o, &gg), &hh) in gh.row_mut(r).iter_mut().zip(g.row(r)).zip(hv.row(r)) {
                         *o = gg * s;
                         acc += gg * hh;
                     }
@@ -603,11 +605,8 @@ impl Tape {
             Op::FocalBceWithLogits { logit, label, gamma } => {
                 let z = self.value(*logit).get(0, 0);
                 let p = sigmoid(z).clamp(1e-7, 1.0 - 1e-7);
-                let (pt, dpt_dz) = if *label > 0.5 {
-                    (p, p * (1.0 - p))
-                } else {
-                    (1.0 - p, -(p * (1.0 - p)))
-                };
+                let (pt, dpt_dz) =
+                    if *label > 0.5 { (p, p * (1.0 - p)) } else { (1.0 - p, -(p * (1.0 - p))) };
                 // L = −(1−pt)^γ ln(pt)
                 // dL/dpt = γ(1−pt)^{γ−1} ln(pt) − (1−pt)^γ / pt
                 let one_m = (1.0 - pt).max(0.0);
@@ -637,21 +636,14 @@ impl Tape {
                 for r in 0..rows {
                     let row = x.row(r);
                     let mean = row.iter().sum::<f32>() / n;
-                    let var =
-                        row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+                    let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
                     let sigma = (var + eps).sqrt();
                     let g_row = g.row(r);
                     let y_row = y.row(r);
                     let g_mean = g_row.iter().sum::<f32>() / n;
-                    let gy_mean = g_row
-                        .iter()
-                        .zip(y_row)
-                        .map(|(&gg, &yy)| gg * yy)
-                        .sum::<f32>()
-                        / n;
-                    for ((o, &gg), &yy) in
-                        gx.row_mut(r).iter_mut().zip(g_row).zip(y_row)
-                    {
+                    let gy_mean =
+                        g_row.iter().zip(y_row).map(|(&gg, &yy)| gg * yy).sum::<f32>() / n;
+                    for ((o, &gg), &yy) in gx.row_mut(r).iter_mut().zip(g_row).zip(y_row) {
                         *o = (gg - g_mean - yy * gy_mean) / sigma;
                     }
                 }

@@ -108,9 +108,8 @@ fn bench_attention_forward_backward(c: &mut Criterion) {
 
 fn bench_ann(c: &mut Criterion) {
     let mut rng = seeded_rng(11);
-    let items: Vec<(u64, Vec<f32>)> = (0..5_000u64)
-        .map(|id| (id, (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect()))
-        .collect();
+    let items: Vec<(u64, Vec<f32>)> =
+        (0..5_000u64).map(|id| (id, (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect())).collect();
     let index = IvfIndex::build(&items, 64, 6, 11);
     let query: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let mut group = c.benchmark_group("ann_query_5k_items");

@@ -35,15 +35,8 @@ fn main() {
         let mut row = serde_json::Map::new();
         row.insert("k".into(), serde_json::json!(k));
         for preset in METHODS {
-            let (_, report) = train_preset(
-                &data,
-                &split,
-                preset,
-                seed,
-                steps,
-                scale.eval_sample(),
-                Some(k),
-            );
+            let (_, report) =
+                train_preset(&data, &split, preset, seed, steps, scale.eval_sample(), Some(k));
             print!("{:>12.4}", report.final_auc);
             row.insert(preset.to_string(), serde_json::json!(report.final_auc));
         }

@@ -20,13 +20,8 @@ fn main() {
     let steps = scale.train_steps();
 
     // Baselines at K=30; Zoomer at K=3 (one-tenth of the processed graph).
-    let runs: Vec<(&str, usize)> = vec![
-        ("graphsage", 30),
-        ("pinsage", 30),
-        ("pinnersage", 30),
-        ("pixie", 30),
-        ("zoomer", 3),
-    ];
+    let runs: Vec<(&str, usize)> =
+        vec![("graphsage", 30), ("pinsage", 30), ("pinnersage", 30), ("pixie", 30), ("zoomer", 3)];
     println!(
         "\n{:<12} {:>4} {:>12} {:>14} {:>10} {:>10}",
         "model", "K", "steps/s", "time for run", "AUC", "speedup"
@@ -35,15 +30,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut results = Vec::new();
     for (preset, k) in runs {
-        let (_, report) = train_preset(
-            &data,
-            &split,
-            preset,
-            seed,
-            steps,
-            scale.eval_sample(),
-            Some(k),
-        );
+        let (_, report) =
+            train_preset(&data, &split, preset, seed, steps, scale.eval_sample(), Some(k));
         results.push((preset, k, report));
     }
     let zoomer_rate = results.last().expect("zoomer run").2.steps_per_sec();
@@ -73,6 +61,8 @@ fn main() {
         "\nZoomer (K=3) throughput vs mean baseline (K=30): {:.1}×",
         zoomer_rate / mean_baseline
     );
-    println!("(paper shape: zoomer trains several times faster at 1/10 ROI with AUC parity or better)");
+    println!(
+        "(paper shape: zoomer trains several times faster at 1/10 ROI with AUC parity or better)"
+    );
     write_json("fig12_efficiency", &serde_json::Value::Array(rows));
 }

@@ -22,11 +22,8 @@ fn print_heatmap(title: &str, rows: &[(String, Vec<f32>)]) {
     println!("\n{title}");
     for (label, weights) in rows {
         let row_max = weights.iter().copied().fold(0.0f32, f32::max);
-        let cells: String = weights
-            .iter()
-            .map(|&w| ascii_cell(w, row_max))
-            .flat_map(|c| [c, ' '])
-            .collect();
+        let cells: String =
+            weights.iter().map(|&w| ascii_cell(w, row_max)).flat_map(|c| [c, ' ']).collect();
         let nums: Vec<String> = weights.iter().map(|w| format!("{w:.2}")).collect();
         println!("{label:>12} | {cells}| {}", nums.join(" "));
     }
@@ -38,12 +35,8 @@ fn row_divergence(rows: &[(String, Vec<f32>)]) -> f64 {
     let mut pairs = 0usize;
     for i in 0..rows.len() {
         for j in i + 1..rows.len() {
-            total += rows[i]
-                .1
-                .iter()
-                .zip(&rows[j].1)
-                .map(|(a, b)| (a - b).abs() as f64)
-                .sum::<f64>();
+            total +=
+                rows[i].1.iter().zip(&rows[j].1).map(|(a, b)| (a - b).abs() as f64).sum::<f64>();
             pairs += 1;
         }
     }
@@ -102,7 +95,9 @@ fn main() {
         &rows_a,
     );
     let div_a = row_divergence(&rows_a);
-    println!("mean pairwise row L1 divergence: {div_a:.4} (paper shape: > 0 — weights shift with focal)");
+    println!(
+        "mean pairwise row L1 divergence: {div_a:.4} (paper shape: > 0 — weights shift with focal)"
+    );
 
     // (b) one query under 8 different users × 9 item neighbors.
     let query_b = data.logs[1].query;
@@ -124,7 +119,10 @@ fn main() {
         })
         .collect();
     print_heatmap(
-        &format!("Fig 13(b): query {query_b}, rows = focal user, cols = {} item neighbors", items_b.len()),
+        &format!(
+            "Fig 13(b): query {query_b}, rows = focal user, cols = {} item neighbors",
+            items_b.len()
+        ),
         &rows_b,
     );
     let div_b = row_divergence(&rows_b);

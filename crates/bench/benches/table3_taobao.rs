@@ -41,10 +41,7 @@ fn main() {
     let items = data.item_nodes();
     // HitRate is measured against the full item pool with K ∈ {100,200,300};
     // shrink K proportionally if the pool is smaller (smoke runs).
-    let ks: Vec<usize> = [100usize, 200, 300]
-        .iter()
-        .map(|&k| k.min(items.len()))
-        .collect();
+    let ks: Vec<usize> = [100usize, 200, 300].iter().map(|&k| k.min(items.len())).collect();
 
     println!(
         "{:<11} {:>7} {:>8} {:>8} {:>8}   {:>9} {:>7} {:>7} {:>7}",
@@ -85,6 +82,8 @@ fn main() {
             "paper": {"auc": p_auc, "hr100": p1, "hr200": p2, "hr300": p3},
         }));
     }
-    println!("\n(paper shape: ZOOMER leads AUC and HitRate; sampler-equipped baselines cluster below)");
+    println!(
+        "\n(paper shape: ZOOMER leads AUC and HitRate; sampler-equipped baselines cluster below)"
+    );
     write_json("table3_taobao", &serde_json::Value::Array(rows));
 }

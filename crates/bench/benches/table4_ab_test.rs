@@ -53,10 +53,8 @@ fn run_channel(
     seed: u64,
 ) -> ChannelOutcome {
     let items = data.item_nodes();
-    let item_embs: Vec<(u32, Vec<f32>)> = items
-        .iter()
-        .map(|&i| (i, model.item_embedding(&data.graph, i)))
-        .collect();
+    let item_embs: Vec<(u32, Vec<f32>)> =
+        items.iter().map(|&i| (i, model.item_embedding(&data.graph, i))).collect();
     let mut rng = seeded_rng(seed);
     // Common random numbers: the click coin for (session, item) is a
     // deterministic hash, so both channels see identical outcomes for
@@ -107,13 +105,18 @@ fn main() {
 
     println!("training the control channel (PinSage)…");
     let (mut pinsage, r1) = train_preset(
-        &data, &split, "pinsage", seed, scale.train_steps(), scale.eval_sample(), None,
+        &data,
+        &split,
+        "pinsage",
+        seed,
+        scale.train_steps(),
+        scale.eval_sample(),
+        None,
     );
     println!("  control AUC  = {:.4}", r1.final_auc);
     println!("training the treatment channel (Zoomer)…");
-    let (mut zoomer, r2) = train_preset(
-        &data, &split, "zoomer", seed, scale.train_steps(), scale.eval_sample(), None,
-    );
+    let (mut zoomer, r2) =
+        train_preset(&data, &split, "zoomer", seed, scale.train_steps(), scale.eval_sample(), None);
     println!("  treatment AUC = {:.4}", r2.final_auc);
 
     // 4 % of traffic → the treatment bucket; same-size control bucket.
@@ -135,13 +138,21 @@ fn main() {
     println!("\n{:>12} {:>12} {:>12} {:>12}", "channel", "CTR", "PPC", "RPM");
     println!(
         "{:>12} {:>12.4} {:>12.4} {:>12.2}",
-        "PinSage", control_out.ctr(), control_out.ppc(), control_out.rpm()
+        "PinSage",
+        control_out.ctr(),
+        control_out.ppc(),
+        control_out.rpm()
     );
     println!(
         "{:>12} {:>12.4} {:>12.4} {:>12.2}",
-        "ZOOMER", treatment_out.ctr(), treatment_out.ppc(), treatment_out.rpm()
+        "ZOOMER",
+        treatment_out.ctr(),
+        treatment_out.ppc(),
+        treatment_out.rpm()
     );
-    println!("\nmeasured lifts : CTR {ctr_lift:+.3} %   PPC {ppc_lift:+.3} %   RPM {rpm_lift:+.3} %");
+    println!(
+        "\nmeasured lifts : CTR {ctr_lift:+.3} %   PPC {ppc_lift:+.3} %   RPM {rpm_lift:+.3} %"
+    );
     println!("paper lifts    : CTR +0.295 %   PPC +1.347 %   RPM +0.646 %");
     println!("(paper shape: all three metrics lift when the channel switches to Zoomer)");
 

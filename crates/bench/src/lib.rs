@@ -91,9 +91,7 @@ pub fn banner(experiment: &str, paper_ref: &str, scale: BenchScale, seed: u64) {
 /// Write a JSON result blob under the workspace's
 /// `target/experiments/<name>.json` (independent of the bench CWD).
 pub fn write_json(name: &str, value: &serde_json::Value) {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("target/experiments");
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
@@ -116,8 +114,8 @@ pub fn train_preset(
     fanout: Option<usize>,
 ) -> (UnifiedCtrModel, TrainReport) {
     let dd = data.graph.features().dense_dim();
-    let config = ModelConfig::preset(preset, seed, dd)
-        .unwrap_or_else(|| panic!("unknown preset {preset}"));
+    let config =
+        ModelConfig::preset(preset, seed, dd).unwrap_or_else(|| panic!("unknown preset {preset}"));
     let mut model = UnifiedCtrModel::new(config);
     if let Some(k) = fanout {
         model.set_fanout(k);

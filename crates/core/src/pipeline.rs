@@ -5,8 +5,8 @@ use std::sync::Arc;
 use zoomer_data::{
     split_examples, with_sampled_negatives, TaobaoConfig, TaobaoData, TrainTestSplit,
 };
-use zoomer_model::{ModelConfig, UnifiedCtrModel};
-use zoomer_serving::{FrozenModel, OnlineServer, ServingConfig};
+use zoomer_model::{CtrModel, ModelConfig, UnifiedCtrModel};
+use zoomer_serving::{OnlineServer, ServingConfig};
 use zoomer_train::{train, EvalReport, TrainReport, TrainerConfig};
 
 /// Configuration of a full pipeline run.
@@ -122,7 +122,7 @@ impl ZoomerPipeline {
 
     /// Freeze the trained model and stand up the serving stack.
     pub fn into_server(mut self) -> OnlineServer {
-        let frozen = FrozenModel::from_model(&mut self.model, &self.data.graph);
+        let frozen = self.model.freeze(&self.data.graph);
         let items = self.data.item_nodes();
         OnlineServer::build(
             Arc::new(self.data.graph),

@@ -27,10 +27,7 @@ pub fn split_examples(
     train_fraction: f64,
     seed: u64,
 ) -> TrainTestSplit {
-    assert!(
-        (0.0..=1.0).contains(&train_fraction),
-        "train_fraction must be in [0,1]"
-    );
+    assert!((0.0..=1.0).contains(&train_fraction), "train_fraction must be in [0,1]");
     let mut rng = seeded_rng(seed);
     examples.shuffle(&mut rng);
     let cut = (examples.len() as f64 * train_fraction).round() as usize;

@@ -183,16 +183,10 @@ impl MovieLensData {
                     let g = (0..4)
                         .map(|_| rng.gen_range(0..config.num_genres))
                         .max_by(|&a, &b| {
-                            let da: f32 = user_prefs[u]
-                                .iter()
-                                .zip(&genres[a])
-                                .map(|(&x, &y)| x * y)
-                                .sum();
-                            let db: f32 = user_prefs[u]
-                                .iter()
-                                .zip(&genres[b])
-                                .map(|(&x, &y)| x * y)
-                                .sum();
+                            let da: f32 =
+                                user_prefs[u].iter().zip(&genres[a]).map(|(&x, &y)| x * y).sum();
+                            let db: f32 =
+                                user_prefs[u].iter().zip(&genres[b]).map(|(&x, &y)| x * y).sum();
                             da.partial_cmp(&db).unwrap()
                         })
                         .unwrap();
@@ -285,10 +279,7 @@ mod tests {
             assert_eq!(d.graph.node_type(e.query), NodeType::Tag);
             assert_eq!(d.graph.node_type(e.item), NodeType::Movie);
         }
-        assert_eq!(
-            d.examples.len(),
-            d.config.num_users * d.config.ratings_per_user
-        );
+        assert_eq!(d.examples.len(), d.config.num_users * d.config.ratings_per_user);
     }
 
     #[test]

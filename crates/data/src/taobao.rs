@@ -65,16 +65,14 @@ impl TaobaoData {
         let d = config.latent_dim;
 
         // 1. Category prototypes.
-        let category_vectors: Vec<Vec<f32>> = (0..config.num_categories)
-            .map(|_| random_unit_vec(&mut rng, d))
-            .collect();
+        let category_vectors: Vec<Vec<f32>> =
+            (0..config.num_categories).map(|_| random_unit_vec(&mut rng, d)).collect();
 
         let mut builder = GraphBuilder::new(d);
 
         // 4. Users first (node ids [0, num_users)).
         let mut user_interests = Vec::with_capacity(config.num_users);
-        let mut user_personal: Vec<Vec<(usize, Vec<f32>)>> =
-            Vec::with_capacity(config.num_users);
+        let mut user_personal: Vec<Vec<(usize, Vec<f32>)>> = Vec::with_capacity(config.num_users);
         for uid in 0..config.num_users {
             let mut cats: Vec<usize> = (0..config.num_categories).collect();
             cats.shuffle(&mut rng);
@@ -99,9 +97,9 @@ impl TaobaoData {
             // ROI quality matters. Fine-grained buckets would let every
             // model memorize (u,q,i) triples and wash out the comparison.
             let fields = vec![
-                (uid % 32) as u32,            // coarse id bucket
-                rng.gen_range(0..2u32),       // gender
-                rng.gen_range(0..6u32),       // membership level
+                (uid % 32) as u32,      // coarse id bucket
+                rng.gen_range(0..2u32), // gender
+                rng.gen_range(0..6u32), // membership level
             ];
             builder.add_node(NodeType::User, fields, vec![], &base);
             // Persistent personal direction per interest category: the
@@ -116,9 +114,8 @@ impl TaobaoData {
                 mixture.iter().map(|_| random_unit_vec(&mut rng, d)).collect();
             if dirs.len() > 1 {
                 let k = dirs.len() as f32;
-                let mean: Vec<f32> = (0..d)
-                    .map(|j| dirs.iter().map(|v| v[j]).sum::<f32>() / k)
-                    .collect();
+                let mean: Vec<f32> =
+                    (0..d).map(|j| dirs.iter().map(|v| v[j]).sum::<f32>() / k).collect();
                 for v in &mut dirs {
                     for (x, &m) in v.iter_mut().zip(&mean) {
                         *x -= m;
@@ -129,11 +126,8 @@ impl TaobaoData {
                     }
                 }
             }
-            let personal: Vec<(usize, Vec<f32>)> = mixture
-                .iter()
-                .zip(dirs)
-                .map(|(&(c, _), dir)| (c, dir))
-                .collect();
+            let personal: Vec<(usize, Vec<f32>)> =
+                mixture.iter().zip(dirs).map(|(&(c, _), dir)| (c, dir)).collect();
             user_interests.push(mixture);
             user_personal.push(personal);
         }
@@ -409,11 +403,8 @@ impl TaobaoData {
             entry.0.push(log.query);
             entry.1.extend_from_slice(&log.clicked);
         }
-        let mut users: Vec<NodeId> = by_user
-            .iter()
-            .filter(|(_, (_, items))| !items.is_empty())
-            .map(|(&u, _)| u)
-            .collect();
+        let mut users: Vec<NodeId> =
+            by_user.iter().filter(|(_, (_, items))| !items.is_empty()).map(|(&u, _)| u).collect();
         users.sort_unstable();
         users.shuffle(&mut rng);
         users.truncate(num_focals);
@@ -487,10 +478,7 @@ mod tests {
         assert_eq!(d.graph.node_type(0), NodeType::User);
         assert_eq!(d.graph.node_type(c.num_users as NodeId), NodeType::Query);
         assert_eq!(d.graph.node_type(d.first_item_node()), NodeType::Item);
-        assert_eq!(
-            d.graph.num_nodes(),
-            c.num_users + c.num_queries + c.num_items
-        );
+        assert_eq!(d.graph.num_nodes(), c.num_users + c.num_queries + c.num_items);
     }
 
     #[test]
@@ -527,12 +515,7 @@ mod tests {
         }
         assert!(!pos.is_empty() && !neg.is_empty());
         let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
-        assert!(
-            mean(&pos) > mean(&neg) + 0.15,
-            "pos {} vs neg {}",
-            mean(&pos),
-            mean(&neg)
-        );
+        assert!(mean(&pos) > mean(&neg) + 0.15, "pos {} vs neg {}", mean(&pos), mean(&neg));
     }
 
     #[test]
@@ -600,10 +583,7 @@ mod tests {
         );
         // The full window reproduces the full graph's click structure.
         let full = d.graph_for_window(d.logs.len());
-        assert_eq!(
-            full.num_edges_of(EdgeType::Click),
-            d.graph.num_edges_of(EdgeType::Click)
-        );
+        assert_eq!(full.num_edges_of(EdgeType::Click), d.graph.num_edges_of(EdgeType::Click));
     }
 
     #[test]

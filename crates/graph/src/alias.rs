@@ -20,10 +20,13 @@ impl AliasTable {
     pub fn new(weights: &[f32]) -> Self {
         assert!(!weights.is_empty(), "AliasTable::new: empty weights");
         let n = weights.len();
-        let total: f64 = weights.iter().map(|&w| {
-            assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
-            w as f64
-        }).sum();
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
+                w as f64
+            })
+            .sum();
 
         if total <= 0.0 {
             // Uniform fallback.

@@ -70,9 +70,7 @@ impl Csr {
     pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f32)> + '_ {
         (0..self.num_nodes()).flat_map(move |n| {
             let (t, w) = self.neighbors(n as NodeId);
-            t.iter()
-                .zip(w.iter())
-                .map(move |(&dst, &wt)| (n as NodeId, dst, wt))
+            t.iter().zip(w.iter()).map(move |(&dst, &wt)| (n as NodeId, dst, wt))
         })
     }
 

@@ -99,11 +99,7 @@ pub struct SimilarityEdgeBuilder {
 
 impl SimilarityEdgeBuilder {
     pub fn new(config: SimilarityConfig, seed: u64) -> Self {
-        assert_eq!(
-            config.num_hashes % config.bands,
-            0,
-            "num_hashes must be divisible by bands"
-        );
+        assert_eq!(config.num_hashes % config.bands, 0, "num_hashes must be divisible by bands");
         let hasher = MinHasher::new(config.num_hashes, seed);
         Self { config, hasher }
     }
@@ -111,14 +107,10 @@ impl SimilarityEdgeBuilder {
     /// Compute candidate pairs among `node_types` nodes and add similarity
     /// edges to the builder. Returns the number of undirected edges added.
     pub fn add_edges(&self, builder: &mut GraphBuilder, node_types: &[NodeType]) -> usize {
-        let nodes: Vec<NodeId> = node_types
-            .iter()
-            .flat_map(|&t| builder.nodes_of_type(t))
-            .collect();
-        let sigs: Vec<Vec<u64>> = nodes
-            .iter()
-            .map(|&n| self.hasher.signature(builder.features().terms(n)))
-            .collect();
+        let nodes: Vec<NodeId> =
+            node_types.iter().flat_map(|&t| builder.nodes_of_type(t)).collect();
+        let sigs: Vec<Vec<u64>> =
+            nodes.iter().map(|&n| self.hasher.signature(builder.features().terms(n))).collect();
 
         let rows = self.config.num_hashes / self.config.bands;
         let mut candidates: Vec<(usize, usize)> = Vec::new();

@@ -105,9 +105,7 @@ impl ShardedGraph {
     pub fn neighbors(&self, n: NodeId, et: EdgeType) -> (&[NodeId], &[f32]) {
         let shard = self.shard_of(n);
         let replica = self.pick_replica(shard);
-        self.shards[shard].replicas[replica]
-            .served
-            .fetch_add(1, Ordering::Relaxed);
+        self.shards[shard].replicas[replica].served.fetch_add(1, Ordering::Relaxed);
         self.graph.neighbors(n, et)
     }
 
@@ -120,9 +118,7 @@ impl ShardedGraph {
     ) -> Option<NodeId> {
         let shard = self.shard_of(n);
         let replica = self.pick_replica(shard);
-        self.shards[shard].replicas[replica]
-            .served
-            .fetch_add(1, Ordering::Relaxed);
+        self.shards[shard].replicas[replica].served.fetch_add(1, Ordering::Relaxed);
         self.graph.sample_neighbor(n, et, rng)
     }
 
@@ -130,12 +126,7 @@ impl ShardedGraph {
     pub fn load_report(&self) -> Vec<Vec<u64>> {
         self.shards
             .iter()
-            .map(|s| {
-                s.replicas
-                    .iter()
-                    .map(|r| r.served.load(Ordering::Relaxed))
-                    .collect()
-            })
+            .map(|s| s.replicas.iter().map(|r| r.served.load(Ordering::Relaxed)).collect())
             .collect()
     }
 

@@ -61,16 +61,10 @@ impl GraphStats {
 
     /// One-line human summary.
     pub fn summary(&self) -> String {
-        let types: Vec<String> = self
-            .nodes_per_type
-            .iter()
-            .map(|(t, c)| format!("{}={c}", t.name()))
-            .collect();
-        let edges: Vec<String> = self
-            .edges_per_type
-            .iter()
-            .map(|(t, c)| format!("{}={c}", t.name()))
-            .collect();
+        let types: Vec<String> =
+            self.nodes_per_type.iter().map(|(t, c)| format!("{}={c}", t.name())).collect();
+        let edges: Vec<String> =
+            self.edges_per_type.iter().map(|(t, c)| format!("{}={c}", t.name())).collect();
         format!(
             "{} nodes ({}), {} directed edges ({}), mean degree {:.2}, max degree {}",
             self.num_nodes,

@@ -20,10 +20,7 @@ pub struct Subgraph {
 impl Subgraph {
     /// Map an original node id to its id in the subgraph, if present.
     pub fn local_id(&self, original: NodeId) -> Option<NodeId> {
-        self.original_ids
-            .iter()
-            .position(|&o| o == original)
-            .map(|i| i as NodeId)
+        self.original_ids.iter().position(|&o| o == original).map(|i| i as NodeId)
     }
 }
 
@@ -70,12 +67,7 @@ mod tests {
     fn chain() -> HeteroGraph {
         let mut b = GraphBuilder::new(2);
         for i in 0..5 {
-            b.add_node(
-                NodeType::Item,
-                vec![i as u32],
-                vec![i as u32 * 10],
-                &[i as f32, 0.0],
-            );
+            b.add_node(NodeType::Item, vec![i as u32], vec![i as u32 * 10], &[i as f32, 0.0]);
         }
         for i in 0..4u32 {
             b.add_undirected_edge(i, i + 1, EdgeType::Session, 1.0 + i as f32);

@@ -219,10 +219,7 @@ mod tests {
         // Truncations at many prefixes must error, never panic.
         for cut in [0, 8, 12, 20, bytes.len() / 2, bytes.len() - 3] {
             let mut fresh = UnifiedCtrModel::new(ModelConfig::zoomer(1, dd));
-            assert!(
-                load_checkpoint(&mut fresh, &bytes[..cut]).is_err(),
-                "cut {cut} should fail"
-            );
+            assert!(load_checkpoint(&mut fresh, &bytes[..cut]).is_err(), "cut {cut} should fail");
         }
 
         // Architecture mismatch (different embed_dim) must be rejected and

@@ -2,8 +2,8 @@
 //! evaluation.
 
 use zoomer_sampler::{
-    ClusterImportanceSampler, FocalBiasedSampler, MetapathSampler, NeighborSampler,
-    PixieSampler, RandomWalkSampler, UniformSampler, WeightedSampler,
+    ClusterImportanceSampler, FocalBiasedSampler, MetapathSampler, NeighborSampler, PixieSampler,
+    RandomWalkSampler, UniformSampler, WeightedSampler,
 };
 
 /// Which sampler downscales the neighborhood (§III-C / §VII-A).
@@ -316,8 +316,22 @@ mod tests {
     #[test]
     fn presets_resolve_by_name() {
         for name in [
-            "zoomer", "gcn", "zoomer-fe", "zoomer-fs", "zoomer-es", "graphsage", "gat", "han",
-            "pinsage", "pinnersage", "pixie", "stamp", "gce-gnn", "fgnn", "mccf", "multisage",
+            "zoomer",
+            "gcn",
+            "zoomer-fe",
+            "zoomer-fs",
+            "zoomer-es",
+            "graphsage",
+            "gat",
+            "han",
+            "pinsage",
+            "pinnersage",
+            "pixie",
+            "stamp",
+            "gce-gnn",
+            "fgnn",
+            "mccf",
+            "multisage",
         ] {
             let c = ModelConfig::preset(name, 7, 4).unwrap_or_else(|| panic!("{name} missing"));
             assert_eq!(c.dense_dim, 4);

@@ -52,9 +52,7 @@ impl TableSet {
             h = h.wrapping_mul(0x100000001b3) ^ b as u64;
         }
         let adam = self.adam;
-        self.tables
-            .entry(name.clone())
-            .or_insert_with(|| EmbeddingTable::new(&name, dim, h, adam))
+        self.tables.entry(name.clone()).or_insert_with(|| EmbeddingTable::new(&name, dim, h, adam))
     }
 
     pub fn by_name(&self, name: &str) -> Option<&EmbeddingTable> {
@@ -522,10 +520,7 @@ mod tests {
         RoiNode {
             id: 1, // query
             children: vec![
-                RoiNode {
-                    id: 2,
-                    children: vec![RoiNode { id: 3, children: vec![] }],
-                },
+                RoiNode { id: 2, children: vec![RoiNode { id: 3, children: vec![] }] },
                 RoiNode { id: 0, children: vec![] },
             ],
         }

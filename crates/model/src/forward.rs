@@ -67,9 +67,7 @@ impl ForwardCtx {
         let mut out: HashMap<String, HashMap<u64, Vec<f32>>> = HashMap::new();
         for ((table, id), &v) in &self.embed_uses {
             if let Some(g) = grads.get(v) {
-                out.entry(table.clone())
-                    .or_default()
-                    .insert(*id, g.as_slice().to_vec());
+                out.entry(table.clone()).or_default().insert(*id, g.as_slice().to_vec());
             }
         }
         out

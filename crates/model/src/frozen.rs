@@ -1,0 +1,454 @@
+//! A frozen, thread-safe snapshot of a trained model for the serving path.
+//!
+//! §VII-E: online, Zoomer decouples neighbor sampling from aggregation via
+//! caches and "only conserves the most effective attention part —
+//! edge-level attention". This snapshot precomputes every node's base
+//! embedding (feature embeddings + dense projection, no tape) and keeps just
+//! the parameter matrices the online path needs, so request handling is pure
+//! `&self` f32 math — shareable across server threads.
+//!
+//! The API is batch-first: [`FrozenModel::embed_requests`] and
+//! [`FrozenModel::item_embeddings`] stack their inputs as matrix rows and run
+//! each tower layer as one batched matmul. The single-request methods are
+//! thin wrappers over a batch of one, so serving, offline eval, and the
+//! benches all exercise the same code path.
+
+use rand_chacha::ChaCha8Rng;
+use zoomer_graph::{HeteroGraph, NodeId, NodeType};
+use zoomer_sampler::{FocalBiasedSampler, FocalContext, NeighborSampler};
+use zoomer_tensor::numerics::leaky_relu;
+use zoomer_tensor::{dot, seeded_rng, stable_softmax, Matrix};
+
+use crate::encoder::TableSet;
+use crate::{CtrModel, UnifiedCtrModel};
+
+/// Deterministic neutral-focal top-k neighborhood of a node: the focal
+/// context is the node's own features, the sampler is the deterministic
+/// top-k focal sampler, and the RNG is seeded by the node id (it only
+/// matters at `temperature > 0`, which this helper never uses).
+///
+/// This is the shared neighborhood definition for every offline consumer of
+/// a [`FrozenModel`]: the serving neighbor cache, `warm_cache`, and the
+/// HitRate@K evaluation all call it, so a cache entry never depends on which
+/// request happened to materialize it.
+pub fn neutral_topk_neighbors(graph: &HeteroGraph, node: NodeId, k: usize) -> Vec<NodeId> {
+    let ctx = FocalContext::from_nodes(graph, &[node]);
+    let mut rng: ChaCha8Rng = seeded_rng(node as u64);
+    FocalBiasedSampler::default().sample(graph, node, &ctx, k, &mut rng)
+}
+
+/// Frozen parameters + precomputed node embeddings.
+pub struct FrozenModel {
+    embed_dim: usize,
+    /// Base (self) embedding per node id.
+    node_base: Vec<Vec<f32>>,
+    /// Space-map matrix per node type (focal construction).
+    map_w: Vec<Matrix>,
+    /// `aᵀ[0..d] · z_n` per node: the ego part of the edge-attention logit,
+    /// precomputed so the online score is three adds instead of a 3d-dot.
+    att_self: Vec<f32>,
+    /// `aᵀ[d..2d] · z_n` per node: the neighbor part of the logit.
+    att_nbr: Vec<f32>,
+    /// `aᵀ[2d..3d]`: the focal part, dotted with the request focal vector.
+    att_focal: Vec<f32>,
+    /// Combine layer (layer 1).
+    comb_w: Matrix,
+    comb_b: Vec<f32>,
+    /// Twin towers.
+    uq_w: Matrix,
+    uq_b: Vec<f32>,
+    item_w: Matrix,
+    item_b: Vec<f32>,
+}
+
+impl FrozenModel {
+    /// Snapshot a trained model against its graph.
+    pub fn from_model(model: &mut UnifiedCtrModel, graph: &HeteroGraph) -> Self {
+        let d = model.config().embed_dim;
+        let store = model.store();
+        let map_w: Vec<Matrix> = NodeType::ALL
+            .iter()
+            .map(|t| store.get(&format!("map.{}.w", t.name())).clone())
+            .collect();
+        let att_edge = store.get("att.edge.l1").as_slice().to_vec();
+        assert_eq!(att_edge.len(), 3 * d, "edge attention vector must be 3d");
+        let comb_w = store.get("comb.l1.w").clone();
+        let comb_b = store.get("comb.l1.b").as_slice().to_vec();
+        let uq_w = store.get("tower.uq.w").clone();
+        let uq_b = store.get("tower.uq.b").as_slice().to_vec();
+        let item_w = store.get("tower.item.w").clone();
+        let item_b = store.get("tower.item.b").as_slice().to_vec();
+        // Dense projections, needed before the mutable-borrow loop below.
+        let feat_w: Vec<Matrix> = NodeType::ALL
+            .iter()
+            .map(|t| store.get(&format!("feat.{}.w", t.name())).clone())
+            .collect();
+
+        let mut node_base = Vec::with_capacity(graph.num_nodes());
+        for n in 0..graph.num_nodes() as NodeId {
+            let ty = graph.node_type(n);
+            let fields = graph.fields(n);
+            let mut acc = vec![0.0f32; d];
+            for (idx, &value) in fields.iter().enumerate() {
+                let name = TableSet::table_name(ty, idx);
+                let row = model.tables_mut().get_or_create_named(&name).peek(value as u64);
+                for (a, &x) in acc.iter_mut().zip(&row) {
+                    *a += x;
+                }
+            }
+            // Dense-projection row.
+            let dense = Matrix::row_vector(graph.dense_feature(n));
+            let proj = dense.matmul(&feat_w[ty.as_u8() as usize]);
+            for (a, &x) in acc.iter_mut().zip(proj.as_slice()) {
+                *a += x;
+            }
+            // Mean over (fields + 1) rows — matches the offline
+            // self-embedding without feature attention.
+            let inv = 1.0 / (fields.len() + 1) as f32;
+            for a in &mut acc {
+                *a *= inv;
+            }
+            node_base.push(acc);
+        }
+        // Fold the per-node halves of the attention logit into scalars.
+        let att_self = node_base.iter().map(|z| dot(&att_edge[..d], z)).collect();
+        let att_nbr = node_base.iter().map(|z| dot(&att_edge[d..2 * d], z)).collect();
+        let att_focal = att_edge[2 * d..].to_vec();
+        Self {
+            embed_dim: d,
+            node_base,
+            map_w,
+            att_self,
+            att_nbr,
+            att_focal,
+            comb_w,
+            comb_b,
+            uq_w,
+            uq_b,
+            item_w,
+            item_b,
+        }
+    }
+
+    pub fn embed_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.node_base.len()
+    }
+
+    /// The precomputed base embedding of a node.
+    pub fn base(&self, n: NodeId) -> &[f32] {
+        &self.node_base[n as usize]
+    }
+
+    /// Focal vector for an arbitrary focal set: space-mapped base
+    /// embeddings, summed.
+    pub fn focal_vector(&self, graph: &HeteroGraph, focals: &[NodeId]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.embed_dim];
+        for &f in focals {
+            let ty = graph.node_type(f);
+            let mapped = Matrix::row_vector(self.base(f)).matmul(&self.map_w[ty.as_u8() as usize]);
+            for (a, &x) in acc.iter_mut().zip(mapped.as_slice()) {
+                *a += x;
+            }
+        }
+        acc
+    }
+
+    /// Focal vectors for a batch of `(user, query)` requests, one row per
+    /// request. Rows are grouped by node type so each space-map matrix is
+    /// applied as a single stacked matmul over every node of that type in
+    /// the batch.
+    pub fn focal_vectors(&self, graph: &HeteroGraph, pairs: &[(NodeId, NodeId)]) -> Matrix {
+        let d = self.embed_dim;
+        let mut out = Matrix::zeros(pairs.len(), d);
+        for ty in NodeType::ALL {
+            let mut targets: Vec<usize> = Vec::new();
+            let mut stacked: Vec<f32> = Vec::new();
+            for (r, &(u, q)) in pairs.iter().enumerate() {
+                for n in [u, q] {
+                    if graph.node_type(n).as_u8() == ty.as_u8() {
+                        targets.push(r);
+                        stacked.extend_from_slice(self.base(n));
+                    }
+                }
+            }
+            if targets.is_empty() {
+                continue;
+            }
+            let bases = Matrix::from_vec(targets.len(), d, stacked);
+            let mapped = bases.matmul(&self.map_w[ty.as_u8() as usize]);
+            for (i, &r) in targets.iter().enumerate() {
+                for (a, &x) in out.row_mut(r).iter_mut().zip(mapped.row(i)) {
+                    *a += x;
+                }
+            }
+        }
+        out
+    }
+
+    /// Edge-level attention weights of `neighbors` for ego `node` under the
+    /// focal vector — the only attention kept online (§VII-E). Per neighbor
+    /// this is three adds on precomputed dot products.
+    pub fn edge_attention(&self, node: NodeId, neighbors: &[NodeId], focal: &[f32]) -> Vec<f32> {
+        let si = self.att_self[node as usize];
+        let fc = dot(&self.att_focal, focal);
+        let scores: Vec<f32> =
+            neighbors.iter().map(|&j| leaky_relu(si + self.att_nbr[j as usize] + fc)).collect();
+        stable_softmax(&scores)
+    }
+
+    /// Write `[z_node ‖ Σ αⱼ z_j]` into a (pre-zeroed) `2d`-wide row: the
+    /// input row of the combine layer for one one-hop tower.
+    fn fill_hop_row(&self, row: &mut [f32], node: NodeId, neighbors: &[NodeId], focal: &[f32]) {
+        let d = self.embed_dim;
+        row[..d].copy_from_slice(self.base(node));
+        if neighbors.is_empty() {
+            return;
+        }
+        let alpha = self.edge_attention(node, neighbors, focal);
+        let agg = &mut row[d..];
+        for (&j, &w) in neighbors.iter().zip(&alpha) {
+            for (a, &x) in agg.iter_mut().zip(self.base(j)) {
+                *a += w * x;
+            }
+        }
+    }
+
+    /// One-hop online node embedding: edge attention over cached neighbors,
+    /// then the combine layer. Falls back to the base embedding for isolated
+    /// nodes.
+    pub fn online_embedding(&self, node: NodeId, neighbors: &[NodeId], focal: &[f32]) -> Vec<f32> {
+        if neighbors.is_empty() {
+            return self.base(node).to_vec();
+        }
+        let mut cat = vec![0.0f32; 2 * self.embed_dim];
+        self.fill_hop_row(&mut cat, node, neighbors, focal);
+        let mut lin = Matrix::row_vector(&cat).matmul_bias(&self.comb_w, &self.comb_b);
+        lin.map_inplace(f32::tanh);
+        lin.into_vec()
+    }
+
+    /// Batched request-side embedding: one row per `(user, query)` pair,
+    /// with `neighbors[i]` the (cached) user/query neighborhoods of pair
+    /// `i`. Every layer runs as a single matmul over the stacked batch:
+    /// the combine layer over all `2B` one-hop towers at once, then the UQ
+    /// tower over the `B` concatenated pairs. Rows are independent, so a
+    /// batch of one is exactly the single-request forward.
+    pub fn embed_requests(
+        &self,
+        graph: &HeteroGraph,
+        pairs: &[(NodeId, NodeId)],
+        neighbors: &[(&[NodeId], &[NodeId])],
+    ) -> Matrix {
+        let d = self.embed_dim;
+        let b = pairs.len();
+        assert_eq!(neighbors.len(), b, "embed_requests: pair/neighbor length mismatch");
+        if b == 0 {
+            return Matrix::zeros(0, d);
+        }
+        let focal = self.focal_vectors(graph, pairs);
+        // Stack the combine-layer inputs of all 2B one-hop towers:
+        // row 2i is the user tower of pair i, row 2i+1 the query tower.
+        let mut cat = Matrix::zeros(2 * b, 2 * d);
+        for (i, (&(u, q), &(un, qn))) in pairs.iter().zip(neighbors).enumerate() {
+            let c = focal.row(i);
+            self.fill_hop_row(cat.row_mut(2 * i), u, un, c);
+            self.fill_hop_row(cat.row_mut(2 * i + 1), q, qn, c);
+        }
+        let mut hop = cat.matmul_bias(&self.comb_w, &self.comb_b);
+        hop.map_inplace(f32::tanh);
+        // Isolated nodes bypass the combine layer and keep their base.
+        for (i, &(u, q)) in pairs.iter().enumerate() {
+            let (un, qn) = neighbors[i];
+            if un.is_empty() {
+                hop.row_mut(2 * i).copy_from_slice(self.base(u));
+            }
+            if qn.is_empty() {
+                hop.row_mut(2 * i + 1).copy_from_slice(self.base(q));
+            }
+        }
+        // UQ tower over the stacked [z_user ‖ z_query] rows.
+        let mut uq_in = Matrix::zeros(b, 2 * d);
+        for i in 0..b {
+            let row = uq_in.row_mut(i);
+            row[..d].copy_from_slice(hop.row(2 * i));
+            row[d..].copy_from_slice(hop.row(2 * i + 1));
+        }
+        uq_in.matmul_bias(&self.uq_w, &self.uq_b)
+    }
+
+    /// Request-side embedding for a single pair: a batch of one through
+    /// [`Self::embed_requests`].
+    pub fn request_embedding(
+        &self,
+        graph: &HeteroGraph,
+        user: NodeId,
+        query: NodeId,
+        user_neighbors: &[NodeId],
+        query_neighbors: &[NodeId],
+    ) -> Vec<f32> {
+        self.embed_requests(graph, &[(user, query)], &[(user_neighbors, query_neighbors)])
+            .into_vec()
+    }
+
+    /// Item-side embeddings for the ANN index, one row per item, as a
+    /// single stacked matmul through the item tower.
+    pub fn item_embeddings(&self, items: &[NodeId]) -> Matrix {
+        let d = self.embed_dim;
+        let mut bases = Matrix::zeros(items.len(), d);
+        for (r, &i) in items.iter().enumerate() {
+            bases.row_mut(r).copy_from_slice(self.base(i));
+        }
+        bases.matmul_bias(&self.item_w, &self.item_b)
+    }
+
+    /// Item-side embedding for one item: a batch of one through
+    /// [`Self::item_embeddings`].
+    pub fn item_embedding(&self, item: NodeId) -> Vec<f32> {
+        self.item_embeddings(&[item]).into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelConfig;
+    use zoomer_data::{TaobaoConfig, TaobaoData};
+
+    fn setup() -> (TaobaoData, FrozenModel) {
+        let data = TaobaoData::generate(TaobaoConfig::tiny(71));
+        let dd = data.graph.features().dense_dim();
+        let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(7, dd));
+        let frozen = FrozenModel::from_model(&mut model, &data.graph);
+        (data, frozen)
+    }
+
+    #[test]
+    fn snapshot_covers_all_nodes() {
+        let (data, frozen) = setup();
+        assert_eq!(frozen.num_nodes(), data.graph.num_nodes());
+        assert_eq!(frozen.embed_dim(), 16);
+        for n in 0..data.graph.num_nodes() as NodeId {
+            assert_eq!(frozen.base(n).len(), 16);
+            assert!(frozen.base(n).iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn item_embedding_matches_offline_tower() {
+        let data = TaobaoData::generate(TaobaoConfig::tiny(72));
+        let dd = data.graph.features().dense_dim();
+        let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(8, dd));
+        let item = data.first_item_node();
+        let offline = model.item_embedding(&data.graph, item);
+        let frozen = FrozenModel::from_model(&mut model, &data.graph);
+        let online = frozen.item_embedding(item);
+        for (a, b) in offline.iter().zip(&online) {
+            assert!((a - b).abs() < 1e-5, "offline {a} vs frozen {b}");
+        }
+    }
+
+    #[test]
+    fn edge_attention_is_distribution() {
+        let (data, frozen) = setup();
+        let items = data.item_nodes();
+        let focal = frozen.focal_vector(&data.graph, &[0, data.config.num_users as NodeId]);
+        let alpha = frozen.edge_attention(0, &items[..6], &focal);
+        assert_eq!(alpha.len(), 6);
+        assert!((alpha.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn isolated_node_falls_back_to_base() {
+        let (data, frozen) = setup();
+        let focal = frozen.focal_vector(&data.graph, &[0]);
+        let emb = frozen.online_embedding(0, &[], &focal);
+        assert_eq!(emb, frozen.base(0).to_vec());
+    }
+
+    #[test]
+    fn request_embedding_depends_on_neighbors() {
+        let (data, frozen) = setup();
+        let u = 0 as NodeId;
+        let q = data.config.num_users as NodeId;
+        let items = data.item_nodes();
+        let a = frozen.request_embedding(&data.graph, u, q, &items[..3], &items[..3]);
+        let b = frozen.request_embedding(&data.graph, u, q, &items[3..6], &items[3..6]);
+        assert_eq!(a.len(), frozen.embed_dim());
+        let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-6, "neighbors should influence the request embedding");
+    }
+
+    #[test]
+    fn batched_requests_match_single_requests() {
+        let (data, frozen) = setup();
+        let nu = data.config.num_users as NodeId;
+        let items = data.item_nodes();
+        let pairs: Vec<(NodeId, NodeId)> =
+            vec![(0, nu), (1, nu + 1), (2, nu), (0, nu + 1), (1, nu)];
+        let neighbors: Vec<(&[NodeId], &[NodeId])> = vec![
+            (&items[..3], &items[3..6]),
+            (&items[..0], &items[..4]),
+            (&items[2..5], &items[..0]),
+            (&items[..6], &items[..6]),
+            (&items[..0], &items[..0]),
+        ];
+        let batched = frozen.embed_requests(&data.graph, &pairs, &neighbors);
+        assert_eq!(batched.shape(), (pairs.len(), frozen.embed_dim()));
+        for (i, (&(u, q), &(un, qn))) in pairs.iter().zip(&neighbors).enumerate() {
+            let single = frozen.request_embedding(&data.graph, u, q, un, qn);
+            assert_eq!(batched.row(i), single.as_slice(), "row {i} diverges");
+        }
+    }
+
+    #[test]
+    fn batched_items_match_single_items() {
+        let (data, frozen) = setup();
+        let items = data.item_nodes();
+        let batched = frozen.item_embeddings(&items[..8]);
+        for (r, &i) in items[..8].iter().enumerate() {
+            assert_eq!(batched.row(r), frozen.item_embedding(i).as_slice());
+        }
+    }
+
+    #[test]
+    fn batched_focal_vectors_match_single() {
+        let (data, frozen) = setup();
+        let nu = data.config.num_users as NodeId;
+        let pairs = [(0, nu), (2, nu + 1), (1, nu)];
+        let batched = frozen.focal_vectors(&data.graph, &pairs);
+        for (r, &(u, q)) in pairs.iter().enumerate() {
+            assert_eq!(batched.row(r), frozen.focal_vector(&data.graph, &[u, q]).as_slice());
+        }
+    }
+
+    #[test]
+    fn neutral_topk_is_deterministic_and_bounded() {
+        let (data, _) = setup();
+        let a = neutral_topk_neighbors(&data.graph, 0, 5);
+        let b = neutral_topk_neighbors(&data.graph, 0, 5);
+        assert_eq!(a, b);
+        assert!(a.len() <= 5);
+    }
+
+    #[test]
+    fn frozen_model_is_shareable_across_threads() {
+        let (data, frozen) = setup();
+        let frozen = std::sync::Arc::new(frozen);
+        let q = data.config.num_users as NodeId;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let f = std::sync::Arc::clone(&frozen);
+                scope.spawn(move || {
+                    let focal = vec![0.1f32; f.embed_dim()];
+                    for n in 0..50 as NodeId {
+                        let _ = f.online_embedding(n, &[q], &focal);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -28,9 +28,11 @@ pub mod checkpoint;
 pub mod config;
 pub mod encoder;
 pub mod forward;
+pub mod frozen;
 pub mod model;
 
 pub use checkpoint::{load_checkpoint, save_checkpoint};
 pub use config::{Aggregation, ModelConfig, SamplerKind};
 pub use forward::ForwardCtx;
+pub use frozen::{neutral_topk_neighbors, FrozenModel};
 pub use model::{CtrModel, UnifiedCtrModel};

@@ -10,7 +10,11 @@ use zoomer_tensor::seeded_rng;
 
 /// Loss of one example under the model's current parameters (deterministic:
 /// focal sampler at temperature 0).
-fn loss_of(model: &mut UnifiedCtrModel, data: &TaobaoData, ex: &zoomer_data::RetrievalExample) -> f64 {
+fn loss_of(
+    model: &mut UnifiedCtrModel,
+    data: &TaobaoData,
+    ex: &zoomer_data::RetrievalExample,
+) -> f64 {
     let mut rng = seeded_rng(7);
     let gamma = model.config().focal_gamma;
     let (mut ctx, logit) = model.forward(&data.graph, ex, &mut rng);

@@ -29,11 +29,7 @@ pub struct MetapathSampler {
 impl MetapathSampler {
     /// The canonical retrieval metapath: ego → Query → Item (repeated).
     pub fn user_query_item() -> Self {
-        Self {
-            pattern: vec![NodeType::Query, NodeType::Item],
-            num_walks: 24,
-            repeats: 2,
-        }
+        Self { pattern: vec![NodeType::Query, NodeType::Item], num_walks: 24, repeats: 2 }
     }
 
     /// Ego → Item → Item co-click paths.
@@ -115,10 +111,7 @@ mod tests {
         let s = MetapathSampler::user_query_item();
         let picked = s.sample(&g, 0, &ctx, 10, &mut rng);
         assert!(picked.contains(&1), "query q1 must be visited");
-        assert!(
-            picked.contains(&2) || picked.contains(&3),
-            "items under q1 must be reachable"
-        );
+        assert!(picked.contains(&2) || picked.contains(&3), "items under q1 must be reachable");
         assert!(!picked.contains(&4), "i3 violates the U→Q→I metapath: {picked:?}");
     }
 

@@ -28,11 +28,7 @@ impl RoiNode {
 
     /// Depth of the tree (a leaf has depth 0).
     pub fn depth(&self) -> usize {
-        self.children
-            .iter()
-            .map(RoiNode::depth)
-            .max()
-            .map_or(0, |d| d + 1)
+        self.children.iter().map(RoiNode::depth).max().map_or(0, |d| d + 1)
     }
 
     /// All distinct node ids in the tree.

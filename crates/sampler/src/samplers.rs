@@ -101,14 +101,20 @@ impl NeighborSampler for FocalBiasedSampler {
         k: usize,
         rng: &mut ChaCha8Rng,
     ) -> Vec<NodeId> {
-        let mut scored: Vec<(NodeId, f32)> = all_neighbors(graph, node)
+        // Dedup ids before scoring: a node reachable over several edge types
+        // appears once per type in `all_neighbors`, and deduping after the
+        // score sort only removes *adjacent* duplicates (equal-scored other
+        // nodes can interleave copies). This also scores each distinct
+        // neighbor exactly once.
+        let mut candidates: Vec<NodeId> =
+            all_neighbors(graph, node).into_iter().map(|(n, _, _)| n).collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut scored: Vec<(NodeId, f32)> = candidates
             .into_iter()
-            .map(|(n, _, _)| {
-                (n, self.kernel.score(&focal.focal_vector, graph.dense_feature(n)))
-            })
+            .map(|n| (n, self.kernel.score(&focal.focal_vector, graph.dense_feature(n))))
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored.dedup_by_key(|(n, _)| *n);
         if self.temperature > 0.0 {
             // Gumbel-top-k: perturb scores, re-rank.
             for (_, s) in &mut scored {
@@ -305,14 +311,8 @@ impl NeighborSampler for PixieSampler {
                     (0..tries)
                         .map(|_| nbrs[rng.gen_range(0..nbrs.len())].0)
                         .max_by(|&a, &b| {
-                            let sa = cosine_similarity(
-                                &focal.focal_vector,
-                                graph.dense_feature(a),
-                            );
-                            let sb = cosine_similarity(
-                                &focal.focal_vector,
-                                graph.dense_feature(b),
-                            );
+                            let sa = cosine_similarity(&focal.focal_vector, graph.dense_feature(a));
+                            let sb = cosine_similarity(&focal.focal_vector, graph.dense_feature(b));
                             sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
                         })
                         .unwrap()
@@ -371,10 +371,8 @@ impl NeighborSampler for ClusterImportanceSampler {
         let mut centroid_ids = candidates.clone();
         centroid_ids.shuffle(rng);
         centroid_ids.truncate(k);
-        let mut centroids: Vec<Vec<f32>> = centroid_ids
-            .iter()
-            .map(|&n| graph.dense_feature(n).to_vec())
-            .collect();
+        let mut centroids: Vec<Vec<f32>> =
+            centroid_ids.iter().map(|&n| graph.dense_feature(n).to_vec()).collect();
         let mut assignment = vec![0usize; candidates.len()];
         for _ in 0..self.kmeans_iters {
             // Assign.
@@ -420,11 +418,7 @@ impl NeighborSampler for ClusterImportanceSampler {
                     continue;
                 }
                 let f = graph.dense_feature(cand);
-                let d: f32 = f
-                    .iter()
-                    .zip(&centroids[j])
-                    .map(|(&a, &b)| (a - b) * (a - b))
-                    .sum();
+                let d: f32 = f.iter().zip(&centroids[j]).map(|(&a, &b)| (a - b) * (a - b)).sum();
                 if best.is_none_or(|(_, bd)| d < bd) {
                     best = Some((cand, d));
                 }
@@ -451,8 +445,7 @@ mod tests {
         let focal_node = b.add_node(NodeType::Query, vec![], vec![], &[1.0, 0.0]);
         for i in 0..20 {
             let theta = std::f32::consts::PI * i as f32 / 19.0; // 0..π
-            let leaf =
-                b.add_node(NodeType::Item, vec![], vec![], &[theta.cos(), theta.sin()]);
+            let leaf = b.add_node(NodeType::Item, vec![], vec![], &[theta.cos(), theta.sin()]);
             b.add_undirected_edge(ego, leaf, EdgeType::Session, 1.0 + i as f32 * 0.1);
         }
         let g = b.finish();
@@ -619,6 +612,37 @@ mod tests {
         let has_left = picked.iter().any(|n| left.contains(n));
         let has_right = picked.iter().any(|n| right.contains(n));
         assert!(has_left && has_right, "should cover both modes: {picked:?}");
+    }
+
+    #[test]
+    fn focal_sampler_dedups_multi_edge_neighbors() {
+        // Ego reaches the same two nodes over BOTH Click and Session edges,
+        // plus equal-featured decoys, so every candidate scores identically —
+        // the arrangement where adjacent-only dedup after a stable score sort
+        // left interleaved duplicates in the sample.
+        let mut bld = GraphBuilder::new(1);
+        let ego = bld.add_node(NodeType::User, vec![], vec![], &[1.0]);
+        let mut leaves = Vec::new();
+        for _ in 0..4 {
+            let n = bld.add_node(NodeType::Item, vec![], vec![], &[1.0]);
+            bld.add_edge(ego, n, EdgeType::Click, 1.0);
+            leaves.push(n);
+        }
+        // First two leaves also reachable via Session.
+        bld.add_edge(ego, leaves[0], EdgeType::Session, 1.0);
+        bld.add_edge(ego, leaves[1], EdgeType::Session, 1.0);
+        let g = bld.finish();
+        let ctx = FocalContext::from_nodes(&g, &[ego]);
+        let mut rng = seeded_rng(7);
+        let picked = FocalBiasedSampler::default().sample(&g, ego, &ctx, 10, &mut rng);
+        let unique: std::collections::HashSet<_> = picked.iter().collect();
+        assert_eq!(unique.len(), picked.len(), "duplicate ids in {picked:?}");
+        assert_eq!(picked.len(), 4, "one slot per distinct neighbor: {picked:?}");
+        // The stochastic variant must dedup too.
+        let picked = FocalBiasedSampler::stochastic(0.5).sample(&g, ego, &ctx, 10, &mut rng);
+        let unique: std::collections::HashSet<_> = picked.iter().collect();
+        assert_eq!(unique.len(), picked.len());
+        assert_eq!(picked.len(), 4);
     }
 
     #[test]

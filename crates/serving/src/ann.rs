@@ -7,22 +7,25 @@
 //! a query probes the `nprobe` nearest lists and scores their members
 //! exactly by inner product.
 
-use zoomer_tensor::seeded_rng;
+use zoomer_tensor::{seeded_rng, Matrix};
 
 use rand::seq::SliceRandom;
 
-/// One inverted list entry.
-#[derive(Clone, Debug)]
-struct Entry {
-    id: u64,
-    vector: Vec<f32>,
+/// One inverted list: entry ids plus their vectors flattened row-major into
+/// a single contiguous buffer (`vectors.len() == ids.len() * dim`), so a
+/// scoring pass streams sequentially instead of chasing one heap pointer per
+/// entry.
+#[derive(Clone, Debug, Default)]
+struct InvList {
+    ids: Vec<u64>,
+    vectors: Vec<f32>,
 }
 
 /// IVF-Flat index over inner-product similarity.
 pub struct IvfIndex {
     dim: usize,
     centroids: Vec<Vec<f32>>,
-    lists: Vec<Vec<Entry>>,
+    lists: Vec<InvList>,
 }
 
 impl IvfIndex {
@@ -37,10 +40,8 @@ impl IvfIndex {
         let mut rng = seeded_rng(seed);
         let mut centroid_seed: Vec<usize> = (0..items.len()).collect();
         centroid_seed.shuffle(&mut rng);
-        let mut centroids: Vec<Vec<f32>> = centroid_seed[..nlist]
-            .iter()
-            .map(|&i| items[i].1.clone())
-            .collect();
+        let mut centroids: Vec<Vec<f32>> =
+            centroid_seed[..nlist].iter().map(|&i| items[i].1.clone()).collect();
         let mut assignment = vec![0usize; items.len()];
         for _ in 0..kmeans_iters {
             for (i, (_, v)) in items.iter().enumerate() {
@@ -63,9 +64,11 @@ impl IvfIndex {
                 }
             }
         }
-        let mut lists: Vec<Vec<Entry>> = vec![Vec::new(); nlist];
+        let mut lists: Vec<InvList> = vec![InvList::default(); nlist];
         for (i, (id, v)) in items.iter().enumerate() {
-            lists[assignment[i]].push(Entry { id: *id, vector: v.clone() });
+            let list = &mut lists[assignment[i]];
+            list.ids.push(*id);
+            list.vectors.extend_from_slice(v);
         }
         Self { dim, centroids, lists }
     }
@@ -79,35 +82,97 @@ impl IvfIndex {
     }
 
     pub fn len(&self) -> usize {
-        self.lists.iter().map(Vec::len).sum()
+        self.lists.iter().map(|l| l.ids.len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Approximate top-`k` by inner product, probing `nprobe` lists.
+    /// Approximate top-`k` by inner product, probing `nprobe` lists: a
+    /// batch of one through [`Self::search_batch`].
     pub fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<(u64, f32)> {
-        assert_eq!(query.len(), self.dim, "query width mismatch");
+        self.search_batch(&Matrix::row_vector(query), k, nprobe).pop().expect("one query row")
+    }
+
+    /// Multi-query approximate top-`k`: one query per row of `queries`.
+    ///
+    /// Every coarse list is visited at most once per batch — all queries
+    /// probing it score its entries during that single pass — so a batch
+    /// touches each inverted list's memory once instead of once per query.
+    /// Each query's candidate stream (lists in ascending index order, entry
+    /// order within a list) is independent of the rest of the batch, so
+    /// results are identical to `search` on each row alone.
+    pub fn search_batch(&self, queries: &Matrix, k: usize, nprobe: usize) -> Vec<Vec<(u64, f32)>> {
+        if queries.rows() == 0 {
+            return Vec::new();
+        }
+        assert_eq!(queries.cols(), self.dim, "query width mismatch");
         let nprobe = nprobe.max(1).min(self.centroids.len());
-        // Nearest centroids by Euclidean distance.
-        let mut order: Vec<(usize, f32)> = self
-            .centroids
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (i, euclidean2(c, query)))
-            .collect();
-        order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        let mut scored: Vec<(u64, f32)> = Vec::new();
-        for &(list, _) in order.iter().take(nprobe) {
-            for e in &self.lists[list] {
-                let s: f32 = e.vector.iter().zip(query).map(|(&a, &b)| a * b).sum();
-                scored.push((e.id, s));
+        // Invert "query → nprobe nearest lists" into "list → probing queries".
+        let mut probers: Vec<Vec<u32>> = vec![Vec::new(); self.centroids.len()];
+        for qi in 0..queries.rows() {
+            let q = queries.row(qi);
+            let mut order: Vec<(usize, f32)> =
+                self.centroids.iter().enumerate().map(|(i, c)| (i, euclidean2(c, q))).collect();
+            let pivot = (nprobe - 1).min(order.len() - 1);
+            order.select_nth_unstable_by(pivot, |a, b| {
+                a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for &(list, _) in order.iter().take(nprobe) {
+                probers[list].push(qi as u32);
             }
         }
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored.truncate(k);
-        scored
+        // One shared pass over each probed list. Queries are scored in
+        // blocks of four so each loaded entry element feeds four independent
+        // accumulator chains — a single query's dot product is bound by the
+        // FMA latency chain; a batch supplies the independent work that
+        // fills the pipeline. Per-pair summation order is the plain
+        // sequential dot either way, so results are bit-identical to the
+        // unblocked loop.
+        let mut scored: Vec<Vec<(u64, f32)>> = vec![Vec::new(); queries.rows()];
+        for (list, qis) in probers.iter().enumerate() {
+            if qis.is_empty() {
+                continue;
+            }
+            let il = &self.lists[list];
+            let d = self.dim;
+            for &qi in qis {
+                scored[qi as usize].reserve(il.ids.len());
+            }
+            let mut blocks = qis.chunks_exact(4);
+            for b in &mut blocks {
+                let q0 = &queries.row(b[0] as usize)[..d];
+                let q1 = &queries.row(b[1] as usize)[..d];
+                let q2 = &queries.row(b[2] as usize)[..d];
+                let q3 = &queries.row(b[3] as usize)[..d];
+                for (ei, &id) in il.ids.iter().enumerate() {
+                    let v = &il.vectors[ei * d..ei * d + d];
+                    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                    for i in 0..d {
+                        let x = v[i];
+                        s0 += x * q0[i];
+                        s1 += x * q1[i];
+                        s2 += x * q2[i];
+                        s3 += x * q3[i];
+                    }
+                    scored[b[0] as usize].push((id, s0));
+                    scored[b[1] as usize].push((id, s1));
+                    scored[b[2] as usize].push((id, s2));
+                    scored[b[3] as usize].push((id, s3));
+                }
+            }
+            for &qi in blocks.remainder() {
+                let q = queries.row(qi as usize);
+                let out = &mut scored[qi as usize];
+                for (ei, &id) in il.ids.iter().enumerate() {
+                    let v = &il.vectors[ei * d..ei * d + d];
+                    let s: f32 = v.iter().zip(q).map(|(&a, &b)| a * b).sum();
+                    out.push((id, s));
+                }
+            }
+        }
+        scored.into_iter().map(|s| top_k_desc(s, k)).collect()
     }
 
     /// Exact top-`k` (probes every list) — the recall baseline.
@@ -136,6 +201,23 @@ impl IvfIndex {
     }
 }
 
+/// Top-`k` of a candidate list by descending score: partial selection, then
+/// a sort of just the head. Deterministic for a fixed candidate order.
+fn top_k_desc(mut scored: Vec<(u64, f32)>, k: usize) -> Vec<(u64, f32)> {
+    let desc =
+        |a: &(u64, f32), b: &(u64, f32)| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal);
+    if k == 0 || scored.is_empty() {
+        scored.truncate(k);
+        return scored;
+    }
+    if k < scored.len() {
+        scored.select_nth_unstable_by(k - 1, desc);
+        scored.truncate(k);
+    }
+    scored.sort_by(desc);
+    scored
+}
+
 fn nearest(centroids: &[Vec<f32>], v: &[f32]) -> usize {
     let mut best = 0usize;
     let mut best_d = f32::INFINITY;
@@ -160,9 +242,7 @@ mod tests {
 
     fn random_items(n: usize, dim: usize, seed: u64) -> Vec<(u64, Vec<f32>)> {
         let mut rng = seeded_rng(seed);
-        (0..n as u64)
-            .map(|id| (id, (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()))
-            .collect()
+        (0..n as u64).map(|id| (id, (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())).collect()
     }
 
     #[test]
@@ -217,6 +297,26 @@ mod tests {
         for w in res.windows(2) {
             assert!(w[0].1 >= w[1].1, "not sorted: {res:?}");
         }
+    }
+
+    #[test]
+    fn batch_search_matches_single_queries() {
+        let items = random_items(400, 8, 9);
+        let idx = IvfIndex::build(&items, 12, 5, 9);
+        let queries: Vec<Vec<f32>> = random_items(17, 8, 10).into_iter().map(|(_, v)| v).collect();
+        let rows: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+        let batched = idx.search_batch(&Matrix::from_rows(&rows), 10, 3);
+        assert_eq!(batched.len(), queries.len());
+        for (q, got) in queries.iter().zip(&batched) {
+            assert_eq!(got, &idx.search(q, 10, 3), "batch result diverges from single");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let items = random_items(20, 4, 11);
+        let idx = IvfIndex::build(&items, 4, 3, 11);
+        assert!(idx.search_batch(&Matrix::zeros(0, 4), 5, 2).is_empty());
     }
 
     #[test]

@@ -66,6 +66,39 @@ impl NeighborCache {
         arc
     }
 
+    /// Batched lookup under a single read lock: one `Option` per requested
+    /// node, in order. Hit/miss counters advance once per node, matching a
+    /// sequence of [`Self::get`] calls.
+    pub fn get_many(&self, nodes: &[NodeId]) -> Vec<Option<Arc<Vec<NodeId>>>> {
+        let map = self.map.read();
+        let found: Vec<Option<Arc<Vec<NodeId>>>> =
+            nodes.iter().map(|n| map.get(n).cloned()).collect();
+        drop(map);
+        let hits = found.iter().filter(|f| f.is_some()).count() as u64;
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(nodes.len() as u64 - hits, Ordering::Relaxed);
+        found
+    }
+
+    /// Batched insert under a single write lock (fills after a `get_many`
+    /// miss sweep). Entries are truncated to `k` like every other insert.
+    pub fn insert_many(&self, entries: Vec<(NodeId, Vec<NodeId>)>) -> Vec<Arc<Vec<NodeId>>> {
+        let arcs: Vec<(NodeId, Arc<Vec<NodeId>>)> = entries
+            .into_iter()
+            .map(|(n, mut v)| {
+                v.truncate(self.k);
+                (n, Arc::new(v))
+            })
+            .collect();
+        let mut map = self.map.write();
+        arcs.iter()
+            .map(|(n, a)| {
+                map.insert(*n, Arc::clone(a));
+                Arc::clone(a)
+            })
+            .collect()
+    }
+
     /// Replace a node's cached neighbors (refresh path).
     pub fn put(&self, node: NodeId, mut neighbors: Vec<NodeId>) {
         neighbors.truncate(self.k);
@@ -132,10 +165,7 @@ impl CacheRefresher {
     /// Drain the queue and stop; returns how many entries were refreshed.
     pub fn shutdown(mut self) -> u64 {
         drop(self.tx.take());
-        self.handle
-            .take()
-            .map(|h| h.join().expect("refresher panicked"))
-            .unwrap_or(0)
+        self.handle.take().map(|h| h.join().expect("refresher panicked")).unwrap_or(0)
     }
 }
 
@@ -173,6 +203,30 @@ mod tests {
     }
 
     #[test]
+    fn get_many_counts_like_sequential_gets() {
+        let cache = NeighborCache::new(4);
+        cache.put(1, vec![10]);
+        cache.put(3, vec![30]);
+        let found = cache.get_many(&[1, 2, 3, 2]);
+        assert_eq!(found.len(), 4);
+        assert_eq!(**found[0].as_ref().expect("hit"), vec![10]);
+        assert!(found[1].is_none());
+        assert_eq!(**found[2].as_ref().expect("hit"), vec![30]);
+        assert!(found[3].is_none());
+        assert_eq!(cache.stats(), (2, 2));
+    }
+
+    #[test]
+    fn insert_many_truncates_and_installs() {
+        let cache = NeighborCache::new(2);
+        let arcs = cache.insert_many(vec![(1, vec![1, 2, 3, 4]), (2, vec![5])]);
+        assert_eq!(*arcs[0], vec![1, 2]);
+        assert_eq!(*arcs[1], vec![5]);
+        assert_eq!(*cache.get(1).expect("cached"), vec![1, 2]);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
     fn hit_rate_tracks_queries() {
         let cache = NeighborCache::new(2);
         cache.put(1, vec![9]);
@@ -187,9 +241,8 @@ mod tests {
     fn refresher_updates_entries_asynchronously() {
         let cache = Arc::new(NeighborCache::new(5));
         cache.put(7, vec![1]);
-        let refresher = CacheRefresher::spawn(Arc::clone(&cache), |node| {
-            vec![node + 100, node + 101]
-        });
+        let refresher =
+            CacheRefresher::spawn(Arc::clone(&cache), |node| vec![node + 100, node + 101]);
         refresher.request_refresh(7);
         refresher.request_refresh(8);
         let done = refresher.shutdown();

@@ -1,305 +1,6 @@
-//! A frozen, thread-safe snapshot of a trained model for the serving path.
-//!
-//! §VII-E: online, Zoomer decouples neighbor sampling from aggregation via
-//! caches and "only conserves the most effective attention part —
-//! edge-level attention". This snapshot precomputes every node's base
-//! embedding (feature embeddings + dense projection, no tape) and keeps just
-//! the parameter matrices the online path needs, so request handling is pure
-//! `&self` f32 math — shareable across server threads.
+//! Re-export shim: the frozen model moved to `zoomer_model::frozen` so the
+//! offline evaluation path can share the batched embedding entry points with
+//! serving without depending on this crate. Kept so existing
+//! `zoomer_serving::frozen::FrozenModel` paths keep compiling.
 
-use zoomer_graph::{HeteroGraph, NodeId, NodeType};
-use zoomer_model::encoder::TableSet;
-use zoomer_model::{CtrModel, UnifiedCtrModel};
-use zoomer_tensor::numerics::leaky_relu;
-use zoomer_tensor::{stable_softmax, Matrix};
-
-/// Frozen parameters + precomputed node embeddings.
-pub struct FrozenModel {
-    embed_dim: usize,
-    /// Base (self) embedding per node id.
-    node_base: Vec<Vec<f32>>,
-    /// Space-map matrix per node type (focal construction).
-    map_w: Vec<Matrix>,
-    /// Edge-level attention vector (layer 1).
-    att_edge: Vec<f32>,
-    /// Combine layer (layer 1).
-    comb_w: Matrix,
-    comb_b: Vec<f32>,
-    /// Twin towers.
-    uq_w: Matrix,
-    uq_b: Vec<f32>,
-    item_w: Matrix,
-    item_b: Vec<f32>,
-}
-
-impl FrozenModel {
-    /// Snapshot a trained model against its graph.
-    pub fn from_model(model: &mut UnifiedCtrModel, graph: &HeteroGraph) -> Self {
-        let d = model.config().embed_dim;
-        let store = model.store();
-        let map_w: Vec<Matrix> = NodeType::ALL
-            .iter()
-            .map(|t| store.get(&format!("map.{}.w", t.name())).clone())
-            .collect();
-        let att_edge = store.get("att.edge.l1").as_slice().to_vec();
-        let comb_w = store.get("comb.l1.w").clone();
-        let comb_b = store.get("comb.l1.b").as_slice().to_vec();
-        let uq_w = store.get("tower.uq.w").clone();
-        let uq_b = store.get("tower.uq.b").as_slice().to_vec();
-        let item_w = store.get("tower.item.w").clone();
-        let item_b = store.get("tower.item.b").as_slice().to_vec();
-        // Dense projections, needed before the mutable-borrow loop below.
-        let feat_w: Vec<Matrix> = NodeType::ALL
-            .iter()
-            .map(|t| store.get(&format!("feat.{}.w", t.name())).clone())
-            .collect();
-
-        let mut node_base = Vec::with_capacity(graph.num_nodes());
-        for n in 0..graph.num_nodes() as NodeId {
-            let ty = graph.node_type(n);
-            let fields = graph.fields(n);
-            let mut acc = vec![0.0f32; d];
-            for (idx, &value) in fields.iter().enumerate() {
-                let name = TableSet::table_name(ty, idx);
-                let row = model
-                    .tables_mut()
-                    .get_or_create_named(&name)
-                    .peek(value as u64);
-                for (a, &x) in acc.iter_mut().zip(&row) {
-                    *a += x;
-                }
-            }
-            // Dense-projection row.
-            let dense = Matrix::row_vector(graph.dense_feature(n));
-            let proj = dense.matmul(&feat_w[ty.as_u8() as usize]);
-            for (a, &x) in acc.iter_mut().zip(proj.as_slice()) {
-                *a += x;
-            }
-            // Mean over (fields + 1) rows — matches the offline
-            // self-embedding without feature attention.
-            let inv = 1.0 / (fields.len() + 1) as f32;
-            for a in &mut acc {
-                *a *= inv;
-            }
-            node_base.push(acc);
-        }
-        Self {
-            embed_dim: d,
-            node_base,
-            map_w,
-            att_edge,
-            comb_w,
-            comb_b,
-            uq_w,
-            uq_b,
-            item_w,
-            item_b,
-        }
-    }
-
-    pub fn embed_dim(&self) -> usize {
-        self.embed_dim
-    }
-
-    pub fn num_nodes(&self) -> usize {
-        self.node_base.len()
-    }
-
-    /// The precomputed base embedding of a node.
-    pub fn base(&self, n: NodeId) -> &[f32] {
-        &self.node_base[n as usize]
-    }
-
-    /// Focal vector for a (user, query) pair: space-mapped base embeddings,
-    /// summed.
-    pub fn focal_vector(&self, graph: &HeteroGraph, focals: &[NodeId]) -> Vec<f32> {
-        let mut acc = vec![0.0f32; self.embed_dim];
-        for &f in focals {
-            let ty = graph.node_type(f);
-            let mapped =
-                Matrix::row_vector(self.base(f)).matmul(&self.map_w[ty.as_u8() as usize]);
-            for (a, &x) in acc.iter_mut().zip(mapped.as_slice()) {
-                *a += x;
-            }
-        }
-        acc
-    }
-
-    /// Edge-level attention weights of `neighbors` for ego `node` under the
-    /// focal vector — the only attention kept online (§VII-E).
-    pub fn edge_attention(&self, node: NodeId, neighbors: &[NodeId], focal: &[f32]) -> Vec<f32> {
-        let zi = self.base(node);
-        let scores: Vec<f32> = neighbors
-            .iter()
-            .map(|&j| {
-                let zj = self.base(j);
-                // aᵀ [zi ‖ zj ‖ c]
-                let d = self.embed_dim;
-                let mut s = 0.0f32;
-                for (k, &a) in self.att_edge.iter().enumerate() {
-                    let x = if k < d {
-                        zi[k]
-                    } else if k < 2 * d {
-                        zj[k - d]
-                    } else {
-                        focal[k - 2 * d]
-                    };
-                    s += a * x;
-                }
-                leaky_relu(s)
-            })
-            .collect();
-        stable_softmax(&scores)
-    }
-
-    /// One-hop online node embedding: edge attention over cached neighbors,
-    /// then the combine layer. Falls back to the base embedding for isolated
-    /// nodes.
-    pub fn online_embedding(&self, node: NodeId, neighbors: &[NodeId], focal: &[f32]) -> Vec<f32> {
-        let zi = self.base(node);
-        if neighbors.is_empty() {
-            return zi.to_vec();
-        }
-        let alpha = self.edge_attention(node, neighbors, focal);
-        let mut agg = vec![0.0f32; self.embed_dim];
-        for (&j, &w) in neighbors.iter().zip(&alpha) {
-            for (a, &x) in agg.iter_mut().zip(self.base(j)) {
-                *a += w * x;
-            }
-        }
-        // tanh([zi ‖ agg]·W + b)
-        let mut cat = Vec::with_capacity(2 * self.embed_dim);
-        cat.extend_from_slice(zi);
-        cat.extend_from_slice(&agg);
-        let lin = Matrix::row_vector(&cat).matmul(&self.comb_w);
-        lin.as_slice()
-            .iter()
-            .zip(&self.comb_b)
-            .map(|(&x, &b)| (x + b).tanh())
-            .collect()
-    }
-
-    /// Request-side embedding: online user and query embeddings through the
-    /// UQ tower.
-    pub fn request_embedding(
-        &self,
-        user: NodeId,
-        query: NodeId,
-        user_neighbors: &[NodeId],
-        query_neighbors: &[NodeId],
-        focal: &[f32],
-    ) -> Vec<f32> {
-        let zu = self.online_embedding(user, user_neighbors, focal);
-        let zq = self.online_embedding(query, query_neighbors, focal);
-        let mut cat = Vec::with_capacity(2 * self.embed_dim);
-        cat.extend_from_slice(&zu);
-        cat.extend_from_slice(&zq);
-        let lin = Matrix::row_vector(&cat).matmul(&self.uq_w);
-        lin.as_slice()
-            .iter()
-            .zip(&self.uq_b)
-            .map(|(&x, &b)| x + b)
-            .collect()
-    }
-
-    /// Item-side embedding for the ANN index (matches the offline item
-    /// tower).
-    pub fn item_embedding(&self, item: NodeId) -> Vec<f32> {
-        let lin = Matrix::row_vector(self.base(item)).matmul(&self.item_w);
-        lin.as_slice()
-            .iter()
-            .zip(&self.item_b)
-            .map(|(&x, &b)| x + b)
-            .collect()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use zoomer_data::{TaobaoConfig, TaobaoData};
-    use zoomer_model::{CtrModel, ModelConfig};
-
-    fn setup() -> (TaobaoData, FrozenModel) {
-        let data = TaobaoData::generate(TaobaoConfig::tiny(71));
-        let dd = data.graph.features().dense_dim();
-        let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(7, dd));
-        let frozen = FrozenModel::from_model(&mut model, &data.graph);
-        (data, frozen)
-    }
-
-    #[test]
-    fn snapshot_covers_all_nodes() {
-        let (data, frozen) = setup();
-        assert_eq!(frozen.num_nodes(), data.graph.num_nodes());
-        assert_eq!(frozen.embed_dim(), 16);
-        for n in 0..data.graph.num_nodes() as NodeId {
-            assert_eq!(frozen.base(n).len(), 16);
-            assert!(frozen.base(n).iter().all(|x| x.is_finite()));
-        }
-    }
-
-    #[test]
-    fn item_embedding_matches_offline_tower() {
-        let data = TaobaoData::generate(TaobaoConfig::tiny(72));
-        let dd = data.graph.features().dense_dim();
-        let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(8, dd));
-        let item = data.first_item_node();
-        let offline = model.item_embedding(&data.graph, item);
-        let frozen = FrozenModel::from_model(&mut model, &data.graph);
-        let online = frozen.item_embedding(item);
-        for (a, b) in offline.iter().zip(&online) {
-            assert!((a - b).abs() < 1e-5, "offline {a} vs frozen {b}");
-        }
-    }
-
-    #[test]
-    fn edge_attention_is_distribution() {
-        let (data, frozen) = setup();
-        let items = data.item_nodes();
-        let focal = frozen.focal_vector(&data.graph, &[0, data.config.num_users as NodeId]);
-        let alpha = frozen.edge_attention(0, &items[..6], &focal);
-        assert_eq!(alpha.len(), 6);
-        assert!((alpha.iter().sum::<f32>() - 1.0).abs() < 1e-4);
-    }
-
-    #[test]
-    fn isolated_node_falls_back_to_base() {
-        let (data, frozen) = setup();
-        let focal = frozen.focal_vector(&data.graph, &[0]);
-        let emb = frozen.online_embedding(0, &[], &focal);
-        assert_eq!(emb, frozen.base(0).to_vec());
-    }
-
-    #[test]
-    fn request_embedding_depends_on_neighbors() {
-        let (data, frozen) = setup();
-        let u = 0 as NodeId;
-        let q = data.config.num_users as NodeId;
-        let focal = frozen.focal_vector(&data.graph, &[u, q]);
-        let items = data.item_nodes();
-        let a = frozen.request_embedding(u, q, &items[..3], &items[..3], &focal);
-        let b = frozen.request_embedding(u, q, &items[3..6], &items[3..6], &focal);
-        assert_eq!(a.len(), frozen.embed_dim());
-        let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
-        assert!(diff > 1e-6, "neighbors should influence the request embedding");
-    }
-
-    #[test]
-    fn frozen_model_is_shareable_across_threads() {
-        let (data, frozen) = setup();
-        let frozen = std::sync::Arc::new(frozen);
-        let q = data.config.num_users as NodeId;
-        std::thread::scope(|scope| {
-            for _ in 0..4 {
-                let f = std::sync::Arc::clone(&frozen);
-                scope.spawn(move || {
-                    let focal = vec![0.1f32; f.embed_dim()];
-                    for n in 0..50 as NodeId {
-                        let _ = f.online_embedding(n, &[q], &focal);
-                    }
-                });
-            }
-        });
-    }
-}
+pub use zoomer_model::frozen::*;

@@ -14,7 +14,8 @@
 //!   on the serving path (edge attention only).
 //! - [`server`] — the retrieval server: focal → cached neighbors → online
 //!   embedding → ANN lookup.
-//! - [`load`] — open-loop QPS/latency harness (Fig 9).
+//! - [`load`] — open- and closed-loop QPS/latency harnesses (Fig 9),
+//!   including batched request coalescing through `handle_batch`.
 
 pub mod ann;
 pub mod cache;
@@ -24,8 +25,10 @@ pub mod load;
 pub mod server;
 
 pub use ann::IvfIndex;
-pub use inverted::InvertedIndex;
 pub use cache::NeighborCache;
 pub use frozen::FrozenModel;
-pub use load::{run_load_test, LatencyStats};
+pub use inverted::InvertedIndex;
+pub use load::{
+    run_batched_load_test, run_closed_loop, run_load_test, LatencyStats, ThroughputStats,
+};
 pub use server::{OnlineServer, ServingConfig};

@@ -1,9 +1,17 @@
-//! Open-loop QPS/latency load harness (Fig 9).
+//! Load harnesses for the serving stack (Fig 9).
 //!
-//! Requests arrive on a fixed schedule (open loop, so queueing delay shows up
-//! in the measured response time exactly as it would for real traffic); a
-//! fixed pool of server threads drains the queue. Reported latency is
-//! end-to-end: enqueue → response.
+//! Two shapes:
+//!
+//! * **Open loop** ([`run_load_test`], [`run_batched_load_test`]): requests
+//!   arrive on a fixed schedule, so queueing delay shows up in the measured
+//!   response time exactly as it would for real traffic; a fixed pool of
+//!   server threads drains the queue. Reported latency is end-to-end:
+//!   enqueue → response. The batched variant lets each worker drain up to
+//!   `batch_size` queued requests into one `handle_batch` call — the
+//!   arrival-coalescing a production front-end performs under load.
+//! * **Closed loop** ([`run_closed_loop`]): every thread issues its next
+//!   batch as soon as the previous one returns, measuring peak sustainable
+//!   throughput at a given batch size (the Fig 9 batched series).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -102,10 +110,147 @@ pub fn run_load_test(
         drop(tx);
     });
     let elapsed = start.elapsed();
-    let lat = Arc::try_unwrap(latencies)
-        .expect("threads joined")
-        .into_inner();
+    let lat = Arc::try_unwrap(latencies).expect("threads joined").into_inner();
     LatencyStats::from_latencies(qps, lat, elapsed)
+}
+
+/// Run an open-loop load test where each worker drains up to `batch_size`
+/// queued requests into a single [`OnlineServer::handle_batch`] call. With
+/// `batch_size == 1` this is exactly [`run_load_test`]. Latency per request
+/// is still enqueue → batch completion, so coalescing that delays an early
+/// arrival is charged against it.
+pub fn run_batched_load_test(
+    server: &OnlineServer,
+    requests: &[(NodeId, NodeId)],
+    qps: f64,
+    num_threads: usize,
+    batch_size: usize,
+) -> LatencyStats {
+    assert!(qps > 0.0, "qps must be positive");
+    assert!(num_threads > 0, "need at least one server thread");
+    assert!(batch_size > 0, "need a positive batch size");
+    assert!(!requests.is_empty(), "need at least one request");
+
+    let interval = Duration::from_secs_f64(1.0 / qps);
+    let (tx, rx) = bounded::<(NodeId, NodeId, Instant)>(requests.len());
+    let latencies: Arc<parking_lot::Mutex<Vec<f64>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::with_capacity(requests.len())));
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..num_threads {
+            let rx = rx.clone();
+            let server = server.clone();
+            let latencies = Arc::clone(&latencies);
+            scope.spawn(move || {
+                let mut batch: Vec<(NodeId, NodeId)> = Vec::with_capacity(batch_size);
+                let mut enqueued: Vec<Instant> = Vec::with_capacity(batch_size);
+                // Block for the first request, then opportunistically drain
+                // whatever else is already queued, up to the batch size.
+                while let Ok((user, query, at)) = rx.recv() {
+                    batch.push((user, query));
+                    enqueued.push(at);
+                    while batch.len() < batch_size {
+                        match rx.try_recv() {
+                            Ok((u, q, at)) => {
+                                batch.push((u, q));
+                                enqueued.push(at);
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    let _ = server.handle_batch(&batch);
+                    let done = Instant::now();
+                    let mut lat = latencies.lock();
+                    for &at in &enqueued {
+                        lat.push(done.duration_since(at).as_secs_f64() * 1e3);
+                    }
+                    drop(lat);
+                    batch.clear();
+                    enqueued.clear();
+                }
+            });
+        }
+        drop(rx);
+        for (i, &(user, query)) in requests.iter().enumerate() {
+            let due = start + interval.mul_f64(i as f64);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            let _ = tx.send((user, query, Instant::now()));
+        }
+        drop(tx);
+    });
+    let elapsed = start.elapsed();
+    let lat = Arc::try_unwrap(latencies).expect("threads joined").into_inner();
+    LatencyStats::from_latencies(qps, lat, elapsed)
+}
+
+/// Throughput summary of one closed-loop run.
+#[derive(Clone, Debug)]
+pub struct ThroughputStats {
+    pub batch_size: usize,
+    pub completed: usize,
+    pub elapsed: Duration,
+    /// Mean per-request latency: each request is charged its whole batch's
+    /// service time.
+    pub mean_ms: f64,
+}
+
+impl ThroughputStats {
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Closed-loop throughput run: `requests` are split across `num_threads`
+/// threads, each issuing its share in `batch_size`-sized `handle_batch`
+/// calls back-to-back. Measures peak sustainable requests/sec at the given
+/// batch size; `batch_size == 1` is the per-request baseline on the same
+/// code path.
+pub fn run_closed_loop(
+    server: &OnlineServer,
+    requests: &[(NodeId, NodeId)],
+    num_threads: usize,
+    batch_size: usize,
+) -> ThroughputStats {
+    assert!(num_threads > 0, "need at least one server thread");
+    assert!(batch_size > 0, "need a positive batch size");
+    assert!(!requests.is_empty(), "need at least one request");
+
+    let start = Instant::now();
+    let lats: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..num_threads)
+            .map(|t| {
+                let server = server.clone();
+                let share: Vec<(NodeId, NodeId)> =
+                    requests.iter().skip(t).step_by(num_threads).copied().collect();
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(share.len());
+                    for chunk in share.chunks(batch_size) {
+                        let t0 = Instant::now();
+                        let _ = server.handle_batch(chunk);
+                        let ms = t0.elapsed().as_secs_f64() * 1e3;
+                        lats.extend(std::iter::repeat_n(ms, chunk.len()));
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let elapsed = start.elapsed();
+    let all: Vec<f64> = lats.into_iter().flatten().collect();
+    let completed = all.len();
+    ThroughputStats {
+        batch_size,
+        completed,
+        elapsed,
+        mean_ms: if completed == 0 { 0.0 } else { all.iter().sum::<f64>() / completed as f64 },
+    }
 }
 
 #[cfg(test)]
@@ -122,10 +267,10 @@ mod tests {
         let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(13, dd));
         let frozen = FrozenModel::from_model(&mut model, &data.graph);
         let items = data.item_nodes();
-        let graph = Arc::new(zoomer_graph::read_snapshot(zoomer_graph::write_snapshot(
-            &data.graph,
-        ))
-        .expect("roundtrip"));
+        let graph = Arc::new(
+            zoomer_graph::read_snapshot(zoomer_graph::write_snapshot(&data.graph))
+                .expect("roundtrip"),
+        );
         let server = OnlineServer::build(
             graph,
             frozen,
@@ -157,6 +302,24 @@ mod tests {
         assert!((stats.p99_ms - 99.0).abs() <= 1.0);
         assert_eq!(stats.max_ms, 100.0);
         assert!((stats.mean_ms - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_load_test_completes_all_requests() {
+        let (server, requests) = server_and_requests();
+        let stats = run_batched_load_test(&server, &requests, 5000.0, 2, 8);
+        assert_eq!(stats.completed, requests.len());
+        assert!(stats.p50_ms <= stats.p99_ms);
+    }
+
+    #[test]
+    fn closed_loop_reports_throughput() {
+        let (server, requests) = server_and_requests();
+        let stats = run_closed_loop(&server, &requests, 2, 16);
+        assert_eq!(stats.completed, requests.len());
+        assert_eq!(stats.batch_size, 16);
+        assert!(stats.requests_per_sec() > 0.0);
+        assert!(stats.mean_ms > 0.0);
     }
 
     #[test]

@@ -1,16 +1,28 @@
 //! The online retrieval server: request → focal → cached neighbors →
 //! online embedding → ANN lookup → ranked item ids.
+//!
+//! Execution is batch-first: [`OnlineServer::handle_batch`] resolves the
+//! neighbor cache for a whole batch under one lock round, runs the frozen
+//! towers as one stacked matmul per layer, and issues a multi-query ANN
+//! probe that visits each coarse list once per batch.
+//! [`OnlineServer::handle`] is a batch of one through the same path.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
+use rayon::prelude::*;
 use zoomer_graph::{HeteroGraph, NodeId};
 use zoomer_sampler::{FocalBiasedSampler, FocalContext, NeighborSampler};
-use zoomer_tensor::seeded_rng;
+use zoomer_tensor::{seeded_rng, Matrix};
 
 use crate::ann::IvfIndex;
 use crate::cache::NeighborCache;
-use crate::frozen::FrozenModel;
+use crate::frozen::{neutral_topk_neighbors, FrozenModel};
 use crate::inverted::InvertedIndex;
+
+/// A request's resolved (user-neighborhood, query-neighborhood) pair, shared
+/// with the cache without copying.
+type NeighborPair = (Arc<Vec<NodeId>>, Arc<Vec<NodeId>>);
 
 /// Serving-stack parameters.
 #[derive(Clone, Copy, Debug)]
@@ -72,28 +84,43 @@ impl OnlineServer {
         seed: u64,
     ) -> Self {
         assert!(!item_pool.is_empty(), "cannot serve an empty item pool");
+        // Item tower over the whole pool as one stacked matmul.
+        let item_matrix = frozen.item_embeddings(item_pool);
         let items: Vec<(u64, Vec<f32>)> = item_pool
             .iter()
-            .map(|&i| (i as u64, frozen.item_embedding(i)))
+            .enumerate()
+            .map(|(r, &i)| (i as u64, item_matrix.row(r).to_vec()))
             .collect();
         // Size the coarse quantizer to the pool (≈√N, capped by config) so
         // small pools keep enough candidates per probe.
-        let nlist = config
-            .nlist
-            .min(((items.len() as f64).sqrt().ceil()) as usize)
-            .max(1);
+        let nlist = config.nlist.min(((items.len() as f64).sqrt().ceil()) as usize).max(1);
         let index = IvfIndex::build(&items, nlist, 8, seed);
         // Second retrieval layer: per-query postings ranked by the frozen
-        // item tower against the query's own online embedding.
+        // item tower against the query's own online embedding (with no
+        // cached neighborhood that embedding is the query's base vector).
+        // Queries are chunked into batched ANN probes and the chunks run in
+        // parallel.
+        let queries: Vec<NodeId> = graph.nodes_of_type(zoomer_graph::NodeType::Query);
+        let chunks: Vec<&[NodeId]> = queries.chunks(64).collect();
+        let postings: Vec<Vec<(NodeId, Vec<NodeId>)>> = chunks
+            .par_iter()
+            .map(|chunk| {
+                let mut embs = Matrix::zeros(chunk.len(), frozen.embed_dim());
+                for (r, &q) in chunk.iter().enumerate() {
+                    embs.row_mut(r).copy_from_slice(&frozen.online_embedding(q, &[], &[]));
+                }
+                index
+                    .search_batch(&embs, config.top_k, config.nprobe.max(4))
+                    .into_iter()
+                    .zip(chunk.iter())
+                    .map(|(ranked, &q)| {
+                        (q, ranked.into_iter().map(|(id, _)| id as NodeId).collect())
+                    })
+                    .collect()
+            })
+            .collect();
         let mut inverted = InvertedIndex::new(&graph);
-        for q in graph.nodes_of_type(zoomer_graph::NodeType::Query) {
-            let focal = frozen.focal_vector(&graph, &[q]);
-            let emb = frozen.online_embedding(q, &[], &focal);
-            let ranked: Vec<NodeId> = index
-                .search(&emb, config.top_k, config.nprobe.max(4))
-                .into_iter()
-                .map(|(id, _)| id as NodeId)
-                .collect();
+        for (q, ranked) in postings.into_iter().flatten() {
             if !ranked.is_empty() {
                 inverted.set_posting(q, ranked);
             }
@@ -131,54 +158,115 @@ impl OnlineServer {
         &self.index
     }
 
-    fn neighbors_for(&self, node: NodeId, focal_ctx: &FocalContext) -> Vec<NodeId> {
-        let compute = || {
-            // Deterministic per-node RNG: the focal sampler ignores it anyway.
-            let mut rng = seeded_rng(node as u64);
-            self.sampler
-                .sample(&self.graph, node, focal_ctx, self.config.cache_k, &mut rng)
-        };
+    pub fn graph(&self) -> &HeteroGraph {
+        &self.graph
+    }
+
+    /// Resolve the user/query neighborhoods for a whole batch.
+    ///
+    /// Cached path: one `get_many` read-lock sweep over every node in the
+    /// batch, one `insert_many` write for the misses. Cache entries are
+    /// always the node's neutral-focal top-k ([`neutral_topk_neighbors`] —
+    /// the same definition `warm_cache` and offline eval use), so an entry
+    /// never depends on which request happened to materialize it.
+    ///
+    /// `disable_cache` (ablation) samples fresh per request under the
+    /// request's own focal context, like the paper's no-cache variant.
+    fn resolve_neighbors(&self, requests: &[(NodeId, NodeId)]) -> Vec<NeighborPair> {
         if self.config.disable_cache {
-            let mut fresh = compute();
-            fresh.truncate(self.config.cache_k);
-            fresh
-        } else {
-            self.cache.get_or_compute(node, compute).as_ref().clone()
+            return requests
+                .iter()
+                .map(|&(u, q)| {
+                    let ctx = FocalContext::for_request(&self.graph, u, q);
+                    let sample = |n: NodeId| {
+                        let mut rng = seeded_rng(n as u64);
+                        let mut fresh = self.sampler.sample(
+                            &self.graph,
+                            n,
+                            &ctx,
+                            self.config.cache_k,
+                            &mut rng,
+                        );
+                        fresh.truncate(self.config.cache_k);
+                        Arc::new(fresh)
+                    };
+                    (sample(u), sample(q))
+                })
+                .collect();
         }
+        let nodes: Vec<NodeId> = requests.iter().flat_map(|&(u, q)| [u, q]).collect();
+        let found = self.cache.get_many(&nodes);
+        let mut seen = HashSet::new();
+        let missing: Vec<NodeId> = nodes
+            .iter()
+            .zip(&found)
+            .filter(|(n, f)| f.is_none() && seen.insert(**n))
+            .map(|(&n, _)| n)
+            .collect();
+        let computed: Vec<(NodeId, Vec<NodeId>)> = missing
+            .iter()
+            .map(|&n| (n, neutral_topk_neighbors(&self.graph, n, self.config.cache_k)))
+            .collect();
+        let inserted = self.cache.insert_many(computed);
+        let filled: std::collections::HashMap<NodeId, Arc<Vec<NodeId>>> =
+            missing.into_iter().zip(inserted).collect();
+        let resolve = |i: usize| found[i].clone().unwrap_or_else(|| Arc::clone(&filled[&nodes[i]]));
+        (0..requests.len()).map(|i| (resolve(2 * i), resolve(2 * i + 1))).collect()
     }
 
-    /// Handle one retrieval request: returns ranked item node ids.
+    /// Handle a batch of retrieval requests: one ranked item list per
+    /// `(user, query)` pair, element-wise identical to calling
+    /// [`Self::handle`] on each pair alone.
+    pub fn handle_batch(&self, requests: &[(NodeId, NodeId)]) -> Vec<Vec<NodeId>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let neighbors = self.resolve_neighbors(requests);
+        let neighbor_slices: Vec<(&[NodeId], &[NodeId])> =
+            neighbors.iter().map(|(u, q)| (u.as_slice(), q.as_slice())).collect();
+        let uq = self.frozen.embed_requests(&self.graph, requests, &neighbor_slices);
+        let found = self.index.search_batch(&uq, self.config.top_k, self.config.nprobe);
+        found
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut f)| {
+                if f.len() < self.config.top_k && f.len() < self.index.len() {
+                    // Under-filled probe set (small pool or skewed
+                    // clusters): widen to an exact scan rather than return
+                    // a short list.
+                    f = self.index.exact_search(uq.row(i), self.config.top_k);
+                }
+                f.into_iter().map(|(id, _)| id as NodeId).collect()
+            })
+            .collect()
+    }
+
+    /// Handle one retrieval request: a batch of one through
+    /// [`Self::handle_batch`].
     pub fn handle(&self, user: NodeId, query: NodeId) -> Vec<NodeId> {
-        let focal_ctx = FocalContext::for_request(&self.graph, user, query);
-        let user_nbrs = self.neighbors_for(user, &focal_ctx);
-        let query_nbrs = self.neighbors_for(query, &focal_ctx);
-        let focal = self.frozen.focal_vector(&self.graph, &[user, query]);
-        let uq = self
-            .frozen
-            .request_embedding(user, query, &user_nbrs, &query_nbrs, &focal);
-        let mut found = self.index.search(&uq, self.config.top_k, self.config.nprobe);
-        if found.len() < self.config.top_k && found.len() < self.index.len() {
-            // Under-filled probe set (small pool or skewed clusters): widen
-            // to an exact scan rather than return a short list.
-            found = self.index.exact_search(&uq, self.config.top_k);
-        }
-        found.into_iter().map(|(id, _)| id as NodeId).collect()
+        self.handle_batch(&[(user, query)]).pop().expect("one request")
     }
 
-    /// Warm the cache for a set of nodes (deployment pre-fill).
+    /// Warm the cache for a set of nodes (deployment pre-fill). Fills the
+    /// same neutral-focal entries the request path computes on a miss, so
+    /// pre-warmed and cold-started servers serve identical results.
     pub fn warm_cache(&self, nodes: &[NodeId]) {
         if self.config.disable_cache {
             return;
         }
-        for &n in nodes {
-            // Use the node itself as a neutral focal for the warm fill.
-            let ctx = FocalContext::from_nodes(&self.graph, &[n]);
-            let _ = self.cache.get_or_compute(n, || {
-                let mut rng = seeded_rng(n as u64);
-                self.sampler
-                    .sample(&self.graph, n, &ctx, self.config.cache_k, &mut rng)
-            });
-        }
+        let found = self.cache.get_many(nodes);
+        let mut seen = HashSet::new();
+        let missing: Vec<NodeId> = nodes
+            .iter()
+            .zip(&found)
+            .filter(|(n, f)| f.is_none() && seen.insert(**n))
+            .map(|(&n, _)| n)
+            .collect();
+        let computed: Vec<(NodeId, Vec<NodeId>)> = missing
+            .par_iter()
+            .map(|&n| (n, neutral_topk_neighbors(&self.graph, n, self.config.cache_k)))
+            .collect();
+        self.cache.insert_many(computed);
     }
 }
 
@@ -194,10 +282,10 @@ mod tests {
         let dd = data.graph.features().dense_dim();
         let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(11, dd));
         let frozen = crate::frozen::FrozenModel::from_model(&mut model, &data.graph);
-        let graph = Arc::new(zoomer_graph::read_snapshot(zoomer_graph::write_snapshot(
-            &data.graph,
-        ))
-        .expect("snapshot roundtrip"));
+        let graph = Arc::new(
+            zoomer_graph::read_snapshot(zoomer_graph::write_snapshot(&data.graph))
+                .expect("snapshot roundtrip"),
+        );
         let items = data.item_nodes();
         let server = OnlineServer::build(
             graph,
@@ -252,6 +340,75 @@ mod tests {
         server.warm_cache(&users);
         assert!(server.cache().len() >= 10);
         let _ = data;
+    }
+
+    #[test]
+    fn handle_batch_matches_sequential_handles() {
+        let (data, server) = build_server(false);
+        let requests: Vec<(NodeId, NodeId)> = data
+            .logs
+            .iter()
+            .take(8)
+            .map(|l| (l.user, l.query))
+            // Duplicate a pair inside the batch to cover same-batch reuse.
+            .chain(std::iter::once((data.logs[0].user, data.logs[0].query)))
+            .collect();
+        let batched = server.handle_batch(&requests);
+        assert_eq!(batched.len(), requests.len());
+        for (i, &(u, q)) in requests.iter().enumerate() {
+            assert_eq!(batched[i], server.handle(u, q), "request {i} diverges");
+        }
+    }
+
+    #[test]
+    fn handle_batch_of_empty_is_empty() {
+        let (_, server) = build_server(false);
+        assert!(server.handle_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn handle_batch_without_cache_matches_handle() {
+        let (data, server) = build_server(true);
+        let requests: Vec<(NodeId, NodeId)> =
+            data.logs.iter().take(5).map(|l| (l.user, l.query)).collect();
+        let batched = server.handle_batch(&requests);
+        for (i, &(u, q)) in requests.iter().enumerate() {
+            assert_eq!(batched[i], server.handle(u, q));
+        }
+    }
+
+    #[test]
+    fn warm_cache_matches_request_path() {
+        // A warm-cache prefill must produce the same entries the request
+        // path computes on a cold miss, so results are arrival-order
+        // independent.
+        let (data, cold_server) = build_server(false);
+        let (_, warm_server) = build_server(false);
+        let log = &data.logs[0];
+        let cold = cold_server.handle(log.user, log.query);
+        warm_server.warm_cache(&[log.user, log.query]);
+        let warm = warm_server.handle(log.user, log.query);
+        assert_eq!(cold, warm, "warm-cache entries must match request-path entries");
+    }
+
+    #[test]
+    fn concurrent_batches_are_consistent() {
+        let (data, server) = build_server(false);
+        let requests: Vec<(NodeId, NodeId)> =
+            data.logs.iter().take(6).map(|l| (l.user, l.query)).collect();
+        let baseline = server.handle_batch(&requests);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = server.clone();
+                let expected = baseline.clone();
+                let reqs = requests.clone();
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        assert_eq!(s.handle_batch(&reqs), expected);
+                    }
+                });
+            }
+        });
     }
 
     #[test]

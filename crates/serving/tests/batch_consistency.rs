@@ -1,0 +1,75 @@
+//! Property-based consistency: `handle_batch` over any request mix must be
+//! observationally identical to issuing the same requests one at a time,
+//! regardless of batch composition, duplicates, or cache state.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+use zoomer_data::{TaobaoConfig, TaobaoData};
+use zoomer_graph::NodeId;
+use zoomer_model::{CtrModel, ModelConfig, UnifiedCtrModel};
+use zoomer_serving::{OnlineServer, ServingConfig};
+
+static SERVER: OnceLock<(OnlineServer, Vec<(NodeId, NodeId)>)> = OnceLock::new();
+
+/// One shared server (cache state is irrelevant by design — that is the
+/// property under test) plus the request universe drawn from the logs.
+fn server_and_logs() -> &'static (OnlineServer, Vec<(NodeId, NodeId)>) {
+    SERVER.get_or_init(|| {
+        let data = TaobaoData::generate(TaobaoConfig::tiny(57));
+        let dd = data.graph.features().dense_dim();
+        let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(13, dd));
+        let frozen = model.freeze(&data.graph);
+        let items = data.item_nodes();
+        let logs: Vec<(NodeId, NodeId)> =
+            data.logs.iter().take(120).map(|l| (l.user, l.query)).collect();
+        assert!(!logs.is_empty());
+        let server = OnlineServer::build(
+            Arc::new(data.graph),
+            frozen,
+            &items,
+            ServingConfig { top_k: 20, ..Default::default() },
+            57,
+        );
+        (server, logs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn handle_batch_matches_sequential_handles(
+        indices in prop::collection::vec(0usize..120, 1..12)
+    ) {
+        let (server, logs) = server_and_logs();
+        let reqs: Vec<(NodeId, NodeId)> =
+            indices.iter().map(|&i| logs[i % logs.len()]).collect();
+        let batched = server.handle_batch(&reqs);
+        prop_assert_eq!(batched.len(), reqs.len());
+        for (i, &(user, query)) in reqs.iter().enumerate() {
+            let single = server.handle(user, query);
+            prop_assert_eq!(
+                &batched[i],
+                &single,
+                "row {} of batch {:?} diverged from singular handle",
+                i,
+                reqs
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_batches_are_stable(
+        indices in prop::collection::vec(0usize..120, 1..10)
+    ) {
+        // The second run hits warm cache entries where the first may have
+        // missed; results must not depend on that.
+        let (server, logs) = server_and_logs();
+        let reqs: Vec<(NodeId, NodeId)> =
+            indices.iter().map(|&i| logs[i % logs.len()]).collect();
+        let first = server.handle_batch(&reqs);
+        let second = server.handle_batch(&reqs);
+        prop_assert_eq!(first, second);
+    }
+}

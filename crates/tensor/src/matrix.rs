@@ -177,6 +177,21 @@ impl Matrix {
         out
     }
 
+    /// Linear layer over a batch of rows: `out[r] = self[r] · w + bias`.
+    ///
+    /// This is the batched-forward building block: stacking requests as rows
+    /// turns a per-request `1 × d` matmul into one `B × d` matmul per layer.
+    pub fn matmul_bias(&self, w: &Matrix, bias: &[f32]) -> Matrix {
+        assert_eq!(bias.len(), w.cols, "matmul_bias: bias width mismatch");
+        let mut out = self.matmul(w);
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+        out
+    }
+
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
@@ -190,11 +205,7 @@ impl Matrix {
 
     /// Elementwise map into a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Elementwise map in place.
@@ -210,12 +221,7 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| a * b)
-                .collect(),
+            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| a * b).collect(),
         }
     }
 
@@ -306,11 +312,7 @@ impl Matrix {
     /// Max absolute difference against another matrix of the same shape.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape(), "max_abs_diff: shape mismatch");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(other.data.iter()).map(|(&a, &b)| (a - b).abs()).fold(0.0, f32::max)
     }
 }
 
@@ -321,12 +323,7 @@ impl Add<&Matrix> for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(rhs.data.iter())
-                .map(|(&a, &b)| a + b)
-                .collect(),
+            data: self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| a + b).collect(),
         }
     }
 }
@@ -338,12 +335,7 @@ impl Sub<&Matrix> for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(rhs.data.iter())
-                .map(|(&a, &b)| a - b)
-                .collect(),
+            data: self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| a - b).collect(),
         }
     }
 }
@@ -420,6 +412,14 @@ mod tests {
         let mut c = a.clone();
         c.axpy(2.0, &b);
         assert_eq!(c.as_slice(), &[9.0, 12.0, 15.0]);
+    }
+
+    #[test]
+    fn matmul_bias_broadcasts_row_bias() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let w = Matrix::identity(2);
+        let out = a.matmul_bias(&w, &[10.0, 20.0]);
+        assert_eq!(out.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
     }
 
     #[test]

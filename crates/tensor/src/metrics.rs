@@ -48,11 +48,7 @@ pub fn mae(preds: &[f32], targets: &[f32]) -> f64 {
     if preds.is_empty() {
         return 0.0;
     }
-    preds
-        .iter()
-        .zip(targets.iter())
-        .map(|(&p, &t)| (p as f64 - t as f64).abs())
-        .sum::<f64>()
+    preds.iter().zip(targets.iter()).map(|(&p, &t)| (p as f64 - t as f64).abs()).sum::<f64>()
         / preds.len() as f64
 }
 
@@ -88,10 +84,8 @@ pub fn hit_rate_at_k(requests: &[(Vec<u64>, u64)], k: usize) -> f64 {
     if requests.is_empty() {
         return 0.0;
     }
-    let hits = requests
-        .iter()
-        .filter(|(retrieved, clicked)| hit_at_k(retrieved, *clicked, k))
-        .count();
+    let hits =
+        requests.iter().filter(|(retrieved, clicked)| hit_at_k(retrieved, *clicked, k)).count();
     hits as f64 / requests.len() as f64
 }
 
@@ -241,8 +235,8 @@ mod tests {
     #[test]
     fn hitrate_counts_topk_membership() {
         let reqs = vec![
-            (vec![5, 4, 3, 2, 1], 4u64), // hit at rank 2
-            (vec![5, 4, 3, 2, 1], 1u64), // hit only at rank 5
+            (vec![5, 4, 3, 2, 1], 4u64),  // hit at rank 2
+            (vec![5, 4, 3, 2, 1], 1u64),  // hit only at rank 5
             (vec![5, 4, 3, 2, 1], 99u64), // miss
         ];
         assert!((hit_rate_at_k(&reqs, 2) - 1.0 / 3.0).abs() < 1e-9);
@@ -273,10 +267,7 @@ mod tests {
         let mut a = BinaryMetrics::new();
         let mut b = BinaryMetrics::new();
         let mut all = BinaryMetrics::new();
-        for (i, (s, l)) in [(0.9, 1.0), (0.1, 0.0), (0.6, 1.0), (0.4, 0.0)]
-            .iter()
-            .enumerate()
-        {
+        for (i, (s, l)) in [(0.9, 1.0), (0.1, 0.0), (0.6, 1.0), (0.4, 0.0)].iter().enumerate() {
             if i % 2 == 0 {
                 a.push(*s, *l);
             } else {

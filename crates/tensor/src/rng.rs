@@ -28,9 +28,7 @@ pub fn derive_rng(seed: u64, stream: &str) -> ChaCha8Rng {
 /// Xavier/Glorot-uniform initialized matrix: `U(−√(6/(fan_in+fan_out)), +…)`.
 pub fn xavier_matrix(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
     let limit = (6.0 / (rows + cols) as f32).sqrt();
-    let data = (0..rows * cols)
-        .map(|_| rng.gen_range(-limit..=limit))
-        .collect();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-limit..=limit)).collect();
     Matrix::from_vec(rows, cols, data)
 }
 

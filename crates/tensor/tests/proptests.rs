@@ -1,9 +1,7 @@
 //! Property-based tests for the tensor crate's core invariants.
 
 use proptest::prelude::*;
-use zoomer_tensor::{
-    auc, cosine_similarity, stable_softmax, tanimoto_similarity, Matrix,
-};
+use zoomer_tensor::{auc, cosine_similarity, stable_softmax, tanimoto_similarity, Matrix};
 
 fn small_f32() -> impl Strategy<Value = f32> {
     (-100.0f32..100.0).prop_map(|x| (x * 100.0).round() / 100.0)

@@ -1,12 +1,19 @@
 //! Evaluation: AUC/MAE/RMSE over test examples and HitRate@K retrieval.
 
+use std::collections::HashMap;
+
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use zoomer_data::RetrievalExample;
 use zoomer_graph::{HeteroGraph, NodeId};
-use zoomer_model::CtrModel;
+use zoomer_model::{neutral_topk_neighbors, CtrModel, FrozenModel};
 use zoomer_tensor::metrics::BinaryMetrics;
 use zoomer_tensor::seeded_rng;
+
+/// Neighbors sampled per node when embedding eval requests. Matches the
+/// serving default (`ServingConfig::cache_k` = 30, the paper's production
+/// cache depth), so eval rankings mirror what the online server computes.
+pub const EVAL_NEIGHBOR_K: usize = 30;
 
 /// Metric bundle for one model on one test set.
 #[derive(Clone, Debug)]
@@ -37,36 +44,65 @@ pub fn evaluate_auc(
 /// (user, query) request, rank all `item_pool` items by tower dot product,
 /// and check whether the clicked item lands in the top K.
 ///
-/// Item embeddings are computed once; request ranking is data-parallel.
+/// Freezes the model and delegates to [`evaluate_hitrate_frozen`], so eval
+/// runs the same batched embedding path the online server uses. The `seed`
+/// parameter is retained for API stability but unused: neighbor sampling is
+/// deterministically seeded per node, exactly like serving cache entries.
 pub fn evaluate_hitrate(
     model: &mut dyn CtrModel,
     graph: &HeteroGraph,
     positives: &[RetrievalExample],
     item_pool: &[NodeId],
     ks: &[usize],
-    seed: u64,
+    _seed: u64,
+) -> Vec<(usize, f64)> {
+    let frozen = model.freeze(graph);
+    evaluate_hitrate_frozen(&frozen, graph, positives, item_pool, ks)
+}
+
+/// HitRate@K on a frozen snapshot: item tower and request embeddings each
+/// run as stacked batched matmuls ([`FrozenModel::item_embeddings`],
+/// [`FrozenModel::embed_requests`]) — the identical entry points the online
+/// server calls — then ranking fans out across requests with rayon.
+pub fn evaluate_hitrate_frozen(
+    frozen: &FrozenModel,
+    graph: &HeteroGraph,
+    positives: &[RetrievalExample],
+    item_pool: &[NodeId],
+    ks: &[usize],
 ) -> Vec<(usize, f64)> {
     assert!(!item_pool.is_empty(), "empty item pool");
-    let item_embs: Vec<(NodeId, Vec<f32>)> = item_pool
-        .iter()
-        .map(|&i| (i, model.item_embedding(graph, i)))
-        .collect();
-    // Request embeddings (sequential: model is &mut).
-    let mut rng = seeded_rng(seed);
-    let requests: Vec<(Vec<f32>, NodeId)> = positives
-        .iter()
-        .map(|ex| (model.uq_embedding(graph, ex.user, ex.query, &mut rng), ex.item))
-        .collect();
-    let max_k = ks.iter().copied().max().unwrap_or(0).min(item_embs.len());
-    // Ranking is pure math → rayon.
-    let ranked: Vec<(Vec<NodeId>, u64)> = requests
+    let item_embs = frozen.item_embeddings(item_pool);
+
+    // Neutral top-k neighbors once per unique node, in parallel.
+    let pairs: Vec<(NodeId, NodeId)> = positives.iter().map(|ex| (ex.user, ex.query)).collect();
+    let mut unique: Vec<NodeId> = pairs.iter().flat_map(|&(u, q)| [u, q]).collect();
+    unique.sort_unstable();
+    unique.dedup();
+    let computed: Vec<(NodeId, Vec<NodeId>)> = unique
         .par_iter()
-        .map(|(uq, clicked)| {
-            let mut scored: Vec<(NodeId, f32)> = item_embs
+        .map(|&n| (n, neutral_topk_neighbors(graph, n, EVAL_NEIGHBOR_K)))
+        .collect();
+    let neighbors: HashMap<NodeId, Vec<NodeId>> = computed.into_iter().collect();
+    let neighbor_slices: Vec<(&[NodeId], &[NodeId])> =
+        pairs.iter().map(|&(u, q)| (neighbors[&u].as_slice(), neighbors[&q].as_slice())).collect();
+
+    // One stacked forward pass over the whole positive set.
+    let uq = frozen.embed_requests(graph, &pairs, &neighbor_slices);
+
+    let max_k = ks.iter().copied().max().unwrap_or(0).min(item_pool.len());
+    // Ranking is pure math → rayon.
+    let rows: Vec<usize> = (0..positives.len()).collect();
+    let reqs: Vec<(Vec<u64>, u64)> = rows
+        .par_iter()
+        .map(|&r| {
+            let q = uq.row(r);
+            let mut scored: Vec<(NodeId, f32)> = item_pool
                 .iter()
-                .map(|(id, emb)| {
-                    let s: f32 = uq.iter().zip(emb).map(|(&a, &b)| a * b).sum();
-                    (*id, s)
+                .enumerate()
+                .map(|(j, &id)| {
+                    let s: f32 = q.iter().zip(item_embs.row(j)).map(|(&a, &b)| a * b).sum();
+                    (id, s)
                 })
                 .collect();
             // Partial top-k selection then sort the head.
@@ -77,18 +113,12 @@ pub fn evaluate_hitrate(
             scored.truncate(max_k);
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             (
-                scored.into_iter().map(|(id, _)| id).collect::<Vec<_>>(),
-                *clicked as u64,
+                scored.into_iter().map(|(id, _)| id as u64).collect::<Vec<_>>(),
+                positives[r].item as u64,
             )
         })
         .collect();
-    let reqs: Vec<(Vec<u64>, u64)> = ranked
-        .into_iter()
-        .map(|(ids, clicked)| (ids.into_iter().map(|i| i as u64).collect(), clicked))
-        .collect();
-    ks.iter()
-        .map(|&k| (k, zoomer_tensor::hit_rate_at_k(&reqs, k)))
-        .collect()
+    ks.iter().map(|&k| (k, zoomer_tensor::hit_rate_at_k(&reqs, k))).collect()
 }
 
 /// Full evaluation: AUC-family metrics plus HitRate@K over the positives.
@@ -102,8 +132,7 @@ pub fn full_eval(
 ) -> EvalReport {
     let mut rng = seeded_rng(seed);
     let metrics = evaluate_auc(model, graph, test, &mut rng);
-    let positives: Vec<RetrievalExample> =
-        test.iter().filter(|e| e.label > 0.5).copied().collect();
+    let positives: Vec<RetrievalExample> = test.iter().filter(|e| e.label > 0.5).copied().collect();
     let hit_rates = if positives.is_empty() || item_pool.is_empty() || ks.is_empty() {
         ks.iter().map(|&k| (k, 0.0)).collect()
     } else {
@@ -139,31 +168,37 @@ mod tests {
     #[test]
     fn hitrate_is_monotone_in_k() {
         let (data, mut model) = setup();
-        let positives: Vec<RetrievalExample> = data
-            .ctr_examples()
-            .into_iter()
-            .filter(|e| e.label > 0.5)
-            .take(20)
-            .collect();
+        let positives: Vec<RetrievalExample> =
+            data.ctr_examples().into_iter().filter(|e| e.label > 0.5).take(20).collect();
         let items = data.item_nodes();
         let hr = evaluate_hitrate(&mut model, &data.graph, &positives, &items, &[5, 20, 80], 3);
         assert_eq!(hr.len(), 3);
         assert!(hr[0].1 <= hr[1].1 && hr[1].1 <= hr[2].1, "{hr:?}");
         // With K = whole pool, every positive is a hit.
-        let all =
-            evaluate_hitrate(&mut model, &data.graph, &positives, &items, &[items.len()], 3);
+        let all = evaluate_hitrate(&mut model, &data.graph, &positives, &items, &[items.len()], 3);
         assert!((all[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hitrate_is_seed_independent_and_deterministic() {
+        let (data, mut model) = setup();
+        let positives: Vec<RetrievalExample> =
+            data.ctr_examples().into_iter().filter(|e| e.label > 0.5).take(12).collect();
+        let items = data.item_nodes();
+        let a = evaluate_hitrate(&mut model, &data.graph, &positives, &items, &[10], 3);
+        let b = evaluate_hitrate(&mut model, &data.graph, &positives, &items, &[10], 99);
+        assert_eq!(a, b, "neighbor sampling must be per-node deterministic");
+        // And the frozen entry point is the same computation.
+        let frozen = model.freeze(&data.graph);
+        let c = evaluate_hitrate_frozen(&frozen, &data.graph, &positives, &items, &[10]);
+        assert_eq!(a, c);
     }
 
     #[test]
     fn full_eval_handles_empty_positives() {
         let (data, mut model) = setup();
-        let negatives: Vec<RetrievalExample> = data
-            .ctr_examples()
-            .into_iter()
-            .filter(|e| e.label < 0.5)
-            .take(10)
-            .collect();
+        let negatives: Vec<RetrievalExample> =
+            data.ctr_examples().into_iter().filter(|e| e.label < 0.5).take(10).collect();
         let items = data.item_nodes();
         let r = full_eval(&mut model, &data.graph, &negatives, &items, &[10], 4);
         assert_eq!(r.hit_rates, vec![(10, 0.0)]);

@@ -15,8 +15,8 @@ pub mod ps;
 pub mod schedule;
 pub mod trainer;
 
-pub use eval::{evaluate_auc, evaluate_hitrate, EvalReport};
-pub use schedule::{clip_global_norm, LrSchedule};
+pub use eval::{evaluate_auc, evaluate_hitrate, evaluate_hitrate_frozen, EvalReport};
 pub use pipeline::pipeline3;
 pub use ps::{PsCluster, PsTrainConfig};
+pub use schedule::{clip_global_norm, LrSchedule};
 pub use trainer::{train, TrainReport, TrainerConfig};

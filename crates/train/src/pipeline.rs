@@ -58,13 +58,7 @@ mod tests {
 
     #[test]
     fn preserves_order_and_values() {
-        let out = pipeline3(
-            (0..100).collect::<Vec<i32>>(),
-            4,
-            |x| x * 2,
-            |x| x + 1,
-            |x| x * 10,
-        );
+        let out = pipeline3((0..100).collect::<Vec<i32>>(), 4, |x| x * 2, |x| x + 1, |x| x * 10);
         let expected: Vec<i32> = (0..100).map(|x| (x * 2 + 1) * 10).collect();
         assert_eq!(out, expected);
     }
@@ -78,10 +72,16 @@ mod tests {
     #[test]
     fn stage3_can_capture_mutable_state() {
         let mut sum = 0;
-        let out = pipeline3(vec![1, 2, 3], 2, |x| x, |x| x, |x| {
-            sum += x;
-            sum
-        });
+        let out = pipeline3(
+            vec![1, 2, 3],
+            2,
+            |x| x,
+            |x| x,
+            |x| {
+                sum += x;
+                sum
+            },
+        );
         assert_eq!(out, vec![1, 3, 6]);
         assert_eq!(sum, 6);
     }

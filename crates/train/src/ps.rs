@@ -70,10 +70,7 @@ impl PsCluster {
 
     /// Number of dense parameters on each shard (balance check).
     pub fn shard_param_counts(&self) -> Vec<usize> {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("ps shard poisoned").0.len())
-            .collect()
+        self.shards.iter().map(|s| s.lock().expect("ps shard poisoned").0.len()).collect()
     }
 
     /// Pushes received per shard.
@@ -141,9 +138,7 @@ impl PsCluster {
     #[allow(clippy::type_complexity)]
     pub fn pull_rows(&self, keys: &[(String, u64)]) -> Vec<((String, u64), Option<Vec<f32>>)> {
         let emb = self.embeddings.lock().expect("ps embeddings poisoned");
-        keys.iter()
-            .map(|k| (k.clone(), emb.get(k).map(|(row, _)| row.clone())))
-            .collect()
+        keys.iter().map(|k| (k.clone(), emb.get(k).map(|(row, _)| row.clone()))).collect()
     }
 
     /// Total embedding rows stored server-side.
@@ -205,10 +200,7 @@ pub fn train_distributed(
             let model_config = model_config.clone();
             scope.spawn(move || {
                 let mut model = UnifiedCtrModel::new(model_config.clone());
-                let mut rng = zoomer_tensor::rng::derive_rng(
-                    config.seed,
-                    &format!("worker-{w}"),
-                );
+                let mut rng = zoomer_tensor::rng::derive_rng(config.seed, &format!("worker-{w}"));
                 loop {
                     let i = next_example.fetch_add(1, Ordering::Relaxed);
                     if i >= total {
@@ -230,11 +222,7 @@ pub fn train_distributed(
                         let tables = model.tables_mut();
                         ps.push_sparse(
                             &sparse,
-                            |table, id| {
-                                tables
-                                    .get_or_create_named(table)
-                                    .peek(id)
-                            },
+                            |table, id| tables.get_or_create_named(table).peek(id),
                             model_config.lr,
                         );
                     }
@@ -261,10 +249,7 @@ pub fn train_distributed(
     {
         let emb = ps.embeddings.lock().expect("ps embeddings poisoned");
         for ((table, id), (row, _)) in emb.iter() {
-            final_model
-                .tables_mut()
-                .get_or_create_named(table)
-                .set_row(*id, row.clone());
+            final_model.tables_mut().get_or_create_named(table).set_row(*id, row.clone());
         }
     }
     let report = PsTrainReport {
@@ -324,10 +309,7 @@ mod tests {
         let ps = PsCluster::new(model.store(), 2, 0.1, 0.0);
         let before = model.store().get("tower.uq.w").clone();
         let mut grads = HashMap::new();
-        grads.insert(
-            "tower.uq.w".to_string(),
-            Matrix::full(before.rows(), before.cols(), 1.0),
-        );
+        grads.insert("tower.uq.w".to_string(), Matrix::full(before.rows(), before.cols(), 1.0));
         ps.push_dense(&grads);
         let mut replica = UnifiedCtrModel::new(ModelConfig::zoomer(3, dd));
         ps.pull_dense_into(replica.store_mut());

@@ -34,26 +34,20 @@ impl LrSchedule {
                 let s = (step + 1) as f32;
                 (s / w).min((w / s).sqrt())
             }
-            LrSchedule::StepDecay { every, factor } => step
-                .checked_div(every)
-                .map_or(1.0, |periods| factor.powi(periods as i32)),
+            LrSchedule::StepDecay { every, factor } => {
+                step.checked_div(every).map_or(1.0, |periods| factor.powi(periods as i32))
+            }
         }
     }
 }
 
 /// Clip a set of gradients to a global L2 norm; returns the pre-clip norm.
 /// Gradients are scaled in place only when the norm exceeds `max_norm`.
-pub fn clip_global_norm<'a>(
-    grads: impl IntoIterator<Item = &'a mut Matrix>,
-    max_norm: f32,
-) -> f32 {
+pub fn clip_global_norm<'a>(grads: impl IntoIterator<Item = &'a mut Matrix>, max_norm: f32) -> f32 {
     assert!(max_norm > 0.0, "max_norm must be positive");
     let mut mats: Vec<&'a mut Matrix> = grads.into_iter().collect();
-    let total: f32 = mats
-        .iter()
-        .map(|m| m.as_slice().iter().map(|&x| x * x).sum::<f32>())
-        .sum::<f32>()
-        .sqrt();
+    let total: f32 =
+        mats.iter().map(|m| m.as_slice().iter().map(|&x| x * x).sum::<f32>()).sum::<f32>().sqrt();
     if total > max_norm {
         let scale = max_norm / total;
         for m in &mut mats {
@@ -113,13 +107,8 @@ mod tests {
         // Clip at 1 → scaled to norm 1.
         let n = clip_global_norm([&mut a, &mut b], 1.0);
         assert!((n - 5.0).abs() < 1e-6);
-        let total: f32 = a
-            .as_slice()
-            .iter()
-            .chain(b.as_slice())
-            .map(|&x| x * x)
-            .sum::<f32>()
-            .sqrt();
+        let total: f32 =
+            a.as_slice().iter().chain(b.as_slice()).map(|&x| x * x).sum::<f32>().sqrt();
         assert!((total - 1.0).abs() < 1e-5);
     }
 

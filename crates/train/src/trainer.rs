@@ -101,10 +101,7 @@ pub fn train(
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
         let mut loss_count = 0usize;
-        let steps_this_epoch = config
-            .max_steps_per_epoch
-            .unwrap_or(usize::MAX)
-            .min(order.len());
+        let steps_this_epoch = config.max_steps_per_epoch.unwrap_or(usize::MAX).min(order.len());
         let batch_size = config.batch_size.max(1);
         let taken: Vec<usize> = order.iter().take(steps_this_epoch).copied().collect();
         for (chunk_i, chunk) in taken.chunks(batch_size).enumerate() {
@@ -116,8 +113,7 @@ pub fn train(
             let loss = if chunk.len() == 1 {
                 model.train_step(graph, &split.train[chunk[0]], &mut rng)
             } else {
-                let batch: Vec<RetrievalExample> =
-                    chunk.iter().map(|&i| split.train[i]).collect();
+                let batch: Vec<RetrievalExample> = chunk.iter().map(|&i| split.train[i]).collect();
                 model.train_batch(graph, &batch, &mut rng)
             };
             loss_sum += loss as f64;
@@ -204,11 +200,7 @@ mod tests {
         let report = train(&mut model, &data.graph, &split, &config);
         assert_eq!(report.epochs_run, 2);
         assert!(report.steps > 0);
-        assert!(
-            report.final_auc > 0.55,
-            "trained AUC should beat chance: {}",
-            report.final_auc
-        );
+        assert!(report.final_auc > 0.55, "trained AUC should beat chance: {}", report.final_auc);
         // Loss should broadly decrease epoch over epoch.
         assert!(report.epoch_losses[1] <= report.epoch_losses[0] * 1.1);
     }

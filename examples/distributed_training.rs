@@ -27,12 +27,7 @@ fn main() {
     let model_config = ModelConfig::zoomer(seed, dd);
 
     for workers in [1usize, 4] {
-        let config = PsTrainConfig {
-            num_workers: workers,
-            num_ps_shards: 4,
-            epochs: 1,
-            seed,
-        };
+        let config = PsTrainConfig { num_workers: workers, num_ps_shards: 4, epochs: 1, seed };
         let (mut model, report) = train_distributed(&model_config, &data.graph, &split, &config);
         let mut rng = seeded_rng(seed);
         let sample: Vec<_> = split.test.iter().copied().take(500).collect();

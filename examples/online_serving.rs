@@ -31,18 +31,15 @@ fn main() {
     println!("trained to AUC {:.3}", report.final_auc);
 
     // Freeze and stand the server up by hand to show the pieces.
-    let requests: Vec<(u32, u32)> = pipeline
-        .data()
-        .logs
-        .iter()
-        .take(400)
-        .map(|l| (l.user, l.query))
-        .collect();
+    let requests: Vec<(u32, u32)> =
+        pipeline.data().logs.iter().take(400).map(|l| (l.user, l.query)).collect();
     let items = pipeline.data().item_nodes();
-    let graph = Arc::new(zoomer_core::graph::read_snapshot(
-        zoomer_core::graph::write_snapshot(&pipeline.data().graph),
-    )
-    .expect("graph snapshot roundtrip"));
+    let graph = Arc::new(
+        zoomer_core::graph::read_snapshot(zoomer_core::graph::write_snapshot(
+            &pipeline.data().graph,
+        ))
+        .expect("graph snapshot roundtrip"),
+    );
     let frozen = FrozenModel::from_model(pipeline.model_mut(), &graph);
     let server = OnlineServer::build(
         graph,

@@ -26,9 +26,8 @@ fn main() {
     let trainer = TrainerConfig { epochs: 2, ..Default::default() };
 
     for preset in ["zoomer", "graphsage"] {
-        let mut model = UnifiedCtrModel::new(
-            ModelConfig::preset(preset, seed, dense_dim).expect("preset"),
-        );
+        let mut model =
+            UnifiedCtrModel::new(ModelConfig::preset(preset, seed, dense_dim).expect("preset"));
         let report = train(&mut model, &data.graph, &split, &trainer);
         println!(
             "{:<10} sampler={:<18} AUC={:.4}  ({} steps, {:.1}s)",

@@ -5,7 +5,7 @@
 //! zoomer inspect --graph graph.bin                    # graph statistics
 //! zoomer train   --preset zoomer --steps 20000 \
 //!                --checkpoint model.ckpt              # train + checkpoint
-//! zoomer serve   --checkpoint model.ckpt --requests 500 --qps 1000
+//! zoomer serve   --checkpoint model.ckpt --requests 500 --qps 1000 --batch 16
 //! zoomer presets                                      # list model presets
 //! ```
 //!
@@ -21,12 +21,28 @@ use zoomer_core::graph::{read_snapshot, write_snapshot, GraphStats};
 use zoomer_core::model::{
     load_checkpoint, save_checkpoint, CtrModel, ModelConfig, UnifiedCtrModel,
 };
-use zoomer_core::serving::{run_load_test, FrozenModel, OnlineServer, ServingConfig};
+use zoomer_core::serving::{
+    run_batched_load_test, run_load_test, FrozenModel, OnlineServer, ServingConfig,
+};
 use zoomer_core::train::{train, TrainerConfig};
 
 const PRESETS: &[&str] = &[
-    "zoomer", "gcn", "zoomer-fe", "zoomer-fs", "zoomer-es", "graphsage", "gat", "han",
-    "pinsage", "pinnersage", "pixie", "stamp", "gce-gnn", "fgnn", "mccf", "multisage",
+    "zoomer",
+    "gcn",
+    "zoomer-fe",
+    "zoomer-fs",
+    "zoomer-es",
+    "graphsage",
+    "gat",
+    "han",
+    "pinsage",
+    "pinnersage",
+    "pixie",
+    "stamp",
+    "gce-gnn",
+    "fgnn",
+    "mccf",
+    "multisage",
 ];
 
 fn usage() -> &'static str {
@@ -35,7 +51,7 @@ fn usage() -> &'static str {
        generate  --sessions N --users N --items N --seed S --out FILE\n\
        inspect   --graph FILE\n\
        train     --preset NAME --steps N --seed S [--checkpoint FILE]\n\
-       serve     --seed S [--checkpoint FILE] --requests N --qps Q\n\
+       serve     --seed S [--checkpoint FILE] --requests N --qps Q [--batch B]\n\
        presets\n\
      run `cargo doc --open` for the library API."
 }
@@ -54,9 +70,7 @@ impl Args {
             if !key.starts_with("--") {
                 return Err(format!("unexpected argument {key:?}"));
             }
-            let value = argv
-                .get(i + 1)
-                .ok_or_else(|| format!("missing value for {key}"))?;
+            let value = argv.get(i + 1).ok_or_else(|| format!("missing value for {key}"))?;
             pairs.push((key[2..].to_string(), value.clone()));
             i += 2;
         }
@@ -64,10 +78,7 @@ impl Args {
     }
 
     fn get(&self, key: &str) -> Option<&str> {
-        self.pairs
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
     fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
@@ -147,12 +158,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         &mut model,
         &data.graph,
         &split,
-        &TrainerConfig {
-            epochs: 1,
-            max_steps_per_epoch: Some(steps),
-            seed,
-            ..Default::default()
-        },
+        &TrainerConfig { epochs: 1, max_steps_per_epoch: Some(steps), seed, ..Default::default() },
     );
     println!(
         "done: {} steps in {:.1}s ({:.0} steps/s), test AUC = {:.4}",
@@ -173,6 +179,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let seed = args.get_u64("seed", 42)?;
     let requests = args.get_usize("requests", 500)?;
     let qps = args.get_f64("qps", 1000.0)?;
+    let batch = args.get_usize("batch", 1)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".to_string());
+    }
     let data = TaobaoData::generate(data_config(args)?);
     let dd = data.graph.features().dense_dim();
     let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(seed, dd));
@@ -184,24 +194,28 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         println!("no --checkpoint given: serving an untrained model");
     }
     let items = data.item_nodes();
-    let graph = Arc::new(
-        read_snapshot(write_snapshot(&data.graph)).map_err(|e| format!("snapshot: {e}"))?,
-    );
+    let graph =
+        Arc::new(read_snapshot(write_snapshot(&data.graph)).map_err(|e| format!("snapshot: {e}"))?);
     let frozen = FrozenModel::from_model(&mut model, &graph);
     let server = OnlineServer::build(graph, frozen, &items, ServingConfig::default(), seed);
-    let reqs: Vec<(u32, u32)> = data
-        .logs
-        .iter()
-        .cycle()
-        .take(requests)
-        .map(|l| (l.user, l.query))
-        .collect();
+    let reqs: Vec<(u32, u32)> =
+        data.logs.iter().cycle().take(requests).map(|l| (l.user, l.query)).collect();
     let warm: Vec<u32> = reqs.iter().flat_map(|&(u, q)| [u, q]).collect();
     server.warm_cache(&warm);
-    let stats = run_load_test(&server, &reqs, qps, 4);
+    let stats = if batch > 1 {
+        run_batched_load_test(&server, &reqs, qps, 4, batch)
+    } else {
+        run_load_test(&server, &reqs, qps, 4)
+    };
     println!(
-        "{} requests at {:.0} QPS: mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
-        stats.completed, stats.offered_qps, stats.mean_ms, stats.p50_ms, stats.p95_ms, stats.p99_ms
+        "{} requests at {:.0} QPS (batch {}): mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+        stats.completed,
+        stats.offered_qps,
+        batch,
+        stats.mean_ms,
+        stats.p50_ms,
+        stats.p95_ms,
+        stats.p99_ms
     );
     println!("cache hit rate: {:.1}%", server.cache().hit_rate() * 100.0);
     Ok(())

@@ -49,18 +49,12 @@ fn graph_survives_snapshot_into_serving() {
     assert_eq!(reloaded.num_edges(), data.graph.num_edges());
 
     let dd = reloaded.features().dense_dim();
-    let mut model = zoomer_core::model::UnifiedCtrModel::new(
-        zoomer_core::model::ModelConfig::zoomer(202, dd),
-    );
+    let mut model =
+        zoomer_core::model::UnifiedCtrModel::new(zoomer_core::model::ModelConfig::zoomer(202, dd));
     let frozen = FrozenModel::from_model(&mut model, &reloaded);
     let items = data.item_nodes();
-    let server = OnlineServer::build(
-        Arc::new(reloaded),
-        frozen,
-        &items,
-        ServingConfig::default(),
-        202,
-    );
+    let server =
+        OnlineServer::build(Arc::new(reloaded), frozen, &items, ServingConfig::default(), 202);
     let log = &data.logs[0];
     let result = server.handle(log.user, log.query);
     assert!(!result.is_empty());

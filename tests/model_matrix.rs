@@ -31,8 +31,7 @@ fn every_preset_trains_and_predicts() {
     let split = split_examples(data.ctr_examples(), 0.9, 301);
     let dd = data.graph.features().dense_dim();
     for preset in PRESETS {
-        let mut model =
-            UnifiedCtrModel::new(ModelConfig::preset(preset, 301, dd).expect("preset"));
+        let mut model = UnifiedCtrModel::new(ModelConfig::preset(preset, 301, dd).expect("preset"));
         let mut rng = seeded_rng(301);
         let mut losses = Vec::new();
         for ex in split.train.iter().take(60) {

@@ -1,0 +1,213 @@
+//! Vendored minimal stand-in for `criterion`: the `criterion_group!` /
+//! `criterion_main!` macros, benchmark groups, and a [`Bencher`] that
+//! measures mean wall-clock time per iteration. No statistics beyond the
+//! mean — enough to compile and run the microbenchmarks offline.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Times closures: a warm-up phase, then timed batches until the
+/// measurement budget is spent.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    min_samples: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Size batches so each takes roughly 1/min_samples of the budget.
+        let budget = self.measurement.as_secs_f64();
+        let batch = ((budget / self.min_samples as f64 / per_iter.max(1e-9)) as u64).max(1);
+        let started = Instant::now();
+        let mut iters: u64 = 0;
+        while started.elapsed() < self.measurement || iters < self.min_samples as u64 {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+        }
+        let nanos = started.elapsed().as_nanos() as f64 / iters as f64;
+        println!("    time: {:>12.1} ns/iter  ({} iterations)", nanos, iters);
+    }
+}
+
+/// Top-level benchmark driver, configured fluently like the real crate.
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement: Duration::from_millis(500),
+            warm_up: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            min_samples: self.sample_size,
+        }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup { criterion: self, name }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        println!("  bench: {}", id.id);
+        let mut b = self.bencher();
+        f(&mut b);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        println!("  bench: {}/{}", self.name, id.id);
+        let mut b = self.criterion.bencher();
+        f(&mut b);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        println!("  bench: {}/{}", self.name, id.id);
+        let mut b = self.criterion.bencher();
+        f(&mut b, input);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_closure() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

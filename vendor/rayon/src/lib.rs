@@ -1,0 +1,191 @@
+//! Vendored minimal stand-in for `rayon`: `par_iter()` / `into_par_iter()`
+//! with `map`, `for_each`, and order-preserving `collect`, executed on
+//! `std::thread::scope` with one contiguous chunk per hardware thread.
+//! Not work-stealing — but order-preserving and panic-propagating, which is
+//! all the workspace's embarrassingly-parallel loops need.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+fn worker_count(n: usize) -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1))
+}
+
+/// Run `f` over `items`, preserving order, on up to `worker_count` threads.
+fn run_map<I, U, F>(items: Vec<I>, f: &F) -> Vec<U>
+where
+    I: Send,
+    U: Send,
+    F: Fn(I) -> U + Sync,
+{
+    let n = items.len();
+    let threads = worker_count(n);
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+/// A materialized parallel iterator over owned items.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn map<U, F>(self, f: F) -> ParMap<I, F>
+    where
+        U: Send,
+        F: Fn(I) -> U + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        run_map(self.items, &|item| f(item));
+    }
+}
+
+/// A mapped parallel iterator; terminal ops execute the parallel run.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I, U, F> ParMap<I, F>
+where
+    I: Send,
+    U: Send,
+    F: Fn(I) -> U + Sync,
+{
+    pub fn collect<C: FromParallelResults<U>>(self) -> C {
+        C::from_results(run_map(self.items, &self.f))
+    }
+
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U) + Sync,
+    {
+        let f = self.f;
+        run_map(self.items, &|item| g(f(item)));
+    }
+}
+
+/// Order-preserving collection of parallel results.
+pub trait FromParallelResults<T> {
+    fn from_results(results: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelResults<T> for Vec<T> {
+    fn from_results(results: Vec<T>) -> Self {
+        results
+    }
+}
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(u32, u64, usize);
+
+/// `par_iter()` for slices (and anything derefing to them, e.g. `Vec`).
+pub trait IntoParallelRefIterator<T> {
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> IntoParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_over_range() {
+        let squares: Vec<usize> = (0usize..37).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares.len(), 37);
+        assert_eq!(squares[6], 36);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let xs = vec![1u32; 250];
+        xs.par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panics_propagate() {
+        let xs: Vec<u32> = (0..64).collect();
+        let _: Vec<u32> =
+            xs.par_iter().map(|&x| if x == 63 { panic!("boom") } else { x }).collect();
+    }
+}

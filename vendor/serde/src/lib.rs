@@ -1,0 +1,8 @@
+//! Vendored no-op facade for `serde`. The workspace declares serde (with the
+//! `derive` feature) but never derives or serializes through it directly —
+//! JSON output goes through the vendored `serde_json` stub's own `Value`
+//! type. The traits exist so `use serde::…` keeps compiling.
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
