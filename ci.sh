@@ -7,6 +7,9 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
+echo "== zoomer-lint (panic-freedom gate, hard failure) =="
+cargo run --release --offline -q -p zoomer-lint
+
 echo "== cargo clippy (workspace, all targets, deny warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

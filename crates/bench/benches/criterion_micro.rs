@@ -115,10 +115,12 @@ fn bench_ann(c: &mut Criterion) {
     let mut group = c.benchmark_group("ann_query_5k_items");
     for nprobe in [1usize, 4, 16] {
         group.bench_with_input(BenchmarkId::new("nprobe", nprobe), &nprobe, |b, &np| {
-            b.iter(|| black_box(index.search(&query, 100, np)))
+            b.iter(|| black_box(index.search(&query, 100, np).expect("search")))
         });
     }
-    group.bench_function("exact", |b| b.iter(|| black_box(index.exact_search(&query, 100))));
+    group.bench_function("exact", |b| {
+        b.iter(|| black_box(index.exact_search(&query, 100).expect("search")))
+    });
     group.finish();
 }
 

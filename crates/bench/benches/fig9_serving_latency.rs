@@ -54,10 +54,11 @@ fn main() {
             &items,
             ServingConfig { cache_k: 30, top_k: 100, disable_cache, ..Default::default() },
             seed,
-        );
+        )
+        .expect("server build");
         // Warm as the deployed system's asynchronous refresher would.
         let warm: Vec<u32> = request_pool.iter().flat_map(|&(u, q)| [u, q]).collect();
-        server.warm_cache(&warm);
+        server.warm_cache(&warm).expect("warm cache");
         println!("\n-- {label} --");
         println!(
             "{:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
@@ -68,7 +69,7 @@ fn main() {
         for qps in [100.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0] {
             let n = ((qps * window_secs) as usize).clamp(50, 40_000);
             let requests: Vec<(u32, u32)> = request_pool.iter().cycle().take(n).copied().collect();
-            let stats = run_load_test(&server, &requests, qps, 4);
+            let stats = run_load_test(&server, &requests, qps, 4).expect("load run");
             println!(
                 "{:>8.0} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>12.0}",
                 qps,
@@ -106,9 +107,10 @@ fn main() {
         &items,
         ServingConfig::default(),
         seed,
-    );
+    )
+    .expect("server build");
     let warm: Vec<u32> = request_pool.iter().flat_map(|&(u, q)| [u, q]).collect();
-    server.warm_cache(&warm);
+    server.warm_cache(&warm).expect("warm cache");
     let n = ((2000.0 * window_secs) as usize).clamp(200, 40_000);
     let requests: Vec<(u32, u32)> = request_pool.iter().cycle().take(n).copied().collect();
     println!("\n-- batched execution (closed loop, 4 threads) --");
@@ -116,7 +118,7 @@ fn main() {
     let mut base_rps = None;
     let mut batch16_rps = 0.0f64;
     for batch in [1usize, 4, 16, 64] {
-        let stats = run_closed_loop(&server, &requests, 4, batch);
+        let stats = run_closed_loop(&server, &requests, 4, batch).expect("load run");
         let rps = stats.requests_per_sec();
         if base_rps.is_none() {
             base_rps = Some(rps.max(1e-9));

@@ -14,8 +14,8 @@
 //! println!("test AUC = {:.3}", report.final_auc);
 //! let eval = pipeline.evaluate(&[100]);
 //! println!("HitRate@100 = {:.3}", eval.hit_rates[0].1);
-//! let server = pipeline.into_server();
-//! let items = server.handle(0, 1);
+//! let server = pipeline.into_server().expect("serving build");
+//! let items = server.handle(0, 1).expect("serve");
 //! println!("retrieved {} items", items.len());
 //! ```
 

@@ -121,7 +121,7 @@ impl ZoomerPipeline {
     }
 
     /// Freeze the trained model and stand up the serving stack.
-    pub fn into_server(mut self) -> OnlineServer {
+    pub fn into_server(mut self) -> Result<OnlineServer, zoomer_serving::ServingError> {
         let frozen = self.model.freeze(&self.data.graph);
         let items = self.data.item_nodes();
         OnlineServer::build(
@@ -156,8 +156,8 @@ mod tests {
         let eval = p.evaluate(&[10, 40]);
         assert_eq!(eval.hit_rates.len(), 2);
         assert!(eval.hit_rates[0].1 <= eval.hit_rates[1].1);
-        let server = p.into_server();
-        let results = server.handle(0, 41); // user 0, a query node
+        let server = p.into_server().expect("serving build");
+        let results = server.handle(0, 41).expect("serve"); // user 0, a query node
         assert!(!results.is_empty());
     }
 

@@ -1,5 +1,6 @@
 //! Compressed sparse row adjacency with per-edge weights.
 
+use crate::error::GraphError;
 use crate::types::NodeId;
 
 /// CSR adjacency for one edge type: `offsets[n]..offsets[n+1]` indexes the
@@ -39,7 +40,43 @@ impl Csr {
             weights[pos] = w;
             cursor[src as usize] += 1;
         }
-        Self { offsets, targets, weights }
+        let csr = Self { offsets, targets, weights };
+        // The construction above guarantees the invariants; the sanitized
+        // debug profile re-verifies what the lint cannot see.
+        debug_assert!(csr.check_invariants().is_ok(), "from_edges broke CSR invariants");
+        csr
+    }
+
+    /// Structural invariants every CSR must uphold: offsets start at 0, are
+    /// monotone non-decreasing, cover exactly the target array, and every
+    /// neighbor id is in bounds. `from_edges` guarantees these by
+    /// construction (re-checked under `debug_assert!`); untrusted raw parts
+    /// are always checked.
+    fn check_invariants(&self) -> Result<(), GraphError> {
+        let Some((&first, rest)) = self.offsets.split_first() else {
+            return Err(GraphError::CorruptCsr("offsets must have at least one entry"));
+        };
+        if first != 0 {
+            return Err(GraphError::CorruptCsr("offsets must start at 0"));
+        }
+        let mut prev = first;
+        for &o in rest {
+            if o < prev {
+                return Err(GraphError::CorruptCsr("offsets must be monotone non-decreasing"));
+            }
+            prev = o;
+        }
+        if prev as usize != self.targets.len() {
+            return Err(GraphError::CorruptCsr("last offset must equal the number of targets"));
+        }
+        if self.targets.len() != self.weights.len() {
+            return Err(GraphError::CorruptCsr("targets and weights must have equal length"));
+        }
+        let num_nodes = (self.offsets.len() - 1) as u64;
+        if self.targets.iter().any(|&t| u64::from(t) >= num_nodes) {
+            return Err(GraphError::CorruptCsr("neighbor id out of bounds"));
+        }
+        Ok(())
     }
 
     /// Number of nodes this CSR is sized for.
@@ -57,6 +94,7 @@ impl Csr {
     pub fn neighbors(&self, n: NodeId) -> (&[NodeId], &[f32]) {
         let lo = self.offsets[n as usize] as usize;
         let hi = self.offsets[n as usize + 1] as usize;
+        debug_assert!(lo <= hi && hi <= self.targets.len(), "CSR offsets out of order");
         (&self.targets[lo..hi], &self.weights[lo..hi])
     }
 
@@ -79,15 +117,16 @@ impl Csr {
         (&self.offsets, &self.targets, &self.weights)
     }
 
+    /// Rebuild from raw (untrusted, e.g. snapshot-decoded) parts; every
+    /// structural invariant is validated.
     pub(crate) fn from_raw_parts(
         offsets: Vec<u64>,
         targets: Vec<NodeId>,
         weights: Vec<f32>,
-    ) -> Self {
-        assert!(!offsets.is_empty(), "offsets must have at least one entry");
-        assert_eq!(*offsets.last().unwrap() as usize, targets.len());
-        assert_eq!(targets.len(), weights.len());
-        Self { offsets, targets, weights }
+    ) -> Result<Self, GraphError> {
+        let csr = Self { offsets, targets, weights };
+        csr.check_invariants()?;
+        Ok(csr)
     }
 }
 
@@ -150,5 +189,25 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn negative_weight_panics() {
         let _ = Csr::from_edges(2, &[(0, 1, -1.0)]);
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_and_rejection() {
+        let csr = Csr::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]);
+        let (o, t, w) = csr.raw_parts();
+        let rebuilt = Csr::from_raw_parts(o.to_vec(), t.to_vec(), w.to_vec()).expect("valid parts");
+        assert_eq!(rebuilt, csr);
+        // Every structural defect is a typed error, not a panic.
+        let bad = [
+            Csr::from_raw_parts(vec![], vec![], vec![]),
+            Csr::from_raw_parts(vec![1, 1], vec![0], vec![1.0]),
+            Csr::from_raw_parts(vec![0, 2, 1], vec![0, 0], vec![1.0, 1.0]),
+            Csr::from_raw_parts(vec![0, 1], vec![0], vec![]),
+            Csr::from_raw_parts(vec![0, 2], vec![0], vec![1.0]),
+            Csr::from_raw_parts(vec![0, 1], vec![7], vec![1.0]),
+        ];
+        for (i, b) in bad.into_iter().enumerate() {
+            assert!(matches!(b, Err(GraphError::CorruptCsr(_))), "case {i} accepted bad parts");
+        }
     }
 }

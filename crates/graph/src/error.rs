@@ -1,0 +1,32 @@
+//! Typed errors for the graph engine.
+//!
+//! The graph crate sits on the serving hot path, so nothing in it may
+//! panic on malformed input (zoomer-lint rule L001). Anything that decodes
+//! untrusted bytes — snapshots, raw CSR/feature parts — reports a
+//! [`GraphError`] instead; structural invariants of trusted in-process
+//! construction are checked with `debug_assert!` so the sanitized debug
+//! profile still verifies them.
+
+/// Why a graph operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// Snapshot bytes failed validation while decoding.
+    Snapshot(&'static str),
+    /// CSR adjacency structural invariant broken: non-monotone offsets,
+    /// out-of-bounds neighbor ids, or mismatched array lengths.
+    CorruptCsr(&'static str),
+    /// Feature store structural invariant broken.
+    CorruptFeatures(&'static str),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::Snapshot(msg) => write!(f, "bad graph snapshot: {msg}"),
+            GraphError::CorruptCsr(msg) => write!(f, "corrupt CSR adjacency: {msg}"),
+            GraphError::CorruptFeatures(msg) => write!(f, "corrupt feature store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -9,6 +9,7 @@
 //! samplers' relevance scoring. All three live in flat arrays with per-node
 //! offsets — no per-node heap allocations.
 
+use crate::error::GraphError;
 use crate::types::NodeId;
 
 /// Flat, offset-indexed feature storage for all nodes.
@@ -105,6 +106,8 @@ impl FeatureStore {
         )
     }
 
+    /// Rebuild from raw (untrusted, e.g. snapshot-decoded) parts; every
+    /// structural invariant is validated.
     pub(crate) fn from_raw_parts(
         dense_dim: usize,
         dense: Vec<f32>,
@@ -112,14 +115,27 @@ impl FeatureStore {
         fields: Vec<u32>,
         term_offsets: Vec<u32>,
         terms: Vec<u32>,
-    ) -> Self {
-        assert!(!field_offsets.is_empty() && !term_offsets.is_empty());
-        assert_eq!(field_offsets.len(), term_offsets.len());
+    ) -> Result<Self, GraphError> {
+        let (Some(&last_field), Some(&last_term)) = (field_offsets.last(), term_offsets.last())
+        else {
+            return Err(GraphError::CorruptFeatures("offset arrays must be non-empty"));
+        };
+        if field_offsets.len() != term_offsets.len() {
+            return Err(GraphError::CorruptFeatures("field/term offset lengths differ"));
+        }
         let n = field_offsets.len() - 1;
-        assert_eq!(dense.len(), n * dense_dim, "dense length mismatch");
-        assert_eq!(*field_offsets.last().unwrap() as usize, fields.len());
-        assert_eq!(*term_offsets.last().unwrap() as usize, terms.len());
-        Self { dense_dim, dense, field_offsets, fields, term_offsets, terms }
+        if dense.len() != n * dense_dim {
+            return Err(GraphError::CorruptFeatures("dense length mismatch"));
+        }
+        if last_field as usize != fields.len() || last_term as usize != terms.len() {
+            return Err(GraphError::CorruptFeatures("last offset must cover the payload"));
+        }
+        if field_offsets.windows(2).any(|w| w[0] > w[1])
+            || term_offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(GraphError::CorruptFeatures("offsets must be monotone non-decreasing"));
+        }
+        Ok(Self { dense_dim, dense, field_offsets, fields, term_offsets, terms })
     }
 }
 
@@ -173,8 +189,28 @@ mod tests {
             f.to_vec(),
             to.to_vec(),
             t.to_vec(),
-        );
+        )
+        .expect("valid parts");
         assert_eq!(rebuilt, fs);
+        // Structural defects are typed errors, not panics.
+        let bad = FeatureStore::from_raw_parts(
+            2,
+            vec![0.5],
+            fo.to_vec(),
+            f.to_vec(),
+            to.to_vec(),
+            t.to_vec(),
+        );
+        assert!(matches!(bad, Err(GraphError::CorruptFeatures(_))));
+        let bad = FeatureStore::from_raw_parts(
+            dd,
+            dense.to_vec(),
+            vec![],
+            f.to_vec(),
+            vec![],
+            t.to_vec(),
+        );
+        assert!(matches!(bad, Err(GraphError::CorruptFeatures(_))));
     }
 
     #[test]

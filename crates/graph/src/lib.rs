@@ -9,9 +9,14 @@
 //! "compact binary-format files" handed from ODPS to HDFS), and graph
 //! statistics.
 
+// Hot-path crate: zoomer-lint L001 forbids panicking calls in non-test code
+// here; clippy's disallowed_methods list (clippy.toml) backs it up.
+#![cfg_attr(not(test), deny(clippy::disallowed_methods))]
+
 pub mod alias;
 pub mod builder;
 pub mod csr;
+pub mod error;
 pub mod features;
 pub mod minhash;
 pub mod partition;
@@ -23,6 +28,7 @@ pub mod types;
 pub use alias::AliasTable;
 pub use builder::GraphBuilder;
 pub use csr::Csr;
+pub use error::GraphError;
 pub use features::FeatureStore;
 pub use minhash::{MinHasher, SimilarityEdgeBuilder};
 pub use partition::{ShardedGraph, ShardingConfig};

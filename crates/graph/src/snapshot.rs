@@ -9,11 +9,10 @@
 //! | features block | u32 num_edge_types | per type: u8 tag + CSR block
 //! ```
 
-use std::io;
-
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::csr::Csr;
+use crate::error::GraphError;
 use crate::features::FeatureStore;
 use crate::types::{EdgeType, HeteroGraph, NodeType};
 
@@ -41,32 +40,32 @@ fn put_f32_slice(buf: &mut BytesMut, s: &[f32]) {
     }
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg)
+fn bad(msg: &'static str) -> GraphError {
+    GraphError::Snapshot(msg)
 }
 
-fn take_len(buf: &mut Bytes, elem: usize) -> io::Result<usize> {
+fn take_len(buf: &mut Bytes, elem: usize) -> Result<usize, GraphError> {
     if buf.remaining() < 8 {
         return Err(bad("truncated length"));
     }
     let len = buf.get_u64_le() as usize;
-    if buf.remaining() < len.checked_mul(elem).ok_or_else(|| bad("length overflow"))? {
+    if buf.remaining() < len.checked_mul(elem).ok_or(GraphError::Snapshot("length overflow"))? {
         return Err(bad("truncated payload"));
     }
     Ok(len)
 }
 
-fn get_u32_slice(buf: &mut Bytes) -> io::Result<Vec<u32>> {
+fn get_u32_slice(buf: &mut Bytes) -> Result<Vec<u32>, GraphError> {
     let len = take_len(buf, 4)?;
     Ok((0..len).map(|_| buf.get_u32_le()).collect())
 }
 
-fn get_u64_slice(buf: &mut Bytes) -> io::Result<Vec<u64>> {
+fn get_u64_slice(buf: &mut Bytes) -> Result<Vec<u64>, GraphError> {
     let len = take_len(buf, 8)?;
     Ok((0..len).map(|_| buf.get_u64_le()).collect())
 }
 
-fn get_f32_slice(buf: &mut Bytes) -> io::Result<Vec<f32>> {
+fn get_f32_slice(buf: &mut Bytes) -> Result<Vec<f32>, GraphError> {
     let len = take_len(buf, 4)?;
     Ok((0..len).map(|_| buf.get_f32_le()).collect())
 }
@@ -89,11 +88,11 @@ pub fn write_snapshot(graph: &HeteroGraph) -> Bytes {
     put_u32_slice(&mut buf, to);
     put_u32_slice(&mut buf, terms);
     // Edges.
-    let edge_types: Vec<EdgeType> = graph.edge_types().collect();
+    let edge_types: Vec<(EdgeType, &Csr)> =
+        graph.edge_types().filter_map(|et| graph.csr(et).map(|c| (et, c))).collect();
     buf.put_u32_le(edge_types.len() as u32);
-    for et in edge_types {
+    for (et, csr) in edge_types {
         buf.put_u8(et.as_u8());
-        let csr = graph.csr(et).expect("edge type listed but missing");
         let (offsets, targets, weights) = csr.raw_parts();
         put_u64_slice(&mut buf, offsets);
         put_u32_slice(&mut buf, targets);
@@ -103,7 +102,7 @@ pub fn write_snapshot(graph: &HeteroGraph) -> Bytes {
 }
 
 /// Deserialize a snapshot produced by [`write_snapshot`].
-pub fn read_snapshot(mut buf: Bytes) -> io::Result<HeteroGraph> {
+pub fn read_snapshot(mut buf: Bytes) -> Result<HeteroGraph, GraphError> {
     if buf.remaining() < 8 || &buf.copy_to_bytes(8)[..] != MAGIC {
         return Err(bad("bad magic"));
     }
@@ -120,7 +119,8 @@ pub fn read_snapshot(mut buf: Bytes) -> io::Result<HeteroGraph> {
     }
     let mut node_types = Vec::with_capacity(num_nodes);
     for _ in 0..num_nodes {
-        node_types.push(NodeType::from_u8(buf.get_u8()).ok_or_else(|| bad("bad node type"))?);
+        node_types
+            .push(NodeType::from_u8(buf.get_u8()).ok_or(GraphError::Snapshot("bad node type"))?);
     }
     if buf.remaining() < 4 {
         return Err(bad("truncated feature header"));
@@ -134,7 +134,7 @@ pub fn read_snapshot(mut buf: Bytes) -> io::Result<HeteroGraph> {
     if fo.len() != num_nodes + 1 || to.len() != num_nodes + 1 {
         return Err(bad("feature offsets inconsistent with node count"));
     }
-    let features = FeatureStore::from_raw_parts(dense_dim, dense, fo, fields, to, terms);
+    let features = FeatureStore::from_raw_parts(dense_dim, dense, fo, fields, to, terms)?;
 
     if buf.remaining() < 4 {
         return Err(bad("truncated edge header"));
@@ -145,14 +145,14 @@ pub fn read_snapshot(mut buf: Bytes) -> io::Result<HeteroGraph> {
         if buf.remaining() < 1 {
             return Err(bad("truncated edge type tag"));
         }
-        let et = EdgeType::from_u8(buf.get_u8()).ok_or_else(|| bad("bad edge type"))?;
+        let et = EdgeType::from_u8(buf.get_u8()).ok_or(GraphError::Snapshot("bad edge type"))?;
         let offsets = get_u64_slice(&mut buf)?;
         let targets = get_u32_slice(&mut buf)?;
         let weights = get_f32_slice(&mut buf)?;
         if offsets.len() != num_nodes + 1 {
             return Err(bad("CSR offsets inconsistent with node count"));
         }
-        edges.insert(et, Csr::from_raw_parts(offsets, targets, weights));
+        edges.insert(et, Csr::from_raw_parts(offsets, targets, weights)?);
     }
     Ok(HeteroGraph::new(node_types, features, edges))
 }
@@ -193,7 +193,7 @@ mod tests {
     #[test]
     fn rejects_bad_magic() {
         let err = read_snapshot(Bytes::from_static(b"NOTAGRPH_and_more_bytes")).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(err, GraphError::Snapshot("bad magic"));
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Per-file analysis context and the escape-hatch / scoping machinery.
+//!
+//! The engine owns everything the rules share: the token stream, the
+//! comment list, the set of lines that belong to test-only code
+//! (`#[cfg(test)]` / `#[test]` items), and the parsed
+//! `// lint: allow(RULE, reason)` markers. Rules are pure functions over
+//! this context; suppression and marker validation happen here so every
+//! rule gets identical escape-hatch semantics.
+
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// A rule finding, before and after suppression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    pub path: String,
+    pub line: u32,
+    /// `L001`..`L005`, or `ALLOW` for a defective escape hatch.
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// Every rule id the allow marker accepts.
+pub const RULES: &[&str] = &["L001", "L002", "L003", "L004", "L005"];
+
+/// A parsed `// lint: allow(RULE, reason)` marker.
+#[derive(Clone, Debug)]
+pub struct AllowMarker {
+    pub line: u32,
+    /// `None` when the marker is malformed (unknown rule or missing reason).
+    pub rule: Option<&'static str>,
+    pub defect: Option<&'static str>,
+}
+
+/// One source file, lexed and annotated.
+pub struct FileContext<'a> {
+    pub path: &'a str,
+    pub src: &'a str,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the non-comment ("code") tokens.
+    pub code: Vec<usize>,
+    /// 1-based lines inside `#[cfg(test)]` / `#[test]` items.
+    test_lines: Vec<bool>,
+    pub markers: Vec<AllowMarker>,
+}
+
+impl<'a> FileContext<'a> {
+    pub fn new(path: &'a str, src: &'a str) -> Self {
+        let tokens = tokenize(src);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let num_lines = src.lines().count() + 2;
+        let mut ctx = Self {
+            path,
+            src,
+            tokens,
+            code,
+            test_lines: vec![false; num_lines + 1],
+            markers: Vec::new(),
+        };
+        ctx.collect_markers();
+        ctx.mark_test_regions();
+        ctx
+    }
+
+    /// Text of the `i`-th *code* token ("" past the end).
+    pub fn code_text(&self, i: usize) -> &str {
+        match self.code.get(i) {
+            Some(&ti) => self.tokens[ti].text(self.src),
+            None => "",
+        }
+    }
+
+    pub fn code_kind(&self, i: usize) -> Option<TokenKind> {
+        self.code.get(i).map(|&ti| self.tokens[ti].kind)
+    }
+
+    pub fn code_line(&self, i: usize) -> u32 {
+        self.code.get(i).map_or(0, |&ti| self.tokens[ti].line)
+    }
+
+    /// Is 1-based `line` inside a test-only item?
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines.get(line as usize).copied().unwrap_or(false)
+    }
+
+    /// Comments (token index into `tokens`) with their start lines.
+    pub fn comments(&self) -> impl Iterator<Item = &Token> {
+        self.tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+    }
+
+    /// End line of a (possibly multi-line block) comment token.
+    pub fn comment_end_line(&self, t: &Token) -> u32 {
+        t.line + t.text(self.src).matches('\n').count() as u32
+    }
+
+    fn collect_markers(&mut self) {
+        let mut markers = Vec::new();
+        for t in self.tokens.iter() {
+            if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+                continue;
+            }
+            // A marker is a comment that *is* the marker — sigil, optional
+            // doc marker, then `lint: allow(...)`. Prose that merely
+            // mentions the syntax mid-sentence is not a marker.
+            let text = t.text(self.src);
+            let body = text.trim_start_matches('/').trim_start_matches(['!', '*']).trim_start();
+            let Some(rest) = body.strip_prefix("lint: allow") else { continue };
+            let marker = parse_marker(rest);
+            markers.push(AllowMarker { line: t.line, rule: marker.0, defect: marker.1 });
+        }
+        self.markers = markers;
+    }
+
+    /// Does a well-formed marker for `rule` cover `line`? A marker covers
+    /// its own line (trailing form) and the next line (preceding form).
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.markers.iter().any(|m| m.rule == Some(rule) && (m.line == line || m.line + 1 == line))
+    }
+
+    /// Scan for `#[test]`-ish attributes and mark their items' line ranges.
+    fn mark_test_regions(&mut self) {
+        let n = self.code.len();
+        let mut i = 0usize;
+        while i < n {
+            if self.code_text(i) != "#" || self.code_text(i + 1) != "[" {
+                i += 1;
+                continue;
+            }
+            // Collect the attribute token range [i+2, close).
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            let mut is_test = false;
+            while j < n && depth > 0 {
+                match self.code_text(j) {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    "test" => is_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if !is_test {
+                i = j;
+                continue;
+            }
+            let start_line = self.code_line(i);
+            // Skip any further attributes, then span the annotated item:
+            // to the matching `}` of its first top-level brace, or to a
+            // `;` if the item has no body.
+            while self.code_text(j) == "#" && self.code_text(j + 1) == "[" {
+                let mut d = 1usize;
+                j += 2;
+                while j < n && d > 0 {
+                    match self.code_text(j) {
+                        "[" => d += 1,
+                        "]" => d -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            let mut paren = 0i32;
+            let mut end_line = self.code_line(j.min(n.saturating_sub(1)));
+            while j < n {
+                match self.code_text(j) {
+                    "(" | "[" => paren += 1,
+                    ")" | "]" => paren -= 1,
+                    ";" if paren == 0 => {
+                        end_line = self.code_line(j);
+                        break;
+                    }
+                    "{" if paren == 0 => {
+                        let mut braces = 1usize;
+                        j += 1;
+                        while j < n && braces > 0 {
+                            match self.code_text(j) {
+                                "{" => braces += 1,
+                                "}" => braces -= 1,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        end_line = self.code_line(j.saturating_sub(1));
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            for line in start_line..=end_line {
+                if let Some(slot) = self.test_lines.get_mut(line as usize) {
+                    *slot = true;
+                }
+            }
+            i = j;
+        }
+    }
+}
+
+/// Parse the tail of a marker after `lint: allow`; returns
+/// `(well-formed rule, defect description)`.
+fn parse_marker(rest: &str) -> (Option<&'static str>, Option<&'static str>) {
+    let Some(open) = rest.find('(') else {
+        return (None, Some("missing `(RULE, reason)`"));
+    };
+    let Some(close) = rest.rfind(')') else {
+        return (None, Some("unclosed `(`"));
+    };
+    let inner = &rest[open + 1..close];
+    let (rule_txt, reason) = match inner.split_once(',') {
+        Some((r, why)) => (r.trim(), why.trim()),
+        None => (inner.trim(), ""),
+    };
+    let Some(rule) = RULES.iter().find(|r| **r == rule_txt) else {
+        return (None, Some("unknown rule id"));
+    };
+    if reason.is_empty() {
+        return (None, Some("an allow marker must carry a reason"));
+    }
+    (Some(rule), None)
+}
+
+/// The serving crate is a no-allow zone: the hot path must be clean with no
+/// escape hatches at all.
+pub fn in_no_allow_zone(path: &str) -> bool {
+    path.starts_with("crates/serving/")
+}
+
+/// Marker-related violations for a file: malformed markers anywhere, any
+/// marker at all inside the no-allow zone.
+pub fn marker_violations(ctx: &FileContext) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for m in &ctx.markers {
+        if let Some(defect) = m.defect {
+            out.push(Violation {
+                path: ctx.path.to_string(),
+                line: m.line,
+                rule: "ALLOW",
+                message: format!("malformed lint: allow marker: {defect}"),
+            });
+        }
+        if in_no_allow_zone(ctx.path) {
+            out.push(Violation {
+                path: ctx.path.to_string(),
+                line: m.line,
+                rule: "ALLOW",
+                message: "crates/serving is a no-allow zone: fix the code instead of \
+                          suppressing the rule"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,394 @@
+//! A minimal Rust lexer for the lint pass.
+//!
+//! This is not a full grammar — it is a *tokenizer* that is exactly correct
+//! about the things a lexical lint must never confuse: line comments, nested
+//! block comments, string literals (plain, raw, byte, byte-raw), char
+//! literals vs. lifetimes, and numeric literals (so `1.0f32` is one float
+//! token, not an int and a method call). Everything the rules match on —
+//! `unwrap`, `unsafe`, `==` — is matched on tokens, so an occurrence inside
+//! a string or comment can never fire a rule.
+
+/// Token classification; spans index into the original source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#fn`).
+    Ident,
+    /// `'a`, `'static`, `'_` — a lifetime, not a char literal.
+    Lifetime,
+    /// Integer literal, any base, with or without suffix.
+    Int,
+    /// Float literal (`1.0`, `1.`, `1e3`, `1.0f32`).
+    Float,
+    /// Any string-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// `// …` (includes `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */`, nesting handled.
+    BlockComment,
+    /// Operator or punctuation; multi-char operators are one token.
+    Op,
+}
+
+/// One lexed token. `line` is 1-based, from the token's first byte.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Multi-character operators, longest first so lexing is greedy.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "=>", "->", "::", "..", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if self.bytes.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek(0) {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Consume a `"`-delimited string body (opening quote already consumed),
+    /// honoring `\"` and `\\` escapes.
+    fn eat_string_body(&mut self) {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consume a raw string starting at `r` / `br` (prefix already consumed
+    /// up to but not including the `#`*n*`"` opener). Returns false if this
+    /// is not actually a raw string opener.
+    fn eat_raw_string(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some(b'"') {
+            return false;
+        }
+        self.bump_n(hashes + 1);
+        // Scan for `"` followed by `hashes` hashes.
+        while let Some(b) = self.peek(0) {
+            self.bump();
+            if b == b'"' {
+                let mut n = 0usize;
+                while n < hashes && self.peek(n) == Some(b'#') {
+                    n += 1;
+                }
+                if n == hashes {
+                    self.bump_n(hashes);
+                    return true;
+                }
+            }
+        }
+        true // unterminated: consume to EOF
+    }
+
+    /// Char literal vs lifetime, at a `'` (not yet consumed).
+    fn lex_quote(&mut self) -> TokenKind {
+        // '\... is always a char literal; 'x' (any single char then ')
+        // likewise. Anything else ('a, 'static, '_) is a lifetime.
+        if self.peek(1) == Some(b'\\') {
+            self.bump(); // '
+            self.bump(); // backslash
+            self.bump(); // escaped char
+                         // Consume to the closing quote (covers \u{…}).
+            while let Some(b) = self.peek(0) {
+                self.bump();
+                if b == b'\'' {
+                    break;
+                }
+            }
+            TokenKind::Char
+        } else if self.peek(1).is_some() && self.peek(2) == Some(b'\'') {
+            self.bump_n(3);
+            TokenKind::Char
+        } else {
+            self.bump();
+            self.eat_while(|b| b == b'_' || b.is_ascii_alphanumeric());
+            TokenKind::Lifetime
+        }
+    }
+
+    fn lex_number(&mut self) -> TokenKind {
+        let mut float = false;
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x') | Some(b'o') | Some(b'b'))
+        {
+            self.bump_n(2);
+            self.eat_while(|b| b == b'_' || b.is_ascii_alphanumeric());
+            return TokenKind::Int;
+        }
+        self.eat_while(|b| b == b'_' || b.is_ascii_digit());
+        // Fractional part — but not `1..2` (range) or `1.max()` (method).
+        if self.peek(0) == Some(b'.') {
+            let after = self.peek(1);
+            let is_range = after == Some(b'.');
+            let is_method = after.is_some_and(|b| b == b'_' || b.is_ascii_alphabetic());
+            if !is_range && !is_method {
+                float = true;
+                self.bump();
+                self.eat_while(|b| b == b'_' || b.is_ascii_digit());
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some(b'e') | Some(b'E')) {
+            let (sign, first_digit) = match self.peek(1) {
+                Some(b'+') | Some(b'-') => (1, self.peek(2)),
+                other => (0, other),
+            };
+            if first_digit.is_some_and(|b| b.is_ascii_digit()) {
+                float = true;
+                self.bump_n(1 + sign);
+                self.eat_while(|b| b == b'_' || b.is_ascii_digit());
+            }
+        }
+        // Type suffix (`1.0f32`, `1u64`).
+        let suffix_start = self.pos;
+        self.eat_while(|b| b == b'_' || b.is_ascii_alphanumeric());
+        let suffix = &self.src[suffix_start..self.pos];
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            float = true;
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+}
+
+/// Tokenize `src`. Never fails: unterminated constructs extend to EOF.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut lx = Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1 };
+    let mut out = Vec::new();
+    while let Some(b) = lx.peek(0) {
+        let start = lx.pos;
+        let line = lx.line;
+        let kind = match b {
+            b if b.is_ascii_whitespace() => {
+                lx.bump();
+                continue;
+            }
+            b'/' if lx.peek(1) == Some(b'/') => {
+                lx.eat_while(|b| b != b'\n');
+                TokenKind::LineComment
+            }
+            b'/' if lx.peek(1) == Some(b'*') => {
+                lx.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (lx.peek(0), lx.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            lx.bump_n(2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            lx.bump_n(2);
+                        }
+                        (Some(_), _) => lx.bump(),
+                        (None, _) => break,
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                lx.bump();
+                lx.eat_string_body();
+                TokenKind::Str
+            }
+            b'r' if lx.peek(1) == Some(b'"') || (lx.peek(1) == Some(b'#')) => {
+                lx.bump(); // r
+                if lx.eat_raw_string() {
+                    TokenKind::Str
+                } else {
+                    // `r#ident` raw identifier.
+                    lx.bump(); // #
+                    lx.eat_while(|b| b == b'_' || b.is_ascii_alphanumeric());
+                    TokenKind::Ident
+                }
+            }
+            b'b' if lx.peek(1) == Some(b'"') => {
+                lx.bump_n(2);
+                lx.eat_string_body();
+                TokenKind::Str
+            }
+            b'b' if lx.peek(1) == Some(b'\'') => {
+                lx.bump(); // b
+                lx.lex_quote();
+                TokenKind::Char
+            }
+            b'b' if lx.peek(1) == Some(b'r') && matches!(lx.peek(2), Some(b'"') | Some(b'#')) => {
+                lx.bump_n(2);
+                lx.eat_raw_string();
+                TokenKind::Str
+            }
+            b'\'' => lx.lex_quote(),
+            b if b.is_ascii_digit() => lx.lex_number(),
+            b if b == b'_' || b.is_ascii_alphabetic() => {
+                lx.eat_while(|b| b == b'_' || b.is_ascii_alphanumeric());
+                TokenKind::Ident
+            }
+            _ => {
+                let rest = &src[lx.pos..];
+                let op = OPERATORS.iter().find(|op| rest.starts_with(**op));
+                match op {
+                    Some(op) => lx.bump_n(op.len()),
+                    None => lx.bump(),
+                }
+                TokenKind::Op
+            }
+        };
+        out.push(Token { kind, start, end: lx.pos, line });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src).iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn idents_and_ops() {
+        let toks = kinds("a.b()==c");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, vec!["a", ".", "b", "(", ")", "==", "c"]);
+        assert_eq!(toks[5].0, TokenKind::Op);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "x.unwrap()";"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"panic!("no")"#; let t = 1;"##;
+        let toks = kinds(src);
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "panic"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "t"));
+    }
+
+    #[test]
+    fn raw_identifier_is_ident() {
+        let toks = kinds("let r#fn = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r#fn"));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = kinds("/* a /* unwrap() */ b */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1].1, "x");
+    }
+
+    #[test]
+    fn line_comment_to_eol() {
+        let toks = kinds("// x.unwrap()\ny");
+        assert_eq!(toks[0].0, TokenKind::LineComment);
+        assert_eq!(toks[1].1, "y");
+        assert_eq!(toks[1].0, TokenKind::Ident);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks =
+            kinds(r"let c: char = 'a'; fn f<'a>(x: &'a str) {} let q = '\''; let u = '\u{1F600}';");
+        let chars = toks.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count();
+        assert_eq!(chars, 3, "{toks:?}");
+        assert_eq!(lifetimes, 2, "{toks:?}");
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = kinds("1 1.0 1. 1e3 1_000.5f32 0xFF 1u64 0..d 1.max(2)");
+        let floats: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Float).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(floats, vec!["1.0", "1.", "1e3", "1_000.5f32"]);
+        let ints: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Int).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(ints, vec!["1", "0xFF", "1u64", "0", "1", "2"]);
+    }
+
+    #[test]
+    fn float_suffix_without_dot() {
+        let toks = kinds("1f32 2f64 3i32");
+        assert_eq!(toks[0].0, TokenKind::Float);
+        assert_eq!(toks[1].0, TokenKind::Float);
+        assert_eq!(toks[2].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n\"two\nline\"\nc";
+        let toks = tokenize(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3); // the string starts on line 3
+        assert_eq!(toks[3].line, 5); // and c is on line 5
+    }
+
+    #[test]
+    fn byte_strings_and_chars() {
+        let toks = kinds(r#"let a = b"unwrap()"; let c = b'x';"#);
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! `zoomer-lint` — an in-repo static-analysis gate for the Zoomer workspace.
+//!
+//! Proves, on every CI run, that the serving hot path is panic-free: a
+//! hand-written lexer (correct about comments, strings, raw strings, and
+//! char literals) feeds a small rule engine with per-path scoping and an
+//! explicit, reason-carrying escape hatch. Because the build environment
+//! has no reachable registry, the crate is entirely dependency-free — the
+//! gate can never be broken by a dependency and always builds.
+//!
+//! Rules (see DESIGN.md "Static analysis & panic-freedom" for rationale):
+//!
+//! | rule | scope | property |
+//! |------|-------|----------|
+//! | L001 | serving/graph/sampler/tensor `src/` | no `unwrap()`/`expect(`/`panic!`/`todo!`/`unimplemented!` outside tests |
+//! | L002 | all scanned files | `unsafe` requires an immediately preceding `// SAFETY:` comment |
+//! | L003 | all scanned files | no `.lock()`/`.read()`/`.write()` + `.unwrap()`/`.expect(` |
+//! | L004 | library crates | no `println!`/`eprintln!` (bench + CLI exempt) |
+//! | L005 | tensor/model `src/` | no exact `==`/`!=` between float expressions |
+//!
+//! Escape hatch: a comment of exactly `lint: allow(RULE, reason)` on the
+//! violating line or the line above. The reason is mandatory, and
+//! `crates/serving` is a no-allow zone where markers are themselves
+//! violations.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use engine::Violation;
+use engine::{in_no_allow_zone, marker_violations, FileContext};
+
+/// Lint one file's source under its workspace-relative path (forward
+/// slashes). This is the whole analysis for one file: rules, escape-hatch
+/// suppression, and marker validation.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
+    let ctx = FileContext::new(rel_path, src);
+    let mut out: Vec<Violation> = rules::check_file(&ctx)
+        .into_iter()
+        // Markers never suppress inside the no-allow zone.
+        .filter(|v| in_no_allow_zone(rel_path) || !ctx.allowed(v.rule, v.line))
+        .collect();
+    out.extend(marker_violations(&ctx));
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Directory names that are never scanned: generated output, vendored
+/// stand-ins, and test/bench/example code (which is allowed to panic).
+const SKIPPED_DIRS: &[&str] = &["target", "vendor", "tests", "benches", "examples", ".git"];
+
+/// Collect the workspace-relative paths of every `.rs` file to scan under
+/// `root`: the `crates/` tree and the top-level `src/`.
+pub fn scan_paths(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut found = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut found)?;
+        }
+    }
+    let mut rel: Vec<PathBuf> =
+        found.into_iter().filter_map(|p| p.strip_prefix(root).ok().map(PathBuf::from)).collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIPPED_DIRS.contains(&name) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`; returns all violations,
+/// sorted by path and line.
+pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for rel in scan_paths(root)? {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        // Normalize to forward slashes so scoping rules are portable.
+        let rel_str =
+            rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/");
+        out.extend(lint_source(&rel_str, &src));
+    }
+    out.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(out)
+}

@@ -1,0 +1,46 @@
+//! CLI driver: `zoomer-lint [WORKSPACE_ROOT]`.
+//!
+//! Scans `crates/` and `src/` under the given root (default: the current
+//! directory), prints every violation as `path:line: [RULE] message`, and
+//! exits nonzero when any are found — the hard-gate contract `ci.sh`
+//! relies on.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: zoomer-lint [WORKSPACE_ROOT]");
+        return ExitCode::SUCCESS;
+    }
+    let root = PathBuf::from(args.first().map(String::as_str).unwrap_or("."));
+    let files = match zoomer_lint::scan_paths(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("zoomer-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let violations = match zoomer_lint::lint_tree(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("zoomer-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("zoomer-lint: OK ({} files clean)", files.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "zoomer-lint: {} violation(s) in {} files scanned",
+            violations.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,228 @@
+//! The five lint rules, as pure functions over a [`FileContext`].
+//!
+//! Every rule matches on the lexed code-token stream (never on raw text),
+//! so occurrences inside strings and comments cannot fire. Findings are
+//! returned un-suppressed; the caller applies escape-hatch markers.
+
+use std::collections::HashSet;
+
+use crate::engine::{FileContext, Violation};
+use crate::lexer::TokenKind;
+
+/// Crates whose `src/` trees form the request-serving hot path.
+const HOT_PATH: &[&str] =
+    &["crates/serving/src/", "crates/graph/src/", "crates/sampler/src/", "crates/tensor/src/"];
+
+/// Crates where exact float equality is a numerics hazard.
+const KERNEL_MODEL: &[&str] = &["crates/tensor/src/", "crates/model/src/"];
+
+fn scoped(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+/// Library crates for L004: every `crates/*/src/` tree except the bench
+/// harness and this lint tool (both are CLI-facing by design).
+fn is_library_source(path: &str) -> bool {
+    path.starts_with("crates/")
+        && path.contains("/src/")
+        && !path.starts_with("crates/bench/")
+        && !path.starts_with("crates/lint/")
+}
+
+fn violation(ctx: &FileContext, line: u32, rule: &'static str, message: String) -> Violation {
+    Violation { path: ctx.path.to_string(), line, rule, message }
+}
+
+/// Run every rule whose path scope covers this file.
+pub fn check_file(ctx: &FileContext) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if scoped(ctx.path, HOT_PATH) {
+        l001_no_panicking_calls(ctx, &mut out);
+    }
+    l002_unsafe_needs_safety_comment(ctx, &mut out);
+    l003_no_lock_unwrap(ctx, &mut out);
+    if is_library_source(ctx.path) {
+        l004_no_println_in_libraries(ctx, &mut out);
+    }
+    if scoped(ctx.path, KERNEL_MODEL) {
+        l005_no_exact_float_equality(ctx, &mut out);
+    }
+    out
+}
+
+/// L001: the hot path must not contain `unwrap()` / `expect(` / `panic!` /
+/// `todo!` / `unimplemented!` outside test code. A panicking call turns one
+/// malformed request into a crashed serving shard.
+fn l001_no_panicking_calls(ctx: &FileContext, out: &mut Vec<Violation>) {
+    for i in 0..ctx.code.len() {
+        if ctx.code_kind(i) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let line = ctx.code_line(i);
+        if ctx.is_test_line(line) {
+            continue;
+        }
+        let text = ctx.code_text(i);
+        let prev_is_dot = i > 0 && ctx.code_text(i - 1) == ".";
+        let hit = match text {
+            "unwrap" => prev_is_dot && ctx.code_text(i + 1) == "(" && ctx.code_text(i + 2) == ")",
+            "expect" => prev_is_dot && ctx.code_text(i + 1) == "(",
+            "panic" | "todo" | "unimplemented" => ctx.code_text(i + 1) == "!",
+            _ => false,
+        };
+        if hit {
+            out.push(violation(
+                ctx,
+                line,
+                "L001",
+                format!("`{text}` can panic on the serving hot path; return a typed error"),
+            ));
+        }
+    }
+}
+
+/// L002: every `unsafe` must be immediately preceded (same line or up to
+/// two lines above) by a `// SAFETY:` comment stating the invariant.
+fn l002_unsafe_needs_safety_comment(ctx: &FileContext, out: &mut Vec<Violation>) {
+    let safety_end_lines: Vec<u32> = ctx
+        .comments()
+        .filter(|t| t.text(ctx.src).contains("SAFETY:"))
+        .map(|t| ctx.comment_end_line(t))
+        .collect();
+    for i in 0..ctx.code.len() {
+        if ctx.code_kind(i) != Some(TokenKind::Ident) || ctx.code_text(i) != "unsafe" {
+            continue;
+        }
+        let line = ctx.code_line(i);
+        let documented = safety_end_lines.iter().any(|&end| end <= line && end + 2 >= line);
+        if !documented {
+            out.push(violation(
+                ctx,
+                line,
+                "L002",
+                "`unsafe` without an immediately preceding `// SAFETY:` comment".to_string(),
+            ));
+        }
+    }
+}
+
+/// L003: `.lock().unwrap()` (and the `.read()` / `.write()` / `expect`
+/// variants) crashes the thread on a poisoned lock. Poison must be handled
+/// or explicitly recovered via `into_inner`.
+fn l003_no_lock_unwrap(ctx: &FileContext, out: &mut Vec<Violation>) {
+    for i in 0..ctx.code.len() {
+        if ctx.code_kind(i) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let acquire = ctx.code_text(i);
+        if !matches!(acquire, "lock" | "read" | "write") {
+            continue;
+        }
+        let shape_matches = i > 0
+            && ctx.code_text(i - 1) == "."
+            && ctx.code_text(i + 1) == "("
+            && ctx.code_text(i + 2) == ")"
+            && ctx.code_text(i + 3) == ".";
+        if !shape_matches {
+            continue;
+        }
+        let consume = ctx.code_text(i + 4);
+        if matches!(consume, "unwrap" | "expect") {
+            out.push(violation(
+                ctx,
+                ctx.code_line(i),
+                "L003",
+                format!(
+                    "`.{acquire}().{consume}(…)` panics on a poisoned lock; recover with \
+                     `unwrap_or_else(PoisonError::into_inner)` or handle the Err"
+                ),
+            ));
+        }
+    }
+}
+
+/// L004: library crates must not write to stdout/stderr; that is the CLI
+/// and bench layers' job.
+fn l004_no_println_in_libraries(ctx: &FileContext, out: &mut Vec<Violation>) {
+    for i in 0..ctx.code.len() {
+        if ctx.code_kind(i) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let text = ctx.code_text(i);
+        if !matches!(text, "println" | "eprintln") || ctx.code_text(i + 1) != "!" {
+            continue;
+        }
+        let line = ctx.code_line(i);
+        if ctx.is_test_line(line) {
+            continue;
+        }
+        out.push(violation(
+            ctx,
+            line,
+            "L004",
+            format!("`{text}!` in a library crate; return data and let the CLI/bench layer print"),
+        ));
+    }
+}
+
+/// L005: exact `==`/`!=` between float expressions in kernel/model code.
+/// Heuristic: an operand is "float" when it is a float literal, an `f32`/
+/// `f64` cast target, or an identifier annotated `: f32` / `: f64`
+/// somewhere in the same file.
+fn l005_no_exact_float_equality(ctx: &FileContext, out: &mut Vec<Violation>) {
+    let float_idents = collect_float_idents(ctx);
+    let is_float_operand = |i: usize| -> bool {
+        match ctx.code_kind(i) {
+            Some(TokenKind::Float) => true,
+            Some(TokenKind::Ident) => {
+                let t = ctx.code_text(i);
+                t == "f32" || t == "f64" || float_idents.contains(t)
+            }
+            _ => false,
+        }
+    };
+    for i in 0..ctx.code.len() {
+        let op = ctx.code_text(i);
+        if op != "==" && op != "!=" {
+            continue;
+        }
+        let line = ctx.code_line(i);
+        if ctx.is_test_line(line) {
+            continue;
+        }
+        // `x == -1.0`: skip a unary minus on the right operand.
+        let right = if ctx.code_text(i + 1) == "-" { i + 2 } else { i + 1 };
+        if (i > 0 && is_float_operand(i - 1)) || is_float_operand(right) {
+            out.push(violation(
+                ctx,
+                line,
+                "L005",
+                format!(
+                    "exact float `{op}` in kernel/model code; compare with a tolerance \
+                     (or allow-list with a reason if bitwise equality is intended)"
+                ),
+            ));
+        }
+    }
+}
+
+/// Identifiers annotated `: f32` / `: f64` (through `&`, `mut`, and
+/// lifetimes) anywhere in the file — params, lets, and struct fields.
+fn collect_float_idents<'a>(ctx: &'a FileContext) -> HashSet<&'a str> {
+    let mut set = HashSet::new();
+    for i in 1..ctx.code.len() {
+        if ctx.code_text(i) != ":" || ctx.code_kind(i - 1) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let mut j = i + 1;
+        while matches!(ctx.code_text(j), "&" | "mut")
+            || ctx.code_kind(j) == Some(TokenKind::Lifetime)
+        {
+            j += 1;
+        }
+        if matches!(ctx.code_text(j), "f32" | "f64") {
+            set.insert(ctx.code_text(i - 1));
+        }
+    }
+    set
+}

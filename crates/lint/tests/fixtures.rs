@@ -1,0 +1,224 @@
+//! Fixture-based self-tests for every zoomer-lint rule: at least one true
+//! positive and one false-positive guard per rule, plus the escape-hatch and
+//! no-allow-zone semantics. Fixtures are inline strings fed through
+//! [`zoomer_lint::lint_source`] under hot-path / library / offline paths, so
+//! the suite exercises exactly the scoping the real scan uses.
+
+use zoomer_lint::{lint_source, Violation};
+
+const HOT: &str = "crates/serving/src/fixture.rs";
+const GRAPH: &str = "crates/graph/src/fixture.rs";
+const KERNEL: &str = "crates/tensor/src/fixture.rs";
+const LIBRARY: &str = "crates/model/src/fixture.rs";
+const OFFLINE: &str = "crates/train/src/fixture.rs";
+const BENCH: &str = "crates/bench/src/fixture.rs";
+
+fn rules_at(violations: &[Violation], line: u32) -> Vec<&'static str> {
+    violations.iter().filter(|v| v.line == line).map(|v| v.rule).collect()
+}
+
+fn has(violations: &[Violation], rule: &str) -> bool {
+    violations.iter().any(|v| v.rule == rule)
+}
+
+// ---------------------------------------------------------------- L001
+
+#[test]
+fn l001_flags_panicking_calls_in_hot_path_code() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               \x20   let a = x.unwrap();\n\
+               \x20   let b = x.expect(\"boom\");\n\
+               \x20   panic!(\"no\");\n\
+               \x20   todo!();\n\
+               \x20   unimplemented!()\n\
+               }\n";
+    let v = lint_source(HOT, src);
+    for line in 2..=6 {
+        assert_eq!(rules_at(&v, line), vec!["L001"], "line {line}: {v:?}");
+    }
+}
+
+#[test]
+fn l001_ignores_offline_crates_and_test_code() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(lint_source(OFFLINE, src).is_empty(), "offline crates may unwrap");
+
+    let test_src = "fn ok() {}\n\
+                    #[cfg(test)]\n\
+                    mod tests {\n\
+                    \x20   #[test]\n\
+                    \x20   fn t() { Some(1).unwrap(); panic!(\"fine in tests\"); }\n\
+                    }\n";
+    assert!(
+        lint_source(HOT, test_src).is_empty(),
+        "test regions are exempt even on the hot path: {:?}",
+        lint_source(HOT, test_src)
+    );
+}
+
+#[test]
+fn l001_ignores_strings_comments_and_lookalikes() {
+    let src = "fn f() {\n\
+               \x20   let s = \"please don't .unwrap() or panic!(…) here\";\n\
+               \x20   // a comment can say x.unwrap() and panic!()\n\
+               \x20   /* block comment: .expect(\"ok\") */\n\
+               \x20   let unwrap = 1;      // bare ident, not a call\n\
+               \x20   let y = s.len();\n\
+               \x20   let z = may_panic(); // `panic` without `!` is fine\n\
+               }\n";
+    assert!(lint_source(HOT, src).is_empty(), "{:?}", lint_source(HOT, src));
+}
+
+#[test]
+fn l001_allows_unwrap_or_family_and_asserts() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               \x20   assert!(x.is_some(), \"construction-time checks stay\");\n\
+               \x20   x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default()\n\
+               }\n";
+    assert!(lint_source(HOT, src).is_empty(), "{:?}", lint_source(HOT, src));
+}
+
+// ---------------------------------------------------------------- L002
+
+#[test]
+fn l002_flags_unsafe_without_safety_comment() {
+    let src = "fn f(p: *const u8) -> u8 {\n\
+               \x20   unsafe { *p }\n\
+               }\n";
+    let v = lint_source(OFFLINE, src);
+    assert_eq!(rules_at(&v, 2), vec!["L002"], "{v:?}");
+}
+
+#[test]
+fn l002_accepts_unsafe_preceded_by_safety_comment() {
+    let src = "fn f(p: *const u8) -> u8 {\n\
+               \x20   // SAFETY: caller guarantees p is valid for reads.\n\
+               \x20   unsafe { *p }\n\
+               }\n";
+    assert!(lint_source(OFFLINE, src).is_empty(), "{:?}", lint_source(OFFLINE, src));
+    // The word `unsafe` inside a string or comment is not an unsafe block.
+    let quoted = "fn f() { let s = \"unsafe\"; } // unsafe\n";
+    assert!(lint_source(OFFLINE, quoted).is_empty());
+}
+
+// ---------------------------------------------------------------- L003
+
+#[test]
+fn l003_flags_lock_unwrap_everywhere_even_offline() {
+    let src = "fn f(m: &std::sync::Mutex<u32>, rw: &std::sync::RwLock<u32>) {\n\
+               \x20   let a = m.lock().unwrap();\n\
+               \x20   let b = rw.read().expect(\"poisoned\");\n\
+               \x20   let c = rw.write().unwrap();\n\
+               }\n";
+    let v = lint_source(OFFLINE, src);
+    assert_eq!(rules_at(&v, 2), vec!["L003"]);
+    assert_eq!(rules_at(&v, 3), vec!["L003"]);
+    assert_eq!(rules_at(&v, 4), vec!["L003"]);
+}
+
+#[test]
+fn l003_accepts_poison_recovery() {
+    let src = "fn f(m: &std::sync::Mutex<u32>) -> u32 {\n\
+               \x20   *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)\n\
+               }\n";
+    assert!(lint_source(OFFLINE, src).is_empty(), "{:?}", lint_source(OFFLINE, src));
+    // `.unwrap()` not on a lock guard is L003-clean (L001 owns that case).
+    let plain = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(!has(&lint_source(OFFLINE, plain), "L003"));
+}
+
+// ---------------------------------------------------------------- L004
+
+#[test]
+fn l004_flags_println_in_library_crates() {
+    let src = "fn f() {\n\
+               \x20   println!(\"debug spam\");\n\
+               \x20   eprintln!(\"more spam\");\n\
+               }\n";
+    let v = lint_source(LIBRARY, src);
+    assert_eq!(rules_at(&v, 2), vec!["L004"]);
+    assert_eq!(rules_at(&v, 3), vec!["L004"]);
+}
+
+#[test]
+fn l004_exempts_bench_crate_tests_and_strings() {
+    let bench = "fn f() { println!(\"benches report to stdout\"); }\n";
+    assert!(lint_source(BENCH, bench).is_empty());
+    let quoted = "fn f() -> &'static str { \"println!(no)\" } // println! in comment\n";
+    assert!(lint_source(LIBRARY, quoted).is_empty());
+    let test_src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { println!(\"ok\"); }\n}\n";
+    assert!(lint_source(LIBRARY, test_src).is_empty());
+}
+
+// ---------------------------------------------------------------- L005
+
+#[test]
+fn l005_flags_exact_float_comparison_in_kernel_code() {
+    let src = "fn f(a: f32, b: f32) -> bool {\n\
+               \x20   a == b\n\
+               }\n";
+    let v = lint_source(KERNEL, src);
+    assert_eq!(rules_at(&v, 2), vec!["L005"], "{v:?}");
+    let lit = "fn g(x: f64) -> bool { x != 0.5 }\n";
+    assert!(has(&lint_source(KERNEL, lit), "L005"));
+}
+
+#[test]
+fn l005_ignores_integers_and_non_kernel_crates() {
+    let ints = "fn f(a: u32, b: u32) -> bool { a == b && a == 0 }\n";
+    assert!(lint_source(KERNEL, ints).is_empty(), "{:?}", lint_source(KERNEL, ints));
+    // Float comparison outside kernel/model code is someone else's policy.
+    let floats = "fn f(a: f32, b: f32) -> bool { a == b }\n";
+    assert!(lint_source(OFFLINE, floats).is_empty());
+}
+
+// ------------------------------------------------------- escape hatch
+
+#[test]
+fn allow_marker_with_reason_suppresses_its_rule() {
+    let src = "fn f(a: f32) -> bool {\n\
+               \x20   // lint: allow(L005, exact zero is the sparsity sentinel)\n\
+               \x20   a == 0.0\n\
+               }\n";
+    assert!(lint_source(KERNEL, src).is_empty(), "{:?}", lint_source(KERNEL, src));
+}
+
+#[test]
+fn allow_marker_only_suppresses_the_named_rule() {
+    let src = "fn f(x: Option<f32>) -> bool {\n\
+               \x20   // lint: allow(L005, wrong rule for this line)\n\
+               \x20   x.unwrap() > 0.0\n\
+               }\n";
+    assert!(has(&lint_source(HOT, src), "L001"), "{:?}", lint_source(HOT, src));
+}
+
+#[test]
+fn allow_marker_without_reason_is_itself_a_violation() {
+    for bad in [
+        "// lint: allow(L001)\n",
+        "// lint: allow(L001, )\n",
+        "// lint: allow(L999, unknown rule)\n",
+        "// lint: allow\n",
+    ] {
+        let src = format!("fn f() {{\n    {bad}}}\n");
+        let v = lint_source(OFFLINE, &src);
+        assert!(has(&v, "ALLOW"), "marker {bad:?} must be rejected: {v:?}");
+    }
+}
+
+// ------------------------------------------------------ no-allow zone
+
+#[test]
+fn serving_is_a_no_allow_zone() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               \x20   // lint: allow(L001, serving may never opt out)\n\
+               \x20   x.unwrap()\n\
+               }\n";
+    let v = lint_source(HOT, src);
+    // The marker both fails to suppress and is flagged itself.
+    assert!(has(&v, "L001"), "hatch must not suppress in crates/serving: {v:?}");
+    assert!(has(&v, "ALLOW"), "hatch in crates/serving must be flagged: {v:?}");
+    // The same source with the same marker is fine one crate over.
+    let v = lint_source(GRAPH, src);
+    assert!(!has(&v, "L001") && !has(&v, "ALLOW"), "hatch must work outside serving: {v:?}");
+}

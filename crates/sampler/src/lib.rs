@@ -7,6 +7,10 @@
 //! [`NeighborSampler`] trait, and the [`roi`] module that expands a sampled
 //! computation tree ("ROI subgraph") for the GNN models.
 
+// Hot-path crate: zoomer-lint L001 forbids panicking calls in non-test code
+// here; clippy's disallowed_methods list (clippy.toml) backs it up.
+#![cfg_attr(not(test), deny(clippy::disallowed_methods))]
+
 pub mod context;
 pub mod metapath;
 pub mod roi;

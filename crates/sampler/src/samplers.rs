@@ -315,7 +315,10 @@ impl NeighborSampler for PixieSampler {
                             let sb = cosine_similarity(&focal.focal_vector, graph.dense_feature(b));
                             sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
                         })
-                        .unwrap()
+                        // `tries >= 1` makes the candidate set non-empty, so
+                        // max_by always yields; fall back to an unbiased step
+                        // rather than panic on the serving hot path.
+                        .unwrap_or(nbrs[0].0)
                 } else {
                     nbrs[rng.gen_range(0..nbrs.len())].0
                 };

@@ -11,6 +11,8 @@ use zoomer_tensor::{seeded_rng, Matrix};
 
 use rand::seq::SliceRandom;
 
+use crate::error::ServingError;
+
 /// One inverted list: entry ids plus their vectors flattened row-major into
 /// a single contiguous buffer (`vectors.len() == ids.len() * dim`), so a
 /// scoring pass streams sequentially instead of chasing one heap pointer per
@@ -91,8 +93,15 @@ impl IvfIndex {
 
     /// Approximate top-`k` by inner product, probing `nprobe` lists: a
     /// batch of one through [`Self::search_batch`].
-    pub fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<(u64, f32)> {
-        self.search_batch(&Matrix::row_vector(query), k, nprobe).pop().expect("one query row")
+    pub fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+    ) -> Result<Vec<(u64, f32)>, ServingError> {
+        self.search_batch(&Matrix::row_vector(query), k, nprobe)?
+            .pop()
+            .ok_or(ServingError::Internal("one-row batch returned no result rows"))
     }
 
     /// Multi-query approximate top-`k`: one query per row of `queries`.
@@ -103,11 +112,21 @@ impl IvfIndex {
     /// Each query's candidate stream (lists in ascending index order, entry
     /// order within a list) is independent of the rest of the batch, so
     /// results are identical to `search` on each row alone.
-    pub fn search_batch(&self, queries: &Matrix, k: usize, nprobe: usize) -> Vec<Vec<(u64, f32)>> {
+    pub fn search_batch(
+        &self,
+        queries: &Matrix,
+        k: usize,
+        nprobe: usize,
+    ) -> Result<Vec<Vec<(u64, f32)>>, ServingError> {
         if queries.rows() == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        assert_eq!(queries.cols(), self.dim, "query width mismatch");
+        if queries.cols() != self.dim {
+            return Err(ServingError::DimensionMismatch {
+                expected: self.dim,
+                got: queries.cols(),
+            });
+        }
         let nprobe = nprobe.max(1).min(self.centroids.len());
         // Invert "query → nprobe nearest lists" into "list → probing queries".
         let mut probers: Vec<Vec<u32>> = vec![Vec::new(); self.centroids.len()];
@@ -172,32 +191,37 @@ impl IvfIndex {
                 }
             }
         }
-        scored.into_iter().map(|s| top_k_desc(s, k)).collect()
+        Ok(scored.into_iter().map(|s| top_k_desc(s, k)).collect())
     }
 
     /// Exact top-`k` (probes every list) — the recall baseline.
-    pub fn exact_search(&self, query: &[f32], k: usize) -> Vec<(u64, f32)> {
+    pub fn exact_search(&self, query: &[f32], k: usize) -> Result<Vec<(u64, f32)>, ServingError> {
         self.search(query, k, self.centroids.len())
     }
 
     /// Recall@k of approximate vs exact search for a set of queries.
-    pub fn recall_at_k(&self, queries: &[Vec<f32>], k: usize, nprobe: usize) -> f64 {
+    pub fn recall_at_k(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        nprobe: usize,
+    ) -> Result<f64, ServingError> {
         if queries.is_empty() {
-            return 1.0;
+            return Ok(1.0);
         }
         let mut hits = 0usize;
         let mut total = 0usize;
         for q in queries {
             let approx: std::collections::HashSet<u64> =
-                self.search(q, k, nprobe).into_iter().map(|(id, _)| id).collect();
-            for (id, _) in self.exact_search(q, k) {
+                self.search(q, k, nprobe)?.into_iter().map(|(id, _)| id).collect();
+            for (id, _) in self.exact_search(q, k)? {
                 total += 1;
                 if approx.contains(&id) {
                     hits += 1;
                 }
             }
         }
-        hits as f64 / total.max(1) as f64
+        Ok(hits as f64 / total.max(1) as f64)
     }
 }
 
@@ -262,7 +286,7 @@ mod tests {
         // product maximal among normalized-ish random vectors... not strictly
         // guaranteed, so verify against brute force instead).
         let q = &items[42].1;
-        let got = idx.exact_search(q, 1)[0].0;
+        let got = idx.exact_search(q, 1).expect("search")[0].0;
         let brute = items
             .iter()
             .max_by(|a, b| {
@@ -280,9 +304,9 @@ mod tests {
         let items = random_items(500, 16, 3);
         let idx = IvfIndex::build(&items, 16, 6, 3);
         let queries: Vec<Vec<f32>> = random_items(30, 16, 4).into_iter().map(|(_, v)| v).collect();
-        let r1 = idx.recall_at_k(&queries, 10, 1);
-        let r4 = idx.recall_at_k(&queries, 10, 4);
-        let r16 = idx.recall_at_k(&queries, 10, 16);
+        let r1 = idx.recall_at_k(&queries, 10, 1).expect("recall");
+        let r4 = idx.recall_at_k(&queries, 10, 4).expect("recall");
+        let r16 = idx.recall_at_k(&queries, 10, 16).expect("recall");
         assert!(r1 <= r4 + 1e-9 && r4 <= r16 + 1e-9, "{r1} {r4} {r16}");
         assert!((r16 - 1.0).abs() < 1e-9, "full probe must be exact");
         assert!(r4 > 0.3, "nprobe=4 recall too low: {r4}");
@@ -292,7 +316,7 @@ mod tests {
     fn search_returns_sorted_topk() {
         let items = random_items(100, 4, 5);
         let idx = IvfIndex::build(&items, 4, 4, 5);
-        let res = idx.search(&items[0].1, 7, 2);
+        let res = idx.search(&items[0].1, 7, 2).expect("search");
         assert!(res.len() <= 7);
         for w in res.windows(2) {
             assert!(w[0].1 >= w[1].1, "not sorted: {res:?}");
@@ -305,10 +329,14 @@ mod tests {
         let idx = IvfIndex::build(&items, 12, 5, 9);
         let queries: Vec<Vec<f32>> = random_items(17, 8, 10).into_iter().map(|(_, v)| v).collect();
         let rows: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
-        let batched = idx.search_batch(&Matrix::from_rows(&rows), 10, 3);
+        let batched = idx.search_batch(&Matrix::from_rows(&rows), 10, 3).expect("batch");
         assert_eq!(batched.len(), queries.len());
         for (q, got) in queries.iter().zip(&batched) {
-            assert_eq!(got, &idx.search(q, 10, 3), "batch result diverges from single");
+            assert_eq!(
+                got,
+                &idx.search(q, 10, 3).expect("search"),
+                "batch result diverges from single"
+            );
         }
     }
 
@@ -316,14 +344,14 @@ mod tests {
     fn empty_batch_is_empty() {
         let items = random_items(20, 4, 11);
         let idx = IvfIndex::build(&items, 4, 3, 11);
-        assert!(idx.search_batch(&Matrix::zeros(0, 4), 5, 2).is_empty());
+        assert!(idx.search_batch(&Matrix::zeros(0, 4), 5, 2).expect("batch").is_empty());
     }
 
     #[test]
     fn single_item_collection() {
         let items = vec![(9u64, vec![1.0, 0.0])];
         let idx = IvfIndex::build(&items, 4, 3, 6);
-        let res = idx.search(&[1.0, 0.0], 5, 1);
+        let res = idx.search(&[1.0, 0.0], 5, 1).expect("search");
         assert_eq!(res.len(), 1);
         assert_eq!(res[0].0, 9);
     }
@@ -335,10 +363,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "width mismatch")]
-    fn wrong_query_width_panics() {
+    fn wrong_query_width_is_a_typed_error() {
         let items = random_items(10, 4, 8);
         let idx = IvfIndex::build(&items, 2, 2, 8);
-        let _ = idx.search(&[0.0; 3], 1, 1);
+        let err = idx.search(&[0.0; 3], 1, 1).expect_err("mismatched width must be rejected");
+        assert_eq!(err, crate::error::ServingError::DimensionMismatch { expected: 4, got: 3 });
     }
 }

@@ -10,10 +10,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::RwLock;
 use zoomer_graph::NodeId;
 
 /// Thread-safe neighbor cache: node → up-to-`k` cached neighbor ids.
@@ -39,9 +38,25 @@ impl NeighborCache {
         self.k
     }
 
+    /// Acquire the map read lock, recovering from poisoning: a reader that
+    /// panicked mid-`get` cannot have left the map partially mutated, so the
+    /// data is intact and later callers must keep being served rather than
+    /// propagate the panic (zoomer-lint rule L003).
+    fn read_map(&self) -> RwLockReadGuard<'_, HashMap<NodeId, Arc<Vec<NodeId>>>> {
+        self.map.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire the map write lock, recovering from poisoning. Every write
+    /// below is a single `HashMap::insert` per entry — there is no
+    /// multi-step critical section a panic could tear — so the recovered map
+    /// is always structurally sound.
+    fn write_map(&self) -> RwLockWriteGuard<'_, HashMap<NodeId, Arc<Vec<NodeId>>>> {
+        self.map.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Cached neighbors, or `None` on a miss.
     pub fn get(&self, node: NodeId) -> Option<Arc<Vec<NodeId>>> {
-        let found = self.map.read().get(&node).cloned();
+        let found = self.read_map().get(&node).cloned();
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -62,7 +77,7 @@ impl NeighborCache {
         let mut fresh = compute();
         fresh.truncate(self.k);
         let arc = Arc::new(fresh);
-        self.map.write().insert(node, Arc::clone(&arc));
+        self.write_map().insert(node, Arc::clone(&arc));
         arc
     }
 
@@ -70,7 +85,7 @@ impl NeighborCache {
     /// node, in order. Hit/miss counters advance once per node, matching a
     /// sequence of [`Self::get`] calls.
     pub fn get_many(&self, nodes: &[NodeId]) -> Vec<Option<Arc<Vec<NodeId>>>> {
-        let map = self.map.read();
+        let map = self.read_map();
         let found: Vec<Option<Arc<Vec<NodeId>>>> =
             nodes.iter().map(|n| map.get(n).cloned()).collect();
         drop(map);
@@ -90,7 +105,7 @@ impl NeighborCache {
                 (n, Arc::new(v))
             })
             .collect();
-        let mut map = self.map.write();
+        let mut map = self.write_map();
         arcs.iter()
             .map(|(n, a)| {
                 map.insert(*n, Arc::clone(a));
@@ -102,11 +117,11 @@ impl NeighborCache {
     /// Replace a node's cached neighbors (refresh path).
     pub fn put(&self, node: NodeId, mut neighbors: Vec<NodeId>) {
         neighbors.truncate(self.k);
-        self.map.write().insert(node, Arc::new(neighbors));
+        self.write_map().insert(node, Arc::new(neighbors));
     }
 
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.read_map().len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -162,10 +177,17 @@ impl CacheRefresher {
         }
     }
 
-    /// Drain the queue and stop; returns how many entries were refreshed.
-    pub fn shutdown(mut self) -> u64 {
+    /// Drain the queue and stop; returns how many entries were refreshed,
+    /// or an error if the worker thread panicked (e.g. a panicking
+    /// `compute` closure) instead of taking the caller down with it.
+    pub fn shutdown(mut self) -> Result<u64, crate::error::ServingError> {
         drop(self.tx.take());
-        self.handle.take().map(|h| h.join().expect("refresher panicked")).unwrap_or(0)
+        match self.handle.take() {
+            Some(h) => {
+                h.join().map_err(|_| crate::error::ServingError::WorkerPanicked("cache refresher"))
+            }
+            None => Ok(0),
+        }
     }
 }
 
@@ -245,10 +267,45 @@ mod tests {
             CacheRefresher::spawn(Arc::clone(&cache), |node| vec![node + 100, node + 101]);
         refresher.request_refresh(7);
         refresher.request_refresh(8);
-        let done = refresher.shutdown();
+        let done = refresher.shutdown().expect("refresher finished cleanly");
         assert_eq!(done, 2);
         assert_eq!(*cache.get(7).expect("refreshed"), vec![107, 108]);
         assert_eq!(*cache.get(8).expect("filled"), vec![108, 109]);
+    }
+
+    #[test]
+    fn panicking_refresher_reports_worker_panicked() {
+        let cache = Arc::new(NeighborCache::new(5));
+        let refresher = CacheRefresher::spawn(Arc::clone(&cache), |_| panic!("compute blew up"));
+        refresher.request_refresh(1);
+        let err = refresher.shutdown().expect_err("panicked worker must surface as an error");
+        assert!(matches!(err, crate::error::ServingError::WorkerPanicked(_)));
+    }
+
+    #[test]
+    fn poisoned_lock_does_not_wedge_subsequent_callers() {
+        // A thread that panics while holding the map lock poisons a std
+        // RwLock. The cache must recover (the map itself is never left
+        // mid-mutation) instead of cascading that one panic into every
+        // later request thread.
+        let cache = Arc::new(NeighborCache::new(4));
+        cache.put(1, vec![9]);
+        let poisoner = Arc::clone(&cache);
+        let panicked = std::thread::spawn(move || {
+            let _guard = poisoner.map.write();
+            panic!("simulated request-thread panic while holding the cache lock");
+        })
+        .join();
+        assert!(panicked.is_err(), "poisoner thread must have panicked");
+        // Reads, batched reads, writes and batched writes all still work.
+        let found = cache.get_many(&[1, 2]);
+        assert_eq!(**found[0].as_ref().expect("pre-poison entry survives"), vec![9]);
+        assert!(found[1].is_none());
+        cache.insert_many(vec![(2, vec![5, 6])]);
+        assert_eq!(*cache.get(2).expect("insert after poison"), vec![5, 6]);
+        cache.put(3, vec![7]);
+        assert_eq!(*cache.get_or_compute(4, || vec![8]), vec![8]);
+        assert_eq!(cache.len(), 4);
     }
 
     #[test]

@@ -16,9 +16,17 @@
 //!   embedding → ANN lookup.
 //! - [`load`] — open- and closed-loop QPS/latency harnesses (Fig 9),
 //!   including batched request coalescing through `handle_batch`.
+//!
+//! Panic-freedom: this crate is the hot path. Request-path entry points
+//! return [`ServingError`] instead of panicking, enforced by the in-repo
+//! `zoomer-lint` gate (rule L001) with `clippy::disallowed_methods` as the
+//! second layer — see `DESIGN.md` § "Static analysis & panic-freedom".
+
+#![cfg_attr(not(test), deny(clippy::disallowed_methods))]
 
 pub mod ann;
 pub mod cache;
+pub mod error;
 pub mod frozen;
 pub mod inverted;
 pub mod load;
@@ -26,6 +34,7 @@ pub mod server;
 
 pub use ann::IvfIndex;
 pub use cache::NeighborCache;
+pub use error::ServingError;
 pub use frozen::FrozenModel;
 pub use inverted::InvertedIndex;
 pub use load::{

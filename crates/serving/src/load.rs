@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::bounded;
 use zoomer_graph::NodeId;
 
+use crate::error::ServingError;
 use crate::server::OnlineServer;
 
 /// Latency summary over one load run.
@@ -73,10 +74,8 @@ pub fn run_load_test(
     requests: &[(NodeId, NodeId)],
     qps: f64,
     num_threads: usize,
-) -> LatencyStats {
-    assert!(qps > 0.0, "qps must be positive");
-    assert!(num_threads > 0, "need at least one server thread");
-    assert!(!requests.is_empty(), "need at least one request");
+) -> Result<LatencyStats, ServingError> {
+    validate_load_params(requests, qps, num_threads, 1)?;
 
     let interval = Duration::from_secs_f64(1.0 / qps);
     let (tx, rx) = bounded::<(NodeId, NodeId, Instant)>(requests.len());
@@ -92,6 +91,8 @@ pub fn run_load_test(
             let latencies = Arc::clone(&latencies);
             scope.spawn(move || {
                 for (user, query, enqueued) in rx {
+                    // A per-request error is that request's problem, not the
+                    // harness's; the worker keeps draining the queue.
                     let _ = server.handle(user, query);
                     let ms = enqueued.elapsed().as_secs_f64() * 1e3;
                     latencies.lock().push(ms);
@@ -110,8 +111,11 @@ pub fn run_load_test(
         drop(tx);
     });
     let elapsed = start.elapsed();
-    let lat = Arc::try_unwrap(latencies).expect("threads joined").into_inner();
-    LatencyStats::from_latencies(qps, lat, elapsed)
+    // The scope above joined every worker, so this take sees the final
+    // vector; taking under the lock avoids an Arc::try_unwrap that would
+    // need an `expect`.
+    let lat = std::mem::take(&mut *latencies.lock());
+    Ok(LatencyStats::from_latencies(qps, lat, elapsed))
 }
 
 /// Run an open-loop load test where each worker drains up to `batch_size`
@@ -125,11 +129,8 @@ pub fn run_batched_load_test(
     qps: f64,
     num_threads: usize,
     batch_size: usize,
-) -> LatencyStats {
-    assert!(qps > 0.0, "qps must be positive");
-    assert!(num_threads > 0, "need at least one server thread");
-    assert!(batch_size > 0, "need a positive batch size");
-    assert!(!requests.is_empty(), "need at least one request");
+) -> Result<LatencyStats, ServingError> {
+    validate_load_params(requests, qps, num_threads, batch_size)?;
 
     let interval = Duration::from_secs_f64(1.0 / qps);
     let (tx, rx) = bounded::<(NodeId, NodeId, Instant)>(requests.len());
@@ -182,8 +183,8 @@ pub fn run_batched_load_test(
         drop(tx);
     });
     let elapsed = start.elapsed();
-    let lat = Arc::try_unwrap(latencies).expect("threads joined").into_inner();
-    LatencyStats::from_latencies(qps, lat, elapsed)
+    let lat = std::mem::take(&mut *latencies.lock());
+    Ok(LatencyStats::from_latencies(qps, lat, elapsed))
 }
 
 /// Throughput summary of one closed-loop run.
@@ -216,13 +217,11 @@ pub fn run_closed_loop(
     requests: &[(NodeId, NodeId)],
     num_threads: usize,
     batch_size: usize,
-) -> ThroughputStats {
-    assert!(num_threads > 0, "need at least one server thread");
-    assert!(batch_size > 0, "need a positive batch size");
-    assert!(!requests.is_empty(), "need at least one request");
+) -> Result<ThroughputStats, ServingError> {
+    validate_load_params(requests, 1.0, num_threads, batch_size)?;
 
     let start = Instant::now();
-    let lats: Vec<Vec<f64>> = std::thread::scope(|scope| {
+    let lats: Result<Vec<Vec<f64>>, ServingError> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..num_threads)
             .map(|t| {
                 let server = server.clone();
@@ -232,25 +231,53 @@ pub fn run_closed_loop(
                     let mut lats = Vec::with_capacity(share.len());
                     for chunk in share.chunks(batch_size) {
                         let t0 = Instant::now();
-                        let _ = server.handle_batch(chunk);
+                        server.handle_batch(chunk)?;
                         let ms = t0.elapsed().as_secs_f64() * 1e3;
                         lats.extend(std::iter::repeat_n(ms, chunk.len()));
                     }
-                    lats
+                    Ok(lats)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().map_err(|_| ServingError::WorkerPanicked("closed-loop load worker"))?
+            })
+            .collect()
     });
     let elapsed = start.elapsed();
-    let all: Vec<f64> = lats.into_iter().flatten().collect();
+    let all: Vec<f64> = lats?.into_iter().flatten().collect();
     let completed = all.len();
-    ThroughputStats {
+    Ok(ThroughputStats {
         batch_size,
         completed,
         elapsed,
         mean_ms: if completed == 0 { 0.0 } else { all.iter().sum::<f64>() / completed as f64 },
+    })
+}
+
+/// Shared parameter validation for the load harnesses: bad parameters are a
+/// caller bug reported as [`ServingError::InvalidConfig`], not a panic.
+fn validate_load_params(
+    requests: &[(NodeId, NodeId)],
+    qps: f64,
+    num_threads: usize,
+    batch_size: usize,
+) -> Result<(), ServingError> {
+    if !qps.is_finite() || qps <= 0.0 {
+        return Err(ServingError::InvalidConfig("qps must be positive and finite"));
     }
+    if num_threads == 0 {
+        return Err(ServingError::InvalidConfig("need at least one server thread"));
+    }
+    if batch_size == 0 {
+        return Err(ServingError::InvalidConfig("need a positive batch size"));
+    }
+    if requests.is_empty() {
+        return Err(ServingError::InvalidConfig("need at least one request"));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -277,7 +304,8 @@ mod tests {
             &items,
             ServingConfig { top_k: 10, ..Default::default() },
             91,
-        );
+        )
+        .expect("server build");
         let requests: Vec<(NodeId, NodeId)> =
             data.logs.iter().take(120).map(|l| (l.user, l.query)).collect();
         (server, requests)
@@ -286,7 +314,7 @@ mod tests {
     #[test]
     fn load_test_completes_all_requests() {
         let (server, requests) = server_and_requests();
-        let stats = run_load_test(&server, &requests, 2000.0, 2);
+        let stats = run_load_test(&server, &requests, 2000.0, 2).expect("load run");
         assert_eq!(stats.completed, requests.len());
         assert!(stats.mean_ms >= 0.0);
         assert!(stats.p50_ms <= stats.p95_ms && stats.p95_ms <= stats.p99_ms);
@@ -307,7 +335,7 @@ mod tests {
     #[test]
     fn batched_load_test_completes_all_requests() {
         let (server, requests) = server_and_requests();
-        let stats = run_batched_load_test(&server, &requests, 5000.0, 2, 8);
+        let stats = run_batched_load_test(&server, &requests, 5000.0, 2, 8).expect("load run");
         assert_eq!(stats.completed, requests.len());
         assert!(stats.p50_ms <= stats.p99_ms);
     }
@@ -315,7 +343,7 @@ mod tests {
     #[test]
     fn closed_loop_reports_throughput() {
         let (server, requests) = server_and_requests();
-        let stats = run_closed_loop(&server, &requests, 2, 16);
+        let stats = run_closed_loop(&server, &requests, 2, 16).expect("load run");
         assert_eq!(stats.completed, requests.len());
         assert_eq!(stats.batch_size, 16);
         assert!(stats.requests_per_sec() > 0.0);
@@ -323,12 +351,29 @@ mod tests {
     }
 
     #[test]
+    fn invalid_load_parameters_are_typed_errors() {
+        let (server, requests) = server_and_requests();
+        for bad in [
+            run_load_test(&server, &requests, 0.0, 2),
+            run_load_test(&server, &requests, 100.0, 0),
+            run_load_test(&server, &[], 100.0, 2),
+            run_batched_load_test(&server, &requests, 100.0, 2, 0),
+        ] {
+            assert!(matches!(bad, Err(ServingError::InvalidConfig(_))), "{bad:?}");
+        }
+        assert!(matches!(
+            run_closed_loop(&server, &requests, 0, 4),
+            Err(ServingError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
     fn overload_grows_latency() {
         // Saturating one slow thread must show higher p95 than a gentle
         // trickle on two threads.
         let (server, requests) = server_and_requests();
-        let gentle = run_load_test(&server, &requests[..40], 200.0, 2);
-        let slam = run_load_test(&server, &requests, 50_000.0, 1);
+        let gentle = run_load_test(&server, &requests[..40], 200.0, 2).expect("load run");
+        let slam = run_load_test(&server, &requests, 50_000.0, 1).expect("load run");
         assert!(
             slam.p95_ms >= gentle.p95_ms,
             "overload p95 {} should be ≥ gentle p95 {}",

@@ -17,12 +17,16 @@ use zoomer_tensor::{seeded_rng, Matrix};
 
 use crate::ann::IvfIndex;
 use crate::cache::NeighborCache;
+use crate::error::ServingError;
 use crate::frozen::{neutral_topk_neighbors, FrozenModel};
 use crate::inverted::InvertedIndex;
 
 /// A request's resolved (user-neighborhood, query-neighborhood) pair, shared
 /// with the cache without copying.
 type NeighborPair = (Arc<Vec<NodeId>>, Arc<Vec<NodeId>>);
+
+/// Ranked item postings computed for one chunk of query nodes at build time.
+type QueryPostings = Vec<(NodeId, Vec<NodeId>)>;
 
 /// Serving-stack parameters.
 #[derive(Clone, Copy, Debug)]
@@ -82,8 +86,14 @@ impl OnlineServer {
         item_pool: &[NodeId],
         config: ServingConfig,
         seed: u64,
-    ) -> Self {
-        assert!(!item_pool.is_empty(), "cannot serve an empty item pool");
+    ) -> Result<Self, ServingError> {
+        if item_pool.is_empty() {
+            return Err(ServingError::InvalidConfig("cannot serve an empty item pool"));
+        }
+        let num_nodes = graph.num_nodes();
+        if let Some(&node) = item_pool.iter().find(|&&i| i as usize >= num_nodes) {
+            return Err(ServingError::NodeOutOfRange { node, num_nodes });
+        }
         // Item tower over the whole pool as one stacked matmul.
         let item_matrix = frozen.item_embeddings(item_pool);
         let items: Vec<(u64, Vec<f32>)> = item_pool
@@ -102,30 +112,32 @@ impl OnlineServer {
         // parallel.
         let queries: Vec<NodeId> = graph.nodes_of_type(zoomer_graph::NodeType::Query);
         let chunks: Vec<&[NodeId]> = queries.chunks(64).collect();
-        let postings: Vec<Vec<(NodeId, Vec<NodeId>)>> = chunks
+        let postings: Vec<Result<QueryPostings, ServingError>> = chunks
             .par_iter()
             .map(|chunk| {
                 let mut embs = Matrix::zeros(chunk.len(), frozen.embed_dim());
                 for (r, &q) in chunk.iter().enumerate() {
                     embs.row_mut(r).copy_from_slice(&frozen.online_embedding(q, &[], &[]));
                 }
-                index
-                    .search_batch(&embs, config.top_k, config.nprobe.max(4))
+                Ok(index
+                    .search_batch(&embs, config.top_k, config.nprobe.max(4))?
                     .into_iter()
                     .zip(chunk.iter())
                     .map(|(ranked, &q)| {
                         (q, ranked.into_iter().map(|(id, _)| id as NodeId).collect())
                     })
-                    .collect()
+                    .collect())
             })
             .collect();
         let mut inverted = InvertedIndex::new(&graph);
-        for (q, ranked) in postings.into_iter().flatten() {
-            if !ranked.is_empty() {
-                inverted.set_posting(q, ranked);
+        for chunk_postings in postings {
+            for (q, ranked) in chunk_postings? {
+                if !ranked.is_empty() {
+                    inverted.set_posting(q, ranked);
+                }
             }
         }
-        Self {
+        Ok(Self {
             graph,
             frozen: Arc::new(frozen),
             index: Arc::new(index),
@@ -133,7 +145,19 @@ impl OnlineServer {
             cache: Arc::new(NeighborCache::new(config.cache_k)),
             config,
             sampler: FocalBiasedSampler::default(),
+        })
+    }
+
+    /// Reject any request node id outside the loaded graph before it can
+    /// reach code that indexes adjacency or feature arrays.
+    fn validate_nodes(&self, nodes: impl IntoIterator<Item = NodeId>) -> Result<(), ServingError> {
+        let num_nodes = self.graph.num_nodes();
+        for node in nodes {
+            if node as usize >= num_nodes {
+                return Err(ServingError::NodeOutOfRange { node, num_nodes });
+            }
         }
+        Ok(())
     }
 
     /// Term-based retrieval fallback (cold users / no dense request vector):
@@ -172,9 +196,12 @@ impl OnlineServer {
     ///
     /// `disable_cache` (ablation) samples fresh per request under the
     /// request's own focal context, like the paper's no-cache variant.
-    fn resolve_neighbors(&self, requests: &[(NodeId, NodeId)]) -> Vec<NeighborPair> {
+    fn resolve_neighbors(
+        &self,
+        requests: &[(NodeId, NodeId)],
+    ) -> Result<Vec<NeighborPair>, ServingError> {
         if self.config.disable_cache {
-            return requests
+            return Ok(requests
                 .iter()
                 .map(|&(u, q)| {
                     let ctx = FocalContext::for_request(&self.graph, u, q);
@@ -192,7 +219,7 @@ impl OnlineServer {
                     };
                     (sample(u), sample(q))
                 })
-                .collect();
+                .collect());
         }
         let nodes: Vec<NodeId> = requests.iter().flat_map(|&(u, q)| [u, q]).collect();
         let found = self.cache.get_many(&nodes);
@@ -210,50 +237,66 @@ impl OnlineServer {
         let inserted = self.cache.insert_many(computed);
         let filled: std::collections::HashMap<NodeId, Arc<Vec<NodeId>>> =
             missing.into_iter().zip(inserted).collect();
-        let resolve = |i: usize| found[i].clone().unwrap_or_else(|| Arc::clone(&filled[&nodes[i]]));
-        (0..requests.len()).map(|i| (resolve(2 * i), resolve(2 * i + 1))).collect()
+        let resolve = |i: usize| -> Result<Arc<Vec<NodeId>>, ServingError> {
+            match &found[i] {
+                Some(hit) => Ok(Arc::clone(hit)),
+                None => filled
+                    .get(&nodes[i])
+                    .map(Arc::clone)
+                    .ok_or(ServingError::Internal("cache miss sweep lost a node")),
+            }
+        };
+        (0..requests.len()).map(|i| Ok((resolve(2 * i)?, resolve(2 * i + 1)?))).collect()
     }
 
     /// Handle a batch of retrieval requests: one ranked item list per
     /// `(user, query)` pair, element-wise identical to calling
     /// [`Self::handle`] on each pair alone.
-    pub fn handle_batch(&self, requests: &[(NodeId, NodeId)]) -> Vec<Vec<NodeId>> {
+    ///
+    /// A malformed request (e.g. a node id outside the graph) yields an
+    /// `Err` for this batch only; the server state is untouched and it keeps
+    /// serving subsequent batches.
+    pub fn handle_batch(
+        &self,
+        requests: &[(NodeId, NodeId)],
+    ) -> Result<Vec<Vec<NodeId>>, ServingError> {
         if requests.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        let neighbors = self.resolve_neighbors(requests);
+        self.validate_nodes(requests.iter().flat_map(|&(u, q)| [u, q]))?;
+        let neighbors = self.resolve_neighbors(requests)?;
         let neighbor_slices: Vec<(&[NodeId], &[NodeId])> =
             neighbors.iter().map(|(u, q)| (u.as_slice(), q.as_slice())).collect();
         let uq = self.frozen.embed_requests(&self.graph, requests, &neighbor_slices);
-        let found = self.index.search_batch(&uq, self.config.top_k, self.config.nprobe);
-        found
-            .into_iter()
-            .enumerate()
-            .map(|(i, mut f)| {
-                if f.len() < self.config.top_k && f.len() < self.index.len() {
-                    // Under-filled probe set (small pool or skewed
-                    // clusters): widen to an exact scan rather than return
-                    // a short list.
-                    f = self.index.exact_search(uq.row(i), self.config.top_k);
-                }
-                f.into_iter().map(|(id, _)| id as NodeId).collect()
-            })
-            .collect()
+        let found = self.index.search_batch(&uq, self.config.top_k, self.config.nprobe)?;
+        let mut out = Vec::with_capacity(found.len());
+        for (i, mut f) in found.into_iter().enumerate() {
+            if f.len() < self.config.top_k && f.len() < self.index.len() {
+                // Under-filled probe set (small pool or skewed clusters):
+                // widen to an exact scan rather than return a short list.
+                f = self.index.exact_search(uq.row(i), self.config.top_k)?;
+            }
+            out.push(f.into_iter().map(|(id, _)| id as NodeId).collect());
+        }
+        Ok(out)
     }
 
     /// Handle one retrieval request: a batch of one through
     /// [`Self::handle_batch`].
-    pub fn handle(&self, user: NodeId, query: NodeId) -> Vec<NodeId> {
-        self.handle_batch(&[(user, query)]).pop().expect("one request")
+    pub fn handle(&self, user: NodeId, query: NodeId) -> Result<Vec<NodeId>, ServingError> {
+        self.handle_batch(&[(user, query)])?
+            .pop()
+            .ok_or(ServingError::Internal("one-request batch returned no responses"))
     }
 
     /// Warm the cache for a set of nodes (deployment pre-fill). Fills the
     /// same neutral-focal entries the request path computes on a miss, so
     /// pre-warmed and cold-started servers serve identical results.
-    pub fn warm_cache(&self, nodes: &[NodeId]) {
+    pub fn warm_cache(&self, nodes: &[NodeId]) -> Result<(), ServingError> {
         if self.config.disable_cache {
-            return;
+            return Ok(());
         }
+        self.validate_nodes(nodes.iter().copied())?;
         let found = self.cache.get_many(nodes);
         let mut seen = HashSet::new();
         let missing: Vec<NodeId> = nodes
@@ -267,6 +310,7 @@ impl OnlineServer {
             .map(|&n| (n, neutral_topk_neighbors(&self.graph, n, self.config.cache_k)))
             .collect();
         self.cache.insert_many(computed);
+        Ok(())
     }
 }
 
@@ -293,7 +337,8 @@ mod tests {
             &items,
             ServingConfig { top_k: 20, disable_cache, ..Default::default() },
             81,
-        );
+        )
+        .expect("server build");
         (data, server)
     }
 
@@ -301,7 +346,7 @@ mod tests {
     fn handle_returns_topk_items() {
         let (data, server) = build_server(false);
         let log = &data.logs[0];
-        let result = server.handle(log.user, log.query);
+        let result = server.handle(log.user, log.query).expect("serve");
         assert_eq!(result.len(), 20);
         for &item in &result {
             assert_eq!(data.graph.node_type(item), NodeType::Item);
@@ -315,9 +360,9 @@ mod tests {
     fn repeated_requests_hit_the_cache() {
         let (data, server) = build_server(false);
         let log = &data.logs[0];
-        let first = server.handle(log.user, log.query);
+        let first = server.handle(log.user, log.query).expect("serve");
         let (_, misses_after_first) = server.cache().stats();
-        let second = server.handle(log.user, log.query);
+        let second = server.handle(log.user, log.query).expect("serve");
         let (hits, misses) = server.cache().stats();
         assert_eq!(first, second, "same request must be deterministic");
         assert_eq!(misses, misses_after_first, "second request should not miss");
@@ -328,7 +373,7 @@ mod tests {
     fn cache_disabled_still_serves() {
         let (data, server) = build_server(true);
         let log = &data.logs[0];
-        let result = server.handle(log.user, log.query);
+        let result = server.handle(log.user, log.query).expect("serve");
         assert_eq!(result.len(), 20);
         assert_eq!(server.cache().len(), 0, "cache must stay empty when disabled");
     }
@@ -337,7 +382,7 @@ mod tests {
     fn warm_cache_prefills() {
         let (data, server) = build_server(false);
         let users: Vec<NodeId> = (0..10).collect();
-        server.warm_cache(&users);
+        server.warm_cache(&users).expect("warm");
         assert!(server.cache().len() >= 10);
         let _ = data;
     }
@@ -353,17 +398,61 @@ mod tests {
             // Duplicate a pair inside the batch to cover same-batch reuse.
             .chain(std::iter::once((data.logs[0].user, data.logs[0].query)))
             .collect();
-        let batched = server.handle_batch(&requests);
+        let batched = server.handle_batch(&requests).expect("serve batch");
         assert_eq!(batched.len(), requests.len());
         for (i, &(u, q)) in requests.iter().enumerate() {
-            assert_eq!(batched[i], server.handle(u, q), "request {i} diverges");
+            assert_eq!(batched[i], server.handle(u, q).expect("serve"), "request {i} diverges");
         }
     }
 
     #[test]
     fn handle_batch_of_empty_is_empty() {
         let (_, server) = build_server(false);
-        assert!(server.handle_batch(&[]).is_empty());
+        assert!(server.handle_batch(&[]).expect("serve batch").is_empty());
+    }
+
+    #[test]
+    fn malformed_request_is_rejected_and_server_keeps_serving() {
+        let (data, server) = build_server(false);
+        let log = &data.logs[0];
+        let before = server.handle(log.user, log.query).expect("serve");
+        // A node id past the end of the graph must come back as a typed
+        // error for that batch alone...
+        let bogus = server.graph().num_nodes() as NodeId + 7;
+        let err = server
+            .handle_batch(&[(log.user, log.query), (bogus, log.query)])
+            .expect_err("out-of-range node must be rejected");
+        assert_eq!(
+            err,
+            crate::error::ServingError::NodeOutOfRange {
+                node: bogus,
+                num_nodes: server.graph().num_nodes()
+            }
+        );
+        assert!(server.handle(log.user, bogus).is_err());
+        assert!(server.warm_cache(&[bogus]).is_err());
+        // ...while subsequent well-formed batches serve identically.
+        let after = server.handle(log.user, log.query).expect("server must keep serving");
+        assert_eq!(before, after, "rejected request must not perturb server state");
+    }
+
+    #[test]
+    fn empty_item_pool_is_a_build_error() {
+        let data = TaobaoData::generate(TaobaoConfig::tiny(82));
+        let dd = data.graph.features().dense_dim();
+        let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(11, dd));
+        let frozen = crate::frozen::FrozenModel::from_model(&mut model, &data.graph);
+        let err = match OnlineServer::build(
+            Arc::new(data.graph),
+            frozen,
+            &[],
+            ServingConfig::default(),
+            82,
+        ) {
+            Ok(_) => panic!("empty pool must be rejected"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, crate::error::ServingError::InvalidConfig(_)));
     }
 
     #[test]
@@ -371,9 +460,9 @@ mod tests {
         let (data, server) = build_server(true);
         let requests: Vec<(NodeId, NodeId)> =
             data.logs.iter().take(5).map(|l| (l.user, l.query)).collect();
-        let batched = server.handle_batch(&requests);
+        let batched = server.handle_batch(&requests).expect("serve batch");
         for (i, &(u, q)) in requests.iter().enumerate() {
-            assert_eq!(batched[i], server.handle(u, q));
+            assert_eq!(batched[i], server.handle(u, q).expect("serve"));
         }
     }
 
@@ -385,9 +474,9 @@ mod tests {
         let (data, cold_server) = build_server(false);
         let (_, warm_server) = build_server(false);
         let log = &data.logs[0];
-        let cold = cold_server.handle(log.user, log.query);
-        warm_server.warm_cache(&[log.user, log.query]);
-        let warm = warm_server.handle(log.user, log.query);
+        let cold = cold_server.handle(log.user, log.query).expect("serve");
+        warm_server.warm_cache(&[log.user, log.query]).expect("warm");
+        let warm = warm_server.handle(log.user, log.query).expect("serve");
         assert_eq!(cold, warm, "warm-cache entries must match request-path entries");
     }
 
@@ -396,7 +485,7 @@ mod tests {
         let (data, server) = build_server(false);
         let requests: Vec<(NodeId, NodeId)> =
             data.logs.iter().take(6).map(|l| (l.user, l.query)).collect();
-        let baseline = server.handle_batch(&requests);
+        let baseline = server.handle_batch(&requests).expect("serve batch");
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 let s = server.clone();
@@ -404,7 +493,7 @@ mod tests {
                 let reqs = requests.clone();
                 scope.spawn(move || {
                     for _ in 0..10 {
-                        assert_eq!(s.handle_batch(&reqs), expected);
+                        assert_eq!(s.handle_batch(&reqs).expect("serve batch"), expected);
                     }
                 });
             }
@@ -415,7 +504,7 @@ mod tests {
     fn concurrent_requests_are_consistent() {
         let (data, server) = build_server(false);
         let log = data.logs[0].clone();
-        let baseline = server.handle(log.user, log.query);
+        let baseline = server.handle(log.user, log.query).expect("serve");
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 let s = server.clone();
@@ -423,7 +512,7 @@ mod tests {
                 let (u, q) = (log.user, log.query);
                 scope.spawn(move || {
                     for _ in 0..25 {
-                        assert_eq!(s.handle(u, q), expected);
+                        assert_eq!(s.handle(u, q).expect("serve"), expected);
                     }
                 });
             }
@@ -455,7 +544,7 @@ mod tests {
         // quality is measured in the benches after training).
         let (data, server) = build_server(false);
         let log = &data.logs[3];
-        let retrieved = server.handle(log.user, log.query);
+        let retrieved = server.handle(log.user, log.query).expect("serve");
         let qv = data.graph.dense_feature(log.query);
         let mean_sim = |items: &[NodeId]| {
             items

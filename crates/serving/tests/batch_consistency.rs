@@ -30,7 +30,8 @@ fn server_and_logs() -> &'static (OnlineServer, Vec<(NodeId, NodeId)>) {
             &items,
             ServingConfig { top_k: 20, ..Default::default() },
             57,
-        );
+        )
+        .expect("server build");
         (server, logs)
     })
 }
@@ -45,10 +46,10 @@ proptest! {
         let (server, logs) = server_and_logs();
         let reqs: Vec<(NodeId, NodeId)> =
             indices.iter().map(|&i| logs[i % logs.len()]).collect();
-        let batched = server.handle_batch(&reqs);
+        let batched = server.handle_batch(&reqs).expect("serve batch");
         prop_assert_eq!(batched.len(), reqs.len());
         for (i, &(user, query)) in reqs.iter().enumerate() {
-            let single = server.handle(user, query);
+            let single = server.handle(user, query).expect("serve");
             prop_assert_eq!(
                 &batched[i],
                 &single,
@@ -68,8 +69,8 @@ proptest! {
         let (server, logs) = server_and_logs();
         let reqs: Vec<(NodeId, NodeId)> =
             indices.iter().map(|&i| logs[i % logs.len()]).collect();
-        let first = server.handle_batch(&reqs);
-        let second = server.handle_batch(&reqs);
+        let first = server.handle_batch(&reqs).expect("serve batch");
+        let second = server.handle_batch(&reqs).expect("serve batch");
         prop_assert_eq!(first, second);
     }
 }

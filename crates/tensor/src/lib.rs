@@ -14,6 +14,13 @@
 //! - All randomness is driven by caller-provided RNGs so experiments are
 //!   reproducible from a printed seed.
 
+// Audited: this crate contains no unsafe and the "no unsafe" note above is
+// load-bearing for the serving hot path, so make the compiler keep it true.
+// `unsafe_op_in_unsafe_fn` is additionally denied workspace-wide (zoomer-lint
+// L002 requires a `// SAFETY:` comment should unsafe ever be introduced).
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::disallowed_methods))]
+
 pub mod matrix;
 pub mod metrics;
 pub mod numerics;

@@ -165,6 +165,7 @@ impl Matrix {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let out_row = &mut out.data[i * n..(i + 1) * n];
             for (k, &a) in a_row.iter().enumerate() {
+                // lint: allow(L005, exact zero skip is the sparsity fast path; any nonzero value, however tiny, must still be multiplied)
                 if a == 0.0 {
                     continue;
                 }

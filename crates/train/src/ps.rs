@@ -29,6 +29,11 @@ type PsRow = (Vec<f32>, Vec<f32>);
 type PsEmbeddings = HashMap<(String, u64), PsRow>;
 
 /// The parameter-server cluster.
+///
+/// Lock poisoning is recovered (`PoisonError::into_inner`) rather than
+/// propagated: a worker that panicked mid-push can at worst leave one
+/// half-applied gradient — noise on the next optimizer step — which is far
+/// cheaper than wedging every surviving trainer thread (zoomer-lint L003).
 pub struct PsCluster {
     shards: Vec<Mutex<(ParamStore, Adam)>>,
     /// Sparse embedding rows; optimizer state lives server-side, as in XDL.
@@ -70,7 +75,10 @@ impl PsCluster {
 
     /// Number of dense parameters on each shard (balance check).
     pub fn shard_param_counts(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.lock().expect("ps shard poisoned").0.len()).collect()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(std::sync::PoisonError::into_inner).0.len())
+            .collect()
     }
 
     /// Pushes received per shard.
@@ -81,7 +89,7 @@ impl PsCluster {
     /// Pull all dense parameters into a worker-local store.
     pub fn pull_dense_into(&self, store: &mut ParamStore) {
         for (i, shard) in self.shards.iter().enumerate() {
-            let guard = shard.lock().expect("ps shard poisoned");
+            let guard = shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             let _ = i;
             for (name, value) in guard.0.iter() {
                 store.set(name, value.clone());
@@ -101,7 +109,8 @@ impl PsCluster {
             if group.is_empty() {
                 continue;
             }
-            let mut guard = self.shards[i].lock().expect("ps shard poisoned");
+            let mut guard =
+                self.shards[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             let (store, adam) = &mut *guard;
             for (name, g) in group {
                 adam.step(store, name, g);
@@ -118,7 +127,7 @@ impl PsCluster {
         mut fallback_rows: impl FnMut(&str, u64) -> Vec<f32>,
         lr: f32,
     ) {
-        let mut emb = self.embeddings.lock().expect("ps embeddings poisoned");
+        let mut emb = self.embeddings.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         for (table, rows) in grads {
             for (&id, g) in rows {
                 let (row, accum) = emb.entry((table.clone(), id)).or_insert_with(|| {
@@ -137,13 +146,13 @@ impl PsCluster {
     /// Pull specific embedding rows back into a worker's tables.
     #[allow(clippy::type_complexity)]
     pub fn pull_rows(&self, keys: &[(String, u64)]) -> Vec<((String, u64), Option<Vec<f32>>)> {
-        let emb = self.embeddings.lock().expect("ps embeddings poisoned");
+        let emb = self.embeddings.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         keys.iter().map(|k| (k.clone(), emb.get(k).map(|(row, _)| row.clone()))).collect()
     }
 
     /// Total embedding rows stored server-side.
     pub fn num_embedding_rows(&self) -> usize {
-        self.embeddings.lock().expect("ps embeddings poisoned").len()
+        self.embeddings.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
     }
 }
 
@@ -247,7 +256,7 @@ pub fn train_distributed(
     let mut final_model = UnifiedCtrModel::new(model_config.clone());
     ps.pull_dense_into(final_model.store_mut());
     {
-        let emb = ps.embeddings.lock().expect("ps embeddings poisoned");
+        let emb = ps.embeddings.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         for ((table, id), (row, _)) in emb.iter() {
             final_model.tables_mut().get_or_create_named(table).set_row(*id, row.clone());
         }

@@ -47,17 +47,18 @@ fn main() {
         &items,
         ServingConfig { cache_k: 30, top_k: 100, ..Default::default() },
         seed,
-    );
+    )
+    .expect("serving build");
 
     // Warm caches for the nodes the requests will touch (the paper's
     // asynchronous cache updating, done up front here).
     let warm: Vec<u32> = requests.iter().flat_map(|&(u, q)| [u, q]).collect();
-    server.warm_cache(&warm);
+    server.warm_cache(&warm).expect("warm cache");
     println!("warmed {} cache entries (k = 30)", server.cache().len());
 
     println!("\n{:>8} {:>10} {:>10} {:>10} {:>10}", "QPS", "mean ms", "p50 ms", "p95 ms", "p99 ms");
     for qps in [100.0, 500.0, 1000.0, 2000.0, 5000.0] {
-        let stats = run_load_test(&server, &requests, qps, 4);
+        let stats = run_load_test(&server, &requests, qps, 4).expect("load run");
         println!(
             "{:>8.0} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
             qps, stats.mean_ms, stats.p50_ms, stats.p95_ms, stats.p99_ms

@@ -54,8 +54,8 @@ fn main() {
 
     println!("standing up the online server…");
     let data_snapshot = pipeline.data().logs[0].clone();
-    let server = pipeline.into_server();
-    let retrieved = server.handle(data_snapshot.user, data_snapshot.query);
+    let server = pipeline.into_server().expect("serving build");
+    let retrieved = server.handle(data_snapshot.user, data_snapshot.query).expect("serve");
     println!(
         "request (user {}, query {}) → {} items, first 5: {:?}",
         data_snapshot.user,

@@ -197,16 +197,18 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let graph =
         Arc::new(read_snapshot(write_snapshot(&data.graph)).map_err(|e| format!("snapshot: {e}"))?);
     let frozen = FrozenModel::from_model(&mut model, &graph);
-    let server = OnlineServer::build(graph, frozen, &items, ServingConfig::default(), seed);
+    let server = OnlineServer::build(graph, frozen, &items, ServingConfig::default(), seed)
+        .map_err(|e| format!("build server: {e}"))?;
     let reqs: Vec<(u32, u32)> =
         data.logs.iter().cycle().take(requests).map(|l| (l.user, l.query)).collect();
     let warm: Vec<u32> = reqs.iter().flat_map(|&(u, q)| [u, q]).collect();
-    server.warm_cache(&warm);
+    server.warm_cache(&warm).map_err(|e| format!("warm cache: {e}"))?;
     let stats = if batch > 1 {
         run_batched_load_test(&server, &reqs, qps, 4, batch)
     } else {
         run_load_test(&server, &reqs, qps, 4)
-    };
+    }
+    .map_err(|e| format!("load test: {e}"))?;
     println!(
         "{} requests at {:.0} QPS (batch {}): mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
         stats.completed,

@@ -33,8 +33,8 @@ fn full_pipeline_trains_and_serves() {
     assert!(eval.hit_rates[0].1 <= eval.hit_rates[1].1);
 
     let request = pipeline.data().logs[0].clone();
-    let server = pipeline.into_server();
-    let retrieved = server.handle(request.user, request.query);
+    let server = pipeline.into_server().expect("serving build");
+    let retrieved = server.handle(request.user, request.query).expect("serve");
     assert!(!retrieved.is_empty());
 }
 
@@ -54,9 +54,10 @@ fn graph_survives_snapshot_into_serving() {
     let frozen = FrozenModel::from_model(&mut model, &reloaded);
     let items = data.item_nodes();
     let server =
-        OnlineServer::build(Arc::new(reloaded), frozen, &items, ServingConfig::default(), 202);
+        OnlineServer::build(Arc::new(reloaded), frozen, &items, ServingConfig::default(), 202)
+            .expect("serving build");
     let log = &data.logs[0];
-    let result = server.handle(log.user, log.query);
+    let result = server.handle(log.user, log.query).expect("serve");
     assert!(!result.is_empty());
     for &item in &result {
         assert_eq!(data.graph.node_type(item), NodeType::Item);
@@ -68,9 +69,9 @@ fn retrieval_results_are_items_only_and_deterministic() {
     let mut pipeline = tiny_pipeline(203);
     let _ = pipeline.train();
     let log = pipeline.data().logs[5].clone();
-    let server = pipeline.into_server();
-    let a = server.handle(log.user, log.query);
-    let b = server.handle(log.user, log.query);
+    let server = pipeline.into_server().expect("serving build");
+    let a = server.handle(log.user, log.query).expect("serve");
+    let b = server.handle(log.user, log.query).expect("serve");
     assert_eq!(a, b, "same request must return the same ranking");
 }
 
