@@ -16,4 +16,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test (workspace) =="
 cargo test --workspace --offline -q
 
+echo "== kernel bench (smoke mode: every kernel executes, baseline file untouched) =="
+ZOOMER_BENCH_SCALE=smoke cargo bench --offline -q -p zoomer-bench --bench kernels
+
 echo "CI OK"

@@ -32,6 +32,14 @@ enum Op {
     Hadamard(Var, Var),
     /// `(n×d) + broadcast of (1×d)` row vector.
     AddRowBroadcast(Var, Var),
+    /// Fused dense layer `x·W + b` (bias broadcast down the rows): one
+    /// kernel pass and one tape node instead of a matmul node followed by
+    /// a broadcast-add node.
+    Linear {
+        x: Var,
+        w: Var,
+        b: Var,
+    },
     /// Multiply by a compile-time constant.
     Scale(Var, f32),
     /// `[a | b]` column-wise concatenation.
@@ -382,10 +390,15 @@ impl Tape {
         self.matmul(a, bt)
     }
 
-    /// Dense layer: `x·W + b` with `x: n×in`, `W: in×out`, `b: 1×out`.
+    /// Dense layer: `x·W + b` with `x: n×in`, `W: in×out`, `b: 1×out`,
+    /// running as one fused `matmul_bias` kernel call (the bias is added as
+    /// each output tile is stored — no second pass over the output, and no
+    /// intermediate `x·W` node on the tape).
     pub fn linear(&mut self, x: Var, w: Var, b: Var) -> Var {
-        let xw = self.matmul(x, w);
-        self.add_row_broadcast(xw, b)
+        let bv = self.value(b);
+        assert_eq!(bv.rows(), 1, "linear: bias must be a 1×d row vector");
+        let v = self.value(x).matmul_bias(self.value(w), bv.row(0));
+        self.push(v, Op::Linear { x, w, b })
     }
 
     /// Mean of several `1×d` vectors (mean pooling aggregation).
@@ -451,6 +464,21 @@ impl Tape {
                     }
                 }
                 Self::accum(grads, *row, rg);
+            }
+            Op::Linear { x, w, b } => {
+                // Same gradients as MatMul + AddRowBroadcast, one node:
+                // dX = g·Wᵀ ; dW = Xᵀ·g ; db = column-sum of g.
+                let dx = g.matmul(&self.value(*w).transpose());
+                let dw = self.value(*x).transpose().matmul(g);
+                let mut db = Matrix::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    for (o, &gx) in db.as_mut_slice().iter_mut().zip(g.row(r)) {
+                        *o += gx;
+                    }
+                }
+                Self::accum(grads, *x, dx);
+                Self::accum(grads, *w, dw);
+                Self::accum(grads, *b, db);
             }
             Op::Scale(a, c) => {
                 Self::accum(grads, *a, g.scale(*c));
@@ -659,6 +687,32 @@ mod tests {
 
     fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
         Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn fused_linear_matches_unfused_forward_and_backward() {
+        let xs = [0.3f32, -1.2, 2.0, 0.7, -0.4, 1.1];
+        let ws = [0.5f32, -0.25, 1.5, 0.75, -1.0, 2.0];
+        let bs = [0.1f32, -0.2];
+        // Fused Op::Linear.
+        let mut tf = Tape::new();
+        let (x, w, b) = (tf.leaf(m(2, 3, &xs)), tf.leaf(m(3, 2, &ws)), tf.leaf(m(1, 2, &bs)));
+        let y = tf.linear(x, w, b);
+        let loss = tf.sum_all(y);
+        let gf = tf.backward(loss);
+        // Unfused matmul + broadcast add.
+        let mut tu = Tape::new();
+        let (xu, wu, bu) = (tu.leaf(m(2, 3, &xs)), tu.leaf(m(3, 2, &ws)), tu.leaf(m(1, 2, &bs)));
+        let xw = tu.matmul(xu, wu);
+        let yu = tu.add_row_broadcast(xw, bu);
+        let lossu = tu.sum_all(yu);
+        let gu = tu.backward(lossu);
+        assert_eq!(tf.value(y), tu.value(yu), "fused forward diverges");
+        for ((a, b2), name) in
+            [(x, xu), (w, wu), (b, bu)].iter().zip(["x", "w", "b"].iter().cycle())
+        {
+            assert_eq!(gf.get(*a), gu.get(*b2), "fused gradient for {name} diverges");
+        }
     }
 
     #[test]

@@ -12,6 +12,14 @@
 //! each tower layer as one batched matmul. The single-request methods are
 //! thin wrappers over a batch of one, so serving, offline eval, and the
 //! benches all exercise the same code path.
+//!
+//! The heavy math here routes through `zoomer_tensor`'s blocked compute
+//! kernels without any code in this module knowing about them: tower layers
+//! hit the fused `matmul_bias` GEMM (`zoomer_tensor::kernel`), and
+//! edge-attention / focal scoring use the unrolled multi-accumulator `dot`.
+//! Those kernels are bit-identical to the naive reference, so frozen-model
+//! outputs are unchanged by the acceleration (see DESIGN.md, "Compute
+//! kernels").
 
 use rand_chacha::ChaCha8Rng;
 use zoomer_graph::{HeteroGraph, NodeId, NodeType};

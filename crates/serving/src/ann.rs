@@ -7,11 +7,16 @@
 //! a query probes the `nprobe` nearest lists and scores their members
 //! exactly by inner product.
 
-use zoomer_tensor::{seeded_rng, Matrix};
+use zoomer_tensor::{dot, dot4, kernel::hardware_threads, seeded_rng, Matrix};
 
 use rand::seq::SliceRandom;
+use rayon::prelude::*;
 
 use crate::error::ServingError;
+
+/// Minimum batch rows before query-chunk parallelism pays for thread
+/// dispatch: below this a batch scores sequentially even on many cores.
+pub const PAR_MIN_BATCH_QUERIES: usize = 32;
 
 /// One inverted list: entry ids plus their vectors flattened row-major into
 /// a single contiguous buffer (`vectors.len() == ids.len() * dim`), so a
@@ -106,17 +111,35 @@ impl IvfIndex {
 
     /// Multi-query approximate top-`k`: one query per row of `queries`.
     ///
-    /// Every coarse list is visited at most once per batch — all queries
-    /// probing it score its entries during that single pass — so a batch
-    /// touches each inverted list's memory once instead of once per query.
-    /// Each query's candidate stream (lists in ascending index order, entry
-    /// order within a list) is independent of the rest of the batch, so
-    /// results are identical to `search` on each row alone.
+    /// Large batches are split into contiguous query chunks scored on
+    /// rayon workers (each worker runs its own list-major pass, so no
+    /// shared mutable state); small batches stay on the calling thread.
+    /// Either way each query's candidate stream and per-score arithmetic
+    /// are identical, so results never depend on batch size or thread
+    /// count.
     pub fn search_batch(
         &self,
         queries: &Matrix,
         k: usize,
         nprobe: usize,
+    ) -> Result<Vec<Vec<(u64, f32)>>, ServingError> {
+        let chunks = if hardware_threads() > 1 && queries.rows() >= PAR_MIN_BATCH_QUERIES {
+            hardware_threads()
+        } else {
+            1
+        };
+        self.search_batch_chunked(queries, k, nprobe, chunks)
+    }
+
+    /// [`Self::search_batch`] with an explicit chunk count — the parallel
+    /// split, exposed so tests and benches can force multi-chunk execution
+    /// on any machine. Results are identical for every `chunks` value.
+    pub fn search_batch_chunked(
+        &self,
+        queries: &Matrix,
+        k: usize,
+        nprobe: usize,
+        chunks: usize,
     ) -> Result<Vec<Vec<(u64, f32)>>, ServingError> {
         if queries.rows() == 0 {
             return Ok(Vec::new());
@@ -127,10 +150,35 @@ impl IvfIndex {
                 got: queries.cols(),
             });
         }
+        let rows = queries.rows();
         let nprobe = nprobe.max(1).min(self.centroids.len());
+        let chunks = chunks.clamp(1, rows);
+        let scored = if chunks <= 1 {
+            self.score_rows(queries, 0, rows, nprobe)
+        } else {
+            let per = rows.div_ceil(chunks);
+            let ranges: Vec<usize> = (0..rows).step_by(per).collect();
+            let parts: Vec<Vec<Vec<(u64, f32)>>> = ranges
+                .into_par_iter()
+                .map(|start| self.score_rows(queries, start, (start + per).min(rows), nprobe))
+                .collect();
+            parts.into_iter().flatten().collect()
+        };
+        Ok(scored.into_iter().map(|s| top_k_desc(s, k)).collect())
+    }
+
+    /// Score query rows `start..end` against their `nprobe` nearest lists:
+    /// the list-major scoring pass, over one contiguous chunk of the batch.
+    fn score_rows(
+        &self,
+        queries: &Matrix,
+        start: usize,
+        end: usize,
+        nprobe: usize,
+    ) -> Vec<Vec<(u64, f32)>> {
         // Invert "query → nprobe nearest lists" into "list → probing queries".
         let mut probers: Vec<Vec<u32>> = vec![Vec::new(); self.centroids.len()];
-        for qi in 0..queries.rows() {
+        for qi in start..end {
             let q = queries.row(qi);
             let mut order: Vec<(usize, f32)> =
                 self.centroids.iter().enumerate().map(|(i, c)| (i, euclidean2(c, q))).collect();
@@ -142,14 +190,14 @@ impl IvfIndex {
                 probers[list].push(qi as u32);
             }
         }
-        // One shared pass over each probed list. Queries are scored in
-        // blocks of four so each loaded entry element feeds four independent
-        // accumulator chains — a single query's dot product is bound by the
-        // FMA latency chain; a batch supplies the independent work that
-        // fills the pipeline. Per-pair summation order is the plain
-        // sequential dot either way, so results are bit-identical to the
-        // unblocked loop.
-        let mut scored: Vec<Vec<(u64, f32)>> = vec![Vec::new(); queries.rows()];
+        // One shared pass over each probed list. Queries are scored four at
+        // a time through `dot4`, which feeds four independent accumulator
+        // chains per loaded entry element — a single query's dot product is
+        // bound by the FMA latency chain; a batch supplies the independent
+        // work that fills the pipeline. `dot4` applies `dot`'s exact lane
+        // scheme per query, so a score never depends on whether its query
+        // fell in a 4-block or the remainder.
+        let mut scored: Vec<Vec<(u64, f32)>> = vec![Vec::new(); end - start];
         for (list, qis) in probers.iter().enumerate() {
             if qis.is_empty() {
                 continue;
@@ -157,7 +205,7 @@ impl IvfIndex {
             let il = &self.lists[list];
             let d = self.dim;
             for &qi in qis {
-                scored[qi as usize].reserve(il.ids.len());
+                scored[qi as usize - start].reserve(il.ids.len());
             }
             let mut blocks = qis.chunks_exact(4);
             for b in &mut blocks {
@@ -167,31 +215,23 @@ impl IvfIndex {
                 let q3 = &queries.row(b[3] as usize)[..d];
                 for (ei, &id) in il.ids.iter().enumerate() {
                     let v = &il.vectors[ei * d..ei * d + d];
-                    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-                    for i in 0..d {
-                        let x = v[i];
-                        s0 += x * q0[i];
-                        s1 += x * q1[i];
-                        s2 += x * q2[i];
-                        s3 += x * q3[i];
-                    }
-                    scored[b[0] as usize].push((id, s0));
-                    scored[b[1] as usize].push((id, s1));
-                    scored[b[2] as usize].push((id, s2));
-                    scored[b[3] as usize].push((id, s3));
+                    let s = dot4(v, q0, q1, q2, q3);
+                    scored[b[0] as usize - start].push((id, s[0]));
+                    scored[b[1] as usize - start].push((id, s[1]));
+                    scored[b[2] as usize - start].push((id, s[2]));
+                    scored[b[3] as usize - start].push((id, s[3]));
                 }
             }
             for &qi in blocks.remainder() {
                 let q = queries.row(qi as usize);
-                let out = &mut scored[qi as usize];
+                let out = &mut scored[qi as usize - start];
                 for (ei, &id) in il.ids.iter().enumerate() {
                     let v = &il.vectors[ei * d..ei * d + d];
-                    let s: f32 = v.iter().zip(q).map(|(&a, &b)| a * b).sum();
-                    out.push((id, s));
+                    out.push((id, dot(v, q)));
                 }
             }
         }
-        Ok(scored.into_iter().map(|s| top_k_desc(s, k)).collect())
+        scored
     }
 
     /// Exact top-`k` (probes every list) — the recall baseline.
@@ -338,6 +378,23 @@ mod tests {
                 "batch result diverges from single"
             );
         }
+    }
+
+    #[test]
+    fn chunked_batch_matches_sequential_bitwise() {
+        // The parallel split must be invisible: any chunk count, same
+        // results (forced chunking so this holds even on one core).
+        let items = random_items(300, 8, 12);
+        let idx = IvfIndex::build(&items, 10, 4, 12);
+        let queries: Vec<Vec<f32>> = random_items(37, 8, 13).into_iter().map(|(_, v)| v).collect();
+        let rows: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+        let m = Matrix::from_rows(&rows);
+        let seq = idx.search_batch_chunked(&m, 10, 3, 1).expect("sequential");
+        for chunks in [2usize, 3, 5, 36, 37, 64] {
+            let par = idx.search_batch_chunked(&m, 10, 3, chunks).expect("chunked");
+            assert_eq!(seq, par, "chunks={chunks} diverges from sequential");
+        }
+        assert_eq!(seq, idx.search_batch(&m, 10, 3).expect("auto"), "auto dispatch diverges");
     }
 
     #[test]

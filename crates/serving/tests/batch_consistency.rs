@@ -8,9 +8,25 @@ use proptest::prelude::*;
 use zoomer_data::{TaobaoConfig, TaobaoData};
 use zoomer_graph::NodeId;
 use zoomer_model::{CtrModel, ModelConfig, UnifiedCtrModel};
-use zoomer_serving::{OnlineServer, ServingConfig};
+use zoomer_serving::{IvfIndex, OnlineServer, ServingConfig};
+use zoomer_tensor::{seeded_rng, Matrix};
+
+use rand::Rng;
 
 static SERVER: OnceLock<(OnlineServer, Vec<(NodeId, NodeId)>)> = OnceLock::new();
+
+static INDEX: OnceLock<IvfIndex> = OnceLock::new();
+
+/// A small IVF index shared across the parallel-search property cases.
+fn ivf_index() -> &'static IvfIndex {
+    INDEX.get_or_init(|| {
+        let mut rng = seeded_rng(91);
+        let items: Vec<(u64, Vec<f32>)> = (0..600u64)
+            .map(|id| (id, (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect()))
+            .collect();
+        IvfIndex::build(&items, 12, 4, 91)
+    })
+}
 
 /// One shared server (cache state is irrelevant by design — that is the
 /// property under test) plus the request universe drawn from the logs.
@@ -72,5 +88,37 @@ proptest! {
         let first = server.handle_batch(&reqs).expect("serve batch");
         let second = server.handle_batch(&reqs).expect("serve batch");
         prop_assert_eq!(first, second);
+    }
+
+    /// Kernel-PR property: splitting a query batch across any number of
+    /// parallel chunks — including chunk counts that leave a ragged final
+    /// chunk or exceed the row count — returns exactly the per-query
+    /// results, ids and scores bit-for-bit.
+    #[test]
+    fn search_batch_is_chunk_invariant(
+        n_queries in 1usize..48,
+        chunks in 2usize..64,
+        qseed in 0u64..1000,
+        k in 1usize..12,
+        nprobe in 1usize..6,
+    ) {
+        let index = ivf_index();
+        let mut rng = seeded_rng(qseed);
+        let queries = Matrix::from_vec(
+            n_queries,
+            index.dim(),
+            (0..n_queries * index.dim()).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let sequential = index.search_batch_chunked(&queries, k, nprobe, 1).expect("serial");
+        let chunked = index.search_batch_chunked(&queries, k, nprobe, chunks).expect("chunked");
+        prop_assert_eq!(&sequential, &chunked, "chunks={}", chunks);
+        for (row, expect) in sequential.iter().enumerate() {
+            let single = index.search(queries.row(row), k, nprobe).expect("single");
+            let expect_bits: Vec<(u64, u32)> =
+                expect.iter().map(|&(id, s)| (id, s.to_bits())).collect();
+            let single_bits: Vec<(u64, u32)> =
+                single.iter().map(|&(id, s)| (id, s.to_bits())).collect();
+            prop_assert_eq!(expect_bits, single_bits, "row {}", row);
+        }
     }
 }

@@ -1,0 +1,342 @@
+//! Blocked, parallel GEMM kernels for the dense f32 hot path.
+//!
+//! [`Matrix::matmul`](crate::Matrix::matmul) and
+//! [`Matrix::matmul_bias`](crate::Matrix::matmul_bias) dispatch here. Three
+//! layers, fastest applicable wins:
+//!
+//! 1. **Register-blocked micro-kernel** ([`gemm_serial`]): the output is
+//!    tiled into `MR × NR` blocks whose partial sums live entirely in
+//!    registers. For each tile the `k` loop runs once, broadcasting `MR`
+//!    values of `a` against an `NR`-wide row slice of `b` — an 8-wide inner
+//!    loop the compiler auto-vectorizes — so each output element is loaded
+//!    and stored exactly once instead of once per `k` step (the naive `ikj`
+//!    loop re-reads and re-writes the whole output row `k` times).
+//! 2. **Fused bias**: the optional `bias` row is added as the tile is
+//!    stored, replacing a second full pass over the output.
+//! 3. **Row parallelism** ([`gemm`]): large outputs are split into disjoint
+//!    horizontal bands, one per rayon worker. Threading changes *where* a
+//!    row is computed, never the order of its reduction.
+//!
+//! # Determinism: bit-identical to the naive reference
+//!
+//! Every output element is the same sum in the same order in every layer:
+//! `out[i][j] = Σ_k a[i][k]·b[k][j]` with `k` strictly ascending, then
+//! `+ bias[j]` last. Tiling only regroups *independent* elements (different
+//! `(i, j)` own different accumulators), and the parallel split assigns
+//! whole rows to threads, so no floating-point reduction is ever reordered
+//! or split. The one deliberate divergence from [`matmul_reference`] is the
+//! dropped `a == 0.0` sparsity skip: adding `±0.0 · b` to a finite
+//! accumulator is a bitwise no-op for finite `b` (a positive-zero
+//! accumulator stays positive zero under round-to-nearest), so for finite
+//! inputs — all this workspace produces; debug builds assert forward values
+//! are finite — the kernels are bit-identical, as the proptest equivalence
+//! suite verifies. No production call site feeds one-hot rows to `matmul`
+//! (embedding lookups are table reads, not one-hot products), so the skip
+//! survives only in the reference kernel below.
+
+/// Rows per register tile: `a` values broadcast per `k` step.
+pub const MR: usize = 4;
+/// Columns per register tile: width of the auto-vectorized inner loop.
+pub const NR: usize = 8;
+
+/// Minimum multiply-accumulate count (`m·k·n`) before the row-parallel path
+/// pays for thread spawn + output stitching. Training-step matmuls
+/// (`1×d · d×d`, d ≤ 256) sit orders of magnitude below this and stay
+/// single-threaded; only genuinely large serving batches cross it.
+pub const PAR_MIN_MACS: usize = 1 << 21;
+
+/// The seed's naive `ikj` kernel, kept verbatim as the semantic reference:
+/// the proptest equivalence suite pins the blocked and parallel kernels to
+/// its output bit-for-bit, and it retains the `a == 0.0` sparsity skip for
+/// callers that really do stream sparse rows. `out` must hold `m·n` zeros.
+pub fn matmul_reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            // lint: allow(L005, exact zero skip is the sparsity fast path; any nonzero value, however tiny, must still be multiplied)
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// One `R × NR` register tile at `(i0, j0)`: the full-`k` reduction for
+/// `R·NR` output elements, accumulated in registers, stored (plus bias)
+/// exactly once. `R` is a const generic so each tile height compiles to a
+/// fully unrolled kernel instead of a loop with a runtime trip count.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // a GEMM takes operands + full shape + tile origin
+fn tile<const R: usize>(
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    k: usize,
+    n: usize,
+    i0: usize,
+    j0: usize,
+    out: &mut [f32],
+) {
+    let mut acc = [[0.0f32; NR]; R];
+    // Row slices pinned to length `k` so the `[kk]` accesses below are
+    // provably in bounds and the loop vectorizes without checks.
+    let a_rows: [&[f32]; R] = std::array::from_fn(|r| &a[(i0 + r) * k..][..k]);
+    for kk in 0..k {
+        let b_row = &b[kk * n + j0..][..NR];
+        for r in 0..R {
+            let av = a_rows[r][kk];
+            let acc_r = &mut acc[r];
+            for j in 0..NR {
+                acc_r[j] += av * b_row[j];
+            }
+        }
+    }
+    for r in 0..R {
+        let out_row = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + NR];
+        match bias {
+            Some(bias) => {
+                let b_seg = &bias[j0..j0 + NR];
+                for j in 0..NR {
+                    out_row[j] = acc[r][j] + b_seg[j];
+                }
+            }
+            None => out_row.copy_from_slice(&acc[r]),
+        }
+    }
+}
+
+/// Column tail (`n % NR` rightmost columns) for one row: plain single
+/// accumulators, `k` ascending — the same per-element order as the tiles.
+#[inline]
+#[allow(clippy::too_many_arguments)] // a GEMM takes operands + full shape + tail origin
+fn tail_cols(
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    k: usize,
+    n: usize,
+    i: usize,
+    j0: usize,
+    out: &mut [f32],
+) {
+    for j in j0..n {
+        let mut acc = 0.0f32;
+        for kk in 0..k {
+            acc += a[i * k + kk] * b[kk * n + j];
+        }
+        if let Some(bias) = bias {
+            acc += bias[j];
+        }
+        out[i * n + j] = acc;
+    }
+}
+
+/// Single-threaded blocked GEMM with optionally fused bias:
+/// `out = a·b (+ bias per row)`, shapes `m×k · k×n`, all row-major.
+///
+/// Overwrites `out` completely (no zeroing needed). Bit-identical to
+/// [`matmul_reference`] followed by a bias pass, for finite inputs.
+pub fn gemm_serial(
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert!(bias.is_none_or(|bv| bv.len() == n));
+    let n_tiled = n - n % NR;
+    let mut i0 = 0;
+    while i0 < m {
+        let rows = (m - i0).min(MR);
+        let mut j0 = 0;
+        while j0 < n_tiled {
+            match rows {
+                1 => tile::<1>(a, b, bias, k, n, i0, j0, out),
+                2 => tile::<2>(a, b, bias, k, n, i0, j0, out),
+                3 => tile::<3>(a, b, bias, k, n, i0, j0, out),
+                _ => tile::<4>(a, b, bias, k, n, i0, j0, out),
+            }
+            j0 += NR;
+        }
+        if n_tiled < n {
+            for r in 0..rows {
+                tail_cols(a, b, bias, k, n, i0 + r, n_tiled, out);
+            }
+        }
+        i0 += rows;
+    }
+}
+
+/// Blocked GEMM over an explicit number of disjoint row bands — the
+/// parallel split, exposed so tests can force multi-band execution on any
+/// machine. Each band is a contiguous block of whole output rows computed
+/// by [`gemm_serial`], so per-row reductions are untouched.
+#[allow(clippy::too_many_arguments)] // a GEMM takes operands + full shape + band count
+pub fn gemm_banded(
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    bands: usize,
+) {
+    use rayon::prelude::*;
+    let bands = bands.clamp(1, m.max(1));
+    if bands <= 1 || n == 0 {
+        gemm_serial(a, b, bias, m, k, n, out);
+        return;
+    }
+    let rows_per = m.div_ceil(bands);
+    let tasks: Vec<(usize, &mut [f32])> = out.chunks_mut(rows_per * n).enumerate().collect();
+    tasks.into_par_iter().for_each(|(band, out_band)| {
+        let i0 = band * rows_per;
+        let rows = out_band.len() / n;
+        gemm_serial(&a[i0 * k..(i0 + rows) * k], b, bias, rows, k, n, out_band);
+    });
+}
+
+/// Hardware thread count, resolved once per process:
+/// `available_parallelism` is a syscall (~µs) — comparable to an entire
+/// small GEMM — far too expensive for a per-dispatch check.
+pub fn hardware_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+}
+
+/// Top-level GEMM dispatch: serial blocked kernel for small work, row-banded
+/// parallel execution once `m·k·n` crosses [`PAR_MIN_MACS`] and more than
+/// one hardware thread is available.
+pub fn gemm(
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    let threads = hardware_threads();
+    let macs = m.saturating_mul(k).saturating_mul(n);
+    if threads > 1 && macs >= PAR_MIN_MACS && m >= 2 {
+        gemm_banded(a, b, bias, m, k, n, out, threads.min(m));
+    } else {
+        gemm_serial(a, b, bias, m, k, n, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_with_bias(
+        a: &[f32],
+        b: &[f32],
+        bias: Option<&[f32]>,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        matmul_reference(a, b, m, k, n, &mut out);
+        if let Some(bias) = bias {
+            for row in out.chunks_exact_mut(n.max(1)) {
+                for (o, &bv) in row.iter_mut().zip(bias) {
+                    *o += bv;
+                }
+            }
+        }
+        out
+    }
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        // Deterministic values with zeros and negatives mixed in.
+        (0..len)
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+                match x % 7 {
+                    0 => 0.0,
+                    _ => ((x % 1000) as f32 - 500.0) / 250.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_matches_reference_across_shapes() {
+        for &(m, k, n) in &[
+            (0, 3, 4),
+            (1, 1, 1),
+            (1, 0, 5),
+            (3, 7, 1),
+            (4, 8, 8),
+            (5, 9, 11),
+            (13, 17, 19),
+            (16, 32, 16),
+        ] {
+            let a = fill(m * k, 1);
+            let b = fill(k * n, 2);
+            let bias = fill(n, 3);
+            for maybe_bias in [None, Some(bias.as_slice())] {
+                let expect = reference_with_bias(&a, &b, maybe_bias, m, k, n);
+                let mut got = vec![f32::NAN; m * n];
+                gemm_serial(&a, &b, maybe_bias, m, k, n, &mut got);
+                assert_eq!(
+                    expect.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "shape {m}x{k}x{n} bias={}",
+                    maybe_bias.is_some()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn banded_split_matches_reference() {
+        let (m, k, n) = (11, 6, 9);
+        let a = fill(m * k, 4);
+        let b = fill(k * n, 5);
+        let expect = reference_with_bias(&a, &b, None, m, k, n);
+        for bands in [1, 2, 3, 5, 11, 64] {
+            let mut got = vec![f32::NAN; m * n];
+            gemm_banded(&a, &b, None, m, k, n, &mut got, bands);
+            assert_eq!(
+                expect.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "bands={bands}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_n_and_zero_m_are_fine() {
+        let mut out: Vec<f32> = Vec::new();
+        gemm(&[], &[0.0; 12], None, 0, 4, 3, &mut out);
+        gemm(&[1.0, 2.0], &[], None, 2, 1, 0, &mut out);
+        gemm_banded(&[], &[], None, 0, 0, 0, &mut out, 4);
+    }
+
+    #[test]
+    fn k_zero_writes_bias_or_zero() {
+        let mut out = vec![f32::NAN; 6];
+        gemm_serial(&[], &[], None, 2, 0, 3, &mut out);
+        assert!(out.iter().all(|&x| x == 0.0));
+        let mut out = vec![f32::NAN; 6];
+        gemm_serial(&[], &[], Some(&[1.0, 2.0, 3.0]), 2, 0, 3, &mut out);
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+}

@@ -9,8 +9,10 @@
 //! Design notes
 //! - Everything is `f32` (matching production recommender practice); metric
 //!   accumulation happens in `f64` to avoid drift over large test sets.
-//! - No unsafe, no SIMD intrinsics: the matmul is a cache-friendly ikj loop
-//!   which is plenty for the embedding sizes used here (d ≤ 256).
+//! - No unsafe, no SIMD intrinsics: the matmul is a register-blocked,
+//!   optionally row-parallel kernel (see [`kernel`]) whose inner loops are
+//!   written for auto-vectorization, pinned bit-for-bit to the seed's naive
+//!   ikj reference by a proptest equivalence suite.
 //! - All randomness is driven by caller-provided RNGs so experiments are
 //!   reproducible from a printed seed.
 
@@ -21,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::disallowed_methods))]
 
+pub mod kernel;
 pub mod matrix;
 pub mod metrics;
 pub mod numerics;
@@ -31,4 +34,4 @@ pub use matrix::Matrix;
 pub use metrics::{auc, hit_rate_at_k, mae, mean_reciprocal_rank, ndcg_at_k, rmse};
 pub use numerics::{leaky_relu, log_sum_exp, relu, sigmoid, softmax_inplace, stable_softmax};
 pub use rng::{seeded_rng, xavier_matrix, xavier_vec};
-pub use similarity::{cosine_similarity, dot, l2_norm, tanimoto_similarity};
+pub use similarity::{cosine_similarity, dot, dot4, l2_norm, tanimoto_similarity};

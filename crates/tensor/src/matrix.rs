@@ -152,7 +152,10 @@ impl Matrix {
         Self::from_vec(rows.len(), cols, data)
     }
 
-    /// Matrix product `self · other` with a cache-friendly ikj loop.
+    /// Matrix product `self · other` via the blocked (and, for large
+    /// outputs, row-parallel) kernels in [`crate::kernel`]. Bit-identical to
+    /// [`Self::matmul_reference`] for finite inputs (see the kernel module's
+    /// determinism notes).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
@@ -160,31 +163,70 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        let n = other.cols;
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in a_row.iter().enumerate() {
-                // lint: allow(L005, exact zero skip is the sparsity fast path; any nonzero value, however tiny, must still be multiplied)
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernel::gemm(
+            &self.data,
+            &other.data,
+            None,
+            self.rows,
+            self.cols,
+            other.cols,
+            &mut out.data,
+        );
         out
     }
 
-    /// Linear layer over a batch of rows: `out[r] = self[r] · w + bias`.
+    /// The seed's naive `ikj` matmul with the `a == 0.0` sparsity skip:
+    /// the reference the blocked kernels are equivalence-tested against,
+    /// and the kernel of choice for genuinely sparse left operands.
+    pub fn matmul_reference(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        crate::kernel::matmul_reference(
+            &self.data,
+            &other.data,
+            self.rows,
+            self.cols,
+            other.cols,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Linear layer over a batch of rows: `out[r] = self[r] · w + bias`,
+    /// with the bias add fused into the kernel's store (one pass over the
+    /// output, not a matmul followed by a full bias sweep).
     ///
     /// This is the batched-forward building block: stacking requests as rows
     /// turns a per-request `1 × d` matmul into one `B × d` matmul per layer.
     pub fn matmul_bias(&self, w: &Matrix, bias: &[f32]) -> Matrix {
+        assert_eq!(
+            self.cols, w.rows,
+            "matmul_bias: {}x{} · {}x{}",
+            self.rows, self.cols, w.rows, w.cols
+        );
         assert_eq!(bias.len(), w.cols, "matmul_bias: bias width mismatch");
-        let mut out = self.matmul(w);
+        let mut out = Matrix::zeros(self.rows, w.cols);
+        crate::kernel::gemm(
+            &self.data,
+            &w.data,
+            Some(bias),
+            self.rows,
+            self.cols,
+            w.cols,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// The seed's two-pass `matmul` + bias sweep, kept as the reference the
+    /// fused [`Self::matmul_bias`] is equivalence-tested against.
+    pub fn matmul_bias_reference(&self, w: &Matrix, bias: &[f32]) -> Matrix {
+        assert_eq!(bias.len(), w.cols, "matmul_bias: bias width mismatch");
+        let mut out = self.matmul_reference(w);
         for r in 0..out.rows {
             for (o, &b) in out.row_mut(r).iter_mut().zip(bias) {
                 *o += b;

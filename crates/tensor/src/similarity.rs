@@ -1,8 +1,87 @@
 //! Similarity kernels, including the paper's focal-relevance kernel (eq. 5).
+//!
+//! [`dot`] is the one dot-product implementation in the workspace:
+//! `cosine_similarity`, `tanimoto_similarity`, the frozen model's edge
+//! attention, and the IVF scorer all route through it (or through [`dot4`],
+//! which applies the identical lane scheme to four queries at once, so a
+//! vector scored inside a 4-query block gets bit-for-bit the same value as
+//! one scored alone).
 
-/// Dot product of two equal-length slices.
+/// Accumulator lanes of the unrolled [`dot`]: element `i` feeds lane
+/// `i % DOT_LANES`, and the lanes collapse through a fixed pairwise tree.
+/// One scalar accumulator chains every `x·y + s` through a single register,
+/// serializing the loop on FMA latency; eight independent lanes let the
+/// compiler vectorize and keep the pipeline full.
+pub const DOT_LANES: usize = 8;
+
+#[inline]
+fn reduce_lanes(acc: [f32; DOT_LANES]) -> f32 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// Dot product of two equal-length slices, unrolled over [`DOT_LANES`]
+/// independent accumulators.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let mut acc = [0.0f32; DOT_LANES];
+    let mut ca = a.chunks_exact(DOT_LANES);
+    let mut cb = b.chunks_exact(DOT_LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for j in 0..DOT_LANES {
+            acc[j] += xa[j] * xb[j];
+        }
+    }
+    for (j, (&x, &y)) in ca.remainder().iter().zip(cb.remainder()).enumerate() {
+        acc[j] += x * y;
+    }
+    reduce_lanes(acc)
+}
+
+/// Four dot products of one shared vector `v` against four queries, with
+/// each of the four sums accumulated by exactly the [`dot`] lane scheme —
+/// `dot4(v, ..)[i]` is bit-identical to `dot(v, q_i)` — while `v` is loaded
+/// from memory once instead of four times. This is the IVF batch scorer's
+/// kernel: a single query's dot is bound by the add-latency chain; four
+/// independent chains per loaded element fill the pipeline.
+#[inline]
+pub fn dot4(v: &[f32], q0: &[f32], q1: &[f32], q2: &[f32], q3: &[f32]) -> [f32; 4] {
+    let d = v.len();
+    debug_assert!(
+        q0.len() == d && q1.len() == d && q2.len() == d && q3.len() == d,
+        "dot4: length mismatch"
+    );
+    let mut acc = [[0.0f32; DOT_LANES]; 4];
+    let mut i = 0;
+    while i + DOT_LANES <= d {
+        let xv = &v[i..i + DOT_LANES];
+        let (x0, x1) = (&q0[i..i + DOT_LANES], &q1[i..i + DOT_LANES]);
+        let (x2, x3) = (&q2[i..i + DOT_LANES], &q3[i..i + DOT_LANES]);
+        for j in 0..DOT_LANES {
+            let x = xv[j];
+            acc[0][j] += x * x0[j];
+            acc[1][j] += x * x1[j];
+            acc[2][j] += x * x2[j];
+            acc[3][j] += x * x3[j];
+        }
+        i += DOT_LANES;
+    }
+    for j in 0..(d - i) {
+        let x = v[i + j];
+        acc[0][j] += x * q0[i + j];
+        acc[1][j] += x * q1[i + j];
+        acc[2][j] += x * q2[i + j];
+        acc[3][j] += x * q3[i + j];
+    }
+    [reduce_lanes(acc[0]), reduce_lanes(acc[1]), reduce_lanes(acc[2]), reduce_lanes(acc[3])]
+}
+
+/// The seed's scalar sequential dot, kept as the oracle the unrolled
+/// [`dot`] is benchmarked against (the *values* may differ in the last ulp:
+/// re-associating a float sum is the one place this PR trades bit-equality
+/// for speed, and every consumer of `dot` tolerates it).
+#[inline]
+pub fn dot_reference(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
     a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
 }
@@ -77,6 +156,37 @@ mod tests {
     fn dot_and_norm_basics() {
         assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
         assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_matches_reference_closely_across_lengths() {
+        // Exact on lengths below one lane block (single-lane order matches
+        // the scalar loop), and within re-association tolerance above.
+        for d in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 64, 100] {
+            let a: Vec<f32> = (0..d).map(|i| ((i * 37 % 19) as f32 - 9.0) / 7.0).collect();
+            let b: Vec<f32> = (0..d).map(|i| ((i * 53 % 23) as f32 - 11.0) / 5.0).collect();
+            let got = dot(&a, &b);
+            let want = dot_reference(&a, &b);
+            assert!((got - want).abs() <= 1e-4 * (1.0 + want.abs()), "d={d}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn dot4_is_bitwise_dot_per_query() {
+        for d in [0usize, 1, 5, 8, 13, 16, 29, 64] {
+            let v: Vec<f32> = (0..d).map(|i| ((i * 31 % 17) as f32 - 8.0) / 3.0).collect();
+            let qs: Vec<Vec<f32>> = (0..4)
+                .map(|q| (0..d).map(|i| ((i * 41 + q * 7) % 13) as f32 - 6.0).collect())
+                .collect();
+            let got = dot4(&v, &qs[0], &qs[1], &qs[2], &qs[3]);
+            for (qi, q) in qs.iter().enumerate() {
+                assert_eq!(
+                    got[qi].to_bits(),
+                    dot(&v, q).to_bits(),
+                    "d={d} q={qi}: dot4 diverges from dot"
+                );
+            }
+        }
     }
 
     #[test]

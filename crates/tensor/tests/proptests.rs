@@ -1,14 +1,47 @@
 //! Property-based tests for the tensor crate's core invariants.
 
 use proptest::prelude::*;
-use zoomer_tensor::{auc, cosine_similarity, stable_softmax, tanimoto_similarity, Matrix};
+use zoomer_tensor::{
+    auc, cosine_similarity, dot, dot4, kernel, stable_softmax, tanimoto_similarity, Matrix,
+};
 
 fn small_f32() -> impl Strategy<Value = f32> {
     (-100.0f32..100.0).prop_map(|x| (x * 100.0).round() / 100.0)
 }
 
+/// Values for the kernel equivalence suite: finite, with real zero mass
+/// (both signs) so the reference kernel's sparsity skip actually fires.
+fn kernel_f32() -> impl Strategy<Value = f32> {
+    (-4.0f32..4.0).prop_map(|x| {
+        if (0.0..0.8).contains(&x) {
+            0.0
+        } else if (-0.8..0.0).contains(&x) {
+            -0.0
+        } else {
+            (x * 25.0).round() / 25.0
+        }
+    })
+}
+
 fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(small_f32(), len)
+}
+
+/// Operand pool for the GEMM proptests: dims are drawn in `0..20` (covering
+/// `rows = 0`, `cols = 1`, the `NR = 8` tile width, and every
+/// non-multiple-of-tile size in between), and matrices are carved out of a
+/// shared fixed-size value pool since the vendored proptest has no
+/// `prop_flat_map` for length-dependent vectors.
+const GEMM_DIM_MAX: usize = 20;
+const GEMM_POOL: usize = 2 * GEMM_DIM_MAX * GEMM_DIM_MAX + GEMM_DIM_MAX;
+
+fn gemm_operands(pool: &[f32], m: usize, k: usize, n: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let off = GEMM_DIM_MAX * GEMM_DIM_MAX;
+    (pool[..m * k].to_vec(), pool[off..off + k * n].to_vec(), pool[2 * off..2 * off + n].to_vec())
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|x| x.to_bits()).collect()
 }
 
 proptest! {
@@ -83,6 +116,66 @@ proptest! {
         let transformed: Vec<f32> = scores.iter().map(|&s| 2.5 * s - 0.75).collect();
         let t = auc(&transformed, &labels);
         prop_assert!((base - t).abs() < 1e-6, "{base} vs {t}");
+    }
+
+    /// Satellite (c): the blocked serial kernel is bit-identical to the
+    /// naive reference across random shapes, including degenerate ones
+    /// (`rows = 0`, `cols = 1`) and sizes that straddle the register tiles,
+    /// with and without a fused bias.
+    #[test]
+    fn blocked_gemm_bitwise_matches_reference(
+        m in 0usize..GEMM_DIM_MAX,
+        k in 0usize..GEMM_DIM_MAX,
+        n in 0usize..GEMM_DIM_MAX,
+        pool in prop::collection::vec(kernel_f32(), GEMM_POOL),
+    ) {
+        let (a, b, bias) = gemm_operands(&pool, m, k, n);
+        let am = Matrix::from_vec(m, k, a);
+        let bm = Matrix::from_vec(k, n, b);
+        prop_assert_eq!(bits(&am.matmul(&bm)), bits(&am.matmul_reference(&bm)));
+        prop_assert_eq!(
+            bits(&am.matmul_bias(&bm, &bias)),
+            bits(&am.matmul_bias_reference(&bm, &bias))
+        );
+    }
+
+    /// Satellite (c): forcing the parallel row-band split — any band count,
+    /// including more bands than rows — never changes a single bit relative
+    /// to the naive reference.
+    #[test]
+    fn banded_gemm_bitwise_matches_reference(
+        m in 0usize..GEMM_DIM_MAX,
+        k in 0usize..GEMM_DIM_MAX,
+        n in 0usize..GEMM_DIM_MAX,
+        bands in 2usize..9,
+        pool in prop::collection::vec(kernel_f32(), GEMM_POOL),
+    ) {
+        let (a, b, bias) = gemm_operands(&pool, m, k, n);
+        let mut expect = vec![0.0f32; m * n];
+        kernel::matmul_reference(&a, &b, m, k, n, &mut expect);
+        for (o, &bv) in expect.chunks_exact_mut(n.max(1)).flat_map(|r| r.iter_mut().zip(&bias)) {
+            *o += bv;
+        }
+        let mut got = vec![f32::NAN; m * n];
+        kernel::gemm_banded(&a, &b, Some(&bias), m, k, n, &mut got, bands);
+        let expect_bits: Vec<u32> = expect.iter().map(|x| x.to_bits()).collect();
+        let got_bits: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(expect_bits, got_bits);
+    }
+
+    /// Satellite (c): the 4-query blocked scorer applies the exact lane
+    /// scheme of the single-query `dot`, so block-scored and
+    /// remainder-scored queries in the IVF path are bit-identical.
+    #[test]
+    fn dot4_bitwise_matches_dot(
+        len in 0usize..40,
+        seed_vecs in prop::collection::vec(kernel_f32(), 200),
+    ) {
+        let take = |o: usize| -> Vec<f32> { seed_vecs[o..o + len].to_vec() };
+        let (v, q0, q1, q2, q3) = (take(0), take(40), take(80), take(120), take(160));
+        let got = dot4(&v, &q0, &q1, &q2, &q3);
+        let want = [dot(&v, &q0), dot(&v, &q1), dot(&v, &q2), dot(&v, &q3)];
+        prop_assert_eq!(got.map(f32::to_bits), want.map(f32::to_bits));
     }
 
     #[test]
