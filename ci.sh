@@ -19,4 +19,7 @@ cargo test --workspace --offline -q
 echo "== kernel bench (smoke mode: every kernel executes, baseline file untouched) =="
 ZOOMER_BENCH_SCALE=smoke cargo bench --offline -q -p zoomer-bench --bench kernels
 
+echo "== observability overhead bench (smoke mode: gating exercised, budget advisory) =="
+ZOOMER_BENCH_SCALE=smoke cargo bench --offline -q -p zoomer-bench --bench obs_overhead
+
 echo "CI OK"

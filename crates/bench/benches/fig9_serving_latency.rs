@@ -10,9 +10,8 @@ use std::sync::Arc;
 
 use zoomer_bench::{banner, million_dataset, write_json, BenchScale};
 use zoomer_core::model::{ModelConfig, UnifiedCtrModel};
-use zoomer_core::serving::{
-    run_closed_loop, run_load_test, FrozenModel, OnlineServer, ServingConfig,
-};
+use zoomer_core::obs::MetricsRegistry;
+use zoomer_core::serving::{run_load, FrozenModel, LoadTestSpec, OnlineServer, ServingConfig};
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -48,14 +47,14 @@ fn main() {
     let mut per_request_peak = 0.0f64;
     for disable_cache in [false, true] {
         let label = if disable_cache { "no cache (ablation)" } else { "cache k=30 (paper)" };
-        let server = OnlineServer::build(
-            Arc::clone(&graph),
-            FrozenModel::from_model(&mut model, &graph),
-            &items,
-            ServingConfig { cache_k: 30, top_k: 100, disable_cache, ..Default::default() },
-            seed,
-        )
-        .expect("server build");
+        let server = OnlineServer::builder()
+            .graph(Arc::clone(&graph))
+            .frozen(FrozenModel::from_model(&mut model, &graph))
+            .item_pool(&items)
+            .config(ServingConfig { cache_k: 30, top_k: 100, disable_cache, ..Default::default() })
+            .seed(seed)
+            .build()
+            .expect("server build");
         // Warm as the deployed system's asynchronous refresher would.
         let warm: Vec<u32> = request_pool.iter().flat_map(|&(u, q)| [u, q]).collect();
         server.warm_cache(&warm).expect("warm cache");
@@ -69,30 +68,32 @@ fn main() {
         for qps in [100.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0] {
             let n = ((qps * window_secs) as usize).clamp(50, 40_000);
             let requests: Vec<(u32, u32)> = request_pool.iter().cycle().take(n).copied().collect();
-            let stats = run_load_test(&server, &requests, qps, 4).expect("load run");
+            let report = run_load(&server, &requests, &LoadTestSpec::open(qps).num_threads(4))
+                .expect("load run");
+            let lat = &report.latency;
             println!(
                 "{:>8.0} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>12.0}",
                 qps,
-                stats.mean_ms,
-                stats.p50_ms,
-                stats.p95_ms,
-                stats.p99_ms,
-                stats.achieved_qps()
+                lat.mean_ms,
+                lat.p50_ms,
+                lat.p95_ms,
+                lat.p99_ms,
+                report.achieved_qps()
             );
             if base_mean.is_none() {
-                base_mean = Some(stats.mean_ms.max(1e-6));
+                base_mean = Some(lat.mean_ms.max(1e-6));
             }
-            peak_achieved = peak_achieved.max(stats.achieved_qps());
+            peak_achieved = peak_achieved.max(report.achieved_qps());
             json_rows.push(serde_json::json!({
-                "config": label, "qps": qps, "mean_ms": stats.mean_ms,
-                "p50_ms": stats.p50_ms, "p95_ms": stats.p95_ms, "p99_ms": stats.p99_ms,
-                "rt_vs_lowest_qps": stats.mean_ms / base_mean.unwrap(),
+                "config": label, "qps": qps, "mean_ms": lat.mean_ms,
+                "p50_ms": lat.p50_ms, "p95_ms": lat.p95_ms, "p99_ms": lat.p99_ms,
+                "rt_vs_lowest_qps": lat.mean_ms / base_mean.unwrap(),
             }));
         }
         println!(
             "cache entries: {}, hit rate: {:.1}%",
             server.cache().len(),
-            server.cache().hit_rate() * 100.0
+            server.cache().stats().hit_rate() * 100.0
         );
         if !disable_cache {
             per_request_peak = peak_achieved;
@@ -100,15 +101,19 @@ fn main() {
     }
     // Batched series: closed-loop peak throughput by batch size on the
     // default (cached) config. batch=1 is the per-request baseline running
-    // the same handle_batch code path.
-    let server = OnlineServer::build(
-        Arc::clone(&graph),
-        FrozenModel::from_model(&mut model, &graph),
-        &items,
-        ServingConfig::default(),
-        seed,
-    )
-    .expect("server build");
+    // the same handle_batch code path. This series carries an enabled
+    // metrics registry so the per-stage breakdown (cache resolve / embed /
+    // ANN probe / rank) prints alongside the throughput table.
+    let registry = Arc::new(MetricsRegistry::enabled());
+    let server = OnlineServer::builder()
+        .graph(Arc::clone(&graph))
+        .frozen(FrozenModel::from_model(&mut model, &graph))
+        .item_pool(&items)
+        .config(ServingConfig::default())
+        .seed(seed)
+        .metrics(Arc::clone(&registry))
+        .build()
+        .expect("server build");
     let warm: Vec<u32> = request_pool.iter().flat_map(|&(u, q)| [u, q]).collect();
     server.warm_cache(&warm).expect("warm cache");
     let n = ((2000.0 * window_secs) as usize).clamp(200, 40_000);
@@ -117,9 +122,11 @@ fn main() {
     println!("{:>8} {:>12} {:>12} {:>10}", "batch", "req/s", "mean ms", "speedup");
     let mut base_rps = None;
     let mut batch16_rps = 0.0f64;
+    let mut stage_rows = Vec::new();
     for batch in [1usize, 4, 16, 64] {
-        let stats = run_closed_loop(&server, &requests, 4, batch).expect("load run");
-        let rps = stats.requests_per_sec();
+        let spec = LoadTestSpec::closed().num_threads(4).batch_size(batch);
+        let report = run_load(&server, &requests, &spec).expect("load run");
+        let rps = report.achieved_qps();
         if base_rps.is_none() {
             base_rps = Some(rps.max(1e-9));
         }
@@ -127,12 +134,29 @@ fn main() {
             batch16_rps = batch16_rps.max(rps);
         }
         let speedup = rps / base_rps.unwrap();
-        println!("{:>8} {:>12.0} {:>12.3} {:>9.2}x", batch, rps, stats.mean_ms, speedup);
+        println!("{:>8} {:>12.0} {:>12.3} {:>9.2}x", batch, rps, report.latency.mean_ms, speedup);
         json_rows.push(serde_json::json!({
             "config": "batched closed-loop", "batch_size": batch,
-            "requests_per_sec": rps, "mean_ms": stats.mean_ms,
+            "requests_per_sec": rps, "mean_ms": report.latency.mean_ms,
             "speedup_vs_batch1": speedup,
         }));
+        if batch == 16 {
+            stage_rows = report.stages.clone();
+        }
+    }
+    if !stage_rows.is_empty() {
+        println!("\nper-stage latency at batch 16 (ms per handle_batch call):");
+        for stage in &stage_rows {
+            println!(
+                "  {:<14} p50 {:.4}  p95 {:.4}  p99 {:.4}  ({} samples)",
+                stage.stage, stage.p50_ms, stage.p95_ms, stage.p99_ms, stage.count
+            );
+            json_rows.push(serde_json::json!({
+                "config": "stage breakdown (batch 16)", "stage": stage.stage.clone(),
+                "p50_ms": stage.p50_ms, "p95_ms": stage.p95_ms, "p99_ms": stage.p99_ms,
+                "samples": stage.count,
+            }));
+        }
     }
     let vs_per_request = batch16_rps / per_request_peak.max(1e-9);
     println!(

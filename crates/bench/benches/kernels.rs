@@ -191,14 +191,14 @@ fn main() {
             .expect("snapshot roundtrip"),
     );
     let items_nodes = data.item_nodes();
-    let server = OnlineServer::build(
-        Arc::clone(&graph),
-        FrozenModel::from_model(&mut model, &graph),
-        &items_nodes,
-        ServingConfig::default(),
-        seed,
-    )
-    .expect("server build");
+    let server = OnlineServer::builder()
+        .graph(Arc::clone(&graph))
+        .frozen(FrozenModel::from_model(&mut model, &graph))
+        .item_pool(&items_nodes)
+        .config(ServingConfig::default())
+        .seed(seed)
+        .build()
+        .expect("server build");
     let pool: Vec<(u32, u32)> = data.logs.iter().map(|l| (l.user, l.query)).collect();
     let warm: Vec<u32> = pool.iter().flat_map(|&(u, q)| [u, q]).collect();
     server.warm_cache(&warm).expect("warm cache");

@@ -1,0 +1,231 @@
+//! Observability overhead guard — closed-loop `handle_batch` throughput with
+//! the metrics registry disabled vs enabled, judged against the tracked
+//! `BENCH_kernels.json` baseline.
+//!
+//! PR 4 acceptance: enabling per-stage recording (four `StageTimer` spans +
+//! a handful of relaxed atomics per batch) must cost <= 2% of batch-16
+//! closed-loop requests/sec. Two comparisons are printed:
+//!
+//! 1. enabled vs disabled, same binary, interleaved pairs — the direct A/B
+//!    that the 2% budget applies to;
+//! 2. enabled vs the `handle_batch` row of `BENCH_kernels.json`, measured
+//!    with the same hot-batch protocol that row was recorded with —
+//!    informational drift (absolute numbers are machine-load dependent).
+//!
+//! `ZOOMER_BENCH_ENFORCE=1` turns budget violations into a non-zero exit.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use zoomer_bench::{banner, write_json, BenchScale};
+use zoomer_core::model::{ModelConfig, UnifiedCtrModel};
+use zoomer_core::obs::MetricsRegistry;
+use zoomer_core::serving::{FrozenModel, OnlineServer, ServingConfig};
+use zoomer_data::{TaobaoConfig, TaobaoData};
+
+/// Allowed relative slowdown of the enabled-registry run.
+const BUDGET: f64 = 0.02;
+
+/// Requests/sec of one closed-loop pass over `requests`.
+fn closed_loop_pass(server: &OnlineServer, requests: &[(u32, u32)], batch: usize) -> f64 {
+    let t0 = Instant::now();
+    for chunk in requests.chunks(batch) {
+        std::hint::black_box(server.handle_batch(chunk).expect("handle_batch"));
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    requests.len() as f64 / secs
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
+}
+
+/// Median requests/sec timing one warm 16-request batch back-to-back — the
+/// same protocol `kernels.rs` used to record the `BENCH_kernels.json` row,
+/// so the two numbers compare directly.
+fn hot_batch_rps(
+    server: &OnlineServer,
+    batch_reqs: &[(u32, u32)],
+    iters: usize,
+    reps: usize,
+) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(server.handle_batch(batch_reqs).expect("handle_batch"));
+        }
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        samples.push((batch_reqs.len() * iters) as f64 / secs);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
+}
+
+/// batch-16 `requests_per_sec` from the tracked kernel baseline, if present.
+///
+/// The vendored `serde_json` stub only serializes, so this scans the known
+/// `kernels.rs`-written layout: inside the `"handle_batch"` array, the row
+/// with `"batch": 16` is followed by its `"requests_per_sec"` value.
+fn baseline_batch16_rps() -> Option<f64> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");
+    let text = std::fs::read_to_string(path).ok()?;
+    let section = &text[text.find("\"handle_batch\"")?..];
+    let row = &section[section.find("\"batch\": 16")?..];
+    let tail = &row[row.find("\"requests_per_sec\":")? + "\"requests_per_sec\":".len()..];
+    let num: String = tail
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == 'E')
+        .collect();
+    num.parse().ok()
+}
+
+fn build_server(
+    data: &TaobaoData,
+    seed: u64,
+    registry: Option<Arc<MetricsRegistry>>,
+) -> OnlineServer {
+    let dd = data.graph.features().dense_dim();
+    let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(seed, dd));
+    let graph = Arc::new(
+        zoomer_core::graph::read_snapshot(zoomer_core::graph::write_snapshot(&data.graph))
+            .expect("snapshot roundtrip"),
+    );
+    let items = data.item_nodes();
+    let frozen = FrozenModel::from_model(&mut model, &graph);
+    let mut builder = OnlineServer::builder()
+        .graph(graph)
+        .frozen(frozen)
+        .item_pool(&items)
+        .config(ServingConfig::default())
+        .seed(seed);
+    if let Some(registry) = registry {
+        builder = builder.metrics(registry);
+    }
+    builder.build().expect("server build")
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let smoke = scale == BenchScale::Smoke;
+    let seed = 2121;
+    banner(
+        "Observability overhead — handle_batch req/s, metrics off vs on",
+        "PR 4 acceptance: enabled registry costs <= 2% closed-loop throughput",
+        scale,
+        seed,
+    );
+
+    let data = TaobaoData::generate(if smoke {
+        TaobaoConfig::tiny(seed)
+    } else {
+        TaobaoConfig::default_with_seed(seed)
+    });
+    let pool: Vec<(u32, u32)> = data.logs.iter().map(|l| (l.user, l.query)).collect();
+    let n = if smoke { 512 } else { 8_192 };
+    let requests: Vec<(u32, u32)> = pool.iter().cycle().take(n).copied().collect();
+    let warm: Vec<u32> = requests.iter().flat_map(|&(u, q)| [u, q]).collect();
+    let reps = if smoke { 5 } else { 15 };
+    let batch = 16;
+
+    let disabled = build_server(&data, seed, None);
+    disabled.warm_cache(&warm).expect("warm cache");
+    let registry = Arc::new(MetricsRegistry::enabled());
+    let enabled = build_server(&data, seed, Some(Arc::clone(&registry)));
+    enabled.warm_cache(&warm).expect("warm cache");
+
+    // Paired, interleaved passes: each rep measures disabled then enabled
+    // back to back, and the budget is judged on the median per-pair ratio.
+    // Machine-load drift hits both sides of a pair, so it cancels — unlike
+    // an all-A-then-all-B protocol.
+    let _ = closed_loop_pass(&disabled, &requests, batch);
+    let _ = closed_loop_pass(&enabled, &requests, batch);
+    let mut off_samples = Vec::with_capacity(reps);
+    let mut on_samples = Vec::with_capacity(reps);
+    let mut pair_overheads = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let off = closed_loop_pass(&disabled, &requests, batch);
+        let on = closed_loop_pass(&enabled, &requests, batch);
+        pair_overheads.push((off - on) / off.max(1e-9));
+        off_samples.push(off);
+        on_samples.push(on);
+    }
+    let off_rps = median(off_samples);
+    let on_rps = median(on_samples);
+    let overhead = median(pair_overheads);
+    println!("\nbatch {batch} closed loop over {n} requests, {reps} interleaved pairs:");
+    println!("  metrics disabled : {off_rps:>12.0} req/s (median)");
+    println!("  metrics enabled  : {on_rps:>12.0} req/s (median)");
+    println!(
+        "  overhead         : {:>11.2}% (median per-pair; budget {:.0}%)",
+        overhead * 100.0,
+        BUDGET * 100.0
+    );
+
+    // Sanity: the enabled run actually recorded all four stages.
+    let snap = registry.snapshot();
+    for stage in [
+        "serve.stage.cache_resolve_ns",
+        "serve.stage.embed_ns",
+        "serve.stage.ann_probe_ns",
+        "serve.stage.rank_ns",
+    ] {
+        let count = snap.histogram(stage).map_or(0, |h| h.count);
+        assert!(count > 0, "{stage} recorded nothing — gating is broken");
+    }
+
+    // Baseline comparison on the kernels.rs protocol: one warm batch, timed
+    // back-to-back. This is the number BENCH_kernels.json records.
+    let hot: Vec<(u32, u32)> = pool.iter().cycle().take(batch).copied().collect();
+    let iters = if smoke { 32 } else { 256 };
+    let hot_on_rps = hot_batch_rps(&enabled, &hot, iters, reps);
+    println!("  hot-batch enabled: {hot_on_rps:>12.0} req/s (kernels.rs protocol)");
+    let baseline = baseline_batch16_rps();
+    let mut baseline_regression = None;
+    match baseline {
+        Some(base) => {
+            let vs_base = (base - hot_on_rps) / base.max(1e-9);
+            baseline_regression = Some(vs_base);
+            println!(
+                "  vs BENCH_kernels.json batch-16 baseline ({base:.0} req/s): {:+.2}%",
+                -vs_base * 100.0
+            );
+        }
+        None => println!("  (no BENCH_kernels.json baseline found — skipping drift check)"),
+    }
+
+    write_json(
+        "obs_overhead",
+        &serde_json::json!({
+            "scale": scale.name(),
+            "batch": batch,
+            "requests": n,
+            "disabled_rps": off_rps,
+            "enabled_rps": on_rps,
+            "overhead_fraction": overhead,
+            "budget_fraction": BUDGET,
+            "hot_batch_enabled_rps": hot_on_rps,
+            "baseline_batch16_rps": baseline.map_or(serde_json::Value::Null, Into::into),
+            "baseline_regression_fraction":
+                baseline_regression.map_or(serde_json::Value::Null, Into::into),
+        }),
+    );
+
+    let enforce = std::env::var("ZOOMER_BENCH_ENFORCE").is_ok_and(|v| v == "1");
+    if overhead > BUDGET {
+        println!(
+            "\nFAIL: metrics overhead {:.2}% exceeds {:.0}%",
+            overhead * 100.0,
+            BUDGET * 100.0
+        );
+        if enforce {
+            std::process::exit(1);
+        }
+        println!("(advisory: set ZOOMER_BENCH_ENFORCE=1 to make this a hard failure)");
+    } else {
+        println!("\nOK: metrics overhead within the {:.0}% budget", BUDGET * 100.0);
+    }
+}

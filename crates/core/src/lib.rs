@@ -28,6 +28,7 @@ pub use zoomer_autograd as autograd;
 pub use zoomer_data as data;
 pub use zoomer_graph as graph;
 pub use zoomer_model as model;
+pub use zoomer_obs as obs;
 pub use zoomer_sampler as sampler;
 pub use zoomer_serving as serving;
 pub use zoomer_tensor as tensor;

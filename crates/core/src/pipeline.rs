@@ -6,6 +6,7 @@ use zoomer_data::{
     split_examples, with_sampled_negatives, TaobaoConfig, TaobaoData, TrainTestSplit,
 };
 use zoomer_model::{CtrModel, ModelConfig, UnifiedCtrModel};
+use zoomer_obs::MetricsRegistry;
 use zoomer_serving::{OnlineServer, ServingConfig};
 use zoomer_train::{train, EvalReport, TrainReport, TrainerConfig};
 
@@ -24,6 +25,10 @@ pub struct PipelineConfig {
     pub trainer: TrainerConfig,
     pub serving: ServingConfig,
     pub seed: u64,
+    /// Observability registry shared by the train loop and the server built
+    /// by [`ZoomerPipeline::into_server`]. `None` (default) runs without
+    /// recording; pass an enabled registry to collect per-stage timings.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for PipelineConfig {
@@ -36,6 +41,7 @@ impl Default for PipelineConfig {
             trainer: TrainerConfig::default(),
             serving: ServingConfig::default(),
             seed: 0,
+            metrics: None,
         }
     }
 }
@@ -102,9 +108,14 @@ impl ZoomerPipeline {
         &mut self.model
     }
 
-    /// Train the model on the split.
+    /// Train the model on the split. The pipeline's metrics registry (if
+    /// any) is threaded into the trainer so epoch/step timings record.
     pub fn train(&mut self) -> TrainReport {
-        train(&mut self.model, &self.data.graph, &self.split, &self.config.trainer)
+        let mut trainer = self.config.trainer.clone();
+        if trainer.metrics.is_none() {
+            trainer.metrics = self.config.metrics.clone();
+        }
+        train(&mut self.model, &self.data.graph, &self.split, &trainer)
     }
 
     /// Full offline evaluation (AUC/MAE/RMSE + HitRate@K).
@@ -124,13 +135,16 @@ impl ZoomerPipeline {
     pub fn into_server(mut self) -> Result<OnlineServer, zoomer_serving::ServingError> {
         let frozen = self.model.freeze(&self.data.graph);
         let items = self.data.item_nodes();
-        OnlineServer::build(
-            Arc::new(self.data.graph),
-            frozen,
-            &items,
-            self.config.serving,
-            self.config.seed,
-        )
+        let mut builder = OnlineServer::builder()
+            .graph(Arc::new(self.data.graph))
+            .frozen(frozen)
+            .item_pool(&items)
+            .config(self.config.serving)
+            .seed(self.config.seed);
+        if let Some(registry) = self.config.metrics {
+            builder = builder.metrics(registry);
+        }
+        builder.build()
     }
 }
 

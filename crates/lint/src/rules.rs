@@ -10,8 +10,13 @@ use crate::engine::{FileContext, Violation};
 use crate::lexer::TokenKind;
 
 /// Crates whose `src/` trees form the request-serving hot path.
-const HOT_PATH: &[&str] =
-    &["crates/serving/src/", "crates/graph/src/", "crates/sampler/src/", "crates/tensor/src/"];
+const HOT_PATH: &[&str] = &[
+    "crates/serving/src/",
+    "crates/graph/src/",
+    "crates/sampler/src/",
+    "crates/tensor/src/",
+    "crates/obs/src/",
+];
 
 /// Crates where exact float equality is a numerics hazard.
 const KERNEL_MODEL: &[&str] = &["crates/tensor/src/", "crates/model/src/"];

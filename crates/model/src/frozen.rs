@@ -45,7 +45,10 @@ pub fn neutral_topk_neighbors(graph: &HeteroGraph, node: NodeId, k: usize) -> Ve
     FocalBiasedSampler::default().sample(graph, node, &ctx, k, &mut rng)
 }
 
-/// Frozen parameters + precomputed node embeddings.
+/// Frozen parameters + precomputed node embeddings. `Clone` is a deep copy
+/// (snapshots are plain buffers) so harnesses can build several servers from
+/// one trained model.
+#[derive(Clone)]
 pub struct FrozenModel {
     embed_dim: usize,
     /// Base (self) embedding per node id.

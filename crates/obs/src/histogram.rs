@@ -1,0 +1,272 @@
+//! Fixed-bucket log-linear histogram layout and percentile extraction.
+//!
+//! Values (nanoseconds as `u64`) map onto a fixed set of buckets: exact
+//! buckets below [`LINEAR_MAX`], then for each power-of-two range
+//! [2^e, 2^(e+1)) a split into [`SUBDIV`] equal sub-buckets. Bucket width is
+//! therefore at most `value / SUBDIV`, so a percentile reported as the bucket
+//! midpoint is within `1 / (2 · SUBDIV)` ≈ 1.6 % relative error of the exact
+//! sample — "exact" at the resolution the layout fixes, independent of how
+//! many samples were recorded. Recording is one relaxed `fetch_add` into a
+//! pre-sized array: no allocation, no lock, no rebucketing.
+
+/// Values below this are their own bucket (exact small-value resolution).
+pub const LINEAR_MAX: u64 = 32;
+
+/// Sub-buckets per power-of-two range.
+pub const SUBDIV: u64 = 32;
+
+/// log2(LINEAR_MAX): first exponent handled by the log-linear region.
+const FIRST_EXP: u32 = 5;
+
+/// Total bucket count: the linear region plus `SUBDIV` sub-buckets for each
+/// exponent in `FIRST_EXP..=63`.
+pub const BUCKETS: usize = LINEAR_MAX as usize + (64 - FIRST_EXP as usize) * SUBDIV as usize;
+
+/// Bucket index for a value. Total order: `v <= w` implies
+/// `bucket_index(v) <= bucket_index(w)`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    // v >= 32 so leading_zeros <= 58 and e >= FIRST_EXP.
+    let e = 63 - v.leading_zeros();
+    let sub = (v >> (e - FIRST_EXP)) & (SUBDIV - 1);
+    LINEAR_MAX as usize + (e - FIRST_EXP) as usize * SUBDIV as usize + sub as usize
+}
+
+/// Inclusive-exclusive `[lo, hi)` value range of a bucket. For the last
+/// bucket `hi` saturates at `u64::MAX`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < LINEAR_MAX as usize {
+        return (index as u64, index as u64 + 1);
+    }
+    let rel = index - LINEAR_MAX as usize;
+    let e = FIRST_EXP + (rel / SUBDIV as usize) as u32;
+    let sub = (rel % SUBDIV as usize) as u64;
+    let width = 1u64 << (e - FIRST_EXP); // 2^e / SUBDIV
+    let lo = (1u64 << e).wrapping_add(sub * width);
+    let hi = lo.saturating_add(width);
+    (lo, hi)
+}
+
+/// Representative value reported for a bucket: the midpoint of its range.
+pub fn bucket_mid(index: usize) -> u64 {
+    let (lo, hi) = bucket_bounds(index);
+    lo + (hi - lo) / 2
+}
+
+/// A point-in-time copy of one histogram: sparse bucket counts plus the
+/// scalar accumulators. Percentiles are extracted here, not at record time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// Sorted `(bucket index, count)` pairs; zero-count buckets omitted.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Value at percentile `p` in [0, 1]: the representative of the bucket
+    /// holding the sample of rank `ceil(p · count)` (nearest-rank
+    /// definition), clamped into the observed `[min, max]` range. The
+    /// extreme ranks are the tracked `min`/`max` themselves, so p0 and p100
+    /// are exact. 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == 1 {
+            return self.min;
+        }
+        if rank == self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_mid(idx as usize).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of the recorded values (exact: from the saturating sum).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// This snapshot minus an `earlier` one of the same histogram: the
+    /// samples recorded between the two. `min`/`max` cannot be un-recorded,
+    /// so the diff re-derives them from the surviving buckets' bounds (exact
+    /// to bucket resolution; percentile clamping keeps working).
+    pub fn since(&self, earlier: &Self) -> Self {
+        let mut buckets: Vec<(u32, u64)> = Vec::with_capacity(self.buckets.len());
+        let mut e = earlier.buckets.iter().peekable();
+        for &(idx, n) in &self.buckets {
+            let mut prev = 0u64;
+            while let Some(&&(eidx, en)) = e.peek() {
+                if eidx < idx {
+                    e.next();
+                } else {
+                    if eidx == idx {
+                        prev = en;
+                        e.next();
+                    }
+                    break;
+                }
+            }
+            let d = n.saturating_sub(prev);
+            if d > 0 {
+                buckets.push((idx, d));
+            }
+        }
+        let count: u64 = buckets.iter().map(|&(_, n)| n).sum();
+        let (min, max) = match (buckets.first(), buckets.last()) {
+            (Some(&(lo, _)), Some(&(hi, _))) => {
+                (bucket_bounds(lo as usize).0, bucket_bounds(hi as usize).1.saturating_sub(1))
+            }
+            _ => (0, 0),
+        };
+        Self {
+            name: self.name.clone(),
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            min,
+            max,
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        for v in 0..LINEAR_MAX {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v + 1));
+            assert_eq!(bucket_mid(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn buckets_are_ordered_and_cover_u64() {
+        let mut prev = 0usize;
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            for probe in [v, v + 1, v.saturating_mul(3) / 2, v.wrapping_add(v / 4)] {
+                let b = bucket_index(probe);
+                assert!(b < BUCKETS, "bucket {b} out of range for {probe}");
+                let (lo, hi) = bucket_bounds(b);
+                assert!(
+                    lo <= probe && (probe < hi || hi == u64::MAX),
+                    "{probe} not in [{lo},{hi})"
+                );
+            }
+            let b = bucket_index(v);
+            assert!(b >= prev, "ordering violated at 2^{shift}");
+            prev = b;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn monotone_in_value() {
+        let mut last = 0usize;
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            let b = bucket_index(v);
+            assert!(b >= last, "bucket_index not monotone at {v}");
+            last = b;
+            v = v * 3 / 2 + 1;
+        }
+    }
+
+    #[test]
+    fn relative_width_is_bounded() {
+        // Above the linear region every bucket is at most lo/SUBDIV wide.
+        for v in [100u64, 1_000, 50_000, 1_000_000, u64::MAX / 2] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(hi - lo <= lo / SUBDIV + 1, "bucket too wide at {v}: [{lo},{hi})");
+        }
+    }
+
+    fn snap(values: &[u64]) -> HistogramSnapshot {
+        let mut counts = std::collections::BTreeMap::new();
+        for &v in values {
+            *counts.entry(bucket_index(v) as u32).or_insert(0u64) += 1;
+        }
+        HistogramSnapshot {
+            name: "t".into(),
+            count: values.len() as u64,
+            sum: values.iter().sum(),
+            min: values.iter().copied().min().unwrap_or(0),
+            max: values.iter().copied().max().unwrap_or(0),
+            buckets: counts.into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn percentiles_of_small_exact_values() {
+        let s = snap(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(s.percentile(0.5), 5);
+        assert_eq!(s.percentile(1.0), 10);
+        assert_eq!(s.percentile(0.0), 1);
+        assert_eq!(s.p99(), 10);
+        assert!((s.mean() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = snap(&[]);
+        assert_eq!(s.percentile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn diff_recovers_later_samples() {
+        let early = snap(&[5, 5, 100]);
+        let late = snap(&[5, 5, 100, 7, 7, 7, 200_000]);
+        let d = late.since(&early);
+        assert_eq!(d.count, 4);
+        assert_eq!(d.sum, 7 * 3 + 200_000);
+        assert_eq!(d.percentile(0.5), 7);
+        // min/max are bucket-resolution approximations of {7, 200_000}.
+        assert_eq!(d.min, 7);
+        let (lo, hi) = bucket_bounds(bucket_index(200_000));
+        assert!(d.max >= lo && d.max < hi);
+    }
+
+    #[test]
+    fn diff_against_self_is_empty() {
+        let s = snap(&[1, 10, 100, 1000]);
+        let d = s.since(&s);
+        assert_eq!(d.count, 0);
+        assert!(d.buckets.is_empty());
+    }
+}

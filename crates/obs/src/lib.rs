@@ -1,0 +1,41 @@
+//! `zoomer-obs` — dependency-free observability for the serving/train stack.
+//!
+//! The paper's production deployment runs behind strict latency SLOs
+//! (§VII: P99 ≤ 23 ms at peak QPS); seeing *where* a request spends its
+//! time requires per-stage accounting that is cheap enough to leave compiled
+//! into the hot path. This crate provides exactly that and nothing else:
+//!
+//! - [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s, and fixed-bucket
+//!   latency [`Histogram`]s. Handles are registered once (a lock, at
+//!   construction time) and then recorded through relaxed atomics only — the
+//!   request path never takes a lock and never allocates.
+//! - [`StageTimer`] — a span that measures one pipeline stage into a
+//!   histogram. When the registry is disabled (the default) starting a timer
+//!   is a single relaxed load and no clock is read.
+//! - [`Snapshot`] — a point-in-time copy of every metric, renderable as
+//!   human-readable text ([`Snapshot::to_text`]) and line-JSON
+//!   ([`Snapshot::to_json_lines`], parsed back by
+//!   [`Snapshot::from_json_lines`]), and diffable ([`Snapshot::since`]) so a
+//!   load harness can report exactly the work done during its run.
+//! - [`CacheStats`] — the named hit/miss/refresh triple the neighbor cache
+//!   reports and the registry ingests ([`MetricsRegistry::ingest_cache`]).
+//!
+//! Counters and gauges are *not* gated on the enabled flag: they are single
+//! relaxed atomic operations, and consumers (e.g. cache hit-rate accounting)
+//! rely on them being always correct. The flag gates the operations with a
+//! real cost — reading the clock and recording histogram samples.
+//!
+//! This crate is hot-path-adjacent: zoomer-lint rules L001/L003 apply to it,
+//! and nothing in the non-test code can panic.
+
+#![cfg_attr(not(test), deny(clippy::disallowed_methods))]
+
+pub mod histogram;
+pub mod metrics;
+pub mod snapshot;
+pub mod timer;
+
+pub use histogram::{bucket_bounds, bucket_index, HistogramSnapshot, BUCKETS, LINEAR_MAX, SUBDIV};
+pub use metrics::{CacheStats, Counter, Gauge, Histogram, MetricsRegistry};
+pub use snapshot::Snapshot;
+pub use timer::StageTimer;

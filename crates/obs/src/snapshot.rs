@@ -1,0 +1,488 @@
+//! Point-in-time metric snapshots: text / line-JSON rendering and diffing.
+//!
+//! The JSON form is *line*-JSON — one self-contained object per line — so a
+//! snapshot can be appended to experiment logs and grepped without a JSON
+//! parser. [`Snapshot::from_json_lines`] parses the same format back (a
+//! hand-written mini-parser: this crate stays dependency-free).
+
+use std::fmt::Write as _;
+
+use crate::histogram::HistogramSnapshot;
+
+/// A point-in-time copy of every metric in a registry. Sorted by name
+/// within each kind (the registry iterates a `BTreeMap`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Error from [`Snapshot::from_json_lines`]: the 1-based line that failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotParseError {
+    pub line: usize,
+}
+
+impl std::fmt::Display for SnapshotParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed snapshot JSON at line {}", self.line)
+    }
+}
+
+impl std::error::Error for SnapshotParseError {}
+
+impl Snapshot {
+    /// Value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Value of gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// This snapshot minus an `earlier` one: counters and histograms become
+    /// the activity between the two (matched by name; metrics absent earlier
+    /// pass through unchanged), gauges keep their latest value.
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), v.saturating_sub(earlier.counter(n).unwrap_or(0))))
+            .collect();
+        let empty = HistogramSnapshot {
+            name: String::new(),
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: Vec::new(),
+        };
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| h.since(earlier.histogram(&h.name).unwrap_or(&empty)))
+            .collect();
+        Snapshot { counters, gauges: self.gauges.clone(), histograms }
+    }
+
+    /// Human-readable rendering: aligned counters/gauges, one percentile
+    /// line per histogram (latencies shown in microseconds).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let us = |ns: u64| ns as f64 / 1_000.0;
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<36} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<36} {v:.6}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms (us):");
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<36} count={:<8} mean={:<10.1} p50={:<10.1} p95={:<10.1} p99={:<10.1} max={:.1}",
+                    h.name,
+                    h.count,
+                    us(h.mean() as u64),
+                    us(h.p50()),
+                    us(h.p95()),
+                    us(h.p99()),
+                    us(h.max),
+                );
+            }
+        }
+        out
+    }
+
+    /// Line-JSON rendering: one object per metric, e.g.
+    /// `{"kind":"histogram","name":"serve.stage.rank_ns","count":3,...}`.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"counter\",\"name\":{},\"value\":{v}}}",
+                json_string(name)
+            );
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"gauge\",\"name\":{},\"value\":{}}}",
+                json_string(name),
+                json_f64(*v)
+            );
+        }
+        for h in &self.histograms {
+            let mut buckets = String::new();
+            for (i, &(idx, n)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    buckets.push(',');
+                }
+                let _ = write!(buckets, "[{idx},{n}]");
+            }
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{buckets}]}}",
+                json_string(&h.name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+            );
+        }
+        out
+    }
+
+    /// Parse the output of [`Snapshot::to_json_lines`] back into a snapshot.
+    /// Blank lines are skipped; any malformed line fails the whole parse.
+    pub fn from_json_lines(s: &str) -> Result<Snapshot, SnapshotParseError> {
+        let mut snap = Snapshot::default();
+        for (i, line) in s.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_line(line) {
+                Some(LineMetric::Counter(name, v)) => snap.counters.push((name, v)),
+                Some(LineMetric::Gauge(name, v)) => snap.gauges.push((name, v)),
+                Some(LineMetric::Histogram(h)) => snap.histograms.push(h),
+                None => return Err(SnapshotParseError { line: i + 1 }),
+            }
+        }
+        Ok(snap)
+    }
+}
+
+/// Quote a metric name as a JSON string (escapes `"` `\` and control bytes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an `f64` so it parses back to the identical bits (`{}` on f64 is
+/// shortest-round-trip), forcing a `.0` onto integral values so the token
+/// stays visibly a float. Non-finite values become `null` (JSON has no NaN).
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+enum LineMetric {
+    Counter(String, u64),
+    Gauge(String, f64),
+    Histogram(HistogramSnapshot),
+}
+
+/// Minimal single-line JSON object parser for the three shapes this module
+/// emits. Returns `None` on anything malformed.
+fn parse_line(line: &str) -> Option<LineMetric> {
+    let mut cur = Cursor { b: line.as_bytes(), i: 0 };
+    cur.eat(b'{')?;
+    let mut kind: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut value: Option<f64> = None;
+    let mut count: Option<u64> = None;
+    let mut sum: Option<u64> = None;
+    let mut min: Option<u64> = None;
+    let mut max: Option<u64> = None;
+    let mut buckets: Option<Vec<(u32, u64)>> = None;
+    loop {
+        let key = cur.string()?;
+        cur.eat(b':')?;
+        match key.as_str() {
+            "kind" => kind = Some(cur.string()?),
+            "name" => name = Some(cur.string()?),
+            "value" => value = Some(cur.number_or_null()?),
+            "count" => count = Some(cur.u64()?),
+            "sum" => sum = Some(cur.u64()?),
+            "min" => min = Some(cur.u64()?),
+            "max" => max = Some(cur.u64()?),
+            "buckets" => buckets = Some(cur.pairs()?),
+            _ => return None,
+        }
+        if cur.eat(b',').is_none() {
+            break;
+        }
+    }
+    cur.eat(b'}')?;
+    cur.end()?;
+    let name = name?;
+    match kind?.as_str() {
+        "counter" => {
+            let v = value?;
+            // Counters are u64; reject fractional or out-of-range payloads.
+            if v < 0.0 || v.fract() != 0.0 || v > u64::MAX as f64 {
+                return None;
+            }
+            Some(LineMetric::Counter(name, v as u64))
+        }
+        "gauge" => Some(LineMetric::Gauge(name, value?)),
+        "histogram" => Some(LineMetric::Histogram(HistogramSnapshot {
+            name,
+            count: count?,
+            sum: sum?,
+            min: min?,
+            max: max?,
+            buckets: buckets?,
+        })),
+        _ => None,
+    }
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Cursor<'_> {
+    fn skip_ws(&mut self) {
+        while self.b.get(self.i).is_some_and(|c| c.is_ascii_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    /// Consume one expected byte (after whitespace); `None` if absent.
+    fn eat(&mut self, c: u8) -> Option<()> {
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn end(&mut self) -> Option<()> {
+        self.skip_ws();
+        if self.i == self.b.len() {
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    /// Parse a quoted string with `\"`, `\\`, and `\uXXXX` escapes.
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match *self.b.get(self.i)? {
+                b'"' => {
+                    self.i += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match *self.b.get(self.i)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'u' => {
+                            let hex = self.b.get(self.i + 1..self.i + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.i += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.i += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the whole scalar value.
+                    let rest = std::str::from_utf8(&self.b[self.i..]).ok()?;
+                    let c = rest.chars().next()?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Slice out one numeric token (digits, sign, dot, exponent).
+    fn num_token(&mut self) -> Option<&str> {
+        self.skip_ws();
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            return None;
+        }
+        std::str::from_utf8(&self.b[start..self.i]).ok()
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.num_token()?.parse().ok()
+    }
+
+    /// An `f64`, or the literal `null` (non-finite placeholder) as NaN.
+    fn number_or_null(&mut self) -> Option<f64> {
+        self.skip_ws();
+        if self.b.get(self.i..self.i + 4) == Some(b"null") {
+            self.i += 4;
+            return Some(f64::NAN);
+        }
+        self.num_token()?.parse().ok()
+    }
+
+    /// `[[idx,count],...]` — the sparse histogram bucket list.
+    fn pairs(&mut self) -> Option<Vec<(u32, u64)>> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Some(out);
+        }
+        loop {
+            self.eat(b'[')?;
+            let idx: u64 = self.u64()?;
+            cur_check(idx <= u32::MAX as u64)?;
+            self.eat(b',')?;
+            let n = self.u64()?;
+            self.eat(b']')?;
+            out.push((idx as u32, n));
+            if self.eat(b',').is_none() {
+                break;
+            }
+        }
+        self.eat(b']')?;
+        Some(out)
+    }
+}
+
+fn cur_check(ok: bool) -> Option<()> {
+    if ok {
+        Some(())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample() -> Snapshot {
+        let r = MetricsRegistry::enabled();
+        r.counter("serve.requests").add(42);
+        r.counter("cache.hits").add(7);
+        r.gauge("train.epoch_loss").set(0.123_456_789);
+        let h = r.histogram("serve.stage.rank_ns");
+        for v in [50u64, 900, 1_000_000, 12, 12, 80_000] {
+            h.record(v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn text_mentions_every_metric() {
+        let s = sample();
+        let text = s.to_text();
+        for name in ["serve.requests", "cache.hits", "train.epoch_loss", "serve.stage.rank_ns"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        assert!(text.contains("p95="));
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let s = sample();
+        let parsed = Snapshot::from_json_lines(&s.to_json_lines()).expect("parses");
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let s = Snapshot::default();
+        assert_eq!(Snapshot::from_json_lines(&s.to_json_lines()).expect("parses"), s);
+        assert_eq!(s.to_text(), "");
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let err = Snapshot::from_json_lines(
+            "{\"kind\":\"counter\",\"name\":\"x\",\"value\":1}\nnot json\n",
+        )
+        .expect_err("must fail");
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn fractional_counter_is_rejected() {
+        assert!(Snapshot::from_json_lines("{\"kind\":\"counter\",\"name\":\"x\",\"value\":1.5}")
+            .is_err());
+    }
+
+    #[test]
+    fn non_finite_gauge_round_trips_as_nan() {
+        let s = Snapshot { gauges: vec![("g".to_string(), f64::INFINITY)], ..Snapshot::default() };
+        let parsed = Snapshot::from_json_lines(&s.to_json_lines()).expect("parses");
+        assert!(parsed.gauge("g").expect("present").is_nan());
+    }
+
+    #[test]
+    fn escaped_names_round_trip() {
+        let s =
+            Snapshot { counters: vec![("we\"ird\\name\tx".to_string(), 3)], ..Snapshot::default() };
+        let parsed = Snapshot::from_json_lines(&s.to_json_lines()).expect("parses");
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn since_diffs_counters_and_histograms() {
+        let r = MetricsRegistry::enabled();
+        let c = r.counter("n");
+        let h = r.histogram("lat");
+        c.add(5);
+        h.record(10);
+        let before = r.snapshot();
+        c.add(3);
+        h.record(20);
+        h.record(30);
+        let diff = r.snapshot().since(&before);
+        assert_eq!(diff.counter("n"), Some(3));
+        let hd = diff.histogram("lat").expect("present");
+        assert_eq!(hd.count, 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Stage timers: spans that measure one pipeline stage into a histogram.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// A started span over one pipeline stage. Created by [`StageTimer::start`];
+/// records elapsed nanoseconds into the histogram when stopped or dropped.
+///
+/// When the owning registry is disabled, `start` reads one relaxed atomic and
+/// never touches the clock — the span is inert and drop is free.
+#[must_use = "a StageTimer measures until stopped or dropped"]
+pub struct StageTimer {
+    hist: Histogram,
+    started: Option<Instant>,
+}
+
+impl StageTimer {
+    /// Begin timing into `hist`. Reads the clock only if recording is on.
+    #[inline]
+    pub fn start(hist: &Histogram) -> Self {
+        let started = if hist.is_enabled() { Some(Instant::now()) } else { None };
+        Self { hist: hist.clone(), started }
+    }
+
+    /// Stop the span, record it, and return the elapsed nanoseconds
+    /// (0 when the span was inert).
+    #[inline]
+    pub fn stop(mut self) -> u64 {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> u64 {
+        match self.started.take() {
+            Some(t0) => {
+                // u64 nanoseconds cover ~584 years; saturate rather than truncate.
+                let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.hist.record(ns);
+                ns
+            }
+            None => 0,
+        }
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn stop_records_once() {
+        let r = MetricsRegistry::enabled();
+        let h = r.histogram("stage");
+        let t = StageTimer::start(&h);
+        let ns = t.stop();
+        assert!(ns > 0, "a real span elapses time");
+        assert_eq!(h.count(), 1, "stop records exactly once (not again on drop)");
+    }
+
+    #[test]
+    fn drop_records_unstopped_span() {
+        let r = MetricsRegistry::enabled();
+        let h = r.histogram("stage");
+        {
+            let _t = StageTimer::start(&h);
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn disabled_registry_produces_inert_span() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("stage");
+        let t = StageTimer::start(&h);
+        assert_eq!(t.stop(), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn enabling_mid_span_does_not_record_partial_time() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("stage");
+        let t = StageTimer::start(&h); // inert: flag was off at start
+        r.set_enabled(true);
+        assert_eq!(t.stop(), 0);
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests pitting histogram percentile extraction against a
+//! sorted-vector oracle: for random samples, every reported percentile must
+//! land within one bucket width (≤ `value / SUBDIV + 1`) of the exact
+//! nearest-rank sample, and the extremes must be exact.
+
+use proptest::prelude::*;
+use zoomer_obs::{Histogram, MetricsRegistry, SUBDIV};
+
+/// Exact nearest-rank percentile over the raw samples.
+fn oracle(sorted: &[u64], p: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((p * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+fn recorded(values: &[u64]) -> zoomer_obs::HistogramSnapshot {
+    let r = MetricsRegistry::enabled();
+    let h = r.histogram("h");
+    for &v in values {
+        h.record(v);
+    }
+    let snap = r.snapshot();
+    snap.histogram("h").expect("registered above").clone()
+}
+
+/// |approx − exact| must stay within the bucket width at `exact`.
+fn assert_within_bucket(approx: u64, exact: u64, p: f64) {
+    let tol = exact / SUBDIV + 1;
+    let err = approx.abs_diff(exact);
+    assert!(err <= tol, "p{p}: approx {approx} vs exact {exact} (err {err} > tol {tol})");
+}
+
+proptest! {
+    #[test]
+    fn percentiles_match_sorted_oracle(
+        values in prop::collection::vec(0u64..2_000_000_000, 1..400),
+        p_mille in 0u64..=1000,
+    ) {
+        let snap = recorded(&values);
+        let mut sorted = values;
+        sorted.sort_unstable();
+        let p = p_mille as f64 / 1000.0;
+        assert_within_bucket(snap.percentile(p), oracle(&sorted, p), p);
+    }
+
+    #[test]
+    fn extremes_and_moments_are_exact(
+        values in prop::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let snap = recorded(&values);
+        let mut sorted = values;
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.count, sorted.len() as u64);
+        prop_assert_eq!(snap.sum, sorted.iter().sum::<u64>());
+        prop_assert_eq!(snap.min, sorted[0]);
+        prop_assert_eq!(snap.max, *sorted.last().expect("non-empty"));
+        // The extreme ranks are the tracked min/max: exact by construction.
+        prop_assert_eq!(snap.percentile(1.0), snap.max);
+        prop_assert_eq!(snap.percentile(0.0), snap.min);
+    }
+
+    #[test]
+    fn linear_region_is_lossless(
+        values in prop::collection::vec(0u64..32, 1..100),
+        p_mille in 0u64..=1000,
+    ) {
+        // Below LINEAR_MAX every value has its own bucket: percentiles exact.
+        let snap = recorded(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let p = p_mille as f64 / 1000.0;
+        prop_assert_eq!(snap.percentile(p), oracle(&sorted, p));
+    }
+
+    #[test]
+    fn diff_percentiles_track_later_samples(
+        early in prop::collection::vec(0u64..100_000, 0..100),
+        later in prop::collection::vec(0u64..100_000, 1..100),
+    ) {
+        let r = MetricsRegistry::enabled();
+        let h: Histogram = r.histogram("h");
+        for &v in &early {
+            h.record(v);
+        }
+        let before = r.snapshot();
+        for &v in &later {
+            h.record(v);
+        }
+        let diff = r.snapshot().since(&before);
+        let hd = diff.histogram("h").expect("registered above");
+        prop_assert_eq!(hd.count, later.len() as u64);
+        let mut sorted = later.clone();
+        sorted.sort_unstable();
+        for &(p, label) in &[(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+            let exact = oracle(&sorted, p);
+            let approx = hd.percentile(p);
+            let tol = exact / SUBDIV + 1;
+            prop_assert!(
+                approx.abs_diff(exact) <= tol,
+                "{} diverged: {} vs {}", label, approx, exact
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Snapshot serialization round-trips: randomized registries rendered to
+//! line-JSON must parse back identically, and the text rendering must carry
+//! every metric name.
+
+use proptest::prelude::*;
+use zoomer_obs::{MetricsRegistry, Snapshot};
+
+fn build_registry(
+    counters: &[(u8, u64)],
+    gauges: &[(u8, i64)],
+    hists: &[(u8, Vec<u64>)],
+) -> MetricsRegistry {
+    let r = MetricsRegistry::enabled();
+    for &(id, v) in counters {
+        r.counter(&format!("counter.{id}")).add(v);
+    }
+    for &(id, v) in gauges {
+        r.gauge(&format!("gauge.{id}")).set(v as f64 / 128.0);
+    }
+    for (id, values) in hists {
+        let h = r.histogram(&format!("hist.{id}"));
+        for &v in values {
+            h.record(v);
+        }
+    }
+    r
+}
+
+proptest! {
+    #[test]
+    fn json_round_trip_is_identity(
+        counters in prop::collection::vec((0u8..20, 0u64..1_000_000), 0..8),
+        gauges in prop::collection::vec((0u8..20, -1_000_000i64..1_000_000), 0..8),
+        hists in prop::collection::vec(
+            (0u8..20, prop::collection::vec(0u64..10_000_000_000, 0..50)),
+            0..4,
+        ),
+    ) {
+        let snap = build_registry(&counters, &gauges, &hists).snapshot();
+        let parsed = Snapshot::from_json_lines(&snap.to_json_lines()).expect("parses back");
+        prop_assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn text_rendering_names_every_metric(
+        counters in prop::collection::vec((0u8..20, 0u64..1_000), 1..6),
+        hists in prop::collection::vec(
+            (0u8..20, prop::collection::vec(0u64..1_000_000, 1..20)),
+            1..3,
+        ),
+    ) {
+        let snap = build_registry(&counters, &[], &hists).snapshot();
+        let text = snap.to_text();
+        for (name, _) in &snap.counters {
+            prop_assert!(text.contains(name.as_str()), "text missing {}", name);
+        }
+        for h in &snap.histograms {
+            prop_assert!(text.contains(h.name.as_str()), "text missing {}", h.name);
+        }
+    }
+
+    #[test]
+    fn parsed_percentiles_match_original(
+        values in prop::collection::vec(1u64..100_000_000, 1..200),
+    ) {
+        let r = MetricsRegistry::enabled();
+        let h = r.histogram("lat");
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let parsed = Snapshot::from_json_lines(&snap.to_json_lines()).expect("parses back");
+        let a = snap.histogram("lat").expect("present");
+        let b = parsed.histogram("lat").expect("present");
+        for p in [0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(a.percentile(p), b.percentile(p));
+        }
+        prop_assert!((a.mean() - b.mean()).abs() < 1e-9);
+    }
+}

@@ -7,6 +7,7 @@
 //! a query probes the `nprobe` nearest lists and scores their members
 //! exactly by inner product.
 
+use zoomer_obs::{Counter, MetricsRegistry};
 use zoomer_tensor::{dot, dot4, kernel::hardware_threads, seeded_rng, Matrix};
 
 use rand::seq::SliceRandom;
@@ -28,11 +29,22 @@ struct InvList {
     vectors: Vec<f32>,
 }
 
+/// Probe-volume counters reported by the index: how many (query, list)
+/// probes ran and how many candidate vectors were exactly scored. Tallied
+/// locally per scoring pass and published with one `fetch_add` each, so the
+/// accounting cost is independent of batch and list sizes.
+#[derive(Clone)]
+pub struct IvfMetrics {
+    pub lists_probed: Counter,
+    pub candidates_scored: Counter,
+}
+
 /// IVF-Flat index over inner-product similarity.
 pub struct IvfIndex {
     dim: usize,
     centroids: Vec<Vec<f32>>,
     lists: Vec<InvList>,
+    metrics: Option<IvfMetrics>,
 }
 
 impl IvfIndex {
@@ -77,7 +89,17 @@ impl IvfIndex {
             list.ids.push(*id);
             list.vectors.extend_from_slice(v);
         }
-        Self { dim, centroids, lists }
+        Self { dim, centroids, lists, metrics: None }
+    }
+
+    /// Report probe volume into `registry` as the `ann.lists_probed` /
+    /// `ann.candidates_scored` counters. Call once at build time (before the
+    /// index is shared); counters are always-on but amortized per pass.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(IvfMetrics {
+            lists_probed: registry.counter("ann.lists_probed"),
+            candidates_scored: registry.counter("ann.candidates_scored"),
+        });
     }
 
     pub fn dim(&self) -> usize {
@@ -230,6 +252,16 @@ impl IvfIndex {
                     out.push((id, dot(v, q)));
                 }
             }
+        }
+        if let Some(m) = &self.metrics {
+            let mut probes = 0u64;
+            let mut candidates = 0u64;
+            for (list, qis) in probers.iter().enumerate() {
+                probes += qis.len() as u64;
+                candidates += (qis.len() * self.lists[list].ids.len()) as u64;
+            }
+            m.lists_probed.add(probes);
+            m.candidates_scored.add(candidates);
         }
         scored
     }

@@ -14,6 +14,7 @@ use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crossbeam::channel::{unbounded, Sender};
 use zoomer_graph::NodeId;
+use zoomer_obs::CacheStats;
 
 /// Thread-safe neighbor cache: node → up-to-`k` cached neighbor ids.
 pub struct NeighborCache {
@@ -21,6 +22,7 @@ pub struct NeighborCache {
     map: RwLock<HashMap<NodeId, Arc<Vec<NodeId>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    refreshes: AtomicU64,
 }
 
 impl NeighborCache {
@@ -31,6 +33,7 @@ impl NeighborCache {
             map: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
         }
     }
 
@@ -114,10 +117,12 @@ impl NeighborCache {
             .collect()
     }
 
-    /// Replace a node's cached neighbors (refresh path).
+    /// Replace a node's cached neighbors (refresh path; counts toward
+    /// [`CacheStats::refreshes`]).
     pub fn put(&self, node: NodeId, mut neighbors: Vec<NodeId>) {
         neighbors.truncate(self.k);
         self.write_map().insert(node, Arc::new(neighbors));
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn len(&self) -> usize {
@@ -128,18 +133,14 @@ impl NeighborCache {
         self.len() == 0
     }
 
-    /// (hits, misses) counters.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
-    }
-
-    /// Hit rate in [0, 1]; 0 when never queried.
-    pub fn hit_rate(&self) -> f64 {
-        let (h, m) = self.stats();
-        if h + m == 0 {
-            0.0
-        } else {
-            h as f64 / (h + m) as f64
+    /// Point-in-time counters as a named [`CacheStats`] — the type the
+    /// metrics registry ingests (`MetricsRegistry::ingest_cache`). Hit rate
+    /// is derived there: `stats().hit_rate()`.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
         }
     }
 }
@@ -211,8 +212,9 @@ mod tests {
         let v = cache.get_or_compute(5, || vec![1, 2, 3]);
         assert_eq!(*v, vec![1, 2, 3]);
         assert_eq!(*cache.get(5).expect("now cached"), vec![1, 2, 3]);
-        let (h, m) = cache.stats();
-        assert_eq!((h, m), (1, 2)); // get miss + get_or_compute miss + get hit
+        let s = cache.stats();
+        // get miss + get_or_compute miss + get hit
+        assert_eq!((s.hits, s.misses), (1, 2));
     }
 
     #[test]
@@ -235,7 +237,8 @@ mod tests {
         assert!(found[1].is_none());
         assert_eq!(**found[2].as_ref().expect("hit"), vec![30]);
         assert!(found[3].is_none());
-        assert_eq!(cache.stats(), (2, 2));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 2));
     }
 
     #[test]
@@ -256,7 +259,8 @@ mod tests {
             let _ = cache.get(1);
         }
         let _ = cache.get(2); // miss
-        assert!((cache.hit_rate() - 8.0 / 9.0).abs() < 1e-9);
+        assert!((cache.stats().hit_rate() - 8.0 / 9.0).abs() < 1e-9);
+        assert_eq!(cache.stats().refreshes, 1, "put() is the refresh path");
     }
 
     #[test]

@@ -14,8 +14,13 @@
 //!   on the serving path (edge attention only).
 //! - [`server`] — the retrieval server: focal → cached neighbors → online
 //!   embedding → ANN lookup.
-//! - [`load`] — open- and closed-loop QPS/latency harnesses (Fig 9),
-//!   including batched request coalescing through `handle_batch`.
+//! - [`load`] — the unified open-/closed-loop QPS/latency harness (Fig 9):
+//!   one [`run_load`] entry point driven by a [`LoadTestSpec`], reporting
+//!   per-stage percentile breakdowns through the metrics registry.
+//! - Observability: servers are constructed with [`OnlineServer::builder`]
+//!   and optionally attach a `zoomer_obs::MetricsRegistry`; `handle_batch`
+//!   times each stage (cache resolve / embed / ANN probe / rank) into it,
+//!   and [`NeighborCache::stats`] reports named [`CacheStats`].
 //!
 //! Panic-freedom: this crate is the hot path. Request-path entry points
 //! return [`ServingError`] instead of panicking, enforced by the in-repo
@@ -32,12 +37,11 @@ pub mod inverted;
 pub mod load;
 pub mod server;
 
-pub use ann::IvfIndex;
-pub use cache::NeighborCache;
+pub use ann::{IvfIndex, IvfMetrics};
+pub use cache::{CacheRefresher, NeighborCache};
 pub use error::ServingError;
 pub use frozen::FrozenModel;
 pub use inverted::InvertedIndex;
-pub use load::{
-    run_batched_load_test, run_closed_loop, run_load_test, LatencyStats, ThroughputStats,
-};
-pub use server::{OnlineServer, ServingConfig};
+pub use load::{run_load, Arrival, LatencySummary, LoadReport, LoadTestSpec, StageSummary};
+pub use server::{OnlineServer, ServerBuilder, ServingConfig};
+pub use zoomer_obs::CacheStats;

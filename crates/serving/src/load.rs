@@ -1,82 +1,240 @@
-//! Load harnesses for the serving stack (Fig 9).
+//! Load harness for the serving stack (Fig 9).
 //!
-//! Two shapes:
+//! One entry point, [`run_load`], driven by a [`LoadTestSpec`]:
 //!
-//! * **Open loop** ([`run_load_test`], [`run_batched_load_test`]): requests
-//!   arrive on a fixed schedule, so queueing delay shows up in the measured
-//!   response time exactly as it would for real traffic; a fixed pool of
-//!   server threads drains the queue. Reported latency is end-to-end:
-//!   enqueue → response. The batched variant lets each worker drain up to
-//!   `batch_size` queued requests into one `handle_batch` call — the
-//!   arrival-coalescing a production front-end performs under load.
-//! * **Closed loop** ([`run_closed_loop`]): every thread issues its next
+//! * **Open loop** ([`Arrival::Open`]): requests arrive on a fixed schedule
+//!   at `qps`, so queueing delay shows up in the measured response time
+//!   exactly as it would for real traffic; a fixed pool of server threads
+//!   drains the queue, each coalescing up to `batch_size` queued requests
+//!   into one `handle_batch` call (the arrival-coalescing a production
+//!   front-end performs under load). Reported latency is end-to-end:
+//!   enqueue → batch completion, so coalescing that delays an early arrival
+//!   is charged against it. `batch_size == 1` is the classic per-request
+//!   open-loop test.
+//! * **Closed loop** ([`Arrival::Closed`]): every thread issues its next
 //!   batch as soon as the previous one returns, measuring peak sustainable
 //!   throughput at a given batch size (the Fig 9 batched series).
+//!
+//! Every run returns a [`LoadReport`]: end-to-end latency percentiles plus
+//! the per-stage (cache resolve / embed / ANN probe / rank) percentile
+//! breakdown and cache hit accounting, extracted from the server's metrics
+//! registry by diffing snapshots around the run — the report covers exactly
+//! the work this run performed, even on a shared registry. Stage breakdowns
+//! need a registry that is enabled ([`zoomer_obs::MetricsRegistry::enabled`],
+//! attached via `ServerBuilder::metrics`); with the default disabled
+//! registry `stages` is present but empty of samples.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::bounded;
 use zoomer_graph::NodeId;
+use zoomer_obs::CacheStats;
 
 use crate::error::ServingError;
 use crate::server::OnlineServer;
 
-/// Latency summary over one load run.
-#[derive(Clone, Debug)]
-pub struct LatencyStats {
-    pub offered_qps: f64,
-    pub completed: usize,
+/// How requests are offered to the server.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Arrival {
+    /// Open loop: a fixed arrival schedule at this rate (requests/sec).
+    Open { qps: f64 },
+    /// Closed loop: back-to-back batches, no think time.
+    Closed,
+}
+
+/// Configuration for one [`run_load`] run. Construct with
+/// [`LoadTestSpec::open`] or [`LoadTestSpec::closed`] and chain the setters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadTestSpec {
+    pub arrival: Arrival,
+    /// Server worker threads draining the load.
+    pub num_threads: usize,
+    /// Requests coalesced into one `handle_batch` call.
+    pub batch_size: usize,
+}
+
+impl LoadTestSpec {
+    /// Open-loop spec at `qps`, one thread, per-request batches.
+    pub fn open(qps: f64) -> Self {
+        Self { arrival: Arrival::Open { qps }, num_threads: 1, batch_size: 1 }
+    }
+
+    /// Closed-loop spec, one thread, per-request batches.
+    pub fn closed() -> Self {
+        Self { arrival: Arrival::Closed, num_threads: 1, batch_size: 1 }
+    }
+
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    fn validate(&self, requests: &[(NodeId, NodeId)]) -> Result<(), ServingError> {
+        if let Arrival::Open { qps } = self.arrival {
+            if !qps.is_finite() || qps <= 0.0 {
+                return Err(ServingError::InvalidConfig("qps must be positive and finite"));
+            }
+        }
+        if self.num_threads == 0 {
+            return Err(ServingError::InvalidConfig("need at least one server thread"));
+        }
+        if self.batch_size == 0 {
+            return Err(ServingError::InvalidConfig("need a positive batch size"));
+        }
+        if requests.is_empty() {
+            return Err(ServingError::InvalidConfig("need at least one request"));
+        }
+        Ok(())
+    }
+}
+
+/// Latency percentile summary (milliseconds).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
     pub mean_ms: f64,
     pub p50_ms: f64,
     pub p95_ms: f64,
     pub p99_ms: f64,
     pub max_ms: f64,
-    /// Wall-clock duration of the run.
-    pub elapsed: Duration,
 }
 
-impl LatencyStats {
-    fn from_latencies(offered_qps: f64, mut lat_ms: Vec<f64>, elapsed: Duration) -> Self {
+impl LatencySummary {
+    fn from_latencies(mut lat_ms: Vec<f64>) -> Self {
         lat_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let n = lat_ms.len();
-        let pct = |p: f64| -> f64 {
-            if n == 0 {
-                return 0.0;
-            }
-            lat_ms[((n as f64 - 1.0) * p).round() as usize]
-        };
+        if n == 0 {
+            return Self::default();
+        }
+        let pct = |p: f64| -> f64 { lat_ms[((n as f64 - 1.0) * p).round() as usize] };
         Self {
-            offered_qps,
-            completed: n,
-            mean_ms: if n == 0 { 0.0 } else { lat_ms.iter().sum::<f64>() / n as f64 },
+            mean_ms: lat_ms.iter().sum::<f64>() / n as f64,
             p50_ms: pct(0.50),
             p95_ms: pct(0.95),
             p99_ms: pct(0.99),
-            max_ms: lat_ms.last().copied().unwrap_or(0.0),
-            elapsed,
+            max_ms: lat_ms[n - 1],
         }
     }
+}
 
-    /// Achieved throughput.
+/// One request-path stage's latency over a run, from the metrics registry.
+#[derive(Clone, Debug)]
+pub struct StageSummary {
+    /// Short stage name: `cache_resolve`, `embed`, `ann_probe`, `rank`.
+    pub stage: String,
+    /// `handle_batch` calls that recorded this stage during the run.
+    pub count: u64,
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+}
+
+/// The report every load shape returns: end-to-end latency, throughput, and
+/// the per-stage/cache accounting for exactly this run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    pub spec: LoadTestSpec,
+    /// Requests completed (each charged its whole batch's service time).
+    pub completed: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// End-to-end latency as measured by the harness.
+    pub latency: LatencySummary,
+    /// Per-stage breakdown from the server's metrics registry (empty
+    /// samples unless the registry is enabled).
+    pub stages: Vec<StageSummary>,
+    /// Cache activity during the run.
+    pub cache: CacheStats,
+}
+
+impl LoadReport {
+    /// Achieved throughput over the run.
     pub fn achieved_qps(&self) -> f64 {
         if self.elapsed.as_secs_f64() == 0.0 {
             return 0.0;
         }
         self.completed as f64 / self.elapsed.as_secs_f64()
     }
+
+    /// The offered rate, for open-loop runs.
+    pub fn offered_qps(&self) -> Option<f64> {
+        match self.spec.arrival {
+            Arrival::Open { qps } => Some(qps),
+            Arrival::Closed => None,
+        }
+    }
+
+    /// The summary for one stage (`cache_resolve`, `embed`, `ann_probe`,
+    /// `rank`), if the run recorded it.
+    pub fn stage(&self, name: &str) -> Option<&StageSummary> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
 }
 
-/// Run an open-loop load test: `requests` (user, query) pairs offered at
-/// `qps`, served by `num_threads` worker threads.
-pub fn run_load_test(
+/// Run one load test described by `spec` and report end-to-end latency plus
+/// the per-stage percentile breakdown for exactly this run.
+pub fn run_load(
+    server: &OnlineServer,
+    requests: &[(NodeId, NodeId)],
+    spec: &LoadTestSpec,
+) -> Result<LoadReport, ServingError> {
+    spec.validate(requests)?;
+    let cache_before = server.cache().stats();
+    let metrics_before = server.metrics_snapshot();
+    let start = Instant::now();
+    let lat_ms = match spec.arrival {
+        Arrival::Open { qps } => run_open_loop(server, requests, qps, spec),
+        Arrival::Closed => run_closed_loop_inner(server, requests, spec)?,
+    };
+    let elapsed = start.elapsed();
+    let stage_diff = server.metrics_snapshot().since(&metrics_before);
+    Ok(LoadReport {
+        spec: *spec,
+        completed: lat_ms.len(),
+        elapsed,
+        latency: LatencySummary::from_latencies(lat_ms),
+        stages: extract_stages(&stage_diff),
+        cache: server.cache().stats().since(&cache_before),
+    })
+}
+
+/// Pull the `serve.stage.*_ns` histograms out of a snapshot diff as
+/// millisecond stage summaries, in snapshot (name) order.
+fn extract_stages(diff: &zoomer_obs::Snapshot) -> Vec<StageSummary> {
+    const PREFIX: &str = "serve.stage.";
+    const SUFFIX: &str = "_ns";
+    let ms = |ns: f64| ns / 1e6;
+    diff.histograms
+        .iter()
+        .filter_map(|h| {
+            let stage = h.name.strip_prefix(PREFIX)?.strip_suffix(SUFFIX)?;
+            Some(StageSummary {
+                stage: stage.to_string(),
+                count: h.count,
+                mean_ms: ms(h.mean()),
+                p50_ms: ms(h.p50() as f64),
+                p95_ms: ms(h.p95() as f64),
+                p99_ms: ms(h.p99() as f64),
+            })
+        })
+        .collect()
+}
+
+/// Open-loop driver: a fixed arrival schedule feeds a bounded queue;
+/// `num_threads` workers drain it, coalescing up to `batch_size` queued
+/// requests into one `handle_batch` call.
+fn run_open_loop(
     server: &OnlineServer,
     requests: &[(NodeId, NodeId)],
     qps: f64,
-    num_threads: usize,
-) -> Result<LatencyStats, ServingError> {
-    validate_load_params(requests, qps, num_threads, 1)?;
-
+    spec: &LoadTestSpec,
+) -> Vec<f64> {
     let interval = Duration::from_secs_f64(1.0 / qps);
     let (tx, rx) = bounded::<(NodeId, NodeId, Instant)>(requests.len());
     let latencies: Arc<parking_lot::Mutex<Vec<f64>>> =
@@ -84,18 +242,38 @@ pub fn run_load_test(
 
     let start = Instant::now();
     std::thread::scope(|scope| {
-        // Server threads.
-        for _ in 0..num_threads {
+        for _ in 0..spec.num_threads {
             let rx = rx.clone();
             let server = server.clone();
             let latencies = Arc::clone(&latencies);
             scope.spawn(move || {
-                for (user, query, enqueued) in rx {
+                let mut batch: Vec<(NodeId, NodeId)> = Vec::with_capacity(spec.batch_size);
+                let mut enqueued: Vec<Instant> = Vec::with_capacity(spec.batch_size);
+                // Block for the first request, then opportunistically drain
+                // whatever else is already queued, up to the batch size.
+                while let Ok((user, query, at)) = rx.recv() {
+                    batch.push((user, query));
+                    enqueued.push(at);
+                    while batch.len() < spec.batch_size {
+                        match rx.try_recv() {
+                            Ok((u, q, at)) => {
+                                batch.push((u, q));
+                                enqueued.push(at);
+                            }
+                            Err(_) => break,
+                        }
+                    }
                     // A per-request error is that request's problem, not the
                     // harness's; the worker keeps draining the queue.
-                    let _ = server.handle(user, query);
-                    let ms = enqueued.elapsed().as_secs_f64() * 1e3;
-                    latencies.lock().push(ms);
+                    let _ = server.handle_batch(&batch);
+                    let done = Instant::now();
+                    let mut lat = latencies.lock();
+                    for &at in &enqueued {
+                        lat.push(done.duration_since(at).as_secs_f64() * 1e3);
+                    }
+                    drop(lat);
+                    batch.clear();
+                    enqueued.clear();
                 }
             });
         }
@@ -110,126 +288,30 @@ pub fn run_load_test(
         }
         drop(tx);
     });
-    let elapsed = start.elapsed();
     // The scope above joined every worker, so this take sees the final
     // vector; taking under the lock avoids an Arc::try_unwrap that would
     // need an `expect`.
-    let lat = std::mem::take(&mut *latencies.lock());
-    Ok(LatencyStats::from_latencies(qps, lat, elapsed))
+    let mut guard = latencies.lock();
+    std::mem::take(&mut *guard)
 }
 
-/// Run an open-loop load test where each worker drains up to `batch_size`
-/// queued requests into a single [`OnlineServer::handle_batch`] call. With
-/// `batch_size == 1` this is exactly [`run_load_test`]. Latency per request
-/// is still enqueue → batch completion, so coalescing that delays an early
-/// arrival is charged against it.
-pub fn run_batched_load_test(
+/// Closed-loop driver: `requests` are split across threads, each issuing its
+/// share in `batch_size`-sized `handle_batch` calls back-to-back. Each
+/// request is charged its whole batch's service time.
+fn run_closed_loop_inner(
     server: &OnlineServer,
     requests: &[(NodeId, NodeId)],
-    qps: f64,
-    num_threads: usize,
-    batch_size: usize,
-) -> Result<LatencyStats, ServingError> {
-    validate_load_params(requests, qps, num_threads, batch_size)?;
-
-    let interval = Duration::from_secs_f64(1.0 / qps);
-    let (tx, rx) = bounded::<(NodeId, NodeId, Instant)>(requests.len());
-    let latencies: Arc<parking_lot::Mutex<Vec<f64>>> =
-        Arc::new(parking_lot::Mutex::new(Vec::with_capacity(requests.len())));
-
-    let start = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..num_threads {
-            let rx = rx.clone();
-            let server = server.clone();
-            let latencies = Arc::clone(&latencies);
-            scope.spawn(move || {
-                let mut batch: Vec<(NodeId, NodeId)> = Vec::with_capacity(batch_size);
-                let mut enqueued: Vec<Instant> = Vec::with_capacity(batch_size);
-                // Block for the first request, then opportunistically drain
-                // whatever else is already queued, up to the batch size.
-                while let Ok((user, query, at)) = rx.recv() {
-                    batch.push((user, query));
-                    enqueued.push(at);
-                    while batch.len() < batch_size {
-                        match rx.try_recv() {
-                            Ok((u, q, at)) => {
-                                batch.push((u, q));
-                                enqueued.push(at);
-                            }
-                            Err(_) => break,
-                        }
-                    }
-                    let _ = server.handle_batch(&batch);
-                    let done = Instant::now();
-                    let mut lat = latencies.lock();
-                    for &at in &enqueued {
-                        lat.push(done.duration_since(at).as_secs_f64() * 1e3);
-                    }
-                    drop(lat);
-                    batch.clear();
-                    enqueued.clear();
-                }
-            });
-        }
-        drop(rx);
-        for (i, &(user, query)) in requests.iter().enumerate() {
-            let due = start + interval.mul_f64(i as f64);
-            if let Some(wait) = due.checked_duration_since(Instant::now()) {
-                std::thread::sleep(wait);
-            }
-            let _ = tx.send((user, query, Instant::now()));
-        }
-        drop(tx);
-    });
-    let elapsed = start.elapsed();
-    let lat = std::mem::take(&mut *latencies.lock());
-    Ok(LatencyStats::from_latencies(qps, lat, elapsed))
-}
-
-/// Throughput summary of one closed-loop run.
-#[derive(Clone, Debug)]
-pub struct ThroughputStats {
-    pub batch_size: usize,
-    pub completed: usize,
-    pub elapsed: Duration,
-    /// Mean per-request latency: each request is charged its whole batch's
-    /// service time.
-    pub mean_ms: f64,
-}
-
-impl ThroughputStats {
-    pub fn requests_per_sec(&self) -> f64 {
-        if self.elapsed.as_secs_f64() == 0.0 {
-            return 0.0;
-        }
-        self.completed as f64 / self.elapsed.as_secs_f64()
-    }
-}
-
-/// Closed-loop throughput run: `requests` are split across `num_threads`
-/// threads, each issuing its share in `batch_size`-sized `handle_batch`
-/// calls back-to-back. Measures peak sustainable requests/sec at the given
-/// batch size; `batch_size == 1` is the per-request baseline on the same
-/// code path.
-pub fn run_closed_loop(
-    server: &OnlineServer,
-    requests: &[(NodeId, NodeId)],
-    num_threads: usize,
-    batch_size: usize,
-) -> Result<ThroughputStats, ServingError> {
-    validate_load_params(requests, 1.0, num_threads, batch_size)?;
-
-    let start = Instant::now();
+    spec: &LoadTestSpec,
+) -> Result<Vec<f64>, ServingError> {
     let lats: Result<Vec<Vec<f64>>, ServingError> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..num_threads)
+        let handles: Vec<_> = (0..spec.num_threads)
             .map(|t| {
                 let server = server.clone();
                 let share: Vec<(NodeId, NodeId)> =
-                    requests.iter().skip(t).step_by(num_threads).copied().collect();
+                    requests.iter().skip(t).step_by(spec.num_threads).copied().collect();
                 scope.spawn(move || {
                     let mut lats = Vec::with_capacity(share.len());
-                    for chunk in share.chunks(batch_size) {
+                    for chunk in share.chunks(spec.batch_size) {
                         let t0 = Instant::now();
                         server.handle_batch(chunk)?;
                         let ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -246,38 +328,7 @@ pub fn run_closed_loop(
             })
             .collect()
     });
-    let elapsed = start.elapsed();
-    let all: Vec<f64> = lats?.into_iter().flatten().collect();
-    let completed = all.len();
-    Ok(ThroughputStats {
-        batch_size,
-        completed,
-        elapsed,
-        mean_ms: if completed == 0 { 0.0 } else { all.iter().sum::<f64>() / completed as f64 },
-    })
-}
-
-/// Shared parameter validation for the load harnesses: bad parameters are a
-/// caller bug reported as [`ServingError::InvalidConfig`], not a panic.
-fn validate_load_params(
-    requests: &[(NodeId, NodeId)],
-    qps: f64,
-    num_threads: usize,
-    batch_size: usize,
-) -> Result<(), ServingError> {
-    if !qps.is_finite() || qps <= 0.0 {
-        return Err(ServingError::InvalidConfig("qps must be positive and finite"));
-    }
-    if num_threads == 0 {
-        return Err(ServingError::InvalidConfig("need at least one server thread"));
-    }
-    if batch_size == 0 {
-        return Err(ServingError::InvalidConfig("need a positive batch size"));
-    }
-    if requests.is_empty() {
-        return Err(ServingError::InvalidConfig("need at least one request"));
-    }
-    Ok(())
+    Ok(lats?.into_iter().flatten().collect())
 }
 
 #[cfg(test)]
@@ -287,8 +338,9 @@ mod tests {
     use crate::server::ServingConfig;
     use zoomer_data::{TaobaoConfig, TaobaoData};
     use zoomer_model::{ModelConfig, UnifiedCtrModel};
+    use zoomer_obs::MetricsRegistry;
 
-    fn server_and_requests() -> (OnlineServer, Vec<(NodeId, NodeId)>) {
+    fn server_and_requests(metrics: bool) -> (OnlineServer, Vec<(NodeId, NodeId)>) {
         let data = TaobaoData::generate(TaobaoConfig::tiny(91));
         let dd = data.graph.features().dense_dim();
         let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(13, dd));
@@ -298,87 +350,129 @@ mod tests {
             zoomer_graph::read_snapshot(zoomer_graph::write_snapshot(&data.graph))
                 .expect("roundtrip"),
         );
-        let server = OnlineServer::build(
-            graph,
-            frozen,
-            &items,
-            ServingConfig { top_k: 10, ..Default::default() },
-            91,
-        )
-        .expect("server build");
+        let mut builder = OnlineServer::builder()
+            .graph(graph)
+            .frozen(frozen)
+            .item_pool(&items)
+            .config(ServingConfig { top_k: 10, ..Default::default() })
+            .seed(91);
+        if metrics {
+            builder = builder.metrics(Arc::new(MetricsRegistry::enabled()));
+        }
+        let server = builder.build().expect("server build");
         let requests: Vec<(NodeId, NodeId)> =
             data.logs.iter().take(120).map(|l| (l.user, l.query)).collect();
         (server, requests)
     }
 
     #[test]
-    fn load_test_completes_all_requests() {
-        let (server, requests) = server_and_requests();
-        let stats = run_load_test(&server, &requests, 2000.0, 2).expect("load run");
-        assert_eq!(stats.completed, requests.len());
-        assert!(stats.mean_ms >= 0.0);
-        assert!(stats.p50_ms <= stats.p95_ms && stats.p95_ms <= stats.p99_ms);
-        assert!(stats.p99_ms <= stats.max_ms + 1e-9);
-        assert!(stats.achieved_qps() > 0.0);
+    fn open_loop_completes_all_requests() {
+        let (server, requests) = server_and_requests(false);
+        let spec = LoadTestSpec::open(2000.0).num_threads(2);
+        let report = run_load(&server, &requests, &spec).expect("load run");
+        assert_eq!(report.completed, requests.len());
+        assert!(report.latency.mean_ms >= 0.0);
+        assert!(report.latency.p50_ms <= report.latency.p95_ms);
+        assert!(report.latency.p95_ms <= report.latency.p99_ms);
+        assert!(report.latency.p99_ms <= report.latency.max_ms + 1e-9);
+        assert!(report.achieved_qps() > 0.0);
+        assert_eq!(report.offered_qps(), Some(2000.0));
+        assert!(report.cache.total() > 0, "run must account cache lookups");
     }
 
     #[test]
     fn percentiles_of_known_distribution() {
         let lat: Vec<f64> = (1..=100).map(|x| x as f64).collect();
-        let stats = LatencyStats::from_latencies(1.0, lat, Duration::from_secs(1));
-        assert!((stats.p50_ms - 50.0).abs() <= 1.0);
-        assert!((stats.p99_ms - 99.0).abs() <= 1.0);
-        assert_eq!(stats.max_ms, 100.0);
-        assert!((stats.mean_ms - 50.5).abs() < 1e-9);
+        let s = LatencySummary::from_latencies(lat);
+        assert!((s.p50_ms - 50.0).abs() <= 1.0);
+        assert!((s.p99_ms - 99.0).abs() <= 1.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
     }
 
     #[test]
-    fn batched_load_test_completes_all_requests() {
-        let (server, requests) = server_and_requests();
-        let stats = run_batched_load_test(&server, &requests, 5000.0, 2, 8).expect("load run");
-        assert_eq!(stats.completed, requests.len());
-        assert!(stats.p50_ms <= stats.p99_ms);
+    fn batched_open_loop_completes_all_requests() {
+        let (server, requests) = server_and_requests(false);
+        let spec = LoadTestSpec::open(5000.0).num_threads(2).batch_size(8);
+        let report = run_load(&server, &requests, &spec).expect("load run");
+        assert_eq!(report.completed, requests.len());
+        assert!(report.latency.p50_ms <= report.latency.p99_ms);
     }
 
     #[test]
-    fn closed_loop_reports_throughput() {
-        let (server, requests) = server_and_requests();
-        let stats = run_closed_loop(&server, &requests, 2, 16).expect("load run");
-        assert_eq!(stats.completed, requests.len());
-        assert_eq!(stats.batch_size, 16);
-        assert!(stats.requests_per_sec() > 0.0);
-        assert!(stats.mean_ms > 0.0);
+    fn closed_loop_reports_throughput_and_stages() {
+        let (server, requests) = server_and_requests(true);
+        let spec = LoadTestSpec::closed().num_threads(2).batch_size(16);
+        let report = run_load(&server, &requests, &spec).expect("load run");
+        assert_eq!(report.completed, requests.len());
+        assert_eq!(report.spec.batch_size, 16);
+        assert!(report.achieved_qps() > 0.0);
+        assert!(report.latency.mean_ms > 0.0);
+        assert_eq!(report.offered_qps(), None);
+        // With an enabled registry the per-stage breakdown is populated.
+        for stage in ["cache_resolve", "embed", "ann_probe", "rank"] {
+            let s = report.stage(stage).unwrap_or_else(|| panic!("missing stage {stage}"));
+            assert!(s.count > 0, "stage {stage} recorded no batches");
+            assert!(s.p50_ms <= s.p99_ms + 1e-9);
+        }
+    }
+
+    #[test]
+    fn stage_breakdown_covers_only_this_run() {
+        let (server, requests) = server_and_requests(true);
+        // Warm-up traffic outside the measured run.
+        run_load(&server, &requests, &LoadTestSpec::closed().batch_size(8)).expect("warm-up");
+        let batches = requests.len().div_ceil(16);
+        let report = run_load(&server, &requests, &LoadTestSpec::closed().batch_size(16))
+            .expect("measured run");
+        for s in &report.stages {
+            assert_eq!(
+                s.count, batches as u64,
+                "stage {} must count only this run's batches",
+                s.stage
+            );
+        }
+        assert_eq!(report.cache.misses, 0, "second pass must be all cache hits");
+        assert!(report.cache.hits > 0);
+    }
+
+    #[test]
+    fn disabled_registry_reports_empty_stage_samples() {
+        let (server, requests) = server_and_requests(false);
+        let report = run_load(&server, &requests[..32], &LoadTestSpec::closed().batch_size(8))
+            .expect("load run");
+        for s in &report.stages {
+            assert_eq!(s.count, 0, "disabled registry must not time stages");
+        }
     }
 
     #[test]
     fn invalid_load_parameters_are_typed_errors() {
-        let (server, requests) = server_and_requests();
+        let (server, requests) = server_and_requests(false);
         for bad in [
-            run_load_test(&server, &requests, 0.0, 2),
-            run_load_test(&server, &requests, 100.0, 0),
-            run_load_test(&server, &[], 100.0, 2),
-            run_batched_load_test(&server, &requests, 100.0, 2, 0),
+            run_load(&server, &requests, &LoadTestSpec::open(0.0)),
+            run_load(&server, &requests, &LoadTestSpec::open(100.0).num_threads(0)),
+            run_load(&server, &[], &LoadTestSpec::open(100.0)),
+            run_load(&server, &requests, &LoadTestSpec::open(100.0).batch_size(0)),
+            run_load(&server, &requests, &LoadTestSpec::closed().num_threads(0)),
         ] {
             assert!(matches!(bad, Err(ServingError::InvalidConfig(_))), "{bad:?}");
         }
-        assert!(matches!(
-            run_closed_loop(&server, &requests, 0, 4),
-            Err(ServingError::InvalidConfig(_))
-        ));
     }
 
     #[test]
     fn overload_grows_latency() {
         // Saturating one slow thread must show higher p95 than a gentle
         // trickle on two threads.
-        let (server, requests) = server_and_requests();
-        let gentle = run_load_test(&server, &requests[..40], 200.0, 2).expect("load run");
-        let slam = run_load_test(&server, &requests, 50_000.0, 1).expect("load run");
+        let (server, requests) = server_and_requests(false);
+        let gentle = run_load(&server, &requests[..40], &LoadTestSpec::open(200.0).num_threads(2))
+            .expect("load run");
+        let slam = run_load(&server, &requests, &LoadTestSpec::open(50_000.0)).expect("load run");
         assert!(
-            slam.p95_ms >= gentle.p95_ms,
+            slam.latency.p95_ms >= gentle.latency.p95_ms,
             "overload p95 {} should be ≥ gentle p95 {}",
-            slam.p95_ms,
-            gentle.p95_ms
+            slam.latency.p95_ms,
+            gentle.latency.p95_ms
         );
     }
 }

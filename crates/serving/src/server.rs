@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use rayon::prelude::*;
 use zoomer_graph::{HeteroGraph, NodeId};
+use zoomer_obs::{Counter, Histogram, MetricsRegistry, Snapshot, StageTimer};
 use zoomer_sampler::{FocalBiasedSampler, FocalContext, NeighborSampler};
 use zoomer_tensor::{seeded_rng, Matrix};
 
@@ -39,13 +40,55 @@ pub struct ServingConfig {
     pub nprobe: usize,
     /// Coarse clusters in the ANN index.
     pub nlist: usize,
+    /// Minimum IVF lists probed when ranking the per-query postings at
+    /// *build* time. The build-time ranking is offline and runs once, so it
+    /// can afford a wider probe than the serving-path `nprobe`; the
+    /// effective build probe is `nprobe.max(build_nprobe)`. Historically a
+    /// hidden `max(4)` — now explicit so a deliberately narrow `nprobe`
+    /// study can set `build_nprobe: 1` and actually get a narrow build.
+    pub build_nprobe: usize,
     /// Disable the neighbor cache (ablation: sample neighbors per request).
     pub disable_cache: bool,
 }
 
 impl Default for ServingConfig {
     fn default() -> Self {
-        Self { cache_k: 30, top_k: 100, nprobe: 4, nlist: 32, disable_cache: false }
+        Self {
+            cache_k: 30,
+            top_k: 100,
+            nprobe: 4,
+            nlist: 32,
+            build_nprobe: 4,
+            disable_cache: false,
+        }
+    }
+}
+
+/// Pre-registered metric handles for the request path. Built once at server
+/// construction (the only time the registry lock is taken); recording is
+/// relaxed atomics through these handles, and no-ops down to one relaxed
+/// load per stage while the registry is disabled.
+struct ServerMetrics {
+    registry: Arc<MetricsRegistry>,
+    requests: Counter,
+    batches: Counter,
+    stage_cache: Histogram,
+    stage_embed: Histogram,
+    stage_ann: Histogram,
+    stage_rank: Histogram,
+}
+
+impl ServerMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> Self {
+        Self {
+            requests: registry.counter("serve.requests"),
+            batches: registry.counter("serve.batches"),
+            stage_cache: registry.histogram("serve.stage.cache_resolve_ns"),
+            stage_embed: registry.histogram("serve.stage.embed_ns"),
+            stage_ann: registry.histogram("serve.stage.ann_probe_ns"),
+            stage_rank: registry.histogram("serve.stage.rank_ns"),
+            registry,
+        }
     }
 }
 
@@ -60,6 +103,7 @@ pub struct OnlineServer {
     cache: Arc<NeighborCache>,
     config: ServingConfig,
     sampler: FocalBiasedSampler,
+    metrics: Arc<ServerMetrics>,
 }
 
 impl Clone for OnlineServer {
@@ -72,31 +116,102 @@ impl Clone for OnlineServer {
             cache: Arc::clone(&self.cache),
             config: self.config,
             sampler: self.sampler,
+            metrics: Arc::clone(&self.metrics),
         }
     }
 }
 
-impl OnlineServer {
-    /// Build the server: embed every pool item through the frozen item tower
-    /// and construct the inverted ANN index (§VI's offline-to-online hand-
-    /// off).
-    pub fn build(
-        graph: Arc<HeteroGraph>,
-        frozen: FrozenModel,
-        item_pool: &[NodeId],
-        config: ServingConfig,
-        seed: u64,
-    ) -> Result<Self, ServingError> {
-        if item_pool.is_empty() {
+/// Step-by-step construction of an [`OnlineServer`] — the supported way to
+/// build one (`OnlineServer::builder()`). Each input has a typed setter;
+/// validation happens once, at [`ServerBuilder::build`].
+///
+/// ```ignore
+/// let server = OnlineServer::builder()
+///     .graph(graph)
+///     .frozen(frozen)
+///     .item_pool(&items)
+///     .config(ServingConfig { top_k: 20, ..Default::default() })
+///     .seed(81)
+///     .metrics(registry) // optional: observability registry
+///     .build()?;
+/// ```
+#[derive(Default)]
+pub struct ServerBuilder {
+    graph: Option<Arc<HeteroGraph>>,
+    frozen: Option<FrozenModel>,
+    item_pool: Vec<NodeId>,
+    config: ServingConfig,
+    seed: u64,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl ServerBuilder {
+    /// The graph snapshot to serve against (required).
+    pub fn graph(mut self, graph: Arc<HeteroGraph>) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// The frozen (tape-free) model towers (required).
+    pub fn frozen(mut self, frozen: FrozenModel) -> Self {
+        self.frozen = Some(frozen);
+        self
+    }
+
+    /// The item candidate pool to index (required, non-empty).
+    pub fn item_pool(mut self, item_pool: &[NodeId]) -> Self {
+        self.item_pool = item_pool.to_vec();
+        self
+    }
+
+    /// Serving-stack parameters (defaults to [`ServingConfig::default`]).
+    pub fn config(mut self, config: ServingConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Seed for the ANN coarse quantizer's k-means (defaults to 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attach an observability registry: per-stage latency histograms,
+    /// request counters, and ANN probe-volume counters all report into it.
+    /// Without one the server still runs a private disabled registry, so the
+    /// request path is identical either way.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Validate the inputs and build the server: embed every pool item
+    /// through the frozen item tower and construct the inverted ANN index
+    /// (§VI's offline-to-online hand-off).
+    pub fn build(self) -> Result<OnlineServer, ServingError> {
+        let graph =
+            self.graph.ok_or(ServingError::InvalidConfig("server builder needs a graph"))?;
+        let frozen = self
+            .frozen
+            .ok_or(ServingError::InvalidConfig("server builder needs a frozen model"))?;
+        let config = self.config;
+        if self.item_pool.is_empty() {
             return Err(ServingError::InvalidConfig("cannot serve an empty item pool"));
         }
+        if config.top_k == 0 {
+            return Err(ServingError::InvalidConfig("top_k must be positive"));
+        }
+        if config.nprobe == 0 || config.nlist == 0 {
+            return Err(ServingError::InvalidConfig("nprobe and nlist must be positive"));
+        }
         let num_nodes = graph.num_nodes();
-        if let Some(&node) = item_pool.iter().find(|&&i| i as usize >= num_nodes) {
+        if let Some(&node) = self.item_pool.iter().find(|&&i| i as usize >= num_nodes) {
             return Err(ServingError::NodeOutOfRange { node, num_nodes });
         }
         // Item tower over the whole pool as one stacked matmul.
-        let item_matrix = frozen.item_embeddings(item_pool);
-        let items: Vec<(u64, Vec<f32>)> = item_pool
+        let item_matrix = frozen.item_embeddings(&self.item_pool);
+        let items: Vec<(u64, Vec<f32>)> = self
+            .item_pool
             .iter()
             .enumerate()
             .map(|(r, &i)| (i as u64, item_matrix.row(r).to_vec()))
@@ -104,12 +219,14 @@ impl OnlineServer {
         // Size the coarse quantizer to the pool (≈√N, capped by config) so
         // small pools keep enough candidates per probe.
         let nlist = config.nlist.min(((items.len() as f64).sqrt().ceil()) as usize).max(1);
-        let index = IvfIndex::build(&items, nlist, 8, seed);
+        let mut index = IvfIndex::build(&items, nlist, 8, self.seed);
         // Second retrieval layer: per-query postings ranked by the frozen
         // item tower against the query's own online embedding (with no
         // cached neighborhood that embedding is the query's base vector).
         // Queries are chunked into batched ANN probes and the chunks run in
-        // parallel.
+        // parallel. This ranking is offline, so it probes at least
+        // `build_nprobe` lists regardless of the serving-path `nprobe`.
+        let build_probe = config.nprobe.max(config.build_nprobe);
         let queries: Vec<NodeId> = graph.nodes_of_type(zoomer_graph::NodeType::Query);
         let chunks: Vec<&[NodeId]> = queries.chunks(64).collect();
         let postings: Vec<Result<QueryPostings, ServingError>> = chunks
@@ -120,7 +237,7 @@ impl OnlineServer {
                     embs.row_mut(r).copy_from_slice(&frozen.online_embedding(q, &[], &[]));
                 }
                 Ok(index
-                    .search_batch(&embs, config.top_k, config.nprobe.max(4))?
+                    .search_batch(&embs, config.top_k, build_probe)?
                     .into_iter()
                     .zip(chunk.iter())
                     .map(|(ranked, &q)| {
@@ -137,7 +254,11 @@ impl OnlineServer {
                 }
             }
         }
-        Ok(Self {
+        // Attach probe-volume counters only now, after the offline posting
+        // ranking, so serve-time metrics are not polluted by build work.
+        let registry = self.metrics.unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
+        index.attach_metrics(&registry);
+        Ok(OnlineServer {
             graph,
             frozen: Arc::new(frozen),
             index: Arc::new(index),
@@ -145,7 +266,33 @@ impl OnlineServer {
             cache: Arc::new(NeighborCache::new(config.cache_k)),
             config,
             sampler: FocalBiasedSampler::default(),
+            metrics: Arc::new(ServerMetrics::new(registry)),
         })
+    }
+}
+
+impl OnlineServer {
+    /// Start building a server; see [`ServerBuilder`].
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::default()
+    }
+
+    /// Build the server from positional arguments.
+    #[deprecated(note = "use OnlineServer::builder() with typed setters")]
+    pub fn build(
+        graph: Arc<HeteroGraph>,
+        frozen: FrozenModel,
+        item_pool: &[NodeId],
+        config: ServingConfig,
+        seed: u64,
+    ) -> Result<Self, ServingError> {
+        Self::builder()
+            .graph(graph)
+            .frozen(frozen)
+            .item_pool(item_pool)
+            .config(config)
+            .seed(seed)
+            .build()
     }
 
     /// Reject any request node id outside the loaded graph before it can
@@ -184,6 +331,20 @@ impl OnlineServer {
 
     pub fn graph(&self) -> &HeteroGraph {
         &self.graph
+    }
+
+    /// The observability registry this server reports into (the one passed
+    /// to [`ServerBuilder::metrics`], or a private disabled one).
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics.registry
+    }
+
+    /// Point-in-time snapshot of every metric, with the neighbor cache's
+    /// counters ingested first so hits/misses/refreshes appear next to the
+    /// stage timings.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics.registry.ingest_cache("cache", self.cache.stats());
+        self.metrics.registry.snapshot()
     }
 
     /// Resolve the user/query neighborhoods for a whole batch.
@@ -264,11 +425,25 @@ impl OnlineServer {
             return Ok(Vec::new());
         }
         self.validate_nodes(requests.iter().flat_map(|&(u, q)| [u, q]))?;
+        let m = &*self.metrics;
+        m.batches.inc();
+        m.requests.add(requests.len() as u64);
+
+        let t = StageTimer::start(&m.stage_cache);
         let neighbors = self.resolve_neighbors(requests)?;
+        t.stop();
+
+        let t = StageTimer::start(&m.stage_embed);
         let neighbor_slices: Vec<(&[NodeId], &[NodeId])> =
             neighbors.iter().map(|(u, q)| (u.as_slice(), q.as_slice())).collect();
         let uq = self.frozen.embed_requests(&self.graph, requests, &neighbor_slices);
+        t.stop();
+
+        let t = StageTimer::start(&m.stage_ann);
         let found = self.index.search_batch(&uq, self.config.top_k, self.config.nprobe)?;
+        t.stop();
+
+        let t = StageTimer::start(&m.stage_rank);
         let mut out = Vec::with_capacity(found.len());
         for (i, mut f) in found.into_iter().enumerate() {
             if f.len() < self.config.top_k && f.len() < self.index.len() {
@@ -278,6 +453,7 @@ impl OnlineServer {
             }
             out.push(f.into_iter().map(|(id, _)| id as NodeId).collect());
         }
+        t.stop();
         Ok(out)
     }
 
@@ -331,14 +507,14 @@ mod tests {
                 .expect("snapshot roundtrip"),
         );
         let items = data.item_nodes();
-        let server = OnlineServer::build(
-            graph,
-            frozen,
-            &items,
-            ServingConfig { top_k: 20, disable_cache, ..Default::default() },
-            81,
-        )
-        .expect("server build");
+        let server = OnlineServer::builder()
+            .graph(graph)
+            .frozen(frozen)
+            .item_pool(&items)
+            .config(ServingConfig { top_k: 20, disable_cache, ..Default::default() })
+            .seed(81)
+            .build()
+            .expect("server build");
         (data, server)
     }
 
@@ -361,12 +537,13 @@ mod tests {
         let (data, server) = build_server(false);
         let log = &data.logs[0];
         let first = server.handle(log.user, log.query).expect("serve");
-        let (_, misses_after_first) = server.cache().stats();
+        let misses_after_first = server.cache().stats().misses;
         let second = server.handle(log.user, log.query).expect("serve");
-        let (hits, misses) = server.cache().stats();
+        let stats = server.cache().stats();
         assert_eq!(first, second, "same request must be deterministic");
-        assert_eq!(misses, misses_after_first, "second request should not miss");
-        assert!(hits >= 2);
+        assert_eq!(stats.misses, misses_after_first, "second request should not miss");
+        assert!(stats.hits >= 2);
+        assert!(stats.hit_rate() > 0.0);
     }
 
     #[test]
@@ -442,17 +619,49 @@ mod tests {
         let dd = data.graph.features().dense_dim();
         let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(11, dd));
         let frozen = crate::frozen::FrozenModel::from_model(&mut model, &data.graph);
-        let err = match OnlineServer::build(
-            Arc::new(data.graph),
-            frozen,
-            &[],
-            ServingConfig::default(),
-            82,
-        ) {
+        let err = match OnlineServer::builder()
+            .graph(Arc::new(data.graph))
+            .frozen(frozen)
+            .item_pool(&[])
+            .seed(82)
+            .build()
+        {
             Ok(_) => panic!("empty pool must be rejected"),
             Err(e) => e,
         };
         assert!(matches!(err, crate::error::ServingError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn builder_rejects_missing_inputs_and_zero_params() {
+        let data = TaobaoData::generate(TaobaoConfig::tiny(83));
+        let dd = data.graph.features().dense_dim();
+        let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(11, dd));
+        let frozen = crate::frozen::FrozenModel::from_model(&mut model, &data.graph);
+        let items = data.item_nodes();
+        let graph = Arc::new(data.graph);
+        // No graph.
+        assert!(matches!(
+            OnlineServer::builder().frozen(frozen).item_pool(&items).build(),
+            Err(crate::error::ServingError::InvalidConfig(_))
+        ));
+        // No frozen model.
+        assert!(matches!(
+            OnlineServer::builder().graph(Arc::clone(&graph)).item_pool(&items).build(),
+            Err(crate::error::ServingError::InvalidConfig(_))
+        ));
+        // Degenerate config values are rejected at build, not at request time.
+        let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(11, dd));
+        let frozen = crate::frozen::FrozenModel::from_model(&mut model, &graph);
+        assert!(matches!(
+            OnlineServer::builder()
+                .graph(graph)
+                .frozen(frozen)
+                .item_pool(&items)
+                .config(ServingConfig { top_k: 0, ..Default::default() })
+                .build(),
+            Err(crate::error::ServingError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -558,5 +767,130 @@ mod tests {
         let pool_sim = mean_sim(&all_items);
         // Untrained towers give weak signal; require only non-collapse.
         assert!(retrieved_sim.is_finite() && pool_sim.is_finite());
+    }
+
+    /// Fixture pieces for building a second server over the same data.
+    fn fixture(
+        seed: u64,
+    ) -> (TaobaoData, Arc<HeteroGraph>, crate::frozen::FrozenModel, Vec<NodeId>) {
+        let data = TaobaoData::generate(TaobaoConfig::tiny(seed));
+        let dd = data.graph.features().dense_dim();
+        let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(11, dd));
+        let frozen = crate::frozen::FrozenModel::from_model(&mut model, &data.graph);
+        let graph = Arc::new(
+            zoomer_graph::read_snapshot(zoomer_graph::write_snapshot(&data.graph))
+                .expect("snapshot roundtrip"),
+        );
+        let items = data.item_nodes();
+        (data, graph, frozen, items)
+    }
+
+    #[test]
+    fn builder_matches_legacy_positional_build_bitwise() {
+        // The deprecated positional `build` is a thin wrapper over the
+        // builder: both constructions must serve bit-identical batches.
+        let (data, graph, frozen, items) = fixture(84);
+        let config = ServingConfig { top_k: 15, ..Default::default() };
+        let via_builder = OnlineServer::builder()
+            .graph(Arc::clone(&graph))
+            .frozen(frozen.clone())
+            .item_pool(&items)
+            .config(config)
+            .seed(84)
+            .build()
+            .expect("builder build");
+        #[allow(deprecated)]
+        let via_legacy =
+            OnlineServer::build(graph, frozen, &items, config, 84).expect("legacy build");
+        let requests: Vec<(NodeId, NodeId)> =
+            data.logs.iter().take(12).map(|l| (l.user, l.query)).collect();
+        assert_eq!(
+            via_builder.handle_batch(&requests).expect("builder serve"),
+            via_legacy.handle_batch(&requests).expect("legacy serve"),
+            "builder and legacy construction must serve identically"
+        );
+    }
+
+    #[test]
+    fn build_nprobe_controls_the_offline_posting_probe() {
+        // Regression for the hidden `nprobe.max(4)`: the *effective* build
+        // probe is `nprobe.max(build_nprobe)`, so swapping the two values
+        // must rank identical postings even though the serving-path nprobe
+        // differs. Before the fix, `build_nprobe` did not exist and a small
+        // nprobe was silently widened to 4 with no way to turn that off.
+        let (_, graph, frozen, items) = fixture(85);
+        let wide = graph.nodes_of_type(zoomer_graph::NodeType::Query).len().max(8);
+        let narrow_serve = OnlineServer::builder()
+            .graph(Arc::clone(&graph))
+            .frozen(frozen.clone())
+            .item_pool(&items)
+            .config(ServingConfig { nprobe: 1, build_nprobe: wide, ..Default::default() })
+            .seed(85)
+            .build()
+            .expect("build");
+        let wide_serve = OnlineServer::builder()
+            .graph(Arc::clone(&graph))
+            .frozen(frozen)
+            .item_pool(&items)
+            .config(ServingConfig { nprobe: wide, build_nprobe: 1, ..Default::default() })
+            .seed(85)
+            .build()
+            .expect("build");
+        let queries = graph.nodes_of_type(zoomer_graph::NodeType::Query);
+        assert!(!queries.is_empty());
+        for &q in &queries {
+            assert_eq!(
+                narrow_serve.inverted().posting(q),
+                wide_serve.inverted().posting(q),
+                "query {q}: build-time probe must be nprobe.max(build_nprobe)"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_record_per_stage_timings() {
+        let (data, graph, frozen, items) = fixture(86);
+        let registry = Arc::new(zoomer_obs::MetricsRegistry::enabled());
+        let server = OnlineServer::builder()
+            .graph(graph)
+            .frozen(frozen)
+            .item_pool(&items)
+            .config(ServingConfig { top_k: 10, ..Default::default() })
+            .seed(86)
+            .metrics(Arc::clone(&registry))
+            .build()
+            .expect("build");
+        assert!(Arc::ptr_eq(server.metrics_registry(), &registry));
+        // Build-time posting ranking must not leak into serve-time counters.
+        assert_eq!(registry.snapshot().counter("ann.lists_probed"), Some(0));
+        let requests: Vec<(NodeId, NodeId)> =
+            data.logs.iter().take(6).map(|l| (l.user, l.query)).collect();
+        server.handle_batch(&requests).expect("serve");
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("serve.requests"), Some(6));
+        assert_eq!(snap.counter("serve.batches"), Some(1));
+        for stage in [
+            "serve.stage.cache_resolve_ns",
+            "serve.stage.embed_ns",
+            "serve.stage.ann_probe_ns",
+            "serve.stage.rank_ns",
+        ] {
+            let h = snap.histogram(stage).unwrap_or_else(|| panic!("{stage} missing"));
+            assert_eq!(h.count, 1, "{stage} must record once per batch");
+            assert!(h.p50() > 0, "{stage} must measure real time");
+        }
+        assert!(snap.counter("ann.lists_probed").expect("ingested") > 0);
+        assert!(snap.counter("cache.misses").expect("ingested") > 0);
+    }
+
+    #[test]
+    fn disabled_registry_keeps_counters_but_skips_histograms() {
+        let (data, server) = build_server(false);
+        let log = &data.logs[0];
+        server.handle(log.user, log.query).expect("serve");
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("serve.requests"), Some(1), "counters are always-on");
+        let h = snap.histogram("serve.stage.embed_ns").expect("registered");
+        assert_eq!(h.count, 0, "disabled registry must not time stages");
     }
 }

@@ -40,14 +40,14 @@ fn server_and_logs() -> &'static (OnlineServer, Vec<(NodeId, NodeId)>) {
         let logs: Vec<(NodeId, NodeId)> =
             data.logs.iter().take(120).map(|l| (l.user, l.query)).collect();
         assert!(!logs.is_empty());
-        let server = OnlineServer::build(
-            Arc::new(data.graph),
-            frozen,
-            &items,
-            ServingConfig { top_k: 20, ..Default::default() },
-            57,
-        )
-        .expect("server build");
+        let server = OnlineServer::builder()
+            .graph(Arc::new(data.graph))
+            .frozen(frozen)
+            .item_pool(&items)
+            .config(ServingConfig { top_k: 20, ..Default::default() })
+            .seed(57)
+            .build()
+            .expect("server build");
         (server, logs)
     })
 }

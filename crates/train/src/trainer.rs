@@ -1,12 +1,14 @@
 //! Single-process trainer with AUC-target early stopping and time accounting
 //! (drives Table II/III, Fig 8, Fig 10–12).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::seq::SliceRandom;
 use zoomer_data::{RetrievalExample, TrainTestSplit};
 use zoomer_graph::HeteroGraph;
 use zoomer_model::CtrModel;
+use zoomer_obs::{MetricsRegistry, StageTimer};
 use zoomer_tensor::seeded_rng;
 
 use crate::eval::evaluate_auc;
@@ -32,6 +34,10 @@ pub struct TrainerConfig {
     /// Examples accumulated per optimizer step (paper: 1024). 1 = pure SGD.
     pub batch_size: usize,
     pub seed: u64,
+    /// Observability registry: the loop records per-step (`train.step_ns`)
+    /// and per-epoch (`train.epoch_ns`) time plus the running epoch loss
+    /// (`train.epoch_loss` gauge) into it. `None` (default) records nothing.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for TrainerConfig {
@@ -45,6 +51,7 @@ impl Default for TrainerConfig {
             schedule: LrSchedule::Constant,
             batch_size: 1,
             seed: 0,
+            metrics: None,
         }
     }
 }
@@ -97,8 +104,20 @@ pub fn train(
         reached_target: false,
     };
 
+    // Register observability handles once; each is a cheap Arc'd cell so the
+    // per-step cost with a disabled registry is a single relaxed load.
+    let obs = config.metrics.as_ref().map(|registry| {
+        (
+            registry.counter("train.steps"),
+            registry.histogram("train.step_ns"),
+            registry.histogram("train.epoch_ns"),
+            registry.gauge("train.epoch_loss"),
+        )
+    });
+
     'outer: for _epoch in 0..config.epochs {
         order.shuffle(&mut rng);
+        let epoch_timer = obs.as_ref().map(|(_, _, epoch_ns, _)| StageTimer::start(epoch_ns));
         let mut loss_sum = 0.0f64;
         let mut loss_count = 0usize;
         let steps_this_epoch = config.max_steps_per_epoch.unwrap_or(usize::MAX).min(order.len());
@@ -110,12 +129,19 @@ pub fn train(
                 let lr = model.base_learning_rate() * config.schedule.multiplier(report.steps);
                 model.set_learning_rate(lr);
             }
+            let step_timer = obs.as_ref().map(|(_, step_ns, _, _)| StageTimer::start(step_ns));
             let loss = if chunk.len() == 1 {
                 model.train_step(graph, &split.train[chunk[0]], &mut rng)
             } else {
                 let batch: Vec<RetrievalExample> = chunk.iter().map(|&i| split.train[i]).collect();
                 model.train_batch(graph, &batch, &mut rng)
             };
+            if let Some(t) = step_timer {
+                t.stop();
+            }
+            if let Some((steps, _, _, _)) = obs.as_ref() {
+                steps.add(chunk.len() as u64);
+            }
             loss_sum += loss as f64;
             loss_count += 1;
             report.steps += chunk.len();
@@ -129,6 +155,10 @@ pub fn train(
                             report.reached_target = true;
                             report.epochs_run += 1;
                             report.epoch_losses.push(loss_sum / loss_count.max(1) as f64);
+                            if let Some((_, _, _, loss_gauge)) = obs.as_ref() {
+                                loss_gauge.set(loss_sum / loss_count.max(1) as f64);
+                            }
+                            // epoch_timer drops here and records the partial epoch.
                             break 'outer;
                         }
                     }
@@ -137,6 +167,12 @@ pub fn train(
         }
         report.epochs_run += 1;
         report.epoch_losses.push(loss_sum / loss_count.max(1) as f64);
+        if let Some(t) = epoch_timer {
+            t.stop();
+        }
+        if let Some((_, _, _, loss_gauge)) = obs.as_ref() {
+            loss_gauge.set(loss_sum / loss_count.max(1) as f64);
+        }
         let auc = eval_point(model, graph, &eval_set, config.seed);
         report.auc_curve.push(auc);
         report.final_auc = auc;
@@ -270,6 +306,32 @@ mod tests {
         let report = train(&mut model, &data.graph, &split, &config);
         assert_eq!(report.steps, 40, "all capped examples consumed");
         assert!(report.final_auc.is_finite());
+    }
+
+    #[test]
+    fn enabled_registry_records_steps_and_loss() {
+        let (data, split) = setup();
+        let dd = data.graph.features().dense_dim();
+        let mut model = UnifiedCtrModel::new(ModelConfig::graphsage(9, dd));
+        let registry = Arc::new(MetricsRegistry::enabled());
+        let config = TrainerConfig {
+            epochs: 2,
+            max_steps_per_epoch: Some(20),
+            batch_size: 4,
+            eval_sample: 50,
+            metrics: Some(Arc::clone(&registry)),
+            ..Default::default()
+        };
+        let report = train(&mut model, &data.graph, &split, &config);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("train.steps"), Some(report.steps as u64));
+        let step_ns = snap.histogram("train.step_ns").expect("step histogram registered");
+        assert_eq!(step_ns.count, 10, "2 epochs x ceil(20/4) optimizer steps");
+        assert!(step_ns.percentile(0.5) > 0);
+        let epoch_ns = snap.histogram("train.epoch_ns").expect("epoch histogram registered");
+        assert_eq!(epoch_ns.count, 2);
+        let loss = snap.gauge("train.epoch_loss").expect("loss gauge registered");
+        assert!((loss - report.epoch_losses[1]).abs() < 1e-12, "gauge holds last epoch loss");
     }
 
     #[test]

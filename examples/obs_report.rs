@@ -1,0 +1,66 @@
+//! Observability walkthrough: run the full pipeline with one shared
+//! `MetricsRegistry`, drive a fig9-style closed-loop load, and dump the
+//! resulting snapshot — per-stage serve latencies (cache resolve / embed /
+//! ANN probe / rank), train-loop timings, cache hit accounting — as both
+//! the human-readable table and the line-JSON the tooling consumes.
+//!
+//! Run with: `cargo run --release --example obs_report`
+
+use std::sync::Arc;
+
+use zoomer_core::data::TaobaoConfig;
+use zoomer_core::obs::MetricsRegistry;
+use zoomer_core::serving::{run_load, LoadTestSpec};
+use zoomer_core::train::TrainerConfig;
+use zoomer_core::{PipelineConfig, ZoomerPipeline};
+
+fn main() {
+    let seed = 77;
+    let registry = Arc::new(MetricsRegistry::enabled());
+
+    println!("== Observability report (fig9-style closed loop) ==");
+    let mut pipeline = ZoomerPipeline::new(PipelineConfig {
+        data: TaobaoConfig {
+            num_users: 300,
+            num_queries: 300,
+            num_items: 800,
+            num_sessions: 2_500,
+            ..TaobaoConfig::default_with_seed(seed)
+        },
+        trainer: TrainerConfig { epochs: 1, ..Default::default() },
+        seed,
+        metrics: Some(Arc::clone(&registry)),
+        ..Default::default()
+    });
+    let report = pipeline.train();
+    println!("trained to AUC {:.3} in {} steps", report.final_auc, report.steps);
+
+    let requests: Vec<(u32, u32)> =
+        pipeline.data().logs.iter().take(2_000).map(|l| (l.user, l.query)).collect();
+    let server = pipeline.into_server().expect("serving build");
+    let warm: Vec<u32> = requests.iter().flat_map(|&(u, q)| [u, q]).collect();
+    server.warm_cache(&warm).expect("warm cache");
+
+    let spec = LoadTestSpec::closed().num_threads(4).batch_size(16);
+    let load = run_load(&server, &requests, &spec).expect("load run");
+    println!(
+        "\nclosed loop, batch 16: {} requests at {:.0} req/s (mean {:.3} ms)",
+        load.completed,
+        load.achieved_qps(),
+        load.latency.mean_ms
+    );
+    println!("per-stage latency (ms per handle_batch call):");
+    for stage in &load.stages {
+        println!(
+            "  {:<14} p50 {:.4}  p95 {:.4}  p99 {:.4}  ({} samples)",
+            stage.stage, stage.p50_ms, stage.p95_ms, stage.p99_ms, stage.count
+        );
+    }
+
+    // The full registry snapshot covers everything the run touched:
+    // train.* from the training loop, serve.* and ann.* from the load,
+    // cache.* ingested from the neighbor cache.
+    let snapshot = server.metrics_snapshot();
+    println!("\n-- snapshot (text) --\n{}", snapshot.to_text());
+    println!("-- snapshot (line JSON) --\n{}", snapshot.to_json_lines());
+}

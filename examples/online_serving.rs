@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use zoomer_core::data::TaobaoConfig;
-use zoomer_core::serving::{run_load_test, FrozenModel, OnlineServer, ServingConfig};
+use zoomer_core::serving::{run_load, FrozenModel, LoadTestSpec, OnlineServer, ServingConfig};
 use zoomer_core::train::TrainerConfig;
 use zoomer_core::{PipelineConfig, ZoomerPipeline};
 
@@ -41,14 +41,14 @@ fn main() {
         .expect("graph snapshot roundtrip"),
     );
     let frozen = FrozenModel::from_model(pipeline.model_mut(), &graph);
-    let server = OnlineServer::build(
-        graph,
-        frozen,
-        &items,
-        ServingConfig { cache_k: 30, top_k: 100, ..Default::default() },
-        seed,
-    )
-    .expect("serving build");
+    let server = OnlineServer::builder()
+        .graph(graph)
+        .frozen(frozen)
+        .item_pool(&items)
+        .config(ServingConfig { cache_k: 30, top_k: 100, ..Default::default() })
+        .seed(seed)
+        .build()
+        .expect("serving build");
 
     // Warm caches for the nodes the requests will touch (the paper's
     // asynchronous cache updating, done up front here).
@@ -58,11 +58,13 @@ fn main() {
 
     println!("\n{:>8} {:>10} {:>10} {:>10} {:>10}", "QPS", "mean ms", "p50 ms", "p95 ms", "p99 ms");
     for qps in [100.0, 500.0, 1000.0, 2000.0, 5000.0] {
-        let stats = run_load_test(&server, &requests, qps, 4).expect("load run");
+        let report = run_load(&server, &requests, &LoadTestSpec::open(qps).num_threads(4))
+            .expect("load run");
+        let lat = &report.latency;
         println!(
             "{:>8.0} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
-            qps, stats.mean_ms, stats.p50_ms, stats.p95_ms, stats.p99_ms
+            qps, lat.mean_ms, lat.p50_ms, lat.p95_ms, lat.p99_ms
         );
     }
-    println!("\ncache hit rate: {:.1}%", server.cache().hit_rate() * 100.0);
+    println!("\ncache hit rate: {:.1}%", server.cache().stats().hit_rate() * 100.0);
 }

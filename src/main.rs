@@ -21,9 +21,8 @@ use zoomer_core::graph::{read_snapshot, write_snapshot, GraphStats};
 use zoomer_core::model::{
     load_checkpoint, save_checkpoint, CtrModel, ModelConfig, UnifiedCtrModel,
 };
-use zoomer_core::serving::{
-    run_batched_load_test, run_load_test, FrozenModel, OnlineServer, ServingConfig,
-};
+use zoomer_core::obs::MetricsRegistry;
+use zoomer_core::serving::{run_load, FrozenModel, LoadTestSpec, OnlineServer, ServingConfig};
 use zoomer_core::train::{train, TrainerConfig};
 
 const PRESETS: &[&str] = &[
@@ -197,29 +196,42 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let graph =
         Arc::new(read_snapshot(write_snapshot(&data.graph)).map_err(|e| format!("snapshot: {e}"))?);
     let frozen = FrozenModel::from_model(&mut model, &graph);
-    let server = OnlineServer::build(graph, frozen, &items, ServingConfig::default(), seed)
+    let server = OnlineServer::builder()
+        .graph(graph)
+        .frozen(frozen)
+        .item_pool(&items)
+        .config(ServingConfig::default())
+        .seed(seed)
+        .metrics(Arc::new(MetricsRegistry::enabled()))
+        .build()
         .map_err(|e| format!("build server: {e}"))?;
     let reqs: Vec<(u32, u32)> =
         data.logs.iter().cycle().take(requests).map(|l| (l.user, l.query)).collect();
     let warm: Vec<u32> = reqs.iter().flat_map(|&(u, q)| [u, q]).collect();
     server.warm_cache(&warm).map_err(|e| format!("warm cache: {e}"))?;
-    let stats = if batch > 1 {
-        run_batched_load_test(&server, &reqs, qps, 4, batch)
-    } else {
-        run_load_test(&server, &reqs, qps, 4)
-    }
-    .map_err(|e| format!("load test: {e}"))?;
+    let spec = LoadTestSpec::open(qps).num_threads(4).batch_size(batch);
+    let report = run_load(&server, &reqs, &spec).map_err(|e| format!("load test: {e}"))?;
+    let lat = &report.latency;
     println!(
         "{} requests at {:.0} QPS (batch {}): mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
-        stats.completed,
-        stats.offered_qps,
+        report.completed,
+        report.offered_qps().unwrap_or(qps),
         batch,
-        stats.mean_ms,
-        stats.p50_ms,
-        stats.p95_ms,
-        stats.p99_ms
+        lat.mean_ms,
+        lat.p50_ms,
+        lat.p95_ms,
+        lat.p99_ms
     );
-    println!("cache hit rate: {:.1}%", server.cache().hit_rate() * 100.0);
+    if !report.stages.is_empty() {
+        println!("per-stage latency (ms):");
+        for stage in &report.stages {
+            println!(
+                "  {:<14} p50 {:.4}  p95 {:.4}  p99 {:.4}  ({} samples)",
+                stage.stage, stage.p50_ms, stage.p95_ms, stage.p99_ms, stage.count
+            );
+        }
+    }
+    println!("cache hit rate: {:.1}%", server.cache().stats().hit_rate() * 100.0);
     Ok(())
 }
 

@@ -53,14 +53,48 @@ fn graph_survives_snapshot_into_serving() {
         zoomer_core::model::UnifiedCtrModel::new(zoomer_core::model::ModelConfig::zoomer(202, dd));
     let frozen = FrozenModel::from_model(&mut model, &reloaded);
     let items = data.item_nodes();
-    let server =
-        OnlineServer::build(Arc::new(reloaded), frozen, &items, ServingConfig::default(), 202)
-            .expect("serving build");
+    let server = OnlineServer::builder()
+        .graph(Arc::new(reloaded))
+        .frozen(frozen)
+        .item_pool(&items)
+        .config(ServingConfig::default())
+        .seed(202)
+        .build()
+        .expect("serving build");
     let log = &data.logs[0];
     let result = server.handle(log.user, log.query).expect("serve");
     assert!(!result.is_empty());
     for &item in &result {
         assert_eq!(data.graph.node_type(item), NodeType::Item);
+    }
+}
+
+#[test]
+fn pipeline_metrics_cover_training_and_serving() {
+    use zoomer_core::obs::MetricsRegistry;
+
+    let registry = Arc::new(MetricsRegistry::enabled());
+    let mut pipeline = ZoomerPipeline::new(PipelineConfig {
+        data: TaobaoConfig::tiny(205),
+        trainer: TrainerConfig { epochs: 1, eval_sample: 100, ..Default::default() },
+        seed: 205,
+        metrics: Some(Arc::clone(&registry)),
+        ..Default::default()
+    });
+    let report = pipeline.train();
+    let request = pipeline.data().logs[0].clone();
+    let server = pipeline.into_server().expect("serving build");
+    let _ = server.handle(request.user, request.query).expect("serve");
+
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.counter("train.steps"), Some(report.steps as u64), "train loop recorded");
+    assert!(snap.histogram("train.step_ns").is_some_and(|h| h.count > 0));
+    assert_eq!(snap.counter("serve.requests"), Some(1));
+    for stage in
+        ["serve.stage.cache_resolve_ns", "serve.stage.embed_ns", "serve.stage.ann_probe_ns"]
+    {
+        let hist = snap.histogram(stage).unwrap_or_else(|| panic!("{stage} missing"));
+        assert_eq!(hist.count, 1, "{stage} timed once");
     }
 }
 
