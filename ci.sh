@@ -16,6 +16,9 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test (workspace) =="
 cargo test --workspace --offline -q
 
+echo "== fault-injection suite (overload, degraded modes, injected panics) =="
+cargo test --offline -q -p zoomer-serving --test fault_injection
+
 echo "== kernel bench (smoke mode: every kernel executes, baseline file untouched) =="
 ZOOMER_BENCH_SCALE=smoke cargo bench --offline -q -p zoomer-bench --bench kernels
 

@@ -176,6 +176,21 @@ mod tests {
     }
 
     #[test]
+    fn serving_deadline_flows_through_the_pipeline() {
+        // The serving config is passed to the built server verbatim; a zero
+        // budget must reject at admission with a typed error, not panic.
+        let mut cfg = tiny_config();
+        cfg.serving.deadline = Some(std::time::Duration::ZERO);
+        let mut p = ZoomerPipeline::new(cfg);
+        p.train();
+        let server = p.into_server().expect("serving build");
+        assert!(matches!(
+            server.handle(0, 41),
+            Err(zoomer_serving::ServingError::DeadlineExceeded { stage: "admission" })
+        ));
+    }
+
+    #[test]
     fn negative_sampling_expands_training_set() {
         let mut cfg = tiny_config();
         cfg.negative_ratio = 2;

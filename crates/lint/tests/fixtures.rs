@@ -209,6 +209,28 @@ fn allow_marker_without_reason_is_itself_a_violation() {
 // ------------------------------------------------------ no-allow zone
 
 #[test]
+fn fault_module_is_covered_by_l001_and_the_no_allow_zone() {
+    // The fault-injection module lives on the serving hot path: its non-test
+    // code may not panic (injected panics come from caller-supplied
+    // closures), and the escape hatch is void there like everywhere else
+    // under crates/serving.
+    const FAULT: &str = "crates/serving/src/fault.rs";
+    let src = "fn fire() {\n\
+               \x20   panic!(\"faults must be injected, not hardcoded\");\n\
+               }\n";
+    let v = lint_source(FAULT, src);
+    assert_eq!(rules_at(&v, 2), vec!["L001"], "{v:?}");
+
+    let hatched = "fn fire(x: Option<u32>) -> u32 {\n\
+                   \x20   // lint: allow(L001, tempting but forbidden)\n\
+                   \x20   x.unwrap()\n\
+                   }\n";
+    let v = lint_source(FAULT, hatched);
+    assert!(has(&v, "L001"), "hatch must not suppress in fault.rs: {v:?}");
+    assert!(has(&v, "ALLOW"), "hatch in fault.rs must itself be flagged: {v:?}");
+}
+
+#[test]
 fn serving_is_a_no_allow_zone() {
     let src = "fn f(x: Option<u32>) -> u32 {\n\
                \x20   // lint: allow(L001, serving may never opt out)\n\

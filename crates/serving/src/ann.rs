@@ -13,6 +13,7 @@ use zoomer_tensor::{dot, dot4, kernel::hardware_threads, seeded_rng, Matrix};
 use rand::seq::SliceRandom;
 use rayon::prelude::*;
 
+use crate::deadline::Deadline;
 use crate::error::ServingError;
 
 /// Minimum batch rows before query-chunk parallelism pays for thread
@@ -37,6 +38,18 @@ struct InvList {
 pub struct IvfMetrics {
     pub lists_probed: Counter,
     pub candidates_scored: Counter,
+}
+
+/// Outcome of a deadline-aware probe ([`IvfIndex::search_batch_deadline`]):
+/// per-query ranked results plus how many probe rounds actually completed.
+#[derive(Clone, Debug)]
+pub struct BoundedSearch {
+    pub results: Vec<Vec<(u64, f32)>>,
+    /// Probe rounds completed, ≤ the requested `nprobe`. Strictly smaller
+    /// means the deadline capped the probe mid-flight (a degraded answer:
+    /// every query was still scored against its `effective_nprobe` nearest
+    /// lists).
+    pub effective_nprobe: usize,
 }
 
 /// IVF-Flat index over inner-product similarity.
@@ -221,37 +234,7 @@ impl IvfIndex {
         // fell in a 4-block or the remainder.
         let mut scored: Vec<Vec<(u64, f32)>> = vec![Vec::new(); end - start];
         for (list, qis) in probers.iter().enumerate() {
-            if qis.is_empty() {
-                continue;
-            }
-            let il = &self.lists[list];
-            let d = self.dim;
-            for &qi in qis {
-                scored[qi as usize - start].reserve(il.ids.len());
-            }
-            let mut blocks = qis.chunks_exact(4);
-            for b in &mut blocks {
-                let q0 = &queries.row(b[0] as usize)[..d];
-                let q1 = &queries.row(b[1] as usize)[..d];
-                let q2 = &queries.row(b[2] as usize)[..d];
-                let q3 = &queries.row(b[3] as usize)[..d];
-                for (ei, &id) in il.ids.iter().enumerate() {
-                    let v = &il.vectors[ei * d..ei * d + d];
-                    let s = dot4(v, q0, q1, q2, q3);
-                    scored[b[0] as usize - start].push((id, s[0]));
-                    scored[b[1] as usize - start].push((id, s[1]));
-                    scored[b[2] as usize - start].push((id, s[2]));
-                    scored[b[3] as usize - start].push((id, s[3]));
-                }
-            }
-            for &qi in blocks.remainder() {
-                let q = queries.row(qi as usize);
-                let out = &mut scored[qi as usize - start];
-                for (ei, &id) in il.ids.iter().enumerate() {
-                    let v = &il.vectors[ei * d..ei * d + d];
-                    out.push((id, dot(v, q)));
-                }
-            }
+            self.score_one_list(list, qis, queries, start, &mut scored);
         }
         if let Some(m) = &self.metrics {
             let mut probes = 0u64;
@@ -264,6 +247,136 @@ impl IvfIndex {
             m.candidates_scored.add(candidates);
         }
         scored
+    }
+
+    /// Score every query in `qis` (absolute batch row indices) against one
+    /// inverted list, appending `(id, score)` pairs to `scored[qi - start]`.
+    /// Queries are blocked four at a time through `dot4` exactly like the
+    /// batch path always has, so a score never depends on how its query was
+    /// grouped or which probing strategy scheduled the list.
+    fn score_one_list(
+        &self,
+        list: usize,
+        qis: &[u32],
+        queries: &Matrix,
+        start: usize,
+        scored: &mut [Vec<(u64, f32)>],
+    ) {
+        if qis.is_empty() {
+            return;
+        }
+        let il = &self.lists[list];
+        let d = self.dim;
+        for &qi in qis {
+            scored[qi as usize - start].reserve(il.ids.len());
+        }
+        let mut blocks = qis.chunks_exact(4);
+        for b in &mut blocks {
+            let q0 = &queries.row(b[0] as usize)[..d];
+            let q1 = &queries.row(b[1] as usize)[..d];
+            let q2 = &queries.row(b[2] as usize)[..d];
+            let q3 = &queries.row(b[3] as usize)[..d];
+            for (ei, &id) in il.ids.iter().enumerate() {
+                let v = &il.vectors[ei * d..ei * d + d];
+                let s = dot4(v, q0, q1, q2, q3);
+                scored[b[0] as usize - start].push((id, s[0]));
+                scored[b[1] as usize - start].push((id, s[1]));
+                scored[b[2] as usize - start].push((id, s[2]));
+                scored[b[3] as usize - start].push((id, s[3]));
+            }
+        }
+        for &qi in blocks.remainder() {
+            let q = queries.row(qi as usize);
+            let out = &mut scored[qi as usize - start];
+            for (ei, &id) in il.ids.iter().enumerate() {
+                let v = &il.vectors[ei * d..ei * d + d];
+                out.push((id, dot(v, q)));
+            }
+        }
+    }
+
+    /// Deadline-aware multi-query probe: visit each query's `nprobe` nearest
+    /// lists **nearest-first in probe-rank rounds**, checking the deadline
+    /// between rounds and stopping early once it expires. Round 0 always
+    /// completes, so every query is scored against at least its single
+    /// nearest list; stopping after round `r` leaves each query with exactly
+    /// its `r+1` nearest lists scored — the same candidates a plain
+    /// `nprobe = r+1` search would have produced.
+    ///
+    /// `on_round(r)` fires at the start of every round (after the expiry
+    /// check); the server uses it as a fault-injection point. This path runs
+    /// on the calling thread — the degraded probe trades the chunked-batch
+    /// parallelism for a between-rounds budget check.
+    pub fn search_batch_deadline(
+        &self,
+        queries: &Matrix,
+        k: usize,
+        nprobe: usize,
+        deadline: &Deadline,
+        mut on_round: impl FnMut(usize),
+    ) -> Result<BoundedSearch, ServingError> {
+        let nprobe = nprobe.max(1).min(self.centroids.len());
+        if queries.rows() == 0 {
+            return Ok(BoundedSearch { results: Vec::new(), effective_nprobe: nprobe });
+        }
+        if queries.cols() != self.dim {
+            return Err(ServingError::DimensionMismatch {
+                expected: self.dim,
+                got: queries.cols(),
+            });
+        }
+        let rows = queries.rows();
+        let by_dist = |a: &(usize, f32), b: &(usize, f32)| {
+            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
+        };
+        // Per-query probe schedule: the nprobe nearest lists, ascending by
+        // centroid distance, so round r probes every query's (r+1)-th
+        // nearest list.
+        let orders: Vec<Vec<usize>> = (0..rows)
+            .map(|qi| {
+                let q = queries.row(qi);
+                let mut order: Vec<(usize, f32)> =
+                    self.centroids.iter().enumerate().map(|(i, c)| (i, euclidean2(c, q))).collect();
+                let pivot = (nprobe - 1).min(order.len() - 1);
+                order.select_nth_unstable_by(pivot, by_dist);
+                order.truncate(nprobe);
+                order.sort_by(by_dist);
+                order.into_iter().map(|(list, _)| list).collect()
+            })
+            .collect();
+        let mut scored: Vec<Vec<(u64, f32)>> = vec![Vec::new(); rows];
+        let mut probers: Vec<Vec<u32>> = vec![Vec::new(); self.centroids.len()];
+        let mut probes = 0u64;
+        let mut candidates = 0u64;
+        let mut effective = nprobe;
+        for r in 0..nprobe {
+            if r > 0 && deadline.expired() {
+                effective = r;
+                break;
+            }
+            on_round(r);
+            for p in probers.iter_mut() {
+                p.clear();
+            }
+            for (qi, order) in orders.iter().enumerate() {
+                if let Some(&list) = order.get(r) {
+                    probers[list].push(qi as u32);
+                }
+            }
+            for (list, qis) in probers.iter().enumerate() {
+                self.score_one_list(list, qis, queries, 0, &mut scored);
+                probes += qis.len() as u64;
+                candidates += (qis.len() * self.lists[list].ids.len()) as u64;
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.lists_probed.add(probes);
+            m.candidates_scored.add(candidates);
+        }
+        Ok(BoundedSearch {
+            results: scored.into_iter().map(|s| top_k_desc(s, k)).collect(),
+            effective_nprobe: effective,
+        })
     }
 
     /// Exact top-`k` (probes every list) — the recall baseline.
@@ -427,6 +540,60 @@ mod tests {
             assert_eq!(seq, par, "chunks={chunks} diverges from sequential");
         }
         assert_eq!(seq, idx.search_batch(&m, 10, 3).expect("auto"), "auto dispatch diverges");
+    }
+
+    #[test]
+    fn deadline_search_with_unbounded_budget_matches_search_batch() {
+        let items = random_items(350, 8, 14);
+        let idx = IvfIndex::build(&items, 10, 4, 14);
+        let queries: Vec<Vec<f32>> = random_items(21, 8, 15).into_iter().map(|(_, v)| v).collect();
+        let rows: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+        let m = Matrix::from_rows(&rows);
+        let mut rounds = Vec::new();
+        let bounded = idx
+            .search_batch_deadline(&m, 10, 4, &Deadline::none(), |r| rounds.push(r))
+            .expect("bounded");
+        assert_eq!(bounded.effective_nprobe, 4);
+        assert_eq!(rounds, vec![0, 1, 2, 3], "one hook call per probe round");
+        let full = idx.search_batch(&m, 10, 4).expect("full");
+        assert_eq!(bounded.results, full, "unbounded deadline must match the plain batch probe");
+    }
+
+    #[test]
+    fn expired_deadline_caps_probe_to_one_round() {
+        let items = random_items(350, 8, 16);
+        let idx = IvfIndex::build(&items, 10, 4, 16);
+        let queries: Vec<Vec<f32>> = random_items(13, 8, 17).into_iter().map(|(_, v)| v).collect();
+        let rows: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+        let m = Matrix::from_rows(&rows);
+        let bounded = idx
+            .search_batch_deadline(&m, 10, 4, &Deadline::after(std::time::Duration::ZERO), |_| {})
+            .expect("bounded");
+        assert_eq!(bounded.effective_nprobe, 1, "round 0 always completes, nothing more");
+        // One completed round == the candidates of a plain nprobe=1 search.
+        let narrow = idx.search_batch(&m, 10, 1).expect("narrow");
+        assert_eq!(bounded.results, narrow, "capped probe must equal the equivalent nprobe");
+    }
+
+    #[test]
+    fn deadline_expiring_mid_probe_stops_between_rounds() {
+        let items = random_items(350, 8, 18);
+        let idx = IvfIndex::build(&items, 10, 4, 18);
+        let queries: Vec<Vec<f32>> = random_items(9, 8, 19).into_iter().map(|(_, v)| v).collect();
+        let rows: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+        let m = Matrix::from_rows(&rows);
+        // Burn the whole budget inside round 1's hook: rounds 0 and 1 score,
+        // the round-2 expiry check then stops the probe.
+        let deadline = Deadline::after(std::time::Duration::from_millis(5));
+        let bounded = idx
+            .search_batch_deadline(&m, 10, 4, &deadline, |r| {
+                if r == 1 {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            })
+            .expect("bounded");
+        assert_eq!(bounded.effective_nprobe, 2);
+        assert_eq!(bounded.results, idx.search_batch(&m, 10, 2).expect("two-list probe"));
     }
 
     #[test]

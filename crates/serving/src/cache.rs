@@ -7,33 +7,71 @@
 //! requests." The request path only ever reads the cache; misses enqueue a
 //! refresh and fall back to computing inline (first touch) — subsequent
 //! requests hit.
+//!
+//! Overload robustness: the cache is **capacity-bounded** (second-chance
+//! eviction, so a miss-heavy or adversarial request stream cannot grow the
+//! map without limit) and the refresher queue is **bounded with
+//! drop-on-full** plus a pending-node dedup set, so the refresh path can
+//! never block a request or queue N recomputes for one hot node.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{bounded, Sender};
 use zoomer_graph::NodeId;
 use zoomer_obs::CacheStats;
 
-/// Thread-safe neighbor cache: node → up-to-`k` cached neighbor ids.
+/// One cached entry plus its second-chance reference bit. The bit is set on
+/// every hit (under the read lock — it is atomic precisely so readers can
+/// flip it) and cleared as the clock hand sweeps past during eviction.
+struct Slot {
+    neighbors: Arc<Vec<NodeId>>,
+    referenced: AtomicBool,
+}
+
+/// The locked interior: the entry map plus the clock ring the second-chance
+/// hand walks. Invariant: `ring` holds exactly the keys of `map`, each once.
+struct ClockState {
+    map: HashMap<NodeId, Slot>,
+    ring: Vec<NodeId>,
+    hand: usize,
+}
+
+/// Thread-safe neighbor cache: node → up-to-`k` cached neighbor ids, at most
+/// `capacity` entries (second-chance eviction beyond that).
 pub struct NeighborCache {
     k: usize,
-    map: RwLock<HashMap<NodeId, Arc<Vec<NodeId>>>>,
+    capacity: usize,
+    state: RwLock<ClockState>,
     hits: AtomicU64,
     misses: AtomicU64,
     refreshes: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl NeighborCache {
-    /// `k` = neighbors cached per node (paper: 30).
+    /// Default entry bound: generous (a production cache holds millions of
+    /// user/query entries) but finite, so an unconfigured cache still cannot
+    /// grow without limit.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// `k` = neighbors cached per node (paper: 30), with the default
+    /// capacity bound.
     pub fn new(k: usize) -> Self {
+        Self::with_capacity(k, Self::DEFAULT_CAPACITY)
+    }
+
+    /// `k` neighbors per node, at most `capacity` entries (minimum 1).
+    pub fn with_capacity(k: usize, capacity: usize) -> Self {
         Self {
             k,
-            map: RwLock::new(HashMap::new()),
+            capacity: capacity.max(1),
+            state: RwLock::new(ClockState { map: HashMap::new(), ring: Vec::new(), hand: 0 }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             refreshes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -41,25 +79,88 @@ impl NeighborCache {
         self.k
     }
 
-    /// Acquire the map read lock, recovering from poisoning: a reader that
+    /// The entry bound; `len() <= capacity()` always holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Acquire the state read lock, recovering from poisoning: a reader that
     /// panicked mid-`get` cannot have left the map partially mutated, so the
     /// data is intact and later callers must keep being served rather than
     /// propagate the panic (zoomer-lint rule L003).
-    fn read_map(&self) -> RwLockReadGuard<'_, HashMap<NodeId, Arc<Vec<NodeId>>>> {
-        self.map.read().unwrap_or_else(PoisonError::into_inner)
+    fn read_state(&self) -> RwLockReadGuard<'_, ClockState> {
+        self.state.read().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Acquire the map write lock, recovering from poisoning. Every write
-    /// below is a single `HashMap::insert` per entry — there is no
-    /// multi-step critical section a panic could tear — so the recovered map
-    /// is always structurally sound.
-    fn write_map(&self) -> RwLockWriteGuard<'_, HashMap<NodeId, Arc<Vec<NodeId>>>> {
-        self.map.write().unwrap_or_else(PoisonError::into_inner)
+    /// Acquire the state write lock, recovering from poisoning. Every write
+    /// below goes through [`Self::install_locked`], whose map/ring updates
+    /// are completed per entry before anything can observe them — a
+    /// panicking holder between entries leaves a structurally sound state.
+    fn write_state(&self) -> RwLockWriteGuard<'_, ClockState> {
+        self.state.write().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Cached neighbors, or `None` on a miss.
+    /// Run `f` while holding the cache's write lock. This exists for the
+    /// fault-injection harness's poisoned-lock scenario (a panicking `f`
+    /// poisons the std lock; the cache recovers by design) — it is not a
+    /// request-path API.
+    pub fn with_write_lock<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.write_state();
+        f()
+    }
+
+    /// Install `node → neighbors` under the held write lock, evicting via
+    /// the second-chance clock if the cache is full.
+    fn install_locked(&self, state: &mut ClockState, node: NodeId, neighbors: Arc<Vec<NodeId>>) {
+        if let Some(slot) = state.map.get_mut(&node) {
+            // Replace in place (refresh path); the entry is demonstrably
+            // live, so it keeps its second chance.
+            slot.neighbors = neighbors;
+            slot.referenced.store(true, Ordering::Relaxed);
+            return;
+        }
+        if state.ring.len() < self.capacity {
+            state.ring.push(node);
+            state.map.insert(node, Slot { neighbors, referenced: AtomicBool::new(false) });
+            return;
+        }
+        // Second-chance sweep: entries referenced since the hand last passed
+        // get one lap of grace; the first unreferenced entry is evicted and
+        // its ring slot reused. After one full lap every bit is clear, so
+        // the sweep ends within 2·capacity steps (the cap below is belt and
+        // braces against an invariant break, not a reachable path).
+        let len = state.ring.len();
+        let mut steps = 0usize;
+        let idx = loop {
+            let idx = state.hand % len;
+            let candidate = state.ring[idx];
+            let referenced = state
+                .map
+                .get(&candidate)
+                .map(|s| s.referenced.swap(false, Ordering::Relaxed))
+                .unwrap_or(false);
+            state.hand = (idx + 1) % len;
+            steps += 1;
+            if !referenced || steps >= 2 * len {
+                break idx;
+            }
+        };
+        let victim = state.ring[idx];
+        state.map.remove(&victim);
+        state.ring[idx] = node;
+        state.map.insert(node, Slot { neighbors, referenced: AtomicBool::new(false) });
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cached neighbors, or `None` on a miss. A hit sets the entry's
+    /// reference bit, shielding it from the next eviction sweep.
     pub fn get(&self, node: NodeId) -> Option<Arc<Vec<NodeId>>> {
-        let found = self.read_map().get(&node).cloned();
+        let state = self.read_state();
+        let found = state.map.get(&node).map(|slot| {
+            slot.referenced.store(true, Ordering::Relaxed);
+            Arc::clone(&slot.neighbors)
+        });
+        drop(state);
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -80,7 +181,7 @@ impl NeighborCache {
         let mut fresh = compute();
         fresh.truncate(self.k);
         let arc = Arc::new(fresh);
-        self.write_map().insert(node, Arc::clone(&arc));
+        self.install_locked(&mut self.write_state(), node, Arc::clone(&arc));
         arc
     }
 
@@ -88,10 +189,17 @@ impl NeighborCache {
     /// node, in order. Hit/miss counters advance once per node, matching a
     /// sequence of [`Self::get`] calls.
     pub fn get_many(&self, nodes: &[NodeId]) -> Vec<Option<Arc<Vec<NodeId>>>> {
-        let map = self.read_map();
-        let found: Vec<Option<Arc<Vec<NodeId>>>> =
-            nodes.iter().map(|n| map.get(n).cloned()).collect();
-        drop(map);
+        let state = self.read_state();
+        let found: Vec<Option<Arc<Vec<NodeId>>>> = nodes
+            .iter()
+            .map(|n| {
+                state.map.get(n).map(|slot| {
+                    slot.referenced.store(true, Ordering::Relaxed);
+                    Arc::clone(&slot.neighbors)
+                })
+            })
+            .collect();
+        drop(state);
         let hits = found.iter().filter(|f| f.is_some()).count() as u64;
         self.hits.fetch_add(hits, Ordering::Relaxed);
         self.misses.fetch_add(nodes.len() as u64 - hits, Ordering::Relaxed);
@@ -108,11 +216,11 @@ impl NeighborCache {
                 (n, Arc::new(v))
             })
             .collect();
-        let mut map = self.write_map();
-        arcs.iter()
+        let mut state = self.write_state();
+        arcs.into_iter()
             .map(|(n, a)| {
-                map.insert(*n, Arc::clone(a));
-                Arc::clone(a)
+                self.install_locked(&mut state, n, Arc::clone(&a));
+                a
             })
             .collect()
     }
@@ -121,12 +229,12 @@ impl NeighborCache {
     /// [`CacheStats::refreshes`]).
     pub fn put(&self, node: NodeId, mut neighbors: Vec<NodeId>) {
         neighbors.truncate(self.k);
-        self.write_map().insert(node, Arc::new(neighbors));
+        self.install_locked(&mut self.write_state(), node, Arc::new(neighbors));
         self.refreshes.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn len(&self) -> usize {
-        self.read_map().len()
+        self.read_state().map.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -141,41 +249,105 @@ impl NeighborCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             refreshes: self.refreshes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
 
 /// Background refresher: owns a worker thread that recomputes cache entries
 /// "fully asynchronous from users' timely requests".
+///
+/// The queue is bounded: a full queue **drops** the refresh request (the
+/// entry simply stays stale a little longer) instead of ever blocking the
+/// request path. A pending-node set deduplicates requests, so N misses on
+/// one hot node cost one recompute, not N.
 pub struct CacheRefresher {
     tx: Option<Sender<NodeId>>,
     handle: Option<std::thread::JoinHandle<u64>>,
+    pending: Arc<Mutex<HashSet<NodeId>>>,
+    deduped: AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl CacheRefresher {
+    /// Default refresh queue depth: deep enough that drops only happen under
+    /// sustained overload, shallow enough to bound memory and staleness.
+    pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
     /// Spawn a refresher that recomputes entries with `compute` and installs
-    /// them into `cache`.
+    /// them into `cache`, with the default queue depth.
     pub fn spawn(
         cache: Arc<NeighborCache>,
         compute: impl Fn(NodeId) -> Vec<NodeId> + Send + 'static,
     ) -> Self {
-        let (tx, rx) = unbounded::<NodeId>();
+        Self::with_queue_capacity(cache, Self::DEFAULT_QUEUE_CAPACITY, compute)
+    }
+
+    /// [`Self::spawn`] with an explicit queue depth (minimum 1).
+    pub fn with_queue_capacity(
+        cache: Arc<NeighborCache>,
+        queue_capacity: usize,
+        compute: impl Fn(NodeId) -> Vec<NodeId> + Send + 'static,
+    ) -> Self {
+        let (tx, rx) = bounded::<NodeId>(queue_capacity.max(1));
+        let pending = Arc::new(Mutex::new(HashSet::new()));
+        let worker_pending = Arc::clone(&pending);
         let handle = std::thread::spawn(move || {
             let mut refreshed = 0u64;
             for node in rx {
                 cache.put(node, compute(node));
+                // Clear pending only after the entry is installed, so a
+                // request arriving mid-refresh dedups against the compute
+                // that is already producing its answer.
+                worker_pending.lock().unwrap_or_else(PoisonError::into_inner).remove(&node);
                 refreshed += 1;
             }
             refreshed
         });
-        Self { tx: Some(tx), handle: Some(handle) }
+        Self {
+            tx: Some(tx),
+            handle: Some(handle),
+            pending,
+            deduped: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
     }
 
-    /// Enqueue a refresh; never blocks the request path.
-    pub fn request_refresh(&self, node: NodeId) {
-        if let Some(tx) = &self.tx {
-            let _ = tx.send(node);
+    /// Enqueue a refresh; never blocks the request path. Returns whether the
+    /// request was accepted: `false` means it was deduplicated against an
+    /// already-pending refresh for the same node, or dropped because the
+    /// queue is full (the entry stays stale — strictly better than stalling
+    /// a user request on background work).
+    pub fn request_refresh(&self, node: NodeId) -> bool {
+        let Some(tx) = &self.tx else {
+            return false;
+        };
+        {
+            let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+            if !pending.insert(node) {
+                drop(pending);
+                self.deduped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
         }
+        match tx.try_send(node) {
+            Ok(()) => true,
+            Err(_) => {
+                self.pending.lock().unwrap_or_else(PoisonError::into_inner).remove(&node);
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Requests deduplicated against an already-pending refresh.
+    pub fn deduped(&self) -> u64 {
+        self.deduped.load(Ordering::Relaxed)
+    }
+
+    /// Requests dropped because the queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Drain the queue and stop; returns how many entries were refreshed,
@@ -204,6 +376,7 @@ impl Drop for CacheRefresher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crossbeam::channel::unbounded;
 
     #[test]
     fn miss_then_hit() {
@@ -264,17 +437,125 @@ mod tests {
     }
 
     #[test]
+    fn capacity_bounds_len_under_churn() {
+        let capacity = 16;
+        let cache = NeighborCache::with_capacity(4, capacity);
+        assert_eq!(cache.capacity(), capacity);
+        for n in 0..500u32 {
+            cache.put(n, vec![n]);
+            assert!(
+                cache.len() <= capacity,
+                "len {} exceeds capacity after insert {n}",
+                cache.len()
+            );
+        }
+        assert_eq!(cache.len(), capacity);
+        let s = cache.stats();
+        assert_eq!(s.evictions, 500 - capacity as u64, "every insert past capacity evicts once");
+        // The same accounting arrives through every insert path.
+        cache.insert_many(vec![(1000, vec![1]), (1001, vec![2])]);
+        let _ = cache.get_or_compute(1002, || vec![3]);
+        assert_eq!(cache.len(), capacity);
+        assert_eq!(cache.stats().evictions, 503 - capacity as u64);
+    }
+
+    #[test]
+    fn hot_entries_survive_churn() {
+        let cache = NeighborCache::with_capacity(4, 8);
+        cache.put(999, vec![1, 2]);
+        assert!(cache.get(999).is_some());
+        for n in 0..200u32 {
+            cache.put(n, vec![n]);
+            // The hot node keeps getting hit between insertions, re-arming
+            // its second chance every time the clock hand clears it.
+            assert!(cache.get(999).is_some(), "hot entry evicted after {} cold inserts", n + 1);
+        }
+        assert!(cache.len() <= 8);
+        // A node never touched again did not survive the churn.
+        assert!(cache.get(0).is_none());
+    }
+
+    #[test]
+    fn replacing_an_existing_entry_never_evicts() {
+        let cache = NeighborCache::with_capacity(4, 2);
+        cache.put(1, vec![1]);
+        cache.put(2, vec![2]);
+        for _ in 0..10 {
+            cache.put(1, vec![7]);
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0, "in-place replacement is not an eviction");
+        assert_eq!(*cache.get(1).expect("replaced"), vec![7]);
+        assert_eq!(*cache.get(2).expect("untouched"), vec![2]);
+    }
+
+    #[test]
     fn refresher_updates_entries_asynchronously() {
         let cache = Arc::new(NeighborCache::new(5));
         cache.put(7, vec![1]);
         let refresher =
             CacheRefresher::spawn(Arc::clone(&cache), |node| vec![node + 100, node + 101]);
-        refresher.request_refresh(7);
-        refresher.request_refresh(8);
+        assert!(refresher.request_refresh(7));
+        assert!(refresher.request_refresh(8));
         let done = refresher.shutdown().expect("refresher finished cleanly");
         assert_eq!(done, 2);
         assert_eq!(*cache.get(7).expect("refreshed"), vec![107, 108]);
         assert_eq!(*cache.get(8).expect("filled"), vec![108, 109]);
+    }
+
+    #[test]
+    fn duplicate_refresh_requests_dedup_to_one_compute() {
+        let cache = Arc::new(NeighborCache::new(5));
+        // Gate the compute closure so the worker sits inside the first
+        // refresh while the duplicates arrive.
+        let (entered_tx, entered_rx) = unbounded::<NodeId>();
+        let (gate_tx, gate_rx) = unbounded::<()>();
+        let refresher = CacheRefresher::spawn(Arc::clone(&cache), move |n| {
+            let _ = entered_tx.send(n);
+            let _ = gate_rx.recv();
+            vec![n + 1]
+        });
+        assert!(refresher.request_refresh(42), "first request must enqueue");
+        assert_eq!(entered_rx.recv(), Ok(42), "worker must start the refresh");
+        for _ in 0..99 {
+            assert!(!refresher.request_refresh(42), "duplicates must dedup");
+        }
+        assert_eq!(refresher.deduped(), 99);
+        let _ = gate_tx.send(());
+        let done = refresher.shutdown().expect("clean shutdown");
+        assert_eq!(done, 1, "100 requests for one node must compute once");
+        assert_eq!(*cache.get(42).expect("refreshed"), vec![43]);
+    }
+
+    #[test]
+    fn full_refresh_queue_drops_instead_of_blocking() {
+        let cache = Arc::new(NeighborCache::new(5));
+        let (entered_tx, entered_rx) = unbounded::<NodeId>();
+        let (gate_tx, gate_rx) = unbounded::<()>();
+        let refresher = CacheRefresher::with_queue_capacity(Arc::clone(&cache), 2, move |n| {
+            let _ = entered_tx.send(n);
+            let _ = gate_rx.recv();
+            vec![n]
+        });
+        assert!(refresher.request_refresh(1));
+        // The worker is now blocked inside compute(1) and the queue is empty.
+        assert_eq!(entered_rx.recv(), Ok(1));
+        assert!(refresher.request_refresh(2));
+        assert!(refresher.request_refresh(3));
+        // Queue full: further requests return immediately as drops rather
+        // than blocking the (simulated) request thread.
+        assert!(!refresher.request_refresh(4));
+        assert!(!refresher.request_refresh(5));
+        assert_eq!(refresher.dropped(), 2);
+        // Drops are drops, not dedups: the pending entry was cleared, so a
+        // dropped node could be re-requested later.
+        assert_eq!(refresher.deduped(), 0);
+        for _ in 0..3 {
+            let _ = gate_tx.send(());
+        }
+        let done = refresher.shutdown().expect("clean shutdown");
+        assert_eq!(done, 3);
+        assert!(cache.get(4).is_none(), "dropped request must not refresh");
     }
 
     #[test]
@@ -288,7 +569,7 @@ mod tests {
 
     #[test]
     fn poisoned_lock_does_not_wedge_subsequent_callers() {
-        // A thread that panics while holding the map lock poisons a std
+        // A thread that panics while holding the state lock poisons a std
         // RwLock. The cache must recover (the map itself is never left
         // mid-mutation) instead of cascading that one panic into every
         // later request thread.
@@ -296,8 +577,9 @@ mod tests {
         cache.put(1, vec![9]);
         let poisoner = Arc::clone(&cache);
         let panicked = std::thread::spawn(move || {
-            let _guard = poisoner.map.write();
-            panic!("simulated request-thread panic while holding the cache lock");
+            poisoner.with_write_lock(|| {
+                panic!("simulated request-thread panic while holding the cache lock")
+            })
         })
         .join();
         assert!(panicked.is_err(), "poisoner thread must have panicked");
@@ -314,7 +596,7 @@ mod tests {
 
     #[test]
     fn concurrent_readers_and_writer() {
-        let cache = Arc::new(NeighborCache::new(4));
+        let cache = Arc::new(NeighborCache::with_capacity(4, 32));
         std::thread::scope(|scope| {
             let c = Arc::clone(&cache);
             scope.spawn(move || {
@@ -331,6 +613,6 @@ mod tests {
                 });
             }
         });
-        assert!(cache.len() <= 50);
+        assert!(cache.len() <= 32, "capacity bound must hold under concurrency");
     }
 }

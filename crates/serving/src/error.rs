@@ -17,6 +17,11 @@ pub enum ServingError {
     DimensionMismatch { expected: usize, got: usize },
     /// A build- or load-time parameter was unusable.
     InvalidConfig(&'static str),
+    /// The request's latency budget was already spent at the named stage.
+    /// Only raised at admission — once a batch is admitted the server
+    /// degrades (caps the probe, falls back to the inverted index) rather
+    /// than wasting the work it has already done.
+    DeadlineExceeded { stage: &'static str },
     /// A load-harness worker thread panicked.
     WorkerPanicked(&'static str),
     /// An internal invariant broke; the message names it.
@@ -35,6 +40,9 @@ impl std::fmt::Display for ServingError {
                 write!(f, "query width mismatch: index dim {expected}, got {got}")
             }
             ServingError::InvalidConfig(msg) => write!(f, "invalid serving config: {msg}"),
+            ServingError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded at {stage}")
+            }
             ServingError::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
             ServingError::Internal(msg) => write!(f, "internal serving invariant broken: {msg}"),
             ServingError::Graph(e) => write!(f, "graph error: {e}"),

@@ -16,7 +16,12 @@
 //!   embedding → ANN lookup.
 //! - [`load`] — the unified open-/closed-loop QPS/latency harness (Fig 9):
 //!   one [`run_load`] entry point driven by a [`LoadTestSpec`], reporting
-//!   per-stage percentile breakdowns through the metrics registry.
+//!   per-stage percentile breakdowns through the metrics registry, with a
+//!   bounded admission queue and a [`ShedPolicy`] for overload runs.
+//! - [`deadline`] / [`fault`] — overload robustness: per-batch latency
+//!   budgets ([`Deadline`]) that degrade recall instead of latency when
+//!   spent, and a deterministic seed-driven [`FaultInjector`] for latency
+//!   spikes, injected panics, and poisoned-lock drills.
 //! - Observability: servers are constructed with [`OnlineServer::builder`]
 //!   and optionally attach a `zoomer_obs::MetricsRegistry`; `handle_batch`
 //!   times each stage (cache resolve / embed / ANN probe / rank) into it,
@@ -31,17 +36,23 @@
 
 pub mod ann;
 pub mod cache;
+pub mod deadline;
 pub mod error;
+pub mod fault;
 pub mod frozen;
 pub mod inverted;
 pub mod load;
 pub mod server;
 
-pub use ann::{IvfIndex, IvfMetrics};
+pub use ann::{BoundedSearch, IvfIndex, IvfMetrics};
 pub use cache::{CacheRefresher, NeighborCache};
+pub use deadline::Deadline;
 pub use error::ServingError;
+pub use fault::{FaultInjector, FaultPlan, FaultSite};
 pub use frozen::FrozenModel;
 pub use inverted::InvertedIndex;
-pub use load::{run_load, Arrival, LatencySummary, LoadReport, LoadTestSpec, StageSummary};
+pub use load::{
+    run_load, Arrival, LatencySummary, LoadReport, LoadTestSpec, ShedPolicy, StageSummary,
+};
 pub use server::{OnlineServer, ServerBuilder, ServingConfig};
 pub use zoomer_obs::CacheStats;

@@ -23,11 +23,22 @@
 //! need a registry that is enabled ([`zoomer_obs::MetricsRegistry::enabled`],
 //! attached via `ServerBuilder::metrics`); with the default disabled
 //! registry `stages` is present but empty of samples.
+//!
+//! Accounting is strict: [`LoadReport::completed`] and the latency
+//! percentiles cover only requests whose batch **succeeded**. Requests in
+//! errored or panicked batches land in [`LoadReport::errors`]; requests the
+//! admission queue refused land in [`LoadReport::shed`]; always
+//! `completed + errors + shed == offered`. Open-loop runs bound the
+//! admission queue with [`LoadTestSpec::queue_capacity`] and pick what
+//! overload sheds via [`ShedPolicy`] — the default (no bound) reproduces the
+//! pre-shedding harness exactly.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::bounded;
+use crossbeam::channel::{bounded, TrySendError};
 use zoomer_graph::NodeId;
 use zoomer_obs::CacheStats;
 
@@ -43,6 +54,18 @@ pub enum Arrival {
     Closed,
 }
 
+/// What an open-loop run sheds when its admission queue is full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Refuse the arriving request (classic admission control: newest work
+    /// is the cheapest to abandon — nothing has been invested in it yet).
+    #[default]
+    RejectNew,
+    /// Evict the oldest queued request to admit the new one (freshest-first:
+    /// the oldest entry is the most likely to miss its deadline anyway).
+    DropOldest,
+}
+
 /// Configuration for one [`run_load`] run. Construct with
 /// [`LoadTestSpec::open`] or [`LoadTestSpec::closed`] and chain the setters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -52,17 +75,36 @@ pub struct LoadTestSpec {
     pub num_threads: usize,
     /// Requests coalesced into one `handle_batch` call.
     pub batch_size: usize,
+    /// Admission-queue bound for open-loop runs. `None` (the default) sizes
+    /// the queue to the whole request set — nothing is ever shed, exactly
+    /// the pre-shedding harness. Closed-loop runs have no queue and ignore
+    /// this.
+    pub queue_capacity: Option<usize>,
+    /// What to shed when the bounded queue is full.
+    pub shed: ShedPolicy,
 }
 
 impl LoadTestSpec {
     /// Open-loop spec at `qps`, one thread, per-request batches.
     pub fn open(qps: f64) -> Self {
-        Self { arrival: Arrival::Open { qps }, num_threads: 1, batch_size: 1 }
+        Self {
+            arrival: Arrival::Open { qps },
+            num_threads: 1,
+            batch_size: 1,
+            queue_capacity: None,
+            shed: ShedPolicy::RejectNew,
+        }
     }
 
     /// Closed-loop spec, one thread, per-request batches.
     pub fn closed() -> Self {
-        Self { arrival: Arrival::Closed, num_threads: 1, batch_size: 1 }
+        Self {
+            arrival: Arrival::Closed,
+            num_threads: 1,
+            batch_size: 1,
+            queue_capacity: None,
+            shed: ShedPolicy::RejectNew,
+        }
     }
 
     pub fn num_threads(mut self, num_threads: usize) -> Self {
@@ -72,6 +114,17 @@ impl LoadTestSpec {
 
     pub fn batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size;
+        self
+    }
+
+    /// Bound the open-loop admission queue to `cap` in-flight requests.
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = Some(cap);
+        self
+    }
+
+    pub fn shed(mut self, shed: ShedPolicy) -> Self {
+        self.shed = shed;
         self
     }
 
@@ -86,6 +139,9 @@ impl LoadTestSpec {
         }
         if self.batch_size == 0 {
             return Err(ServingError::InvalidConfig("need a positive batch size"));
+        }
+        if self.queue_capacity == Some(0) {
+            return Err(ServingError::InvalidConfig("need a positive queue capacity"));
         }
         if requests.is_empty() {
             return Err(ServingError::InvalidConfig("need at least one request"));
@@ -137,11 +193,31 @@ pub struct StageSummary {
 
 /// The report every load shape returns: end-to-end latency, throughput, and
 /// the per-stage/cache accounting for exactly this run.
+///
+/// Request accounting is a partition: `completed + errors + shed ==
+/// offered`, and only completed requests contribute latency samples.
 #[derive(Clone, Debug)]
 pub struct LoadReport {
     pub spec: LoadTestSpec,
+    /// Requests handed to the harness (`requests.len()`).
+    pub offered: usize,
     /// Requests completed (each charged its whole batch's service time).
     pub completed: usize,
+    /// Requests whose batch returned a [`ServingError`] or panicked —
+    /// excluded from `completed` and from every latency percentile.
+    pub errors: usize,
+    /// Requests refused by the bounded admission queue under
+    /// [`LoadTestSpec::queue_capacity`] / [`ShedPolicy`].
+    pub shed: usize,
+    /// Worker batches that panicked (their requests are in `errors`); the
+    /// worker contains the panic and keeps draining.
+    pub panics: usize,
+    /// Requests the server answered degraded during the run
+    /// (`serve.degraded.*` counter delta).
+    pub degraded: u64,
+    /// Batches the server rejected at admission with a spent deadline
+    /// (`serve.deadline_exceeded` counter delta).
+    pub deadline_exceeded: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// End-to-end latency as measured by the harness.
@@ -170,11 +246,29 @@ impl LoadReport {
         }
     }
 
+    /// Fraction of offered requests the admission queue refused.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.offered as f64
+    }
+
     /// The summary for one stage (`cache_resolve`, `embed`, `ann_probe`,
     /// `rank`), if the run recorded it.
     pub fn stage(&self, name: &str) -> Option<&StageSummary> {
         self.stages.iter().find(|s| s.stage == name)
     }
+}
+
+/// What a load driver measured: latency samples for completed requests plus
+/// the shed/error/panic tallies. `lat_ms.len() + errors + shed` equals the
+/// offered request count.
+struct DriverOutcome {
+    lat_ms: Vec<f64>,
+    shed: usize,
+    errors: usize,
+    panics: usize,
 }
 
 /// Run one load test described by `spec` and report end-to-end latency plus
@@ -188,18 +282,34 @@ pub fn run_load(
     let cache_before = server.cache().stats();
     let metrics_before = server.metrics_snapshot();
     let start = Instant::now();
-    let lat_ms = match spec.arrival {
+    let outcome = match spec.arrival {
         Arrival::Open { qps } => run_open_loop(server, requests, qps, spec),
-        Arrival::Closed => run_closed_loop_inner(server, requests, spec)?,
+        Arrival::Closed => run_closed_loop(server, requests, spec),
     };
     let elapsed = start.elapsed();
-    let stage_diff = server.metrics_snapshot().since(&metrics_before);
+    let diff = server.metrics_snapshot().since(&metrics_before);
+    let delta = |name: &str| diff.counter(name).unwrap_or(0);
+    let degraded = delta("serve.degraded.fallback") + delta("serve.degraded.nprobe_capped");
+    let deadline_exceeded = delta("serve.deadline_exceeded");
+    // Mirror the harness tallies into the server's registry (after the diff,
+    // so they never pollute this run's own stage breakdown) — overload runs
+    // then surface in the same snapshot stream as the serving counters.
+    let registry = server.metrics_registry();
+    registry.counter("load.shed").add(outcome.shed as u64);
+    registry.counter("load.errors").add(outcome.errors as u64);
+    registry.counter("load.panics").add(outcome.panics as u64);
     Ok(LoadReport {
         spec: *spec,
-        completed: lat_ms.len(),
+        offered: requests.len(),
+        completed: outcome.lat_ms.len(),
+        errors: outcome.errors,
+        shed: outcome.shed,
+        panics: outcome.panics,
+        degraded,
+        deadline_exceeded,
         elapsed,
-        latency: LatencySummary::from_latencies(lat_ms),
-        stages: extract_stages(&stage_diff),
+        latency: LatencySummary::from_latencies(outcome.lat_ms),
+        stages: extract_stages(&diff),
         cache: server.cache().stats().since(&cache_before),
     })
 }
@@ -229,16 +339,26 @@ fn extract_stages(diff: &zoomer_obs::Snapshot) -> Vec<StageSummary> {
 /// Open-loop driver: a fixed arrival schedule feeds a bounded queue;
 /// `num_threads` workers drain it, coalescing up to `batch_size` queued
 /// requests into one `handle_batch` call.
+///
+/// With `queue_capacity: None` the queue holds the whole request set, so
+/// admission never refuses anything — the pre-shedding behavior, exactly.
+/// With a bound, a full queue sheds per [`ShedPolicy`] instead of blocking
+/// the arrival schedule (an open-loop generator that blocks stops being
+/// open-loop: queueing delay would silently throttle the offered rate).
 fn run_open_loop(
     server: &OnlineServer,
     requests: &[(NodeId, NodeId)],
     qps: f64,
     spec: &LoadTestSpec,
-) -> Vec<f64> {
+) -> DriverOutcome {
     let interval = Duration::from_secs_f64(1.0 / qps);
-    let (tx, rx) = bounded::<(NodeId, NodeId, Instant)>(requests.len());
+    let capacity = spec.queue_capacity.unwrap_or(requests.len()).max(1);
+    let (tx, rx) = bounded::<(NodeId, NodeId, Instant)>(capacity);
     let latencies: Arc<parking_lot::Mutex<Vec<f64>>> =
         Arc::new(parking_lot::Mutex::new(Vec::with_capacity(requests.len())));
+    let errors = AtomicUsize::new(0);
+    let panics = AtomicUsize::new(0);
+    let mut shed = 0usize;
 
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -246,6 +366,8 @@ fn run_open_loop(
             let rx = rx.clone();
             let server = server.clone();
             let latencies = Arc::clone(&latencies);
+            let errors = &errors;
+            let panics = &panics;
             scope.spawn(move || {
                 let mut batch: Vec<(NodeId, NodeId)> = Vec::with_capacity(spec.batch_size);
                 let mut enqueued: Vec<Instant> = Vec::with_capacity(spec.batch_size);
@@ -263,72 +385,133 @@ fn run_open_loop(
                             Err(_) => break,
                         }
                     }
-                    // A per-request error is that request's problem, not the
-                    // harness's; the worker keeps draining the queue.
-                    let _ = server.handle_batch(&batch);
-                    let done = Instant::now();
-                    let mut lat = latencies.lock();
-                    for &at in &enqueued {
-                        lat.push(done.duration_since(at).as_secs_f64() * 1e3);
+                    // A failed batch is its requests' problem, not the
+                    // harness's: the worker tallies it (error or contained
+                    // panic), records no latency for it, and keeps draining.
+                    match catch_unwind(AssertUnwindSafe(|| server.handle_batch(&batch))) {
+                        Ok(Ok(_)) => {
+                            let done = Instant::now();
+                            let mut lat = latencies.lock();
+                            for &at in &enqueued {
+                                lat.push(done.duration_since(at).as_secs_f64() * 1e3);
+                            }
+                        }
+                        Ok(Err(_)) => {
+                            errors.fetch_add(batch.len(), Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            panics.fetch_add(1, Ordering::Relaxed);
+                            errors.fetch_add(batch.len(), Ordering::Relaxed);
+                        }
                     }
-                    drop(lat);
                     batch.clear();
                     enqueued.clear();
                 }
             });
         }
-        drop(rx);
-        // Open-loop arrival schedule.
+        // Open-loop arrival schedule; sheds instead of blocking on a full
+        // bounded queue. The generator keeps its own receiver handle for
+        // `DropOldest` eviction.
         for (i, &(user, query)) in requests.iter().enumerate() {
             let due = start + interval.mul_f64(i as f64);
             if let Some(wait) = due.checked_duration_since(Instant::now()) {
                 std::thread::sleep(wait);
             }
-            let _ = tx.send((user, query, Instant::now()));
+            let mut item = (user, query, Instant::now());
+            loop {
+                match tx.try_send(item) {
+                    Ok(()) => break,
+                    Err(TrySendError::Disconnected(_)) => break,
+                    Err(TrySendError::Full(back)) => match spec.shed {
+                        ShedPolicy::RejectNew => {
+                            shed += 1;
+                            break;
+                        }
+                        ShedPolicy::DropOldest => {
+                            // Evict one queued request and retry. A worker
+                            // may win the race for it — then the queue has a
+                            // free slot anyway and the retry succeeds.
+                            if rx.try_recv().is_ok() {
+                                shed += 1;
+                            }
+                            item = back;
+                        }
+                    },
+                }
+            }
         }
         drop(tx);
+        drop(rx);
     });
     // The scope above joined every worker, so this take sees the final
     // vector; taking under the lock avoids an Arc::try_unwrap that would
     // need an `expect`.
-    let mut guard = latencies.lock();
-    std::mem::take(&mut *guard)
+    let lat_ms = std::mem::take(&mut *latencies.lock());
+    DriverOutcome {
+        lat_ms,
+        shed,
+        errors: errors.load(Ordering::Relaxed),
+        panics: panics.load(Ordering::Relaxed),
+    }
 }
 
 /// Closed-loop driver: `requests` are split across threads, each issuing its
 /// share in `batch_size`-sized `handle_batch` calls back-to-back. Each
-/// request is charged its whole batch's service time.
-fn run_closed_loop_inner(
+/// request is charged its whole batch's service time. Failed batches (error
+/// or contained panic) are tallied and skipped, not aborted on: a load test
+/// that dies at the first bad request cannot measure overload.
+fn run_closed_loop(
     server: &OnlineServer,
     requests: &[(NodeId, NodeId)],
     spec: &LoadTestSpec,
-) -> Result<Vec<f64>, ServingError> {
-    let lats: Result<Vec<Vec<f64>>, ServingError> = std::thread::scope(|scope| {
+) -> DriverOutcome {
+    let outcomes: Vec<(Vec<f64>, usize, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..spec.num_threads)
             .map(|t| {
                 let server = server.clone();
                 let share: Vec<(NodeId, NodeId)> =
                     requests.iter().skip(t).step_by(spec.num_threads).copied().collect();
-                scope.spawn(move || {
+                let share_len = share.len();
+                let handle = scope.spawn(move || {
                     let mut lats = Vec::with_capacity(share.len());
+                    let mut errors = 0usize;
+                    let mut panics = 0usize;
                     for chunk in share.chunks(spec.batch_size) {
                         let t0 = Instant::now();
-                        server.handle_batch(chunk)?;
-                        let ms = t0.elapsed().as_secs_f64() * 1e3;
-                        lats.extend(std::iter::repeat_n(ms, chunk.len()));
+                        match catch_unwind(AssertUnwindSafe(|| server.handle_batch(chunk))) {
+                            Ok(Ok(_)) => {
+                                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                                lats.extend(std::iter::repeat_n(ms, chunk.len()));
+                            }
+                            Ok(Err(_)) => errors += chunk.len(),
+                            Err(_) => {
+                                panics += 1;
+                                errors += chunk.len();
+                            }
+                        }
                     }
-                    Ok(lats)
-                })
+                    (lats, errors, panics)
+                });
+                (handle, share_len)
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| {
-                h.join().map_err(|_| ServingError::WorkerPanicked("closed-loop load worker"))?
+            .map(|(h, share_len)| {
+                // Panics inside `handle_batch` are contained above; a failed
+                // join can only mean the worker loop itself died, so charge
+                // the whole share as errored rather than lose the run.
+                h.join().unwrap_or_else(|_| (Vec::new(), share_len, 1))
             })
             .collect()
     });
-    Ok(lats?.into_iter().flatten().collect())
+    let mut out = DriverOutcome { lat_ms: Vec::new(), shed: 0, errors: 0, panics: 0 };
+    for (lats, errors, panics) in outcomes {
+        out.lat_ms.extend(lats);
+        out.errors += errors;
+        out.panics += panics;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -455,9 +638,76 @@ mod tests {
             run_load(&server, &[], &LoadTestSpec::open(100.0)),
             run_load(&server, &requests, &LoadTestSpec::open(100.0).batch_size(0)),
             run_load(&server, &requests, &LoadTestSpec::closed().num_threads(0)),
+            run_load(&server, &requests, &LoadTestSpec::open(100.0).queue_capacity(0)),
         ] {
             assert!(matches!(bad, Err(ServingError::InvalidConfig(_))), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn open_loop_counts_malformed_requests_as_errors_not_completions() {
+        let (server, mut requests) = server_and_requests(false);
+        requests.truncate(30);
+        let bogus = server.graph().num_nodes() as NodeId + 3;
+        // Three malformed arrivals scattered through the schedule. Batch
+        // size 1 keeps each in its own batch, so exactly three batches fail.
+        for i in [5, 14, 23] {
+            requests[i] = (bogus, requests[i].1);
+        }
+        let report = run_load(&server, &requests, &LoadTestSpec::open(5_000.0)).expect("load run");
+        assert_eq!(report.offered, 30);
+        assert_eq!(report.errors, 3, "each malformed request must be tallied as an error");
+        assert_eq!(report.completed, 27, "failed requests must not count as completed");
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.panics, 0);
+        assert_eq!(report.completed + report.errors + report.shed, report.offered);
+    }
+
+    #[test]
+    fn closed_loop_counts_errors_and_keeps_going() {
+        let (server, mut requests) = server_and_requests(false);
+        requests.truncate(24);
+        let bogus = server.graph().num_nodes() as NodeId + 3;
+        requests[7] = (bogus, requests[7].1);
+        let report = run_load(&server, &requests, &LoadTestSpec::closed()).expect("load run");
+        assert_eq!(report.errors, 1);
+        assert_eq!(report.completed, 23, "the run must outlive one bad request");
+        assert_eq!(report.completed + report.errors + report.shed, report.offered);
+    }
+
+    #[test]
+    fn overload_on_a_bounded_queue_sheds_and_stays_accounted() {
+        let (server, requests) = server_and_requests(false);
+        // Offered far beyond service capacity (1µs arrivals) into a 2-slot
+        // queue: most arrivals must be refused, every request must land in
+        // exactly one of completed/errors/shed, and nothing may block.
+        let spec = LoadTestSpec::open(1_000_000.0).queue_capacity(2);
+        let report = run_load(&server, &requests, &spec).expect("load run");
+        assert!(report.shed > 0, "5x+ overload on a 2-slot queue must shed");
+        assert!(report.shed_rate() > 0.0);
+        assert_eq!(report.completed + report.errors + report.shed, report.offered);
+        assert!(report.completed > 0, "admitted requests must still complete");
+    }
+
+    #[test]
+    fn drop_oldest_sheds_queued_requests_instead_of_new_arrivals() {
+        let (server, requests) = server_and_requests(false);
+        let spec = LoadTestSpec::open(1_000_000.0).queue_capacity(2).shed(ShedPolicy::DropOldest);
+        let report = run_load(&server, &requests, &spec).expect("load run");
+        assert!(report.shed > 0, "overload must evict queued requests");
+        assert_eq!(report.completed + report.errors + report.shed, report.offered);
+    }
+
+    #[test]
+    fn unloaded_bounded_queue_sheds_nothing() {
+        let (server, requests) = server_and_requests(false);
+        // Well under capacity: a gentle trickle into a roomy queue must
+        // behave exactly like the unbounded harness.
+        let spec = LoadTestSpec::open(500.0).queue_capacity(requests.len()).num_threads(2);
+        let report = run_load(&server, &requests[..40], &spec).expect("load run");
+        assert_eq!(report.shed, 0, "uncontended queue must never shed");
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.completed, 40);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! [`OnlineServer::handle`] is a batch of one through the same path.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 use zoomer_graph::{HeteroGraph, NodeId};
@@ -18,7 +20,9 @@ use zoomer_tensor::{seeded_rng, Matrix};
 
 use crate::ann::IvfIndex;
 use crate::cache::NeighborCache;
+use crate::deadline::Deadline;
 use crate::error::ServingError;
+use crate::fault::{FaultInjector, FaultSite};
 use crate::frozen::{neutral_topk_neighbors, FrozenModel};
 use crate::inverted::InvertedIndex;
 
@@ -28,6 +32,10 @@ type NeighborPair = (Arc<Vec<NodeId>>, Arc<Vec<NodeId>>);
 
 /// Ranked item postings computed for one chunk of query nodes at build time.
 type QueryPostings = Vec<(NodeId, Vec<NodeId>)>;
+
+/// A budget-aware ANN probe's outcome: per-query scored candidates, plus
+/// whether the probe was capped below the configured `nprobe`.
+type BudgetedProbe = Result<(Vec<Vec<(u64, f32)>>, bool), ServingError>;
 
 /// Serving-stack parameters.
 #[derive(Clone, Copy, Debug)]
@@ -49,6 +57,16 @@ pub struct ServingConfig {
     pub build_nprobe: usize,
     /// Disable the neighbor cache (ablation: sample neighbors per request).
     pub disable_cache: bool,
+    /// Per-batch latency budget. `None` (the default) is unbounded and
+    /// leaves the request path exactly as it was before deadlines existed.
+    /// With a budget: an already-expired batch is rejected at admission
+    /// ([`ServingError::DeadlineExceeded`]); past admission the server
+    /// degrades instead of erroring — it caps the ANN probe mid-flight and
+    /// falls back to inverted-index-only retrieval when the budget is spent,
+    /// counting `serve.degraded.*`.
+    pub deadline: Option<Duration>,
+    /// Neighbor-cache entry bound (second-chance eviction beyond it).
+    pub cache_capacity: usize,
 }
 
 impl Default for ServingConfig {
@@ -60,6 +78,8 @@ impl Default for ServingConfig {
             nlist: 32,
             build_nprobe: 4,
             disable_cache: false,
+            deadline: None,
+            cache_capacity: NeighborCache::DEFAULT_CAPACITY,
         }
     }
 }
@@ -72,6 +92,16 @@ struct ServerMetrics {
     registry: Arc<MetricsRegistry>,
     requests: Counter,
     batches: Counter,
+    /// Batches rejected at admission with an already-spent budget.
+    deadline_exceeded: Counter,
+    /// Requests answered from the inverted-index fallback (budget spent
+    /// after admission).
+    degraded_fallback: Counter,
+    /// Batches whose ANN probe was capped below the configured `nprobe`.
+    degraded_nprobe: Counter,
+    /// EWMA of the ANN stage's cost in ns, measured only when a deadline is
+    /// bounded; feeds the next batch's at-risk-probe decision.
+    ann_ewma_ns: AtomicU64,
     stage_cache: Histogram,
     stage_embed: Histogram,
     stage_ann: Histogram,
@@ -83,6 +113,10 @@ impl ServerMetrics {
         Self {
             requests: registry.counter("serve.requests"),
             batches: registry.counter("serve.batches"),
+            deadline_exceeded: registry.counter("serve.deadline_exceeded"),
+            degraded_fallback: registry.counter("serve.degraded.fallback"),
+            degraded_nprobe: registry.counter("serve.degraded.nprobe_capped"),
+            ann_ewma_ns: AtomicU64::new(0),
             stage_cache: registry.histogram("serve.stage.cache_resolve_ns"),
             stage_embed: registry.histogram("serve.stage.embed_ns"),
             stage_ann: registry.histogram("serve.stage.ann_probe_ns"),
@@ -104,6 +138,9 @@ pub struct OnlineServer {
     config: ServingConfig,
     sampler: FocalBiasedSampler,
     metrics: Arc<ServerMetrics>,
+    /// Deterministic fault injector (tests/harnesses only); `None` in
+    /// production and on every pre-existing code path.
+    fault: Option<Arc<FaultInjector>>,
 }
 
 impl Clone for OnlineServer {
@@ -117,6 +154,7 @@ impl Clone for OnlineServer {
             config: self.config,
             sampler: self.sampler,
             metrics: Arc::clone(&self.metrics),
+            fault: self.fault.clone(),
         }
     }
 }
@@ -143,6 +181,7 @@ pub struct ServerBuilder {
     config: ServingConfig,
     seed: u64,
     metrics: Option<Arc<MetricsRegistry>>,
+    fault: Option<Arc<FaultInjector>>,
 }
 
 impl ServerBuilder {
@@ -185,6 +224,15 @@ impl ServerBuilder {
         self
     }
 
+    /// Arm a deterministic [`FaultInjector`] on the request path (latency
+    /// spikes and injected actions at stage boundaries). For tests and
+    /// fault-injection harnesses; servers built without one pay a single
+    /// `Option` check per stage.
+    pub fn fault(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.fault = Some(injector);
+        self
+    }
+
     /// Validate the inputs and build the server: embed every pool item
     /// through the frozen item tower and construct the inverted ANN index
     /// (§VI's offline-to-online hand-off).
@@ -203,6 +251,9 @@ impl ServerBuilder {
         }
         if config.nprobe == 0 || config.nlist == 0 {
             return Err(ServingError::InvalidConfig("nprobe and nlist must be positive"));
+        }
+        if config.cache_capacity == 0 {
+            return Err(ServingError::InvalidConfig("cache_capacity must be positive"));
         }
         let num_nodes = graph.num_nodes();
         if let Some(&node) = self.item_pool.iter().find(|&&i| i as usize >= num_nodes) {
@@ -263,10 +314,11 @@ impl ServerBuilder {
             frozen: Arc::new(frozen),
             index: Arc::new(index),
             inverted: Arc::new(inverted),
-            cache: Arc::new(NeighborCache::new(config.cache_k)),
+            cache: Arc::new(NeighborCache::with_capacity(config.cache_k, config.cache_capacity)),
             config,
             sampler: FocalBiasedSampler::default(),
             metrics: Arc::new(ServerMetrics::new(registry)),
+            fault: self.fault,
         })
     }
 }
@@ -417,36 +469,76 @@ impl OnlineServer {
     /// A malformed request (e.g. a node id outside the graph) yields an
     /// `Err` for this batch only; the server state is untouched and it keeps
     /// serving subsequent batches.
+    ///
+    /// The batch runs under the configured [`ServingConfig::deadline`] (if
+    /// any), started at the moment this call admits the batch.
     pub fn handle_batch(
         &self,
         requests: &[(NodeId, NodeId)],
+    ) -> Result<Vec<Vec<NodeId>>, ServingError> {
+        self.handle_batch_with_deadline(requests, Deadline::from_config(self.config.deadline))
+    }
+
+    /// [`Self::handle_batch`] under an explicit, possibly already-running
+    /// [`Deadline`] (e.g. one started when the request was enqueued, so
+    /// queueing delay counts against the budget).
+    ///
+    /// Deadline semantics: an expired budget at admission is an error
+    /// ([`ServingError::DeadlineExceeded`]); once admitted the batch always
+    /// produces a response — the server degrades (caps the ANN probe between
+    /// rounds, or answers from the inverted index alone) rather than wasting
+    /// work already done. `Deadline::none()` reads no clock and leaves the
+    /// path byte-identical to the pre-deadline server.
+    pub fn handle_batch_with_deadline(
+        &self,
+        requests: &[(NodeId, NodeId)],
+        deadline: Deadline,
     ) -> Result<Vec<Vec<NodeId>>, ServingError> {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
         self.validate_nodes(requests.iter().flat_map(|&(u, q)| [u, q]))?;
         let m = &*self.metrics;
+        if deadline.expired() {
+            m.deadline_exceeded.inc();
+            return Err(ServingError::DeadlineExceeded { stage: "admission" });
+        }
         m.batches.inc();
         m.requests.add(requests.len() as u64);
 
+        self.fire_fault(FaultSite::CacheResolve);
         let t = StageTimer::start(&m.stage_cache);
         let neighbors = self.resolve_neighbors(requests)?;
         t.stop();
+        if deadline.expired() {
+            return Ok(self.degraded_fallback_batch(requests));
+        }
 
+        self.fire_fault(FaultSite::Embed);
         let t = StageTimer::start(&m.stage_embed);
         let neighbor_slices: Vec<(&[NodeId], &[NodeId])> =
             neighbors.iter().map(|(u, q)| (u.as_slice(), q.as_slice())).collect();
         let uq = self.frozen.embed_requests(&self.graph, requests, &neighbor_slices);
         t.stop();
 
+        // The fault fires before the expiry check so an injected ANN-stage
+        // spike deterministically exercises the fallback path.
+        self.fire_fault(FaultSite::AnnProbe);
+        if deadline.expired() {
+            return Ok(self.degraded_fallback_batch(requests));
+        }
         let t = StageTimer::start(&m.stage_ann);
-        let found = self.index.search_batch(&uq, self.config.top_k, self.config.nprobe)?;
+        let (found, capped) = self.probe_with_budget(&uq, &deadline)?;
         t.stop();
 
         let t = StageTimer::start(&m.stage_rank);
         let mut out = Vec::with_capacity(found.len());
+        // A capped or out-of-budget probe skips the exact-scan widening:
+        // that scan exists to fill under-full result lists and costs O(pool),
+        // exactly the work a spent budget cannot afford.
+        let widen = !capped && !deadline.expired();
         for (i, mut f) in found.into_iter().enumerate() {
-            if f.len() < self.config.top_k && f.len() < self.index.len() {
+            if widen && f.len() < self.config.top_k && f.len() < self.index.len() {
                 // Under-filled probe set (small pool or skewed clusters):
                 // widen to an exact scan rather than return a short list.
                 f = self.index.exact_search(uq.row(i), self.config.top_k)?;
@@ -455,6 +547,70 @@ impl OnlineServer {
         }
         t.stop();
         Ok(out)
+    }
+
+    #[inline]
+    fn fire_fault(&self, site: FaultSite) {
+        if let Some(f) = &self.fault {
+            f.fire(site);
+        }
+    }
+
+    /// ANN probe under the batch's remaining budget. Unbounded deadlines use
+    /// the plain full-width probe (identical to the pre-deadline server).
+    /// Bounded deadlines consult an EWMA of recent ANN cost: if the budget
+    /// looks at risk (or no history exists yet), the probe runs round-major
+    /// with a between-rounds expiry check and may stop early — a capped
+    /// probe equals a plain probe at the smaller `nprobe`, trading recall
+    /// for latency. Returns the per-query candidates and whether the probe
+    /// was capped below the configured width.
+    fn probe_with_budget(&self, uq: &Matrix, deadline: &Deadline) -> BudgetedProbe {
+        let (top_k, nprobe) = (self.config.top_k, self.config.nprobe);
+        if !deadline.is_bounded() {
+            return Ok((self.index.search_batch(uq, top_k, nprobe)?, false));
+        }
+        let m = &*self.metrics;
+        let ewma = m.ann_ewma_ns.load(Ordering::Relaxed);
+        let remaining_ns = deadline
+            .remaining()
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(u64::MAX);
+        let want = nprobe.max(1).min(self.index.nlist());
+        let t0 = Instant::now();
+        // No history yet (ewma == 0) counts as at-risk: the first bounded
+        // batch pays the round-major bookkeeping instead of gambling the
+        // whole budget on an unmeasured probe.
+        let (found, capped) = if ewma == 0 || remaining_ns < 2 * ewma {
+            let bounded = self.index.search_batch_deadline(uq, top_k, nprobe, deadline, |_| {
+                self.fire_fault(FaultSite::AnnRound)
+            })?;
+            (bounded.results, bounded.effective_nprobe < want)
+        } else {
+            (self.index.search_batch(uq, top_k, nprobe)?, false)
+        };
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        m.ann_ewma_ns.store(if ewma == 0 { ns } else { (3 * ewma + ns) / 4 }, Ordering::Relaxed);
+        if capped {
+            m.degraded_nprobe.inc();
+        }
+        Ok((found, capped))
+    }
+
+    /// Budget-spent fallback: answer every request from the inverted index
+    /// alone (term/posting lookup, no embedding or ANN work), truncated to
+    /// `top_k`. Requests with no posting get an empty list — a degraded
+    /// answer within the deadline beats a complete answer after it.
+    fn degraded_fallback_batch(&self, requests: &[(NodeId, NodeId)]) -> Vec<Vec<NodeId>> {
+        self.metrics.degraded_fallback.add(requests.len() as u64);
+        requests
+            .iter()
+            .map(|&(_, q)| {
+                self.inverted
+                    .posting(q)
+                    .map(|p| p.iter().take(self.config.top_k).copied().collect())
+                    .unwrap_or_default()
+            })
+            .collect()
     }
 
     /// Handle one retrieval request: a batch of one through
@@ -498,6 +654,10 @@ mod tests {
     use zoomer_model::{ModelConfig, UnifiedCtrModel};
 
     fn build_server(disable_cache: bool) -> (TaobaoData, OnlineServer) {
+        build_server_cfg(ServingConfig { top_k: 20, disable_cache, ..Default::default() })
+    }
+
+    fn build_server_cfg(config: ServingConfig) -> (TaobaoData, OnlineServer) {
         let data = TaobaoData::generate(TaobaoConfig::tiny(81));
         let dd = data.graph.features().dense_dim();
         let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(11, dd));
@@ -511,7 +671,7 @@ mod tests {
             .graph(graph)
             .frozen(frozen)
             .item_pool(&items)
-            .config(ServingConfig { top_k: 20, disable_cache, ..Default::default() })
+            .config(config)
             .seed(81)
             .build()
             .expect("server build");
@@ -611,6 +771,64 @@ mod tests {
         // ...while subsequent well-formed batches serve identically.
         let after = server.handle(log.user, log.query).expect("server must keep serving");
         assert_eq!(before, after, "rejected request must not perturb server state");
+    }
+
+    #[test]
+    fn zero_deadline_is_rejected_at_admission_not_a_panic() {
+        let (data, server) = build_server_cfg(ServingConfig {
+            top_k: 20,
+            deadline: Some(Duration::ZERO),
+            ..Default::default()
+        });
+        let log = &data.logs[0];
+        let err = server
+            .handle_batch(&[(log.user, log.query)])
+            .expect_err("a zero budget must be rejected at admission");
+        assert_eq!(err, ServingError::DeadlineExceeded { stage: "admission" });
+        // Rejection is typed and counted — never a panic, never a served batch.
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("serve.deadline_exceeded"), Some(1));
+        assert_eq!(snap.counter("serve.batches"), Some(0), "rejected batch must not be admitted");
+        // An empty batch is still the empty answer, even with a spent budget.
+        assert!(server.handle_batch(&[]).expect("empty batch").is_empty());
+    }
+
+    #[test]
+    fn generous_deadline_serves_identically_to_no_deadline() {
+        let (data, unbounded) = build_server(false);
+        let (_, bounded) = build_server_cfg(ServingConfig {
+            top_k: 20,
+            deadline: Some(Duration::from_secs(600)),
+            ..Default::default()
+        });
+        let requests: Vec<(NodeId, NodeId)> =
+            data.logs.iter().take(6).map(|l| (l.user, l.query)).collect();
+        assert_eq!(
+            unbounded.handle_batch(&requests).expect("serve unbounded"),
+            bounded.handle_batch(&requests).expect("serve bounded"),
+            "an unspent budget must not change any answer"
+        );
+        let snap = bounded.metrics_snapshot();
+        assert_eq!(snap.counter("serve.degraded.fallback"), Some(0));
+        assert_eq!(snap.counter("serve.degraded.nprobe_capped"), Some(0));
+    }
+
+    #[test]
+    fn zero_cache_capacity_is_a_build_error() {
+        let data = TaobaoData::generate(TaobaoConfig::tiny(84));
+        let dd = data.graph.features().dense_dim();
+        let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(11, dd));
+        let frozen = crate::frozen::FrozenModel::from_model(&mut model, &data.graph);
+        let items = data.item_nodes();
+        assert!(matches!(
+            OnlineServer::builder()
+                .graph(Arc::new(data.graph))
+                .frozen(frozen)
+                .item_pool(&items)
+                .config(ServingConfig { cache_capacity: 0, ..Default::default() })
+                .build(),
+            Err(ServingError::InvalidConfig("cache_capacity must be positive"))
+        ));
     }
 
     #[test]

@@ -6,9 +6,12 @@
 //! Run with: `cargo run --release --example online_serving`
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use zoomer_core::data::TaobaoConfig;
-use zoomer_core::serving::{run_load, FrozenModel, LoadTestSpec, OnlineServer, ServingConfig};
+use zoomer_core::serving::{
+    run_load, FrozenModel, LoadTestSpec, OnlineServer, ServingConfig, ShedPolicy,
+};
 use zoomer_core::train::TrainerConfig;
 use zoomer_core::{PipelineConfig, ZoomerPipeline};
 
@@ -42,7 +45,7 @@ fn main() {
     );
     let frozen = FrozenModel::from_model(pipeline.model_mut(), &graph);
     let server = OnlineServer::builder()
-        .graph(graph)
+        .graph(Arc::clone(&graph))
         .frozen(frozen)
         .item_pool(&items)
         .config(ServingConfig { cache_k: 30, top_k: 100, ..Default::default() })
@@ -67,4 +70,44 @@ fn main() {
         );
     }
     println!("\ncache hit rate: {:.1}%", server.cache().stats().hit_rate() * 100.0);
+
+    // Overload: the same pool offered far past capacity, but through a
+    // bounded admission queue with a per-batch deadline armed. The server
+    // sheds the excess and degrades instead of queueing without bound —
+    // admitted requests stay near the budget, refusals are counted, and
+    // nothing blocks or panics.
+    println!("\n== Overload (bounded queue, 10 ms deadline) ==");
+    let guarded = OnlineServer::builder()
+        .graph(Arc::clone(&graph))
+        .frozen(FrozenModel::from_model(pipeline.model_mut(), &graph))
+        .item_pool(&items)
+        .config(ServingConfig {
+            cache_k: 30,
+            top_k: 100,
+            deadline: Some(Duration::from_millis(10)),
+            ..Default::default()
+        })
+        .seed(seed)
+        .build()
+        .expect("serving build");
+    guarded.warm_cache(&warm).expect("warm cache");
+    let flood = LoadTestSpec::open(200_000.0)
+        .num_threads(4)
+        .batch_size(8)
+        .queue_capacity(32)
+        .shed(ShedPolicy::RejectNew);
+    let report = run_load(&guarded, &requests, &flood).expect("overload run");
+    println!(
+        "offered {} | completed {} | shed {} ({:.1}%) | errors {} | degraded {}",
+        report.offered,
+        report.completed,
+        report.shed,
+        report.shed_rate() * 100.0,
+        report.errors,
+        report.degraded
+    );
+    println!(
+        "admitted latency: p50 {:.3} ms, p99 {:.3} ms (budget 10 ms)",
+        report.latency.p50_ms, report.latency.p99_ms
+    );
 }

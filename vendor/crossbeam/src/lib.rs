@@ -38,6 +38,23 @@ pub mod channel {
         Disconnected,
     }
 
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity; the value is handed back.
+        Full(T),
+        /// Every receiver is gone; the value is handed back.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
     impl<T> std::fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             write!(f, "sending on a disconnected channel")
@@ -87,6 +104,23 @@ pub mod channel {
                         self.0.not_empty.notify_one();
                         return Ok(());
                     }
+                }
+            }
+        }
+
+        /// Non-blocking send: hands the value back instead of waiting when
+        /// the channel is full or the receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.0.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            match self.0.cap {
+                Some(cap) if inner.queue.len() >= cap => Err(TrySendError::Full(value)),
+                _ => {
+                    inner.queue.push_back(value);
+                    self.0.not_empty.notify_one();
+                    Ok(())
                 }
             }
         }
