@@ -19,6 +19,9 @@ cargo test --workspace --offline -q
 echo "== fault-injection suite (overload, degraded modes, injected panics) =="
 cargo test --offline -q -p zoomer-serving --test fault_injection
 
+echo "== backend parity suite (IVF bit-identity, three-backend equivalence) =="
+cargo test --offline -q -p zoomer-serving --test backend_parity
+
 echo "== kernel bench (smoke mode: every kernel executes, baseline file untouched) =="
 ZOOMER_BENCH_SCALE=smoke cargo bench --offline -q -p zoomer-bench --bench kernels
 

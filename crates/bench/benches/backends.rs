@@ -1,0 +1,186 @@
+//! Search backends — recall@10 vs query latency vs build cost, per backend.
+//!
+//! Not a paper figure: the paper serves IVF only. With retrieval behind the
+//! `SearchBackend` trait this harness measures what each backend actually
+//! trades: the IVF probe sweeps `nprobe`, the relevance proximity graph
+//! sweeps its beam width (one graph build, re-aimed per row), and the exact
+//! flat scan anchors recall = 1. Ground truth is the `ExactSearch` oracle
+//! over the same frozen-tower embeddings.
+//!
+//! Backends are built directly from the item embeddings — not through
+//! `OnlineServer` — because the server widens under-full probe results with
+//! an exact scan, which would silently inflate the approximate backends'
+//! measured recall.
+//!
+//! At `small`/`full` scale the results are also written to the repo-root
+//! `BENCH_backends.json` baseline (the acceptance record that the proximity
+//! graph reaches IVF recall@10 at some beam width).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use zoomer_bench::{banner, million_dataset, write_json, BenchScale};
+use zoomer_core::model::{ModelConfig, UnifiedCtrModel};
+use zoomer_core::serving::{ExactSearch, FrozenModel, IvfIndex, ProximityGraph, SearchBackend};
+use zoomer_core::tensor::Matrix;
+
+/// Recall@k of `got` rows against the oracle rows (id overlap).
+fn recall_at_k(got: &[Vec<(u64, f32)>], truth: &[Vec<(u64, f32)>]) -> f64 {
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (g, t) in got.iter().zip(truth) {
+        let ids: std::collections::HashSet<u64> = g.iter().map(|&(id, _)| id).collect();
+        for &(id, _) in t {
+            total += 1;
+            if ids.contains(&id) {
+                hits += 1;
+            }
+        }
+    }
+    hits as f64 / total.max(1) as f64
+}
+
+/// Mean per-query latency of `search_batch` over `reps` passes, in µs.
+fn query_us(backend: &dyn SearchBackend, queries: &Matrix, k: usize, reps: usize) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(backend.search_batch(queries, k).expect("search"));
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / (reps * queries.rows()) as f64
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let seed = 913;
+    banner(
+        "Search backends — recall@10 vs latency vs build cost",
+        "acceptance: proximity graph reaches IVF recall@10 at some beam width",
+        scale,
+        seed,
+    );
+    let (data, _) = million_dataset(scale, seed);
+    let dd = data.graph.features().dense_dim();
+    let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(seed, dd));
+    let frozen = FrozenModel::from_model(&mut model, &data.graph);
+    let item_nodes = data.item_nodes();
+    let item_matrix = frozen.item_embeddings(&item_nodes);
+    let items: Vec<(u64, Vec<f32>)> = item_nodes
+        .iter()
+        .enumerate()
+        .map(|(r, &i)| (i as u64, item_matrix.row(r).to_vec()))
+        .collect();
+
+    // The fig9 workload's request vectors: query nodes embedded through the
+    // frozen online tower (base vector — no cached neighborhood, the same
+    // embedding the offline posting ranking scores).
+    let (n_queries, reps) = match scale {
+        BenchScale::Smoke => (50usize, 3usize),
+        BenchScale::Small => (200, 10),
+        BenchScale::Full => (400, 20),
+    };
+    let query_nodes = data.graph.nodes_of_type(zoomer_core::graph::NodeType::Query);
+    let mut queries = Matrix::zeros(query_nodes.len().min(n_queries), frozen.embed_dim());
+    for (r, &q) in query_nodes.iter().take(queries.rows()).enumerate() {
+        queries.row_mut(r).copy_from_slice(&frozen.online_embedding(q, &[], &[]));
+    }
+    let k = 10usize;
+    println!("\npool: {} items, dim {}, {} queries, k = {k}", items.len(), dd, queries.rows());
+
+    // Ground truth + the exact backend's own row.
+    let t0 = Instant::now();
+    let oracle = ExactSearch::build(&items);
+    let exact_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let truth = oracle.search_batch(&queries, k).expect("oracle");
+
+    println!(
+        "\n{:>10} {:>12} {:>10} {:>12} {:>10}",
+        "backend", "budget", "recall@10", "query us", "build ms"
+    );
+    let mut json_rows = Vec::new();
+    let mut row =
+        |backend: &str, budget_name: &str, budget: usize, recall: f64, us: f64, build_ms: f64| {
+            println!(
+                "{:>10} {:>9}={:<3} {:>9.3} {:>12.1} {:>10.1}",
+                backend, budget_name, budget, recall, us, build_ms
+            );
+            json_rows.push(serde_json::json!({
+                "backend": backend, "budget_name": budget_name, "budget": budget,
+                "recall_at_10": recall, "query_us": us, "build_ms": build_ms,
+            }));
+        };
+
+    // Exact scan: recall 1 by construction, the latency/build anchor.
+    let us = query_us(&oracle, &queries, k, reps);
+    row("exact", "pool", items.len(), 1.0, us, exact_build_ms);
+
+    // IVF: one build, nprobe sweep.
+    let t0 = Instant::now();
+    let nlist = 32usize.min(((items.len() as f64).sqrt().ceil()) as usize).max(1);
+    let ivf = IvfIndex::build(&items, nlist, 8, seed);
+    let ivf_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut ivf_best_recall = 0.0f64;
+    let mut ivf_default_recall = 0.0f64;
+    for nprobe in [1usize, 2, 4, 8, 16] {
+        let nprobe = nprobe.min(nlist);
+        let t0 = Instant::now();
+        let mut got = Vec::new();
+        for _ in 0..reps {
+            got = ivf.search_batch(&queries, k, nprobe).expect("ivf");
+        }
+        let us = t0.elapsed().as_secs_f64() * 1e6 / (reps * queries.rows()) as f64;
+        let recall = recall_at_k(&got, &truth);
+        ivf_best_recall = ivf_best_recall.max(recall);
+        if nprobe == 4 {
+            ivf_default_recall = recall;
+        }
+        row("ivf", "nprobe", nprobe, recall, us, ivf_build_ms);
+    }
+
+    // Proximity graph: one build (the graph does not depend on the beam),
+    // beam-width sweep via `set_beam_width`.
+    let t0 = Instant::now();
+    let mut graph = ProximityGraph::build(&items, 12, 32);
+    let graph_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut best_beam_recall = 0.0f64;
+    for beam in [8usize, 16, 32, 64, 128, 256] {
+        graph.set_beam_width(beam);
+        let us = query_us(&graph, &queries, k, reps);
+        let got = graph.search_batch(&queries, k).expect("proximity");
+        let recall = recall_at_k(&got, &truth);
+        best_beam_recall = best_beam_recall.max(recall);
+        row("proximity", "beam", beam, recall, us, graph_build_ms);
+    }
+
+    println!(
+        "\nproximity best recall@10: {best_beam_recall:.3} | IVF best (nprobe<=16): {ivf_best_recall:.3} | IVF default (nprobe=4): {ivf_default_recall:.3}"
+    );
+    let acceptance = best_beam_recall >= ivf_default_recall;
+    println!(
+        "acceptance (proximity >= IVF default recall@10 at some beam): {}",
+        if acceptance { "PASS" } else { "FAIL" }
+    );
+
+    let json = serde_json::json!({
+        "scale": scale.name(),
+        "pool_items": items.len(),
+        "queries": queries.rows(),
+        "k": k,
+        "rows": json_rows,
+        "proximity_best_recall_at_10": best_beam_recall,
+        "ivf_default_recall_at_10": ivf_default_recall,
+        "ivf_best_recall_at_10": ivf_best_recall,
+        "proximity_reaches_ivf_recall": acceptance,
+    });
+    write_json("backends", &json);
+    if scale != BenchScale::Smoke {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_backends.json");
+        match std::fs::File::create(&path) {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{}", serde_json::to_string_pretty(&json).unwrap_or_default());
+                println!("(baseline written to {})", path.display());
+            }
+            Err(e) => println!("(could not write {}: {e})", path.display()),
+        }
+    }
+}

@@ -11,7 +11,9 @@ use std::sync::Arc;
 use zoomer_bench::{banner, million_dataset, write_json, BenchScale};
 use zoomer_core::model::{ModelConfig, UnifiedCtrModel};
 use zoomer_core::obs::MetricsRegistry;
-use zoomer_core::serving::{run_load, FrozenModel, LoadTestSpec, OnlineServer, ServingConfig};
+use zoomer_core::serving::{
+    run_load, BackendKind, FrozenModel, LoadTestSpec, OnlineServer, ServingConfig,
+};
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -169,6 +171,50 @@ fn main() {
         "per_request_series_peak": per_request_peak,
         "speedup_vs_per_request_series": vs_per_request,
     }));
+    // Per-backend axis: the same cached workload served through each
+    // retrieval backend (IVF at its default nprobe, the exact flat scan,
+    // and the relevance proximity graph at its default beam). One open-loop
+    // latency row plus closed-loop batch=16 throughput per backend; deeper
+    // recall/latency/build-cost tradeoffs live in the `backends` bench.
+    println!("\n-- retrieval backends (open loop 2000 QPS + closed loop batch=16) --");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>12}",
+        "backend", "mean ms", "p95 ms", "p99 ms", "batch16 r/s"
+    );
+    let backend_qps = 2000.0;
+    let n = ((backend_qps * window_secs) as usize).clamp(200, 40_000);
+    let requests: Vec<(u32, u32)> = request_pool.iter().cycle().take(n).copied().collect();
+    for backend in [BackendKind::Ivf, BackendKind::Exact, BackendKind::Proximity] {
+        let server = OnlineServer::builder()
+            .graph(Arc::clone(&graph))
+            .frozen(FrozenModel::from_model(&mut model, &graph))
+            .item_pool(&items)
+            .config(ServingConfig { backend, ..Default::default() })
+            .seed(seed)
+            .build()
+            .expect("server build");
+        let warm: Vec<u32> = request_pool.iter().flat_map(|&(u, q)| [u, q]).collect();
+        server.warm_cache(&warm).expect("warm cache");
+        let open = run_load(&server, &requests, &LoadTestSpec::open(backend_qps).num_threads(4))
+            .expect("load run");
+        let closed =
+            run_load(&server, &requests, &LoadTestSpec::closed().num_threads(4).batch_size(16))
+                .expect("load run");
+        println!(
+            "{:>10} {:>10.3} {:>10.3} {:>10.3} {:>12.0}",
+            backend.name(),
+            open.latency.mean_ms,
+            open.latency.p95_ms,
+            open.latency.p99_ms,
+            closed.achieved_qps()
+        );
+        json_rows.push(serde_json::json!({
+            "config": "backend axis", "backend": backend.name(), "qps": backend_qps,
+            "mean_ms": open.latency.mean_ms, "p95_ms": open.latency.p95_ms,
+            "p99_ms": open.latency.p99_ms,
+            "batch16_requests_per_sec": closed.achieved_qps(),
+        }));
+    }
     println!("\n(paper shape: low single-digit-ms means; sublinear rt growth with QPS; cache keeps rt flat; batching multiplies peak throughput)");
     write_json("fig9_serving_latency", &serde_json::Value::Array(json_rows));
 }

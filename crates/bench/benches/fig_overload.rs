@@ -18,7 +18,7 @@ use std::time::Duration;
 use zoomer_bench::{banner, million_dataset, write_json, BenchScale};
 use zoomer_core::model::{ModelConfig, UnifiedCtrModel};
 use zoomer_core::serving::{
-    run_load, FrozenModel, LoadTestSpec, OnlineServer, ServingConfig, ShedPolicy,
+    run_load, BackendKind, FrozenModel, LoadTestSpec, OnlineServer, ServingConfig, ShedPolicy,
 };
 
 fn main() {
@@ -39,72 +39,85 @@ fn main() {
     );
     let items = data.item_nodes();
     let deadline_ms = 20u64;
-    let server = OnlineServer::builder()
-        .graph(Arc::clone(&graph))
-        .frozen(FrozenModel::from_model(&mut model, &graph))
-        .item_pool(&items)
-        .config(ServingConfig {
-            deadline: Some(Duration::from_millis(deadline_ms)),
-            ..Default::default()
-        })
-        .seed(seed)
-        .build()
-        .expect("server build");
     let request_pool: Vec<(u32, u32)> = data.logs.iter().map(|l| (l.user, l.query)).collect();
     let warm: Vec<u32> = request_pool.iter().flat_map(|&(u, q)| [u, q]).collect();
-    server.warm_cache(&warm).expect("warm cache");
-
-    // Closed-loop capacity at the same thread count the sweep serves with.
     let threads = 4;
-    let probe: Vec<(u32, u32)> = request_pool.iter().cycle().take(2_000).copied().collect();
-    let capacity_report = run_load(&server, &probe, &LoadTestSpec::closed().num_threads(threads))
-        .expect("capacity probe");
-    let capacity_qps = capacity_report.achieved_qps().max(1.0);
-    println!("\nmeasured closed-loop capacity: {capacity_qps:.0} req/s ({threads} threads)");
-
     let window_secs = match scale {
         BenchScale::Smoke => 0.4,
         BenchScale::Small => 1.5,
         BenchScale::Full => 3.0,
     };
-    println!(
-        "\n{:>7} {:>10} {:>9} {:>10} {:>10} {:>9} {:>8}",
-        "load", "offered", "shed %", "adm p50", "adm p99", "degraded", "errors"
-    );
+
+    // The whole protocol (capacity probe, then the overload sweep) runs once
+    // per retrieval backend: each backend has its own capacity and its own
+    // degraded ladder (nprobe capping for IVF, beam capping for the
+    // proximity graph, neither for the exact scan).
     let mut json_rows = Vec::new();
-    for mult in [0.25, 0.5, 1.0, 2.0, 5.0] {
-        let qps = capacity_qps * mult;
-        let n = ((qps * window_secs) as usize).clamp(100, 60_000);
-        let requests: Vec<(u32, u32)> = request_pool.iter().cycle().take(n).copied().collect();
-        let spec = LoadTestSpec::open(qps)
-            .num_threads(threads)
-            .batch_size(8)
-            .queue_capacity(64)
-            .shed(ShedPolicy::RejectNew);
-        let report = run_load(&server, &requests, &spec).expect("overload run");
+    for backend in [BackendKind::Ivf, BackendKind::Proximity, BackendKind::Exact] {
+        let server = OnlineServer::builder()
+            .graph(Arc::clone(&graph))
+            .frozen(FrozenModel::from_model(&mut model, &graph))
+            .item_pool(&items)
+            .config(ServingConfig {
+                backend,
+                deadline: Some(Duration::from_millis(deadline_ms)),
+                ..Default::default()
+            })
+            .seed(seed)
+            .build()
+            .expect("server build");
+        server.warm_cache(&warm).expect("warm cache");
+
+        // Closed-loop capacity at the same thread count the sweep serves
+        // with.
+        let probe: Vec<(u32, u32)> = request_pool.iter().cycle().take(2_000).copied().collect();
+        let capacity_report =
+            run_load(&server, &probe, &LoadTestSpec::closed().num_threads(threads))
+                .expect("capacity probe");
+        let capacity_qps = capacity_report.achieved_qps().max(1.0);
         println!(
-            "{:>6.2}x {:>10.0} {:>8.1}% {:>10.3} {:>10.3} {:>9} {:>8}",
-            mult,
-            qps,
-            report.shed_rate() * 100.0,
-            report.latency.p50_ms,
-            report.latency.p99_ms,
-            report.degraded,
-            report.errors
+            "\n-- backend: {} -- measured closed-loop capacity: {capacity_qps:.0} req/s ({threads} threads)",
+            backend.name()
         );
-        json_rows.push(serde_json::json!({
-            "load_multiplier": mult, "offered_qps": qps, "offered": report.offered,
-            "completed": report.completed, "shed": report.shed,
-            "shed_rate": report.shed_rate(), "errors": report.errors,
-            "panics": report.panics, "degraded": report.degraded,
-            "deadline_exceeded": report.deadline_exceeded,
-            "admitted_p50_ms": report.latency.p50_ms,
-            "admitted_p99_ms": report.latency.p99_ms,
-            "deadline_ms": deadline_ms, "queue_capacity": 64,
-        }));
+        println!(
+            "{:>7} {:>10} {:>9} {:>10} {:>10} {:>9} {:>8}",
+            "load", "offered", "shed %", "adm p50", "adm p99", "degraded", "errors"
+        );
+        for mult in [0.25, 0.5, 1.0, 2.0, 5.0] {
+            let qps = capacity_qps * mult;
+            let n = ((qps * window_secs) as usize).clamp(100, 60_000);
+            let requests: Vec<(u32, u32)> = request_pool.iter().cycle().take(n).copied().collect();
+            let spec = LoadTestSpec::open(qps)
+                .num_threads(threads)
+                .batch_size(8)
+                .queue_capacity(64)
+                .shed(ShedPolicy::RejectNew);
+            let report = run_load(&server, &requests, &spec).expect("overload run");
+            println!(
+                "{:>6.2}x {:>10.0} {:>8.1}% {:>10.3} {:>10.3} {:>9} {:>8}",
+                mult,
+                qps,
+                report.shed_rate() * 100.0,
+                report.latency.p50_ms,
+                report.latency.p99_ms,
+                report.degraded,
+                report.errors
+            );
+            json_rows.push(serde_json::json!({
+                "backend": backend.name(),
+                "load_multiplier": mult, "offered_qps": qps, "offered": report.offered,
+                "completed": report.completed, "shed": report.shed,
+                "shed_rate": report.shed_rate(), "errors": report.errors,
+                "panics": report.panics, "degraded": report.degraded,
+                "deadline_exceeded": report.deadline_exceeded,
+                "admitted_p50_ms": report.latency.p50_ms,
+                "admitted_p99_ms": report.latency.p99_ms,
+                "deadline_ms": deadline_ms, "queue_capacity": 64,
+            }));
+        }
     }
     println!(
-        "\n(expected shape: sub-capacity rows shed ~0% and keep p99 well under the {deadline_ms} ms budget; past capacity the queue bounds admitted latency and the shed column absorbs the excess)"
+        "\n(expected shape: sub-capacity rows shed ~0% and keep p99 well under the {deadline_ms} ms budget; past capacity the queue bounds admitted latency and the shed column absorbs the excess — per backend)"
     );
     write_json("fig_overload", &serde_json::Value::Array(json_rows));
 }

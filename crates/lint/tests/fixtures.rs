@@ -231,6 +231,30 @@ fn fault_module_is_covered_by_l001_and_the_no_allow_zone() {
 }
 
 #[test]
+fn backend_modules_are_covered_by_l001_and_the_no_allow_zone() {
+    // The SearchBackend trait and the proximity-graph backend are on the
+    // serving hot path like every other probe: non-test code may not panic
+    // and the escape hatch is void. New files under crates/serving/src are
+    // picked up automatically — this fixture pins that for the backend
+    // modules added with the multi-backend refactor.
+    for path in ["crates/serving/src/backend.rs", "crates/serving/src/proximity.rs"] {
+        let src = "fn probe() {\n\
+                   \x20   panic!(\"backends degrade, they do not panic\");\n\
+                   }\n";
+        let v = lint_source(path, src);
+        assert_eq!(rules_at(&v, 2), vec!["L001"], "{path}: {v:?}");
+
+        let hatched = "fn probe(x: Option<u32>) -> u32 {\n\
+                       \x20   // lint: allow(L001, tempting but forbidden)\n\
+                       \x20   x.unwrap()\n\
+                       }\n";
+        let v = lint_source(path, hatched);
+        assert!(has(&v, "L001"), "hatch must not suppress in {path}: {v:?}");
+        assert!(has(&v, "ALLOW"), "hatch in {path} must itself be flagged: {v:?}");
+    }
+}
+
+#[test]
 fn serving_is_a_no_allow_zone() {
     let src = "fn f(x: Option<u32>) -> u32 {\n\
                \x20   // lint: allow(L001, serving may never opt out)\n\

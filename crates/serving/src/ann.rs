@@ -13,8 +13,10 @@ use zoomer_tensor::{dot, dot4, kernel::hardware_threads, seeded_rng, Matrix};
 use rand::seq::SliceRandom;
 use rayon::prelude::*;
 
+use crate::backend::BoundedSearch;
 use crate::deadline::Deadline;
 use crate::error::ServingError;
+use crate::topk::top_k_desc;
 
 /// Minimum batch rows before query-chunk parallelism pays for thread
 /// dispatch: below this a batch scores sequentially even on many cores.
@@ -38,18 +40,6 @@ struct InvList {
 pub struct IvfMetrics {
     pub lists_probed: Counter,
     pub candidates_scored: Counter,
-}
-
-/// Outcome of a deadline-aware probe ([`IvfIndex::search_batch_deadline`]):
-/// per-query ranked results plus how many probe rounds actually completed.
-#[derive(Clone, Debug)]
-pub struct BoundedSearch {
-    pub results: Vec<Vec<(u64, f32)>>,
-    /// Probe rounds completed, ≤ the requested `nprobe`. Strictly smaller
-    /// means the deadline capped the probe mid-flight (a degraded answer:
-    /// every query was still scored against its `effective_nprobe` nearest
-    /// lists).
-    pub effective_nprobe: usize,
 }
 
 /// IVF-Flat index over inner-product similarity.
@@ -317,7 +307,11 @@ impl IvfIndex {
     ) -> Result<BoundedSearch, ServingError> {
         let nprobe = nprobe.max(1).min(self.centroids.len());
         if queries.rows() == 0 {
-            return Ok(BoundedSearch { results: Vec::new(), effective_nprobe: nprobe });
+            return Ok(BoundedSearch {
+                results: Vec::new(),
+                effective_budget: nprobe,
+                full_budget: nprobe,
+            });
         }
         if queries.cols() != self.dim {
             return Err(ServingError::DimensionMismatch {
@@ -375,7 +369,8 @@ impl IvfIndex {
         }
         Ok(BoundedSearch {
             results: scored.into_iter().map(|s| top_k_desc(s, k)).collect(),
-            effective_nprobe: effective,
+            effective_budget: effective,
+            full_budget: nprobe,
         })
     }
 
@@ -408,23 +403,6 @@ impl IvfIndex {
         }
         Ok(hits as f64 / total.max(1) as f64)
     }
-}
-
-/// Top-`k` of a candidate list by descending score: partial selection, then
-/// a sort of just the head. Deterministic for a fixed candidate order.
-fn top_k_desc(mut scored: Vec<(u64, f32)>, k: usize) -> Vec<(u64, f32)> {
-    let desc =
-        |a: &(u64, f32), b: &(u64, f32)| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal);
-    if k == 0 || scored.is_empty() {
-        scored.truncate(k);
-        return scored;
-    }
-    if k < scored.len() {
-        scored.select_nth_unstable_by(k - 1, desc);
-        scored.truncate(k);
-    }
-    scored.sort_by(desc);
-    scored
 }
 
 fn nearest(centroids: &[Vec<f32>], v: &[f32]) -> usize {
@@ -553,7 +531,9 @@ mod tests {
         let bounded = idx
             .search_batch_deadline(&m, 10, 4, &Deadline::none(), |r| rounds.push(r))
             .expect("bounded");
-        assert_eq!(bounded.effective_nprobe, 4);
+        assert_eq!(bounded.effective_budget, 4);
+        assert_eq!(bounded.full_budget, 4);
+        assert!(!bounded.capped());
         assert_eq!(rounds, vec![0, 1, 2, 3], "one hook call per probe round");
         let full = idx.search_batch(&m, 10, 4).expect("full");
         assert_eq!(bounded.results, full, "unbounded deadline must match the plain batch probe");
@@ -569,7 +549,8 @@ mod tests {
         let bounded = idx
             .search_batch_deadline(&m, 10, 4, &Deadline::after(std::time::Duration::ZERO), |_| {})
             .expect("bounded");
-        assert_eq!(bounded.effective_nprobe, 1, "round 0 always completes, nothing more");
+        assert_eq!(bounded.effective_budget, 1, "round 0 always completes, nothing more");
+        assert!(bounded.capped());
         // One completed round == the candidates of a plain nprobe=1 search.
         let narrow = idx.search_batch(&m, 10, 1).expect("narrow");
         assert_eq!(bounded.results, narrow, "capped probe must equal the equivalent nprobe");
@@ -592,7 +573,7 @@ mod tests {
                 }
             })
             .expect("bounded");
-        assert_eq!(bounded.effective_nprobe, 2);
+        assert_eq!(bounded.effective_budget, 2);
         assert_eq!(bounded.results, idx.search_batch(&m, 10, 2).expect("two-list probe"));
     }
 

@@ -1,0 +1,587 @@
+//! Pluggable retrieval backends behind one `SearchBackend` contract.
+//!
+//! The paper's ROI retrieval (IVF inverted lists over frozen-tower
+//! embeddings) is one point in a family of ANN strategies; Relevance
+//! Proximity Graphs search a navigable neighbor graph with the model's own
+//! relevance function instead. [`SearchBackend`] captures the full contract
+//! [`crate::OnlineServer`] uses — the batched probe, the deadline-bounded
+//! probe with budget capping, the exact widening scan, and the obs hook — so
+//! the server, degraded-mode ladder, and benches are backend-agnostic.
+//!
+//! Three implementations:
+//! - [`crate::IvfIndex`] via [`IvfBackend`] — the paper's IVF-Flat path,
+//!   budget axis = `nprobe` (coarse lists probed per query).
+//! - [`ExactSearch`] — the exact flat scan, promoted from recall-baseline
+//!   oracle to a first-class backend. Single budget rung; never degraded.
+//! - [`crate::ProximityGraph`] — a navigable neighbor graph over the frozen
+//!   tower's item embeddings, searched by beam search under the frozen
+//!   relevance score; budget axis = beam width.
+//!
+//! Dispatch is by the [`Backend`] enum — a `match` per call, no `dyn` and no
+//! vtable in the hot loop. The only trait object is the `on_round` hook of
+//! the deadline path, which fires once per budget round on the
+//! already-degraded branch.
+
+use rayon::prelude::*;
+use zoomer_obs::{Counter, MetricsRegistry};
+use zoomer_tensor::{dot, Matrix};
+
+use crate::ann::{IvfIndex, PAR_MIN_BATCH_QUERIES};
+use crate::deadline::Deadline;
+use crate::error::ServingError;
+use crate::proximity::ProximityGraph;
+use crate::topk::top_k_desc;
+
+/// Which retrieval backend an [`crate::OnlineServer`] builds and serves
+/// from; selected by `ServingConfig::backend`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendKind {
+    /// IVF-Flat inverted lists (the paper's ANN module). Budget: `nprobe`.
+    #[default]
+    Ivf,
+    /// Exact flat scan — full recall, O(pool) per query. Budget: none.
+    Exact,
+    /// Relevance proximity graph — beam search over a navigable neighbor
+    /// graph. Budget: beam width.
+    Proximity,
+}
+
+impl BackendKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Ivf => "ivf",
+            BackendKind::Exact => "exact",
+            BackendKind::Proximity => "proximity",
+        }
+    }
+}
+
+/// Outcome of a deadline-aware probe ([`SearchBackend::search_batch_deadline`]):
+/// per-query ranked results plus how much of the probe budget actually ran.
+#[derive(Clone, Debug)]
+pub struct BoundedSearch {
+    pub results: Vec<Vec<(u64, f32)>>,
+    /// Budget actually spent, in the backend's own units — probe rounds
+    /// (= lists per query) for IVF, beam width for the proximity graph.
+    /// Strictly smaller than [`BoundedSearch::full_budget`] means the
+    /// deadline capped the probe mid-flight (a degraded answer: every query
+    /// was still searched at the effective width).
+    pub effective_budget: usize,
+    /// The configured full width in the same units; what an unbounded probe
+    /// would have spent.
+    pub full_budget: usize,
+}
+
+impl BoundedSearch {
+    /// Whether the deadline capped this probe below its configured width.
+    pub fn capped(&self) -> bool {
+        self.effective_budget < self.full_budget
+    }
+}
+
+/// Generic per-backend probe counters, registered as `serve.backend.*`.
+/// Every backend tallies locally per scoring pass and publishes with one
+/// `fetch_add` per counter, like `ann.*` always has.
+#[derive(Clone)]
+pub struct BackendStats {
+    /// Query rows searched (`serve.backend.queries`).
+    pub queries: Counter,
+    /// Candidate vectors exactly scored (`serve.backend.candidates_scored`):
+    /// list members for IVF, expanded graph nodes for the proximity graph,
+    /// the whole pool per query for the exact scan.
+    pub candidates_scored: Counter,
+}
+
+impl BackendStats {
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            queries: registry.counter("serve.backend.queries"),
+            candidates_scored: registry.counter("serve.backend.candidates_scored"),
+        }
+    }
+}
+
+/// The full retrieval contract the online server consumes. Everything the
+/// server does with an index — the plain batched probe, the deadline-bounded
+/// probe, the exact widening scan, sizing checks, and metrics attachment —
+/// goes through these methods, so a backend swap touches construction only.
+pub trait SearchBackend {
+    /// Stable short name for reports and bench axes.
+    fn name(&self) -> &'static str;
+
+    /// Number of indexed items.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Vector width this backend indexes.
+    fn dim(&self) -> usize;
+
+    /// Multi-query top-`k` at the backend's configured full width: one query
+    /// per row of `queries`, one descending-score result list per query.
+    fn search_batch(
+        &self,
+        queries: &Matrix,
+        k: usize,
+    ) -> Result<Vec<Vec<(u64, f32)>>, ServingError>;
+
+    /// Deadline-aware probe in budget rounds, checking `deadline` between
+    /// rounds. Round 0 always completes, so every query gets at least a
+    /// minimal-width answer; a capped probe must equal a plain probe at the
+    /// smaller width. `on_round(r)` fires at the start of every round (after
+    /// the expiry check) — the server's fault-injection point.
+    fn search_batch_deadline(
+        &self,
+        queries: &Matrix,
+        k: usize,
+        deadline: &Deadline,
+        on_round: &mut dyn FnMut(usize),
+    ) -> Result<BoundedSearch, ServingError>;
+
+    /// Exact top-`k` for one query — the recall baseline, and the widening
+    /// scan the server runs when a probe under-fills `top_k`.
+    fn exact_search(&self, query: &[f32], k: usize) -> Result<Vec<(u64, f32)>, ServingError>;
+
+    /// Batched ranking for the *offline* posting build. Runs once at server
+    /// construction, so it may probe wider than the serving path (IVF uses
+    /// `nprobe.max(build_nprobe)`); defaults to the plain serving probe.
+    fn offline_rank_batch(
+        &self,
+        queries: &Matrix,
+        k: usize,
+    ) -> Result<Vec<Vec<(u64, f32)>>, ServingError> {
+        self.search_batch(queries, k)
+    }
+
+    /// Report probe volume into `registry` (`serve.backend.*`, plus any
+    /// backend-specific counters). Call once at build time, before sharing.
+    fn attach_metrics(&mut self, registry: &MetricsRegistry);
+}
+
+/// Score one query against a flat `(ids, row-major vectors)` pool by inner
+/// product, in pool order. `dot` applies the exact lane scheme `dot4` uses
+/// per query, so these scores are bit-identical to any blocked scoring of
+/// the same pairs.
+pub(crate) fn score_flat(
+    ids: &[u64],
+    vectors: &[f32],
+    dim: usize,
+    query: &[f32],
+) -> Vec<(u64, f32)> {
+    let mut scored = Vec::with_capacity(ids.len());
+    for (ei, &id) in ids.iter().enumerate() {
+        let v = &vectors[ei * dim..ei * dim + dim];
+        scored.push((id, dot(v, query)));
+    }
+    scored
+}
+
+/// [`IvfIndex`] as a [`SearchBackend`]: the index plus its serving-path
+/// probe widths. The wrapper adds no arithmetic — every search delegates to
+/// the exact `IvfIndex` entry points the server called before the trait
+/// existed, so results are bit-identical to the pre-refactor paths
+/// (pinned by the `backend_parity` proptest suite).
+pub struct IvfBackend {
+    index: IvfIndex,
+    nprobe: usize,
+    build_nprobe: usize,
+}
+
+impl IvfBackend {
+    pub fn new(index: IvfIndex, nprobe: usize, build_nprobe: usize) -> Self {
+        Self { index, nprobe, build_nprobe }
+    }
+
+    pub fn index(&self) -> &IvfIndex {
+        &self.index
+    }
+
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
+    }
+}
+
+impl SearchBackend for IvfBackend {
+    fn name(&self) -> &'static str {
+        BackendKind::Ivf.name()
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.index.dim()
+    }
+
+    fn search_batch(
+        &self,
+        queries: &Matrix,
+        k: usize,
+    ) -> Result<Vec<Vec<(u64, f32)>>, ServingError> {
+        self.index.search_batch(queries, k, self.nprobe)
+    }
+
+    fn search_batch_deadline(
+        &self,
+        queries: &Matrix,
+        k: usize,
+        deadline: &Deadline,
+        on_round: &mut dyn FnMut(usize),
+    ) -> Result<BoundedSearch, ServingError> {
+        self.index.search_batch_deadline(queries, k, self.nprobe, deadline, on_round)
+    }
+
+    fn exact_search(&self, query: &[f32], k: usize) -> Result<Vec<(u64, f32)>, ServingError> {
+        self.index.exact_search(query, k)
+    }
+
+    fn offline_rank_batch(
+        &self,
+        queries: &Matrix,
+        k: usize,
+    ) -> Result<Vec<Vec<(u64, f32)>>, ServingError> {
+        // The offline posting ranking runs once at build time, so it probes
+        // at least `build_nprobe` lists regardless of the serving `nprobe`.
+        self.index.search_batch(queries, k, self.nprobe.max(self.build_nprobe))
+    }
+
+    fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.index.attach_metrics(registry);
+    }
+}
+
+/// Exact inner-product top-`k` over a flat pool — the recall oracle promoted
+/// to a first-class backend. Every query scores every item, so recall is 1.0
+/// by construction and the cost is O(pool · dim) per query. Deadline
+/// semantics: a single budget rung (the scan is all-or-nothing), so the
+/// exact backend degrades via the server's inverted-index fallback only,
+/// never by capping.
+pub struct ExactSearch {
+    ids: Vec<u64>,
+    vectors: Vec<f32>,
+    dim: usize,
+    stats: Option<BackendStats>,
+}
+
+impl ExactSearch {
+    /// Build from `(id, vector)` pairs.
+    pub fn build(items: &[(u64, Vec<f32>)]) -> Self {
+        assert!(!items.is_empty(), "cannot index an empty collection");
+        let dim = items[0].1.len();
+        assert!(items.iter().all(|(_, v)| v.len() == dim), "inconsistent vector widths");
+        let mut ids = Vec::with_capacity(items.len());
+        let mut vectors = Vec::with_capacity(items.len() * dim);
+        for (id, v) in items {
+            ids.push(*id);
+            vectors.extend_from_slice(v);
+        }
+        Self { ids, vectors, dim, stats: None }
+    }
+
+    fn check_width(&self, got: usize) -> Result<(), ServingError> {
+        if got != self.dim {
+            return Err(ServingError::DimensionMismatch { expected: self.dim, got });
+        }
+        Ok(())
+    }
+
+    fn scan_one(&self, query: &[f32], k: usize) -> Vec<(u64, f32)> {
+        top_k_desc(score_flat(&self.ids, &self.vectors, self.dim, query), k)
+    }
+}
+
+impl SearchBackend for ExactSearch {
+    fn name(&self) -> &'static str {
+        BackendKind::Exact.name()
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search_batch(
+        &self,
+        queries: &Matrix,
+        k: usize,
+    ) -> Result<Vec<Vec<(u64, f32)>>, ServingError> {
+        if queries.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        self.check_width(queries.cols())?;
+        let rows = queries.rows();
+        // Rows are independent full scans, so the parallel split is trivially
+        // invisible: same per-row arithmetic regardless of thread count.
+        let results: Vec<Vec<(u64, f32)>> = if rows >= PAR_MIN_BATCH_QUERIES {
+            (0..rows).into_par_iter().map(|r| self.scan_one(queries.row(r), k)).collect()
+        } else {
+            (0..rows).map(|r| self.scan_one(queries.row(r), k)).collect()
+        };
+        if let Some(s) = &self.stats {
+            s.queries.add(rows as u64);
+            s.candidates_scored.add((rows * self.ids.len()) as u64);
+        }
+        Ok(results)
+    }
+
+    fn search_batch_deadline(
+        &self,
+        queries: &Matrix,
+        k: usize,
+        _deadline: &Deadline,
+        on_round: &mut dyn FnMut(usize),
+    ) -> Result<BoundedSearch, ServingError> {
+        // One rung: the flat scan has no narrower width to fall back to, so
+        // round 0 (which always completes) is the whole probe. A spent
+        // budget is handled above this layer by the inverted-index fallback.
+        on_round(0);
+        Ok(BoundedSearch {
+            results: self.search_batch(queries, k)?,
+            effective_budget: 1,
+            full_budget: 1,
+        })
+    }
+
+    fn exact_search(&self, query: &[f32], k: usize) -> Result<Vec<(u64, f32)>, ServingError> {
+        self.check_width(query.len())?;
+        if let Some(s) = &self.stats {
+            s.queries.inc();
+            s.candidates_scored.add(self.ids.len() as u64);
+        }
+        Ok(self.scan_one(query, k))
+    }
+
+    fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.stats = Some(BackendStats::new(registry));
+    }
+}
+
+/// The server's enum-dispatched backend: one `match` per call, no `dyn` on
+/// the request path. Construction policy (which variant, with which widths)
+/// lives in `ServerBuilder::build`.
+pub enum Backend {
+    Ivf(IvfBackend),
+    Exact(ExactSearch),
+    Proximity(ProximityGraph),
+}
+
+impl Backend {
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            Backend::Ivf(_) => BackendKind::Ivf,
+            Backend::Exact(_) => BackendKind::Exact,
+            Backend::Proximity(_) => BackendKind::Proximity,
+        }
+    }
+
+    /// The wrapped IVF index, when this is the IVF backend (benches and
+    /// tests that study IVF-specific knobs).
+    pub fn as_ivf(&self) -> Option<&IvfIndex> {
+        match self {
+            Backend::Ivf(b) => Some(b.index()),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $b:ident => $body:expr) => {
+        match $self {
+            Backend::Ivf($b) => $body,
+            Backend::Exact($b) => $body,
+            Backend::Proximity($b) => $body,
+        }
+    };
+}
+
+impl SearchBackend for Backend {
+    fn name(&self) -> &'static str {
+        dispatch!(self, b => b.name())
+    }
+
+    fn len(&self) -> usize {
+        dispatch!(self, b => b.len())
+    }
+
+    fn dim(&self) -> usize {
+        dispatch!(self, b => b.dim())
+    }
+
+    fn search_batch(
+        &self,
+        queries: &Matrix,
+        k: usize,
+    ) -> Result<Vec<Vec<(u64, f32)>>, ServingError> {
+        dispatch!(self, b => b.search_batch(queries, k))
+    }
+
+    fn search_batch_deadline(
+        &self,
+        queries: &Matrix,
+        k: usize,
+        deadline: &Deadline,
+        on_round: &mut dyn FnMut(usize),
+    ) -> Result<BoundedSearch, ServingError> {
+        dispatch!(self, b => b.search_batch_deadline(queries, k, deadline, on_round))
+    }
+
+    fn exact_search(&self, query: &[f32], k: usize) -> Result<Vec<(u64, f32)>, ServingError> {
+        dispatch!(self, b => b.exact_search(query, k))
+    }
+
+    fn offline_rank_batch(
+        &self,
+        queries: &Matrix,
+        k: usize,
+    ) -> Result<Vec<Vec<(u64, f32)>>, ServingError> {
+        dispatch!(self, b => b.offline_rank_batch(queries, k))
+    }
+
+    fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        dispatch!(self, b => b.attach_metrics(registry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use zoomer_tensor::seeded_rng;
+
+    fn random_items(n: usize, dim: usize, seed: u64) -> Vec<(u64, Vec<f32>)> {
+        let mut rng = seeded_rng(seed);
+        (0..n as u64).map(|id| (id, (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())).collect()
+    }
+
+    fn query_matrix(n: usize, dim: usize, seed: u64) -> Matrix {
+        let mut rng = seeded_rng(seed);
+        Matrix::from_vec(n, dim, (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+    }
+
+    #[test]
+    fn exact_backend_finds_true_topk() {
+        let items = random_items(200, 8, 21);
+        let exact = ExactSearch::build(&items);
+        assert_eq!(exact.len(), 200);
+        assert_eq!(exact.dim(), 8);
+        let q = &items[17].1;
+        let got = exact.exact_search(q, 5).expect("scan");
+        assert_eq!(got.len(), 5);
+        // Brute force over the same dot products.
+        let mut brute: Vec<(u64, f32)> =
+            items.iter().map(|(id, v)| (*id, zoomer_tensor::dot(v, q))).collect();
+        brute.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        for (g, b) in got.iter().zip(&brute) {
+            assert_eq!(g.0, b.0);
+            assert_eq!(g.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn exact_backend_batch_matches_single_and_any_parallel_split() {
+        let items = random_items(150, 8, 22);
+        let exact = ExactSearch::build(&items);
+        // Cross the PAR_MIN_BATCH_QUERIES threshold to cover the rayon path.
+        let m = query_matrix(PAR_MIN_BATCH_QUERIES + 5, 8, 23);
+        let batched = exact.search_batch(&m, 7).expect("batch");
+        assert_eq!(batched.len(), m.rows());
+        for (r, row) in batched.iter().enumerate() {
+            let single = exact.exact_search(m.row(r), 7).expect("single");
+            assert_eq!(row, &single, "row {r}");
+        }
+    }
+
+    #[test]
+    fn exact_backend_deadline_is_one_uncapped_rung() {
+        let items = random_items(60, 4, 24);
+        let exact = ExactSearch::build(&items);
+        let m = query_matrix(3, 4, 25);
+        let mut rounds = Vec::new();
+        let bounded = exact
+            .search_batch_deadline(&m, 5, &Deadline::after(std::time::Duration::ZERO), &mut |r| {
+                rounds.push(r)
+            })
+            .expect("bounded");
+        assert_eq!(rounds, vec![0], "the scan is a single always-completing rung");
+        assert!(!bounded.capped(), "the exact scan can never be capped");
+        assert_eq!(bounded.results, exact.search_batch(&m, 5).expect("plain"));
+    }
+
+    #[test]
+    fn ivf_backend_delegates_bitwise_to_the_raw_index() {
+        let items = random_items(300, 8, 26);
+        let raw = IvfIndex::build(&items, 10, 4, 26);
+        let wrapped = IvfBackend::new(IvfIndex::build(&items, 10, 4, 26), 3, 4);
+        let m = query_matrix(9, 8, 27);
+        assert_eq!(
+            wrapped.search_batch(&m, 6).expect("backend"),
+            raw.search_batch(&m, 6, 3).expect("raw"),
+            "the wrapper must add no arithmetic"
+        );
+        let bounded =
+            wrapped.search_batch_deadline(&m, 6, &Deadline::none(), &mut |_| {}).expect("bounded");
+        assert!(!bounded.capped());
+        assert_eq!(bounded.full_budget, 3);
+        assert_eq!(bounded.results, raw.search_batch(&m, 6, 3).expect("raw"));
+        // Offline ranking probes nprobe.max(build_nprobe).
+        assert_eq!(
+            wrapped.offline_rank_batch(&m, 6).expect("offline"),
+            raw.search_batch(&m, 6, 4).expect("raw wide"),
+        );
+    }
+
+    #[test]
+    fn enum_dispatch_matches_the_wrapped_backend() {
+        let items = random_items(120, 8, 28);
+        let exact = Backend::Exact(ExactSearch::build(&items));
+        let direct = ExactSearch::build(&items);
+        let m = query_matrix(4, 8, 29);
+        assert_eq!(exact.name(), "exact");
+        assert_eq!(exact.kind(), BackendKind::Exact);
+        assert!(exact.as_ivf().is_none());
+        assert_eq!(exact.len(), direct.len());
+        assert_eq!(
+            exact.search_batch(&m, 5).expect("enum"),
+            direct.search_batch(&m, 5).expect("direct")
+        );
+        let ivf = Backend::Ivf(IvfBackend::new(IvfIndex::build(&items, 6, 3, 28), 2, 4));
+        assert_eq!(ivf.kind(), BackendKind::Ivf);
+        assert!(ivf.as_ivf().is_some());
+    }
+
+    #[test]
+    fn wrong_query_width_is_a_typed_error() {
+        let items = random_items(20, 4, 30);
+        let exact = ExactSearch::build(&items);
+        let err = exact.exact_search(&[0.0; 3], 1).expect_err("width mismatch");
+        assert_eq!(err, ServingError::DimensionMismatch { expected: 4, got: 3 });
+        let err = exact.search_batch(&Matrix::zeros(2, 5), 1).expect_err("width mismatch");
+        assert_eq!(err, ServingError::DimensionMismatch { expected: 4, got: 5 });
+        assert!(exact.search_batch(&Matrix::zeros(0, 9), 1).expect("empty").is_empty());
+    }
+
+    #[test]
+    fn backend_stats_count_queries_and_candidates() {
+        let registry = MetricsRegistry::enabled();
+        let items = random_items(50, 4, 31);
+        let mut exact = ExactSearch::build(&items);
+        exact.attach_metrics(&registry);
+        let m = query_matrix(3, 4, 32);
+        exact.search_batch(&m, 5).expect("batch");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.backend.queries"), Some(3));
+        assert_eq!(snap.counter("serve.backend.candidates_scored"), Some(150));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn empty_build_panics() {
+        let _ = ExactSearch::build(&[]);
+    }
+}

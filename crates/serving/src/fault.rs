@@ -30,7 +30,8 @@ pub enum FaultSite {
     Embed,
     /// Before the batch's ANN probe stage.
     AnnProbe,
-    /// At the start of each round of a deadline-bounded ANN probe.
+    /// At the start of each round of a deadline-bounded backend probe: an
+    /// IVF probe round or a proximity-graph beam-ladder rung.
     AnnRound,
     /// Inside a wrapped refresher compute ([`FaultInjector::wrap_refresh`]).
     Refresh,

@@ -7,8 +7,15 @@
 //! answers thousands of QPS at millisecond latency.
 //!
 //! Components:
+//! - [`backend`] — the [`SearchBackend`] trait and the enum-dispatched
+//!   [`Backend`] the server retrieves through: IVF-Flat ([`ann`]), the exact
+//!   flat scan ([`ExactSearch`]), or the relevance proximity graph
+//!   ([`proximity`]). Selected via `ServingConfig::backend`.
 //! - [`ann`] — IVF-Flat approximate nearest neighbor index (k-means coarse
 //!   quantizer + inverted lists, inner-product scoring).
+//! - [`proximity`] — navigable neighbor graph over the frozen tower's item
+//!   embeddings, beam-searched under the frozen relevance score.
+//! - [`topk`] — the shared top-k reduction every backend ranks through.
 //! - [`cache`] — per-node neighbor cache with asynchronous refresh worker.
 //! - [`frozen`] — a thread-safe, tape-free snapshot of a trained model used
 //!   on the serving path (edge attention only).
@@ -35,6 +42,7 @@
 #![cfg_attr(not(test), deny(clippy::disallowed_methods))]
 
 pub mod ann;
+pub mod backend;
 pub mod cache;
 pub mod deadline;
 pub mod error;
@@ -42,9 +50,14 @@ pub mod fault;
 pub mod frozen;
 pub mod inverted;
 pub mod load;
+pub mod proximity;
 pub mod server;
+pub mod topk;
 
-pub use ann::{BoundedSearch, IvfIndex, IvfMetrics};
+pub use ann::{IvfIndex, IvfMetrics};
+pub use backend::{
+    Backend, BackendKind, BackendStats, BoundedSearch, ExactSearch, IvfBackend, SearchBackend,
+};
 pub use cache::{CacheRefresher, NeighborCache};
 pub use deadline::Deadline;
 pub use error::ServingError;
@@ -54,5 +67,6 @@ pub use inverted::InvertedIndex;
 pub use load::{
     run_load, Arrival, LatencySummary, LoadReport, LoadTestSpec, ShedPolicy, StageSummary,
 };
+pub use proximity::ProximityGraph;
 pub use server::{OnlineServer, ServerBuilder, ServingConfig};
 pub use zoomer_obs::CacheStats;

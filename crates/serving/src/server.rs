@@ -19,12 +19,14 @@ use zoomer_sampler::{FocalBiasedSampler, FocalContext, NeighborSampler};
 use zoomer_tensor::{seeded_rng, Matrix};
 
 use crate::ann::IvfIndex;
+use crate::backend::{Backend, BackendKind, ExactSearch, IvfBackend, SearchBackend};
 use crate::cache::NeighborCache;
 use crate::deadline::Deadline;
 use crate::error::ServingError;
 use crate::fault::{FaultInjector, FaultSite};
 use crate::frozen::{neutral_topk_neighbors, FrozenModel};
 use crate::inverted::InvertedIndex;
+use crate::proximity::ProximityGraph;
 
 /// A request's resolved (user-neighborhood, query-neighborhood) pair, shared
 /// with the cache without copying.
@@ -33,8 +35,9 @@ type NeighborPair = (Arc<Vec<NodeId>>, Arc<Vec<NodeId>>);
 /// Ranked item postings computed for one chunk of query nodes at build time.
 type QueryPostings = Vec<(NodeId, Vec<NodeId>)>;
 
-/// A budget-aware ANN probe's outcome: per-query scored candidates, plus
-/// whether the probe was capped below the configured `nprobe`.
+/// A budget-aware retrieval probe's outcome: per-query scored candidates,
+/// plus whether the probe was capped below the backend's configured budget
+/// (`nprobe` for IVF, beam width for the proximity graph).
 type BudgetedProbe = Result<(Vec<Vec<(u64, f32)>>, bool), ServingError>;
 
 /// Serving-stack parameters.
@@ -44,10 +47,21 @@ pub struct ServingConfig {
     pub cache_k: usize,
     /// Items returned per request.
     pub top_k: usize,
-    /// IVF lists probed per query.
+    /// Which retrieval backend the server probes — see
+    /// [`crate::backend::SearchBackend`]. IVF-Flat (the default, the
+    /// paper's setup), the exact flat scan, or the relevance proximity
+    /// graph.
+    pub backend: BackendKind,
+    /// IVF lists probed per query (IVF backend only).
     pub nprobe: usize,
-    /// Coarse clusters in the ANN index.
+    /// Coarse clusters in the ANN index (IVF backend only).
     pub nlist: usize,
+    /// Out-degree of the navigable neighbor graph (proximity backend only).
+    pub graph_degree: usize,
+    /// Beam width of the proximity-graph search (proximity backend only).
+    /// Plays the role `nprobe` plays for IVF: the recall/latency knob the
+    /// deadline ladder caps under pressure.
+    pub beam_width: usize,
     /// Minimum IVF lists probed when ranking the per-query postings at
     /// *build* time. The build-time ranking is offline and runs once, so it
     /// can afford a wider probe than the serving-path `nprobe`; the
@@ -74,8 +88,11 @@ impl Default for ServingConfig {
         Self {
             cache_k: 30,
             top_k: 100,
+            backend: BackendKind::Ivf,
             nprobe: 4,
             nlist: 32,
+            graph_degree: 12,
+            beam_width: 32,
             build_nprobe: 4,
             disable_cache: false,
             deadline: None,
@@ -97,7 +114,10 @@ struct ServerMetrics {
     /// Requests answered from the inverted-index fallback (budget spent
     /// after admission).
     degraded_fallback: Counter,
-    /// Batches whose ANN probe was capped below the configured `nprobe`.
+    /// Batches whose retrieval probe was capped below the backend's
+    /// configured budget (`nprobe` for IVF, beam width for the proximity
+    /// graph). The counter name predates multi-backend serving and is kept
+    /// stable for dashboards: `serve.degraded.nprobe_capped`.
     degraded_nprobe: Counter,
     /// EWMA of the ANN stage's cost in ns, measured only when a deadline is
     /// bounded; feeds the next batch's at-risk-probe decision.
@@ -130,7 +150,9 @@ impl ServerMetrics {
 pub struct OnlineServer {
     graph: Arc<HeteroGraph>,
     frozen: Arc<FrozenModel>,
-    index: Arc<IvfIndex>,
+    /// The retrieval backend (enum-dispatched: no dynamic call in the hot
+    /// probe loop), selected by [`ServingConfig::backend`].
+    backend: Arc<Backend>,
     /// Two-layer term → query → item index (§VII-E's iGraph layout) used by
     /// the term-retrieval fallback path.
     inverted: Arc<InvertedIndex>,
@@ -148,7 +170,7 @@ impl Clone for OnlineServer {
         Self {
             graph: Arc::clone(&self.graph),
             frozen: Arc::clone(&self.frozen),
-            index: Arc::clone(&self.index),
+            backend: Arc::clone(&self.backend),
             inverted: Arc::clone(&self.inverted),
             cache: Arc::clone(&self.cache),
             config: self.config,
@@ -252,6 +274,13 @@ impl ServerBuilder {
         if config.nprobe == 0 || config.nlist == 0 {
             return Err(ServingError::InvalidConfig("nprobe and nlist must be positive"));
         }
+        if config.backend == BackendKind::Proximity
+            && (config.graph_degree == 0 || config.beam_width == 0)
+        {
+            return Err(ServingError::InvalidConfig(
+                "graph_degree and beam_width must be positive",
+            ));
+        }
         if config.cache_capacity == 0 {
             return Err(ServingError::InvalidConfig("cache_capacity must be positive"));
         }
@@ -267,17 +296,29 @@ impl ServerBuilder {
             .enumerate()
             .map(|(r, &i)| (i as u64, item_matrix.row(r).to_vec()))
             .collect();
-        // Size the coarse quantizer to the pool (≈√N, capped by config) so
-        // small pools keep enough candidates per probe.
-        let nlist = config.nlist.min(((items.len() as f64).sqrt().ceil()) as usize).max(1);
-        let mut index = IvfIndex::build(&items, nlist, 8, self.seed);
+        // Stand the configured retrieval backend up over the pool.
+        let mut backend = match config.backend {
+            BackendKind::Ivf => {
+                // Size the coarse quantizer to the pool (≈√N, capped by
+                // config) so small pools keep enough candidates per probe.
+                let nlist = config.nlist.min(((items.len() as f64).sqrt().ceil()) as usize).max(1);
+                let index = IvfIndex::build(&items, nlist, 8, self.seed);
+                Backend::Ivf(IvfBackend::new(index, config.nprobe, config.build_nprobe))
+            }
+            BackendKind::Exact => Backend::Exact(ExactSearch::build(&items)),
+            BackendKind::Proximity => Backend::Proximity(ProximityGraph::build(
+                &items,
+                config.graph_degree,
+                config.beam_width,
+            )),
+        };
         // Second retrieval layer: per-query postings ranked by the frozen
         // item tower against the query's own online embedding (with no
         // cached neighborhood that embedding is the query's base vector).
-        // Queries are chunked into batched ANN probes and the chunks run in
-        // parallel. This ranking is offline, so it probes at least
-        // `build_nprobe` lists regardless of the serving-path `nprobe`.
-        let build_probe = config.nprobe.max(config.build_nprobe);
+        // Queries are chunked into batched probes and the chunks run in
+        // parallel. This ranking is offline, so the backend may afford a
+        // wider budget than the serving path (IVF probes at least
+        // `build_nprobe` lists regardless of the serving-path `nprobe`).
         let queries: Vec<NodeId> = graph.nodes_of_type(zoomer_graph::NodeType::Query);
         let chunks: Vec<&[NodeId]> = queries.chunks(64).collect();
         let postings: Vec<Result<QueryPostings, ServingError>> = chunks
@@ -287,8 +328,8 @@ impl ServerBuilder {
                 for (r, &q) in chunk.iter().enumerate() {
                     embs.row_mut(r).copy_from_slice(&frozen.online_embedding(q, &[], &[]));
                 }
-                Ok(index
-                    .search_batch(&embs, config.top_k, build_probe)?
+                Ok(backend
+                    .offline_rank_batch(&embs, config.top_k)?
                     .into_iter()
                     .zip(chunk.iter())
                     .map(|(ranked, &q)| {
@@ -308,11 +349,11 @@ impl ServerBuilder {
         // Attach probe-volume counters only now, after the offline posting
         // ranking, so serve-time metrics are not polluted by build work.
         let registry = self.metrics.unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
-        index.attach_metrics(&registry);
+        backend.attach_metrics(&registry);
         Ok(OnlineServer {
             graph,
             frozen: Arc::new(frozen),
-            index: Arc::new(index),
+            backend: Arc::new(backend),
             inverted: Arc::new(inverted),
             cache: Arc::new(NeighborCache::with_capacity(config.cache_k, config.cache_capacity)),
             config,
@@ -327,24 +368,6 @@ impl OnlineServer {
     /// Start building a server; see [`ServerBuilder`].
     pub fn builder() -> ServerBuilder {
         ServerBuilder::default()
-    }
-
-    /// Build the server from positional arguments.
-    #[deprecated(note = "use OnlineServer::builder() with typed setters")]
-    pub fn build(
-        graph: Arc<HeteroGraph>,
-        frozen: FrozenModel,
-        item_pool: &[NodeId],
-        config: ServingConfig,
-        seed: u64,
-    ) -> Result<Self, ServingError> {
-        Self::builder()
-            .graph(graph)
-            .frozen(frozen)
-            .item_pool(item_pool)
-            .config(config)
-            .seed(seed)
-            .build()
     }
 
     /// Reject any request node id outside the loaded graph before it can
@@ -377,8 +400,11 @@ impl OnlineServer {
         &self.cache
     }
 
-    pub fn index(&self) -> &IvfIndex {
-        &self.index
+    /// The retrieval backend this server probes (enum-dispatched; use
+    /// [`Backend::as_ivf`] to reach IVF-specific knobs when the configured
+    /// backend is IVF).
+    pub fn backend(&self) -> &Backend {
+        &self.backend
     }
 
     pub fn graph(&self) -> &HeteroGraph {
@@ -538,10 +564,11 @@ impl OnlineServer {
         // exactly the work a spent budget cannot afford.
         let widen = !capped && !deadline.expired();
         for (i, mut f) in found.into_iter().enumerate() {
-            if widen && f.len() < self.config.top_k && f.len() < self.index.len() {
-                // Under-filled probe set (small pool or skewed clusters):
-                // widen to an exact scan rather than return a short list.
-                f = self.index.exact_search(uq.row(i), self.config.top_k)?;
+            if widen && f.len() < self.config.top_k && f.len() < self.backend.len() {
+                // Under-filled probe set (small pool, skewed clusters, or a
+                // narrow beam): widen to an exact scan rather than return a
+                // short list.
+                f = self.backend.exact_search(uq.row(i), self.config.top_k)?;
             }
             out.push(f.into_iter().map(|(id, _)| id as NodeId).collect());
         }
@@ -556,18 +583,19 @@ impl OnlineServer {
         }
     }
 
-    /// ANN probe under the batch's remaining budget. Unbounded deadlines use
-    /// the plain full-width probe (identical to the pre-deadline server).
-    /// Bounded deadlines consult an EWMA of recent ANN cost: if the budget
-    /// looks at risk (or no history exists yet), the probe runs round-major
-    /// with a between-rounds expiry check and may stop early — a capped
-    /// probe equals a plain probe at the smaller `nprobe`, trading recall
-    /// for latency. Returns the per-query candidates and whether the probe
-    /// was capped below the configured width.
+    /// Retrieval probe under the batch's remaining budget. Unbounded
+    /// deadlines use the plain full-width probe (identical to the
+    /// pre-deadline server). Bounded deadlines consult an EWMA of recent
+    /// probe cost: if the budget looks at risk (or no history exists yet),
+    /// the probe runs round-major with a between-rounds expiry check and may
+    /// stop early — a capped probe equals a plain probe at the backend's
+    /// smaller budget (`nprobe` for IVF, beam width for the proximity
+    /// graph), trading recall for latency. Returns the per-query candidates
+    /// and whether the probe was capped below the configured budget.
     fn probe_with_budget(&self, uq: &Matrix, deadline: &Deadline) -> BudgetedProbe {
-        let (top_k, nprobe) = (self.config.top_k, self.config.nprobe);
+        let top_k = self.config.top_k;
         if !deadline.is_bounded() {
-            return Ok((self.index.search_batch(uq, top_k, nprobe)?, false));
+            return Ok((self.backend.search_batch(uq, top_k)?, false));
         }
         let m = &*self.metrics;
         let ewma = m.ann_ewma_ns.load(Ordering::Relaxed);
@@ -575,18 +603,18 @@ impl OnlineServer {
             .remaining()
             .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
             .unwrap_or(u64::MAX);
-        let want = nprobe.max(1).min(self.index.nlist());
         let t0 = Instant::now();
         // No history yet (ewma == 0) counts as at-risk: the first bounded
         // batch pays the round-major bookkeeping instead of gambling the
         // whole budget on an unmeasured probe.
         let (found, capped) = if ewma == 0 || remaining_ns < 2 * ewma {
-            let bounded = self.index.search_batch_deadline(uq, top_k, nprobe, deadline, |_| {
+            let bounded = self.backend.search_batch_deadline(uq, top_k, deadline, &mut |_| {
                 self.fire_fault(FaultSite::AnnRound)
             })?;
-            (bounded.results, bounded.effective_nprobe < want)
+            let capped = bounded.capped();
+            (bounded.results, capped)
         } else {
-            (self.index.search_batch(uq, top_k, nprobe)?, false)
+            (self.backend.search_batch(uq, top_k)?, false)
         };
         let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         m.ann_ewma_ns.store(if ewma == 0 { ns } else { (3 * ewma + ns) / 4 }, Ordering::Relaxed);
@@ -1004,28 +1032,118 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_legacy_positional_build_bitwise() {
-        // The deprecated positional `build` is a thin wrapper over the
-        // builder: both constructions must serve bit-identical batches.
-        let (data, graph, frozen, items) = fixture(84);
-        let config = ServingConfig { top_k: 15, ..Default::default() };
-        let via_builder = OnlineServer::builder()
+    fn exact_backend_serves_topk_items() {
+        let (data, server) = build_server_cfg(ServingConfig {
+            top_k: 20,
+            backend: BackendKind::Exact,
+            ..Default::default()
+        });
+        assert_eq!(server.backend().kind(), BackendKind::Exact);
+        let requests: Vec<(NodeId, NodeId)> =
+            data.logs.iter().take(6).map(|l| (l.user, l.query)).collect();
+        let batched = server.handle_batch(&requests).expect("serve batch");
+        for (i, (&(u, q), row)) in requests.iter().zip(&batched).enumerate() {
+            assert_eq!(row.len(), 20);
+            for &item in row {
+                assert_eq!(data.graph.node_type(item), NodeType::Item, "request {i}");
+            }
+            assert_eq!(row, &server.handle(u, q).expect("serve"), "request {i} diverges");
+        }
+    }
+
+    #[test]
+    fn proximity_backend_serves_topk_items() {
+        let (data, server) = build_server_cfg(ServingConfig {
+            top_k: 20,
+            backend: BackendKind::Proximity,
+            graph_degree: 8,
+            beam_width: 40,
+            ..Default::default()
+        });
+        assert_eq!(server.backend().kind(), BackendKind::Proximity);
+        let requests: Vec<(NodeId, NodeId)> =
+            data.logs.iter().take(6).map(|l| (l.user, l.query)).collect();
+        let batched = server.handle_batch(&requests).expect("serve batch");
+        for (i, (&(u, q), row)) in requests.iter().zip(&batched).enumerate() {
+            assert_eq!(row.len(), 20);
+            let set: std::collections::HashSet<_> = row.iter().collect();
+            assert_eq!(set.len(), row.len(), "request {i} returned duplicates");
+            assert_eq!(row, &server.handle(u, q).expect("serve"), "request {i} diverges");
+        }
+    }
+
+    #[test]
+    fn exact_backend_matches_a_full_probe_ivf_server() {
+        // At recall=1 settings (IVF probing every list) both backends run
+        // the same frozen relevance arithmetic, so the served rankings must
+        // agree item-for-item.
+        let (data, graph, frozen, items) = fixture(87);
+        let wide = items.len();
+        let ivf = OnlineServer::builder()
             .graph(Arc::clone(&graph))
             .frozen(frozen.clone())
             .item_pool(&items)
-            .config(config)
-            .seed(84)
+            .config(ServingConfig { top_k: 15, nprobe: wide, nlist: wide, ..Default::default() })
+            .seed(87)
             .build()
-            .expect("builder build");
-        #[allow(deprecated)]
-        let via_legacy =
-            OnlineServer::build(graph, frozen, &items, config, 84).expect("legacy build");
+            .expect("ivf build");
+        let exact = OnlineServer::builder()
+            .graph(graph)
+            .frozen(frozen)
+            .item_pool(&items)
+            .config(ServingConfig { top_k: 15, backend: BackendKind::Exact, ..Default::default() })
+            .seed(87)
+            .build()
+            .expect("exact build");
         let requests: Vec<(NodeId, NodeId)> =
-            data.logs.iter().take(12).map(|l| (l.user, l.query)).collect();
+            data.logs.iter().take(8).map(|l| (l.user, l.query)).collect();
         assert_eq!(
-            via_builder.handle_batch(&requests).expect("builder serve"),
-            via_legacy.handle_batch(&requests).expect("legacy serve"),
-            "builder and legacy construction must serve identically"
+            ivf.handle_batch(&requests).expect("ivf serve"),
+            exact.handle_batch(&requests).expect("exact serve"),
+            "full-probe IVF and the exact backend must serve identically"
+        );
+    }
+
+    #[test]
+    fn proximity_backend_rejects_zero_graph_params() {
+        let (_, graph, frozen, items) = fixture(88);
+        assert!(matches!(
+            OnlineServer::builder()
+                .graph(graph)
+                .frozen(frozen)
+                .item_pool(&items)
+                .config(ServingConfig {
+                    backend: BackendKind::Proximity,
+                    graph_degree: 0,
+                    ..Default::default()
+                })
+                .build(),
+            Err(ServingError::InvalidConfig("graph_degree and beam_width must be positive"))
+        ));
+    }
+
+    #[test]
+    fn backend_stats_count_served_probes() {
+        let (data, graph, frozen, items) = fixture(89);
+        let registry = Arc::new(zoomer_obs::MetricsRegistry::enabled());
+        let server = OnlineServer::builder()
+            .graph(graph)
+            .frozen(frozen)
+            .item_pool(&items)
+            .config(ServingConfig { top_k: 10, backend: BackendKind::Exact, ..Default::default() })
+            .seed(89)
+            .metrics(Arc::clone(&registry))
+            .build()
+            .expect("build");
+        let requests: Vec<(NodeId, NodeId)> =
+            data.logs.iter().take(5).map(|l| (l.user, l.query)).collect();
+        server.handle_batch(&requests).expect("serve");
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("serve.backend.queries"), Some(5));
+        assert_eq!(
+            snap.counter("serve.backend.candidates_scored"),
+            Some(5 * items.len() as u64),
+            "the exact backend scores the whole pool per query"
         );
     }
 

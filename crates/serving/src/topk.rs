@@ -1,0 +1,80 @@
+//! Shared top-k selection for every search backend.
+//!
+//! All retrieval paths — the IVF list probe, the exact flat scan, and the
+//! proximity-graph beam search — end the same way: reduce a scored candidate
+//! list to its `k` best by descending score. That reduction lives here, once,
+//! so every backend ranks candidates with byte-identical arithmetic and tie
+//! handling, and a backend swap can never change how a candidate set turns
+//! into a result list.
+
+/// Top-`k` of a candidate list by descending score: partial selection, then
+/// a sort of just the head. Deterministic for a fixed candidate order.
+pub fn top_k_desc(mut scored: Vec<(u64, f32)>, k: usize) -> Vec<(u64, f32)> {
+    let desc =
+        |a: &(u64, f32), b: &(u64, f32)| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal);
+    if k == 0 || scored.is_empty() {
+        scored.truncate(k);
+        return scored;
+    }
+    if k < scored.len() {
+        scored.select_nth_unstable_by(k - 1, desc);
+        scored.truncate(k);
+    }
+    scored.sort_by(desc);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[(u64, f32)]) -> Vec<u64> {
+        v.iter().map(|&(id, _)| id).collect()
+    }
+
+    #[test]
+    fn selects_the_k_best_sorted_descending() {
+        let scored = vec![(1, 0.5), (2, 2.0), (3, -1.0), (4, 1.5), (5, 0.0)];
+        let got = top_k_desc(scored, 3);
+        assert_eq!(ids(&got), vec![2, 4, 1]);
+        for w in got.windows(2) {
+            assert!(w[0].1 >= w[1].1, "not sorted: {got:?}");
+        }
+    }
+
+    #[test]
+    fn k_zero_and_empty_inputs() {
+        assert!(top_k_desc(vec![(1, 1.0)], 0).is_empty());
+        assert!(top_k_desc(Vec::new(), 5).is_empty());
+    }
+
+    #[test]
+    fn k_at_least_len_returns_everything_sorted() {
+        let scored = vec![(7, 0.1), (8, 0.9), (9, 0.5)];
+        for k in [3usize, 4, 100] {
+            let got = top_k_desc(scored.clone(), k);
+            assert_eq!(ids(&got), vec![8, 9, 7], "k={k}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_candidate_order() {
+        // Ties are broken by the selection/sort order, which only depends on
+        // the input order — the property every backend's candidate stream
+        // relies on.
+        let scored = vec![(1, 1.0), (2, 1.0), (3, 1.0), (4, 2.0)];
+        let a = top_k_desc(scored.clone(), 2);
+        let b = top_k_desc(scored, 2);
+        assert_eq!(a, b);
+        assert_eq!(a[0].0, 4);
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic() {
+        // partial_cmp on NaN falls back to Equal; selection still returns k
+        // items without panicking (hot-path rule L001).
+        let scored = vec![(1, f32::NAN), (2, 1.0), (3, 0.5)];
+        let got = top_k_desc(scored, 2);
+        assert_eq!(got.len(), 2);
+    }
+}

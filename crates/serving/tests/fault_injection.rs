@@ -109,6 +109,37 @@ fn ann_round_spike_caps_the_probe_width() {
 }
 
 #[test]
+fn beam_rung_spike_caps_the_beam_width() {
+    // Same drill against the proximity-graph backend: its deadline probe
+    // climbs a beam-width ladder (4 → 8 → 16 → 32 for beam_width 32) and
+    // fires the AnnRound site at each rung. A 30ms delay per rung against a
+    // 5ms budget must stop the ladder after rung 0 and count the cap under
+    // the same degraded counter the IVF backend uses.
+    let fault = Arc::new(
+        FaultPlan::new(6).delay(FaultSite::AnnRound, 1, Duration::from_millis(30)).build(),
+    );
+    let config = ServingConfig {
+        top_k: 10,
+        backend: zoomer_serving::BackendKind::Proximity,
+        graph_degree: 8,
+        beam_width: 32,
+        deadline: Some(Duration::from_millis(5)),
+        ..Default::default()
+    };
+    let (data, server) = build_server(config, Some(Arc::clone(&fault)));
+    let out = server.handle_batch(&requests(&data, 2)).expect("capped batch still answers");
+    assert_eq!(out.len(), 2);
+    let snap = server.metrics_snapshot();
+    assert_eq!(
+        snap.counter("serve.degraded.nprobe_capped"),
+        Some(1),
+        "overrunning the budget mid-ladder must cap the beam"
+    );
+    assert!(fault.injected(FaultSite::AnnRound) >= 1);
+    assert!(fault.calls(FaultSite::AnnRound) < 4, "a capped ladder must not have run all 4 rungs");
+}
+
+#[test]
 fn zero_deadline_rejects_cleanly_and_is_counted() {
     let config = ServingConfig { top_k: 10, deadline: Some(Duration::ZERO), ..Default::default() };
     let (data, server) = build_server(config, None);

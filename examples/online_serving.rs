@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use zoomer_core::data::TaobaoConfig;
 use zoomer_core::serving::{
-    run_load, FrozenModel, LoadTestSpec, OnlineServer, ServingConfig, ShedPolicy,
+    run_load, BackendKind, FrozenModel, LoadTestSpec, OnlineServer, ServingConfig, ShedPolicy,
 };
 use zoomer_core::train::TrainerConfig;
 use zoomer_core::{PipelineConfig, ZoomerPipeline};
@@ -109,5 +109,34 @@ fn main() {
     println!(
         "admitted latency: p50 {:.3} ms, p99 {:.3} ms (budget 10 ms)",
         report.latency.p50_ms, report.latency.p99_ms
+    );
+
+    // Retrieval is pluggable: the same builder can serve from the relevance
+    // proximity graph (beam search under the frozen relevance score) instead
+    // of the default IVF index — only the config line changes.
+    println!("\n== Proximity-graph backend ==");
+    let proximity = OnlineServer::builder()
+        .graph(Arc::clone(&graph))
+        .frozen(FrozenModel::from_model(pipeline.model_mut(), &graph))
+        .item_pool(&items)
+        .config(ServingConfig {
+            cache_k: 30,
+            top_k: 100,
+            backend: BackendKind::Proximity,
+            graph_degree: 12,
+            beam_width: 32,
+            ..Default::default()
+        })
+        .seed(seed)
+        .build()
+        .expect("serving build");
+    proximity.warm_cache(&warm).expect("warm cache");
+    let report = run_load(&proximity, &requests, &LoadTestSpec::open(1000.0).num_threads(4))
+        .expect("load run");
+    println!(
+        "backend {} | 1000 QPS: p50 {:.3} ms, p99 {:.3} ms",
+        proximity.backend().kind().name(),
+        report.latency.p50_ms,
+        report.latency.p99_ms
     );
 }
