@@ -4,28 +4,38 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== cargo build --release (matches the tier-1 verify command) =="
+cargo build --release --offline -q
+
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
-echo "== zoomer-lint (panic-freedom gate, hard failure) =="
-cargo run --release --offline -q -p zoomer-lint
+echo "== zoomer-lint (panic-freedom + cross-file concurrency gate, hard failure) =="
+# Both phases run here: per-file rules (L001-L005) and the cross-file
+# concurrency/contract pass (L006-L009, metrics manifest, baseline). The
+# machine-readable report is kept as a CI artifact; human lines go to
+# stderr so the log still shows any findings.
+cargo run --release --offline -q -p zoomer-lint -- --json . > lint-report.json
 
 echo "== cargo clippy (workspace, all targets, deny warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== cargo test (workspace) =="
-cargo test --workspace --offline -q
+echo "== cargo test (workspace, ci profile: overflow-checks + debug assertions) =="
+cargo test --workspace --offline -q --profile ci
 
 echo "== fault-injection suite (overload, degraded modes, injected panics) =="
-cargo test --offline -q -p zoomer-serving --test fault_injection
+cargo test --offline -q -p zoomer-serving --test fault_injection --profile ci
 
 echo "== backend parity suite (IVF bit-identity, three-backend equivalence) =="
-cargo test --offline -q -p zoomer-serving --test backend_parity
+cargo test --offline -q -p zoomer-serving --test backend_parity --profile ci
 
 echo "== kernel bench (smoke mode: every kernel executes, baseline file untouched) =="
 ZOOMER_BENCH_SCALE=smoke cargo bench --offline -q -p zoomer-bench --bench kernels
 
 echo "== observability overhead bench (smoke mode: gating exercised, budget advisory) =="
 ZOOMER_BENCH_SCALE=smoke cargo bench --offline -q -p zoomer-bench --bench obs_overhead
+
+echo "== backends bench (smoke mode: recall/latency harness executes, baseline untouched) =="
+ZOOMER_BENCH_SCALE=smoke cargo bench --offline -q -p zoomer-bench --bench backends
 
 echo "CI OK"

@@ -7,6 +7,15 @@
 //! that track per-replica request counts so load-balancing behaviour can be
 //! observed in tests and benches. Sampling requests are routed by node id to
 //! a shard, then to its least-loaded replica.
+//!
+//! Concurrency contract (enforced by zoomer-lint's cross-file pass): the
+//! routing path is lock-free. Shard lookup is pure arithmetic over an
+//! immutable `Arc<HeteroGraph>`, and replica selection is a relaxed scan
+//! of per-replica `AtomicU64` counters — no `Mutex`/`RwLock` anywhere in
+//! this module, so L006 (lock ordering) and L007 (blocking under a guard)
+//! have nothing to latch onto. Keep it that way: once `ShardedServer`
+//! multiplies this surface across N shards, any lock added here becomes
+//! N-way scatter-gather lock traffic on the request path.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

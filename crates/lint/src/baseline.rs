@@ -1,0 +1,108 @@
+//! The reviewed baseline / suppression file (`lint-baseline.txt`).
+//!
+//! Cross-file findings can be suppressed workspace-wide by a checked-in,
+//! code-reviewed baseline entry instead of an inline marker — useful when
+//! a finding is acknowledged but its fix is deferred to a follow-up PR.
+//! Format, one entry per line:
+//!
+//! ```text
+//! # comment
+//! L007 crates/train/src/ps.rs three-phase fix lands with the shard split
+//! ```
+//!
+//! Rules: the reason is mandatory, the rule id must exist, and
+//! `crates/serving/` remains a no-allow zone — baseline entries naming it
+//! are themselves violations. Entries that no longer match any finding
+//! are reported as warnings so the baseline can only shrink.
+
+use crate::engine::{in_no_allow_zone, Severity, Violation, RULES};
+
+pub struct BaselineEntry {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+}
+
+/// Parse the baseline; malformed entries become violations against the
+/// baseline file itself.
+pub fn parse(baseline_path: &str, text: &str) -> (Vec<BaselineEntry>, Vec<Violation>) {
+    let mut entries = Vec::new();
+    let mut bad = Vec::new();
+    let mut push_bad = |line: u32, msg: String| {
+        bad.push(Violation {
+            path: baseline_path.to_string(),
+            line,
+            rule: "BASELINE",
+            severity: Severity::Error,
+            message: msg,
+        });
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let line = (i + 1) as u32;
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let mut parts = l.splitn(3, char::is_whitespace);
+        let rule_txt = parts.next().unwrap_or("");
+        let path = parts.next().unwrap_or("");
+        let reason = parts.next().unwrap_or("").trim();
+        let Some(rule) = RULES.iter().find(|r| **r == rule_txt) else {
+            push_bad(line, format!("unknown rule id `{rule_txt}` in baseline entry"));
+            continue;
+        };
+        if path.is_empty() {
+            push_bad(line, "baseline entry missing a path".to_string());
+            continue;
+        }
+        if reason.is_empty() {
+            push_bad(line, "a baseline entry must carry a reason".to_string());
+            continue;
+        }
+        if in_no_allow_zone(path) {
+            push_bad(
+                line,
+                "crates/serving is a no-allow zone: fix the code instead of baselining it"
+                    .to_string(),
+            );
+            continue;
+        }
+        entries.push(BaselineEntry { rule, path: path.to_string(), line });
+    }
+    (entries, bad)
+}
+
+/// Drop findings matched by a baseline entry (rule + path); report
+/// entries that matched nothing as warnings.
+pub fn apply(
+    baseline_path: &str,
+    entries: &[BaselineEntry],
+    violations: Vec<Violation>,
+) -> Vec<Violation> {
+    let mut used = vec![false; entries.len()];
+    let mut out: Vec<Violation> = violations
+        .into_iter()
+        .filter(|v| match entries.iter().position(|e| e.rule == v.rule && e.path == v.path) {
+            Some(i) => {
+                used[i] = true;
+                false
+            }
+            None => true,
+        })
+        .collect();
+    for (e, used) in entries.iter().zip(used) {
+        if !used {
+            out.push(Violation {
+                path: baseline_path.to_string(),
+                line: e.line,
+                rule: "BASELINE",
+                severity: Severity::Warning,
+                message: format!(
+                    "stale baseline entry: no `{}` finding in `{}` — remove the line",
+                    e.rule, e.path
+                ),
+            });
+        }
+    }
+    out
+}

@@ -9,24 +9,48 @@
 
 use crate::lexer::{tokenize, Token, TokenKind};
 
+/// How bad a finding is. Errors gate CI; warnings are advisory (stale
+/// manifest/baseline entries that can only be cleaned up, never hidden).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
 /// A rule finding, before and after suppression.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Violation {
     pub path: String,
     pub line: u32,
-    /// `L001`..`L005`, or `ALLOW` for a defective escape hatch.
+    /// `L001`..`L009`, `ALLOW` for a defective escape hatch, or
+    /// `BASELINE` for a defective baseline entry.
     pub rule: &'static str,
+    pub severity: Severity,
     pub message: String,
 }
 
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+        let tag = match self.severity {
+            Severity::Warning => " [warning]",
+            Severity::Error => "",
+        };
+        write!(f, "{}:{}: [{}]{tag} {}", self.path, self.line, self.rule, self.message)
     }
 }
 
-/// Every rule id the allow marker accepts.
-pub const RULES: &[&str] = &["L001", "L002", "L003", "L004", "L005"];
+/// Every rule id the allow marker (and the baseline file) accepts.
+pub const RULES: &[&str] =
+    &["L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009"];
 
 /// A parsed `// lint: allow(RULE, reason)` marker.
 #[derive(Clone, Debug)]
@@ -249,6 +273,7 @@ pub fn marker_violations(ctx: &FileContext) -> Vec<Violation> {
                 path: ctx.path.to_string(),
                 line: m.line,
                 rule: "ALLOW",
+                severity: Severity::Error,
                 message: format!("malformed lint: allow marker: {defect}"),
             });
         }
@@ -257,6 +282,7 @@ pub fn marker_violations(ctx: &FileContext) -> Vec<Violation> {
                 path: ctx.path.to_string(),
                 line: m.line,
                 rule: "ALLOW",
+                severity: Severity::Error,
                 message: "crates/serving is a no-allow zone: fix the code instead of \
                           suppressing the rule"
                     .to_string(),

@@ -7,6 +7,13 @@
 //! has no reachable registry, the crate is entirely dependency-free — the
 //! gate can never be broken by a dependency and always builds.
 //!
+//! The analysis runs in two phases. Phase one lexes each file and runs the
+//! per-file rules (L001–L005) plus fact extraction (`facts`): lock
+//! acquisitions with guard-liveness spans, outgoing calls, `Deadline`
+//! parameters, metric-name literals. Phase two (`xrules`) links the facts
+//! through an approximate call graph and runs the cross-file concurrency
+//! and contract rules (L006–L009).
+//!
 //! Rules (see DESIGN.md "Static analysis & panic-freedom" for rationale):
 //!
 //! | rule | scope | property |
@@ -16,20 +23,28 @@
 //! | L003 | all scanned files | no `.lock()`/`.read()`/`.write()` + `.unwrap()`/`.expect(` |
 //! | L004 | library crates | no `println!`/`eprintln!` (bench + CLI exempt) |
 //! | L005 | tensor/model `src/` | no exact `==`/`!=` between float expressions |
+//! | L006 | whole workspace | no lock-order cycles or same-lock re-entry across call chains |
+//! | L007 | serving/train `src/` | no blocking (second lock, `recv`, `join`, `sleep`, caller-supplied closures) while a guard is live |
+//! | L008 | whole workspace | metric-name literals must match `metrics-manifest.txt` (kind + name) |
+//! | L009 | whole workspace | `Deadline` parameters must be consulted or forwarded (`_deadline` opts out) |
 //!
 //! Escape hatch: a comment of exactly `lint: allow(RULE, reason)` on the
-//! violating line or the line above. The reason is mandatory, and
-//! `crates/serving` is a no-allow zone where markers are themselves
-//! violations.
+//! violating line or the line above, or a reviewed `lint-baseline.txt`
+//! entry (`RULE path reason`) for cross-file findings. Reasons are
+//! mandatory in both, and `crates/serving` is a no-allow zone where
+//! markers and baseline entries are themselves violations.
 
+pub mod baseline;
 pub mod engine;
+pub mod facts;
 pub mod lexer;
 pub mod rules;
+pub mod xrules;
 
 use std::path::{Path, PathBuf};
 
-pub use engine::Violation;
 use engine::{in_no_allow_zone, marker_violations, FileContext};
+pub use engine::{Severity, Violation};
 
 /// Lint one file's source under its workspace-relative path (forward
 /// slashes). This is the whole analysis for one file: rules, escape-hatch
@@ -81,17 +96,64 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lint the whole workspace rooted at `root`; returns all violations,
-/// sorted by path and line.
-pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
+/// Well-known file names for the cross-file pass's side inputs.
+pub const MANIFEST_PATH: &str = "metrics-manifest.txt";
+pub const BASELINE_PATH: &str = "lint-baseline.txt";
+
+/// Lint a whole workspace given as in-memory `(path, source)` pairs: both
+/// phases, escape-hatch and baseline suppression, marker validation.
+/// `manifest` enables L008; without it the metric checks are skipped.
+pub fn lint_workspace(
+    files: &[(String, String)],
+    manifest: Option<&str>,
+    baseline_text: Option<&str>,
+) -> Vec<Violation> {
     let mut out = Vec::new();
+    let mut all_facts = Vec::new();
+    for (path, src) in files {
+        out.extend(lint_source(path, src));
+        all_facts.push(facts::extract(&FileContext::new(path, src)));
+    }
+    let mut cross = xrules::check_workspace(&all_facts);
+    if let Some(text) = manifest {
+        let (entries, bad) = xrules::parse_manifest(MANIFEST_PATH, text);
+        cross.extend(bad);
+        cross.extend(xrules::check_metrics(&all_facts, MANIFEST_PATH, &entries));
+    }
+    // Inline allow markers suppress cross-file findings too — except in
+    // the no-allow zone, where the markers are themselves violations.
+    cross.retain(|v| {
+        if in_no_allow_zone(&v.path) {
+            return true;
+        }
+        let Some(f) = all_facts.iter().find(|f| f.path == v.path) else { return true };
+        !f.allow_markers
+            .iter()
+            .any(|&(line, rule)| rule == v.rule && (line == v.line || line + 1 == v.line))
+    });
+    if let Some(text) = baseline_text {
+        let (entries, bad) = baseline::parse(BASELINE_PATH, text);
+        cross = baseline::apply(BASELINE_PATH, &entries, cross);
+        cross.extend(bad);
+    }
+    out.extend(cross);
+    out.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    out
+}
+
+/// Lint the whole workspace rooted at `root`: reads every scanned file,
+/// plus `metrics-manifest.txt` and `lint-baseline.txt` when present, and
+/// runs both phases.
+pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
     for rel in scan_paths(root)? {
         let src = std::fs::read_to_string(root.join(&rel))?;
         // Normalize to forward slashes so scoping rules are portable.
         let rel_str =
             rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/");
-        out.extend(lint_source(&rel_str, &src));
+        files.push((rel_str, src));
     }
-    out.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
-    Ok(out)
+    let manifest = std::fs::read_to_string(root.join(MANIFEST_PATH)).ok();
+    let baseline_text = std::fs::read_to_string(root.join(BASELINE_PATH)).ok();
+    Ok(lint_workspace(&files, manifest.as_deref(), baseline_text.as_deref()))
 }

@@ -1,20 +1,158 @@
-//! CLI driver: `zoomer-lint [WORKSPACE_ROOT]`.
+//! CLI driver: `zoomer-lint [--json] [--explain RULE] [WORKSPACE_ROOT]`.
 //!
 //! Scans `crates/` and `src/` under the given root (default: the current
-//! directory), prints every violation as `path:line: [RULE] message`, and
-//! exits nonzero when any are found — the hard-gate contract `ci.sh`
-//! relies on.
+//! directory), runs both analysis phases, prints every violation as
+//! `path:line: [RULE] message`, and exits nonzero when any *error*
+//! severity findings remain — the hard-gate contract `ci.sh` relies on.
+//! With `--json` the machine-readable report goes to stdout (the CI
+//! artifact) and the human lines to stderr.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use zoomer_lint::{Severity, Violation};
+
+/// One paragraph per rule for `--explain`.
+const EXPLANATIONS: &[(&str, &str)] = &[
+    (
+        "L001",
+        "The serving hot path must not contain `unwrap()`, `expect(`, `panic!`, `todo!`, \
+              or `unimplemented!` outside tests. A panicking call turns one malformed request \
+              into a crashed serving shard. Return a typed error instead.",
+    ),
+    (
+        "L002",
+        "Every `unsafe` block needs an immediately preceding `// SAFETY:` comment stating \
+              the invariant that makes it sound. Undocumented unsafe is unreviewable.",
+    ),
+    (
+        "L003",
+        "`.lock().unwrap()` (and the `.read()`/`.write()`/`.expect(` variants) crashes the \
+              thread on a poisoned lock. Recover explicitly with \
+              `unwrap_or_else(PoisonError::into_inner)` or handle the Err.",
+    ),
+    (
+        "L004",
+        "Library crates must not print to stdout/stderr; return data and let the CLI or \
+              bench layer present it.",
+    ),
+    (
+        "L005",
+        "Exact float `==`/`!=` in kernel/model code is almost always a numerics bug; \
+              compare with a tolerance, or allow-list with a reason if bitwise equality is \
+              intended.",
+    ),
+    (
+        "L006",
+        "Cross-file deadlock analysis. Re-entry: a call chain that re-acquires a lock \
+              whose guard is still live self-deadlocks on a Mutex and starves writers on an \
+              RwLock. Ordering: if one path locks A then B and another locks B then A, two \
+              threads can each hold one and wait forever on the other. Fix by narrowing guard \
+              scopes (drop before calling out) or establishing one global lock order.",
+    ),
+    (
+        "L007",
+        "Blocking while a guard is live in `crates/serving` or `crates/train` stalls \
+              every thread that wants the lock: a second lock, a channel `recv`/`send`, \
+              `join`, `sleep`, or invoking a caller-supplied closure are all convoys waiting \
+              to happen on the hot path. Compute outside the critical section, then take the \
+              lock briefly to install the result.",
+    ),
+    (
+        "L008",
+        "Every metric-name literal (`.counter(\"…\")`, `.gauge(\"…\")`, \
+              `.histogram(\"…\")`, `ingest_cache(\"prefix\")`) must appear in \
+              metrics-manifest.txt with the same kind. A typo'd metric name silently registers \
+              a fresh, never-incremented series and the dashboard flatlines without any error. \
+              Manifest entries no code references are reported as stale (warning).",
+    ),
+    (
+        "L009",
+        "A function that takes a `Deadline` parameter and neither consults it \
+              (`expired()`, `remaining()`, `is_bounded()`) nor forwards it silently converts a \
+              bounded call into an unbounded one — the budget vanishes mid-path and the \
+              request blows its latency SLO downstream. Thread the deadline through, or rename \
+              the parameter `_deadline` to document that the contract is genuinely unbounded.",
+    ),
+    (
+        "ALLOW",
+        "Escape-hatch hygiene: `// lint: allow(RULE, reason)` markers must name a real \
+              rule and carry a reason, and `crates/serving` is a no-allow zone where any \
+              marker is itself a violation.",
+    ),
+    (
+        "BASELINE",
+        "lint-baseline.txt hygiene: entries are `RULE path reason`, the reason is \
+              mandatory, serving paths are rejected, and entries matching no finding are \
+              reported stale so the baseline only ever shrinks.",
+    ),
+];
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_report(violations: &[Violation], files_scanned: usize) -> String {
+    let errors = violations.iter().filter(|v| v.severity == Severity::Error).count();
+    let warnings = violations.len() - errors;
+    let mut out = String::from("{\n  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"severity\": \"{}\", \
+             \"message\": \"{}\"}}",
+            json_escape(&v.path),
+            v.line,
+            v.rule,
+            v.severity.as_str(),
+            json_escape(&v.message)
+        ));
+    }
+    if !violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"files_scanned\": {files_scanned},\n  \"errors\": {errors},\n  \
+         \"warnings\": {warnings}\n}}\n"
+    ));
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: zoomer-lint [WORKSPACE_ROOT]");
+        println!("usage: zoomer-lint [--json] [--explain RULE] [WORKSPACE_ROOT]");
         return ExitCode::SUCCESS;
     }
-    let root = PathBuf::from(args.first().map(String::as_str).unwrap_or("."));
+    if let Some(pos) = args.iter().position(|a| a == "--explain") {
+        let Some(rule) = args.get(pos + 1) else {
+            eprintln!("zoomer-lint: --explain needs a rule id (L001..L009, ALLOW, BASELINE)");
+            return ExitCode::FAILURE;
+        };
+        let Some((id, text)) = EXPLANATIONS.iter().find(|(id, _)| id == rule) else {
+            eprintln!("zoomer-lint: unknown rule `{rule}`");
+            return ExitCode::FAILURE;
+        };
+        println!("{id}: {}", text.split_whitespace().collect::<Vec<_>>().join(" "));
+        return ExitCode::SUCCESS;
+    }
+    let json = args.iter().any(|a| a == "--json");
+    let root = PathBuf::from(
+        args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("."),
+    );
     let files = match zoomer_lint::scan_paths(&root) {
         Ok(files) => files,
         Err(e) => {
@@ -29,16 +167,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    for v in &violations {
-        println!("{v}");
+    if json {
+        print!("{}", json_report(&violations, files.len()));
+        for v in &violations {
+            eprintln!("{v}");
+        }
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
     }
-    if violations.is_empty() {
-        println!("zoomer-lint: OK ({} files clean)", files.len());
+    let errors = violations.iter().filter(|v| v.severity == Severity::Error).count();
+    let warnings = violations.len() - errors;
+    if errors == 0 {
+        if !json {
+            println!("zoomer-lint: OK ({} files clean, {warnings} warning(s))", files.len());
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "zoomer-lint: {} violation(s) in {} files scanned",
-            violations.len(),
+            "zoomer-lint: {errors} error(s), {warnings} warning(s) in {} files scanned",
             files.len()
         );
         ExitCode::FAILURE

@@ -6,7 +6,7 @@
 
 use std::collections::HashSet;
 
-use crate::engine::{FileContext, Violation};
+use crate::engine::{FileContext, Severity, Violation};
 use crate::lexer::TokenKind;
 
 /// Crates whose `src/` trees form the request-serving hot path.
@@ -35,7 +35,7 @@ fn is_library_source(path: &str) -> bool {
 }
 
 fn violation(ctx: &FileContext, line: u32, rule: &'static str, message: String) -> Violation {
-    Violation { path: ctx.path.to_string(), line, rule, message }
+    Violation { path: ctx.path.to_string(), line, rule, severity: Severity::Error, message }
 }
 
 /// Run every rule whose path scope covers this file.

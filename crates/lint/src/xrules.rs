@@ -1,0 +1,670 @@
+//! Phase two of the cross-file analyzer: link per-file facts through an
+//! approximate call graph and run the concurrency & contract rules.
+//!
+//! | rule | property |
+//! |------|----------|
+//! | L006 | lock-order cycles and same-lock re-entry across call chains |
+//! | L007 | blocking while a guard is live in serving/train hot paths |
+//! | L008 | metric-name literals must match `metrics-manifest.txt` |
+//! | L009 | `Deadline` parameters must be consulted or forwarded |
+//!
+//! Call resolution is heuristic and deliberately biased toward *not*
+//! resolving: an unresolved call contributes no effects, so imprecision
+//! makes the analyzer quieter, never noisier. The three tiers:
+//!   (a) receiver `self` → functions in the same file;
+//!   (b) receiver ident names another file's stem → that file's functions
+//!       (same crate preferred) — `self.cache.get_many(…)` links to
+//!       `cache.rs` because the field follows the module naming;
+//!   (c) a globally unique function name, unless it is on the deny list of
+//!       ubiquitous std-ish names (`len`, `get`, `insert`, …).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use crate::engine::{Severity, Violation};
+use crate::facts::{Acquire, FileFacts};
+
+/// Hot-path scope for L007: the crates where blocking under a live guard
+/// stalls request serving or training throughput.
+const L007_SCOPE: &[&str] = &["crates/serving/src/", "crates/train/src/"];
+
+/// Callees that (can) block the calling thread.
+const BLOCKING: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "join",
+    "sleep",
+    "park",
+    "park_timeout",
+    "wait",
+    "wait_timeout",
+    "send",
+];
+
+/// `SearchBackend` entry points for the L009 message.
+const SEARCH_ENTRY: &[&str] =
+    &["search_batch", "search_batch_deadline", "exact_search", "offline_rank_batch"];
+
+/// Ubiquitous method names the unique-global-name fallback (tier c) must
+/// never resolve: one crate defining `len` must not capture every `.len()`
+/// in the workspace. Receiver-based tiers are unaffected.
+const DENY: &[&str] = &[
+    "len",
+    "get",
+    "get_mut",
+    "insert",
+    "push",
+    "pop",
+    "new",
+    "clone",
+    "entry",
+    "or_insert",
+    "or_insert_with",
+    "unwrap_or_else",
+    "unwrap_or",
+    "unwrap_or_default",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "map",
+    "set",
+    "remove",
+    "contains",
+    "contains_key",
+    "clear",
+    "extend",
+    "next",
+    "collect",
+    "min",
+    "max",
+    "abs",
+    "sqrt",
+    "from",
+    "into",
+    "to_string",
+    "as_str",
+    "as_ref",
+    "as_mut",
+    "split",
+    "trim",
+    "starts_with",
+    "ends_with",
+    "push_str",
+    "with_capacity",
+    "default",
+    "clamp",
+    "powi",
+    "powf",
+    "exp",
+    "ln",
+    "floor",
+    "ceil",
+    "round",
+    "to_vec",
+    "as_slice",
+    "chunks",
+    "windows",
+    "zip",
+    "enumerate",
+    "filter",
+    "filter_map",
+    "fold",
+    "sum",
+    "count",
+    "any",
+    "all",
+    "find",
+    "position",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "rev",
+    "take",
+    "skip",
+    "flat_map",
+    "flatten",
+    "cloned",
+    "copied",
+    "last",
+    "first",
+    "is_empty",
+    "resize",
+    "truncate",
+    "swap",
+    "split_at",
+    "binary_search",
+    "retain",
+    "dedup",
+    "keys",
+    "values",
+    "values_mut",
+    "range",
+    "append",
+    "borrow",
+    "borrow_mut",
+    "to_owned",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "fmt",
+    "write_str",
+    "elapsed",
+    "now",
+    "saturating_sub",
+    "saturating_add",
+    "checked_sub",
+    "checked_add",
+    "wrapping_add",
+    "min_by",
+    "max_by",
+    "unwrap",
+    "expect",
+    "ok",
+    "err",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "and_then",
+    "or_else",
+    "take_while",
+    "skip_while",
+    "step_by",
+    "join_all",
+    "get_or_insert_with",
+    "to_le_bytes",
+    "from_le_bytes",
+];
+
+/// A function's identity in the linked workspace.
+type FnId = (usize, usize); // (file index, fn index)
+
+struct Linked<'a> {
+    files: &'a [FileFacts],
+    /// fn name → every FnId carrying it.
+    by_name: HashMap<&'a str, Vec<FnId>>,
+    /// file stem → file indices.
+    by_stem: HashMap<&'a str, Vec<usize>>,
+    /// Per-fn resolved callee for each call site (indexed like `calls`).
+    resolved: Vec<Vec<Vec<Option<FnId>>>>,
+    /// Transitive lock effects per fn: (lock identity, acquire mode).
+    effects: Vec<Vec<BTreeSet<(String, &'static str)>>>,
+}
+
+fn link<'a>(files: &'a [FileFacts]) -> Linked<'a> {
+    let mut by_name: HashMap<&str, Vec<FnId>> = HashMap::new();
+    let mut by_stem: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        by_stem.entry(f.file_stem.as_str()).or_default().push(fi);
+        for (gi, g) in f.fns.iter().enumerate() {
+            by_name.entry(g.name.as_str()).or_default().push((fi, gi));
+        }
+    }
+    let mut linked = Linked { files, by_name, by_stem, resolved: Vec::new(), effects: Vec::new() };
+    // Resolve every call site once.
+    let mut resolved = Vec::with_capacity(files.len());
+    for (fi, f) in files.iter().enumerate() {
+        let mut per_fn = Vec::with_capacity(f.fns.len());
+        for g in &f.fns {
+            per_fn.push(
+                g.calls
+                    .iter()
+                    .map(|c| resolve(&linked, fi, &c.callee, c.receiver.as_deref()))
+                    .collect(),
+            );
+        }
+        resolved.push(per_fn);
+    }
+    linked.resolved = resolved;
+    // Effects fixpoint: direct acquires ∪ resolved callees' effects.
+    let mut effects: Vec<Vec<BTreeSet<(String, &'static str)>>> = files
+        .iter()
+        .map(|f| {
+            f.fns
+                .iter()
+                .map(|g| g.acquires.iter().map(|a| (a.lock.clone(), a.mode)).collect())
+                .collect()
+        })
+        .collect();
+    for _ in 0..64 {
+        let mut changed = false;
+        for (fi, f) in files.iter().enumerate() {
+            for gi in 0..f.fns.len() {
+                let mut add: Vec<(String, &'static str)> = Vec::new();
+                for target in linked.resolved[fi][gi].iter().flatten() {
+                    for e in &effects[target.0][target.1] {
+                        if !effects[fi][gi].contains(e) {
+                            add.push(e.clone());
+                        }
+                    }
+                }
+                if !add.is_empty() {
+                    changed = true;
+                    effects[fi][gi].extend(add);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    linked.effects = effects;
+    linked
+}
+
+/// Resolve one call site to a defining fn, or `None` (no effects assumed).
+fn resolve(linked: &Linked, file: usize, callee: &str, receiver: Option<&str>) -> Option<FnId> {
+    let same_file = |fi: usize| -> Option<FnId> {
+        linked.files[fi].fns.iter().position(|g| g.name == callee).map(|gi| (fi, gi))
+    };
+    match receiver {
+        Some("self") => same_file(file),
+        Some(r) => {
+            let stems = linked.by_stem.get(r)?;
+            let here = &linked.files[file].crate_name;
+            let mut candidates: Vec<FnId> = stems.iter().filter_map(|&fi| same_file(fi)).collect();
+            if candidates.len() > 1 {
+                candidates.retain(|&(fi, _)| &linked.files[fi].crate_name == here);
+            }
+            match candidates.as_slice() {
+                [one] => Some(*one),
+                _ => None,
+            }
+        }
+        None => {
+            if DENY.contains(&callee) {
+                return None;
+            }
+            match linked.by_name.get(callee).map(Vec::as_slice) {
+                Some([one]) => Some(*one),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Direct acquires plus virtual ones: a call resolving to a
+/// guard-returning fn acts as an acquisition with the call's liveness.
+fn guards_of(linked: &Linked, fi: usize, gi: usize) -> Vec<Acquire> {
+    let g = &linked.files[fi].fns[gi];
+    let mut out = g.acquires.clone();
+    for (ci, c) in g.calls.iter().enumerate() {
+        if let Some((tfi, tgi)) = linked.resolved[fi][gi][ci] {
+            if let Some((lock, mode)) = &linked.files[tfi].fns[tgi].returns_guard {
+                out.push(Acquire {
+                    lock: lock.clone(),
+                    mode,
+                    line: c.line,
+                    tok: c.tok,
+                    live_end: c.live_end,
+                    binding: None,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Shortest call chain (fn names) from `start` to a fn that directly
+/// acquires `lock`, for L006 witness messages.
+fn chain_to_lock(linked: &Linked, start: FnId, lock: &str) -> Vec<String> {
+    let mut parent: HashMap<FnId, FnId> = HashMap::new();
+    let mut queue = VecDeque::from([start]);
+    let mut seen: BTreeSet<FnId> = BTreeSet::from([start]);
+    while let Some(id) = queue.pop_front() {
+        let g = &linked.files[id.0].fns[id.1];
+        if g.acquires.iter().any(|a| a.lock == lock)
+            || g.returns_guard.as_ref().is_some_and(|(l, _)| l == lock)
+        {
+            let mut chain = vec![g.name.clone()];
+            let mut cur = id;
+            while let Some(&p) = parent.get(&cur) {
+                chain.push(linked.files[p.0].fns[p.1].name.clone());
+                cur = p;
+            }
+            chain.reverse();
+            return chain;
+        }
+        for target in linked.resolved[id.0][id.1].iter().flatten() {
+            if seen.insert(*target) {
+                parent.insert(*target, id);
+                queue.push_back(*target);
+            }
+        }
+    }
+    vec![linked.files[start.0].fns[start.1].name.clone()]
+}
+
+fn violation(
+    path: &str,
+    line: u32,
+    rule: &'static str,
+    severity: Severity,
+    msg: String,
+) -> Violation {
+    Violation { path: path.to_string(), line, rule, severity, message: msg }
+}
+
+/// Run L006/L007/L009 over the linked workspace.
+pub fn check_workspace(files: &[FileFacts]) -> Vec<Violation> {
+    let linked = link(files);
+    let mut out = Vec::new();
+    // Lock-order edges (held → acquired) with one witness each.
+    let mut edges: BTreeMap<(String, String), (String, u32, String)> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (gi, g) in f.fns.iter().enumerate() {
+            if g.is_test {
+                continue;
+            }
+            let guards = guards_of(&linked, fi, gi);
+            let mut reported: BTreeSet<(u32, String, &'static str)> = BTreeSet::new();
+            let hot = L007_SCOPE.iter().any(|p| f.path.starts_with(p));
+            for a in &guards {
+                // Other acquisitions (direct or virtual) inside a's span.
+                for b in &guards {
+                    if !(a.tok < b.tok && b.tok < a.live_end) {
+                        continue;
+                    }
+                    if b.lock == a.lock {
+                        if !(a.mode == "read" && b.mode == "read")
+                            && reported.insert((b.line, b.lock.clone(), "L006"))
+                        {
+                            out.push(violation(
+                                &f.path,
+                                b.line,
+                                "L006",
+                                Severity::Error,
+                                format!(
+                                    "`{}` re-acquires `{}` while its {} guard (line {}) is \
+                                     still live — self-deadlock on a Mutex, writer-starvation \
+                                     on an RwLock",
+                                    g.name, b.lock, a.mode, a.line
+                                ),
+                            ));
+                        }
+                    } else {
+                        edges.insert(
+                            (a.lock.clone(), b.lock.clone()),
+                            (f.path.clone(), b.line, g.name.clone()),
+                        );
+                        if hot && reported.insert((b.line, b.lock.clone(), "L007")) {
+                            out.push(violation(
+                                &f.path,
+                                b.line,
+                                "L007",
+                                Severity::Error,
+                                format!(
+                                    "`{}` acquires `{}` while the `{}` guard (line {}) is \
+                                     live on a hot path; narrow the first guard's scope",
+                                    g.name, b.lock, a.lock, a.line
+                                ),
+                            ));
+                        }
+                    }
+                }
+                // Calls inside a's span.
+                for (ci, c) in g.calls.iter().enumerate() {
+                    if !(a.tok < c.tok && c.tok < a.live_end) {
+                        continue;
+                    }
+                    if hot
+                        && BLOCKING.contains(&c.callee.as_str())
+                        && reported.insert((c.line, c.callee.clone(), "L007"))
+                    {
+                        out.push(violation(
+                            &f.path,
+                            c.line,
+                            "L007",
+                            Severity::Error,
+                            format!(
+                                "`{}` calls blocking `{}` while the `{}` guard (line {}) is \
+                                 live on a hot path; drop the guard first",
+                                g.name, c.callee, a.lock, a.line
+                            ),
+                        ));
+                    }
+                    if hot
+                        && c.is_closure_param
+                        && reported.insert((c.line, c.callee.clone(), "L007"))
+                    {
+                        out.push(violation(
+                            &f.path,
+                            c.line,
+                            "L007",
+                            Severity::Error,
+                            format!(
+                                "`{}` invokes caller-supplied closure `{}` while the `{}` \
+                                 guard (line {}) is live on a hot path; compute outside the \
+                                 critical section",
+                                g.name, c.callee, a.lock, a.line
+                            ),
+                        ));
+                    }
+                    let Some(target) = linked.resolved[fi][gi][ci] else { continue };
+                    // Skip the virtual-acquire double report: a call to a
+                    // guard-returning fn was already handled as an acquire.
+                    let target_rg = linked.files[target.0].fns[target.1].returns_guard.as_ref();
+                    for (lock, mode) in &linked.effects[target.0][target.1] {
+                        if target_rg.is_some_and(|(l, _)| l == lock) {
+                            continue;
+                        }
+                        if *lock == a.lock {
+                            if !(a.mode == "read" && *mode == "read")
+                                && reported.insert((c.line, lock.clone(), "L006"))
+                            {
+                                let chain = chain_to_lock(&linked, target, lock).join(" → ");
+                                out.push(violation(
+                                    &f.path,
+                                    c.line,
+                                    "L006",
+                                    Severity::Error,
+                                    format!(
+                                        "`{}` holds the `{}` {} guard (line {}) across a call \
+                                         chain that re-acquires it: {} → {}",
+                                        g.name, a.lock, a.mode, a.line, g.name, chain
+                                    ),
+                                ));
+                            }
+                        } else {
+                            edges.insert(
+                                (a.lock.clone(), lock.clone()),
+                                (f.path.clone(), c.line, g.name.clone()),
+                            );
+                            if hot && reported.insert((c.line, lock.clone(), "L007")) {
+                                out.push(violation(
+                                    &f.path,
+                                    c.line,
+                                    "L007",
+                                    Severity::Error,
+                                    format!(
+                                        "`{}` calls `{}` (which acquires `{}`) while the \
+                                         `{}` guard (line {}) is live on a hot path",
+                                        g.name, c.callee, lock, a.lock, a.line
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            // L009: Deadline parameters must be consulted or forwarded.
+            if g.has_body {
+                for (pname, used) in &g.deadline_params {
+                    if *used {
+                        continue;
+                    }
+                    let hits_backend =
+                        g.calls.iter().any(|c| SEARCH_ENTRY.contains(&c.callee.as_str()));
+                    let tail = if hits_backend {
+                        "; the budget is dropped before reaching the SearchBackend call"
+                    } else {
+                        " (rename to `_deadline` only if the contract is genuinely unbounded)"
+                    };
+                    out.push(violation(
+                        &f.path,
+                        g.line,
+                        "L009",
+                        Severity::Error,
+                        format!(
+                            "`{}` takes `Deadline` parameter `{pname}` but never consults or \
+                             forwards it{tail}",
+                            g.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out.extend(lock_order_cycles(&edges));
+    out
+}
+
+/// Detect cycles in the lock-order graph; one violation per strongly
+/// connected component, anchored at the witness of its smallest edge.
+fn lock_order_cycles(edges: &BTreeMap<(String, String), (String, u32, String)>) -> Vec<Violation> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (x, y) in edges.keys() {
+        adj.entry(x.as_str()).or_default().insert(y.as_str());
+    }
+    // Path of at least one edge from `from` to `to` (so `reachable(x, x)`
+    // means x sits on a cycle).
+    let reachable = |from: &str, to: &str| -> bool {
+        let mut queue: VecDeque<&str> = adj.get(from).into_iter().flatten().copied().collect();
+        let mut seen: BTreeSet<&str> = queue.iter().copied().collect();
+        while let Some(n) = queue.pop_front() {
+            if n == to {
+                return true;
+            }
+            for &m in adj.get(n).into_iter().flatten() {
+                if seen.insert(m) {
+                    queue.push_back(m);
+                }
+            }
+        }
+        false
+    };
+    let mut out = Vec::new();
+    let mut reported_components: BTreeSet<BTreeSet<&str>> = BTreeSet::new();
+    for ((x, y), (path, line, fn_name)) in edges {
+        if !reachable(y, x) {
+            continue; // edge is not part of a cycle
+        }
+        // Component = every lock mutually reachable with x.
+        let component: BTreeSet<&str> =
+            adj.keys().copied().filter(|&l| reachable(x, l) && reachable(l, x)).collect();
+        if !reported_components.insert(component.clone()) {
+            continue;
+        }
+        let locks: Vec<&str> = component.into_iter().collect();
+        out.push(Violation {
+            path: path.clone(),
+            line: *line,
+            rule: "L006",
+            severity: Severity::Error,
+            message: format!(
+                "lock-order cycle between {{{}}}: `{fn_name}` acquires `{y}` while holding \
+                 `{x}`, but another path takes them in the opposite order — establish a \
+                 single global order",
+                locks.join(", ")
+            ),
+        });
+    }
+    out
+}
+
+/// One parsed line of `metrics-manifest.txt`.
+pub struct ManifestEntry {
+    pub kind: String,
+    pub name: String,
+    pub line: u32,
+}
+
+/// Parse the manifest (`kind name` per line, `#` comments). Malformed
+/// lines become violations against the manifest itself.
+pub fn parse_manifest(path: &str, text: &str) -> (Vec<ManifestEntry>, Vec<Violation>) {
+    let mut entries = Vec::new();
+    let mut bad = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = (i + 1) as u32;
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let mut parts = l.split_whitespace();
+        let (kind, name) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+        if !matches!(kind, "counter" | "gauge" | "histogram") || name.is_empty() {
+            bad.push(violation(
+                path,
+                line,
+                "L008",
+                Severity::Error,
+                format!("malformed manifest line `{l}`; expected `counter|gauge|histogram name`"),
+            ));
+            continue;
+        }
+        entries.push(ManifestEntry { kind: kind.to_string(), name: name.to_string(), line });
+    }
+    (entries, bad)
+}
+
+/// L008: every literal metric site must appear in the manifest with the
+/// right kind; manifest entries no site references are stale (warning).
+pub fn check_metrics(
+    files: &[FileFacts],
+    manifest_path: &str,
+    manifest: &[ManifestEntry],
+) -> Vec<Violation> {
+    let declared: BTreeMap<&str, &str> =
+        manifest.iter().map(|e| (e.name.as_str(), e.kind.as_str())).collect();
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for f in files {
+        for s in &f.metric_sites {
+            seen.insert(s.name.as_str());
+            if s.is_test {
+                continue;
+            }
+            match declared.get(s.name.as_str()) {
+                None => out.push(violation(
+                    &f.path,
+                    s.line,
+                    "L008",
+                    Severity::Error,
+                    format!(
+                        "metric `{}` ({}) is not in {manifest_path}; add it to the manifest \
+                         or fix the name (typo'd metrics vanish from dashboards silently)",
+                        s.name, s.kind
+                    ),
+                )),
+                Some(kind) if *kind != s.kind => out.push(violation(
+                    &f.path,
+                    s.line,
+                    "L008",
+                    Severity::Error,
+                    format!(
+                        "metric `{}` used as a {} here but declared as a {} in {manifest_path}",
+                        s.name, s.kind, kind
+                    ),
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+    for e in manifest {
+        if !seen.contains(e.name.as_str()) {
+            out.push(violation(
+                manifest_path,
+                e.line,
+                "L008",
+                Severity::Warning,
+                format!(
+                    "manifest entry `{}` is referenced by no metric site; remove it or wire \
+                     the metric back up",
+                    e.name
+                ),
+            ));
+        }
+    }
+    out
+}

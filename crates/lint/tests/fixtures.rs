@@ -268,3 +268,311 @@ fn serving_is_a_no_allow_zone() {
     let v = lint_source(GRAPH, src);
     assert!(!has(&v, "L001") && !has(&v, "ALLOW"), "hatch must work outside serving: {v:?}");
 }
+
+// ================================================= cross-file analyzer
+//
+// L006-L009 run over a whole workspace at once, so their fixtures go
+// through [`zoomer_lint::lint_workspace`] with multi-file inputs.
+
+use zoomer_lint::lint_workspace;
+
+fn ws(files: &[(&str, &str)]) -> Vec<Violation> {
+    let owned: Vec<(String, String)> =
+        files.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect();
+    lint_workspace(&owned, None, None)
+}
+
+const RECOVER: &str = "unwrap_or_else(std::sync::PoisonError::into_inner)";
+
+// ---------------------------------------------------------------- L006
+
+#[test]
+fn l006_flags_same_lock_reentry_across_a_call_chain() {
+    let src = format!(
+        "fn outer(m: &std::sync::Mutex<u32>) {{\n\
+         \x20   let g = m.lock().{RECOVER};\n\
+         \x20   inner(m);\n\
+         \x20   let _ = g;\n\
+         }}\n\
+         fn inner(m: &std::sync::Mutex<u32>) {{\n\
+         \x20   let _x = m.lock().{RECOVER};\n\
+         }}\n"
+    );
+    let v = ws(&[(GRAPH, &src)]);
+    assert_eq!(rules_at(&v, 3), vec!["L006"], "{v:?}");
+}
+
+#[test]
+fn l006_guard_dropped_before_the_call_is_clean() {
+    let src = format!(
+        "fn outer(m: &std::sync::Mutex<u32>) {{\n\
+         \x20   let g = m.lock().{RECOVER};\n\
+         \x20   drop(g);\n\
+         \x20   inner(m);\n\
+         }}\n\
+         fn inner(m: &std::sync::Mutex<u32>) {{\n\
+         \x20   let _x = m.lock().{RECOVER};\n\
+         }}\n"
+    );
+    let v = ws(&[(GRAPH, &src)]);
+    assert!(!has(&v, "L006"), "dropping the guard must clear the re-entry: {v:?}");
+}
+
+#[test]
+fn l006_flags_lock_order_cycles_across_files() {
+    let ab = format!(
+        "fn take_ab(x: &std::sync::Mutex<u32>, y: &std::sync::Mutex<u32>) {{\n\
+         \x20   let g = x.lock().{RECOVER};\n\
+         \x20   let h = y.lock().{RECOVER};\n\
+         \x20   let _ = (g, h);\n\
+         }}\n"
+    );
+    let ba = format!(
+        "fn take_ba(x: &std::sync::Mutex<u32>, y: &std::sync::Mutex<u32>) {{\n\
+         \x20   let h = y.lock().{RECOVER};\n\
+         \x20   let g = x.lock().{RECOVER};\n\
+         \x20   let _ = (g, h);\n\
+         }}\n"
+    );
+    let v = ws(&[("crates/graph/src/order_a.rs", &ab), ("crates/graph/src/order_b.rs", &ba)]);
+    let cycles: Vec<_> =
+        v.iter().filter(|x| x.rule == "L006" && x.message.contains("lock-order cycle")).collect();
+    assert_eq!(cycles.len(), 1, "one cycle, reported once: {v:?}");
+}
+
+#[test]
+fn l006_consistent_lock_order_is_clean() {
+    let ab = format!(
+        "fn take_ab(x: &std::sync::Mutex<u32>, y: &std::sync::Mutex<u32>) {{\n\
+         \x20   let g = x.lock().{RECOVER};\n\
+         \x20   let h = y.lock().{RECOVER};\n\
+         \x20   let _ = (g, h);\n\
+         }}\n"
+    );
+    let ab2 = format!(
+        "fn also_ab(x: &std::sync::Mutex<u32>, y: &std::sync::Mutex<u32>) {{\n\
+         \x20   let g = x.lock().{RECOVER};\n\
+         \x20   let h = y.lock().{RECOVER};\n\
+         \x20   let _ = (g, h);\n\
+         }}\n"
+    );
+    let v = ws(&[("crates/graph/src/order_a.rs", &ab), ("crates/graph/src/order_b.rs", &ab2)]);
+    assert!(!has(&v, "L006"), "same order everywhere is deadlock-free: {v:?}");
+}
+
+// ---------------------------------------------------------------- L007
+
+#[test]
+fn l007_flags_blocking_recv_while_guard_is_live_on_hot_path() {
+    let src = format!(
+        "fn f(m: &std::sync::Mutex<u32>, rx: &crossbeam::channel::Receiver<u32>) {{\n\
+         \x20   let g = m.lock().{RECOVER};\n\
+         \x20   let v = rx.recv();\n\
+         \x20   let _ = (g, v);\n\
+         }}\n"
+    );
+    let v = ws(&[(HOT, &src)]);
+    assert_eq!(rules_at(&v, 3), vec!["L007"], "{v:?}");
+}
+
+#[test]
+fn l007_flags_caller_supplied_closure_under_a_live_guard() {
+    let src = format!(
+        "fn f<F: FnOnce() -> u32>(m: &std::sync::Mutex<u32>, work: F) -> u32 {{\n\
+         \x20   let _g = m.lock().{RECOVER};\n\
+         \x20   work()\n\
+         }}\n"
+    );
+    let v = ws(&[(OFFLINE, &src)]);
+    assert_eq!(rules_at(&v, 3), vec!["L007"], "{v:?}");
+}
+
+#[test]
+fn l007_guard_dropped_before_blocking_is_clean() {
+    let src = format!(
+        "fn f(m: &std::sync::Mutex<u32>, rx: &crossbeam::channel::Receiver<u32>) {{\n\
+         \x20   let g = m.lock().{RECOVER};\n\
+         \x20   drop(g);\n\
+         \x20   let _v = rx.recv();\n\
+         }}\n\
+         fn scoped(m: &std::sync::Mutex<u32>, rx: &crossbeam::channel::Receiver<u32>) {{\n\
+         \x20   {{\n\
+         \x20       let _g = m.lock().{RECOVER};\n\
+         \x20   }}\n\
+         \x20   let _v = rx.recv();\n\
+         }}\n"
+    );
+    let v = ws(&[(HOT, &src)]);
+    assert!(!has(&v, "L007"), "guard scope ends before the recv: {v:?}");
+}
+
+#[test]
+fn l007_is_scoped_to_serving_and_train() {
+    // Identical source: hot in serving/train, advisory-silent in graph.
+    let src = format!(
+        "fn f(m: &std::sync::Mutex<u32>, rx: &crossbeam::channel::Receiver<u32>) {{\n\
+         \x20   let g = m.lock().{RECOVER};\n\
+         \x20   let v = rx.recv();\n\
+         \x20   let _ = (g, v);\n\
+         }}\n"
+    );
+    assert!(has(&ws(&[(OFFLINE, &src)]), "L007"), "train is in scope");
+    assert!(!has(&ws(&[(GRAPH, &src)]), "L007"), "graph is not in L007 scope");
+}
+
+// ---------------------------------------------------------------- L008
+
+const MANIFEST: &str = "counter serve.requests\ngauge train.epoch_loss\n";
+
+fn ws_with_manifest(files: &[(&str, &str)], manifest: &str) -> Vec<Violation> {
+    let owned: Vec<(String, String)> =
+        files.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect();
+    lint_workspace(&owned, Some(manifest), None)
+}
+
+#[test]
+fn l008_flags_metric_names_missing_from_the_manifest() {
+    let src = "fn f(reg: &Registry) {\n\
+               \x20   reg.counter(\"serve.requets\").inc();\n\
+               }\n";
+    let v = ws_with_manifest(&[(OFFLINE, src)], MANIFEST);
+    assert!(
+        v.iter().any(|x| x.rule == "L008"
+            && x.severity == zoomer_lint::Severity::Error
+            && x.path == OFFLINE
+            && x.line == 2),
+        "typo'd name must be caught: {v:?}"
+    );
+}
+
+#[test]
+fn l008_flags_kind_mismatches() {
+    let src = "fn f(reg: &Registry) {\n\
+               \x20   reg.counter(\"train.epoch_loss\").inc();\n\
+               }\n";
+    let v = ws_with_manifest(&[(OFFLINE, src)], MANIFEST);
+    assert_eq!(rules_at(&v, 2), vec!["L008"], "declared gauge, used as counter: {v:?}");
+}
+
+#[test]
+fn l008_warns_on_stale_manifest_entries() {
+    let src = "fn f(reg: &Registry) {\n\
+               \x20   reg.counter(\"serve.requests\").inc();\n\
+               }\n";
+    let v = ws_with_manifest(&[(OFFLINE, src)], MANIFEST);
+    let stale: Vec<_> = v.iter().filter(|x| x.rule == "L008").collect();
+    assert_eq!(stale.len(), 1, "{v:?}");
+    assert_eq!(stale[0].severity, zoomer_lint::Severity::Warning);
+    assert!(stale[0].message.contains("train.epoch_loss"), "{v:?}");
+}
+
+#[test]
+fn l008_skips_dynamic_names_and_test_sites() {
+    let src = "fn f(reg: &Registry, name: &str) {\n\
+               \x20   reg.counter(name).inc();\n\
+               }\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               \x20   #[test]\n\
+               \x20   fn t(reg: &Registry) {{ reg.counter(\"test.only\").inc(); }}\n\
+               }\n";
+    let manifest = "counter serve.requests\n";
+    let v = ws_with_manifest(&[(OFFLINE, src)], manifest);
+    let errors: Vec<_> = v
+        .iter()
+        .filter(|x| x.rule == "L008" && x.severity == zoomer_lint::Severity::Error)
+        .collect();
+    assert!(errors.is_empty(), "dynamic and test-only sites are out of scope: {v:?}");
+}
+
+// ---------------------------------------------------------------- L009
+
+#[test]
+fn l009_flags_deadline_parameters_that_are_never_threaded() {
+    let src = "fn probe(backend: &IvfIndex, q: &Matrix, k: usize, deadline: &Deadline) -> u32 {\n\
+               \x20   backend.search_batch(q, k)\n\
+               }\n";
+    let v = ws(&[(OFFLINE, src)]);
+    assert_eq!(rules_at(&v, 1), vec!["L009"], "{v:?}");
+    assert!(
+        v.iter().any(|x| x.rule == "L009" && x.message.contains("SearchBackend")),
+        "message should point at the dropped backend budget: {v:?}"
+    );
+}
+
+#[test]
+fn l009_forwarded_or_consulted_deadlines_are_clean() {
+    let forwarded = "fn probe(b: &IvfIndex, q: &Matrix, k: usize, deadline: &Deadline) -> u32 {\n\
+                     \x20   b.search_batch_deadline(q, k, deadline)\n\
+                     }\n";
+    assert!(!has(&ws(&[(OFFLINE, forwarded)]), "L009"), "forwarding threads the budget");
+
+    let consulted = "fn admit(deadline: &Deadline) -> bool {\n\
+                     \x20   !deadline.expired()\n\
+                     }\n";
+    assert!(!has(&ws(&[(OFFLINE, consulted)]), "L009"), "consulting uses the budget");
+
+    let opted_out = "fn exact(q: &Matrix, _deadline: &Deadline) -> u32 {\n\
+                     \x20   scan(q)\n\
+                     }\n";
+    assert!(!has(&ws(&[(OFFLINE, opted_out)]), "L009"), "`_deadline` is the explicit opt-out");
+}
+
+// ------------------------------------------------------------ baseline
+
+#[test]
+fn baseline_entry_suppresses_a_cross_file_finding() {
+    let src = format!(
+        "fn f<F: FnOnce() -> u32>(m: &std::sync::Mutex<u32>, work: F) -> u32 {{\n\
+         \x20   let _g = m.lock().{RECOVER};\n\
+         \x20   work()\n\
+         }}\n"
+    );
+    let files = vec![(OFFLINE.to_string(), src)];
+    let baseline = "L007 crates/train/src/fixture.rs fix lands with the shard split\n";
+    let v = lint_workspace(&files, None, Some(baseline));
+    assert!(!has(&v, "L007"), "baselined finding must be suppressed: {v:?}");
+    assert!(!has(&v, "BASELINE"), "a live entry is not stale: {v:?}");
+}
+
+#[test]
+fn baseline_rejects_serving_paths_and_missing_reasons() {
+    let files: Vec<(String, String)> = vec![];
+    for bad in [
+        "L007 crates/serving/src/server.rs serving is a no-allow zone\n",
+        "L007 crates/train/src/ps.rs\n",
+        "L999 crates/train/src/ps.rs unknown rule\n",
+    ] {
+        let v = lint_workspace(&files, None, Some(bad));
+        assert!(
+            v.iter().any(|x| x.rule == "BASELINE" && x.severity == zoomer_lint::Severity::Error),
+            "entry {bad:?} must be rejected: {v:?}"
+        );
+    }
+}
+
+#[test]
+fn baseline_warns_on_stale_entries() {
+    let files: Vec<(String, String)> = vec![];
+    let stale = "L007 crates/train/src/gone.rs the file was deleted\n";
+    let v = lint_workspace(&files, None, Some(stale));
+    assert!(
+        v.iter().any(|x| x.rule == "BASELINE"
+            && x.severity == zoomer_lint::Severity::Warning
+            && x.message.contains("stale")),
+        "{v:?}"
+    );
+}
+
+// ------------------------------------------------- the tree is clean
+
+#[test]
+fn real_workspace_has_zero_unsuppressed_errors() {
+    // The acceptance bar for the analyzer: both phases over the actual
+    // repo report no error-severity findings (warnings — e.g. a stale
+    // manifest entry — would fail CI review but not the gate).
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let v = zoomer_lint::lint_tree(&root).expect("workspace must be scannable");
+    let errors: Vec<_> = v.iter().filter(|x| x.severity == zoomer_lint::Severity::Error).collect();
+    assert!(errors.is_empty(), "remediated tree must be clean: {errors:?}");
+}

@@ -100,15 +100,6 @@ impl NeighborCache {
         self.state.write().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Run `f` while holding the cache's write lock. This exists for the
-    /// fault-injection harness's poisoned-lock scenario (a panicking `f`
-    /// poisons the std lock; the cache recovers by design) — it is not a
-    /// request-path API.
-    pub fn with_write_lock<R>(&self, f: impl FnOnce() -> R) -> R {
-        let _guard = self.write_state();
-        f()
-    }
-
     /// Install `node → neighbors` under the held write lock, evicting via
     /// the second-chance clock if the cache is full.
     fn install_locked(&self, state: &mut ClockState, node: NodeId, neighbors: Arc<Vec<NodeId>>) {
@@ -370,6 +361,19 @@ impl Drop for CacheRefresher {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+    }
+}
+
+/// Test-only surface. `with_write_lock` runs caller-supplied code while
+/// holding the cache's write lock — exactly the shape L007 bans from the
+/// request path — and exists solely so the poisoned-lock scenario can
+/// panic inside the critical section. Keeping it under `#[cfg(test)]`
+/// makes it impossible for production code to reach.
+#[cfg(test)]
+impl NeighborCache {
+    pub fn with_write_lock<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.write_state();
+        f()
     }
 }
 

@@ -289,7 +289,10 @@ pub fn run_load(
     let elapsed = start.elapsed();
     let diff = server.metrics_snapshot().since(&metrics_before);
     let delta = |name: &str| diff.counter(name).unwrap_or(0);
-    let degraded = delta("serve.degraded.fallback") + delta("serve.degraded.nprobe_capped");
+    // Count the canonical cap counter only: `serve.degraded.nprobe_capped`
+    // is a registered alias that mirrors every `budget_capped` increment,
+    // so summing both would double-count capped batches.
+    let degraded = delta("serve.degraded.fallback") + delta("serve.degraded.budget_capped");
     let deadline_exceeded = delta("serve.deadline_exceeded");
     // Mirror the harness tallies into the server's registry (after the diff,
     // so they never pollute this run's own stage breakdown) — overload runs

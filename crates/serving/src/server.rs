@@ -116,8 +116,12 @@ struct ServerMetrics {
     degraded_fallback: Counter,
     /// Batches whose retrieval probe was capped below the backend's
     /// configured budget (`nprobe` for IVF, beam width for the proximity
-    /// graph). The counter name predates multi-backend serving and is kept
-    /// stable for dashboards: `serve.degraded.nprobe_capped`.
+    /// graph): `serve.degraded.budget_capped`.
+    degraded_budget: Counter,
+    /// Legacy alias for `degraded_budget`. The name predates multi-backend
+    /// serving (`serve.degraded.nprobe_capped`); it stays registered and
+    /// mirrors every increment so existing dashboards keep reading until
+    /// they migrate to the canonical name.
     degraded_nprobe: Counter,
     /// EWMA of the ANN stage's cost in ns, measured only when a deadline is
     /// bounded; feeds the next batch's at-risk-probe decision.
@@ -135,6 +139,7 @@ impl ServerMetrics {
             batches: registry.counter("serve.batches"),
             deadline_exceeded: registry.counter("serve.deadline_exceeded"),
             degraded_fallback: registry.counter("serve.degraded.fallback"),
+            degraded_budget: registry.counter("serve.degraded.budget_capped"),
             degraded_nprobe: registry.counter("serve.degraded.nprobe_capped"),
             ann_ewma_ns: AtomicU64::new(0),
             stage_cache: registry.histogram("serve.stage.cache_resolve_ns"),
@@ -619,6 +624,7 @@ impl OnlineServer {
         let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         m.ann_ewma_ns.store(if ewma == 0 { ns } else { (3 * ewma + ns) / 4 }, Ordering::Relaxed);
         if capped {
+            m.degraded_budget.inc();
             m.degraded_nprobe.inc();
         }
         Ok((found, capped))
@@ -838,6 +844,7 @@ mod tests {
         );
         let snap = bounded.metrics_snapshot();
         assert_eq!(snap.counter("serve.degraded.fallback"), Some(0));
+        assert_eq!(snap.counter("serve.degraded.budget_capped"), Some(0));
         assert_eq!(snap.counter("serve.degraded.nprobe_capped"), Some(0));
     }
 

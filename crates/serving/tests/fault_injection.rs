@@ -100,9 +100,14 @@ fn ann_round_spike_caps_the_probe_width() {
     assert_eq!(out.len(), 2);
     let snap = server.metrics_snapshot();
     assert_eq!(
-        snap.counter("serve.degraded.nprobe_capped"),
+        snap.counter("serve.degraded.budget_capped"),
         Some(1),
         "overrunning the budget mid-probe must cap nprobe"
+    );
+    assert_eq!(
+        snap.counter("serve.degraded.nprobe_capped"),
+        Some(1),
+        "the legacy alias must mirror the canonical cap counter"
     );
     assert!(fault.injected(FaultSite::AnnRound) >= 1);
     assert!(fault.calls(FaultSite::AnnRound) < 4, "a capped probe must not have run all 4 rounds");
@@ -131,9 +136,14 @@ fn beam_rung_spike_caps_the_beam_width() {
     assert_eq!(out.len(), 2);
     let snap = server.metrics_snapshot();
     assert_eq!(
-        snap.counter("serve.degraded.nprobe_capped"),
+        snap.counter("serve.degraded.budget_capped"),
         Some(1),
         "overrunning the budget mid-ladder must cap the beam"
+    );
+    assert_eq!(
+        snap.counter("serve.degraded.nprobe_capped"),
+        Some(1),
+        "the legacy alias must mirror the canonical cap counter"
     );
     assert!(fault.injected(FaultSite::AnnRound) >= 1);
     assert!(fault.calls(FaultSite::AnnRound) < 4, "a capped ladder must not have run all 4 rungs");
@@ -228,6 +238,7 @@ fn overload_with_deadline_sheds_and_metrics_round_trip() {
     for name in [
         "serve.deadline_exceeded",
         "serve.degraded.fallback",
+        "serve.degraded.budget_capped",
         "serve.degraded.nprobe_capped",
         "load.shed",
         "load.errors",

@@ -127,14 +127,40 @@ impl PsCluster {
         mut fallback_rows: impl FnMut(&str, u64) -> Vec<f32>,
         lr: f32,
     ) {
+        // Three-phase update so the caller-supplied `fallback_rows` (which
+        // may pull from a worker table or compute an init) never runs
+        // under the embeddings lock: (1) collect missing keys under a
+        // short lock, (2) materialize fallback rows unlocked, (3) relock
+        // and apply. Keys inserted by a racing pusher between the phases
+        // simply win — `or_insert` keeps the first row, same as before.
+        let mut missing: Vec<(String, u64)> = Vec::new();
+        {
+            let emb = self.embeddings.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            for (table, rows) in grads {
+                for &id in rows.keys() {
+                    if !emb.contains_key(&(table.clone(), id)) {
+                        missing.push((table.clone(), id));
+                    }
+                }
+            }
+        }
+        let fresh: Vec<_> = missing
+            .into_iter()
+            .map(|(table, id)| {
+                let row = fallback_rows(&table, id);
+                let acc = vec![0.0f32; row.len()];
+                ((table, id), (row, acc))
+            })
+            .collect();
         let mut emb = self.embeddings.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (key, row_acc) in fresh {
+            emb.entry(key).or_insert(row_acc);
+        }
         for (table, rows) in grads {
             for (&id, g) in rows {
-                let (row, accum) = emb.entry((table.clone(), id)).or_insert_with(|| {
-                    let row = fallback_rows(table, id);
-                    let acc = vec![0.0f32; row.len()];
-                    (row, acc)
-                });
+                let Some((row, accum)) = emb.get_mut(&(table.clone(), id)) else {
+                    continue;
+                };
                 for ((w, &gg), a) in row.iter_mut().zip(g).zip(accum.iter_mut()) {
                     *a += gg * gg;
                     *w -= lr * gg / (a.sqrt() + 1e-8);
