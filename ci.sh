@@ -29,6 +29,13 @@ cargo test --offline -q -p zoomer-serving --test fault_injection --profile ci
 echo "== backend parity suite (IVF bit-identity, three-backend equivalence) =="
 cargo test --offline -q -p zoomer-serving --test backend_parity --profile ci
 
+echo "== snapshot round-trip suite (v1 + zero-copy v2, corruption rejection) =="
+cargo test --offline -q -p zoomer-graph --profile ci snapshot
+
+echo "== quantized retrieval suite (int8 kernels + rerank recall parity) =="
+cargo test --offline -q -p zoomer-tensor --profile ci quant
+cargo test --offline -q -p zoomer-serving --profile ci quantized
+
 echo "== kernel bench (smoke mode: every kernel executes, baseline file untouched) =="
 ZOOMER_BENCH_SCALE=smoke cargo bench --offline -q -p zoomer-bench --bench kernels
 

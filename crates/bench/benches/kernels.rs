@@ -162,6 +162,58 @@ fn main() {
         }));
     }
 
+    // ---- int8 quantized dot: reference vs blocked vs dot4, plus bytes ----
+    // The quantized-retrieval hot loop is `dot_i8` over per-vector codes; the
+    // numbers that matter are the speedup over the f32 dot at equal dim and
+    // the bytes each scored candidate touches (codes + params vs f32 row).
+    let mut qdot_rows = Vec::new();
+    println!("\n-- quantized dot (i8 codes, f32 combine) --");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>14} {:>9} {:>11} {:>11}",
+        "d", "f32 ns", "i8 ref ns", "i8 ns", "dot4_i8 n/q", "spd f32", "B/cand i8", "B/cand f32"
+    );
+    for &d in &[16usize, 64, 256] {
+        let mut rng = seeded_rng(seed + 31 + d as u64);
+        let v: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let qs: Vec<Vec<f32>> =
+            (0..4).map(|_| (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+        let (vc, _vp) = zoomer_core::tensor::quantize(&v);
+        let quantized: Vec<(Vec<i8>, zoomer_core::tensor::QuantParams)> =
+            qs.iter().map(|q| zoomer_core::tensor::quantize(q)).collect();
+        let (qc, _): &(Vec<i8>, _) = &quantized[0];
+        let f32_ns = time_ns(smoke, || {
+            std::hint::black_box(dot(&v, &qs[0]));
+        });
+        let ref_ns = time_ns(smoke, || {
+            std::hint::black_box(kernel::dot_i8_reference(&vc, qc));
+        });
+        let i8_ns = time_ns(smoke, || {
+            std::hint::black_box(kernel::dot_i8(&vc, qc));
+        });
+        let four_ns = time_ns(smoke, || {
+            std::hint::black_box(kernel::dot4_i8(
+                &vc,
+                &quantized[0].0,
+                &quantized[1].0,
+                &quantized[2].0,
+                &quantized[3].0,
+            ));
+        }) / 4.0;
+        // Bytes a single candidate costs the scan: i8 codes + (scale,
+        // zero_point, code_sum) vs the full f32 row.
+        let bytes_i8 = d + 12;
+        let bytes_f32 = d * 4;
+        println!(
+            "{d:>6} {f32_ns:>12.1} {ref_ns:>12.1} {i8_ns:>12.1} {four_ns:>14.1} {:>8.2}x {bytes_i8:>11} {bytes_f32:>11}",
+            f32_ns / i8_ns
+        );
+        qdot_rows.push(serde_json::json!({
+            "dim": d, "f32_ns": f32_ns, "i8_reference_ns": ref_ns, "i8_ns": i8_ns,
+            "dot4_i8_ns_per_query": four_ns, "speedup_vs_f32": f32_ns / i8_ns,
+            "bytes_per_candidate_i8": bytes_i8, "bytes_per_candidate_f32": bytes_f32,
+        }));
+    }
+
     // ---- IVF search_batch throughput ----
     let mut rng = seeded_rng(seed + 5);
     let n_items = if smoke { 2_000 } else { 20_000 };
@@ -220,6 +272,7 @@ fn main() {
         "hardware_threads": threads,
         "gemm": gemm_rows,
         "dot": dot_rows,
+        "quantized_dot": qdot_rows,
         "ivf_search_batch": {"queries": n_queries, "items": n_items, "queries_per_sec": qps},
         "handle_batch": e2e_rows,
     });

@@ -26,7 +26,7 @@ pub mod dataset;
 pub mod movielens;
 pub mod taobao;
 
-pub use config::{ScaleTier, TaobaoConfig};
+pub use config::{ScaleTier, TaobaoConfig, TIER_SCALE_ENV};
 pub use dataset::{split_examples, with_sampled_negatives, RetrievalExample, TrainTestSplit};
 pub use movielens::{MovieLensConfig, MovieLensData};
 pub use taobao::{SessionLog, TaobaoData};

@@ -32,7 +32,10 @@ pub use error::GraphError;
 pub use features::FeatureStore;
 pub use minhash::{MinHasher, SimilarityEdgeBuilder};
 pub use partition::{ShardedGraph, ShardingConfig};
-pub use snapshot::{read_snapshot, write_snapshot};
+pub use snapshot::{
+    read_snapshot, write_snapshot, write_snapshot_v1, write_snapshot_with_pool, QuantPool,
+    SnapshotV2, SECTION_ALIGN,
+};
 pub use stats::GraphStats;
 pub use subgraph::{induced_subgraph, Subgraph};
 pub use types::{EdgeType, HeteroGraph, NodeId, NodeType};

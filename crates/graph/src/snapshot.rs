@@ -1,13 +1,48 @@
 //! Compact binary graph snapshots.
 //!
 //! §VI: graphs are stored as "compact binary-format files" handed from the
-//! graph generator to the graph engine. This module implements a versioned
-//! little-endian format with `bytes` for zero-fuss framing:
+//! graph generator to the graph engine. Two on-disk versions exist:
+//!
+//! **v1** — the original stream format, decoded element by element:
 //!
 //! ```text
-//! magic "ZOOMGRPH" | u32 version | u32 num_nodes | node types (u8 each)
+//! magic "ZOOMGRPH" | u32 version=1 | u32 num_nodes | node types (u8 each)
 //! | features block | u32 num_edge_types | per type: u8 tag + CSR block
 //! ```
+//!
+//! **v2** (the current write format) — a zero-copy, section-table layout
+//! sized for the billion tier, where per-element decode of the bulk arrays
+//! (CSR offsets/targets, dense features, int8 embedding codes and their
+//! scales) would dominate load time:
+//!
+//! ```text
+//! magic "ZOOMGRPH" | u32 version=2 | u32 num_nodes | u32 dense_dim
+//! | u32 num_sections
+//! | section table: num_sections × { u32 kind | u32 elem | u32 arg | u32 pad
+//!                                 | u64 offset | u64 count }
+//! | payload: each section's raw little-endian array at `offset`
+//! ```
+//!
+//! Alignment invariants (checked on read, upheld by the writer):
+//! - every section `offset` is a multiple of [`SECTION_ALIGN`] (64) bytes,
+//!   measured from the start of the snapshot;
+//! - the reader copies the snapshot **once**, in bulk, into a 64-byte-aligned
+//!   buffer ([`AlignedBytes`]), after which every section access is a
+//!   validated reference-cast (`&[u8] → &[u32]/&[u64]/&[f32]/&[i8]`) — no
+//!   per-element decode of any bulk segment;
+//! - `elem` must equal the byte width of the section kind's element type and
+//!   `offset + count × elem` must lie inside the snapshot.
+//!
+//! The payload is stored native little-endian and reference-cast on read, so
+//! the format (like the rest of the workspace) assumes a little-endian host.
+//!
+//! v1 snapshots remain readable: [`read_snapshot`] dispatches on the version
+//! field. v2 snapshots may additionally carry an optional int8-quantized
+//! embedding pool ([`QuantPool`]: ids, codes, per-vector scales/zero-points/
+//! code-sums) so the serving tier can load a prequantized item store without
+//! re-encoding it.
+
+use std::collections::BTreeMap;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -17,7 +52,122 @@ use crate::features::FeatureStore;
 use crate::types::{EdgeType, HeteroGraph, NodeType};
 
 const MAGIC: &[u8; 8] = b"ZOOMGRPH";
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
+
+/// Section payloads start at multiples of this many bytes from the start of
+/// the snapshot — a cache line, and a multiple of every element alignment
+/// the format stores (≤ 8), so an aligned base buffer makes every section
+/// reference-castable.
+pub const SECTION_ALIGN: usize = 64;
+
+/// v2 header: magic (8) + version + num_nodes + dense_dim + num_sections.
+const HEADER_BYTES: usize = 24;
+/// One section-table entry: kind + elem + arg + pad + offset (u64) + count (u64).
+const SECTION_ENTRY_BYTES: usize = 32;
+/// Sanity bound on the section count (a graph needs ~6 + 3 per edge type).
+const MAX_SECTIONS: usize = 4096;
+
+/// Section kinds. `arg` carries the edge-type tag for CSR sections and the
+/// embedding dimension for quantized-pool code sections; 0 otherwise.
+mod kind {
+    pub const NODE_TYPES: u32 = 1;
+    pub const DENSE: u32 = 2;
+    pub const FIELD_OFFSETS: u32 = 3;
+    pub const FIELDS: u32 = 4;
+    pub const TERM_OFFSETS: u32 = 5;
+    pub const TERMS: u32 = 6;
+    pub const CSR_OFFSETS: u32 = 7;
+    pub const CSR_TARGETS: u32 = 8;
+    pub const CSR_WEIGHTS: u32 = 9;
+    pub const QUANT_IDS: u32 = 10;
+    pub const QUANT_CODES: u32 = 11;
+    pub const QUANT_SCALES: u32 = 12;
+    pub const QUANT_ZERO_POINTS: u32 = 13;
+    pub const QUANT_CODE_SUMS: u32 = 14;
+}
+
+fn bad(msg: &'static str) -> GraphError {
+    GraphError::Snapshot(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy plumbing: aligned buffer + validated reference casts.
+// ---------------------------------------------------------------------------
+
+/// A 64-byte-aligned cell; `AlignedBytes` is a `Vec` of these so its data
+/// pointer is 64-byte aligned without any allocator tricks.
+#[derive(Clone, Copy)]
+#[repr(C, align(64))]
+struct Align64([u8; SECTION_ALIGN]);
+
+/// An owned byte buffer whose data pointer is [`SECTION_ALIGN`]-aligned.
+/// Filled by one bulk copy from the source snapshot; all section reads then
+/// borrow straight out of it.
+struct AlignedBytes {
+    blocks: Vec<Align64>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    fn from_slice(src: &[u8]) -> Self {
+        let mut blocks = vec![Align64([0u8; SECTION_ALIGN]); src.len().div_ceil(SECTION_ALIGN)];
+        for (dst, chunk) in blocks.iter_mut().zip(src.chunks(SECTION_ALIGN)) {
+            dst.0[..chunk.len()].copy_from_slice(chunk);
+        }
+        Self { blocks, len: src.len() }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        // `blocks` is one contiguous Vec allocation of `Align64` cells —
+        // `#[repr(C, align(64))]` wrappers over `[u8; 64]` whose size equals
+        // their alignment, so consecutive cells sit exactly 64 bytes apart
+        // with no padding and every byte is initialized. By construction
+        // `len <= blocks.len() * 64`.
+        // SAFETY: the first `len` bytes of the `blocks` allocation are
+        // initialized and in bounds (above); the returned slice borrows `self`.
+        unsafe { std::slice::from_raw_parts(self.blocks.as_ptr().cast::<u8>(), self.len) }
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// Plain-old-data element types the reader may reference-cast section bytes
+/// into. Sealed to primitive scalars: no padding, no niches, every bit
+/// pattern valid, alignment ≤ [`SECTION_ALIGN`].
+trait Pod: Copy + sealed::Sealed {}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => {$(
+        impl sealed::Sealed for $t {}
+        impl Pod for $t {}
+    )*};
+}
+impl_pod!(u8, i8, u32, i32, u64, f32);
+
+/// Reinterpret `bytes` as a slice of `T` after validating length divisibility
+/// and pointer alignment. This is the only cast site in the reader.
+fn cast_slice<T: Pod>(bytes: &[u8]) -> Result<&[T], GraphError> {
+    let elem = std::mem::size_of::<T>();
+    if !bytes.len().is_multiple_of(elem) {
+        return Err(bad("section byte length not a multiple of element size"));
+    }
+    if !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>()) {
+        return Err(bad("misaligned section payload"));
+    }
+    // `T: Pod` is sealed to primitive scalars: no padding, no niches, every
+    // bit pattern a valid value. The returned slice borrows the same
+    // allocation with the same lifetime as `bytes`.
+    // SAFETY: the pointer was checked aligned for `T` just above, and
+    // `bytes.len() / elem` elements span exactly `bytes.len()` in-bounds bytes.
+    Ok(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<T>(), bytes.len() / elem) })
+}
+
+// ---------------------------------------------------------------------------
+// v1: per-element stream codec (kept for old snapshots on disk).
+// ---------------------------------------------------------------------------
 
 fn put_u32_slice(buf: &mut BytesMut, s: &[u32]) {
     buf.put_u64_le(s.len() as u64);
@@ -38,10 +188,6 @@ fn put_f32_slice(buf: &mut BytesMut, s: &[f32]) {
     for &v in s {
         buf.put_f32_le(v);
     }
-}
-
-fn bad(msg: &'static str) -> GraphError {
-    GraphError::Snapshot(msg)
 }
 
 fn take_len(buf: &mut Bytes, elem: usize) -> Result<usize, GraphError> {
@@ -70,11 +216,13 @@ fn get_f32_slice(buf: &mut Bytes) -> Result<Vec<f32>, GraphError> {
     Ok((0..len).map(|_| buf.get_f32_le()).collect())
 }
 
-/// Serialize a graph into a compact binary snapshot.
-pub fn write_snapshot(graph: &HeteroGraph) -> Bytes {
+/// Serialize a graph into the legacy v1 stream format. New snapshots should
+/// use [`write_snapshot`] (v2); this writer exists so the v1 read path stays
+/// covered and old fixtures can be regenerated.
+pub fn write_snapshot_v1(graph: &HeteroGraph) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 + graph.num_nodes() * 8);
     buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
+    buf.put_u32_le(VERSION_V1);
     buf.put_u32_le(graph.num_nodes() as u32);
     for n in 0..graph.num_nodes() {
         buf.put_u8(graph.node_type(n as u32).as_u8());
@@ -101,17 +249,12 @@ pub fn write_snapshot(graph: &HeteroGraph) -> Bytes {
     buf.freeze()
 }
 
-/// Deserialize a snapshot produced by [`write_snapshot`].
-pub fn read_snapshot(mut buf: Bytes) -> Result<HeteroGraph, GraphError> {
-    if buf.remaining() < 8 || &buf.copy_to_bytes(8)[..] != MAGIC {
-        return Err(bad("bad magic"));
-    }
-    if buf.remaining() < 8 {
+/// Deserialize a v1 snapshot; `buf` starts at the magic.
+fn read_snapshot_v1(mut buf: Bytes) -> Result<HeteroGraph, GraphError> {
+    // Magic and version were validated by the dispatcher; skip them.
+    buf.advance(12);
+    if buf.remaining() < 4 {
         return Err(bad("truncated header"));
-    }
-    let version = buf.get_u32_le();
-    if version != VERSION {
-        return Err(bad("unsupported snapshot version"));
     }
     let num_nodes = buf.get_u32_le() as usize;
     if buf.remaining() < num_nodes {
@@ -140,7 +283,7 @@ pub fn read_snapshot(mut buf: Bytes) -> Result<HeteroGraph, GraphError> {
         return Err(bad("truncated edge header"));
     }
     let num_edge_types = buf.get_u32_le() as usize;
-    let mut edges = std::collections::BTreeMap::new();
+    let mut edges = BTreeMap::new();
     for _ in 0..num_edge_types {
         if buf.remaining() < 1 {
             return Err(bad("truncated edge type tag"));
@@ -155,6 +298,392 @@ pub fn read_snapshot(mut buf: Bytes) -> Result<HeteroGraph, GraphError> {
         edges.insert(et, Csr::from_raw_parts(offsets, targets, weights)?);
     }
     Ok(HeteroGraph::new(node_types, features, edges))
+}
+
+// ---------------------------------------------------------------------------
+// v2: section-table writer.
+// ---------------------------------------------------------------------------
+
+/// An optional int8-quantized embedding pool carried alongside the graph in
+/// a v2 snapshot: `ids[i]`'s codes are `codes[i*dim .. (i+1)*dim]`, with the
+/// affine parameters `x̂ = zero_point + scale · code` and the precomputed
+/// per-vector code sum the factored quantized dot needs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantPool {
+    pub dim: usize,
+    pub ids: Vec<u64>,
+    pub codes: Vec<i8>,
+    pub scales: Vec<f32>,
+    pub zero_points: Vec<f32>,
+    pub code_sums: Vec<i32>,
+}
+
+impl QuantPool {
+    fn validate(&self) -> Result<(), GraphError> {
+        let n = self.ids.len();
+        if self.dim == 0 && !self.codes.is_empty() {
+            return Err(bad("quantized pool has codes but dim 0"));
+        }
+        if self.codes.len() != n * self.dim {
+            return Err(bad("quantized pool codes length != ids × dim"));
+        }
+        if self.scales.len() != n || self.zero_points.len() != n || self.code_sums.len() != n {
+            return Err(bad("quantized pool parameter arrays must match ids length"));
+        }
+        Ok(())
+    }
+}
+
+/// One section staged for writing: raw little-endian payload plus the table
+/// fields that describe it.
+struct SectionSpec {
+    kind: u32,
+    elem: u32,
+    arg: u32,
+    bytes: Vec<u8>,
+}
+
+fn spec_u8(kind: u32, arg: u32, s: &[u8]) -> SectionSpec {
+    SectionSpec { kind, elem: 1, arg, bytes: s.to_vec() }
+}
+
+fn spec_i8(kind: u32, arg: u32, s: &[i8]) -> SectionSpec {
+    SectionSpec { kind, elem: 1, arg, bytes: s.iter().map(|&v| v as u8).collect() }
+}
+
+fn spec_u32(kind: u32, arg: u32, s: &[u32]) -> SectionSpec {
+    SectionSpec { kind, elem: 4, arg, bytes: s.iter().flat_map(|v| v.to_le_bytes()).collect() }
+}
+
+fn spec_i32(kind: u32, arg: u32, s: &[i32]) -> SectionSpec {
+    SectionSpec { kind, elem: 4, arg, bytes: s.iter().flat_map(|v| v.to_le_bytes()).collect() }
+}
+
+fn spec_u64(kind: u32, arg: u32, s: &[u64]) -> SectionSpec {
+    SectionSpec { kind, elem: 8, arg, bytes: s.iter().flat_map(|v| v.to_le_bytes()).collect() }
+}
+
+fn spec_f32(kind: u32, arg: u32, s: &[f32]) -> SectionSpec {
+    SectionSpec { kind, elem: 4, arg, bytes: s.iter().flat_map(|v| v.to_le_bytes()).collect() }
+}
+
+fn assemble_v2(num_nodes: u32, dense_dim: u32, sections: &[SectionSpec]) -> Bytes {
+    let table_end = HEADER_BYTES + sections.len() * SECTION_ENTRY_BYTES;
+    let mut offsets = Vec::with_capacity(sections.len());
+    let mut end = table_end;
+    let mut cursor = table_end.next_multiple_of(SECTION_ALIGN);
+    for s in sections {
+        offsets.push(cursor);
+        end = cursor + s.bytes.len();
+        cursor = end.next_multiple_of(SECTION_ALIGN);
+    }
+    let mut out = vec![0u8; end];
+    out[..8].copy_from_slice(MAGIC);
+    out[8..12].copy_from_slice(&VERSION_V2.to_le_bytes());
+    out[12..16].copy_from_slice(&num_nodes.to_le_bytes());
+    out[16..20].copy_from_slice(&dense_dim.to_le_bytes());
+    out[20..24].copy_from_slice(&(sections.len() as u32).to_le_bytes());
+    for (i, (s, &off)) in sections.iter().zip(&offsets).enumerate() {
+        let e = HEADER_BYTES + i * SECTION_ENTRY_BYTES;
+        out[e..e + 4].copy_from_slice(&s.kind.to_le_bytes());
+        out[e + 4..e + 8].copy_from_slice(&s.elem.to_le_bytes());
+        out[e + 8..e + 12].copy_from_slice(&s.arg.to_le_bytes());
+        // 4 bytes of zero padding at e+12.
+        out[e + 16..e + 24].copy_from_slice(&(off as u64).to_le_bytes());
+        out[e + 24..e + 32]
+            .copy_from_slice(&((s.bytes.len() / s.elem as usize) as u64).to_le_bytes());
+        out[off..off + s.bytes.len()].copy_from_slice(&s.bytes);
+    }
+    Bytes::from(out)
+}
+
+fn graph_sections(graph: &HeteroGraph) -> Vec<SectionSpec> {
+    let node_types: Vec<u8> =
+        (0..graph.num_nodes()).map(|n| graph.node_type(n as u32).as_u8()).collect();
+    let (_, dense, fo, fields, to, terms) = graph.features().raw_parts();
+    let mut sections = vec![
+        spec_u8(kind::NODE_TYPES, 0, &node_types),
+        spec_f32(kind::DENSE, 0, dense),
+        spec_u32(kind::FIELD_OFFSETS, 0, fo),
+        spec_u32(kind::FIELDS, 0, fields),
+        spec_u32(kind::TERM_OFFSETS, 0, to),
+        spec_u32(kind::TERMS, 0, terms),
+    ];
+    for (et, csr) in graph.edge_types().filter_map(|et| graph.csr(et).map(|c| (et, c))) {
+        let tag = et.as_u8() as u32;
+        let (offsets, targets, weights) = csr.raw_parts();
+        sections.push(spec_u64(kind::CSR_OFFSETS, tag, offsets));
+        sections.push(spec_u32(kind::CSR_TARGETS, tag, targets));
+        sections.push(spec_f32(kind::CSR_WEIGHTS, tag, weights));
+    }
+    sections
+}
+
+/// Serialize a graph into the current (v2, zero-copy) snapshot format.
+pub fn write_snapshot(graph: &HeteroGraph) -> Bytes {
+    let (dense_dim, ..) = graph.features().raw_parts();
+    assemble_v2(graph.num_nodes() as u32, dense_dim as u32, &graph_sections(graph))
+}
+
+/// Serialize a graph plus an int8-quantized embedding pool into a v2
+/// snapshot. The pool's shape is validated here so a malformed pool fails at
+/// write time instead of producing an unreadable snapshot.
+pub fn write_snapshot_with_pool(
+    graph: &HeteroGraph,
+    pool: &QuantPool,
+) -> Result<Bytes, GraphError> {
+    pool.validate()?;
+    let mut sections = graph_sections(graph);
+    sections.push(spec_u64(kind::QUANT_IDS, 0, &pool.ids));
+    sections.push(spec_i8(kind::QUANT_CODES, pool.dim as u32, &pool.codes));
+    sections.push(spec_f32(kind::QUANT_SCALES, 0, &pool.scales));
+    sections.push(spec_f32(kind::QUANT_ZERO_POINTS, 0, &pool.zero_points));
+    sections.push(spec_i32(kind::QUANT_CODE_SUMS, 0, &pool.code_sums));
+    let (dense_dim, ..) = graph.features().raw_parts();
+    Ok(assemble_v2(graph.num_nodes() as u32, dense_dim as u32, &sections))
+}
+
+// ---------------------------------------------------------------------------
+// v2: zero-copy reader.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+struct Section {
+    kind: u32,
+    elem: u32,
+    arg: u32,
+    offset: usize,
+    count: usize,
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[..4]);
+    u32::from_le_bytes(a)
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(a)
+}
+
+/// One edge type's CSR arrays as borrowed from a v2 snapshot:
+/// `(offsets, targets, weights)`.
+pub type CsrParts<'a> = (&'a [u64], &'a [u32], &'a [f32]);
+
+/// A parsed v2 snapshot holding one aligned copy of the payload. Section
+/// accessors borrow straight out of that buffer (reference-cast, validated
+/// at parse time); [`SnapshotV2::graph`] materializes a [`HeteroGraph`] from
+/// them with bulk copies only.
+pub struct SnapshotV2 {
+    data: AlignedBytes,
+    sections: Vec<Section>,
+    num_nodes: usize,
+    dense_dim: usize,
+}
+
+impl SnapshotV2 {
+    /// Validate the header and section table and take the single aligned
+    /// copy of `raw`. All structural invariants (alignment, bounds, element
+    /// widths) are checked here; accessors after a successful parse cannot
+    /// fail on geometry.
+    pub fn parse(raw: &[u8]) -> Result<Self, GraphError> {
+        if raw.len() < 12 || &raw[..8] != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        if le_u32(&raw[8..]) != VERSION_V2 {
+            return Err(bad("unsupported snapshot version"));
+        }
+        if raw.len() < HEADER_BYTES {
+            return Err(bad("truncated snapshot header"));
+        }
+        let num_nodes = le_u32(&raw[12..]) as usize;
+        let dense_dim = le_u32(&raw[16..]) as usize;
+        let num_sections = le_u32(&raw[20..]) as usize;
+        if num_sections > MAX_SECTIONS {
+            return Err(bad("section table too large"));
+        }
+        let table_end = HEADER_BYTES + num_sections * SECTION_ENTRY_BYTES;
+        if raw.len() < table_end {
+            return Err(bad("truncated section table"));
+        }
+        let mut sections = Vec::with_capacity(num_sections);
+        for entry in raw[HEADER_BYTES..table_end].chunks_exact(SECTION_ENTRY_BYTES) {
+            let elem = le_u32(&entry[4..]);
+            if !matches!(elem, 1 | 4 | 8) {
+                return Err(bad("bad section element size"));
+            }
+            let offset = le_u64(&entry[16..]) as usize;
+            let count = le_u64(&entry[24..]) as usize;
+            if !offset.is_multiple_of(SECTION_ALIGN) {
+                return Err(bad("misaligned section offset"));
+            }
+            if offset < table_end {
+                return Err(bad("section overlaps header"));
+            }
+            let len =
+                count.checked_mul(elem as usize).ok_or(GraphError::Snapshot("length overflow"))?;
+            if offset.checked_add(len).ok_or(GraphError::Snapshot("length overflow"))? > raw.len() {
+                return Err(bad("section out of bounds"));
+            }
+            sections.push(Section {
+                kind: le_u32(entry),
+                elem,
+                arg: le_u32(&entry[8..]),
+                offset,
+                count,
+            });
+        }
+        Ok(Self { data: AlignedBytes::from_slice(raw), sections, num_nodes, dense_dim })
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    pub fn dense_dim(&self) -> usize {
+        self.dense_dim
+    }
+
+    /// The aligned payload buffer every section accessor borrows from.
+    /// Exposed so tests can assert the zero-copy property: a section slice's
+    /// address range must lie inside this buffer.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.data.as_slice()
+    }
+
+    fn find(&self, kind: u32, arg: u32) -> Option<Section> {
+        self.sections.iter().copied().find(|s| s.kind == kind && s.arg == arg)
+    }
+
+    /// Reference-cast one section's bytes. Geometry was validated at parse
+    /// time; the element-width check here guards against a table entry whose
+    /// `elem` disagrees with the kind's expected type.
+    fn slice<T: Pod>(&self, s: Section) -> Result<&[T], GraphError> {
+        if s.elem as usize != std::mem::size_of::<T>() {
+            return Err(bad("section element size mismatch"));
+        }
+        let bytes = &self.data.as_slice()[s.offset..s.offset + s.count * s.elem as usize];
+        cast_slice(bytes)
+    }
+
+    fn required<T: Pod>(&self, kind: u32, arg: u32) -> Result<&[T], GraphError> {
+        let s = self.find(kind, arg).ok_or(GraphError::Snapshot("missing required section"))?;
+        self.slice(s)
+    }
+
+    /// Raw node-type tags (`u8` per node), zero-copy.
+    pub fn node_type_tags(&self) -> Result<&[u8], GraphError> {
+        self.required::<u8>(kind::NODE_TYPES, 0)
+    }
+
+    /// The dense feature matrix (`num_nodes × dense_dim`, row-major), zero-copy.
+    pub fn dense(&self) -> Result<&[f32], GraphError> {
+        self.required::<f32>(kind::DENSE, 0)
+    }
+
+    /// One edge type's CSR arrays `(offsets, targets, weights)`, zero-copy.
+    pub fn csr_parts(&self, et: EdgeType) -> Result<Option<CsrParts<'_>>, GraphError> {
+        let tag = et.as_u8() as u32;
+        let Some(off) = self.find(kind::CSR_OFFSETS, tag) else {
+            return Ok(None);
+        };
+        let targets =
+            self.find(kind::CSR_TARGETS, tag).ok_or(GraphError::Snapshot("CSR missing targets"))?;
+        let weights =
+            self.find(kind::CSR_WEIGHTS, tag).ok_or(GraphError::Snapshot("CSR missing weights"))?;
+        Ok(Some((self.slice(off)?, self.slice(targets)?, self.slice(weights)?)))
+    }
+
+    /// The quantized embedding codes (`ids × dim`, row-major `i8`), zero-copy;
+    /// `None` when the snapshot carries no pool.
+    pub fn quant_codes(&self) -> Result<Option<(usize, &[i8])>, GraphError> {
+        match self.sections.iter().copied().find(|s| s.kind == kind::QUANT_CODES) {
+            Some(s) => Ok(Some((s.arg as usize, self.slice(s)?))),
+            None => Ok(None),
+        }
+    }
+
+    /// The per-vector quantization scales, zero-copy; `None` without a pool.
+    pub fn quant_scales(&self) -> Result<Option<&[f32]>, GraphError> {
+        match self.find(kind::QUANT_SCALES, 0) {
+            Some(s) => Ok(Some(self.slice(s)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Materialize the optional quantized embedding pool (bulk copies of the
+    /// zero-copy sections), validating its cross-section shape.
+    pub fn quant_pool(&self) -> Result<Option<QuantPool>, GraphError> {
+        let Some((dim, codes)) = self.quant_codes()? else {
+            return Ok(None);
+        };
+        let pool = QuantPool {
+            dim,
+            ids: self.required::<u64>(kind::QUANT_IDS, 0)?.to_vec(),
+            codes: codes.to_vec(),
+            scales: self.required::<f32>(kind::QUANT_SCALES, 0)?.to_vec(),
+            zero_points: self.required::<f32>(kind::QUANT_ZERO_POINTS, 0)?.to_vec(),
+            code_sums: self.required::<i32>(kind::QUANT_CODE_SUMS, 0)?.to_vec(),
+        };
+        pool.validate()?;
+        Ok(Some(pool))
+    }
+
+    /// Materialize the full [`HeteroGraph`]. The only per-element work is
+    /// node-type tag validation (`u8 → enum`); every bulk array (dense
+    /// features, feature offsets, CSR arrays) is a reference-cast followed by
+    /// one `memcpy`-shaped `to_vec`.
+    pub fn graph(&self) -> Result<HeteroGraph, GraphError> {
+        let tags = self.node_type_tags()?;
+        if tags.len() != self.num_nodes {
+            return Err(bad("node type section inconsistent with node count"));
+        }
+        let node_types = tags
+            .iter()
+            .map(|&b| NodeType::from_u8(b).ok_or(GraphError::Snapshot("bad node type")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let fo = self.required::<u32>(kind::FIELD_OFFSETS, 0)?;
+        let to = self.required::<u32>(kind::TERM_OFFSETS, 0)?;
+        if fo.len() != self.num_nodes + 1 || to.len() != self.num_nodes + 1 {
+            return Err(bad("feature offsets inconsistent with node count"));
+        }
+        let features = FeatureStore::from_raw_parts(
+            self.dense_dim,
+            self.dense()?.to_vec(),
+            fo.to_vec(),
+            self.required::<u32>(kind::FIELDS, 0)?.to_vec(),
+            to.to_vec(),
+            self.required::<u32>(kind::TERMS, 0)?.to_vec(),
+        )?;
+        let mut edges = BTreeMap::new();
+        for et in EdgeType::ALL {
+            if let Some((offsets, targets, weights)) = self.csr_parts(et)? {
+                if offsets.len() != self.num_nodes + 1 {
+                    return Err(bad("CSR offsets inconsistent with node count"));
+                }
+                edges.insert(
+                    et,
+                    Csr::from_raw_parts(offsets.to_vec(), targets.to_vec(), weights.to_vec())?,
+                );
+            }
+        }
+        Ok(HeteroGraph::new(node_types, features, edges))
+    }
+}
+
+/// Deserialize a snapshot produced by [`write_snapshot`] (v2) or the legacy
+/// [`write_snapshot_v1`], dispatching on the version field.
+pub fn read_snapshot(buf: Bytes) -> Result<HeteroGraph, GraphError> {
+    if buf.len() < 12 || &buf[..8] != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    match le_u32(&buf[8..]) {
+        VERSION_V1 => read_snapshot_v1(buf),
+        VERSION_V2 => SnapshotV2::parse(&buf)?.graph(),
+        _ => Err(bad("unsupported snapshot version")),
+    }
 }
 
 #[cfg(test)]
@@ -172,11 +701,18 @@ mod tests {
         b.finish()
     }
 
-    #[test]
-    fn roundtrip_preserves_everything() {
-        let g = sample_graph();
-        let bytes = write_snapshot(&g);
-        let g2 = read_snapshot(bytes).expect("roundtrip");
+    fn sample_pool() -> QuantPool {
+        QuantPool {
+            dim: 4,
+            ids: vec![7, 11],
+            codes: vec![1, -2, 3, -4, 127, -127, 0, 64],
+            scales: vec![0.5, 0.25],
+            zero_points: vec![0.1, -0.2],
+            code_sums: vec![-2, 64],
+        }
+    }
+
+    fn assert_graphs_equal(g: &HeteroGraph, g2: &HeteroGraph) {
         assert_eq!(g2.num_nodes(), g.num_nodes());
         assert_eq!(g2.num_edges(), g.num_edges());
         for n in 0..g.num_nodes() as u32 {
@@ -191,6 +727,81 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample_graph();
+        let bytes = write_snapshot(&g);
+        let g2 = read_snapshot(bytes).expect("roundtrip");
+        assert_graphs_equal(&g, &g2);
+    }
+
+    #[test]
+    fn v1_snapshots_still_load() {
+        let g = sample_graph();
+        let bytes = write_snapshot_v1(&g);
+        assert_eq!(bytes[8], 1, "v1 writer must stamp version 1");
+        let g2 = read_snapshot(bytes).expect("v1 read");
+        assert_graphs_equal(&g, &g2);
+    }
+
+    #[test]
+    fn v2_sections_are_reference_casts_into_the_aligned_buffer() {
+        let g = sample_graph();
+        let bytes = write_snapshot(&g);
+        let snap = SnapshotV2::parse(&bytes).expect("parse");
+        let buf = snap.as_bytes().as_ptr_range();
+        let in_buf = |ptr: *const u8, len_bytes: usize| {
+            // SAFETY-free arithmetic on raw addresses only.
+            let addr = ptr as usize;
+            addr >= buf.start as usize && addr + len_bytes <= buf.end as usize
+        };
+        let dense = snap.dense().expect("dense");
+        assert!(!dense.is_empty());
+        assert!(in_buf(dense.as_ptr().cast(), std::mem::size_of_val(dense)));
+        assert_eq!(dense.as_ptr() as usize % SECTION_ALIGN, 0, "dense must be 64B aligned");
+        let tags = snap.node_type_tags().expect("tags");
+        assert!(in_buf(tags.as_ptr(), tags.len()));
+        let mut saw_csr = false;
+        for et in EdgeType::ALL {
+            if let Some((o, t, w)) = snap.csr_parts(et).expect("csr") {
+                saw_csr = true;
+                assert!(in_buf(o.as_ptr().cast(), std::mem::size_of_val(o)));
+                assert!(in_buf(t.as_ptr().cast(), std::mem::size_of_val(t)));
+                assert!(in_buf(w.as_ptr().cast(), std::mem::size_of_val(w)));
+                assert_eq!(o.as_ptr() as usize % SECTION_ALIGN, 0);
+            }
+        }
+        assert!(saw_csr, "sample graph must have at least one CSR section");
+    }
+
+    #[test]
+    fn quant_pool_roundtrips_and_is_zero_copy() {
+        let g = sample_graph();
+        let pool = sample_pool();
+        let bytes = write_snapshot_with_pool(&g, &pool).expect("write with pool");
+        let snap = SnapshotV2::parse(&bytes).expect("parse");
+        let (dim, codes) = snap.quant_codes().expect("codes").expect("pool present");
+        assert_eq!(dim, pool.dim);
+        assert_eq!(codes, &pool.codes[..]);
+        let buf = snap.as_bytes().as_ptr_range();
+        let addr = codes.as_ptr() as usize;
+        assert!(addr >= buf.start as usize && addr + codes.len() <= buf.end as usize);
+        assert_eq!(snap.quant_pool().expect("pool").expect("present"), pool);
+        // The graph part is unaffected by the extra sections.
+        assert_graphs_equal(&g, &snap.graph().expect("graph"));
+        // And a pool-less snapshot reports no pool.
+        let plain = SnapshotV2::parse(&write_snapshot(&g)).expect("parse");
+        assert!(plain.quant_pool().expect("no pool").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_pool_at_write_time() {
+        let g = sample_graph();
+        let mut pool = sample_pool();
+        pool.scales.pop();
+        assert!(write_snapshot_with_pool(&g, &pool).is_err());
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let err = read_snapshot(Bytes::from_static(b"NOTAGRPH_and_more_bytes")).unwrap_err();
         assert_eq!(err, GraphError::Snapshot("bad magic"));
@@ -199,11 +810,13 @@ mod tests {
     #[test]
     fn rejects_truncation_anywhere() {
         let g = sample_graph();
-        let full = write_snapshot(&g);
-        // Chop at a spread of prefix lengths; every one must error, not panic.
-        for cut in [0usize, 4, 8, 12, 20, full.len() / 2, full.len() - 1] {
-            let sliced = full.slice(0..cut);
-            assert!(read_snapshot(sliced).is_err(), "cut at {cut} should fail");
+        for full in [write_snapshot(&g), write_snapshot_v1(&g)] {
+            // Chop at a spread of prefix lengths; every one must error, not
+            // panic.
+            for cut in [0usize, 4, 8, 12, 20, full.len() / 2, full.len() - 1] {
+                let sliced = full.slice(0..cut);
+                assert!(read_snapshot(sliced).is_err(), "cut at {cut} should fail");
+            }
         }
     }
 
@@ -217,9 +830,54 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_is_compact() {
-        // Sanity: the 3-node sample should serialize to well under a KiB.
+    fn rejects_misaligned_section_offset() {
         let g = sample_graph();
-        assert!(write_snapshot(&g).len() < 1024);
+        let mut raw = write_snapshot(&g).to_vec();
+        // Nudge the first section's offset off the 64-byte grid.
+        let off_pos = HEADER_BYTES + 16;
+        raw[off_pos] = raw[off_pos].wrapping_add(1);
+        match SnapshotV2::parse(&raw) {
+            Err(err) => assert_eq!(err, GraphError::Snapshot("misaligned section offset")),
+            Ok(_) => panic!("misaligned offset must be rejected"),
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_section() {
+        let g = sample_graph();
+        let mut raw = write_snapshot(&g).to_vec();
+        // Inflate the first section's count far past the buffer.
+        let count_pos = HEADER_BYTES + 24;
+        raw[count_pos..count_pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(SnapshotV2::parse(&raw).is_err());
+    }
+
+    #[test]
+    fn rejects_element_size_lies() {
+        let g = sample_graph();
+        let mut raw = write_snapshot(&g).to_vec();
+        // Claim the node-type section (elem 1) holds 8-byte elements. Parse
+        // may accept the geometry if it still fits, but typed access must
+        // refuse the cast.
+        let elem_pos = HEADER_BYTES + 4;
+        raw[elem_pos] = 8;
+        // Parse itself may fail (count × 8 can overflow the payload); if the
+        // geometry still fits, typed access must refuse the cast.
+        if let Ok(snap) = SnapshotV2::parse(&raw) {
+            assert_eq!(
+                snap.node_type_tags().unwrap_err(),
+                GraphError::Snapshot("section element size mismatch")
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_is_compact() {
+        // Sanity: the 3-node sample should stay small. v2 pads every section
+        // start to a 64-byte boundary, so the floor is ~num_sections × 64
+        // plus the header/table — still well under 2 KiB for 3 nodes.
+        let g = sample_graph();
+        assert!(write_snapshot(&g).len() < 2048);
+        assert!(write_snapshot_v1(&g).len() < 1024);
     }
 }

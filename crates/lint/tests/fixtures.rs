@@ -101,6 +101,36 @@ fn l002_accepts_unsafe_preceded_by_safety_comment() {
     assert!(lint_source(OFFLINE, quoted).is_empty());
 }
 
+#[test]
+fn l002_pins_the_snapshot_reference_cast_pattern() {
+    // The zero-copy snapshot reader's shape: validation above, a multi-line
+    // justification, and the `// SAFETY:` sentence as the *final* comment
+    // line before `unsafe` — the rule requires the SAFETY token to end
+    // within two lines of the unsafe, so detail-first ordering is what
+    // keeps the real cast sites (graph/src/snapshot.rs) clean.
+    let good = "fn cast(bytes: &[u8]) -> &[u32] {\n\
+                \x20   assert_eq!(bytes.len() % 4, 0);\n\
+                \x20   assert_eq!(bytes.as_ptr().align_offset(4), 0);\n\
+                \x20   // Length divisibility and pointer alignment were just\n\
+                \x20   // checked; u32 has no invalid bit patterns.\n\
+                \x20   // SAFETY: the checks above make this cast valid.\n\
+                \x20   unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast(), bytes.len() / 4) }\n\
+                }\n";
+    assert!(lint_source(GRAPH, good).is_empty(), "{:?}", lint_source(GRAPH, good));
+
+    // Same cast with the SAFETY sentence buried at the *top* of the comment
+    // block: more than two lines from `unsafe`, so it does not count.
+    let buried = "fn cast(bytes: &[u8]) -> &[u32] {\n\
+                  \x20   // SAFETY: the checks below make this cast valid.\n\
+                  \x20   // Length divisibility and pointer alignment are\n\
+                  \x20   // checked by the caller, and u32 has no invalid\n\
+                  \x20   // bit patterns whatsoever.\n\
+                  \x20   unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast(), bytes.len() / 4) }\n\
+                  }\n";
+    let v = lint_source(GRAPH, buried);
+    assert_eq!(rules_at(&v, 6), vec!["L002"], "{v:?}");
+}
+
 // ---------------------------------------------------------------- L003
 
 #[test]

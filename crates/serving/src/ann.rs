@@ -109,6 +109,21 @@ impl IvfIndex {
         self.dim
     }
 
+    /// The coarse-quantizer centroids, one row per list. `pub(crate)` so the
+    /// quantized backend can adopt this index's exact clustering (same
+    /// centroids + same assignment ⇒ the same candidate set at equal
+    /// `nprobe`, which is what makes quantized-vs-f32 recall comparable).
+    pub(crate) fn centroid_rows(&self) -> &[Vec<f32>] {
+        &self.centroids
+    }
+
+    /// One inverted list's `(ids, row-major f32 vectors)`. `pub(crate)` for
+    /// the quantized backend's build path.
+    pub(crate) fn list_entries(&self, list: usize) -> (&[u64], &[f32]) {
+        let il = &self.lists[list];
+        (&il.ids, &il.vectors)
+    }
+
     pub fn nlist(&self) -> usize {
         self.centroids.len()
     }
@@ -418,7 +433,7 @@ fn nearest(centroids: &[Vec<f32>], v: &[f32]) -> usize {
     best
 }
 
-fn euclidean2(a: &[f32], b: &[f32]) -> f32 {
+pub(crate) fn euclidean2(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
 }
 

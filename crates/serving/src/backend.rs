@@ -8,7 +8,7 @@
 //! probe with budget capping, the exact widening scan, and the obs hook — so
 //! the server, degraded-mode ladder, and benches are backend-agnostic.
 //!
-//! Three implementations:
+//! Four implementations:
 //! - [`crate::IvfIndex`] via [`IvfBackend`] — the paper's IVF-Flat path,
 //!   budget axis = `nprobe` (coarse lists probed per query).
 //! - [`ExactSearch`] — the exact flat scan, promoted from recall-baseline
@@ -16,6 +16,9 @@
 //! - [`crate::ProximityGraph`] — a navigable neighbor graph over the frozen
 //!   tower's item embeddings, searched by beam search under the frozen
 //!   relevance score; budget axis = beam width.
+//! - [`QuantizedIvf`] — IVF over int8-quantized codes with exact f32 rerank
+//!   of the shortlist (the billion-tier memory-scaling path); budget axis =
+//!   `nprobe`, same rounds discipline as IVF.
 //!
 //! Dispatch is by the [`Backend`] enum — a `match` per call, no `dyn` and no
 //! vtable in the hot loop. The only trait object is the `on_round` hook of
@@ -30,6 +33,7 @@ use crate::ann::{IvfIndex, PAR_MIN_BATCH_QUERIES};
 use crate::deadline::Deadline;
 use crate::error::ServingError;
 use crate::proximity::ProximityGraph;
+use crate::quantized::QuantizedIvf;
 use crate::topk::top_k_desc;
 
 /// Which retrieval backend an [`crate::OnlineServer`] builds and serves
@@ -44,6 +48,10 @@ pub enum BackendKind {
     /// Relevance proximity graph — beam search over a navigable neighbor
     /// graph. Budget: beam width.
     Proximity,
+    /// IVF over int8-quantized codes with exact f32 rerank of the
+    /// `rerank_factor × k` shortlist — the billion-tier memory-scaling
+    /// path. Budget: `nprobe`, like IVF.
+    Quantized,
 }
 
 impl BackendKind {
@@ -52,6 +60,7 @@ impl BackendKind {
             BackendKind::Ivf => "ivf",
             BackendKind::Exact => "exact",
             BackendKind::Proximity => "proximity",
+            BackendKind::Quantized => "quantized",
         }
     }
 }
@@ -369,6 +378,7 @@ pub enum Backend {
     Ivf(IvfBackend),
     Exact(ExactSearch),
     Proximity(ProximityGraph),
+    Quantized(QuantizedIvf),
 }
 
 impl Backend {
@@ -377,6 +387,7 @@ impl Backend {
             Backend::Ivf(_) => BackendKind::Ivf,
             Backend::Exact(_) => BackendKind::Exact,
             Backend::Proximity(_) => BackendKind::Proximity,
+            Backend::Quantized(_) => BackendKind::Quantized,
         }
     }
 
@@ -388,6 +399,15 @@ impl Backend {
             _ => None,
         }
     }
+
+    /// The wrapped quantized index, when this is the quantized backend
+    /// (benches and tests that study quantization-specific knobs).
+    pub fn as_quantized(&self) -> Option<&QuantizedIvf> {
+        match self {
+            Backend::Quantized(b) => Some(b),
+            _ => None,
+        }
+    }
 }
 
 macro_rules! dispatch {
@@ -396,6 +416,7 @@ macro_rules! dispatch {
             Backend::Ivf($b) => $body,
             Backend::Exact($b) => $body,
             Backend::Proximity($b) => $body,
+            Backend::Quantized($b) => $body,
         }
     };
 }

@@ -9,8 +9,9 @@
 //! Components:
 //! - [`backend`] — the [`SearchBackend`] trait and the enum-dispatched
 //!   [`Backend`] the server retrieves through: IVF-Flat ([`ann`]), the exact
-//!   flat scan ([`ExactSearch`]), or the relevance proximity graph
-//!   ([`proximity`]). Selected via `ServingConfig::backend`.
+//!   flat scan ([`ExactSearch`]), the relevance proximity graph
+//!   ([`proximity`]), or the int8-quantized IVF with exact f32 rerank
+//!   ([`quantized`]). Selected via `ServingConfig::backend`.
 //! - [`ann`] — IVF-Flat approximate nearest neighbor index (k-means coarse
 //!   quantizer + inverted lists, inner-product scoring).
 //! - [`proximity`] — navigable neighbor graph over the frozen tower's item
@@ -51,6 +52,7 @@ pub mod frozen;
 pub mod inverted;
 pub mod load;
 pub mod proximity;
+pub mod quantized;
 pub mod server;
 pub mod topk;
 
@@ -68,5 +70,6 @@ pub use load::{
     run_load, Arrival, LatencySummary, LoadReport, LoadTestSpec, ShedPolicy, StageSummary,
 };
 pub use proximity::ProximityGraph;
+pub use quantized::{QuantMemory, QuantizedIvf, DEFAULT_RERANK_FACTOR};
 pub use server::{OnlineServer, ServerBuilder, ServingConfig};
 pub use zoomer_obs::CacheStats;

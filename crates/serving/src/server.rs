@@ -27,6 +27,7 @@ use crate::fault::{FaultInjector, FaultSite};
 use crate::frozen::{neutral_topk_neighbors, FrozenModel};
 use crate::inverted::InvertedIndex;
 use crate::proximity::ProximityGraph;
+use crate::quantized::QuantizedIvf;
 
 /// A request's resolved (user-neighborhood, query-neighborhood) pair, shared
 /// with the cache without copying.
@@ -69,6 +70,13 @@ pub struct ServingConfig {
     /// hidden `max(4)` — now explicit so a deliberately narrow `nprobe`
     /// study can set `build_nprobe: 1` and actually get a narrow build.
     pub build_nprobe: usize,
+    /// Shortlist widening for the quantized backend: the int8 scan keeps
+    /// `rerank_factor × top_k` candidates per query, which the exact f32
+    /// rerank then narrows back to `top_k`. Larger values recover more of
+    /// the recall lost to quantization at proportionally more f32 work on
+    /// the shortlist (never on the full probed set). Ignored by the other
+    /// backends.
+    pub rerank_factor: usize,
     /// Disable the neighbor cache (ablation: sample neighbors per request).
     pub disable_cache: bool,
     /// Per-batch latency budget. `None` (the default) is unbounded and
@@ -94,6 +102,7 @@ impl Default for ServingConfig {
             graph_degree: 12,
             beam_width: 32,
             build_nprobe: 4,
+            rerank_factor: crate::quantized::DEFAULT_RERANK_FACTOR,
             disable_cache: false,
             deadline: None,
             cache_capacity: NeighborCache::DEFAULT_CAPACITY,
@@ -203,6 +212,7 @@ impl Clone for OnlineServer {
 #[derive(Default)]
 pub struct ServerBuilder {
     graph: Option<Arc<HeteroGraph>>,
+    graph_bytes: Option<bytes::Bytes>,
     frozen: Option<FrozenModel>,
     item_pool: Vec<NodeId>,
     config: ServingConfig,
@@ -215,6 +225,16 @@ impl ServerBuilder {
     /// The graph snapshot to serve against (required).
     pub fn graph(mut self, graph: Arc<HeteroGraph>) -> Self {
         self.graph = Some(graph);
+        self
+    }
+
+    /// The graph as raw snapshot bytes (v1 or v2), decoded at
+    /// [`ServerBuilder::build`] with the wall time recorded into the
+    /// `serve.snapshot.load_ns` histogram — the deployment path where the
+    /// serving tier receives a compact binary snapshot instead of an
+    /// in-process graph. Ignored when [`ServerBuilder::graph`] is also set.
+    pub fn graph_snapshot(mut self, bytes: bytes::Bytes) -> Self {
+        self.graph_bytes = Some(bytes);
         self
     }
 
@@ -264,8 +284,22 @@ impl ServerBuilder {
     /// through the frozen item tower and construct the inverted ANN index
     /// (§VI's offline-to-online hand-off).
     pub fn build(self) -> Result<OnlineServer, ServingError> {
-        let graph =
-            self.graph.ok_or(ServingError::InvalidConfig("server builder needs a graph"))?;
+        // Resolve the graph: an in-process handle wins; otherwise decode the
+        // snapshot bytes here, timing the decode (the v2 format makes this a
+        // section-table walk plus bulk copies — see `zoomer_graph::snapshot`).
+        let mut snapshot_load_ns = None;
+        let graph = match (self.graph, self.graph_bytes) {
+            (Some(g), _) => g,
+            (None, Some(raw)) => {
+                let started = Instant::now();
+                let g = zoomer_graph::read_snapshot(raw)?;
+                snapshot_load_ns = Some(started.elapsed().as_nanos() as u64);
+                Arc::new(g)
+            }
+            (None, None) => {
+                return Err(ServingError::InvalidConfig("server builder needs a graph"))
+            }
+        };
         let frozen = self
             .frozen
             .ok_or(ServingError::InvalidConfig("server builder needs a frozen model"))?;
@@ -285,6 +319,9 @@ impl ServerBuilder {
             return Err(ServingError::InvalidConfig(
                 "graph_degree and beam_width must be positive",
             ));
+        }
+        if config.backend == BackendKind::Quantized && config.rerank_factor == 0 {
+            return Err(ServingError::InvalidConfig("rerank_factor must be positive"));
         }
         if config.cache_capacity == 0 {
             return Err(ServingError::InvalidConfig("cache_capacity must be positive"));
@@ -309,6 +346,20 @@ impl ServerBuilder {
                 let nlist = config.nlist.min(((items.len() as f64).sqrt().ceil()) as usize).max(1);
                 let index = IvfIndex::build(&items, nlist, 8, self.seed);
                 Backend::Ivf(IvfBackend::new(index, config.nprobe, config.build_nprobe))
+            }
+            BackendKind::Quantized => {
+                // Same coarse-quantizer sizing as IVF: the quantized index
+                // adopts an IVF partition, so equal configs probe the same
+                // lists and recall deltas measure quantization alone.
+                let nlist = config.nlist.min(((items.len() as f64).sqrt().ceil()) as usize).max(1);
+                Backend::Quantized(QuantizedIvf::build(
+                    &items,
+                    nlist,
+                    8,
+                    self.seed,
+                    config.nprobe,
+                    config.rerank_factor,
+                ))
             }
             BackendKind::Exact => Backend::Exact(ExactSearch::build(&items)),
             BackendKind::Proximity => Backend::Proximity(ProximityGraph::build(
@@ -355,6 +406,9 @@ impl ServerBuilder {
         // ranking, so serve-time metrics are not polluted by build work.
         let registry = self.metrics.unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
         backend.attach_metrics(&registry);
+        if let Some(ns) = snapshot_load_ns {
+            registry.histogram("serve.snapshot.load_ns").record(ns);
+        }
         Ok(OnlineServer {
             graph,
             frozen: Arc::new(frozen),
@@ -1077,6 +1131,77 @@ mod tests {
             assert_eq!(set.len(), row.len(), "request {i} returned duplicates");
             assert_eq!(row, &server.handle(u, q).expect("serve"), "request {i} diverges");
         }
+    }
+
+    #[test]
+    fn quantized_backend_serves_topk_items() {
+        let (data, server) = build_server_cfg(ServingConfig {
+            top_k: 20,
+            backend: BackendKind::Quantized,
+            ..Default::default()
+        });
+        assert_eq!(server.backend().kind(), BackendKind::Quantized);
+        let quant = server.backend().as_quantized().expect("quantized backend");
+        assert!(
+            quant.memory_footprint().compression_ratio() >= 4.0,
+            "int8 code store must be at least 4x smaller than the f32 rerank store"
+        );
+        let requests: Vec<(NodeId, NodeId)> =
+            data.logs.iter().take(6).map(|l| (l.user, l.query)).collect();
+        let batched = server.handle_batch(&requests).expect("serve batch");
+        for (i, (&(u, q), row)) in requests.iter().zip(&batched).enumerate() {
+            assert_eq!(row.len(), 20);
+            for &item in row {
+                assert_eq!(data.graph.node_type(item), NodeType::Item, "request {i}");
+            }
+            assert_eq!(row, &server.handle(u, q).expect("serve"), "request {i} diverges");
+        }
+    }
+
+    #[test]
+    fn quantized_backend_rejects_zero_rerank_factor() {
+        let (_, graph, frozen, items) = fixture(81);
+        let result = OnlineServer::builder()
+            .graph(graph)
+            .frozen(frozen)
+            .item_pool(&items)
+            .config(ServingConfig {
+                backend: BackendKind::Quantized,
+                rerank_factor: 0,
+                ..Default::default()
+            })
+            .build();
+        match result {
+            Err(ServingError::InvalidConfig(msg)) => {
+                assert_eq!(msg, "rerank_factor must be positive");
+            }
+            Err(other) => panic!("wrong error: {other}"),
+            Ok(_) => panic!("rerank_factor 0 must be rejected"),
+        }
+    }
+
+    #[test]
+    fn builder_decodes_snapshot_bytes_and_times_the_load() {
+        let (data, _, frozen, items) = fixture(81);
+        let registry = Arc::new(zoomer_obs::MetricsRegistry::enabled());
+        let server = OnlineServer::builder()
+            .graph_snapshot(zoomer_graph::write_snapshot(&data.graph))
+            .frozen(frozen)
+            .item_pool(&items)
+            .config(ServingConfig { top_k: 10, ..Default::default() })
+            .metrics(Arc::clone(&registry))
+            .build()
+            .expect("server from snapshot bytes");
+        assert_eq!(server.graph().num_nodes(), data.graph.num_nodes());
+        let snap = registry.snapshot();
+        let load = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "serve.snapshot.load_ns")
+            .expect("load histogram registered");
+        assert_eq!(load.count, 1, "exactly one snapshot decode must be timed");
+        let log = &data.logs[0];
+        assert_eq!(server.handle(log.user, log.query).expect("serve").len(), 10);
     }
 
     #[test]

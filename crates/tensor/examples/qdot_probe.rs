@@ -1,0 +1,47 @@
+//! Release-mode microprobe for the i8 dot kernels: prints per-call latency of
+//! `dot_i8` / `dot4_i8` against the scalar reference and the f32 `dot` at the
+//! dims retrieval actually runs. Not a tracked baseline — `benches/kernels.rs`
+//! owns that — this exists for quick kernel-tuning loops.
+use std::time::Instant;
+
+use zoomer_tensor::kernel::{dot4_i8, dot_i8, dot_i8_reference};
+use zoomer_tensor::similarity::dot;
+
+fn main() {
+    for &d in &[16usize, 24, 64, 256] {
+        let a: Vec<i8> = (0..d).map(|i| ((i * 37 + 11) % 255) as i8).collect();
+        let b: Vec<i8> = (0..d).map(|i| ((i * 53 + 7) % 255) as i8).collect();
+        let qs: Vec<Vec<i8>> =
+            (0..4).map(|k| (0..d).map(|i| ((i * 29 + k * 97 + 3) % 255) as i8).collect()).collect();
+        let af: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+        let bf: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+        let iters = 4_000_000u64;
+        let run = |f: &dyn Fn() -> i64| {
+            let t = Instant::now();
+            let mut s = 0i64;
+            for _ in 0..iters {
+                s += std::hint::black_box(f());
+            }
+            (t.elapsed().as_nanos() as f64 / iters as f64, s)
+        };
+        let (i8ns, s1) = run(&|| dot_i8(std::hint::black_box(&a), std::hint::black_box(&b)) as i64);
+        let (refns, s2) =
+            run(&|| dot_i8_reference(std::hint::black_box(&a), std::hint::black_box(&b)) as i64);
+        let (f4, s3) = run(&|| {
+            let r = dot4_i8(
+                std::hint::black_box(&a),
+                std::hint::black_box(&qs[0]),
+                &qs[1],
+                &qs[2],
+                &qs[3],
+            );
+            (r[0] + r[1] + r[2] + r[3]) as i64
+        });
+        let (f32ns, _) = run(&|| dot(std::hint::black_box(&af), std::hint::black_box(&bf)) as i64);
+        assert_eq!(s1, s2);
+        println!(
+            "d={d:>4}: dot_i8 {i8ns:>6.1} ns | ref {refns:>6.1} | dot4_i8/q {:>6.1} | f32 dot {f32ns:>6.1}  (chk {s3})",
+            f4 / 4.0
+        );
+    }
+}

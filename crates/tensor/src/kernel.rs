@@ -210,6 +210,91 @@ pub fn gemm_banded(
     });
 }
 
+/// Chunk width of the i8 dot kernels. The products of two i8 codes are
+/// bounded by `127² = 16129 < i16::MAX`, so the inner loop multiplies in
+/// i16 and widens only the *product* to i32 — the shape compilers turn into
+/// widening multiply-accumulate SIMD (`pmaddwd`-style). Thirty-two codes
+/// fill two 128-bit registers of i16 products per iteration; a second
+/// 16-wide pass catches short vectors (the workspace's embeddings are 16
+/// wide) before the scalar tail.
+pub const DOT_I8_LANES: usize = 32;
+
+/// Longest vector [`dot_i8`] accepts without risking i32 overflow: every
+/// elementwise product is bounded by `127²`, so `d` of them sum to at most
+/// `d · 16129`, which must stay under `i32::MAX`. Quantized embeddings in
+/// this workspace are ≤ 256 wide — five orders of magnitude of headroom —
+/// but the bound is a checked contract (debug assert), not an assumption.
+pub const MAX_DOT_I8_DIM: usize = (i32::MAX as usize) / (127 * 127);
+
+/// One `N`-wide block of the i16-widening multiply-accumulate. `N` is a
+/// const generic so the 32- and 16-wide passes share one definition the
+/// compiler fully unrolls and vectorizes at each width.
+#[inline]
+fn dot_i8_block<const N: usize>(xa: &[i8], xb: &[i8]) -> i32 {
+    let mut s = 0i32;
+    for j in 0..N {
+        s += (xa[j] as i16 * xb[j] as i16) as i32;
+    }
+    s
+}
+
+/// Integer dot product of two equal-length i8 code vectors, accumulated in
+/// i32. Integer addition is associative, so unlike the f32 `dot` the block
+/// scheme cannot change the *value* — it exists purely so the loop
+/// vectorizes: [`DOT_I8_LANES`]-wide i16-multiply blocks, a 16-wide pass
+/// for the mid tail, then scalar. Exact equality with [`dot_i8_reference`]
+/// is pinned by tests across lengths, so any restructuring stays honest.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len(), "dot_i8: length mismatch");
+    debug_assert!(a.len() <= MAX_DOT_I8_DIM, "dot_i8: vector too long for i32 accumulation");
+    let mut acc = 0i32;
+    let mut ca = a.chunks_exact(DOT_I8_LANES);
+    let mut cb = b.chunks_exact(DOT_I8_LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        acc += dot_i8_block::<DOT_I8_LANES>(xa, xb);
+    }
+    let mut ra = ca.remainder().chunks_exact(16);
+    let mut rb = cb.remainder().chunks_exact(16);
+    for (xa, xb) in (&mut ra).zip(&mut rb) {
+        acc += dot_i8_block::<16>(xa, xb);
+    }
+    for (&x, &y) in ra.remainder().iter().zip(rb.remainder()) {
+        acc += (x as i16 * y as i16) as i32;
+    }
+    acc
+}
+
+/// Four integer dot products of one shared code vector `v` against four
+/// query code vectors — `dot4_i8(v, ..)[i]` is bit-identical to
+/// `dot_i8(v, q_i)`. This is the quantized IVF scorer's kernel, the i8
+/// counterpart of `similarity::dot4` — but unlike the f32 case, measurement
+/// (examples/qdot_probe) showed four independent [`dot_i8`] passes beat
+/// every hand-interleaved shared-`v` scheme at dims 16–256: the widening
+/// i16-multiply loop vectorizes perfectly per stream, and interleaving four
+/// streams defeats it. So the "kernel" is just the loop the compiler
+/// already wins on, kept as a named entry point so the scorer's call shape
+/// (and the bit-identity pin against `dot_i8`) survive future tuning.
+#[inline]
+pub fn dot4_i8(v: &[i8], q0: &[i8], q1: &[i8], q2: &[i8], q3: &[i8]) -> [i32; 4] {
+    let d = v.len();
+    debug_assert!(
+        q0.len() == d && q1.len() == d && q2.len() == d && q3.len() == d,
+        "dot4_i8: length mismatch"
+    );
+    debug_assert!(d <= MAX_DOT_I8_DIM, "dot4_i8: vector too long for i32 accumulation");
+    [dot_i8(v, q0), dot_i8(v, q1), dot_i8(v, q2), dot_i8(v, q3)]
+}
+
+/// The scalar sequential i8 dot, kept as the semantic reference the blocked
+/// [`dot_i8`] / [`dot4_i8`] kernels are pinned against (exact equality —
+/// integer accumulation has no re-association slack to tolerate).
+#[inline]
+pub fn dot_i8_reference(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len(), "dot_i8: length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x as i32 * y as i32).sum()
+}
+
 /// Hardware thread count, resolved once per process:
 /// `available_parallelism` is a syscall (~µs) — comparable to an entire
 /// small GEMM — far too expensive for a per-dispatch check.
@@ -328,6 +413,48 @@ mod tests {
         gemm(&[], &[0.0; 12], None, 0, 4, 3, &mut out);
         gemm(&[1.0, 2.0], &[], None, 2, 1, 0, &mut out);
         gemm_banded(&[], &[], None, 0, 0, 0, &mut out, 4);
+    }
+
+    fn fill_i8(len: usize, seed: u32) -> Vec<i8> {
+        (0..len)
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(2246822519).wrapping_add(seed);
+                ((x % 255) as i32 - 127) as i8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dot_i8_matches_reference_exactly_across_lengths() {
+        for d in [0usize, 1, 3, 7, 15, 16, 17, 31, 32, 33, 64, 100, 256] {
+            let a = fill_i8(d, 1);
+            let b = fill_i8(d, 2);
+            assert_eq!(dot_i8(&a, &b), dot_i8_reference(&a, &b), "d={d}");
+        }
+    }
+
+    #[test]
+    fn dot4_i8_is_identical_to_dot_i8_per_query() {
+        for d in [0usize, 1, 5, 15, 16, 17, 29, 64, 100] {
+            let v = fill_i8(d, 3);
+            let qs: Vec<Vec<i8>> = (0..4).map(|q| fill_i8(d, 10 + q)).collect();
+            let got = dot4_i8(&v, &qs[0], &qs[1], &qs[2], &qs[3]);
+            for (qi, q) in qs.iter().enumerate() {
+                assert_eq!(got[qi], dot_i8(&v, q), "d={d} q={qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_i8_extremes_stay_in_i32() {
+        // Saturated codes at the documented max length: the worst case the
+        // contract admits must not overflow (ci profile enables
+        // overflow-checks, so this would abort rather than wrap).
+        let d = 4096;
+        let a = vec![127i8; d];
+        let b = vec![-127i8; d];
+        assert_eq!(dot_i8(&a, &b), -(127 * 127) * d as i32);
+        assert!(d <= MAX_DOT_I8_DIM);
     }
 
     #[test]

@@ -27,11 +27,13 @@ pub mod kernel;
 pub mod matrix;
 pub mod metrics;
 pub mod numerics;
+pub mod quant;
 pub mod rng;
 pub mod similarity;
 
 pub use matrix::Matrix;
 pub use metrics::{auc, hit_rate_at_k, mae, mean_reciprocal_rank, ndcg_at_k, rmse};
 pub use numerics::{leaky_relu, log_sum_exp, relu, sigmoid, softmax_inplace, stable_softmax};
+pub use quant::{dequantize, quantize, quantize_into, quantized_dot, QuantParams};
 pub use rng::{seeded_rng, xavier_matrix, xavier_vec};
 pub use similarity::{cosine_similarity, dot, dot4, l2_norm, tanimoto_similarity};

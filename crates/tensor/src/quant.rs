@@ -1,0 +1,250 @@
+//! Int8 scalar quantization for embedding storage.
+//!
+//! The billion-tier serving premise (ROADMAP: "billion-tier memory
+//! scaling") is that the item-embedding table dwarfs what f32-in-RAM
+//! tolerates. This module shrinks each vector 4× by storing one i8 *code*
+//! per element plus two per-vector parameters:
+//!
+//! ```text
+//! x̂[i] = zero_point + scale · code[i],      code[i] ∈ [-127, 127]
+//! ```
+//!
+//! `scale` spans the vector's own value range (`(max−min)/254`) and
+//! `zero_point` is the value code 0 dequantizes to (the range midpoint), so
+//! the 255 representable levels cover exactly `[min, max]` and the
+//! round-trip error is at most `scale/2` per element — the bound the
+//! proptest suite pins.
+//!
+//! Scoring never dequantizes. The inner product of two quantized vectors
+//! factors into one integer code-dot plus terms of the precomputed per-
+//! vector code sums:
+//!
+//! ```text
+//! ⟨x, y⟩ ≈ sx·sy·Σ(cx·cy) + sx·zy·Σcx + sy·zx·Σcy + d·zx·zy
+//! ```
+//!
+//! where every `Σ` is exact i32 arithmetic ([`crate::kernel::dot_i8`] /
+//! [`crate::kernel::dot4_i8`], bounded by
+//! [`crate::kernel::MAX_DOT_I8_DIM`]) and only the final combination runs
+//! in f32. [`quantized_dot`] is the one implementation of that formula, so
+//! a score never depends on which call site computed it.
+
+use crate::kernel::{dot_i8, MAX_DOT_I8_DIM};
+
+/// Largest code magnitude: codes live in `[-QUANT_CODE_MAX, QUANT_CODE_MAX]`.
+/// The range is symmetric (255 levels, not 256) so negating a vector negates
+/// its codes exactly and `|code| ≤ 127` keeps every pairwise product within
+/// the [`MAX_DOT_I8_DIM`] i32-overflow budget.
+pub const QUANT_CODE_MAX: i32 = 127;
+
+/// Per-vector dequantization parameters: `x̂[i] = zero_point + scale·code[i]`.
+///
+/// `code_sum` is `Σ code[i]`, precomputed at quantization time because every
+/// cross term of the factored inner product needs it (12 bytes per vector
+/// next to `dim` code bytes; at `dim = 16` the parameters are the dominant
+/// overhead, at production widths they vanish).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuantParams {
+    /// Value step between adjacent codes; `0 < scale` always (degenerate
+    /// constant vectors store `scale = 1.0` with all-zero codes).
+    pub scale: f32,
+    /// The value code 0 dequantizes to — the quantized range's midpoint.
+    pub zero_point: f32,
+    /// `Σ code[i]` over the vector, exact in i32.
+    pub code_sum: i32,
+}
+
+impl QuantParams {
+    /// Parameters of an all-zero vector (the empty-vector identity).
+    pub const ZERO: QuantParams = QuantParams { scale: 1.0, zero_point: 0.0, code_sum: 0 };
+}
+
+/// Quantize `v`, appending `v.len()` codes to `codes` and returning the
+/// per-vector parameters. Appending (rather than returning a fresh `Vec`)
+/// lets an index build one contiguous code buffer per inverted list.
+///
+/// The value range `[min, max]` maps affinely onto codes `[-127, 127]`:
+/// `scale = (max−min)/254`, `zero_point = (min+max)/2`, each element rounds
+/// to the nearest code. A constant vector (or one whose range underflows
+/// f32) stores `scale = 1.0` and all-zero codes, making the round trip
+/// exact. Inputs must be finite (quantizing NaN/∞ is a caller bug; debug
+/// builds assert).
+pub fn quantize_into(v: &[f32], codes: &mut Vec<i8>) -> QuantParams {
+    debug_assert!(v.iter().all(|x| x.is_finite()), "quantize: non-finite input");
+    debug_assert!(v.len() <= MAX_DOT_I8_DIM, "quantize: vector too long for i32 scoring");
+    if v.is_empty() {
+        return QuantParams::ZERO;
+    }
+    let mut min = v[0];
+    let mut max = v[0];
+    for &x in &v[1..] {
+        min = min.min(x);
+        max = max.max(x);
+    }
+    let zero_point = min + (max - min) * 0.5;
+    let scale = (max - min) / (2 * QUANT_CODE_MAX) as f32;
+    // lint: allow(L005, exact zero is the degenerate-range sentinel: any positive scale, however tiny, still quantizes)
+    if scale <= 0.0 {
+        // Constant vector: code 0 everywhere dequantizes to exactly
+        // `zero_point`, so the round trip has zero error.
+        codes.extend(std::iter::repeat_n(0i8, v.len()));
+        return QuantParams { scale: 1.0, zero_point, code_sum: 0 };
+    }
+    let mut code_sum = 0i32;
+    codes.reserve(v.len());
+    for &x in v {
+        // Round in f64 so the nearest-code property (error ≤ scale/2) holds
+        // bit-for-bit; `(x−mid)/scale ∈ [-127, 127]` by construction, the
+        // clamp only guards f32→f64 rounding at the range endpoints.
+        let c = ((x - zero_point) as f64 / scale as f64).round() as i32;
+        let c = c.clamp(-QUANT_CODE_MAX, QUANT_CODE_MAX);
+        code_sum += c;
+        codes.push(c as i8);
+    }
+    QuantParams { scale, zero_point, code_sum }
+}
+
+/// [`quantize_into`] returning a fresh code vector.
+pub fn quantize(v: &[f32]) -> (Vec<i8>, QuantParams) {
+    let mut codes = Vec::with_capacity(v.len());
+    let params = quantize_into(v, &mut codes);
+    (codes, params)
+}
+
+/// Reconstruct the f32 vector a code sequence approximates:
+/// `x̂[i] = zero_point + scale·code[i]`, within `scale/2` per element of the
+/// original.
+pub fn dequantize(codes: &[i8], params: &QuantParams) -> Vec<f32> {
+    codes.iter().map(|&c| params.zero_point + params.scale * c as f32).collect()
+}
+
+/// Approximate inner product of two quantized vectors via the factored form
+/// (module docs): one i32 code-dot through [`dot_i8`], the cross terms from
+/// the precomputed code sums, one f32 combination at the end. This is the
+/// single implementation of the combination — the 4-blocked scorer feeds
+/// [`crate::kernel::dot4_i8`] results through [`combine_quantized`] so its
+/// scores are bit-identical to this one-query path.
+pub fn quantized_dot(a: &[i8], pa: &QuantParams, b: &[i8], pb: &QuantParams) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "quantized_dot: length mismatch");
+    combine_quantized(dot_i8(a, b), pa, pb, a.len())
+}
+
+/// Combine an i32 code-dot with the two vectors' parameters into the f32
+/// approximate inner product. Factored out of [`quantized_dot`] so blocked
+/// scorers (which compute four code-dots per loaded vector) apply the exact
+/// same combination arithmetic.
+#[inline]
+pub fn combine_quantized(code_dot: i32, pa: &QuantParams, pb: &QuantParams, dim: usize) -> f32 {
+    (pa.scale * pb.scale) * code_dot as f32
+        + (pa.scale * pb.zero_point) * pa.code_sum as f32
+        + (pb.scale * pa.zero_point) * pb.code_sum as f32
+        + (dim as f32) * pa.zero_point * pb.zero_point
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::dot4_i8;
+    use crate::similarity::dot;
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+                ((x % 2001) as f32 - 1000.0) / 317.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_scale() {
+        for d in [1usize, 2, 7, 16, 33, 128] {
+            let v = fill(d, d as u32);
+            let (codes, p) = quantize(&v);
+            let back = dequantize(&codes, &p);
+            for (i, (&x, &y)) in v.iter().zip(&back).enumerate() {
+                let err = (x as f64 - y as f64).abs();
+                let bound = p.scale as f64 * 0.5 * (1.0 + 1e-6);
+                assert!(err <= bound, "d={d} i={i}: |{x} - {y}| = {err} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_and_empty_vectors_round_trip_exactly() {
+        let (codes, p) = quantize(&[]);
+        assert!(codes.is_empty());
+        assert_eq!(p, QuantParams::ZERO);
+        for c in [0.0f32, 3.25, -7.5] {
+            let v = vec![c; 9];
+            let (codes, p) = quantize(&v);
+            assert!(codes.iter().all(|&q| q == 0), "constant vector must code to zeros");
+            assert_eq!(dequantize(&codes, &p), v, "constant round trip must be exact");
+        }
+    }
+
+    #[test]
+    fn codes_span_the_symmetric_range() {
+        let v = fill(64, 5);
+        let (codes, p) = quantize(&v);
+        assert!(codes.iter().all(|&c| (-127..=127).contains(&(c as i32))));
+        // The extremes map to the extreme codes.
+        assert!(codes.iter().any(|&c| c as i32 == QUANT_CODE_MAX));
+        assert!(codes.iter().any(|&c| c as i32 == -QUANT_CODE_MAX));
+        assert_eq!(p.code_sum, codes.iter().map(|&c| c as i32).sum::<i32>());
+    }
+
+    #[test]
+    fn quantized_dot_approximates_the_f32_dot() {
+        for d in [8usize, 16, 64] {
+            let a = fill(d, 11);
+            let b = fill(d, 23);
+            let (ca, pa) = quantize(&a);
+            let (cb, pb) = quantize(&b);
+            let approx = quantized_dot(&ca, &pa, &cb, &pb);
+            let exact = dot(&a, &b);
+            // Elementwise error ≤ scale/2 per side bounds the dot error by
+            // d·(sa/2·‖b‖∞ + sb/2·‖a‖∞ + sa·sb/4); use a generous envelope.
+            let amax = a.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            let bmax = b.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            let envelope =
+                d as f32 * (pa.scale * bmax + pb.scale * amax + pa.scale * pb.scale) * 0.75;
+            assert!(
+                (approx - exact).abs() <= envelope,
+                "d={d}: approx {approx} vs exact {exact} (envelope {envelope})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_dot_equals_dot_of_dequantized_vectors_closely() {
+        // The factored form is algebraically the dot of the two dequantized
+        // vectors; check they agree to f32 rounding.
+        let a = fill(32, 41);
+        let b = fill(32, 43);
+        let (ca, pa) = quantize(&a);
+        let (cb, pb) = quantize(&b);
+        let factored = quantized_dot(&ca, &pa, &cb, &pb);
+        let explicit = dot(&dequantize(&ca, &pa), &dequantize(&cb, &pb));
+        assert!(
+            (factored - explicit).abs() <= 1e-3 * (1.0 + explicit.abs()),
+            "{factored} vs {explicit}"
+        );
+    }
+
+    #[test]
+    fn blocked_combination_is_bit_identical_to_single() {
+        // dot4_i8 + combine_quantized (the list scorer's path) must produce
+        // the exact bits of quantized_dot (the single-query path).
+        let d = 48;
+        let v = fill(d, 7);
+        let (cv, pv) = quantize(&v);
+        let qs: Vec<(Vec<i8>, QuantParams)> = (0..4).map(|s| quantize(&fill(d, 100 + s))).collect();
+        let dots = dot4_i8(&cv, &qs[0].0, &qs[1].0, &qs[2].0, &qs[3].0);
+        for (qi, (cq, pq)) in qs.iter().enumerate() {
+            let blocked = combine_quantized(dots[qi], &pv, pq, d);
+            let single = quantized_dot(&cv, &pv, cq, pq);
+            assert_eq!(blocked.to_bits(), single.to_bits(), "q={qi}");
+        }
+    }
+}

@@ -178,6 +178,50 @@ proptest! {
         prop_assert_eq!(got.map(f32::to_bits), want.map(f32::to_bits));
     }
 
+    /// PR 8 tentpole: quantize→dequantize round-trip error is at most
+    /// `scale/2` per element (the nearest-code property), for any finite
+    /// input vector including constants and single elements.
+    #[test]
+    fn quantize_round_trip_error_bounded_by_half_scale(
+        v in prop::collection::vec(-100.0f32..100.0, 1..64)
+    ) {
+        let (codes, p) = zoomer_tensor::quantize(&v);
+        prop_assert_eq!(codes.len(), v.len());
+        prop_assert!(p.scale > 0.0);
+        let back = zoomer_tensor::dequantize(&codes, &p);
+        for (&x, &y) in v.iter().zip(&back) {
+            let err = (x as f64 - y as f64).abs();
+            prop_assert!(
+                err <= p.scale as f64 * 0.5 * (1.0 + 1e-6),
+                "|{} - {}| = {} > scale/2 = {}", x, y, err, p.scale * 0.5
+            );
+        }
+        prop_assert_eq!(p.code_sum, codes.iter().map(|&c| c as i32).sum::<i32>());
+    }
+
+    /// PR 8 tentpole: the blocked i8 kernels are exactly the naive i32
+    /// reference — integer accumulation, so equality is `==`, not
+    /// bit-tolerance.
+    #[test]
+    fn dot_i8_matches_i32_reference(
+        len in 0usize..70,
+        pool in prop::collection::vec(-127i8..=127, 350),
+    ) {
+        let take = |o: usize| -> Vec<i8> { pool[o..o + len].to_vec() };
+        let (v, q0, q1, q2, q3) = (take(0), take(70), take(140), take(210), take(280));
+        prop_assert_eq!(kernel::dot_i8(&v, &q0), kernel::dot_i8_reference(&v, &q0));
+        let got = kernel::dot4_i8(&v, &q0, &q1, &q2, &q3);
+        let want = [
+            kernel::dot_i8(&v, &q0),
+            kernel::dot_i8(&v, &q1),
+            kernel::dot_i8(&v, &q2),
+            kernel::dot_i8(&v, &q3),
+        ];
+        prop_assert_eq!(got, want, "dot4_i8 must equal dot_i8 per query");
+    }
+}
+
+proptest! {
     #[test]
     fn auc_flipping_scores_complements(
         pairs in prop::collection::vec((0.0f32..1.0, prop::bool::ANY), 4..64)
