@@ -36,6 +36,19 @@ echo "== quantized retrieval suite (int8 kernels + rerank recall parity) =="
 cargo test --offline -q -p zoomer-tensor --profile ci quant
 cargo test --offline -q -p zoomer-serving --profile ci quantized
 
+echo "== wire protocol suite (header/batch round-trips, malformed-frame rejection) =="
+cargo test --offline -q -p zoomer-serving --test wire_roundtrip --profile ci
+
+echo "== sharded equivalence suite (N=1 bit-identity, merge recovery, reply loss) =="
+cargo test --offline -q -p zoomer-serving --test sharded_equivalence --profile ci
+
+echo "== front door suite (TCP round-trip, tenant fairness over the wire) =="
+cargo test --offline -q -p zoomer-serving --test front_door --profile ci
+
+echo "== zoomer-serve loopback smoke (spawn, scatter a batch over TCP, assert merged top-k) =="
+cargo build --release --offline -q --bin zoomer-serve
+./target/release/zoomer-serve --smoke --users 60 --items 120 --sessions 300 --shards 4
+
 echo "== kernel bench (smoke mode: every kernel executes, baseline file untouched) =="
 ZOOMER_BENCH_SCALE=smoke cargo bench --offline -q -p zoomer-bench --bench kernels
 

@@ -12,7 +12,7 @@ use zoomer_bench::{banner, million_dataset, write_json, BenchScale};
 use zoomer_core::model::{ModelConfig, UnifiedCtrModel};
 use zoomer_core::obs::MetricsRegistry;
 use zoomer_core::serving::{
-    run_load, BackendKind, FrozenModel, LoadTestSpec, OnlineServer, ServingConfig,
+    run_load, BackendKind, FrozenModel, LoadTestSpec, OnlineServer, Query, ServingConfig,
 };
 
 fn main() {
@@ -40,7 +40,7 @@ fn main() {
         BenchScale::Small => 2.0,
         BenchScale::Full => 4.0,
     };
-    let request_pool: Vec<(u32, u32)> = data.logs.iter().map(|l| (l.user, l.query)).collect();
+    let request_pool: Vec<Query> = data.logs.iter().map(|l| Query::new(l.user, l.query)).collect();
 
     let mut json_rows = Vec::new();
     // Peak requests/sec the per-request (single-call) series achieves on the
@@ -58,7 +58,7 @@ fn main() {
             .build()
             .expect("server build");
         // Warm as the deployed system's asynchronous refresher would.
-        let warm: Vec<u32> = request_pool.iter().flat_map(|&(u, q)| [u, q]).collect();
+        let warm: Vec<u32> = request_pool.iter().flat_map(|q| [q.user, q.query]).collect();
         server.warm_cache(&warm).expect("warm cache");
         println!("\n-- {label} --");
         println!(
@@ -69,7 +69,7 @@ fn main() {
         let mut peak_achieved = 0.0f64;
         for qps in [100.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0] {
             let n = ((qps * window_secs) as usize).clamp(50, 40_000);
-            let requests: Vec<(u32, u32)> = request_pool.iter().cycle().take(n).copied().collect();
+            let requests: Vec<Query> = request_pool.iter().cycle().take(n).copied().collect();
             let report = run_load(&server, &requests, &LoadTestSpec::open(qps).num_threads(4))
                 .expect("load run");
             let lat = &report.latency;
@@ -116,10 +116,10 @@ fn main() {
         .metrics(Arc::clone(&registry))
         .build()
         .expect("server build");
-    let warm: Vec<u32> = request_pool.iter().flat_map(|&(u, q)| [u, q]).collect();
+    let warm: Vec<u32> = request_pool.iter().flat_map(|q| [q.user, q.query]).collect();
     server.warm_cache(&warm).expect("warm cache");
     let n = ((2000.0 * window_secs) as usize).clamp(200, 40_000);
-    let requests: Vec<(u32, u32)> = request_pool.iter().cycle().take(n).copied().collect();
+    let requests: Vec<Query> = request_pool.iter().cycle().take(n).copied().collect();
     println!("\n-- batched execution (closed loop, 4 threads) --");
     println!("{:>8} {:>12} {:>12} {:>10}", "batch", "req/s", "mean ms", "speedup");
     let mut base_rps = None;
@@ -183,7 +183,7 @@ fn main() {
     );
     let backend_qps = 2000.0;
     let n = ((backend_qps * window_secs) as usize).clamp(200, 40_000);
-    let requests: Vec<(u32, u32)> = request_pool.iter().cycle().take(n).copied().collect();
+    let requests: Vec<Query> = request_pool.iter().cycle().take(n).copied().collect();
     for backend in [BackendKind::Ivf, BackendKind::Exact, BackendKind::Proximity] {
         let server = OnlineServer::builder()
             .graph(Arc::clone(&graph))
@@ -193,7 +193,7 @@ fn main() {
             .seed(seed)
             .build()
             .expect("server build");
-        let warm: Vec<u32> = request_pool.iter().flat_map(|&(u, q)| [u, q]).collect();
+        let warm: Vec<u32> = request_pool.iter().flat_map(|q| [q.user, q.query]).collect();
         server.warm_cache(&warm).expect("warm cache");
         let open = run_load(&server, &requests, &LoadTestSpec::open(backend_qps).num_threads(4))
             .expect("load run");

@@ -20,7 +20,7 @@ use std::time::Instant;
 
 use zoomer_bench::{banner, write_json, BenchScale};
 use zoomer_core::model::{ModelConfig, UnifiedCtrModel};
-use zoomer_core::serving::{FrozenModel, IvfIndex, OnlineServer, ServingConfig};
+use zoomer_core::serving::{FrozenModel, IvfIndex, OnlineServer, Query, ServingConfig};
 use zoomer_core::tensor::{dot, dot4, kernel, seeded_rng, similarity::dot_reference, Matrix};
 use zoomer_data::{TaobaoConfig, TaobaoData};
 
@@ -251,13 +251,13 @@ fn main() {
         .seed(seed)
         .build()
         .expect("server build");
-    let pool: Vec<(u32, u32)> = data.logs.iter().map(|l| (l.user, l.query)).collect();
-    let warm: Vec<u32> = pool.iter().flat_map(|&(u, q)| [u, q]).collect();
+    let pool: Vec<Query> = data.logs.iter().map(|l| Query::new(l.user, l.query)).collect();
+    let warm: Vec<u32> = pool.iter().flat_map(|q| [q.user, q.query]).collect();
     server.warm_cache(&warm).expect("warm cache");
     let mut e2e_rows = Vec::new();
     println!("\n-- handle_batch (single worker, closed loop) --");
     for &bs in &[16usize, 64] {
-        let reqs: Vec<(u32, u32)> = pool.iter().cycle().take(bs).copied().collect();
+        let reqs: Vec<Query> = pool.iter().cycle().take(bs).copied().collect();
         let ns = time_ns(smoke, || {
             std::hint::black_box(server.handle_batch(&reqs).expect("handle"));
         });

@@ -21,14 +21,14 @@ use std::time::Instant;
 use zoomer_bench::{banner, write_json, BenchScale};
 use zoomer_core::model::{ModelConfig, UnifiedCtrModel};
 use zoomer_core::obs::MetricsRegistry;
-use zoomer_core::serving::{FrozenModel, OnlineServer, ServingConfig};
+use zoomer_core::serving::{FrozenModel, OnlineServer, Query, ServingConfig};
 use zoomer_data::{TaobaoConfig, TaobaoData};
 
 /// Allowed relative slowdown of the enabled-registry run.
 const BUDGET: f64 = 0.02;
 
 /// Requests/sec of one closed-loop pass over `requests`.
-fn closed_loop_pass(server: &OnlineServer, requests: &[(u32, u32)], batch: usize) -> f64 {
+fn closed_loop_pass(server: &OnlineServer, requests: &[Query], batch: usize) -> f64 {
     let t0 = Instant::now();
     for chunk in requests.chunks(batch) {
         std::hint::black_box(server.handle_batch(chunk).expect("handle_batch"));
@@ -45,12 +45,7 @@ fn median(mut samples: Vec<f64>) -> f64 {
 /// Median requests/sec timing one warm 16-request batch back-to-back — the
 /// same protocol `kernels.rs` used to record the `BENCH_kernels.json` row,
 /// so the two numbers compare directly.
-fn hot_batch_rps(
-    server: &OnlineServer,
-    batch_reqs: &[(u32, u32)],
-    iters: usize,
-    reps: usize,
-) -> f64 {
+fn hot_batch_rps(server: &OnlineServer, batch_reqs: &[Query], iters: usize, reps: usize) -> f64 {
     let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps {
         let t0 = Instant::now();
@@ -124,10 +119,10 @@ fn main() {
     } else {
         TaobaoConfig::default_with_seed(seed)
     });
-    let pool: Vec<(u32, u32)> = data.logs.iter().map(|l| (l.user, l.query)).collect();
+    let pool: Vec<Query> = data.logs.iter().map(|l| Query::new(l.user, l.query)).collect();
     let n = if smoke { 512 } else { 8_192 };
-    let requests: Vec<(u32, u32)> = pool.iter().cycle().take(n).copied().collect();
-    let warm: Vec<u32> = requests.iter().flat_map(|&(u, q)| [u, q]).collect();
+    let requests: Vec<Query> = pool.iter().cycle().take(n).copied().collect();
+    let warm: Vec<u32> = requests.iter().flat_map(|q| [q.user, q.query]).collect();
     let reps = if smoke { 5 } else { 15 };
     let batch = 16;
 
@@ -179,7 +174,7 @@ fn main() {
 
     // Baseline comparison on the kernels.rs protocol: one warm batch, timed
     // back-to-back. This is the number BENCH_kernels.json records.
-    let hot: Vec<(u32, u32)> = pool.iter().cycle().take(batch).copied().collect();
+    let hot: Vec<Query> = pool.iter().cycle().take(batch).copied().collect();
     let iters = if smoke { 32 } else { 256 };
     let hot_on_rps = hot_batch_rps(&enabled, &hot, iters, reps);
     println!("  hot-batch enabled: {hot_on_rps:>12.0} req/s (kernels.rs protocol)");

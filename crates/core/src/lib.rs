@@ -15,8 +15,9 @@
 //! let eval = pipeline.evaluate(&[100]);
 //! println!("HitRate@100 = {:.3}", eval.hit_rates[0].1);
 //! let server = pipeline.into_server().expect("serving build");
-//! let items = server.handle(0, 1).expect("serve");
-//! println!("retrieved {} items", items.len());
+//! let query = zoomer_core::serving::Query::new(0, 1);
+//! let results = server.handle_batch(&[query]).expect("serve");
+//! println!("retrieved {} items", results[0].items.len());
 //! ```
 
 pub mod pipeline;

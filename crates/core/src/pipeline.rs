@@ -151,6 +151,7 @@ impl ZoomerPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zoomer_serving::Query;
 
     fn tiny_config() -> PipelineConfig {
         PipelineConfig {
@@ -171,8 +172,9 @@ mod tests {
         assert_eq!(eval.hit_rates.len(), 2);
         assert!(eval.hit_rates[0].1 <= eval.hit_rates[1].1);
         let server = p.into_server().expect("serving build");
-        let results = server.handle(0, 41).expect("serve"); // user 0, a query node
-        assert!(!results.is_empty());
+        // user 0, a query node
+        let results = server.handle_batch(&[Query::new(0, 41)]).expect("serve");
+        assert!(!results[0].items.is_empty());
     }
 
     #[test]
@@ -185,7 +187,7 @@ mod tests {
         p.train();
         let server = p.into_server().expect("serving build");
         assert!(matches!(
-            server.handle(0, 41),
+            server.handle_batch(&[Query::new(0, 41)]),
             Err(zoomer_serving::ServingError::DeadlineExceeded { stage: "admission" })
         ));
     }

@@ -20,6 +20,7 @@ pub mod error;
 pub mod features;
 pub mod minhash;
 pub mod partition;
+pub mod request;
 pub mod snapshot;
 pub mod stats;
 pub mod subgraph;
@@ -31,7 +32,8 @@ pub use csr::Csr;
 pub use error::GraphError;
 pub use features::FeatureStore;
 pub use minhash::{MinHasher, SimilarityEdgeBuilder};
-pub use partition::{ShardedGraph, ShardingConfig};
+pub use partition::{shard_of_node, ShardedGraph, ShardingConfig};
+pub use request::{queries_from_pairs, Query, Retrieval};
 pub use snapshot::{
     read_snapshot, write_snapshot, write_snapshot_v1, write_snapshot_with_pool, QuantPool,
     SnapshotV2, SECTION_ALIGN,

@@ -1,0 +1,133 @@
+//! Typed retrieval request/response structs — the one vocabulary every
+//! layer speaks.
+//!
+//! Before this module, a retrieval request travelled the stack as a bare
+//! `(NodeId, NodeId)` tuple: eval built pairs, the server consumed pairs,
+//! the load harness queued pairs. Tuples carry no room for the metadata a
+//! real front door needs — which tenant sent this, how many items it wants
+//! back — so the wire protocol, per-tenant fair admission, and per-request
+//! top-k all stalled on the same missing type. [`Query`] and [`Retrieval`]
+//! are that type, defined here in the graph crate (alongside [`NodeId`])
+//! so the model, training, and serving crates can all name them without a
+//! dependency cycle.
+
+use crate::types::NodeId;
+
+/// One retrieval request: "for this user in the context of this query node,
+/// return the top items".
+///
+/// `tenant` and `top_k` are serving-plane metadata; the embedding path only
+/// reads `user`/`query`. `top_k == 0` means "use the server's configured
+/// default" — the value tuple-era callers implicitly asked for — so
+/// [`Query::new`] produces requests bit-identical to the old pair path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Query {
+    /// Focal user node.
+    pub user: NodeId,
+    /// Focal query node (search term / trigger item).
+    pub query: NodeId,
+    /// Tenant the request is accounted to at the front door (0 = default
+    /// tenant; single-tenant callers never set it).
+    pub tenant: u32,
+    /// Items requested; 0 = the server's configured `top_k`.
+    pub top_k: u32,
+}
+
+impl Query {
+    /// A default-tenant query for the server's configured top-k — the exact
+    /// semantics of the old `(user, query)` tuple.
+    pub fn new(user: NodeId, query: NodeId) -> Self {
+        Self { user, query, tenant: 0, top_k: 0 }
+    }
+
+    /// Builder-style tenant tag.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Builder-style per-request top-k override (0 = server default).
+    pub fn with_top_k(mut self, top_k: u32) -> Self {
+        self.top_k = top_k;
+        self
+    }
+
+    /// The focal pair the embedding path consumes.
+    pub fn pair(&self) -> (NodeId, NodeId) {
+        (self.user, self.query)
+    }
+}
+
+impl From<(NodeId, NodeId)> for Query {
+    fn from((user, query): (NodeId, NodeId)) -> Self {
+        Query::new(user, query)
+    }
+}
+
+/// Convert a tuple-era request slice (one allocation; the shims and
+/// migration call sites share it).
+pub fn queries_from_pairs(pairs: &[(NodeId, NodeId)]) -> Vec<Query> {
+    pairs.iter().map(|&p| Query::from(p)).collect()
+}
+
+/// One retrieval response: ranked item node ids, best first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Retrieval {
+    /// Item node ids, descending relevance.
+    pub items: Vec<NodeId>,
+    /// True when the server answered off the degraded ladder (budget-capped
+    /// probe or inverted-index fallback) instead of the full ANN path.
+    pub degraded: bool,
+}
+
+impl Retrieval {
+    pub fn new(items: Vec<NodeId>) -> Self {
+        Self { items, degraded: false }
+    }
+
+    pub fn degraded(items: Vec<NodeId>) -> Self {
+        Self { items, degraded: true }
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_matches_tuple_semantics() {
+        let q = Query::new(3, 9);
+        assert_eq!(q, Query::from((3, 9)));
+        assert_eq!(q.pair(), (3, 9));
+        assert_eq!(q.tenant, 0);
+        assert_eq!(q.top_k, 0);
+    }
+
+    #[test]
+    fn builder_tags_compose() {
+        let q = Query::new(1, 2).with_tenant(7).with_top_k(50);
+        assert_eq!((q.user, q.query, q.tenant, q.top_k), (1, 2, 7, 50));
+    }
+
+    #[test]
+    fn pairs_convert_in_order() {
+        let qs = queries_from_pairs(&[(1, 2), (3, 4)]);
+        assert_eq!(qs, vec![Query::new(1, 2), Query::new(3, 4)]);
+    }
+
+    #[test]
+    fn retrieval_constructors_set_degraded() {
+        assert!(!Retrieval::new(vec![1]).degraded);
+        assert!(Retrieval::degraded(vec![1]).degraded);
+        assert_eq!(Retrieval::new(vec![1, 2]).len(), 2);
+        assert!(Retrieval::new(vec![]).is_empty());
+    }
+}

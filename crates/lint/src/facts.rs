@@ -759,6 +759,12 @@ fn call_receiver(ctx: &FileContext, tok: usize) -> Option<String> {
 /// Literal metric-name sites: `.counter("…")`, `.gauge("…")`,
 /// `.histogram("…")`, and the `ingest_cache("prefix", …)` helper which
 /// registers `{prefix}.{hits,misses,refreshes,evictions}` counters.
+///
+/// `format!`-built names with a literal template — e.g.
+/// `.counter(&format!("serve.shard.{idx}.batches"))` — are normalized to
+/// glob sites (`serve.shard.*.batches`) so the manifest can cover dynamic
+/// per-shard metric families with one `*` entry. Only truly dynamic names
+/// (a plain variable, a non-literal template) stay out of L008's scope.
 fn scan_metric_sites(ctx: &FileContext, out: &mut Vec<MetricSite>) {
     for i in 0..ctx.code.len() {
         if ctx.code_kind(i) != Some(TokenKind::Ident) {
@@ -775,10 +781,17 @@ fn scan_metric_sites(ctx: &FileContext, out: &mut Vec<MetricSite>) {
         if t != "ingest_cache" && (i == 0 || ctx.code_text(i - 1) != ".") {
             continue;
         }
-        if ctx.code_text(i + 1) != "(" || ctx.code_kind(i + 2) != Some(TokenKind::Str) {
-            continue; // dynamic name — out of scope for L008
+        if ctx.code_text(i + 1) != "(" {
+            continue;
         }
-        let Some(name) = str_literal_value(ctx.code_text(i + 2)) else { continue };
+        let name = if ctx.code_kind(i + 2) == Some(TokenKind::Str) {
+            let Some(name) = str_literal_value(ctx.code_text(i + 2)) else { continue };
+            name
+        } else if let Some(glob) = format_glob_name(ctx, i + 2) {
+            glob
+        } else {
+            continue; // dynamic name — out of scope for L008
+        };
         let line = ctx.code_line(i);
         let is_test = ctx.is_test_line(line);
         if t == "ingest_cache" {
@@ -789,6 +802,50 @@ fn scan_metric_sites(ctx: &FileContext, out: &mut Vec<MetricSite>) {
             out.push(MetricSite { kind, name, line, is_test });
         }
     }
+}
+
+/// Recognize `&format!("…{…}…")` / `format!("…{…}…")` starting at code
+/// token `j` and return the template with every `{…}` interpolation
+/// replaced by `*` (escaped `{{` / `}}` become literal braces).
+fn format_glob_name(ctx: &FileContext, mut j: usize) -> Option<String> {
+    if ctx.code_text(j) == "&" {
+        j += 1;
+    }
+    if ctx.code_text(j) != "format" || ctx.code_text(j + 1) != "!" || ctx.code_text(j + 2) != "(" {
+        return None;
+    }
+    if ctx.code_kind(j + 3) != Some(TokenKind::Str) {
+        return None;
+    }
+    let template = str_literal_value(ctx.code_text(j + 3))?;
+    let mut glob = String::with_capacity(template.len());
+    let mut chars = template.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' if chars.peek() == Some(&'{') => {
+                chars.next();
+                glob.push('{');
+            }
+            '}' if chars.peek() == Some(&'}') => {
+                chars.next();
+                glob.push('}');
+            }
+            '{' => {
+                // Interpolation: skip to the matching close brace.
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(_) => {}
+                        None => return None, // unbalanced — not a template
+                    }
+                }
+                glob.push('*');
+            }
+            '}' => return None, // stray close brace — not a template
+            c => glob.push(c),
+        }
+    }
+    Some(glob)
 }
 
 /// Unquote a string-literal token's text (handles `"…"` and `r"…"` /

@@ -608,25 +608,61 @@ pub fn parse_manifest(path: &str, text: &str) -> (Vec<ManifestEntry>, Vec<Violat
     (entries, bad)
 }
 
+/// `*`-wildcard match: does `pattern` (where each `*` matches any run of
+/// characters) cover `text`? Metric names are ASCII dotted paths, so plain
+/// byte slicing is safe.
+fn glob_covers(pattern: &str, text: &str) -> bool {
+    match pattern.find('*') {
+        None => pattern == text,
+        Some(i) => {
+            let (pre, rest) = (&pattern[..i], &pattern[i + 1..]);
+            text.len() >= pre.len()
+                && text.starts_with(pre)
+                && (0..=text.len() - pre.len())
+                    .any(|skip| glob_covers(rest, &text[pre.len() + skip..]))
+        }
+    }
+}
+
+/// Do a metric site and a manifest entry name the same metric (family)?
+/// Either side may carry `*` wildcards: a `serve.shard.*.batches` manifest
+/// entry covers literal per-shard sites, and the same glob produced by a
+/// `format!`-built site matches the manifest entry verbatim.
+fn metric_names_match(site: &str, entry: &str) -> bool {
+    site == entry || glob_covers(entry, site) || glob_covers(site, entry)
+}
+
 /// L008: every literal metric site must appear in the manifest with the
 /// right kind; manifest entries no site references are stale (warning).
+/// Sites and entries may both use `*` globs (see `metric_names_match`).
 pub fn check_metrics(
     files: &[FileFacts],
     manifest_path: &str,
     manifest: &[ManifestEntry],
 ) -> Vec<Violation> {
-    let declared: BTreeMap<&str, &str> =
-        manifest.iter().map(|e| (e.name.as_str(), e.kind.as_str())).collect();
     let mut out = Vec::new();
-    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut entry_seen = vec![false; manifest.len()];
     for f in files {
         for s in &f.metric_sites {
-            seen.insert(s.name.as_str());
+            let mut name_matched = false;
+            let mut kind_ok = false;
+            let mut wrong_kind: Option<&str> = None;
+            for (ei, e) in manifest.iter().enumerate() {
+                if metric_names_match(&s.name, &e.name) {
+                    entry_seen[ei] = true;
+                    name_matched = true;
+                    if e.kind == s.kind {
+                        kind_ok = true;
+                    } else {
+                        wrong_kind = Some(e.kind.as_str());
+                    }
+                }
+            }
             if s.is_test {
                 continue;
             }
-            match declared.get(s.name.as_str()) {
-                None => out.push(violation(
+            if !name_matched {
+                out.push(violation(
                     &f.path,
                     s.line,
                     "L008",
@@ -636,23 +672,25 @@ pub fn check_metrics(
                          or fix the name (typo'd metrics vanish from dashboards silently)",
                         s.name, s.kind
                     ),
-                )),
-                Some(kind) if *kind != s.kind => out.push(violation(
+                ));
+            } else if !kind_ok {
+                out.push(violation(
                     &f.path,
                     s.line,
                     "L008",
                     Severity::Error,
                     format!(
                         "metric `{}` used as a {} here but declared as a {} in {manifest_path}",
-                        s.name, s.kind, kind
+                        s.name,
+                        s.kind,
+                        wrong_kind.unwrap_or("different kind"),
                     ),
-                )),
-                Some(_) => {}
+                ));
             }
         }
     }
-    for e in manifest {
-        if !seen.contains(e.name.as_str()) {
+    for (e, seen) in manifest.iter().zip(entry_seen) {
+        if !seen {
             out.push(violation(
                 manifest_path,
                 e.line,

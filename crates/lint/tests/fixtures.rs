@@ -497,6 +497,53 @@ fn l008_warns_on_stale_manifest_entries() {
 }
 
 #[test]
+fn l008_normalizes_format_sites_to_globs() {
+    // A format!-built metric name is a *family*: L008 normalizes the
+    // interpolation to `*` and requires a matching glob manifest entry.
+    let src = "fn f(reg: &Registry, idx: usize) {\n\
+               \x20   reg.counter(&format!(\"serve.shard.{idx}.batches\")).inc();\n\
+               }\n";
+    let v = ws_with_manifest(&[(OFFLINE, src)], MANIFEST);
+    assert!(
+        v.iter().any(|x| x.rule == "L008"
+            && x.severity == zoomer_lint::Severity::Error
+            && x.line == 2
+            && x.message.contains("serve.shard.*.batches")),
+        "uncovered format! site must be caught as its glob: {v:?}"
+    );
+    let covered = "counter serve.requests\ncounter serve.shard.*.batches\n";
+    let v = ws_with_manifest(&[(OFFLINE, src)], covered);
+    assert!(
+        !v.iter().any(|x| x.rule == "L008" && x.severity == zoomer_lint::Severity::Error),
+        "glob manifest entry must cover the format! site: {v:?}"
+    );
+}
+
+#[test]
+fn l008_glob_manifest_entries_cover_literal_sites_and_check_kinds() {
+    // The other direction: a glob entry covers literal per-shard names,
+    // keeps the entry non-stale, and still enforces the declared kind.
+    let src = "fn f(reg: &Registry) {\n\
+               \x20   reg.counter(\"serve.shard.0.batches\").inc();\n\
+               \x20   reg.counter(\"serve.shard.1.rank_ns\").inc();\n\
+               }\n";
+    let manifest = "counter serve.shard.*.batches\nhistogram serve.shard.*.rank_ns\n";
+    let v = ws_with_manifest(&[(OFFLINE, src)], manifest);
+    assert!(rules_at(&v, 2).is_empty(), "literal site under a glob entry is clean: {v:?}");
+    assert!(
+        v.iter().any(|x| x.rule == "L008"
+            && x.line == 3
+            && x.severity == zoomer_lint::Severity::Error
+            && x.message.contains("histogram")),
+        "kind mismatch must survive glob matching: {v:?}"
+    );
+    assert!(
+        !v.iter().any(|x| x.rule == "L008" && x.message.contains("referenced by no metric site")),
+        "entries matched through globs are not stale: {v:?}"
+    );
+}
+
+#[test]
 fn l008_skips_dynamic_names_and_test_sites() {
     let src = "fn f(reg: &Registry, name: &str) {\n\
                \x20   reg.counter(name).inc();\n\
@@ -592,6 +639,49 @@ fn baseline_warns_on_stale_entries() {
             && x.message.contains("stale")),
         "{v:?}"
     );
+}
+
+// ------------------------------------------- pinned workspace contracts
+
+#[test]
+fn partition_routing_path_stays_lock_free() {
+    // `crates/graph/src/partition.rs` promises in its header that the
+    // routing path is lock-free (pure arithmetic + relaxed atomics), and
+    // `ShardedServer` multiplies that surface across N shards. Pin the
+    // contract: the real file's extracted facts must contain zero lock
+    // acquisitions and no guard-returning functions.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = "crates/graph/src/partition.rs";
+    let src = std::fs::read_to_string(root.join(path)).expect("partition.rs must exist");
+    let facts = zoomer_lint::facts::extract(&zoomer_lint::engine::FileContext::new(path, &src));
+    for f in &facts.fns {
+        assert!(
+            f.acquires.is_empty(),
+            "partition.rs fn `{}` (line {}) acquires a lock — the routing path \
+             must stay lock-free (see the module header contract)",
+            f.name,
+            f.line
+        );
+        assert!(
+            f.returns_guard.is_none(),
+            "partition.rs fn `{}` (line {}) hands out a lock guard — the routing \
+             path must stay lock-free",
+            f.name,
+            f.line
+        );
+    }
+    // Belt and braces: the lexed code (comments and strings stripped)
+    // must never name a lock type, so a future Mutex can't slip in via a
+    // pattern the acquire scanner doesn't model.
+    let ctx = zoomer_lint::engine::FileContext::new(path, &src);
+    for i in 0..ctx.code.len() {
+        let t = ctx.code_text(i);
+        assert!(
+            t != "Mutex" && t != "RwLock",
+            "partition.rs line {} names `{t}` — the module contract forbids locks",
+            ctx.code_line(i)
+        );
+    }
 }
 
 // ------------------------------------------------- the tree is clean

@@ -22,7 +22,7 @@
 //! kernels").
 
 use rand_chacha::ChaCha8Rng;
-use zoomer_graph::{HeteroGraph, NodeId, NodeType};
+use zoomer_graph::{HeteroGraph, NodeId, NodeType, Query};
 use zoomer_sampler::{FocalBiasedSampler, FocalContext, NeighborSampler};
 use zoomer_tensor::numerics::leaky_relu;
 use zoomer_tensor::{dot, seeded_rng, stable_softmax, Matrix};
@@ -242,27 +242,30 @@ impl FrozenModel {
         lin.into_vec()
     }
 
-    /// Batched request-side embedding: one row per `(user, query)` pair,
-    /// with `neighbors[i]` the (cached) user/query neighborhoods of pair
-    /// `i`. Every layer runs as a single matmul over the stacked batch:
-    /// the combine layer over all `2B` one-hop towers at once, then the UQ
-    /// tower over the `B` concatenated pairs. Rows are independent, so a
-    /// batch of one is exactly the single-request forward.
+    /// Batched request-side embedding: one row per [`Query`], with
+    /// `neighbors[i]` the (cached) user/query neighborhoods of query `i`.
+    /// Only the focal `user`/`query` nodes are read — tenant and top-k are
+    /// serving-plane metadata this layer ignores. Every layer runs as a
+    /// single matmul over the stacked batch: the combine layer over all
+    /// `2B` one-hop towers at once, then the UQ tower over the `B`
+    /// concatenated pairs. Rows are independent, so a batch of one is
+    /// exactly the single-request forward.
     pub fn embed_requests(
         &self,
         graph: &HeteroGraph,
-        pairs: &[(NodeId, NodeId)],
+        queries: &[Query],
         neighbors: &[(&[NodeId], &[NodeId])],
     ) -> Matrix {
         let d = self.embed_dim;
-        let b = pairs.len();
-        assert_eq!(neighbors.len(), b, "embed_requests: pair/neighbor length mismatch");
+        let b = queries.len();
+        assert_eq!(neighbors.len(), b, "embed_requests: query/neighbor length mismatch");
         if b == 0 {
             return Matrix::zeros(0, d);
         }
-        let focal = self.focal_vectors(graph, pairs);
+        let pairs: Vec<(NodeId, NodeId)> = queries.iter().map(Query::pair).collect();
+        let focal = self.focal_vectors(graph, &pairs);
         // Stack the combine-layer inputs of all 2B one-hop towers:
-        // row 2i is the user tower of pair i, row 2i+1 the query tower.
+        // row 2i is the user tower of query i, row 2i+1 the query tower.
         let mut cat = Matrix::zeros(2 * b, 2 * d);
         for (i, (&(u, q), &(un, qn))) in pairs.iter().zip(neighbors).enumerate() {
             let c = focal.row(i);
@@ -301,7 +304,7 @@ impl FrozenModel {
         user_neighbors: &[NodeId],
         query_neighbors: &[NodeId],
     ) -> Vec<f32> {
-        self.embed_requests(graph, &[(user, query)], &[(user_neighbors, query_neighbors)])
+        self.embed_requests(graph, &[Query::new(user, query)], &[(user_neighbors, query_neighbors)])
             .into_vec()
     }
 
@@ -407,7 +410,8 @@ mod tests {
             (&items[..6], &items[..6]),
             (&items[..0], &items[..0]),
         ];
-        let batched = frozen.embed_requests(&data.graph, &pairs, &neighbors);
+        let queries: Vec<Query> = pairs.iter().map(|&p| Query::from(p)).collect();
+        let batched = frozen.embed_requests(&data.graph, &queries, &neighbors);
         assert_eq!(batched.shape(), (pairs.len(), frozen.embed_dim()));
         for (i, (&(u, q), &(un, qn))) in pairs.iter().zip(&neighbors).enumerate() {
             let single = frozen.request_embedding(&data.graph, u, q, un, qn);

@@ -35,10 +35,16 @@ pub enum FaultSite {
     AnnRound,
     /// Inside a wrapped refresher compute ([`FaultInjector::wrap_refresh`]).
     Refresh,
+    /// In a scatter-gather shard worker, after the shard has ranked its
+    /// partition but before the reply is sent back to the router. A
+    /// `Delay` here holds the reply past the router's gather timeout
+    /// (simulating shard-reply loss); an injected panic turns the reply
+    /// into a `WorkerPanicked` error the router must merge around.
+    ShardReply,
 }
 
 impl FaultSite {
-    const COUNT: usize = 5;
+    const COUNT: usize = 6;
 
     fn index(self) -> usize {
         match self {
@@ -47,6 +53,7 @@ impl FaultSite {
             FaultSite::AnnProbe => 2,
             FaultSite::AnnRound => 3,
             FaultSite::Refresh => 4,
+            FaultSite::ShardReply => 5,
         }
     }
 }

@@ -53,8 +53,11 @@ pub mod inverted;
 pub mod load;
 pub mod proximity;
 pub mod quantized;
+pub mod router;
 pub mod server;
+pub mod sharded;
 pub mod topk;
+pub mod wire;
 
 pub use ann::{IvfIndex, IvfMetrics};
 pub use backend::{
@@ -67,9 +70,17 @@ pub use fault::{FaultInjector, FaultPlan, FaultSite};
 pub use frozen::FrozenModel;
 pub use inverted::InvertedIndex;
 pub use load::{
-    run_load, Arrival, LatencySummary, LoadReport, LoadTestSpec, ShedPolicy, StageSummary,
+    run_load, Arrival, LatencySummary, LoadReport, LoadTestSpec, QueryService, ShedPolicy,
+    StageSummary,
 };
 pub use proximity::ProximityGraph;
 pub use quantized::{QuantMemory, QuantizedIvf, DEFAULT_RERANK_FACTOR};
-pub use server::{OnlineServer, ServerBuilder, ServingConfig};
+pub use router::TenantFairGate;
+pub use server::{OnlineServer, ScoredRetrieval, ServerBuilder, ServingConfig};
+pub use sharded::ShardedServer;
+pub use wire::{
+    FrontDoor, RequestFrame, ResponseFrame, ResponseRow, ResponseStatus, WireClient, WireError,
+    MAX_FRAME_LEN, WIRE_VERSION,
+};
+pub use zoomer_graph::{queries_from_pairs, Query, Retrieval, ShardingConfig};
 pub use zoomer_obs::CacheStats;

@@ -39,11 +39,47 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, TrySendError};
-use zoomer_graph::NodeId;
-use zoomer_obs::CacheStats;
+use zoomer_graph::{Query, Retrieval};
+use zoomer_obs::{CacheStats, MetricsRegistry, Snapshot};
 
 use crate::error::ServingError;
 use crate::server::OnlineServer;
+
+/// Anything the load harness can drive: a single [`OnlineServer`] or the
+/// scatter-gather [`crate::sharded::ShardedServer`], behind one batch entry
+/// point plus the observability hooks the report diffs around the run.
+///
+/// `Sync` because the harness shares one service reference across its worker
+/// threads (no per-worker clone: a sharded service owns worker pools of its
+/// own, and cloning those per load thread would multiply them).
+pub trait QueryService: Sync {
+    /// Serve one batch; semantics of [`OnlineServer::handle_batch`].
+    fn serve_batch(&self, queries: &[Query]) -> Result<Vec<Retrieval>, ServingError>;
+    /// The registry the service reports into.
+    fn metrics_registry(&self) -> &Arc<MetricsRegistry>;
+    /// Point-in-time snapshot of that registry (cache counters ingested).
+    fn metrics_snapshot(&self) -> Snapshot;
+    /// Aggregate neighbor-cache counters across the service.
+    fn cache_stats(&self) -> CacheStats;
+}
+
+impl QueryService for OnlineServer {
+    fn serve_batch(&self, queries: &[Query]) -> Result<Vec<Retrieval>, ServingError> {
+        self.handle_batch(queries)
+    }
+
+    fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        OnlineServer::metrics_registry(self)
+    }
+
+    fn metrics_snapshot(&self) -> Snapshot {
+        OnlineServer::metrics_snapshot(self)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache().stats()
+    }
+}
 
 /// How requests are offered to the server.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -128,7 +164,7 @@ impl LoadTestSpec {
         self
     }
 
-    fn validate(&self, requests: &[(NodeId, NodeId)]) -> Result<(), ServingError> {
+    fn validate(&self, requests: &[Query]) -> Result<(), ServingError> {
         if let Arrival::Open { qps } = self.arrival {
             if !qps.is_finite() || qps <= 0.0 {
                 return Err(ServingError::InvalidConfig("qps must be positive and finite"));
@@ -273,13 +309,16 @@ struct DriverOutcome {
 
 /// Run one load test described by `spec` and report end-to-end latency plus
 /// the per-stage percentile breakdown for exactly this run.
-pub fn run_load(
-    server: &OnlineServer,
-    requests: &[(NodeId, NodeId)],
+///
+/// Generic over [`QueryService`]: the same harness drives a single
+/// [`OnlineServer`] or a [`crate::sharded::ShardedServer`] front door.
+pub fn run_load<S: QueryService>(
+    server: &S,
+    requests: &[Query],
     spec: &LoadTestSpec,
 ) -> Result<LoadReport, ServingError> {
     spec.validate(requests)?;
-    let cache_before = server.cache().stats();
+    let cache_before = server.cache_stats();
     let metrics_before = server.metrics_snapshot();
     let start = Instant::now();
     let outcome = match spec.arrival {
@@ -313,7 +352,7 @@ pub fn run_load(
         elapsed,
         latency: LatencySummary::from_latencies(outcome.lat_ms),
         stages: extract_stages(&diff),
-        cache: server.cache().stats().since(&cache_before),
+        cache: server.cache_stats().since(&cache_before),
     })
 }
 
@@ -348,15 +387,15 @@ fn extract_stages(diff: &zoomer_obs::Snapshot) -> Vec<StageSummary> {
 /// With a bound, a full queue sheds per [`ShedPolicy`] instead of blocking
 /// the arrival schedule (an open-loop generator that blocks stops being
 /// open-loop: queueing delay would silently throttle the offered rate).
-fn run_open_loop(
-    server: &OnlineServer,
-    requests: &[(NodeId, NodeId)],
+fn run_open_loop<S: QueryService>(
+    server: &S,
+    requests: &[Query],
     qps: f64,
     spec: &LoadTestSpec,
 ) -> DriverOutcome {
     let interval = Duration::from_secs_f64(1.0 / qps);
     let capacity = spec.queue_capacity.unwrap_or(requests.len()).max(1);
-    let (tx, rx) = bounded::<(NodeId, NodeId, Instant)>(capacity);
+    let (tx, rx) = bounded::<(Query, Instant)>(capacity);
     let latencies: Arc<parking_lot::Mutex<Vec<f64>>> =
         Arc::new(parking_lot::Mutex::new(Vec::with_capacity(requests.len())));
     let errors = AtomicUsize::new(0);
@@ -367,22 +406,21 @@ fn run_open_loop(
     std::thread::scope(|scope| {
         for _ in 0..spec.num_threads {
             let rx = rx.clone();
-            let server = server.clone();
             let latencies = Arc::clone(&latencies);
             let errors = &errors;
             let panics = &panics;
             scope.spawn(move || {
-                let mut batch: Vec<(NodeId, NodeId)> = Vec::with_capacity(spec.batch_size);
+                let mut batch: Vec<Query> = Vec::with_capacity(spec.batch_size);
                 let mut enqueued: Vec<Instant> = Vec::with_capacity(spec.batch_size);
                 // Block for the first request, then opportunistically drain
                 // whatever else is already queued, up to the batch size.
-                while let Ok((user, query, at)) = rx.recv() {
-                    batch.push((user, query));
+                while let Ok((query, at)) = rx.recv() {
+                    batch.push(query);
                     enqueued.push(at);
                     while batch.len() < spec.batch_size {
                         match rx.try_recv() {
-                            Ok((u, q, at)) => {
-                                batch.push((u, q));
+                            Ok((q, at)) => {
+                                batch.push(q);
                                 enqueued.push(at);
                             }
                             Err(_) => break,
@@ -391,7 +429,7 @@ fn run_open_loop(
                     // A failed batch is its requests' problem, not the
                     // harness's: the worker tallies it (error or contained
                     // panic), records no latency for it, and keeps draining.
-                    match catch_unwind(AssertUnwindSafe(|| server.handle_batch(&batch))) {
+                    match catch_unwind(AssertUnwindSafe(|| server.serve_batch(&batch))) {
                         Ok(Ok(_)) => {
                             let done = Instant::now();
                             let mut lat = latencies.lock();
@@ -415,12 +453,12 @@ fn run_open_loop(
         // Open-loop arrival schedule; sheds instead of blocking on a full
         // bounded queue. The generator keeps its own receiver handle for
         // `DropOldest` eviction.
-        for (i, &(user, query)) in requests.iter().enumerate() {
+        for (i, &query) in requests.iter().enumerate() {
             let due = start + interval.mul_f64(i as f64);
             if let Some(wait) = due.checked_duration_since(Instant::now()) {
                 std::thread::sleep(wait);
             }
-            let mut item = (user, query, Instant::now());
+            let mut item = (query, Instant::now());
             loop {
                 match tx.try_send(item) {
                     Ok(()) => break,
@@ -463,16 +501,15 @@ fn run_open_loop(
 /// request is charged its whole batch's service time. Failed batches (error
 /// or contained panic) are tallied and skipped, not aborted on: a load test
 /// that dies at the first bad request cannot measure overload.
-fn run_closed_loop(
-    server: &OnlineServer,
-    requests: &[(NodeId, NodeId)],
+fn run_closed_loop<S: QueryService>(
+    server: &S,
+    requests: &[Query],
     spec: &LoadTestSpec,
 ) -> DriverOutcome {
     let outcomes: Vec<(Vec<f64>, usize, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..spec.num_threads)
             .map(|t| {
-                let server = server.clone();
-                let share: Vec<(NodeId, NodeId)> =
+                let share: Vec<Query> =
                     requests.iter().skip(t).step_by(spec.num_threads).copied().collect();
                 let share_len = share.len();
                 let handle = scope.spawn(move || {
@@ -481,7 +518,7 @@ fn run_closed_loop(
                     let mut panics = 0usize;
                     for chunk in share.chunks(spec.batch_size) {
                         let t0 = Instant::now();
-                        match catch_unwind(AssertUnwindSafe(|| server.handle_batch(chunk))) {
+                        match catch_unwind(AssertUnwindSafe(|| server.serve_batch(chunk))) {
                             Ok(Ok(_)) => {
                                 let ms = t0.elapsed().as_secs_f64() * 1e3;
                                 lats.extend(std::iter::repeat_n(ms, chunk.len()));
@@ -523,10 +560,11 @@ mod tests {
     use crate::frozen::FrozenModel;
     use crate::server::ServingConfig;
     use zoomer_data::{TaobaoConfig, TaobaoData};
+    use zoomer_graph::NodeId;
     use zoomer_model::{ModelConfig, UnifiedCtrModel};
     use zoomer_obs::MetricsRegistry;
 
-    fn server_and_requests(metrics: bool) -> (OnlineServer, Vec<(NodeId, NodeId)>) {
+    fn server_and_requests(metrics: bool) -> (OnlineServer, Vec<Query>) {
         let data = TaobaoData::generate(TaobaoConfig::tiny(91));
         let dd = data.graph.features().dense_dim();
         let mut model = UnifiedCtrModel::new(ModelConfig::zoomer(13, dd));
@@ -546,8 +584,8 @@ mod tests {
             builder = builder.metrics(Arc::new(MetricsRegistry::enabled()));
         }
         let server = builder.build().expect("server build");
-        let requests: Vec<(NodeId, NodeId)> =
-            data.logs.iter().take(120).map(|l| (l.user, l.query)).collect();
+        let requests: Vec<Query> =
+            data.logs.iter().take(120).map(|l| Query::new(l.user, l.query)).collect();
         (server, requests)
     }
 
@@ -655,7 +693,7 @@ mod tests {
         // Three malformed arrivals scattered through the schedule. Batch
         // size 1 keeps each in its own batch, so exactly three batches fail.
         for i in [5, 14, 23] {
-            requests[i] = (bogus, requests[i].1);
+            requests[i] = Query::new(bogus, requests[i].query);
         }
         let report = run_load(&server, &requests, &LoadTestSpec::open(5_000.0)).expect("load run");
         assert_eq!(report.offered, 30);
@@ -671,7 +709,7 @@ mod tests {
         let (server, mut requests) = server_and_requests(false);
         requests.truncate(24);
         let bogus = server.graph().num_nodes() as NodeId + 3;
-        requests[7] = (bogus, requests[7].1);
+        requests[7] = Query::new(bogus, requests[7].query);
         let report = run_load(&server, &requests, &LoadTestSpec::closed()).expect("load run");
         assert_eq!(report.errors, 1);
         assert_eq!(report.completed, 23, "the run must outlive one bad request");

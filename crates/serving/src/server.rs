@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
-use zoomer_graph::{HeteroGraph, NodeId};
+use zoomer_graph::{HeteroGraph, NodeId, Query, Retrieval, ShardingConfig};
 use zoomer_obs::{Counter, Histogram, MetricsRegistry, Snapshot, StageTimer};
 use zoomer_sampler::{FocalBiasedSampler, FocalContext, NeighborSampler};
 use zoomer_tensor::{seeded_rng, Matrix};
@@ -31,7 +31,7 @@ use crate::quantized::QuantizedIvf;
 
 /// A request's resolved (user-neighborhood, query-neighborhood) pair, shared
 /// with the cache without copying.
-type NeighborPair = (Arc<Vec<NodeId>>, Arc<Vec<NodeId>>);
+pub(crate) type NeighborPair = (Arc<Vec<NodeId>>, Arc<Vec<NodeId>>);
 
 /// Ranked item postings computed for one chunk of query nodes at build time.
 type QueryPostings = Vec<(NodeId, Vec<NodeId>)>;
@@ -89,6 +89,12 @@ pub struct ServingConfig {
     pub deadline: Option<Duration>,
     /// Neighbor-cache entry bound (second-chance eviction beyond it).
     pub cache_capacity: usize,
+    /// Shard/replica layout for [`crate::sharded::ShardedServer`]: how many
+    /// scatter-gather shards the item pool splits into and how many worker
+    /// threads drain each shard's queue. A plain [`OnlineServer`] ignores it;
+    /// the default is the degenerate 1×1 layout, so an un-sharded config is
+    /// bit-identical to the pre-sharding server.
+    pub sharding: ShardingConfig,
 }
 
 impl Default for ServingConfig {
@@ -106,6 +112,28 @@ impl Default for ServingConfig {
             disable_cache: false,
             deadline: None,
             cache_capacity: NeighborCache::DEFAULT_CAPACITY,
+            sharding: ShardingConfig::single(),
+        }
+    }
+}
+
+/// A scored, per-query retrieval: what the scatter-gather router needs from
+/// each shard to merge honestly — item ids *with* their relevance scores
+/// (ids alone cannot be interleaved across shards) plus the degraded flag.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoredRetrieval {
+    /// `(item id, score)` pairs, descending score.
+    pub items: Vec<(u64, f32)>,
+    /// True when this answer came off the degraded ladder.
+    pub degraded: bool,
+}
+
+impl ScoredRetrieval {
+    /// Drop the scores, keeping rank order — the public [`Retrieval`] shape.
+    pub fn into_retrieval(self) -> Retrieval {
+        Retrieval {
+            items: self.items.into_iter().map(|(id, _)| id as NodeId).collect(),
+            degraded: self.degraded,
         }
     }
 }
@@ -211,14 +239,17 @@ impl Clone for OnlineServer {
 /// ```
 #[derive(Default)]
 pub struct ServerBuilder {
-    graph: Option<Arc<HeteroGraph>>,
-    graph_bytes: Option<bytes::Bytes>,
-    frozen: Option<FrozenModel>,
-    item_pool: Vec<NodeId>,
-    config: ServingConfig,
-    seed: u64,
-    metrics: Option<Arc<MetricsRegistry>>,
-    fault: Option<Arc<FaultInjector>>,
+    pub(crate) graph: Option<Arc<HeteroGraph>>,
+    pub(crate) graph_bytes: Option<bytes::Bytes>,
+    pub(crate) frozen: Option<FrozenModel>,
+    /// Shared-tower alternative to `frozen`: the sharded builder hands every
+    /// shard the same `Arc` so N shards do not hold N copies of the weights.
+    pub(crate) frozen_shared: Option<Arc<FrozenModel>>,
+    pub(crate) item_pool: Vec<NodeId>,
+    pub(crate) config: ServingConfig,
+    pub(crate) seed: u64,
+    pub(crate) metrics: Option<Arc<MetricsRegistry>>,
+    pub(crate) fault: Option<Arc<FaultInjector>>,
 }
 
 impl ServerBuilder {
@@ -262,6 +293,15 @@ impl ServerBuilder {
         self
     }
 
+    /// Shard/replica layout, equivalent to setting
+    /// [`ServingConfig::sharding`]. Read by
+    /// [`crate::sharded::ShardedServer::build`]; a plain
+    /// [`ServerBuilder::build`] validates it but serves single-shard.
+    pub fn sharding(mut self, sharding: ShardingConfig) -> Self {
+        self.config.sharding = sharding;
+        self
+    }
+
     /// Attach an observability registry: per-stage latency histograms,
     /// request counters, and ANN probe-volume counters all report into it.
     /// Without one the server still runs a private disabled registry, so the
@@ -300,9 +340,13 @@ impl ServerBuilder {
                 return Err(ServingError::InvalidConfig("server builder needs a graph"))
             }
         };
-        let frozen = self
-            .frozen
-            .ok_or(ServingError::InvalidConfig("server builder needs a frozen model"))?;
+        let frozen: Arc<FrozenModel> = match (self.frozen_shared, self.frozen) {
+            (Some(shared), _) => shared,
+            (None, Some(owned)) => Arc::new(owned),
+            (None, None) => {
+                return Err(ServingError::InvalidConfig("server builder needs a frozen model"))
+            }
+        };
         let config = self.config;
         if self.item_pool.is_empty() {
             return Err(ServingError::InvalidConfig("cannot serve an empty item pool"));
@@ -325,6 +369,11 @@ impl ServerBuilder {
         }
         if config.cache_capacity == 0 {
             return Err(ServingError::InvalidConfig("cache_capacity must be positive"));
+        }
+        if config.sharding.num_shards == 0 || config.sharding.replicas_per_shard == 0 {
+            return Err(ServingError::InvalidConfig(
+                "sharding needs at least one shard and one replica",
+            ));
         }
         let num_nodes = graph.num_nodes();
         if let Some(&node) = self.item_pool.iter().find(|&&i| i as usize >= num_nodes) {
@@ -411,7 +460,7 @@ impl ServerBuilder {
         }
         Ok(OnlineServer {
             graph,
-            frozen: Arc::new(frozen),
+            frozen,
             backend: Arc::new(backend),
             inverted: Arc::new(inverted),
             cache: Arc::new(NeighborCache::with_capacity(config.cache_k, config.cache_capacity)),
@@ -431,7 +480,10 @@ impl OnlineServer {
 
     /// Reject any request node id outside the loaded graph before it can
     /// reach code that indexes adjacency or feature arrays.
-    fn validate_nodes(&self, nodes: impl IntoIterator<Item = NodeId>) -> Result<(), ServingError> {
+    pub(crate) fn validate_nodes(
+        &self,
+        nodes: impl IntoIterator<Item = NodeId>,
+    ) -> Result<(), ServingError> {
         let num_nodes = self.graph.num_nodes();
         for node in nodes {
             if node as usize >= num_nodes {
@@ -494,14 +546,15 @@ impl OnlineServer {
     ///
     /// `disable_cache` (ablation) samples fresh per request under the
     /// request's own focal context, like the paper's no-cache variant.
-    fn resolve_neighbors(
+    pub(crate) fn resolve_neighbors(
         &self,
-        requests: &[(NodeId, NodeId)],
+        requests: &[Query],
     ) -> Result<Vec<NeighborPair>, ServingError> {
         if self.config.disable_cache {
             return Ok(requests
                 .iter()
-                .map(|&(u, q)| {
+                .map(|r| {
+                    let (u, q) = r.pair();
                     let ctx = FocalContext::for_request(&self.graph, u, q);
                     let sample = |n: NodeId| {
                         let mut rng = seeded_rng(n as u64);
@@ -519,7 +572,7 @@ impl OnlineServer {
                 })
                 .collect());
         }
-        let nodes: Vec<NodeId> = requests.iter().flat_map(|&(u, q)| [u, q]).collect();
+        let nodes: Vec<NodeId> = requests.iter().flat_map(|r| [r.user, r.query]).collect();
         let found = self.cache.get_many(&nodes);
         let mut seen = HashSet::new();
         let missing: Vec<NodeId> = nodes
@@ -547,9 +600,21 @@ impl OnlineServer {
         (0..requests.len()).map(|i| Ok((resolve(2 * i)?, resolve(2 * i + 1)?))).collect()
     }
 
-    /// Handle a batch of retrieval requests: one ranked item list per
-    /// `(user, query)` pair, element-wise identical to calling
-    /// [`Self::handle`] on each pair alone.
+    /// The per-query result size: the request's own `top_k` when set, the
+    /// server default otherwise (`top_k == 0` is the tuple-era "whatever the
+    /// server is configured for").
+    #[inline]
+    pub(crate) fn effective_top_k(&self, q: &Query) -> usize {
+        if q.top_k == 0 {
+            self.config.top_k
+        } else {
+            q.top_k as usize
+        }
+    }
+
+    /// Handle a batch of retrieval requests: one [`Retrieval`] per
+    /// [`Query`], element-wise identical to serving each query in its own
+    /// batch of one.
     ///
     /// A malformed request (e.g. a node id outside the graph) yields an
     /// `Err` for this batch only; the server state is untouched and it keeps
@@ -557,11 +622,8 @@ impl OnlineServer {
     ///
     /// The batch runs under the configured [`ServingConfig::deadline`] (if
     /// any), started at the moment this call admits the batch.
-    pub fn handle_batch(
-        &self,
-        requests: &[(NodeId, NodeId)],
-    ) -> Result<Vec<Vec<NodeId>>, ServingError> {
-        self.handle_batch_with_deadline(requests, Deadline::from_config(self.config.deadline))
+    pub fn handle_batch(&self, queries: &[Query]) -> Result<Vec<Retrieval>, ServingError> {
+        self.handle_batch_with_deadline(queries, Deadline::from_config(self.config.deadline))
     }
 
     /// [`Self::handle_batch`] under an explicit, possibly already-running
@@ -576,44 +638,80 @@ impl OnlineServer {
     /// path byte-identical to the pre-deadline server.
     pub fn handle_batch_with_deadline(
         &self,
-        requests: &[(NodeId, NodeId)],
+        queries: &[Query],
         deadline: Deadline,
-    ) -> Result<Vec<Vec<NodeId>>, ServingError> {
-        if requests.is_empty() {
+    ) -> Result<Vec<Retrieval>, ServingError> {
+        Ok(self
+            .handle_batch_scored(queries, deadline)?
+            .into_iter()
+            .map(ScoredRetrieval::into_retrieval)
+            .collect())
+    }
+
+    /// The full request path, keeping scores: what a scatter-gather shard
+    /// returns to the router so per-shard top-k lists can be merged by
+    /// score. [`Self::handle_batch_with_deadline`] is exactly this with the
+    /// scores dropped, so the scored and unscored paths can never diverge.
+    pub fn handle_batch_scored(
+        &self,
+        queries: &[Query],
+        deadline: Deadline,
+    ) -> Result<Vec<ScoredRetrieval>, ServingError> {
+        if queries.is_empty() {
             return Ok(Vec::new());
         }
-        self.validate_nodes(requests.iter().flat_map(|&(u, q)| [u, q]))?;
+        self.validate_nodes(queries.iter().flat_map(|r| [r.user, r.query]))?;
         let m = &*self.metrics;
         if deadline.expired() {
             m.deadline_exceeded.inc();
             return Err(ServingError::DeadlineExceeded { stage: "admission" });
         }
         m.batches.inc();
-        m.requests.add(requests.len() as u64);
+        m.requests.add(queries.len() as u64);
 
         self.fire_fault(FaultSite::CacheResolve);
         let t = StageTimer::start(&m.stage_cache);
-        let neighbors = self.resolve_neighbors(requests)?;
+        let neighbors = self.resolve_neighbors(queries)?;
         t.stop();
         if deadline.expired() {
-            return Ok(self.degraded_fallback_batch(requests));
+            return Ok(self.degraded_fallback_batch(queries));
         }
 
         self.fire_fault(FaultSite::Embed);
         let t = StageTimer::start(&m.stage_embed);
         let neighbor_slices: Vec<(&[NodeId], &[NodeId])> =
             neighbors.iter().map(|(u, q)| (u.as_slice(), q.as_slice())).collect();
-        let uq = self.frozen.embed_requests(&self.graph, requests, &neighbor_slices);
+        let uq = self.frozen.embed_requests(&self.graph, queries, &neighbor_slices);
         t.stop();
 
+        self.rank_scored(&uq, queries, &deadline)
+    }
+
+    /// Probe + rank the already-embedded batch: the back half of
+    /// [`Self::handle_batch_scored`], from the ANN probe onward. Split out
+    /// so a scatter-gather shard worker can run exactly this code over its
+    /// own partitioned backend against router-computed embeddings — any
+    /// drift between the sharded and single-shard rank paths would be a
+    /// second copy of this function, so there is none.
+    pub(crate) fn rank_scored(
+        &self,
+        uq: &Matrix,
+        queries: &[Query],
+        deadline: &Deadline,
+    ) -> Result<Vec<ScoredRetrieval>, ServingError> {
+        let m = &*self.metrics;
         // The fault fires before the expiry check so an injected ANN-stage
         // spike deterministically exercises the fallback path.
         self.fire_fault(FaultSite::AnnProbe);
         if deadline.expired() {
-            return Ok(self.degraded_fallback_batch(requests));
+            return Ok(self.degraded_fallback_batch(queries));
         }
+        // The backend probe runs once per batch at the widest k any query in
+        // the batch asked for; narrower queries truncate their own row. With
+        // every query at the default this is exactly the old single-k probe.
+        let batch_k = queries.iter().map(|q| self.effective_top_k(q)).max().unwrap_or(0);
         let t = StageTimer::start(&m.stage_ann);
-        let (found, capped) = self.probe_with_budget(&uq, &deadline)?;
+        let (found, capped) = self.probe_with_budget(uq, batch_k, deadline)?;
         t.stop();
 
         let t = StageTimer::start(&m.stage_rank);
@@ -623,13 +721,15 @@ impl OnlineServer {
         // exactly the work a spent budget cannot afford.
         let widen = !capped && !deadline.expired();
         for (i, mut f) in found.into_iter().enumerate() {
-            if widen && f.len() < self.config.top_k && f.len() < self.backend.len() {
+            let k = self.effective_top_k(&queries[i]);
+            f.truncate(k);
+            if widen && f.len() < k && f.len() < self.backend.len() {
                 // Under-filled probe set (small pool, skewed clusters, or a
                 // narrow beam): widen to an exact scan rather than return a
                 // short list.
-                f = self.backend.exact_search(uq.row(i), self.config.top_k)?;
+                f = self.backend.exact_search(uq.row(i), k)?;
             }
-            out.push(f.into_iter().map(|(id, _)| id as NodeId).collect());
+            out.push(ScoredRetrieval { items: f, degraded: capped });
         }
         t.stop();
         Ok(out)
@@ -651,8 +751,7 @@ impl OnlineServer {
     /// smaller budget (`nprobe` for IVF, beam width for the proximity
     /// graph), trading recall for latency. Returns the per-query candidates
     /// and whether the probe was capped below the configured budget.
-    fn probe_with_budget(&self, uq: &Matrix, deadline: &Deadline) -> BudgetedProbe {
-        let top_k = self.config.top_k;
+    fn probe_with_budget(&self, uq: &Matrix, top_k: usize, deadline: &Deadline) -> BudgetedProbe {
         if !deadline.is_bounded() {
             return Ok((self.backend.search_batch(uq, top_k)?, false));
         }
@@ -686,27 +785,60 @@ impl OnlineServer {
 
     /// Budget-spent fallback: answer every request from the inverted index
     /// alone (term/posting lookup, no embedding or ANN work), truncated to
-    /// `top_k`. Requests with no posting get an empty list — a degraded
-    /// answer within the deadline beats a complete answer after it.
-    fn degraded_fallback_batch(&self, requests: &[(NodeId, NodeId)]) -> Vec<Vec<NodeId>> {
+    /// the request's top-k. Requests with no posting get an empty list — a
+    /// degraded answer within the deadline beats a complete answer after it.
+    ///
+    /// Fallback answers carry synthetic descending rank scores (`-rank`):
+    /// the posting list is an ordering, not a scoring, and the router only
+    /// needs scores that preserve that order when it merges shards.
+    pub(crate) fn degraded_fallback_batch(&self, requests: &[Query]) -> Vec<ScoredRetrieval> {
         self.metrics.degraded_fallback.add(requests.len() as u64);
         requests
             .iter()
-            .map(|&(_, q)| {
-                self.inverted
-                    .posting(q)
-                    .map(|p| p.iter().take(self.config.top_k).copied().collect())
-                    .unwrap_or_default()
+            .map(|r| {
+                let items = self
+                    .inverted
+                    .posting(r.query)
+                    .map(|p| {
+                        p.iter()
+                            .take(self.effective_top_k(r))
+                            .enumerate()
+                            .map(|(rank, &id)| (id as u64, -(rank as f32)))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                ScoredRetrieval { items, degraded: true }
             })
             .collect()
     }
 
     /// Handle one retrieval request: a batch of one through
     /// [`Self::handle_batch`].
+    #[deprecated(
+        since = "0.9.0",
+        note = "build a `Query` and call `handle_batch(&[query])` — the single-pair \
+                path hides tenant and top-k and will be removed next PR"
+    )]
     pub fn handle(&self, user: NodeId, query: NodeId) -> Result<Vec<NodeId>, ServingError> {
-        self.handle_batch(&[(user, query)])?
+        self.handle_batch(&[Query::new(user, query)])?
             .pop()
+            .map(|r| r.items)
             .ok_or(ServingError::Internal("one-request batch returned no responses"))
+    }
+
+    /// Tuple-era [`Self::handle_batch`]: converts each `(user, query)` pair
+    /// to a default [`Query`] and drops the degraded flag.
+    #[deprecated(
+        since = "0.9.0",
+        note = "convert pairs with `Query::new` / `zoomer_graph::queries_from_pairs` and \
+                call `handle_batch` — this shim will be removed next PR"
+    )]
+    pub fn handle_batch_pairs(
+        &self,
+        requests: &[(NodeId, NodeId)],
+    ) -> Result<Vec<Vec<NodeId>>, ServingError> {
+        let queries = zoomer_graph::queries_from_pairs(requests);
+        Ok(self.handle_batch(&queries)?.into_iter().map(|r| r.items).collect())
     }
 
     /// Warm the cache for a set of nodes (deployment pre-fill). Fills the
@@ -766,11 +898,25 @@ mod tests {
         (data, server)
     }
 
+    /// Batch-of-one through the typed API — the old `handle` semantics the
+    /// bulk of these tests were written against.
+    fn one(
+        server: &OnlineServer,
+        user: NodeId,
+        query: NodeId,
+    ) -> Result<Vec<NodeId>, ServingError> {
+        Ok(server
+            .handle_batch(&[Query::new(user, query)])?
+            .pop()
+            .map(|r| r.items)
+            .unwrap_or_default())
+    }
+
     #[test]
     fn handle_returns_topk_items() {
         let (data, server) = build_server(false);
         let log = &data.logs[0];
-        let result = server.handle(log.user, log.query).expect("serve");
+        let result = one(&server, log.user, log.query).expect("serve");
         assert_eq!(result.len(), 20);
         for &item in &result {
             assert_eq!(data.graph.node_type(item), NodeType::Item);
@@ -784,9 +930,9 @@ mod tests {
     fn repeated_requests_hit_the_cache() {
         let (data, server) = build_server(false);
         let log = &data.logs[0];
-        let first = server.handle(log.user, log.query).expect("serve");
+        let first = one(&server, log.user, log.query).expect("serve");
         let misses_after_first = server.cache().stats().misses;
-        let second = server.handle(log.user, log.query).expect("serve");
+        let second = one(&server, log.user, log.query).expect("serve");
         let stats = server.cache().stats();
         assert_eq!(first, second, "same request must be deterministic");
         assert_eq!(stats.misses, misses_after_first, "second request should not miss");
@@ -798,7 +944,7 @@ mod tests {
     fn cache_disabled_still_serves() {
         let (data, server) = build_server(true);
         let log = &data.logs[0];
-        let result = server.handle(log.user, log.query).expect("serve");
+        let result = one(&server, log.user, log.query).expect("serve");
         assert_eq!(result.len(), 20);
         assert_eq!(server.cache().len(), 0, "cache must stay empty when disabled");
     }
@@ -815,18 +961,22 @@ mod tests {
     #[test]
     fn handle_batch_matches_sequential_handles() {
         let (data, server) = build_server(false);
-        let requests: Vec<(NodeId, NodeId)> = data
+        let requests: Vec<Query> = data
             .logs
             .iter()
             .take(8)
-            .map(|l| (l.user, l.query))
+            .map(|l| Query::new(l.user, l.query))
             // Duplicate a pair inside the batch to cover same-batch reuse.
-            .chain(std::iter::once((data.logs[0].user, data.logs[0].query)))
+            .chain(std::iter::once(Query::new(data.logs[0].user, data.logs[0].query)))
             .collect();
         let batched = server.handle_batch(&requests).expect("serve batch");
         assert_eq!(batched.len(), requests.len());
-        for (i, &(u, q)) in requests.iter().enumerate() {
-            assert_eq!(batched[i], server.handle(u, q).expect("serve"), "request {i} diverges");
+        for (i, r) in requests.iter().enumerate() {
+            assert_eq!(
+                batched[i].items,
+                one(&server, r.user, r.query).expect("serve"),
+                "request {i} diverges"
+            );
         }
     }
 
@@ -840,12 +990,12 @@ mod tests {
     fn malformed_request_is_rejected_and_server_keeps_serving() {
         let (data, server) = build_server(false);
         let log = &data.logs[0];
-        let before = server.handle(log.user, log.query).expect("serve");
+        let before = one(&server, log.user, log.query).expect("serve");
         // A node id past the end of the graph must come back as a typed
         // error for that batch alone...
         let bogus = server.graph().num_nodes() as NodeId + 7;
         let err = server
-            .handle_batch(&[(log.user, log.query), (bogus, log.query)])
+            .handle_batch(&[Query::new(log.user, log.query), Query::new(bogus, log.query)])
             .expect_err("out-of-range node must be rejected");
         assert_eq!(
             err,
@@ -854,10 +1004,10 @@ mod tests {
                 num_nodes: server.graph().num_nodes()
             }
         );
-        assert!(server.handle(log.user, bogus).is_err());
+        assert!(one(&server, log.user, bogus).is_err());
         assert!(server.warm_cache(&[bogus]).is_err());
         // ...while subsequent well-formed batches serve identically.
-        let after = server.handle(log.user, log.query).expect("server must keep serving");
+        let after = one(&server, log.user, log.query).expect("server must keep serving");
         assert_eq!(before, after, "rejected request must not perturb server state");
     }
 
@@ -870,7 +1020,7 @@ mod tests {
         });
         let log = &data.logs[0];
         let err = server
-            .handle_batch(&[(log.user, log.query)])
+            .handle_batch(&[Query::new(log.user, log.query)])
             .expect_err("a zero budget must be rejected at admission");
         assert_eq!(err, ServingError::DeadlineExceeded { stage: "admission" });
         // Rejection is typed and counted — never a panic, never a served batch.
@@ -889,8 +1039,8 @@ mod tests {
             deadline: Some(Duration::from_secs(600)),
             ..Default::default()
         });
-        let requests: Vec<(NodeId, NodeId)> =
-            data.logs.iter().take(6).map(|l| (l.user, l.query)).collect();
+        let requests: Vec<Query> =
+            data.logs.iter().take(6).map(|l| Query::new(l.user, l.query)).collect();
         assert_eq!(
             unbounded.handle_batch(&requests).expect("serve unbounded"),
             bounded.handle_batch(&requests).expect("serve bounded"),
@@ -974,11 +1124,11 @@ mod tests {
     #[test]
     fn handle_batch_without_cache_matches_handle() {
         let (data, server) = build_server(true);
-        let requests: Vec<(NodeId, NodeId)> =
-            data.logs.iter().take(5).map(|l| (l.user, l.query)).collect();
+        let requests: Vec<Query> =
+            data.logs.iter().take(5).map(|l| Query::new(l.user, l.query)).collect();
         let batched = server.handle_batch(&requests).expect("serve batch");
-        for (i, &(u, q)) in requests.iter().enumerate() {
-            assert_eq!(batched[i], server.handle(u, q).expect("serve"));
+        for (i, r) in requests.iter().enumerate() {
+            assert_eq!(batched[i].items, one(&server, r.user, r.query).expect("serve"));
         }
     }
 
@@ -990,17 +1140,17 @@ mod tests {
         let (data, cold_server) = build_server(false);
         let (_, warm_server) = build_server(false);
         let log = &data.logs[0];
-        let cold = cold_server.handle(log.user, log.query).expect("serve");
+        let cold = one(&cold_server, log.user, log.query).expect("serve");
         warm_server.warm_cache(&[log.user, log.query]).expect("warm");
-        let warm = warm_server.handle(log.user, log.query).expect("serve");
+        let warm = one(&warm_server, log.user, log.query).expect("serve");
         assert_eq!(cold, warm, "warm-cache entries must match request-path entries");
     }
 
     #[test]
     fn concurrent_batches_are_consistent() {
         let (data, server) = build_server(false);
-        let requests: Vec<(NodeId, NodeId)> =
-            data.logs.iter().take(6).map(|l| (l.user, l.query)).collect();
+        let requests: Vec<Query> =
+            data.logs.iter().take(6).map(|l| Query::new(l.user, l.query)).collect();
         let baseline = server.handle_batch(&requests).expect("serve batch");
         std::thread::scope(|scope| {
             for _ in 0..4 {
@@ -1020,7 +1170,7 @@ mod tests {
     fn concurrent_requests_are_consistent() {
         let (data, server) = build_server(false);
         let log = data.logs[0].clone();
-        let baseline = server.handle(log.user, log.query).expect("serve");
+        let baseline = one(&server, log.user, log.query).expect("serve");
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 let s = server.clone();
@@ -1028,7 +1178,7 @@ mod tests {
                 let (u, q) = (log.user, log.query);
                 scope.spawn(move || {
                     for _ in 0..25 {
-                        assert_eq!(s.handle(u, q).expect("serve"), expected);
+                        assert_eq!(one(&s, u, q).expect("serve"), expected);
                     }
                 });
             }
@@ -1060,7 +1210,7 @@ mod tests {
         // quality is measured in the benches after training).
         let (data, server) = build_server(false);
         let log = &data.logs[3];
-        let retrieved = server.handle(log.user, log.query).expect("serve");
+        let retrieved = one(&server, log.user, log.query).expect("serve");
         let qv = data.graph.dense_feature(log.query);
         let mean_sim = |items: &[NodeId]| {
             items
@@ -1100,15 +1250,19 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(server.backend().kind(), BackendKind::Exact);
-        let requests: Vec<(NodeId, NodeId)> =
-            data.logs.iter().take(6).map(|l| (l.user, l.query)).collect();
+        let requests: Vec<Query> =
+            data.logs.iter().take(6).map(|l| Query::new(l.user, l.query)).collect();
         let batched = server.handle_batch(&requests).expect("serve batch");
-        for (i, (&(u, q), row)) in requests.iter().zip(&batched).enumerate() {
+        for (i, (r, row)) in requests.iter().zip(&batched).enumerate() {
             assert_eq!(row.len(), 20);
-            for &item in row {
+            for &item in &row.items {
                 assert_eq!(data.graph.node_type(item), NodeType::Item, "request {i}");
             }
-            assert_eq!(row, &server.handle(u, q).expect("serve"), "request {i} diverges");
+            assert_eq!(
+                row.items,
+                one(&server, r.user, r.query).expect("serve"),
+                "request {i} diverges"
+            );
         }
     }
 
@@ -1122,14 +1276,18 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(server.backend().kind(), BackendKind::Proximity);
-        let requests: Vec<(NodeId, NodeId)> =
-            data.logs.iter().take(6).map(|l| (l.user, l.query)).collect();
+        let requests: Vec<Query> =
+            data.logs.iter().take(6).map(|l| Query::new(l.user, l.query)).collect();
         let batched = server.handle_batch(&requests).expect("serve batch");
-        for (i, (&(u, q), row)) in requests.iter().zip(&batched).enumerate() {
+        for (i, (r, row)) in requests.iter().zip(&batched).enumerate() {
             assert_eq!(row.len(), 20);
-            let set: std::collections::HashSet<_> = row.iter().collect();
+            let set: std::collections::HashSet<_> = row.items.iter().collect();
             assert_eq!(set.len(), row.len(), "request {i} returned duplicates");
-            assert_eq!(row, &server.handle(u, q).expect("serve"), "request {i} diverges");
+            assert_eq!(
+                row.items,
+                one(&server, r.user, r.query).expect("serve"),
+                "request {i} diverges"
+            );
         }
     }
 
@@ -1146,15 +1304,19 @@ mod tests {
             quant.memory_footprint().compression_ratio() >= 4.0,
             "int8 code store must be at least 4x smaller than the f32 rerank store"
         );
-        let requests: Vec<(NodeId, NodeId)> =
-            data.logs.iter().take(6).map(|l| (l.user, l.query)).collect();
+        let requests: Vec<Query> =
+            data.logs.iter().take(6).map(|l| Query::new(l.user, l.query)).collect();
         let batched = server.handle_batch(&requests).expect("serve batch");
-        for (i, (&(u, q), row)) in requests.iter().zip(&batched).enumerate() {
+        for (i, (r, row)) in requests.iter().zip(&batched).enumerate() {
             assert_eq!(row.len(), 20);
-            for &item in row {
+            for &item in &row.items {
                 assert_eq!(data.graph.node_type(item), NodeType::Item, "request {i}");
             }
-            assert_eq!(row, &server.handle(u, q).expect("serve"), "request {i} diverges");
+            assert_eq!(
+                row.items,
+                one(&server, r.user, r.query).expect("serve"),
+                "request {i} diverges"
+            );
         }
     }
 
@@ -1201,7 +1363,7 @@ mod tests {
             .expect("load histogram registered");
         assert_eq!(load.count, 1, "exactly one snapshot decode must be timed");
         let log = &data.logs[0];
-        assert_eq!(server.handle(log.user, log.query).expect("serve").len(), 10);
+        assert_eq!(one(&server, log.user, log.query).expect("serve").len(), 10);
     }
 
     #[test]
@@ -1227,8 +1389,8 @@ mod tests {
             .seed(87)
             .build()
             .expect("exact build");
-        let requests: Vec<(NodeId, NodeId)> =
-            data.logs.iter().take(8).map(|l| (l.user, l.query)).collect();
+        let requests: Vec<Query> =
+            data.logs.iter().take(8).map(|l| Query::new(l.user, l.query)).collect();
         assert_eq!(
             ivf.handle_batch(&requests).expect("ivf serve"),
             exact.handle_batch(&requests).expect("exact serve"),
@@ -1267,8 +1429,8 @@ mod tests {
             .metrics(Arc::clone(&registry))
             .build()
             .expect("build");
-        let requests: Vec<(NodeId, NodeId)> =
-            data.logs.iter().take(5).map(|l| (l.user, l.query)).collect();
+        let requests: Vec<Query> =
+            data.logs.iter().take(5).map(|l| Query::new(l.user, l.query)).collect();
         server.handle_batch(&requests).expect("serve");
         let snap = server.metrics_snapshot();
         assert_eq!(snap.counter("serve.backend.queries"), Some(5));
@@ -1331,8 +1493,8 @@ mod tests {
         assert!(Arc::ptr_eq(server.metrics_registry(), &registry));
         // Build-time posting ranking must not leak into serve-time counters.
         assert_eq!(registry.snapshot().counter("ann.lists_probed"), Some(0));
-        let requests: Vec<(NodeId, NodeId)> =
-            data.logs.iter().take(6).map(|l| (l.user, l.query)).collect();
+        let requests: Vec<Query> =
+            data.logs.iter().take(6).map(|l| Query::new(l.user, l.query)).collect();
         server.handle_batch(&requests).expect("serve");
         let snap = server.metrics_snapshot();
         assert_eq!(snap.counter("serve.requests"), Some(6));
@@ -1355,7 +1517,7 @@ mod tests {
     fn disabled_registry_keeps_counters_but_skips_histograms() {
         let (data, server) = build_server(false);
         let log = &data.logs[0];
-        server.handle(log.user, log.query).expect("serve");
+        one(&server, log.user, log.query).expect("serve");
         let snap = server.metrics_snapshot();
         assert_eq!(snap.counter("serve.requests"), Some(1), "counters are always-on");
         let h = snap.histogram("serve.stage.embed_ns").expect("registered");

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use zoomer_data::{TaobaoConfig, TaobaoData};
 use zoomer_graph::NodeId;
 use zoomer_model::{CtrModel, ModelConfig, UnifiedCtrModel};
-use zoomer_serving::{IvfIndex, OnlineServer, ServingConfig};
+use zoomer_serving::{IvfIndex, OnlineServer, Query, ServingConfig};
 use zoomer_tensor::{seeded_rng, Matrix};
 
 use rand::Rng;
@@ -60,16 +60,21 @@ proptest! {
         indices in prop::collection::vec(0usize..120, 1..12)
     ) {
         let (server, logs) = server_and_logs();
-        let reqs: Vec<(NodeId, NodeId)> =
-            indices.iter().map(|&i| logs[i % logs.len()]).collect();
+        let reqs: Vec<Query> = indices
+            .iter()
+            .map(|&i| {
+                let (user, query) = logs[i % logs.len()];
+                Query::new(user, query)
+            })
+            .collect();
         let batched = server.handle_batch(&reqs).expect("serve batch");
         prop_assert_eq!(batched.len(), reqs.len());
-        for (i, &(user, query)) in reqs.iter().enumerate() {
-            let single = server.handle(user, query).expect("serve");
+        for (i, q) in reqs.iter().enumerate() {
+            let single = server.handle_batch(&[*q]).expect("serve");
             prop_assert_eq!(
                 &batched[i],
-                &single,
-                "row {} of batch {:?} diverged from singular handle",
+                &single[0],
+                "row {} of batch {:?} diverged from a one-request batch",
                 i,
                 reqs
             );
@@ -83,8 +88,13 @@ proptest! {
         // The second run hits warm cache entries where the first may have
         // missed; results must not depend on that.
         let (server, logs) = server_and_logs();
-        let reqs: Vec<(NodeId, NodeId)> =
-            indices.iter().map(|&i| logs[i % logs.len()]).collect();
+        let reqs: Vec<Query> = indices
+            .iter()
+            .map(|&i| {
+                let (user, query) = logs[i % logs.len()];
+                Query::new(user, query)
+            })
+            .collect();
         let first = server.handle_batch(&reqs).expect("serve batch");
         let second = server.handle_batch(&reqs).expect("serve batch");
         prop_assert_eq!(first, second);

@@ -13,7 +13,7 @@ use zoomer_data::{TaobaoConfig, TaobaoData};
 use zoomer_model::{ModelConfig, UnifiedCtrModel};
 use zoomer_obs::MetricsRegistry;
 use zoomer_serving::{
-    run_load, FaultInjector, FaultPlan, FaultSite, FrozenModel, LoadTestSpec, OnlineServer,
+    run_load, FaultInjector, FaultPlan, FaultSite, FrozenModel, LoadTestSpec, OnlineServer, Query,
     ServingConfig, ShedPolicy,
 };
 
@@ -42,8 +42,8 @@ fn build_server(
     (data, builder.build().expect("server build"))
 }
 
-fn requests(data: &TaobaoData, n: usize) -> Vec<(zoomer_graph::NodeId, zoomer_graph::NodeId)> {
-    data.logs.iter().take(n).map(|l| (l.user, l.query)).collect()
+fn requests(data: &TaobaoData, n: usize) -> Vec<Query> {
+    data.logs.iter().take(n).map(|l| Query::new(l.user, l.query)).collect()
 }
 
 #[test]

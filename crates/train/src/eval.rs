@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use zoomer_data::RetrievalExample;
-use zoomer_graph::{HeteroGraph, NodeId};
+use zoomer_graph::{HeteroGraph, NodeId, Query};
 use zoomer_model::{neutral_topk_neighbors, CtrModel, FrozenModel};
 use zoomer_tensor::metrics::BinaryMetrics;
 use zoomer_tensor::seeded_rng;
@@ -75,8 +75,8 @@ pub fn evaluate_hitrate_frozen(
     let item_embs = frozen.item_embeddings(item_pool);
 
     // Neutral top-k neighbors once per unique node, in parallel.
-    let pairs: Vec<(NodeId, NodeId)> = positives.iter().map(|ex| (ex.user, ex.query)).collect();
-    let mut unique: Vec<NodeId> = pairs.iter().flat_map(|&(u, q)| [u, q]).collect();
+    let queries: Vec<Query> = positives.iter().map(|ex| Query::new(ex.user, ex.query)).collect();
+    let mut unique: Vec<NodeId> = queries.iter().flat_map(|q| [q.user, q.query]).collect();
     unique.sort_unstable();
     unique.dedup();
     let computed: Vec<(NodeId, Vec<NodeId>)> = unique
@@ -84,11 +84,13 @@ pub fn evaluate_hitrate_frozen(
         .map(|&n| (n, neutral_topk_neighbors(graph, n, EVAL_NEIGHBOR_K)))
         .collect();
     let neighbors: HashMap<NodeId, Vec<NodeId>> = computed.into_iter().collect();
-    let neighbor_slices: Vec<(&[NodeId], &[NodeId])> =
-        pairs.iter().map(|&(u, q)| (neighbors[&u].as_slice(), neighbors[&q].as_slice())).collect();
+    let neighbor_slices: Vec<(&[NodeId], &[NodeId])> = queries
+        .iter()
+        .map(|q| (neighbors[&q.user].as_slice(), neighbors[&q.query].as_slice()))
+        .collect();
 
     // One stacked forward pass over the whole positive set.
-    let uq = frozen.embed_requests(graph, &pairs, &neighbor_slices);
+    let uq = frozen.embed_requests(graph, &queries, &neighbor_slices);
 
     let max_k = ks.iter().copied().max().unwrap_or(0).min(item_pool.len());
     // Ranking is pure math → rayon.

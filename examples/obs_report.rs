@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use zoomer_core::data::TaobaoConfig;
 use zoomer_core::obs::MetricsRegistry;
-use zoomer_core::serving::{run_load, LoadTestSpec};
+use zoomer_core::serving::{run_load, LoadTestSpec, Query};
 use zoomer_core::train::TrainerConfig;
 use zoomer_core::{PipelineConfig, ZoomerPipeline};
 
@@ -35,10 +35,10 @@ fn main() {
     let report = pipeline.train();
     println!("trained to AUC {:.3} in {} steps", report.final_auc, report.steps);
 
-    let requests: Vec<(u32, u32)> =
-        pipeline.data().logs.iter().take(2_000).map(|l| (l.user, l.query)).collect();
+    let requests: Vec<Query> =
+        pipeline.data().logs.iter().take(2_000).map(|l| Query::new(l.user, l.query)).collect();
     let server = pipeline.into_server().expect("serving build");
-    let warm: Vec<u32> = requests.iter().flat_map(|&(u, q)| [u, q]).collect();
+    let warm: Vec<u32> = requests.iter().flat_map(|q| [q.user, q.query]).collect();
     server.warm_cache(&warm).expect("warm cache");
 
     let spec = LoadTestSpec::closed().num_threads(4).batch_size(16);

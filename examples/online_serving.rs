@@ -9,8 +9,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use zoomer_core::data::TaobaoConfig;
+use zoomer_core::graph::ShardingConfig;
 use zoomer_core::serving::{
-    run_load, BackendKind, FrozenModel, LoadTestSpec, OnlineServer, ServingConfig, ShedPolicy,
+    run_load, BackendKind, FrozenModel, LoadTestSpec, OnlineServer, Query, ServingConfig,
+    ShardedServer, ShedPolicy,
 };
 use zoomer_core::train::TrainerConfig;
 use zoomer_core::{PipelineConfig, ZoomerPipeline};
@@ -34,8 +36,8 @@ fn main() {
     println!("trained to AUC {:.3}", report.final_auc);
 
     // Freeze and stand the server up by hand to show the pieces.
-    let requests: Vec<(u32, u32)> =
-        pipeline.data().logs.iter().take(400).map(|l| (l.user, l.query)).collect();
+    let requests: Vec<Query> =
+        pipeline.data().logs.iter().take(400).map(|l| Query::new(l.user, l.query)).collect();
     let items = pipeline.data().item_nodes();
     let graph = Arc::new(
         zoomer_core::graph::read_snapshot(zoomer_core::graph::write_snapshot(
@@ -55,7 +57,7 @@ fn main() {
 
     // Warm caches for the nodes the requests will touch (the paper's
     // asynchronous cache updating, done up front here).
-    let warm: Vec<u32> = requests.iter().flat_map(|&(u, q)| [u, q]).collect();
+    let warm: Vec<u32> = requests.iter().flat_map(|q| [q.user, q.query]).collect();
     server.warm_cache(&warm).expect("warm cache");
     println!("warmed {} cache entries (k = 30)", server.cache().len());
 
@@ -176,6 +178,37 @@ fn main() {
     println!(
         "backend {} | 1000 QPS: p50 {:.3} ms, p99 {:.3} ms",
         quantized.backend().kind().name(),
+        report.latency.p50_ms,
+        report.latency.p99_ms
+    );
+
+    // Scatter-gather: the same builder, one more config line, and the item
+    // pool splits across shard-local indexes behind a merging router. A
+    // `ShardedServer` serves the same `handle_batch` contract (bit-identical
+    // at one shard — see `tests/sharded_equivalence.rs`), so the load
+    // harness drives it through the same `QueryService` entry point. The
+    // TCP front door over this tier is the `zoomer-serve` binary.
+    println!("\n== Sharded scatter-gather (4 shards x 2 replicas) ==");
+    let sharded = ShardedServer::build(
+        OnlineServer::builder()
+            .graph(Arc::clone(&graph))
+            .frozen(FrozenModel::from_model(pipeline.model_mut(), &graph))
+            .item_pool(&items)
+            .config(ServingConfig {
+                cache_k: 30,
+                top_k: 100,
+                sharding: ShardingConfig { num_shards: 4, replicas_per_shard: 2 },
+                ..Default::default()
+            })
+            .seed(seed),
+    )
+    .expect("sharded build");
+    sharded.warm_cache(&warm).expect("warm cache");
+    let report = run_load(&sharded, &requests, &LoadTestSpec::open(1000.0).num_threads(4))
+        .expect("load run");
+    println!(
+        "{} shards | 1000 QPS: p50 {:.3} ms, p99 {:.3} ms",
+        sharded.num_shards(),
         report.latency.p50_ms,
         report.latency.p99_ms
     );

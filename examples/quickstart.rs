@@ -7,6 +7,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use zoomer_core::data::TaobaoConfig;
+use zoomer_core::serving::Query;
 use zoomer_core::train::TrainerConfig;
 use zoomer_core::{PipelineConfig, ZoomerPipeline};
 
@@ -55,7 +56,8 @@ fn main() {
     println!("standing up the online server…");
     let data_snapshot = pipeline.data().logs[0].clone();
     let server = pipeline.into_server().expect("serving build");
-    let retrieved = server.handle(data_snapshot.user, data_snapshot.query).expect("serve");
+    let query = Query::new(data_snapshot.user, data_snapshot.query);
+    let retrieved = &server.handle_batch(&[query]).expect("serve")[0].items;
     println!(
         "request (user {}, query {}) → {} items, first 5: {:?}",
         data_snapshot.user,

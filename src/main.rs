@@ -22,7 +22,9 @@ use zoomer_core::model::{
     load_checkpoint, save_checkpoint, CtrModel, ModelConfig, UnifiedCtrModel,
 };
 use zoomer_core::obs::MetricsRegistry;
-use zoomer_core::serving::{run_load, FrozenModel, LoadTestSpec, OnlineServer, ServingConfig};
+use zoomer_core::serving::{
+    run_load, FrozenModel, LoadTestSpec, OnlineServer, Query, ServingConfig,
+};
 use zoomer_core::train::{train, TrainerConfig};
 
 const PRESETS: &[&str] = &[
@@ -205,9 +207,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         .metrics(Arc::new(MetricsRegistry::enabled()))
         .build()
         .map_err(|e| format!("build server: {e}"))?;
-    let reqs: Vec<(u32, u32)> =
-        data.logs.iter().cycle().take(requests).map(|l| (l.user, l.query)).collect();
-    let warm: Vec<u32> = reqs.iter().flat_map(|&(u, q)| [u, q]).collect();
+    let reqs: Vec<Query> =
+        data.logs.iter().cycle().take(requests).map(|l| Query::new(l.user, l.query)).collect();
+    let warm: Vec<u32> = reqs.iter().flat_map(|q| [q.user, q.query]).collect();
     server.warm_cache(&warm).map_err(|e| format!("warm cache: {e}"))?;
     let spec = LoadTestSpec::open(qps).num_threads(4).batch_size(batch);
     let report = run_load(&server, &reqs, &spec).map_err(|e| format!("load test: {e}"))?;

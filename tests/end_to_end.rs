@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use zoomer_core::data::{TaobaoConfig, TaobaoData};
 use zoomer_core::graph::{read_snapshot, write_snapshot, GraphStats, NodeType};
-use zoomer_core::serving::{FrozenModel, OnlineServer, ServingConfig};
+use zoomer_core::serving::{FrozenModel, OnlineServer, Query, ServingConfig};
 use zoomer_core::train::TrainerConfig;
 use zoomer_core::{PipelineConfig, ZoomerPipeline};
 
@@ -34,8 +34,8 @@ fn full_pipeline_trains_and_serves() {
 
     let request = pipeline.data().logs[0].clone();
     let server = pipeline.into_server().expect("serving build");
-    let retrieved = server.handle(request.user, request.query).expect("serve");
-    assert!(!retrieved.is_empty());
+    let retrieved = server.handle_batch(&[Query::new(request.user, request.query)]).expect("serve");
+    assert!(!retrieved[0].items.is_empty());
 }
 
 #[test]
@@ -62,9 +62,9 @@ fn graph_survives_snapshot_into_serving() {
         .build()
         .expect("serving build");
     let log = &data.logs[0];
-    let result = server.handle(log.user, log.query).expect("serve");
-    assert!(!result.is_empty());
-    for &item in &result {
+    let result = &server.handle_batch(&[Query::new(log.user, log.query)]).expect("serve")[0];
+    assert!(!result.items.is_empty());
+    for &item in &result.items {
         assert_eq!(data.graph.node_type(item), NodeType::Item);
     }
 }
@@ -84,7 +84,7 @@ fn pipeline_metrics_cover_training_and_serving() {
     let report = pipeline.train();
     let request = pipeline.data().logs[0].clone();
     let server = pipeline.into_server().expect("serving build");
-    let _ = server.handle(request.user, request.query).expect("serve");
+    let _ = server.handle_batch(&[Query::new(request.user, request.query)]).expect("serve");
 
     let snap = server.metrics_snapshot();
     assert_eq!(snap.counter("train.steps"), Some(report.steps as u64), "train loop recorded");
@@ -104,8 +104,8 @@ fn retrieval_results_are_items_only_and_deterministic() {
     let _ = pipeline.train();
     let log = pipeline.data().logs[5].clone();
     let server = pipeline.into_server().expect("serving build");
-    let a = server.handle(log.user, log.query).expect("serve");
-    let b = server.handle(log.user, log.query).expect("serve");
+    let a = server.handle_batch(&[Query::new(log.user, log.query)]).expect("serve");
+    let b = server.handle_batch(&[Query::new(log.user, log.query)]).expect("serve");
     assert_eq!(a, b, "same request must return the same ranking");
 }
 
