@@ -42,8 +42,14 @@ cargo test --offline -q -p zoomer-serving --test wire_roundtrip --profile ci
 echo "== sharded equivalence suite (N=1 bit-identity, merge recovery, reply loss) =="
 cargo test --offline -q -p zoomer-serving --test sharded_equivalence --profile ci
 
-echo "== front door suite (TCP round-trip, tenant fairness over the wire) =="
+echo "== front door suite (TCP round-trip, tenant fairness, connection cap) =="
 cargo test --offline -q -p zoomer-serving --test front_door --profile ci
+
+echo "== brownout ladder suite (rung domination proptest, per-rung counters) =="
+cargo test --offline -q -p zoomer-serving --test brownout_ladder --profile ci
+
+echo "== DOI cache suite (tiered eviction, adversarial scans, shed-refresh retry) =="
+cargo test --offline -q -p zoomer-serving --profile ci cache
 
 echo "== zoomer-serve loopback smoke (spawn, scatter a batch over TCP, assert merged top-k) =="
 cargo build --release --offline -q --bin zoomer-serve

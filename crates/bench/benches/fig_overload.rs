@@ -19,9 +19,20 @@ use zoomer_bench::{banner, million_dataset, write_json, BenchScale};
 use zoomer_core::graph::ShardingConfig;
 use zoomer_core::model::{ModelConfig, UnifiedCtrModel};
 use zoomer_core::serving::{
-    run_load, BackendKind, FrozenModel, LoadTestSpec, OnlineServer, Query, ServingConfig,
-    ShardedServer, ShedPolicy,
+    run_load, BackendKind, BrownoutRung, FrozenModel, LoadTestSpec, OnlineServer, Query,
+    ServingConfig, ShardedServer, ShedPolicy,
 };
+
+/// The four degraded-rung counter deltas (skip_widen, topk_shrunk,
+/// budget_capped, fallback) out of a snapshot diff.
+fn rung_deltas(diff: &zoomer_core::obs::Snapshot) -> [u64; 4] {
+    [
+        diff.counter("serve.degraded.skip_widen").unwrap_or(0),
+        diff.counter("serve.degraded.topk_shrunk").unwrap_or(0),
+        diff.counter("serve.degraded.budget_capped").unwrap_or(0),
+        diff.counter("serve.degraded.fallback").unwrap_or(0),
+    ]
+}
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -82,8 +93,8 @@ fn main() {
             backend.name()
         );
         println!(
-            "{:>7} {:>10} {:>9} {:>10} {:>10} {:>9} {:>8}",
-            "load", "offered", "shed %", "adm p50", "adm p99", "degraded", "errors"
+            "{:>7} {:>10} {:>9} {:>10} {:>10} {:>9} {:>8} {:>17}",
+            "load", "offered", "shed %", "adm p50", "adm p99", "degraded", "errors", "sw/tk/cap/fb"
         );
         for mult in [0.25, 0.5, 1.0, 2.0, 5.0] {
             let qps = capacity_qps * mult;
@@ -94,16 +105,20 @@ fn main() {
                 .batch_size(8)
                 .queue_capacity(64)
                 .shed(ShedPolicy::RejectNew);
+            let before = server.metrics_registry().snapshot();
             let report = run_load(&server, &requests, &spec).expect("overload run");
+            let [sw, tk, cap, fb] =
+                rung_deltas(&server.metrics_registry().snapshot().since(&before));
             println!(
-                "{:>6.2}x {:>10.0} {:>8.1}% {:>10.3} {:>10.3} {:>9} {:>8}",
+                "{:>6.2}x {:>10.0} {:>8.1}% {:>10.3} {:>10.3} {:>9} {:>8} {:>17}",
                 mult,
                 qps,
                 report.shed_rate() * 100.0,
                 report.latency.p50_ms,
                 report.latency.p99_ms,
                 report.degraded,
-                report.errors
+                report.errors,
+                format!("{sw}/{tk}/{cap}/{fb}"),
             );
             json_rows.push(serde_json::json!({
                 "backend": backend.name(),
@@ -111,10 +126,35 @@ fn main() {
                 "completed": report.completed, "shed": report.shed,
                 "shed_rate": report.shed_rate(), "errors": report.errors,
                 "panics": report.panics, "degraded": report.degraded,
+                "degraded_skip_widen": sw, "degraded_topk_shrunk": tk,
+                "degraded_budget_capped": cap, "degraded_fallback": fb,
                 "deadline_exceeded": report.deadline_exceeded,
                 "admitted_p50_ms": report.latency.p50_ms,
                 "admitted_p99_ms": report.latency.p99_ms,
                 "deadline_ms": deadline_ms, "queue_capacity": 64,
+            }));
+        }
+
+        // Every rung, forced, on one warm batch: pins that each ladder rung
+        // is reachable and counted on this backend regardless of which rungs
+        // the sweep's deadlines happened to select organically.
+        let batch: Vec<Query> = request_pool.iter().take(8).copied().collect();
+        println!("   forced ladder (batch of {}):", batch.len());
+        for rung in BrownoutRung::ALL {
+            let before = server.metrics_registry().snapshot();
+            let rows = server.handle_batch_scored_forced(&batch, rung).expect("forced rung");
+            let [sw, tk, cap, fb] =
+                rung_deltas(&server.metrics_registry().snapshot().since(&before));
+            let items: usize = rows.iter().map(|r| r.items.len()).sum();
+            println!(
+                "   {:>12}: {items:>4} items, counters sw/tk/cap/fb = {sw}/{tk}/{cap}/{fb}",
+                rung.name()
+            );
+            json_rows.push(serde_json::json!({
+                "sweep": "forced_ladder", "backend": backend.name(),
+                "rung": rung.name(), "batch_size": batch.len(), "items": items,
+                "degraded_skip_widen": sw, "degraded_topk_shrunk": tk,
+                "degraded_budget_capped": cap, "degraded_fallback": fb,
             }));
         }
     }

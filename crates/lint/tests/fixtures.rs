@@ -285,6 +285,41 @@ fn backend_modules_are_covered_by_l001_and_the_no_allow_zone() {
 }
 
 #[test]
+fn doi_cache_and_brownout_modules_are_covered_by_l001_and_the_no_allow_zone() {
+    // The DOI scoring path in `crates/serving/src/cache.rs` runs on every
+    // cache hit and eviction sweep, and the brownout rung selection runs
+    // per batch: non-test code in either may not panic, and the escape
+    // hatch is void like everywhere under crates/serving. The clean
+    // fixture mirrors the real score's shape — saturating age arithmetic,
+    // `max(1)` divisor guards, clamped output — which is exactly what
+    // keeps the real thing L001-free without an opt-out.
+    const CACHE: &str = "crates/serving/src/cache.rs";
+    let clean = "fn doi(now: u64, touched: u64, hits: u64, max_hits: u64) -> f32 {\n\
+                 \x20   let age = now.saturating_sub(touched) as f32;\n\
+                 \x20   let recency = 1.0 / (1.0 + age);\n\
+                 \x20   let freq = (1.0 + hits as f32).ln() / (1.0 + max_hits.max(1) as f32).ln();\n\
+                 \x20   (0.5 * recency + 0.5 * freq).clamp(0.0, 1.0)\n\
+                 }\n";
+    assert!(lint_source(CACHE, clean).is_empty(), "{:?}", lint_source(CACHE, clean));
+
+    for path in [CACHE, "crates/serving/src/brownout.rs"] {
+        let panicky = "fn score(now: u64, touched: u64) -> f32 {\n\
+                       \x20   panic!(\"scores degrade to zero, they do not panic\");\n\
+                       }\n";
+        let v = lint_source(path, panicky);
+        assert_eq!(rules_at(&v, 2), vec!["L001"], "{path}: {v:?}");
+
+        let hatched = "fn score(now: u64, touched: u64) -> u64 {\n\
+                       \x20   // lint: allow(L001, scores must never panic anyway)\n\
+                       \x20   u64::try_from(now - touched).unwrap()\n\
+                       }\n";
+        let v = lint_source(path, hatched);
+        assert!(has(&v, "L001"), "hatch must not suppress in {path}: {v:?}");
+        assert!(has(&v, "ALLOW"), "hatch in {path} must itself be flagged: {v:?}");
+    }
+}
+
+#[test]
 fn serving_is_a_no_allow_zone() {
     let src = "fn f(x: Option<u32>) -> u32 {\n\
                \x20   // lint: allow(L001, serving may never opt out)\n\

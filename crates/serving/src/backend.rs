@@ -149,6 +149,27 @@ pub trait SearchBackend {
         on_round: &mut dyn FnMut(usize),
     ) -> Result<BoundedSearch, ServingError>;
 
+    /// Minimum-width probe: the narrowest answer this backend can produce —
+    /// round 0 of the deadline ladder, which always completes (one coarse
+    /// list per query for IVF, the entry beam for the proximity graph, the
+    /// whole scan for exact). The brownout ladder's prescriptive
+    /// `CapBudget` rung probes exactly this, so a forced rung costs the
+    /// floor and nothing more. Implemented via the deadline path with an
+    /// already-expired budget; backends with a cheaper direct floor may
+    /// override.
+    fn search_batch_floor(
+        &self,
+        queries: &Matrix,
+        k: usize,
+    ) -> Result<BoundedSearch, ServingError> {
+        self.search_batch_deadline(
+            queries,
+            k,
+            &Deadline::after(std::time::Duration::ZERO),
+            &mut |_| {},
+        )
+    }
+
     /// Exact top-`k` for one query — the recall baseline, and the widening
     /// scan the server runs when a probe under-fills `top_k`.
     fn exact_search(&self, query: &[f32], k: usize) -> Result<Vec<(u64, f32)>, ServingError>;
@@ -452,6 +473,14 @@ impl SearchBackend for Backend {
         dispatch!(self, b => b.search_batch_deadline(queries, k, deadline, on_round))
     }
 
+    fn search_batch_floor(
+        &self,
+        queries: &Matrix,
+        k: usize,
+    ) -> Result<BoundedSearch, ServingError> {
+        dispatch!(self, b => b.search_batch_floor(queries, k))
+    }
+
     fn exact_search(&self, query: &[f32], k: usize) -> Result<Vec<(u64, f32)>, ServingError> {
         dispatch!(self, b => b.exact_search(query, k))
     }
@@ -555,6 +584,27 @@ mod tests {
             wrapped.offline_rank_batch(&m, 6).expect("offline"),
             raw.search_batch(&m, 6, 4).expect("raw wide"),
         );
+    }
+
+    #[test]
+    fn floor_probe_is_the_minimum_width_probe() {
+        let items = random_items(300, 8, 33);
+        let wrapped = IvfBackend::new(IvfIndex::build(&items, 10, 4, 33), 3, 4);
+        let raw = IvfIndex::build(&items, 10, 4, 33);
+        let m = query_matrix(5, 8, 34);
+        let floor = wrapped.search_batch_floor(&m, 6).expect("floor");
+        assert_eq!(floor.effective_budget, 1, "the floor is one probe round");
+        assert!(floor.capped(), "a floor probe below full width reports capped");
+        assert_eq!(
+            floor.results,
+            raw.search_batch(&m, 6, 1).expect("nprobe=1"),
+            "the floor probe equals a plain probe at the minimum width"
+        );
+        // The exact scan has no narrower width: its floor is the full scan.
+        let exact = ExactSearch::build(&items);
+        let floor = exact.search_batch_floor(&m, 6).expect("floor");
+        assert!(!floor.capped());
+        assert_eq!(floor.results, exact.search_batch(&m, 6).expect("plain"));
     }
 
     #[test]

@@ -8,26 +8,155 @@
 //! refresh and fall back to computing inline (first touch) — subsequent
 //! requests hit.
 //!
-//! Overload robustness: the cache is **capacity-bounded** (second-chance
-//! eviction, so a miss-heavy or adversarial request stream cannot grow the
-//! map without limit) and the refresher queue is **bounded with
-//! drop-on-full** plus a pending-node dedup set, so the refresh path can
-//! never block a request or queue N recomputes for one hot node.
+//! Eviction is **degree-of-interest aware**: every entry carries a DOI
+//! score
+//!
+//! ```text
+//! DOI = α·Recency + β·Frequency + γ·ExplicitInterest − δ·DistanceFromFocus
+//! ```
+//!
+//! folded into four tiers (High / Medium / Low / Ghost). The second-chance
+//! clock sweep evicts Ghost and Low entries before it will consider Medium,
+//! and refuses to evict a High-tier entry for a colder newcomer at all
+//! (DOI-gated admission), so a one-shot adversarial scan cannot flush the
+//! focal-hot working set. Hit counters decay on a logical-tick schedule so
+//! yesterday's hot node does not stay High forever.
+//!
+//! Overload robustness: the cache is **capacity-bounded** and the refresher
+//! queue is **bounded** with a pending-node dedup set. A refresh the full
+//! queue sheds is parked on a bounded retry side queue (deterministic
+//! per-node jitter) and re-driven by the worker instead of being lost until
+//! the next organic miss; drops, retries, and recoveries are counted
+//! (`serve.cache.refresh.*`).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use zoomer_graph::NodeId;
-use zoomer_obs::CacheStats;
+use zoomer_obs::{CacheStats, Counter, MetricsRegistry};
 
-/// One cached entry plus its second-chance reference bit. The bit is set on
-/// every hit (under the read lock — it is atomic precisely so readers can
-/// flip it) and cleared as the clock hand sweeps past during eviction.
+/// DOI weight on the recency term (`1 / (1 + ticks_since_last_touch)`).
+pub const DOI_RECENCY_WEIGHT: f32 = 0.30;
+/// DOI weight on the decayed hit-frequency term
+/// (`ln(1 + hits) / ln(1 + max_hits)`).
+pub const DOI_FREQUENCY_WEIGHT: f32 = 0.20;
+/// DOI weight on explicit interest (a pinned entry).
+pub const DOI_EXPLICIT_WEIGHT: f32 = 0.30;
+/// DOI weight (subtractive) on hop distance from the focal set.
+pub const DOI_DISTANCE_WEIGHT: f32 = 0.20;
+/// Focal distances at or beyond this count as maximally far (term = 1).
+pub const DOI_MAX_FOCAL_DISTANCE: u8 = 4;
+
+/// Hit counters (and the cache-wide max they normalize against) halve every
+/// this many installs, so frequency reflects the recent request mix rather
+/// than all-time totals.
+const DOI_DECAY_PERIOD: u64 = 1024;
+
+/// Degree-of-interest tier, ordered coldest → hottest. Eviction consumes
+/// the low end first; [`DoiTier::High`] entries are admission-protected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DoiTier {
+    /// Score below 0.10: effectively forgotten, first out.
+    Ghost,
+    /// Score in [0.10, 0.30): cold, evicted before anything warmer.
+    Low,
+    /// Score in [0.30, 0.65): warm; evicted only when no Ghost/Low exists.
+    Medium,
+    /// Score at or above 0.65: focal-hot; never evicted for a colder
+    /// newcomer.
+    High,
+}
+
+impl DoiTier {
+    /// Tier thresholds over the DOI score.
+    pub fn from_score(score: f32) -> Self {
+        if score >= 0.65 {
+            DoiTier::High
+        } else if score >= 0.30 {
+            DoiTier::Medium
+        } else if score >= 0.10 {
+            DoiTier::Low
+        } else {
+            DoiTier::Ghost
+        }
+    }
+}
+
+/// The degree-of-interest score of one cache entry, in roughly [-δ, α+β+γ].
+///
+/// This runs under the cache's locks on every eviction sweep, so it is
+/// written panic-free by construction: saturating age arithmetic, clamped
+/// distance, and a guarded log normalizer (zoomer-lint L001 pins this —
+/// see `crates/lint/tests/fixtures.rs`).
+pub fn doi_score(
+    now_tick: u64,
+    last_touch_tick: u64,
+    hits: u64,
+    max_hits: u64,
+    focal_distance: u8,
+    pinned: bool,
+) -> f32 {
+    let age = now_tick.saturating_sub(last_touch_tick) as f32;
+    let recency = 1.0 / (1.0 + age);
+    let denom = (1.0 + max_hits.max(1) as f32).ln();
+    let frequency = if denom > 0.0 { (1.0 + hits as f32).ln() / denom } else { 0.0 };
+    let explicit = if pinned { 1.0 } else { 0.0 };
+    let distance =
+        (focal_distance.min(DOI_MAX_FOCAL_DISTANCE) as f32) / DOI_MAX_FOCAL_DISTANCE.max(1) as f32;
+    DOI_RECENCY_WEIGHT * recency
+        + DOI_FREQUENCY_WEIGHT * frequency.clamp(0.0, 1.0)
+        + DOI_EXPLICIT_WEIGHT * explicit
+        - DOI_DISTANCE_WEIGHT * distance
+}
+
+/// One cached entry: the neighbor list, the second-chance reference bit,
+/// and the DOI inputs. Everything mutated on the read path (hits, touch
+/// tick, the bit) is atomic precisely so readers can update it under the
+/// read lock.
 struct Slot {
     neighbors: Arc<Vec<NodeId>>,
     referenced: AtomicBool,
+    /// Decayed hit counter (halved every [`DOI_DECAY_PERIOD`] installs).
+    hits: AtomicU64,
+    /// Logical install tick of the last touch (hit, install, or refresh).
+    last_touch: AtomicU64,
+    /// Explicit interest: pinned entries carry the γ term.
+    pinned: AtomicBool,
+    /// Hop distance from the focal set; request-path entries are distance 0
+    /// (the requested node itself), prefetched frontier entries sit further
+    /// out and go first.
+    focal_distance: u8,
+}
+
+impl Slot {
+    fn new(neighbors: Arc<Vec<NodeId>>, tick: u64, focal_distance: u8) -> Self {
+        Self {
+            neighbors,
+            referenced: AtomicBool::new(false),
+            hits: AtomicU64::new(0),
+            last_touch: AtomicU64::new(tick),
+            pinned: AtomicBool::new(false),
+            focal_distance,
+        }
+    }
+
+    fn score(&self, now_tick: u64, max_hits: u64) -> f32 {
+        doi_score(
+            now_tick,
+            self.last_touch.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed),
+            max_hits,
+            self.focal_distance,
+            self.pinned.load(Ordering::Relaxed),
+        )
+    }
+
+    fn tier(&self, now_tick: u64, max_hits: u64) -> DoiTier {
+        DoiTier::from_score(self.score(now_tick, max_hits))
+    }
 }
 
 /// The locked interior: the entry map plus the clock ring the second-chance
@@ -39,15 +168,23 @@ struct ClockState {
 }
 
 /// Thread-safe neighbor cache: node → up-to-`k` cached neighbor ids, at most
-/// `capacity` entries (second-chance eviction beyond that).
+/// `capacity` entries (DOI-tiered second-chance eviction beyond that).
 pub struct NeighborCache {
     k: usize,
     capacity: usize,
     state: RwLock<ClockState>,
+    /// Logical clock: advances once per fresh install; recency ages against
+    /// it instead of wall time so behavior is deterministic under test.
+    tick: AtomicU64,
+    /// Cache-wide max decayed hit count — the frequency normalizer.
+    max_hits: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     refreshes: AtomicU64,
     evictions: AtomicU64,
+    /// Installs refused because every resident entry was High-tier and
+    /// warmer than the newcomer (DOI-gated admission).
+    admission_rejected: AtomicU64,
 }
 
 impl NeighborCache {
@@ -68,10 +205,13 @@ impl NeighborCache {
             k,
             capacity: capacity.max(1),
             state: RwLock::new(ClockState { map: HashMap::new(), ring: Vec::new(), hand: 0 }),
+            tick: AtomicU64::new(0),
+            max_hits: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             refreshes: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            admission_rejected: AtomicU64::new(0),
         }
     }
 
@@ -100,55 +240,131 @@ impl NeighborCache {
         self.state.write().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Record a touch on a resident slot (read path: under the read lock).
+    fn touch(&self, slot: &Slot) {
+        slot.referenced.store(true, Ordering::Relaxed);
+        slot.last_touch.store(self.tick.load(Ordering::Relaxed), Ordering::Relaxed);
+        let h = slot.hits.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_hits.fetch_max(h, Ordering::Relaxed);
+    }
+
+    /// Halve every decayed hit counter (and the normalizer) once per
+    /// [`DOI_DECAY_PERIOD`] installs, so frequency tracks the recent mix.
+    fn maybe_decay(&self, state: &mut ClockState, tick: u64) {
+        if tick == 0 || !tick.is_multiple_of(DOI_DECAY_PERIOD) {
+            return;
+        }
+        for slot in state.map.values() {
+            let h = slot.hits.load(Ordering::Relaxed);
+            slot.hits.store(h / 2, Ordering::Relaxed);
+        }
+        let m = self.max_hits.load(Ordering::Relaxed);
+        self.max_hits.store(m / 2, Ordering::Relaxed);
+    }
+
     /// Install `node → neighbors` under the held write lock, evicting via
-    /// the second-chance clock if the cache is full.
-    fn install_locked(&self, state: &mut ClockState, node: NodeId, neighbors: Arc<Vec<NodeId>>) {
+    /// the DOI-tiered second-chance clock if the cache is full. Returns
+    /// whether the entry was installed: `false` means admission was refused
+    /// because every resident entry was High-tier and warmer than this
+    /// newcomer.
+    fn install_locked(
+        &self,
+        state: &mut ClockState,
+        node: NodeId,
+        neighbors: Arc<Vec<NodeId>>,
+        focal_distance: u8,
+    ) -> bool {
         if let Some(slot) = state.map.get_mut(&node) {
             // Replace in place (refresh path); the entry is demonstrably
-            // live, so it keeps its second chance.
+            // live, so it keeps its second chance, its hit history, and its
+            // pin.
             slot.neighbors = neighbors;
             slot.referenced.store(true, Ordering::Relaxed);
-            return;
+            slot.last_touch.store(self.tick.load(Ordering::Relaxed), Ordering::Relaxed);
+            return true;
         }
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        self.maybe_decay(state, tick);
         if state.ring.len() < self.capacity {
             state.ring.push(node);
-            state.map.insert(node, Slot { neighbors, referenced: AtomicBool::new(false) });
-            return;
+            state.map.insert(node, Slot::new(neighbors, tick, focal_distance));
+            return true;
         }
-        // Second-chance sweep: entries referenced since the hand last passed
-        // get one lap of grace; the first unreferenced entry is evicted and
-        // its ring slot reused. After one full lap every bit is clear, so
-        // the sweep ends within 2·capacity steps (the cap below is belt and
-        // braces against an invariant break, not a reachable path).
+        // DOI-tiered second-chance sweep. Pass 1 walks up to two laps
+        // seeking an unreferenced Ghost/Low entry (after one lap every
+        // reference bit is clear, so the second lap finds any Ghost/Low
+        // entry that exists), noting the lowest tier seen. Pass 2 runs only
+        // when nothing at or below Low exists but something below High
+        // does: one more lap (bits now clear) takes the first Medium entry.
+        // If every resident is High-tier, the install itself is refused —
+        // a one-shot scan must not flush the focal-hot working set.
         let len = state.ring.len();
+        let max_hits = self.max_hits.load(Ordering::Relaxed);
+        let mut lowest_seen = DoiTier::High;
+        let mut victim: Option<usize> = None;
         let mut steps = 0usize;
-        let idx = loop {
+        while steps < 2 * len {
             let idx = state.hand % len;
             let candidate = state.ring[idx];
-            let referenced = state
-                .map
-                .get(&candidate)
-                .map(|s| s.referenced.swap(false, Ordering::Relaxed))
-                .unwrap_or(false);
             state.hand = (idx + 1) % len;
             steps += 1;
-            if !referenced || steps >= 2 * len {
-                break idx;
+            let Some(slot) = state.map.get(&candidate) else {
+                // Invariant break (ring key missing from map): reuse the
+                // slot rather than walk forever.
+                victim = Some(idx);
+                break;
+            };
+            let referenced = slot.referenced.swap(false, Ordering::Relaxed);
+            let tier = slot.tier(tick, max_hits);
+            if tier < lowest_seen {
+                lowest_seen = tier;
             }
+            if !referenced && tier <= DoiTier::Low {
+                victim = Some(idx);
+                break;
+            }
+        }
+        if victim.is_none() && lowest_seen < DoiTier::High {
+            let mut steps = 0usize;
+            while steps < len {
+                let idx = state.hand % len;
+                let candidate = state.ring[idx];
+                state.hand = (idx + 1) % len;
+                steps += 1;
+                let is_victim = state
+                    .map
+                    .get(&candidate)
+                    .map(|s| s.tier(tick, max_hits) <= DoiTier::Medium)
+                    .unwrap_or(true);
+                if is_victim {
+                    victim = Some(idx);
+                    break;
+                }
+            }
+        }
+        let Some(idx) = victim else {
+            // DOI-gated admission: every resident entry is High-tier, and a
+            // fresh entry scores at most α + β (no pin, no history) — below
+            // the High threshold. Caching this newcomer would trade hot
+            // state for a one-shot scan; keep the working set instead.
+            self.admission_rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
         };
-        let victim = state.ring[idx];
-        state.map.remove(&victim);
+        let evicted = state.ring[idx];
+        state.map.remove(&evicted);
         state.ring[idx] = node;
-        state.map.insert(node, Slot { neighbors, referenced: AtomicBool::new(false) });
+        state.map.insert(node, Slot::new(neighbors, tick, focal_distance));
         self.evictions.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// Cached neighbors, or `None` on a miss. A hit sets the entry's
-    /// reference bit, shielding it from the next eviction sweep.
+    /// reference bit and advances its DOI recency/frequency terms,
+    /// shielding it from the next eviction sweep.
     pub fn get(&self, node: NodeId) -> Option<Arc<Vec<NodeId>>> {
         let state = self.read_state();
         let found = state.map.get(&node).map(|slot| {
-            slot.referenced.store(true, Ordering::Relaxed);
+            self.touch(slot);
             Arc::clone(&slot.neighbors)
         });
         drop(state);
@@ -172,7 +388,7 @@ impl NeighborCache {
         let mut fresh = compute();
         fresh.truncate(self.k);
         let arc = Arc::new(fresh);
-        self.install_locked(&mut self.write_state(), node, Arc::clone(&arc));
+        self.install_locked(&mut self.write_state(), node, Arc::clone(&arc), 0);
         arc
     }
 
@@ -185,7 +401,7 @@ impl NeighborCache {
             .iter()
             .map(|n| {
                 state.map.get(n).map(|slot| {
-                    slot.referenced.store(true, Ordering::Relaxed);
+                    self.touch(slot);
                     Arc::clone(&slot.neighbors)
                 })
             })
@@ -210,7 +426,7 @@ impl NeighborCache {
         let mut state = self.write_state();
         arcs.into_iter()
             .map(|(n, a)| {
-                self.install_locked(&mut state, n, Arc::clone(&a));
+                self.install_locked(&mut state, n, Arc::clone(&a), 0);
                 a
             })
             .collect()
@@ -218,10 +434,50 @@ impl NeighborCache {
 
     /// Replace a node's cached neighbors (refresh path; counts toward
     /// [`CacheStats::refreshes`]).
-    pub fn put(&self, node: NodeId, mut neighbors: Vec<NodeId>) {
+    pub fn put(&self, node: NodeId, neighbors: Vec<NodeId>) {
+        self.put_at_distance(node, neighbors, 0);
+    }
+
+    /// [`Self::put`] for an entry `focal_distance` hops out from the focal
+    /// set (prefetch path): farther entries score lower DOI and are evicted
+    /// first.
+    pub fn put_at_distance(&self, node: NodeId, mut neighbors: Vec<NodeId>, focal_distance: u8) {
         neighbors.truncate(self.k);
-        self.install_locked(&mut self.write_state(), node, Arc::new(neighbors));
+        self.install_locked(&mut self.write_state(), node, Arc::new(neighbors), focal_distance);
         self.refreshes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pin a resident entry (explicit interest — the DOI γ term). Returns
+    /// whether the node was resident. Pinned + recently touched entries
+    /// reach [`DoiTier::High`] and are admission-protected.
+    pub fn pin(&self, node: NodeId) -> bool {
+        let state = self.read_state();
+        match state.map.get(&node) {
+            Some(slot) => {
+                slot.pinned.store(true, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A resident entry's current DOI score, or `None` if not cached.
+    /// Observability only: reads no counters, touches nothing.
+    pub fn doi(&self, node: NodeId) -> Option<f32> {
+        let state = self.read_state();
+        let max_hits = self.max_hits.load(Ordering::Relaxed);
+        let tick = self.tick.load(Ordering::Relaxed);
+        state.map.get(&node).map(|s| s.score(tick, max_hits))
+    }
+
+    /// A resident entry's current DOI tier, or `None` if not cached.
+    pub fn tier(&self, node: NodeId) -> Option<DoiTier> {
+        self.doi(node).map(DoiTier::from_score)
+    }
+
+    /// Installs refused by DOI-gated admission (all residents High-tier).
+    pub fn admissions_rejected(&self) -> u64 {
+        self.admission_rejected.load(Ordering::Relaxed)
     }
 
     pub fn len(&self) -> usize {
@@ -234,7 +490,9 @@ impl NeighborCache {
 
     /// Point-in-time counters as a named [`CacheStats`] — the type the
     /// metrics registry ingests (`MetricsRegistry::ingest_cache`). Hit rate
-    /// is derived there: `stats().hit_rate()`.
+    /// is derived there: `stats().hit_rate()`. Admission rejections are
+    /// separate ([`Self::admissions_rejected`], mirrored to the registry as
+    /// `cache.admission_rejected`).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -245,19 +503,66 @@ impl NeighborCache {
     }
 }
 
+/// Configuration for [`CacheRefresher`]: queue depth plus the retry side
+/// queue that catches refreshes the full queue sheds.
+#[derive(Clone, Copy, Debug)]
+pub struct RefreshConfig {
+    /// Main refresh queue depth (minimum 1).
+    pub queue_capacity: usize,
+    /// Retry side-queue depth; `0` disables retry entirely (a shed refresh
+    /// is then lost until the next organic miss, but still counted).
+    pub retry_capacity: usize,
+    /// Base backoff before a shed refresh is retried.
+    pub retry_backoff: Duration,
+    /// Maximum deterministic per-node jitter added to the backoff, so a
+    /// burst of shed refreshes does not retry as a thundering herd.
+    pub retry_jitter: Duration,
+}
+
+impl Default for RefreshConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: CacheRefresher::DEFAULT_QUEUE_CAPACITY,
+            retry_capacity: 128,
+            retry_backoff: Duration::from_millis(2),
+            retry_jitter: Duration::from_millis(6),
+        }
+    }
+}
+
+/// SplitMix64 — the per-node jitter hash. Deterministic so tests (and
+/// incident forensics) can reproduce a retry schedule exactly.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A refresh the full queue shed, parked until `due`.
+type RetryEntry = (Instant, NodeId);
+
 /// Background refresher: owns a worker thread that recomputes cache entries
 /// "fully asynchronous from users' timely requests".
 ///
-/// The queue is bounded: a full queue **drops** the refresh request (the
-/// entry simply stays stale a little longer) instead of ever blocking the
-/// request path. A pending-node set deduplicates requests, so N misses on
-/// one hot node cost one recompute, not N.
+/// The queue is bounded: a full queue **sheds** the refresh request instead
+/// of ever blocking the request path — but a shed refresh is not lost: it
+/// parks on a bounded retry side queue (backoff + deterministic per-node
+/// jitter) that the worker drains between arrivals, so the entry is
+/// recovered without waiting for the next organic miss. A pending-node set
+/// deduplicates requests, so N misses on one hot node cost one recompute,
+/// not N. Counters: `serve.cache.refresh.dropped` (queue-full sheds),
+/// `.retried` (retry attempts), `.recovered` (retries that landed).
 pub struct CacheRefresher {
     tx: Option<Sender<NodeId>>,
     handle: Option<std::thread::JoinHandle<u64>>,
     pending: Arc<Mutex<HashSet<NodeId>>>,
+    retry: Arc<Mutex<VecDeque<RetryEntry>>>,
+    config: RefreshConfig,
     deduped: AtomicU64,
-    dropped: AtomicU64,
+    dropped: Counter,
+    retried: Counter,
+    recovered: Counter,
 }
 
 impl CacheRefresher {
@@ -265,33 +570,98 @@ impl CacheRefresher {
     /// sustained overload, shallow enough to bound memory and staleness.
     pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
 
+    /// How often the worker polls the retry side queue while idle.
+    const RETRY_POLL: Duration = Duration::from_millis(1);
+
     /// Spawn a refresher that recomputes entries with `compute` and installs
-    /// them into `cache`, with the default queue depth.
+    /// them into `cache`, with the default queue depth and retry policy,
+    /// counting into a private registry.
     pub fn spawn(
         cache: Arc<NeighborCache>,
         compute: impl Fn(NodeId) -> Vec<NodeId> + Send + 'static,
     ) -> Self {
-        Self::with_queue_capacity(cache, Self::DEFAULT_QUEUE_CAPACITY, compute)
+        Self::spawn_with(cache, RefreshConfig::default(), &MetricsRegistry::new(), compute)
     }
 
-    /// [`Self::spawn`] with an explicit queue depth (minimum 1).
+    /// [`Self::spawn`] with an explicit queue depth (minimum 1) and the
+    /// default retry policy.
     pub fn with_queue_capacity(
         cache: Arc<NeighborCache>,
         queue_capacity: usize,
         compute: impl Fn(NodeId) -> Vec<NodeId> + Send + 'static,
     ) -> Self {
-        let (tx, rx) = bounded::<NodeId>(queue_capacity.max(1));
+        Self::spawn_with(
+            cache,
+            RefreshConfig { queue_capacity, ..RefreshConfig::default() },
+            &MetricsRegistry::new(),
+            compute,
+        )
+    }
+
+    /// Full-control constructor: explicit [`RefreshConfig`] and the registry
+    /// the `serve.cache.refresh.*` counters report into.
+    pub fn spawn_with(
+        cache: Arc<NeighborCache>,
+        config: RefreshConfig,
+        registry: &MetricsRegistry,
+        compute: impl Fn(NodeId) -> Vec<NodeId> + Send + 'static,
+    ) -> Self {
+        let (tx, rx) = bounded::<NodeId>(config.queue_capacity.max(1));
         let pending = Arc::new(Mutex::new(HashSet::new()));
+        let retry = Arc::new(Mutex::new(VecDeque::<RetryEntry>::new()));
+        let retried = registry.counter("serve.cache.refresh.retried");
+        let recovered = registry.counter("serve.cache.refresh.recovered");
         let worker_pending = Arc::clone(&pending);
+        let worker_retry = Arc::clone(&retry);
+        let worker_retried = retried.clone();
+        let worker_recovered = recovered.clone();
+        let retry_enabled = config.retry_capacity > 0;
         let handle = std::thread::spawn(move || {
             let mut refreshed = 0u64;
-            for node in rx {
+            let refresh = |node: NodeId, refreshed: &mut u64| {
                 cache.put(node, compute(node));
                 // Clear pending only after the entry is installed, so a
                 // request arriving mid-refresh dedups against the compute
                 // that is already producing its answer.
                 worker_pending.lock().unwrap_or_else(PoisonError::into_inner).remove(&node);
-                refreshed += 1;
+                *refreshed += 1;
+            };
+            let drain_due = |refreshed: &mut u64| loop {
+                let due = {
+                    let mut q = worker_retry.lock().unwrap_or_else(PoisonError::into_inner);
+                    let now = Instant::now();
+                    let pos = q.iter().position(|(at, _)| *at <= now);
+                    pos.and_then(|p| q.remove(p))
+                };
+                let Some((_, node)) = due else { break };
+                worker_retried.inc();
+                refresh(node, refreshed);
+                worker_recovered.inc();
+            };
+            if retry_enabled {
+                loop {
+                    match rx.recv_timeout(Self::RETRY_POLL) {
+                        Ok(node) => refresh(node, &mut refreshed),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                    drain_due(&mut refreshed);
+                }
+                // Shutdown flush: a shed refresh must not be lost just
+                // because the refresher is going down — retry everything
+                // still parked, due or not.
+                loop {
+                    let next =
+                        worker_retry.lock().unwrap_or_else(PoisonError::into_inner).pop_front();
+                    let Some((_, node)) = next else { break };
+                    worker_retried.inc();
+                    refresh(node, &mut refreshed);
+                    worker_recovered.inc();
+                }
+            } else {
+                for node in rx {
+                    refresh(node, &mut refreshed);
+                }
             }
             refreshed
         });
@@ -299,16 +669,21 @@ impl CacheRefresher {
             tx: Some(tx),
             handle: Some(handle),
             pending,
+            retry,
+            config,
             deduped: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
+            dropped: registry.counter("serve.cache.refresh.dropped"),
+            retried,
+            recovered,
         }
     }
 
     /// Enqueue a refresh; never blocks the request path. Returns whether the
-    /// request was accepted: `false` means it was deduplicated against an
-    /// already-pending refresh for the same node, or dropped because the
-    /// queue is full (the entry stays stale — strictly better than stalling
-    /// a user request on background work).
+    /// request was accepted onto the main queue: `false` means it was
+    /// deduplicated against an already-pending refresh for the same node, or
+    /// the queue was full — in which case the refresh is parked on the retry
+    /// side queue (when enabled) rather than lost, and counted as a drop
+    /// either way.
     pub fn request_refresh(&self, node: NodeId) -> bool {
         let Some(tx) = &self.tx else {
             return false;
@@ -324,8 +699,26 @@ impl CacheRefresher {
         match tx.try_send(node) {
             Ok(()) => true,
             Err(_) => {
+                self.dropped.inc();
+                if self.config.retry_capacity > 0 {
+                    let mut q = self.retry.lock().unwrap_or_else(PoisonError::into_inner);
+                    if q.len() < self.config.retry_capacity {
+                        let jitter_ns = self.config.retry_jitter.as_nanos() as u64;
+                        let jitter = if jitter_ns == 0 {
+                            Duration::ZERO
+                        } else {
+                            Duration::from_nanos(splitmix64(node as u64) % jitter_ns)
+                        };
+                        let due = Instant::now() + self.config.retry_backoff + jitter;
+                        q.push_back((due, node));
+                        // Keep the node in pending: duplicates arriving while
+                        // it waits out its backoff still dedup.
+                        return false;
+                    }
+                }
+                // Retry disabled or side queue full: the refresh really is
+                // lost until the next organic miss.
                 self.pending.lock().unwrap_or_else(PoisonError::into_inner).remove(&node);
-                self.dropped.fetch_add(1, Ordering::Relaxed);
                 false
             }
         }
@@ -336,14 +729,29 @@ impl CacheRefresher {
         self.deduped.load(Ordering::Relaxed)
     }
 
-    /// Requests dropped because the queue was full.
+    /// Requests shed because the main queue was full
+    /// (`serve.cache.refresh.dropped`) — parked for retry when the side
+    /// queue has room and retry is enabled.
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.dropped.get()
     }
 
-    /// Drain the queue and stop; returns how many entries were refreshed,
-    /// or an error if the worker thread panicked (e.g. a panicking
-    /// `compute` closure) instead of taking the caller down with it.
+    /// Retry attempts driven off the side queue
+    /// (`serve.cache.refresh.retried`).
+    pub fn retried(&self) -> u64 {
+        self.retried.get()
+    }
+
+    /// Shed refreshes that eventually landed via retry
+    /// (`serve.cache.refresh.recovered`).
+    pub fn recovered(&self) -> u64 {
+        self.recovered.get()
+    }
+
+    /// Drain the queue and stop; returns how many entries were refreshed
+    /// (including recovered retries), or an error if the worker thread
+    /// panicked (e.g. a panicking `compute` closure) instead of taking the
+    /// caller down with it.
     pub fn shutdown(mut self) -> Result<u64, crate::error::ServingError> {
         drop(self.tx.take());
         match self.handle.take() {
@@ -494,6 +902,137 @@ mod tests {
     }
 
     #[test]
+    fn doi_score_orders_tiers_sanely() {
+        // Fresh, hammered, pinned entry: the hottest possible score.
+        let hot = doi_score(100, 100, 50, 50, 0, true);
+        assert_eq!(DoiTier::from_score(hot), DoiTier::High);
+        // Fresh unpinned entry with no history lands Medium — warm enough
+        // to survive one sweep, cold enough that a scan churns itself.
+        let fresh = doi_score(100, 100, 0, 50, 0, false);
+        assert_eq!(DoiTier::from_score(fresh), DoiTier::Medium);
+        // One tick of silence demotes a history-free entry to Low...
+        let idle = doi_score(101, 100, 0, 50, 0, false);
+        assert_eq!(DoiTier::from_score(idle), DoiTier::Low);
+        // ...a few more and it is a Ghost; distance only pushes it deeper.
+        let ghost = doi_score(103, 100, 0, 50, 0, false);
+        assert_eq!(DoiTier::from_score(ghost), DoiTier::Ghost);
+        assert_eq!(DoiTier::from_score(doi_score(200, 100, 0, 50, 4, false)), DoiTier::Ghost);
+        // Distance strictly hurts; pinning strictly helps.
+        assert!(doi_score(10, 10, 3, 9, 4, false) < doi_score(10, 10, 3, 9, 0, false));
+        assert!(doi_score(10, 10, 3, 9, 0, true) > doi_score(10, 10, 3, 9, 0, false));
+        // Degenerate inputs stay finite (the scorer must be panic-free and
+        // NaN-free under the cache locks).
+        assert!(doi_score(0, u64::MAX, u64::MAX, 0, u8::MAX, true).is_finite());
+        assert!(doi_score(u64::MAX, 0, 0, u64::MAX, 0, false).is_finite());
+    }
+
+    #[test]
+    fn tier_and_doi_report_resident_entries() {
+        let cache = NeighborCache::with_capacity(4, 8);
+        cache.put(1, vec![9]);
+        assert!(cache.doi(1).is_some());
+        assert_eq!(cache.tier(1), Some(DoiTier::Medium), "fresh entry starts Medium");
+        assert_eq!(cache.tier(2), None);
+        assert!(cache.pin(1));
+        assert!(!cache.pin(2));
+        let _ = cache.get(1);
+        assert_eq!(cache.tier(1), Some(DoiTier::High), "pinned + touched is High");
+    }
+
+    #[test]
+    fn prefetched_far_entries_evict_before_near_ones() {
+        let cache = NeighborCache::with_capacity(4, 2);
+        cache.put_at_distance(1, vec![1], DOI_MAX_FOCAL_DISTANCE);
+        cache.put(2, vec![2]);
+        // Touch both so reference bits are equal; only distance differs.
+        let _ = cache.get(1);
+        let _ = cache.get(2);
+        cache.put(3, vec![3]);
+        assert!(cache.doi(1).is_none(), "the far prefetched entry goes first");
+        let _ = cache.get(2);
+        assert!(cache.stats().hits >= 3);
+    }
+
+    #[test]
+    fn adversarial_miss_stream_does_not_evict_high_tier_entries() {
+        // The satellite criterion: a one-shot scan (every request a distinct
+        // never-again node) must not flush High-tier entries. The pinned
+        // eviction rate for High entries under this stream is zero.
+        let capacity = 32;
+        let cache = NeighborCache::with_capacity(4, capacity);
+        let hot: Vec<NodeId> = (1_000_000..1_000_008).collect();
+        for &n in &hot {
+            cache.put(n, vec![n]);
+            assert!(cache.pin(n));
+        }
+        // Touch the whole set after the installs so every entry is at age
+        // zero with equal hit counts — pinned + fresh + hit scores High.
+        for &n in &hot {
+            assert!(cache.get(n).is_some());
+        }
+        for &n in &hot {
+            assert_eq!(cache.tier(n), Some(DoiTier::High), "pinned hot entry must start High");
+        }
+        for n in 0..10_000u32 {
+            let _ = cache.get_or_compute(n, || vec![n]);
+            if n % 16 == 0 {
+                // The hot set keeps being requested at a trickle, exactly
+                // like a focal working set under a scan.
+                for &h in &hot {
+                    assert!(cache.get(h).is_some(), "High-tier entry evicted by scan at {n}");
+                }
+            }
+        }
+        for &n in &hot {
+            // Touch first (the scan advanced the clock since the last
+            // trickle), then check the tier at age zero.
+            assert!(cache.get(n).is_some());
+            assert_eq!(
+                cache.tier(n),
+                Some(DoiTier::High),
+                "hot entry must still be High after the scan"
+            );
+        }
+        assert!(cache.len() <= capacity);
+        // The scan churned itself: evictions happened, just never to the
+        // High tier.
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn admission_is_gated_when_every_resident_is_high_tier() {
+        let cache = NeighborCache::with_capacity(4, 4);
+        for n in 0..4u32 {
+            cache.put(n, vec![n]);
+            assert!(cache.pin(n));
+        }
+        // Touch after all installs so the whole set sits at age zero.
+        for n in 0..4u32 {
+            let _ = cache.get(n);
+        }
+        for n in 0..4u32 {
+            assert_eq!(cache.tier(n), Some(DoiTier::High));
+        }
+        assert_eq!(cache.admissions_rejected(), 0);
+        // A cold newcomer cannot displace a fully High-tier working set...
+        cache.put(99, vec![99]);
+        assert_eq!(cache.admissions_rejected(), 1, "install must be refused, not evict High");
+        assert!(cache.doi(99).is_none(), "refused entry must not be resident");
+        assert_eq!(cache.stats().evictions, 0);
+        for n in 0..4u32 {
+            // doi() observes without touching — survival, not a re-warm.
+            assert!(cache.doi(n).is_some(), "High entry {n} must survive");
+        }
+        // ...but as the working set cools (recency decays with the logical
+        // clock), residents drop below High and admission resumes — the
+        // gate protects *current* interest, it is not a permanent lease.
+        cache.put(100, vec![1]);
+        assert!(cache.doi(100).is_some(), "admission must resume once residents cool");
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.admissions_rejected(), 1, "a cooled set no longer refuses installs");
+    }
+
+    #[test]
     fn refresher_updates_entries_asynchronously() {
         let cache = Arc::new(NeighborCache::new(5));
         cache.put(7, vec![1]);
@@ -533,14 +1072,19 @@ mod tests {
 
     #[test]
     fn full_refresh_queue_drops_instead_of_blocking() {
+        // Retry disabled: this pins the legacy drop-on-full contract — the
+        // shed refresh is lost, but observably so (`dropped` counts it).
         let cache = Arc::new(NeighborCache::new(5));
         let (entered_tx, entered_rx) = unbounded::<NodeId>();
         let (gate_tx, gate_rx) = unbounded::<()>();
-        let refresher = CacheRefresher::with_queue_capacity(Arc::clone(&cache), 2, move |n| {
-            let _ = entered_tx.send(n);
-            let _ = gate_rx.recv();
-            vec![n]
-        });
+        let config = RefreshConfig { queue_capacity: 2, retry_capacity: 0, ..Default::default() };
+        let registry = MetricsRegistry::new();
+        let refresher =
+            CacheRefresher::spawn_with(Arc::clone(&cache), config, &registry, move |n| {
+                let _ = entered_tx.send(n);
+                let _ = gate_rx.recv();
+                vec![n]
+            });
         assert!(refresher.request_refresh(1));
         // The worker is now blocked inside compute(1) and the queue is empty.
         assert_eq!(entered_rx.recv(), Ok(1));
@@ -554,12 +1098,98 @@ mod tests {
         // Drops are drops, not dedups: the pending entry was cleared, so a
         // dropped node could be re-requested later.
         assert_eq!(refresher.deduped(), 0);
+        // With retry disabled, nothing is ever retried or recovered.
+        assert_eq!(refresher.retried(), 0);
+        assert_eq!(refresher.recovered(), 0);
         for _ in 0..3 {
             let _ = gate_tx.send(());
         }
         let done = refresher.shutdown().expect("clean shutdown");
         assert_eq!(done, 3);
-        assert!(cache.get(4).is_none(), "dropped request must not refresh");
+        assert!(cache.get(4).is_none(), "with retry disabled a dropped request must not refresh");
+    }
+
+    #[test]
+    fn dropped_refresh_is_recovered_by_retry_without_an_organic_miss() {
+        // The tentpole regression: a refresh the full queue sheds must land
+        // via the retry side queue, with no request-path miss driving it.
+        let cache = Arc::new(NeighborCache::new(5));
+        let (entered_tx, entered_rx) = unbounded::<NodeId>();
+        let (gate_tx, gate_rx) = unbounded::<()>();
+        let config = RefreshConfig {
+            queue_capacity: 1,
+            retry_capacity: 8,
+            retry_backoff: Duration::from_millis(1),
+            retry_jitter: Duration::from_millis(2),
+        };
+        let registry = MetricsRegistry::new();
+        let refresher =
+            CacheRefresher::spawn_with(Arc::clone(&cache), config, &registry, move |n| {
+                let _ = entered_tx.send(n);
+                let _ = gate_rx.recv();
+                vec![n + 1]
+            });
+        assert!(refresher.request_refresh(1));
+        assert_eq!(entered_rx.recv(), Ok(1), "worker must be inside compute(1)");
+        assert!(refresher.request_refresh(2), "fills the 1-deep queue");
+        assert!(!refresher.request_refresh(3), "queue full: shed to the retry side queue");
+        assert_eq!(refresher.dropped(), 1);
+        // The parked node still dedups while it waits out its backoff.
+        assert!(!refresher.request_refresh(3));
+        assert_eq!(refresher.deduped(), 1);
+        for _ in 0..3 {
+            let _ = gate_tx.send(());
+        }
+        // The retry lands without any cache.get() driving it.
+        let waited = Instant::now();
+        while refresher.recovered() < 1 {
+            assert!(waited.elapsed() < Duration::from_secs(10), "retry never recovered");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(refresher.retried(), 1);
+        assert_eq!(refresher.recovered(), 1);
+        assert_eq!(cache.stats().misses, 0, "recovery must not ride on an organic miss");
+        assert_eq!(*cache.get(3).expect("recovered entry resident"), vec![4]);
+        // The counters mirror into the registry under their wire names.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.cache.refresh.dropped"), Some(1));
+        assert_eq!(snap.counter("serve.cache.refresh.retried"), Some(1));
+        assert_eq!(snap.counter("serve.cache.refresh.recovered"), Some(1));
+        let done = refresher.shutdown().expect("clean shutdown");
+        assert_eq!(done, 3, "all three refreshes landed exactly once");
+    }
+
+    #[test]
+    fn shutdown_flushes_parked_retries() {
+        // Even a retry whose backoff has not elapsed is driven at shutdown:
+        // "parked" never decays into "lost".
+        let cache = Arc::new(NeighborCache::new(5));
+        let (entered_tx, entered_rx) = unbounded::<NodeId>();
+        let (gate_tx, gate_rx) = unbounded::<()>();
+        let config = RefreshConfig {
+            queue_capacity: 1,
+            retry_capacity: 8,
+            retry_backoff: Duration::from_secs(3600),
+            retry_jitter: Duration::ZERO,
+        };
+        let registry = MetricsRegistry::new();
+        let refresher =
+            CacheRefresher::spawn_with(Arc::clone(&cache), config, &registry, move |n| {
+                let _ = entered_tx.send(n);
+                let _ = gate_rx.recv();
+                vec![n]
+            });
+        assert!(refresher.request_refresh(1));
+        assert_eq!(entered_rx.recv(), Ok(1));
+        assert!(refresher.request_refresh(2));
+        assert!(!refresher.request_refresh(3), "shed to retry with an hour of backoff");
+        assert_eq!(refresher.dropped(), 1);
+        for _ in 0..3 {
+            let _ = gate_tx.send(());
+        }
+        let done = refresher.shutdown().expect("clean shutdown");
+        assert_eq!(done, 3, "shutdown must flush the parked retry");
+        assert!(cache.get(3).is_some());
     }
 
     #[test]

@@ -17,7 +17,12 @@
 //! - [`proximity`] — navigable neighbor graph over the frozen tower's item
 //!   embeddings, beam-searched under the frozen relevance score.
 //! - [`topk`] — the shared top-k reduction every backend ranks through.
-//! - [`cache`] — per-node neighbor cache with asynchronous refresh worker.
+//! - [`cache`] — per-node neighbor cache with DOI-tiered (degree-of-interest)
+//!   admission/eviction and an asynchronous refresh worker whose shed
+//!   refreshes retry from a bounded jittered side queue.
+//! - [`brownout`] — the counted degradation ladder ([`BrownoutRung`]):
+//!   skip-widening → shrunk top-k → capped probe → inverted fallback,
+//!   selected per batch from the remaining deadline budget.
 //! - [`frozen`] — a thread-safe, tape-free snapshot of a trained model used
 //!   on the serving path (edge attention only).
 //! - [`server`] — the retrieval server: focal → cached neighbors → online
@@ -44,6 +49,7 @@
 
 pub mod ann;
 pub mod backend;
+pub mod brownout;
 pub mod cache;
 pub mod deadline;
 pub mod error;
@@ -63,7 +69,8 @@ pub use ann::{IvfIndex, IvfMetrics};
 pub use backend::{
     Backend, BackendKind, BackendStats, BoundedSearch, ExactSearch, IvfBackend, SearchBackend,
 };
-pub use cache::{CacheRefresher, NeighborCache};
+pub use brownout::BrownoutRung;
+pub use cache::{doi_score, CacheRefresher, DoiTier, NeighborCache, RefreshConfig};
 pub use deadline::Deadline;
 pub use error::ServingError;
 pub use fault::{FaultInjector, FaultPlan, FaultSite};
@@ -80,7 +87,7 @@ pub use server::{OnlineServer, ScoredRetrieval, ServerBuilder, ServingConfig};
 pub use sharded::ShardedServer;
 pub use wire::{
     FrontDoor, RequestFrame, ResponseFrame, ResponseRow, ResponseStatus, WireClient, WireError,
-    MAX_FRAME_LEN, WIRE_VERSION,
+    DEFAULT_MAX_CONNS, MAX_FRAME_LEN, WIRE_VERSION,
 };
 pub use zoomer_graph::{queries_from_pairs, Query, Retrieval, ShardingConfig};
 pub use zoomer_obs::CacheStats;

@@ -328,10 +328,14 @@ pub fn run_load<S: QueryService>(
     let elapsed = start.elapsed();
     let diff = server.metrics_snapshot().since(&metrics_before);
     let delta = |name: &str| diff.counter(name).unwrap_or(0);
-    // Count the canonical cap counter only: `serve.degraded.nprobe_capped`
-    // is a registered alias that mirrors every `budget_capped` increment,
-    // so summing both would double-count capped batches.
-    let degraded = delta("serve.degraded.fallback") + delta("serve.degraded.budget_capped");
+    // Each degraded batch counts exactly one realized brownout rung, so the
+    // four rung counters sum without overlap. `serve.degraded.nprobe_capped`
+    // is a registered alias that mirrors every `budget_capped` increment, so
+    // adding it too would double-count capped batches.
+    let degraded = delta("serve.degraded.fallback")
+        + delta("serve.degraded.budget_capped")
+        + delta("serve.degraded.topk_shrunk")
+        + delta("serve.degraded.skip_widen");
     let deadline_exceeded = delta("serve.deadline_exceeded");
     // Mirror the harness tallies into the server's registry (after the diff,
     // so they never pollute this run's own stage breakdown) — overload runs

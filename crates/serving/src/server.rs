@@ -4,8 +4,14 @@
 //! Execution is batch-first: [`OnlineServer::handle_batch`] resolves the
 //! neighbor cache for a whole batch under one lock round, runs the frozen
 //! towers as one stacked matmul per layer, and issues a multi-query ANN
-//! probe that visits each coarse list once per batch.
-//! [`OnlineServer::handle`] is a batch of one through the same path.
+//! probe that visits each coarse list once per batch. A single request is a
+//! batch of one through the same path.
+//!
+//! Under a bounded deadline the batch serves at a
+//! [`BrownoutRung`](crate::brownout::BrownoutRung) chosen from the
+//! remaining budget — full quality, skip-widening, shrunk top-k, capped
+//! probe, or inverted-index fallback — each rung counted under
+//! `serve.degraded.*`.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -20,6 +26,7 @@ use zoomer_tensor::{seeded_rng, Matrix};
 
 use crate::ann::IvfIndex;
 use crate::backend::{Backend, BackendKind, ExactSearch, IvfBackend, SearchBackend};
+use crate::brownout::BrownoutRung;
 use crate::cache::NeighborCache;
 use crate::deadline::Deadline;
 use crate::error::ServingError;
@@ -160,6 +167,12 @@ struct ServerMetrics {
     /// mirrors every increment so existing dashboards keep reading until
     /// they migrate to the canonical name.
     degraded_nprobe: Counter,
+    /// Batches served at [`BrownoutRung::SkipWiden`]: the exact-rerank
+    /// widening of under-full lists was skipped (`serve.degraded.skip_widen`).
+    degraded_skip_widen: Counter,
+    /// Batches served at [`BrownoutRung::ShrinkTopK`]: each query's top-k
+    /// was halved (`serve.degraded.topk_shrunk`).
+    degraded_topk: Counter,
     /// EWMA of the ANN stage's cost in ns, measured only when a deadline is
     /// bounded; feeds the next batch's at-risk-probe decision.
     ann_ewma_ns: AtomicU64,
@@ -178,6 +191,8 @@ impl ServerMetrics {
             degraded_fallback: registry.counter("serve.degraded.fallback"),
             degraded_budget: registry.counter("serve.degraded.budget_capped"),
             degraded_nprobe: registry.counter("serve.degraded.nprobe_capped"),
+            degraded_skip_widen: registry.counter("serve.degraded.skip_widen"),
+            degraded_topk: registry.counter("serve.degraded.topk_shrunk"),
             ann_ewma_ns: AtomicU64::new(0),
             stage_cache: registry.histogram("serve.stage.cache_resolve_ns"),
             stage_embed: registry.histogram("serve.stage.embed_ns"),
@@ -699,29 +714,99 @@ impl OnlineServer {
         queries: &[Query],
         deadline: &Deadline,
     ) -> Result<Vec<ScoredRetrieval>, ServingError> {
-        let m = &*self.metrics;
+        let rung = BrownoutRung::select(deadline, self.ann_cost_ewma_ns());
+        self.rank_scored_at(uq, queries, deadline, rung)
+    }
+
+    /// [`Self::rank_scored`] at a rung chosen by the caller instead of this
+    /// server's own EWMA — how the scatter-gather router imposes one
+    /// worst-shard rung on every shard of a batch. Execution stays
+    /// *adaptive*: a `CapBudget` batch runs the self-measuring round-major
+    /// probe and only degrades if the budget actually runs out, so a
+    /// prescribed rung never makes a batch worse than its deadline demands.
+    pub(crate) fn rank_scored_at(
+        &self,
+        uq: &Matrix,
+        queries: &[Query],
+        deadline: &Deadline,
+        rung: BrownoutRung,
+    ) -> Result<Vec<ScoredRetrieval>, ServingError> {
         // The fault fires before the expiry check so an injected ANN-stage
         // spike deterministically exercises the fallback path.
         self.fire_fault(FaultSite::AnnProbe);
-        if deadline.expired() {
+        if rung == BrownoutRung::Fallback || deadline.expired() {
             return Ok(self.degraded_fallback_batch(queries));
         }
+        self.rank_at_rung(uq, queries, deadline, rung, false)
+    }
+
+    /// The shared back half of the organic ([`Self::rank_scored_at`]) and
+    /// forced ([`Self::handle_batch_scored_forced`]) ladders: probe at the
+    /// rung's width, count the rung realized, truncate/widen per row.
+    /// `forced` switches `CapBudget` from the adaptive round-major probe to
+    /// the prescriptive floor probe and keeps the EWMA unpolluted.
+    fn rank_at_rung(
+        &self,
+        uq: &Matrix,
+        queries: &[Query],
+        deadline: &Deadline,
+        rung: BrownoutRung,
+        forced: bool,
+    ) -> Result<Vec<ScoredRetrieval>, ServingError> {
+        let m = &*self.metrics;
         // The backend probe runs once per batch at the widest k any query in
         // the batch asked for; narrower queries truncate their own row. With
         // every query at the default this is exactly the old single-k probe.
+        // Shrinking rungs shrink at truncate time, not probe time: a top-k
+        // probe's first k/2 entries are exactly the top-k/2 probe, so the
+        // single wide probe serves every rung.
         let batch_k = queries.iter().map(|q| self.effective_top_k(q)).max().unwrap_or(0);
         let t = StageTimer::start(&m.stage_ann);
-        let (found, capped) = self.probe_with_budget(uq, batch_k, deadline)?;
+        let (found, capped) = match (rung, forced) {
+            (BrownoutRung::CapBudget, false) => self.probe_bounded(uq, batch_k, deadline)?,
+            (BrownoutRung::CapBudget, true) => {
+                let floor = self.backend.search_batch_floor(uq, batch_k)?;
+                let capped = floor.capped();
+                (floor.results, capped)
+            }
+            _ => {
+                let probe = self.probe_timed(uq, batch_k, deadline, forced)?;
+                (probe, false)
+            }
+        };
         t.stop();
+
+        // The rung this batch *realized*: an adaptive `CapBudget` probe that
+        // never hit its budget is a full-width probe — the batch served at
+        // `Full` and counts nothing (this is what keeps a generous deadline
+        // byte-identical to no deadline). Only the realized rung's counter
+        // moves, so the `serve.degraded.*` family partitions degraded
+        // batches instead of double-counting them.
+        let realized = if rung == BrownoutRung::CapBudget && !capped && !forced {
+            BrownoutRung::Full
+        } else {
+            rung
+        };
+        match realized {
+            BrownoutRung::Full => {}
+            BrownoutRung::SkipWiden => m.degraded_skip_widen.inc(),
+            BrownoutRung::ShrinkTopK => m.degraded_topk.inc(),
+            BrownoutRung::CapBudget => {
+                m.degraded_budget.inc();
+                m.degraded_nprobe.inc();
+            }
+            // Fallback never reaches the probe path.
+            BrownoutRung::Fallback => {}
+        }
 
         let t = StageTimer::start(&m.stage_rank);
         let mut out = Vec::with_capacity(found.len());
-        // A capped or out-of-budget probe skips the exact-scan widening:
-        // that scan exists to fill under-full result lists and costs O(pool),
-        // exactly the work a spent budget cannot afford.
-        let widen = !capped && !deadline.expired();
+        // Only a Full-rung batch widens: the exact scan exists to fill
+        // under-full result lists and costs O(pool), exactly the work every
+        // degraded rung exists to avoid.
+        let widen = realized.widens() && !deadline.expired();
         for (i, mut f) in found.into_iter().enumerate() {
-            let k = self.effective_top_k(&queries[i]);
+            let k = realized.shrunk_k(self.effective_top_k(&queries[i]));
             f.truncate(k);
             if widen && f.len() < k && f.len() < self.backend.len() {
                 // Under-filled probe set (small pool, skewed clusters, or a
@@ -729,7 +814,7 @@ impl OnlineServer {
                 // short list.
                 f = self.backend.exact_search(uq.row(i), k)?;
             }
-            out.push(ScoredRetrieval { items: f, degraded: capped });
+            out.push(ScoredRetrieval { items: f, degraded: realized != BrownoutRung::Full });
         }
         t.stop();
         Ok(out)
@@ -742,45 +827,52 @@ impl OnlineServer {
         }
     }
 
-    /// Retrieval probe under the batch's remaining budget. Unbounded
-    /// deadlines use the plain full-width probe (identical to the
-    /// pre-deadline server). Bounded deadlines consult an EWMA of recent
-    /// probe cost: if the budget looks at risk (or no history exists yet),
-    /// the probe runs round-major with a between-rounds expiry check and may
-    /// stop early — a capped probe equals a plain probe at the backend's
+    /// The adaptive at-risk probe (`CapBudget` rung, organic): round-major
+    /// with a between-rounds expiry check, stopping early if the budget
+    /// runs out — a capped probe equals a plain probe at the backend's
     /// smaller budget (`nprobe` for IVF, beam width for the proximity
     /// graph), trading recall for latency. Returns the per-query candidates
-    /// and whether the probe was capped below the configured budget.
-    fn probe_with_budget(&self, uq: &Matrix, top_k: usize, deadline: &Deadline) -> BudgetedProbe {
-        if !deadline.is_bounded() {
-            return Ok((self.backend.search_batch(uq, top_k)?, false));
+    /// and whether the probe was actually capped; feeds the EWMA either way.
+    fn probe_bounded(&self, uq: &Matrix, top_k: usize, deadline: &Deadline) -> BudgetedProbe {
+        let m = &*self.metrics;
+        let ewma = m.ann_ewma_ns.load(Ordering::Relaxed);
+        let t0 = Instant::now();
+        let bounded = self.backend.search_batch_deadline(uq, top_k, deadline, &mut |_| {
+            self.fire_fault(FaultSite::AnnRound)
+        })?;
+        let capped = bounded.capped();
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        m.ann_ewma_ns.store(if ewma == 0 { ns } else { (3 * ewma + ns) / 4 }, Ordering::Relaxed);
+        Ok((bounded.results, capped))
+    }
+
+    /// The plain full-width probe, timed into the EWMA when a bounded
+    /// deadline is watching (forced rungs measure nothing: a bench sweep
+    /// must not teach the server that probes are cheap or dear).
+    fn probe_timed(
+        &self,
+        uq: &Matrix,
+        top_k: usize,
+        deadline: &Deadline,
+        forced: bool,
+    ) -> Result<Vec<Vec<(u64, f32)>>, ServingError> {
+        if forced || !deadline.is_bounded() {
+            return self.backend.search_batch(uq, top_k);
         }
         let m = &*self.metrics;
         let ewma = m.ann_ewma_ns.load(Ordering::Relaxed);
-        let remaining_ns = deadline
-            .remaining()
-            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
-            .unwrap_or(u64::MAX);
         let t0 = Instant::now();
-        // No history yet (ewma == 0) counts as at-risk: the first bounded
-        // batch pays the round-major bookkeeping instead of gambling the
-        // whole budget on an unmeasured probe.
-        let (found, capped) = if ewma == 0 || remaining_ns < 2 * ewma {
-            let bounded = self.backend.search_batch_deadline(uq, top_k, deadline, &mut |_| {
-                self.fire_fault(FaultSite::AnnRound)
-            })?;
-            let capped = bounded.capped();
-            (bounded.results, capped)
-        } else {
-            (self.backend.search_batch(uq, top_k)?, false)
-        };
+        let found = self.backend.search_batch(uq, top_k)?;
         let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         m.ann_ewma_ns.store(if ewma == 0 { ns } else { (3 * ewma + ns) / 4 }, Ordering::Relaxed);
-        if capped {
-            m.degraded_budget.inc();
-            m.degraded_nprobe.inc();
-        }
-        Ok((found, capped))
+        Ok(found)
+    }
+
+    /// EWMA of recent ANN-probe cost in ns (0 until a bounded-deadline batch
+    /// has run). The scatter-gather router reads every shard's EWMA and
+    /// drives the whole batch at the worst shard's rung.
+    pub fn ann_cost_ewma_ns(&self) -> u64 {
+        self.metrics.ann_ewma_ns.load(Ordering::Relaxed)
     }
 
     /// Budget-spent fallback: answer every request from the inverted index
@@ -812,33 +904,34 @@ impl OnlineServer {
             .collect()
     }
 
-    /// Handle one retrieval request: a batch of one through
-    /// [`Self::handle_batch`].
-    #[deprecated(
-        since = "0.9.0",
-        note = "build a `Query` and call `handle_batch(&[query])` — the single-pair \
-                path hides tenant and top-k and will be removed next PR"
-    )]
-    pub fn handle(&self, user: NodeId, query: NodeId) -> Result<Vec<NodeId>, ServingError> {
-        self.handle_batch(&[Query::new(user, query)])?
-            .pop()
-            .map(|r| r.items)
-            .ok_or(ServingError::Internal("one-request batch returned no responses"))
-    }
-
-    /// Tuple-era [`Self::handle_batch`]: converts each `(user, query)` pair
-    /// to a default [`Query`] and drops the degraded flag.
-    #[deprecated(
-        since = "0.9.0",
-        note = "convert pairs with `Query::new` / `zoomer_graph::queries_from_pairs` and \
-                call `handle_batch` — this shim will be removed next PR"
-    )]
-    pub fn handle_batch_pairs(
+    /// Serve a batch at a **prescribed** [`BrownoutRung`], bypassing the
+    /// budget-driven selection: the harness entry point behind the
+    /// `brownout_ladder` domination proptest and `fig_overload`'s per-rung
+    /// sweep. `CapBudget` probes the backend's floor width
+    /// ([`SearchBackend::search_batch_floor`]) rather than the adaptive
+    /// round-major probe, so the rung means the same thing on every run; no
+    /// rung here feeds the cost EWMA. Rung counters move exactly as an
+    /// organic batch at the same rung would move them.
+    pub fn handle_batch_scored_forced(
         &self,
-        requests: &[(NodeId, NodeId)],
-    ) -> Result<Vec<Vec<NodeId>>, ServingError> {
-        let queries = zoomer_graph::queries_from_pairs(requests);
-        Ok(self.handle_batch(&queries)?.into_iter().map(|r| r.items).collect())
+        queries: &[Query],
+        rung: BrownoutRung,
+    ) -> Result<Vec<ScoredRetrieval>, ServingError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.validate_nodes(queries.iter().flat_map(|r| [r.user, r.query]))?;
+        let m = &*self.metrics;
+        m.batches.inc();
+        m.requests.add(queries.len() as u64);
+        if rung == BrownoutRung::Fallback {
+            return Ok(self.degraded_fallback_batch(queries));
+        }
+        let neighbors = self.resolve_neighbors(queries)?;
+        let neighbor_slices: Vec<(&[NodeId], &[NodeId])> =
+            neighbors.iter().map(|(u, q)| (u.as_slice(), q.as_slice())).collect();
+        let uq = self.frozen.embed_requests(&self.graph, queries, &neighbor_slices);
+        self.rank_at_rung(&uq, queries, &Deadline::none(), rung, true)
     }
 
     /// Warm the cache for a set of nodes (deployment pre-fill). Fills the

@@ -36,6 +36,7 @@ use zoomer_graph::{shard_of_node, HeteroGraph, NodeId, Query, Retrieval};
 use zoomer_obs::{CacheStats, Counter, Histogram, MetricsRegistry, Snapshot, StageTimer};
 use zoomer_tensor::Matrix;
 
+use crate::brownout::BrownoutRung;
 use crate::deadline::Deadline;
 use crate::error::ServingError;
 use crate::fault::{FaultInjector, FaultSite};
@@ -58,11 +59,14 @@ const DEFAULT_GATHER_TIMEOUT: Duration = Duration::from_secs(10);
 type ShardReply = (usize, Result<Vec<ScoredRetrieval>, ServingError>);
 
 /// A scattered unit of work: shared embeddings + queries, the batch
-/// deadline, and the per-batch reply channel.
+/// deadline, the router-chosen brownout rung (every shard serves the batch
+/// at the same rung, so the merge never mixes qualities), and the per-batch
+/// reply channel.
 struct ShardJob {
     uq: Arc<Matrix>,
     queries: Arc<Vec<Query>>,
     deadline: Deadline,
+    rung: BrownoutRung,
     reply: mpsc::Sender<ShardReply>,
 }
 
@@ -329,6 +333,14 @@ impl ShardedServer {
         let uq = self.frozen.embed_requests(&self.graph, queries, &neighbor_slices);
         t.stop();
 
+        // The batch's brownout rung, driven by the *worst* shard's probe
+        // cost: a merge of mixed-rung shard answers would let a fast shard's
+        // full-quality scores drown out a slow shard's shrunken list, so the
+        // router imposes one rung on everyone. Deadline::none() reads every
+        // EWMA as irrelevant and selects Full — the pre-ladder path.
+        let worst_ewma = self.shards.iter().map(|s| s.ann_cost_ewma_ns()).max().unwrap_or_default();
+        let rung = BrownoutRung::select(&deadline, worst_ewma);
+
         // Scatter: every shard ranks the whole batch against its partition.
         let t_gather = StageTimer::start(&m.gather_ns);
         let uq = Arc::new(uq);
@@ -340,6 +352,7 @@ impl ShardedServer {
                 uq: Arc::clone(&uq),
                 queries: Arc::clone(&shared_queries),
                 deadline,
+                rung,
                 reply: tx.clone(),
             };
             if job_tx.send(job).is_ok() {
@@ -573,7 +586,7 @@ fn spawn_worker(
             batches.inc();
             let started = Instant::now();
             let result = catch_unwind(AssertUnwindSafe(|| {
-                let ranked = shard.rank_scored(&job.uq, &job.queries, &job.deadline);
+                let ranked = shard.rank_scored_at(&job.uq, &job.queries, &job.deadline, job.rung);
                 // Fired inside the unwind guard: an injected panic here is
                 // reported as an errored reply, never a lost worker thread.
                 if let Some(f) = &fault {

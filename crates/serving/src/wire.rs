@@ -15,10 +15,11 @@
 //! │ deadline_us   u64 (0=∞)   │     │ count          u32           │
 //! │ count         u32         │     │ count × row:                 │
 //! │ count × query:            │     │   status       u8 (0=ok,     │
-//! │   user        u32         │     │                    1=shed)   │
-//! │   query       u32         │     │   degraded     u8            │
-//! │   tenant      u32         │     │   n_items      u32           │
-//! │   top_k       u32         │     │   n_items × item u32         │
+//! │   user        u32         │     │                  1=shed,     │
+//! │   query       u32         │     │                  2=rejected) │
+//! │   tenant      u32         │     │   degraded     u8            │
+//! │   top_k       u32         │     │   n_items      u32           │
+//! │                           │     │   n_items × item u32         │
 //! └───────────────────────────┘     └──────────────────────────────┘
 //!
 //! error body: msg_len u32, msg_len × UTF-8 bytes
@@ -33,10 +34,12 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use zoomer_graph::{NodeId, Query, Retrieval};
+use zoomer_obs::Counter;
 
 use crate::deadline::Deadline;
 use crate::error::ServingError;
@@ -137,6 +140,9 @@ pub enum ResponseStatus {
     Ok,
     /// Shed by per-tenant fair admission before any serving work.
     Shed,
+    /// The connection itself was over the front door's concurrent-connection
+    /// cap; the client should back off and dial again.
+    Rejected,
 }
 
 /// One query's row in a response frame.
@@ -243,6 +249,7 @@ pub fn encode_response(frame: &ResponseFrame) -> Vec<u8> {
         out.push(match row.status {
             ResponseStatus::Ok => 0,
             ResponseStatus::Shed => 1,
+            ResponseStatus::Rejected => 2,
         });
         out.push(u8::from(row.retrieval.degraded));
         out.extend_from_slice(&(row.retrieval.items.len() as u32).to_le_bytes());
@@ -306,6 +313,7 @@ pub fn decode_response(payload: &[u8]) -> Result<ResponseFrame, WireError> {
         let status = match c.u8()? {
             0 => ResponseStatus::Ok,
             1 => ResponseStatus::Shed,
+            2 => ResponseStatus::Rejected,
             other => return Err(WireError::BadStatus(other)),
         };
         let degraded = c.u8()? != 0;
@@ -390,20 +398,71 @@ impl WireClient {
     }
 }
 
+/// Default bound on concurrent handler threads per [`FrontDoor`].
+pub const DEFAULT_MAX_CONNS: usize = 1024;
+
 /// The TCP front door: accepts connections, decodes request frames, runs
 /// per-tenant fair admission, scatters admitted queries through the
 /// [`ShardedServer`], and answers with response frames.
 pub struct FrontDoor {
     server: Arc<ShardedServer>,
     gate: Arc<TenantFairGate>,
+    max_conns: usize,
+    active: Arc<AtomicUsize>,
+    conn_rejected: Counter,
+}
+
+/// RAII occupancy token for one handler thread; its slot frees on drop, so
+/// a handler that panics still releases capacity.
+struct ConnSlot {
+    active: Arc<AtomicUsize>,
+}
+
+impl ConnSlot {
+    /// Claim a slot unless `max_conns` handlers are already live
+    /// (`max_conns == 0` means unlimited; occupancy is still tracked).
+    fn acquire(active: &Arc<AtomicUsize>, max_conns: usize) -> Option<Self> {
+        active
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                if max_conns != 0 && n >= max_conns {
+                    None
+                } else {
+                    n.checked_add(1)
+                }
+            })
+            .ok()
+            .map(|_| Self { active: Arc::clone(active) })
+    }
+}
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 impl FrontDoor {
     /// A front door over `server` admitting at most `tenant_capacity`
-    /// requests per fairness window (0 disables shedding).
+    /// requests per fairness window (0 disables shedding), with the
+    /// concurrent-connection bound at [`DEFAULT_MAX_CONNS`].
     pub fn new(server: Arc<ShardedServer>, tenant_capacity: usize) -> Self {
         let gate = Arc::new(TenantFairGate::new(tenant_capacity, server.metrics_registry()));
-        Self { server, gate }
+        let conn_rejected = server.metrics_registry().counter("serve.frontdoor.conn_rejected");
+        Self {
+            server,
+            gate,
+            max_conns: DEFAULT_MAX_CONNS,
+            active: Arc::new(AtomicUsize::new(0)),
+            conn_rejected,
+        }
+    }
+
+    /// Bound concurrent connections at `max_conns` (0 = unlimited). A
+    /// connection over the cap gets its first request answered with every
+    /// row [`ResponseStatus::Rejected`], then the stream is closed.
+    pub fn with_max_conns(mut self, max_conns: usize) -> Self {
+        self.max_conns = max_conns;
+        self
     }
 
     /// The admission gate (tests drive it directly).
@@ -415,24 +474,68 @@ impl FrontDoor {
         &self.server
     }
 
-    /// Accept loop: one handler thread per connection, until `listener`
-    /// errors (e.g. the socket is closed). Intended for the `zoomer-serve`
-    /// binary and loopback tests — connection counts there are small.
+    /// Live handler-thread count (occupied connection slots).
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Accept loop: one handler thread per connection, at most `max_conns`
+    /// at a time, until `listener` errors (e.g. the socket is closed).
+    /// Over-cap connections are answered with a typed rejection and closed
+    /// (counted as `serve.frontdoor.conn_rejected`) instead of spawning an
+    /// unbounded handler.
     pub fn serve(&self, listener: TcpListener) {
         for stream in listener.incoming() {
             let Ok(stream) = stream else { break };
-            let server = Arc::clone(&self.server);
-            let gate = Arc::clone(&self.gate);
-            std::thread::spawn(move || {
-                let _ = handle_connection(stream, &server, &gate);
-            });
+            match ConnSlot::acquire(&self.active, self.max_conns) {
+                Some(slot) => {
+                    let server = Arc::clone(&self.server);
+                    let gate = Arc::clone(&self.gate);
+                    std::thread::spawn(move || {
+                        let _slot = slot;
+                        let _ = handle_connection(stream, &server, &gate);
+                    });
+                }
+                None => {
+                    self.conn_rejected.inc();
+                    std::thread::spawn(move || {
+                        let _ = reject_connection(stream);
+                    });
+                }
+            }
         }
     }
 
-    /// Serve exactly one connection on the caller's thread (tests).
+    /// Serve exactly one connection on the caller's thread (tests); does
+    /// not consume a connection slot.
     pub fn serve_one(&self, stream: TcpStream) -> Result<(), WireError> {
         handle_connection(stream, &self.server, &self.gate)
     }
+}
+
+/// Over-cap path: answer the connection's first frame with a typed
+/// rejection — every row [`ResponseStatus::Rejected`], no items — or an
+/// error frame if the frame is malformed, then drop the stream. The reply
+/// lets a well-behaved client distinguish "server full, back off" from a
+/// network failure.
+fn reject_connection(mut stream: TcpStream) -> Result<(), WireError> {
+    stream.set_nodelay(true)?;
+    let Some(payload) = read_frame(&mut stream)? else { return Ok(()) };
+    let reply = match decode_request(&payload) {
+        Ok(request) => {
+            let rows = request
+                .queries
+                .iter()
+                .map(|_| ResponseRow {
+                    status: ResponseStatus::Rejected,
+                    retrieval: Retrieval { items: Vec::new(), degraded: true },
+                })
+                .collect();
+            encode_response(&ResponseFrame { rows })
+        }
+        Err(e) => encode_error(&e.to_string()),
+    };
+    write_frame(&mut stream, &reply)
 }
 
 /// Per-connection loop: read request frames until EOF, answer each one.
@@ -523,9 +626,27 @@ mod tests {
                     status: ResponseStatus::Shed,
                     retrieval: Retrieval { items: vec![], degraded: true },
                 },
+                ResponseRow {
+                    status: ResponseStatus::Rejected,
+                    retrieval: Retrieval { items: vec![], degraded: true },
+                },
             ],
         };
         assert_eq!(decode_response(&encode_response(&frame)), Ok(frame));
+    }
+
+    #[test]
+    fn unknown_status_byte_is_a_typed_error() {
+        let frame = ResponseFrame {
+            rows: vec![ResponseRow {
+                status: ResponseStatus::Ok,
+                retrieval: Retrieval::new(vec![]),
+            }],
+        };
+        let mut buf = encode_response(&frame);
+        // Row 0's status byte sits after the 4-byte header + 4-byte count.
+        buf[8] = 9;
+        assert_eq!(decode_response(&buf), Err(WireError::BadStatus(9)));
     }
 
     #[test]

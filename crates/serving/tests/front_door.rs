@@ -44,6 +44,11 @@ fn fixture() -> &'static Fixture {
 /// the address to dial. The accept loop runs on a leaked thread — it ends
 /// when the test process does.
 fn front_door(tenant_capacity: usize) -> (Arc<FrontDoor>, String) {
+    front_door_with(tenant_capacity, 0)
+}
+
+/// As [`front_door`], with a concurrent-connection cap (0 = unlimited).
+fn front_door_with(tenant_capacity: usize, max_conns: usize) -> (Arc<FrontDoor>, String) {
     let fix = fixture();
     let builder = OnlineServer::builder()
         .graph(Arc::clone(&fix.graph))
@@ -57,7 +62,7 @@ fn front_door(tenant_capacity: usize) -> (Arc<FrontDoor>, String) {
         })
         .seed(71);
     let server = Arc::new(ShardedServer::build(builder).expect("sharded build"));
-    let door = Arc::new(FrontDoor::new(server, tenant_capacity));
+    let door = Arc::new(FrontDoor::new(server, tenant_capacity).with_max_conns(max_conns));
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr").to_string();
     let accept_door = Arc::clone(&door);
@@ -174,4 +179,47 @@ fn noisy_tenant_cannot_starve_fair_tenant_over_tcp() {
         u64::from(fair_shed + noisy_shed),
         "gate counters must match observed shed rows"
     );
+}
+
+/// Connections beyond `max_conns` get a typed rejection — every row
+/// `ResponseStatus::Rejected`, then the stream closes — counted as
+/// `serve.frontdoor.conn_rejected`; the slot frees once an in-cap
+/// connection hangs up.
+#[test]
+fn over_cap_connection_is_rejected_with_typed_status() {
+    use std::time::{Duration, Instant};
+    let (door, addr) = front_door_with(0, 1);
+    // Occupy the single slot and prove it serves.
+    let mut first = WireClient::connect(&addr).expect("connect first");
+    let rows = first.retrieve(&[query(0, 1)], 0).expect("first retrieve");
+    assert_eq!(rows[0].status, ResponseStatus::Ok);
+
+    // The next connection is over the cap: its first request is answered
+    // all-Rejected, row for row, and then the connection closes.
+    let mut second = WireClient::connect(&addr).expect("connect second");
+    let batch: Vec<Query> = (0..3).map(|i| query(i, 2)).collect();
+    let rows = second.retrieve(&batch, 0).expect("rejected reply");
+    assert_eq!(rows.len(), batch.len());
+    for row in &rows {
+        assert_eq!(row.status, ResponseStatus::Rejected);
+        assert!(row.retrieval.items.is_empty(), "rejected rows carry no items");
+        assert!(row.retrieval.degraded, "rejected rows are flagged degraded");
+    }
+    assert!(second.retrieve(&batch, 0).is_err(), "rejected connection must be closed");
+    let snap = door.server().metrics_snapshot();
+    assert_eq!(snap.counter("serve.frontdoor.conn_rejected"), Some(1));
+
+    // Hanging up the in-cap connection frees the slot for new dials.
+    drop(first);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut retry = WireClient::connect(&addr).expect("reconnect");
+        if let Ok(rows) = retry.retrieve(&[query(1, 1)], 0) {
+            if rows[0].status == ResponseStatus::Ok {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "connection slot never freed after hangup");
+        std::thread::sleep(Duration::from_millis(10));
+    }
 }

@@ -27,6 +27,7 @@ use zoomer_core::model::{CtrModel, ModelConfig, UnifiedCtrModel};
 use zoomer_core::obs::MetricsRegistry;
 use zoomer_core::serving::{
     FrontDoor, OnlineServer, Query, ResponseStatus, ServingConfig, ShardedServer, WireClient,
+    DEFAULT_MAX_CONNS,
 };
 
 fn usage() -> &'static str {
@@ -39,6 +40,7 @@ fn usage() -> &'static str {
        --shards N             scatter-gather shards (default 4)\n\
        --replicas N           worker threads per shard (default 2)\n\
        --tenant-capacity N    fair-admission window capacity, 0 = off (default 0)\n\
+       --max-conns N          concurrent connection cap, 0 = off (default 1024)\n\
        --smoke                loopback self-test: serve, dial, verify, exit"
 }
 
@@ -51,6 +53,7 @@ struct Opts {
     shards: usize,
     replicas: usize,
     tenant_capacity: usize,
+    max_conns: usize,
     smoke: bool,
 }
 
@@ -64,6 +67,7 @@ fn parse(argv: &[String]) -> Result<Opts, String> {
         shards: 4,
         replicas: 2,
         tenant_capacity: 0,
+        max_conns: DEFAULT_MAX_CONNS,
         smoke: false,
     };
     let mut i = 0;
@@ -87,6 +91,7 @@ fn parse(argv: &[String]) -> Result<Opts, String> {
             "--shards" => opts.shards = int(value)?,
             "--replicas" => opts.replicas = int(value)?,
             "--tenant-capacity" => opts.tenant_capacity = int(value)?,
+            "--max-conns" => opts.max_conns = int(value)?,
             _ => return Err(format!("unknown option {key}\n{}", usage())),
         }
         i += 2;
@@ -125,7 +130,9 @@ fn build(opts: &Opts) -> Result<(Arc<ShardedServer>, Vec<Query>), String> {
 /// socket answer matches the in-process answer row for row.
 fn smoke(opts: &Opts) -> Result<(), String> {
     let (server, sample) = build(opts)?;
-    let door = Arc::new(FrontDoor::new(Arc::clone(&server), opts.tenant_capacity));
+    let door = Arc::new(
+        FrontDoor::new(Arc::clone(&server), opts.tenant_capacity).with_max_conns(opts.max_conns),
+    );
     let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
     let addr = listener.local_addr().map_err(|e| format!("local addr: {e}"))?;
     let accept_door = Arc::clone(&door);
@@ -157,7 +164,7 @@ fn smoke(opts: &Opts) -> Result<(), String> {
 
 fn serve(opts: &Opts) -> Result<(), String> {
     let (server, _) = build(opts)?;
-    let door = FrontDoor::new(server, opts.tenant_capacity);
+    let door = FrontDoor::new(server, opts.tenant_capacity).with_max_conns(opts.max_conns);
     let listener = TcpListener::bind(&opts.addr).map_err(|e| format!("bind {}: {e}", opts.addr))?;
     println!(
         "zoomer-serve listening on {} ({} shards × {} replicas, tenant capacity {})",

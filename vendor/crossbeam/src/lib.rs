@@ -6,6 +6,7 @@
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct Inner<T> {
         queue: VecDeque<T>,
@@ -36,6 +37,25 @@ pub mod channel {
     pub enum TryRecvError {
         Empty,
         Disconnected,
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with the channel still empty.
+        Timeout,
+        /// Every sender is gone and the buffer is drained.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out receiving on an empty channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
     }
 
     #[derive(Debug, PartialEq, Eq)]
@@ -138,6 +158,40 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 inner = self.0.not_empty.wait(inner).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Blocking receive with a deadline: drains a buffered message if one
+        /// arrives within `timeout`, otherwise reports
+        /// [`RecvTimeoutError::Timeout`] (or `Disconnected` once every sender
+        /// is gone and the buffer is empty — same semantics as
+        /// `crossbeam-channel`).
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now().checked_add(timeout);
+            let mut inner = self.0.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let remaining = match deadline {
+                    // A timeout large enough to overflow Instant is "wait
+                    // forever": keep waiting in bounded slices.
+                    None => Duration::from_secs(1),
+                    Some(at) => match at.checked_duration_since(Instant::now()) {
+                        Some(left) if !left.is_zero() => left,
+                        _ => return Err(RecvTimeoutError::Timeout),
+                    },
+                };
+                let (guard, _timed_out) = self
+                    .0
+                    .not_empty
+                    .wait_timeout(inner, remaining)
+                    .unwrap_or_else(|e| e.into_inner());
+                inner = guard;
             }
         }
 
@@ -283,6 +337,22 @@ mod tests {
         let (tx, rx) = channel::unbounded();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(5)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
